@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark suite.
+
+The FGCZ-scale deployment (the paper's Final-Remark table: 71,365
+objects) takes a few seconds to synthesize, so it is built once per
+session and shared by every benchmark that wants deployment-scale data.
+Smaller, per-figure fixtures build fresh systems.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro import BFabric
+from repro.dataimport import AffymetrixGeneChipProvider
+from repro.util.clock import ManualClock
+from repro.workload import DeploymentGenerator, FGCZ_JANUARY_2010
+
+
+def fresh_system(path=None) -> BFabric:
+    return BFabric(path, clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+
+
+@pytest.fixture(scope="session")
+def fgcz_deployment():
+    """The full January-2010 FGCZ deployment, indexed for search."""
+    system = fresh_system()
+    counts = DeploymentGenerator(system, seed=2010).generate(FGCZ_JANUARY_2010)
+    assert counts == FGCZ_JANUARY_2010.as_paper_table()
+    system.reindex_all()
+    return system
+
+
+@pytest.fixture
+def system():
+    """A fresh in-memory system with admin/scientist/expert actors."""
+    sys_ = fresh_system()
+    admin = sys_.bootstrap()
+    scientist = sys_.add_user(admin, login="sci", full_name="Scientist")
+    expert = sys_.add_user(
+        admin, login="exp", full_name="Expert", role="employee"
+    )
+    return sys_, admin, scientist, expert
+
+
+@pytest.fixture
+def demo_project(system, tmp_path):
+    """Project + sample + matching extracts + registered GeneChip provider."""
+    sys_, admin, scientist, expert = system
+    # Redirect the managed store into the test's tmp dir.
+    sys_.store.root = tmp_path / "store"
+    sys_.store.root.mkdir(parents=True, exist_ok=True)
+    project = sys_.projects.create(scientist, "Arabidopsis light response")
+    sample = sys_.samples.register_sample(
+        scientist, project.id, "col0", species="Arabidopsis Thaliana"
+    )
+    sys_.samples.batch_register_extracts(
+        scientist, sample.id,
+        ["scan01 a", "scan01 b", "scan02 a", "scan02 b"],
+    )
+    sys_.imports.register_provider(AffymetrixGeneChipProvider("GeneChip", runs=2))
+    return sys_, scientist, expert, project, sample

@@ -1,0 +1,84 @@
+"""A1 — secondary indexes on vs. off.
+
+Design choice: every FK and declared column gets a hash index (plus a
+sorted twin for ranges).  The ablation runs the deployment's dominant
+query shapes with the planner allowed vs. forbidden to use indexes, and
+asserts both the identical results and the expected asymmetics: indexed
+equality lookups must beat full scans by a wide margin at 40k rows.
+"""
+
+import time
+
+
+def _resource_query(db, workunit_id, *, indexed):
+    query = db.query("data_resource").where("workunit_id", "=", workunit_id)
+    if not indexed:
+        query = query.without_indexes()
+    return query.all()
+
+
+def test_a1_same_results_either_way(fgcz_deployment):
+    db = fgcz_deployment.db
+    for workunit_id in (1, 100, 9999):
+        indexed = _resource_query(db, workunit_id, indexed=True)
+        scanned = _resource_query(db, workunit_id, indexed=False)
+        key = lambda r: r["id"]
+        assert sorted(indexed, key=key) == sorted(scanned, key=key)
+
+
+def test_a1_planner_reports_strategies(fgcz_deployment):
+    db = fgcz_deployment.db
+    indexed_plan = (
+        db.query("data_resource").where("workunit_id", "=", 1).explain()
+    )
+    scan_plan = (
+        db.query("data_resource")
+        .where("workunit_id", "=", 1)
+        .without_indexes()
+        .explain()
+    )
+    assert indexed_plan["strategy"].startswith("index:")
+    assert scan_plan["strategy"] == "scan"
+    assert indexed_plan["candidates"] < scan_plan["candidates"]
+
+
+def test_a1_speedup_shape(fgcz_deployment):
+    """Index-backed equality beats the scan by >=20x on the 40k table."""
+    db = fgcz_deployment.db
+
+    def timed(indexed, repeats=20):
+        start = time.perf_counter()
+        for i in range(repeats):
+            _resource_query(db, i + 1, indexed=indexed)
+        return time.perf_counter() - start
+
+    with_index = timed(True)
+    without_index = timed(False)
+    assert without_index / max(with_index, 1e-9) >= 20
+
+
+def test_a1_bench_indexed_lookup(benchmark, fgcz_deployment):
+    db = fgcz_deployment.db
+    rows = benchmark(_resource_query, db, 1, indexed=True)
+    assert isinstance(rows, list)
+
+
+def test_a1_bench_full_scan(benchmark, fgcz_deployment):
+    db = fgcz_deployment.db
+    rows = benchmark.pedantic(
+        _resource_query, args=(db, 1), kwargs={"indexed": False},
+        rounds=5, iterations=1,
+    )
+    assert isinstance(rows, list)
+
+
+def test_a1_bench_range_with_sorted_index(benchmark, fgcz_deployment):
+    db = fgcz_deployment.db
+
+    def range_query():
+        return (
+            db.query("data_resource").where("size_bytes", ">=", 16000).count()
+        )
+
+    count = benchmark(range_query)
+    assert count > 0

@@ -1,0 +1,75 @@
+"""A2 — similarity-threshold sweep for merge recommendations.
+
+Design choice: the default detection threshold is 0.8.  The ablation
+sweeps the threshold over a synthetic vocabulary with known duplicate
+ground truth and reports precision/recall per setting, asserting the
+expected shape: recall falls and precision rises as the threshold
+climbs, with the default in the high-precision/high-recall corner.
+"""
+
+import pytest
+
+from repro.annotations.similarity import SimilarityDetector
+
+from test_f05_similarity_detection import build_vocabulary, duplicate_pairs
+
+
+def precision_recall(threshold, rows, truth_pairs):
+    detector = SimilarityDetector(threshold)
+    recommended = {
+        frozenset((r.keep_id, r.merge_id)) for r in detector.recommendations(rows)
+    }
+    if not recommended:
+        return 1.0, 0.0
+    true_positives = len(recommended & truth_pairs)
+    return (
+        true_positives / len(recommended),
+        true_positives / len(truth_pairs),
+    )
+
+
+SWEEP = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def test_a2_shape_of_the_tradeoff():
+    rows, clusters = build_vocabulary(100)
+    truth = duplicate_pairs(clusters)
+    curve = {t: precision_recall(t, rows, truth) for t in SWEEP}
+    recalls = [curve[t][1] for t in SWEEP]
+    precisions = [curve[t][0] for t in SWEEP]
+    # Recall is monotonically non-increasing in the threshold.
+    assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    # Loose thresholds over-merge: precision at 0.5 is clearly below 0.9's.
+    assert precisions[0] < precisions[-2]
+    # Strict thresholds miss typos: recall at 0.95 is clearly below 0.8's.
+    assert curve[0.95][1] < curve[0.8][1]
+    # The default sits in the good corner.
+    precision_default, recall_default = curve[0.8]
+    assert precision_default >= 0.9
+    assert recall_default >= 0.8
+
+
+def test_a2_default_beats_extremes_on_f1():
+    rows, clusters = build_vocabulary(100)
+    truth = duplicate_pairs(clusters)
+
+    def f1(threshold):
+        precision, recall = precision_recall(threshold, rows, truth)
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    assert f1(0.8) >= f1(0.5)
+    assert f1(0.8) >= f1(0.95)
+
+
+@pytest.mark.parametrize("threshold", SWEEP)
+def test_a2_bench_scan_cost_by_threshold(benchmark, threshold):
+    """Scan cost is threshold-independent (the comparison dominates)."""
+    rows, _ = build_vocabulary(120)
+    detector = SimilarityDetector(threshold)
+
+    recommendations = benchmark.pedantic(
+        detector.recommendations, args=(rows,), rounds=3, iterations=1
+    )
+    assert isinstance(recommendations, list)

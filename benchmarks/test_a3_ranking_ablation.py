@@ -1,0 +1,118 @@
+"""A3 — TF-IDF ranking vs. boolean-only retrieval.
+
+Design choice: results are ranked by boosted TF-IDF rather than
+returned in arbitrary boolean-match order.  The ablation builds a
+corpus where exactly one document per query is the "best" answer
+(matching in the name field, rare term) among many weaker matches, and
+measures how often each strategy puts it first.
+"""
+
+import random
+
+from repro.search.engine import SearchEngine
+from repro.security.principals import Principal, Role
+
+EXPERT = Principal(user_id=1, login="expert", role=Role.ADMIN)
+
+FILLER = (
+    "analysis of measurement data from the instrument run covering "
+    "standard operating conditions and calibration"
+).split()
+
+
+def build_engine(queries=20, noise_per_query=30, seed=3):
+    """An engine where query term i has one name-hit + many body-hits."""
+    rng = random.Random(seed)
+    engine = SearchEngine()
+    targets = {}
+    doc_id = 0
+    for q in range(queries):
+        term = f"markerterm{q}"
+        doc_id += 1
+        engine.index_document(
+            "sample", doc_id,
+            {"name": f"{term} sample", "description": " ".join(FILLER)},
+            label=f"target {q}",
+        )
+        targets[term] = ("sample", doc_id)
+        for _ in range(noise_per_query):
+            doc_id += 1
+            words = rng.sample(FILLER, k=6) + [term]
+            rng.shuffle(words)
+            engine.index_document(
+                "workunit", doc_id,
+                {"name": "routine workunit", "description": " ".join(words)},
+                label=f"noise {doc_id}",
+            )
+    return engine, targets
+
+
+def boolean_first_hit(engine, term):
+    """Unranked retrieval: an arbitrary matching document.
+
+    Boolean retrieval gives no meaningful order; we simulate "whatever
+    comes first" deterministically by hashing the doc keys, which is as
+    good (bad) as any storage order.
+    """
+    import hashlib
+
+    candidates = engine.index.candidates(term)
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda key: hashlib.md5(repr(key).encode()).hexdigest(),
+    )
+
+
+def test_a3_ranked_beats_boolean_on_precision_at_1():
+    engine, targets = build_engine()
+    ranked_hits = 0
+    boolean_hits = 0
+    for term, target in targets.items():
+        results = engine.search(EXPERT, term, limit=1)
+        if results and (results[0].entity_type, results[0].entity_id) == target:
+            ranked_hits += 1
+        if boolean_first_hit(engine, term) == target:
+            boolean_hits += 1
+    total = len(targets)
+    assert ranked_hits / total >= 0.95  # TF-IDF finds the name hit
+    assert boolean_hits / total <= 0.5  # arbitrary order usually misses
+    assert ranked_hits > boolean_hits
+
+
+def test_a3_field_boost_matters():
+    """Disabling the name boost degrades precision@1 on this corpus."""
+    from repro.search.index import InvertedIndex
+
+    engine, targets = build_engine()
+    flat = SearchEngine()
+    flat.index = InvertedIndex(field_boosts={})  # no boosts
+    for document in engine.index.documents():
+        flat.index.add(document)
+
+    def precision(e):
+        hits = 0
+        for term, target in targets.items():
+            results = e.search(EXPERT, term, limit=1)
+            if results and (
+                results[0].entity_type, results[0].entity_id
+            ) == target:
+                hits += 1
+        return hits / len(targets)
+
+    assert precision(engine) >= precision(flat)
+
+
+def test_a3_bench_ranked_search(benchmark):
+    engine, targets = build_engine(queries=30, noise_per_query=60)
+
+    results = benchmark(engine.search, EXPERT, "markerterm7", limit=10)
+    assert results
+
+
+def test_a3_bench_boolean_candidates_only(benchmark):
+    engine, _ = build_engine(queries=30, noise_per_query=60)
+
+    candidates = benchmark(engine.index.candidates, "markerterm7")
+    assert candidates

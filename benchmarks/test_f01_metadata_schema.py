@@ -1,0 +1,86 @@
+"""F1 — the core metadata schema (paper Figure 1).
+
+Figure 1 draws the chain project -> sample -> extract -> data resource
+-> workunit with bidirectional navigability.  The benchmark creates
+full chains through the service layer and traverses them both ways,
+asserting the relationships the figure shows (several extracts per
+sample, resources connected to extracts, workunits grouping resources
+with inputs marked).
+"""
+
+
+def make_chain(sys_, scientist, project, tag):
+    sample = sys_.samples.register_sample(
+        scientist, project.id, f"sample {tag}", species="Arabidopsis Thaliana"
+    )
+    extracts = sys_.samples.batch_register_extracts(
+        scientist, sample.id, [f"extract {tag} a", f"extract {tag} b"]
+    )
+    workunit = sys_.workunits.create(scientist, project.id, f"workunit {tag}")
+    resources = []
+    for i, extract in enumerate(extracts):
+        resources.append(
+            sys_.workunits.add_resource(
+                scientist, workunit.id, f"file_{tag}_{i}.raw", f"u://{tag}/{i}",
+                extract_id=extract.id, is_input=(i == 0),
+            )
+        )
+    return sample, extracts, workunit, resources
+
+
+def test_f1_schema_relationships(system):
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    sample, extracts, workunit, resources = make_chain(
+        sys_, scientist, project, "x"
+    )
+    # Several extracts of one sample (paper: different procedures).
+    assert len(sys_.samples.extracts_of_sample(scientist, sample.id)) == 2
+    # Resources are connected to extracts and grouped in the workunit.
+    stored = sys_.workunits.resources_of(scientist, workunit.id)
+    assert {r.extract_id for r in stored} == {e.id for e in extracts}
+    # Input marking partitions the workunit's resources.
+    inputs = sys_.workunits.resources_of(scientist, workunit.id, inputs=True)
+    outputs = sys_.workunits.resources_of(scientist, workunit.id, inputs=False)
+    assert len(inputs) == 1 and len(outputs) == 1
+    # Indirect project association of extracts via their sample.
+    project_extracts = sys_.samples.extracts_of_project(scientist, project.id)
+    assert {e.id for e in project_extracts} == {e.id for e in extracts}
+
+
+def test_f1_bench_create_full_chain(benchmark, system):
+    """Creating one complete figure-1 chain through the service layer."""
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    counter = iter(range(10_000_000))
+
+    def chain():
+        return make_chain(sys_, scientist, project, f"t{next(counter)}")
+
+    sample, extracts, workunit, resources = benchmark.pedantic(chain, rounds=30, iterations=1)
+    assert len(resources) == 2
+
+
+def test_f1_bench_bidirectional_traversal(benchmark, system):
+    """Walking resource -> extract -> sample -> project and back down."""
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    for tag in range(20):
+        make_chain(sys_, scientist, project, str(tag))
+    db = sys_.db
+
+    def traverse():
+        hops = 0
+        for resource in db.query("data_resource").limit(20).all():
+            extract = db.get("extract", resource["extract_id"])
+            sample = db.get("sample", extract["sample_id"])
+            project_row = db.get("project", sample["project_id"])
+            # ... and back down: all samples of that project.
+            hops += (
+                db.query("sample")
+                .where("project_id", "=", project_row["id"])
+                .count()
+            )
+        return hops
+
+    assert benchmark(traverse) > 0

@@ -1,0 +1,91 @@
+"""F2 — Register Sample (paper Figure 2).
+
+The form registers a sample with species, free attributes and
+controlled-vocabulary annotations — including creating a missing
+annotation inline.  Benchmarked: single registration, cloning, and
+batch registration (the three entry styles the demo shows).
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+
+
+def test_f2_registration_with_inline_annotation(system):
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    annotation, _ = sys_.annotations.create_annotation(
+        scientist, attribute.id, "Hopeless"
+    )
+    sample = sys_.samples.register_sample(
+        scientist, project.id, "col0",
+        species="Arabidopsis Thaliana",
+        attributes={"ecotype": "Columbia-0"},
+        annotation_ids=[annotation.id],
+    )
+    assert [
+        a.value for a in sys_.annotations.annotations_for("sample", sample.id)
+    ] == ["Hopeless"]
+    # The new annotation is pending expert review (Figure 4 queue).
+    assert annotation.status == "pending"
+
+
+def test_f2_duplicate_rejected(system):
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    sys_.samples.register_sample(scientist, project.id, "s")
+    with pytest.raises(ValidationError):
+        sys_.samples.register_sample(scientist, project.id, "s")
+
+
+def test_f2_bench_register_sample(benchmark, system):
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    counter = iter(range(10_000_000))
+
+    def register():
+        return sys_.samples.register_sample(
+            scientist, project.id, f"sample {next(counter)}",
+            species="Arabidopsis Thaliana",
+            attributes={"treatment": "light"},
+        )
+
+    sample = benchmark.pedantic(register, rounds=50, iterations=1)
+    assert sample.id is not None
+
+
+def test_f2_bench_clone_sample(benchmark, system):
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    original = sys_.samples.register_sample(
+        scientist, project.id, "original", species="Arabidopsis Thaliana",
+        attributes={"treatment": "light", "ecotype": "Col-0"},
+    )
+    counter = iter(range(10_000_000))
+
+    def clone():
+        return sys_.samples.clone_sample(
+            scientist, original.id, f"clone {next(counter)}"
+        )
+
+    clone_result = benchmark.pedantic(clone, rounds=50, iterations=1)
+    assert clone_result.attributes == original.attributes
+
+
+def test_f2_bench_batch_registration(benchmark, system):
+    """Batch of 50 samples, atomically."""
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    counter = iter(range(10_000_000))
+
+    def batch():
+        base = next(counter)
+        return sys_.samples.batch_register_samples(
+            scientist, project.id,
+            [f"batch {base} sample {i}" for i in range(50)],
+            species="Mus musculus",
+        )
+
+    created = benchmark.pedantic(batch, rounds=10, iterations=1)
+    assert len(created) == 50

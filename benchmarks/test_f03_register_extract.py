@@ -1,0 +1,66 @@
+"""F3 — Register Extract (paper Figure 3).
+
+Extracts hang off samples; the paper stresses that the project
+association "helps to significantly reduce the set of values in
+drop-down menus".  Benchmarked: extract registration and the
+project-scoped drop-down query, with an assertion that scoping really
+shrinks the candidate list.
+"""
+
+
+def test_f3_project_scoping_shrinks_dropdown(system):
+    sys_, admin, scientist, expert = system
+    # Two projects, extracts in both; the form for project A must only
+    # offer project A's extracts.
+    project_a = sys_.projects.create(scientist, "A")
+    project_b = sys_.projects.create(scientist, "B")
+    for project, count in ((project_a, 5), (project_b, 20)):
+        sample = sys_.samples.register_sample(
+            scientist, project.id, f"sample of {project.name}"
+        )
+        sys_.samples.batch_register_extracts(
+            scientist, sample.id,
+            [f"{project.name} extract {i}" for i in range(count)],
+        )
+    scoped = sys_.samples.extracts_of_project(scientist, project_a.id)
+    assert len(scoped) == 5
+    total = sys_.db.count("extract")
+    assert total == 25  # unscoped would offer 5x more
+
+
+def test_f3_bench_register_extract(benchmark, system):
+    sys_, admin, scientist, expert = system
+    project = sys_.projects.create(scientist, "P")
+    sample = sys_.samples.register_sample(scientist, project.id, "s")
+    counter = iter(range(10_000_000))
+
+    def register():
+        return sys_.samples.register_extract(
+            scientist, sample.id, f"extract {next(counter)}",
+            procedure="TRIzol RNA extraction",
+        )
+
+    extract = benchmark.pedantic(register, rounds=50, iterations=1)
+    assert extract.sample_id == sample.id
+
+
+def test_f3_bench_project_scoped_dropdown(benchmark, system):
+    """Filling the extract drop-down for one project among many."""
+    sys_, admin, scientist, expert = system
+    target = sys_.projects.create(scientist, "target")
+    for p in range(5):
+        project = sys_.projects.create(scientist, f"noise {p}")
+        sample = sys_.samples.register_sample(scientist, project.id, "s")
+        sys_.samples.batch_register_extracts(
+            scientist, sample.id, [f"noise {p} e{i}" for i in range(40)]
+        )
+    sample = sys_.samples.register_sample(scientist, target.id, "s")
+    sys_.samples.batch_register_extracts(
+        scientist, sample.id, [f"target e{i}" for i in range(10)]
+    )
+
+    def dropdown():
+        return sys_.samples.extracts_of_project(scientist, target.id)
+
+    options = benchmark(dropdown)
+    assert len(options) == 10

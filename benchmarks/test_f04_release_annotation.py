@@ -1,0 +1,55 @@
+"""F4 — Release Annotation (paper Figure 4).
+
+Users extend vocabularies on the fly; an expert reviews and releases.
+Benchmarked: the release operation itself and scanning the pending
+review queue, with assertions that release makes the value appear in
+drop-downs and closes the expert's task.
+"""
+
+
+def test_f4_release_flow(system):
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    annotation, _ = sys_.annotations.create_annotation(
+        scientist, attribute.id, "Hopeless"
+    )
+    # Pending values are not offered in the form drop-down...
+    assert sys_.annotations.vocabulary(attribute.id) == []
+    # ...the expert has a task...
+    assert sys_.tasks.open_count(expert) == 1
+    released = sys_.annotations.release(expert, annotation.id)
+    # ...and release flips both.
+    assert released.status == "released"
+    assert [a.value for a in sys_.annotations.vocabulary(attribute.id)] == [
+        "Hopeless"
+    ]
+    assert sys_.tasks.open_count(expert) == 0
+
+
+def test_f4_bench_release(benchmark, system):
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    counter = iter(range(10_000_000))
+
+    def release():
+        annotation, _ = sys_.annotations.create_annotation(
+            scientist, attribute.id, f"value {next(counter)}"
+        )
+        return sys_.annotations.release(expert, annotation.id)
+
+    result = benchmark.pedantic(release, rounds=30, iterations=1)
+    assert result.status == "released"
+
+
+def test_f4_bench_pending_queue_scan(benchmark, system):
+    """Listing the expert's review queue over a grown vocabulary."""
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    for i in range(200):
+        sys_.annotations.create_annotation(
+            scientist, attribute.id, f"pending value number {i}"
+        )
+
+    queue = benchmark(sys_.annotations.pending_review)
+    assert len(queue) == 200
+    assert queue[0].id < queue[-1].id  # oldest first

@@ -1,0 +1,140 @@
+"""F5 — similar-annotation detection (paper Figure 5).
+
+"B-Fabric automatically detects similar annotations and recommends
+merging them."  Benchmarked: the pairwise similarity scan over a
+realistic vocabulary and the per-creation similar-to check; asserted:
+the paper's Hopeless/Hopeles pair is found, dissimilar values are not.
+"""
+
+import itertools
+import random
+
+from repro.annotations.similarity import SimilarityDetector
+
+_CONDITIONS = [
+    "hopeless", "drought stressed", "heat shocked", "starvation",
+    "hypoxic", "infected", "irradiated", "senescent", "regenerating",
+    "vaccinated", "anesthetized", "fermenting",
+]
+_CONTEXTS = [
+    "seedling", "rosette", "culture", "biopsy", "xenograft",
+    "suspension", "monolayer", "cohort",
+]
+
+
+def _misspell(rng, word):
+    """One realistic typo: drop, double, or swap a character."""
+    if len(word) < 3:
+        return word + word[-1]
+    position = rng.randrange(1, len(word) - 1)
+    kind = rng.randrange(3)
+    if kind == 0:
+        return word[:position] + word[position + 1:]
+    if kind == 1:
+        return word[:position] + word[position] + word[position:]
+    return (
+        word[:position] + word[position + 1] + word[position] + word[position + 2:]
+    )
+
+
+def build_vocabulary(size, duplicate_fraction=0.3, seed=7):
+    """A vocabulary where ~30% of values are misspelled duplicates.
+
+    Returns ``(rows, clusters)`` where *clusters* maps row id to the
+    canonical-value cluster it belongs to; a recommended merge pair is
+    *correct* iff both sides share a cluster.  Canonicals are distinct
+    condition/context combinations, so cross-cluster values are
+    genuinely dissimilar.
+    """
+    rng = random.Random(seed)
+    canonicals = [
+        f"{condition} {context}"
+        for condition, context in itertools.product(_CONDITIONS, _CONTEXTS)
+    ]
+    rng.shuffle(canonicals)
+    rows, clusters = [], {}
+    emitted: list[tuple[int, str, int]] = []  # (row_id, value, cluster)
+    values_seen = set()
+    next_canonical = 0
+    for i in range(size):
+        row_id = i + 1
+        if emitted and rng.random() < duplicate_fraction:
+            source_id, source_value, cluster = rng.choice(emitted)
+            value = _misspell(rng, source_value)
+            if value in values_seen:
+                value = value + "x"
+            rows.append({"id": row_id, "value": value, "status": "pending"})
+            clusters[row_id] = cluster
+        else:
+            value = canonicals[next_canonical % len(canonicals)]
+            next_canonical += 1
+            cluster = next_canonical
+            rows.append({"id": row_id, "value": value, "status": "released"})
+            clusters[row_id] = cluster
+            emitted.append((row_id, value, cluster))
+        values_seen.add(rows[-1]["value"])
+    return rows, clusters
+
+
+def duplicate_pairs(clusters):
+    """All same-cluster pairs — the ground truth for merge detection."""
+    by_cluster: dict[int, list[int]] = {}
+    for row_id, cluster in clusters.items():
+        by_cluster.setdefault(cluster, []).append(row_id)
+    pairs = set()
+    for members in by_cluster.values():
+        for a, b in itertools.combinations(sorted(members), 2):
+            pairs.add(frozenset((a, b)))
+    return pairs
+
+
+def test_f5_paper_pair_detected():
+    detector = SimilarityDetector()
+    rows = [
+        {"id": 1, "value": "Hopeless", "status": "released"},
+        {"id": 2, "value": "Hopeles", "status": "pending"},
+        {"id": 3, "value": "Diabetes", "status": "released"},
+    ]
+    recommendations = detector.recommendations(rows)
+    assert len(recommendations) == 1
+    assert (recommendations[0].keep_id, recommendations[0].merge_id) == (1, 2)
+    # Dissimilar pairs are not recommended.
+    assert not any(r.involves(3) for r in recommendations)
+
+
+def test_f5_detection_quality_on_synthetic_typos():
+    """Detection finds most injected misspellings, few false alarms."""
+    detector = SimilarityDetector()
+    rows, clusters = build_vocabulary(80)
+    truth = duplicate_pairs(clusters)
+    recommended = {
+        frozenset((r.keep_id, r.merge_id))
+        for r in detector.recommendations(rows)
+    }
+    assert truth, "synthetic corpus must contain duplicates"
+    recall = len(recommended & truth) / len(truth)
+    precision = len(recommended & truth) / max(len(recommended), 1)
+    assert recall >= 0.8
+    assert precision >= 0.9
+
+
+def test_f5_bench_vocabulary_scan(benchmark):
+    """The O(n^2) scan over a 150-value vocabulary."""
+    detector = SimilarityDetector()
+    rows, clusters = build_vocabulary(150)
+
+    recommendations = benchmark.pedantic(
+        detector.recommendations, args=(rows,), rounds=3, iterations=1
+    )
+    assert len(recommendations) >= len(duplicate_pairs(clusters)) * 0.5
+
+
+def test_f5_bench_similar_to_single_value(benchmark):
+    """The per-creation check a form triggers on every new value."""
+    detector = SimilarityDetector()
+    rows, _ = build_vocabulary(300)
+    probe = _misspell(random.Random(1), rows[0]["value"])
+
+    matches = benchmark(detector.similar_to, probe, rows)
+    assert matches
+    assert matches[0][1] >= detector.threshold

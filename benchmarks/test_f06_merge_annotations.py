@@ -1,0 +1,49 @@
+"""F6 — Merge Annotations (paper Figure 6).
+
+The expert merges two similar annotations, choosing the attributes of
+the result.  Benchmarked: the merge operation (transactional re-link +
+status flip); asserted: survivor selection, extra-attribute choice,
+released-survivor semantics.
+"""
+
+
+def seed_pair(sys_, scientist, expert, attribute, tag):
+    keep, _ = sys_.annotations.create_annotation(
+        scientist, attribute.id, f"hopeless {tag}",
+        extra={"severity": "high", "reviewed": False},
+    )
+    keep = sys_.annotations.release(expert, keep.id)
+    merge, _ = sys_.annotations.create_annotation(
+        scientist, attribute.id, f"hopeles {tag}",
+        extra={"severity": "terminal"},
+    )
+    return keep, merge
+
+
+def test_f6_merge_with_attribute_choice(system):
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    keep, merge = seed_pair(sys_, scientist, expert, attribute, "x")
+    # Figure 6: the expert picks attribute values for the merge result.
+    result = sys_.annotations.merge(
+        expert, keep.id, merge.id,
+        chosen_extra={"severity": "terminal", "reviewed": True},
+    )
+    assert result.extra == {"severity": "terminal", "reviewed": True}
+    merged = sys_.annotations.resolve(merge.id)
+    assert merged.id == keep.id
+
+
+def test_f6_bench_merge(benchmark, system):
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    counter = iter(range(10_000_000))
+
+    def merge():
+        keep, merge_ann = seed_pair(
+            sys_, scientist, expert, attribute, str(next(counter))
+        )
+        return sys_.annotations.merge(expert, keep.id, merge_ann.id)
+
+    result = benchmark.pedantic(merge, rounds=20, iterations=1)
+    assert result.status == "released"

@@ -1,0 +1,60 @@
+"""F7 — merged annotations re-associate objects (paper Figure 7).
+
+"When the two annotations merged, B-Fabric automatically associates the
+samples which were previously associated with the misspelled
+annotation."  Benchmarked: merge cost as a function of how many objects
+referenced the merged value; asserted: every referrer follows, no
+duplicates, atomicity.
+"""
+
+import pytest
+
+
+def seed(sys_, scientist, expert, attribute, referrers, tag):
+    project = sys_.projects.create(scientist, f"P {tag}")
+    keep, _ = sys_.annotations.create_annotation(
+        scientist, attribute.id, f"hopeless {tag}"
+    )
+    keep = sys_.annotations.release(expert, keep.id)
+    merge, _ = sys_.annotations.create_annotation(
+        scientist, attribute.id, f"hopeles {tag}"
+    )
+    samples = sys_.samples.batch_register_samples(
+        scientist, project.id, [f"s {tag} {i}" for i in range(referrers)]
+    )
+    for sample in samples:
+        sys_.annotations.annotate(scientist, merge.id, "sample", sample.id)
+    return keep, merge, samples
+
+
+def test_f7_all_referrers_follow(system):
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    keep, merge, samples = seed(sys_, scientist, expert, attribute, 25, "x")
+    sys_.annotations.merge(expert, keep.id, merge.id)
+    for sample in samples:
+        values = [
+            a.value
+            for a in sys_.annotations.annotations_for("sample", sample.id)
+        ]
+        assert values == [keep.value]
+    # The merged annotation keeps no links.
+    assert sys_.annotations.entities_for(merge.id) == []
+    assert len(sys_.annotations.entities_for(keep.id)) == 25
+
+
+@pytest.mark.parametrize("referrers", [10, 100])
+def test_f7_bench_merge_scales_with_referrers(benchmark, system, referrers):
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    counter = iter(range(10_000_000))
+
+    def merge():
+        keep, merge_ann, _ = seed(
+            sys_, scientist, expert, attribute, referrers,
+            str(next(counter)),
+        )
+        return sys_.annotations.merge(expert, keep.id, merge_ann.id)
+
+    result = benchmark.pedantic(merge, rounds=3, iterations=1)
+    assert len(sys_.annotations.entities_for(result.id)) == referrers

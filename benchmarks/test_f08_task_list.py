@@ -1,0 +1,54 @@
+"""F8 — the task list (paper Figure 8).
+
+"As soon as a new annotation is added to the vocabulary, a new task to
+release this annotation appears in the task list of the corresponding
+expert."  Benchmarked: event-to-task derivation cost and inbox listing
+over a large open-task population; asserted: derivation, role routing,
+auto-completion.
+"""
+
+
+def test_f8_derivation_and_completion(system):
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    annotation, _ = sys_.annotations.create_annotation(
+        scientist, attribute.id, "Hopeless"
+    )
+    inbox = sys_.tasks.inbox(expert)
+    assert [t.kind for t in inbox] == ["release_annotation"]
+    # Scientists do not see expert work.
+    assert sys_.tasks.inbox(scientist) == []
+    # The review outcome closes the task without touching the task list.
+    sys_.annotations.release(expert, annotation.id)
+    assert sys_.tasks.inbox(expert) == []
+
+
+def test_f8_bench_event_to_task(benchmark, system):
+    """Annotation creation including task derivation and indexing."""
+    sys_, admin, scientist, expert = system
+    attribute = sys_.annotations.define_attribute(expert, "Disease State")
+    counter = iter(range(10_000_000))
+
+    def create():
+        annotation, _ = sys_.annotations.create_annotation(
+            scientist, attribute.id, f"unique value {next(counter)}"
+        )
+        return annotation
+
+    annotation = benchmark.pedantic(create, rounds=30, iterations=1)
+    assert sys_.tasks.open_for_entity("annotation", annotation.id)
+
+
+def test_f8_bench_inbox_listing(benchmark, system):
+    """Listing one expert's inbox among 500 open tasks."""
+    sys_, admin, scientist, expert = system
+    for i in range(250):
+        sys_.tasks.create(
+            "release_annotation", f"expert task {i}", assignee_role="employee"
+        )
+        sys_.tasks.create(
+            "todo", f"personal task {i}", assignee_id=scientist.user_id
+        )
+
+    inbox = benchmark(sys_.tasks.inbox, expert)
+    assert len(inbox) == 250

@@ -1,0 +1,84 @@
+"""F9 — Create Workunit by importing instrument files (paper Figure 9).
+
+The demo fetches files from the Affymetrix GeneChip instrument into a
+new workunit.  Benchmarked: provider listing with relevance filtering,
+copy-mode import (bytes + checksums into the managed store) and
+link-mode import; asserted: both modes, checksum integrity, workunit
+grouping.
+"""
+
+from repro.dataimport import RelevanceFilter
+
+
+def test_f9_copy_and_link_modes(demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    copied, copied_resources, _ = sys_.imports.import_files(
+        scientist, project.id, "GeneChip", ["scan01_a.cel"],
+        workunit_name="copied", mode="copy",
+    )
+    linked, linked_resources, _ = sys_.imports.import_files(
+        scientist, project.id, "GeneChip", ["scan01_b.cel"],
+        workunit_name="linked", mode="link",
+    )
+    copy_resource = copied_resources[0]
+    assert copy_resource.storage == "internal"
+    assert sys_.store.verify(copy_resource.uri, copy_resource.checksum)
+    link_resource = linked_resources[0]
+    assert link_resource.storage == "linked"
+    assert link_resource.uri.startswith("genechip://")
+
+
+def test_f9_relevance_filter_restricts_listing(demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    all_files = sys_.imports.browse("GeneChip")
+    only_cel = sys_.imports.browse(
+        "GeneChip", RelevanceFilter(extensions=["cel"])
+    )
+    assert len(only_cel) < len(all_files)
+    assert all(f.kind == "cel" for f in only_cel)
+
+
+def test_f9_bench_provider_listing(benchmark, system):
+    """Listing a large instrument store through the relevance filter."""
+    from repro.dataimport import AffymetrixGeneChipProvider
+
+    sys_, admin, scientist, expert = system
+    sys_.imports.register_provider(
+        AffymetrixGeneChipProvider(
+            "BigChip", runs=200,
+            relevance=RelevanceFilter(extensions=["cel"], max_files=50),
+        )
+    )
+
+    files = benchmark(sys_.imports.browse, "BigChip")
+    assert len(files) == 50
+
+
+def test_f9_bench_copy_import(benchmark, demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    counter = iter(range(10_000_000))
+
+    def import_copy():
+        return sys_.imports.import_files(
+            scientist, project.id, "GeneChip",
+            ["scan01_a.cel", "scan01_b.cel"],
+            workunit_name=f"copy import {next(counter)}", mode="copy",
+        )
+
+    workunit, resources, _ = benchmark.pedantic(import_copy, rounds=20, iterations=1)
+    assert all(r.checksum for r in resources)
+
+
+def test_f9_bench_link_import(benchmark, demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    counter = iter(range(10_000_000))
+
+    def import_link():
+        return sys_.imports.import_files(
+            scientist, project.id, "GeneChip",
+            ["scan01_a.cel", "scan01_b.cel"],
+            workunit_name=f"link import {next(counter)}", mode="link",
+        )
+
+    workunit, resources, _ = benchmark.pedantic(import_link, rounds=20, iterations=1)
+    assert all(not r.checksum for r in resources)

@@ -1,0 +1,50 @@
+"""F10 — the assign-extracts import workflow (paper Figure 10).
+
+"B-Fabric implements the data import via workflows...  The next step to
+be taken by the user is highlighted."  Benchmarked: workflow start +
+auto-chaining, stepping through to completion, and rendering the
+highlighted representation; asserted: the highlighted step matches the
+instance state at every point.
+"""
+
+from repro.workflow.render import render_ascii
+
+
+def test_f10_workflow_tracks_import(demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    workunit, resources, instance = sys_.imports.import_files(
+        scientist, project.id, "GeneChip", ["scan01_a.cel", "scan01_b.cel"],
+        workunit_name="chips",
+    )
+    # The fetch step auto-completed; the user step is highlighted.
+    assert instance.current_step == "assign_extracts"
+    definition = sys_.workflow.definition("data_import")
+    drawing = render_ascii(definition, instance.current_step)
+    assert "▶[Assign extracts]" in drawing
+    history = sys_.workflow.history(instance.id)
+    assert [e.action for e in history] == ["fetched"]
+
+    sys_.imports.apply_assignments(scientist, workunit.id)
+    finished = sys_.workflow.get(instance.id)
+    assert finished.status == "completed"
+    assert [e.action for e in sys_.workflow.history(instance.id)] == [
+        "fetched", "save",
+    ]
+
+
+def test_f10_bench_workflow_start_with_auto_chain(benchmark, system):
+    sys_, admin, scientist, expert = system
+
+    def start():
+        return sys_.workflow.start(admin, "data_import")
+
+    instance = benchmark(start)
+    assert instance.current_step == "assign_extracts"
+
+
+def test_f10_bench_render_highlighted(benchmark, system):
+    sys_, admin, scientist, expert = system
+    definition = sys_.workflow.definition("data_import")
+
+    drawing = benchmark(render_ascii, definition, "assign_extracts")
+    assert "▶" in drawing

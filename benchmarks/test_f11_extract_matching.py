@@ -1,0 +1,75 @@
+"""F11 — intelligent extract assignment (paper Figure 11).
+
+"He gets already the best matches between data resources and extract
+names.  Typically he just needs to press the save button."  Benchmarked:
+the one-to-one matching over growing populations; asserted: accuracy on
+realistic lab naming (file names vs. human-entered extract names).
+"""
+
+import random
+
+from repro.dataimport.matching import propose_assignments
+
+
+def lab_corpus(n, seed=11):
+    """(resources, extracts, truth) with realistic naming drift."""
+    rng = random.Random(seed)
+    treatments = ["light", "dark", "heat", "cold"]
+    resources, extracts, truth = {}, {}, {}
+    for i in range(n):
+        treatment = treatments[i % len(treatments)]
+        replicate = i // len(treatments) + 1
+        resource_id = i + 1
+        extract_id = 1000 + i
+        resources[resource_id] = f"wt_{treatment}_{replicate}.cel"
+        # Humans enter spaces and sometimes capitalize.
+        name = f"wt {treatment} {replicate}"
+        if rng.random() < 0.3:
+            name = name.title()
+        extracts[extract_id] = name
+        truth[resource_id] = extract_id
+    return resources, extracts, truth
+
+
+def test_f11_accuracy_on_lab_naming():
+    resources, extracts, truth = lab_corpus(40)
+    proposals = propose_assignments(resources, extracts)
+    assert len(proposals) == len(truth)
+    correct = sum(
+        1 for p in proposals if truth[p.resource_id] == p.extract_id
+    )
+    assert correct == len(truth)  # "just press save"
+
+
+def test_f11_one_to_one_invariant():
+    resources, extracts, _ = lab_corpus(30)
+    proposals = propose_assignments(resources, extracts)
+    assert len({p.resource_id for p in proposals}) == len(proposals)
+    assert len({p.extract_id for p in proposals}) == len(proposals)
+
+
+def test_f11_bench_matching_small(benchmark):
+    resources, extracts, _ = lab_corpus(16)
+    proposals = benchmark(propose_assignments, resources, extracts)
+    assert len(proposals) == 16
+
+
+def test_f11_bench_matching_large(benchmark):
+    """A large import: 120 files against 120 extracts (14k pairs)."""
+    resources, extracts, _ = lab_corpus(120)
+    proposals = benchmark(propose_assignments, resources, extracts)
+    assert len(proposals) == 120
+
+
+def test_f11_bench_end_to_end_proposals(benchmark, demo_project):
+    """Proposal generation through the service (includes ACL + queries)."""
+    sys_, scientist, expert, project, sample = demo_project
+    workunit, _, _ = sys_.imports.import_files(
+        scientist, project.id, "GeneChip",
+        ["scan01_a.cel", "scan01_b.cel", "scan02_a.cel", "scan02_b.cel"],
+        workunit_name="chips",
+    )
+
+    proposals = benchmark(sys_.imports.proposals_for, scientist, workunit.id)
+    assert len(proposals) == 4
+    assert all(p.score == 1.0 for p in proposals)

@@ -1,0 +1,87 @@
+"""F13 — Create Experiment Definition (paper Figure 13).
+
+"Defining an experiment consists of a selection of data resources,
+samples, extracts, and arbitrary number of attributes."  Benchmarked:
+definition with full cross-project validation of every selected object;
+asserted: selections snapshot correctly and foreign objects are
+rejected.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+
+INTERFACE = {
+    "inputs": ["resource"],
+    "parameters": [
+        {"name": "reference_group", "type": "text", "required": True},
+    ],
+}
+
+
+def register_app(sys_, scientist):
+    return sys_.applications.register_application(
+        scientist, name="two group analysis", connector="rserve",
+        executable="two_group_analysis", interface=INTERFACE,
+    )
+
+
+def imported_resources(sys_, scientist, project):
+    workunit, resources, _ = sys_.imports.import_files(
+        scientist, project.id, "GeneChip",
+        ["scan01_a.cel", "scan01_b.cel", "scan02_a.cel", "scan02_b.cel"],
+        workunit_name="chips",
+    )
+    sys_.imports.apply_assignments(scientist, workunit.id)
+    return resources
+
+
+def test_f13_definition_snapshot(demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    application = register_app(sys_, scientist)
+    resources = imported_resources(sys_, scientist, project)
+    extracts = sys_.samples.extracts_of_project(scientist, project.id)
+    experiment = sys_.experiments.define(
+        scientist, project.id, "gene and light effect",
+        application_id=application.id,
+        resource_ids=[r.id for r in resources],
+        sample_ids=[sample.id],
+        extract_ids=[e.id for e in extracts],
+        attributes={"species": "Arabidopsis Thaliana", "treatment": "light"},
+    )
+    assert len(experiment.resource_ids) == 4
+    assert experiment.sample_ids == [sample.id]
+    assert experiment.attributes["treatment"] == "light"
+
+
+def test_f13_foreign_selection_rejected(demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    application = register_app(sys_, scientist)
+    resources = imported_resources(sys_, scientist, project)
+    other = sys_.projects.create(scientist, "Other project")
+    with pytest.raises(ValidationError):
+        sys_.experiments.define(
+            scientist, other.id, "cross-project", application_id=application.id,
+            resource_ids=[resources[0].id],
+        )
+
+
+def test_f13_bench_define(benchmark, demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    application = register_app(sys_, scientist)
+    resources = imported_resources(sys_, scientist, project)
+    extracts = sys_.samples.extracts_of_project(scientist, project.id)
+    counter = iter(range(10_000_000))
+
+    def define():
+        return sys_.experiments.define(
+            scientist, project.id, f"experiment {next(counter)}",
+            application_id=application.id,
+            resource_ids=[r.id for r in resources],
+            sample_ids=[sample.id],
+            extract_ids=[e.id for e in extracts],
+            attributes={"species": "Arabidopsis Thaliana"},
+        )
+
+    experiment = benchmark.pedantic(define, rounds=50, iterations=1)
+    assert experiment.id is not None

@@ -1,0 +1,92 @@
+"""F15 — experiment workflow pending state (paper Figure 15).
+
+"Once the experiment is started, a corresponding workflow is initiated.
+The graphic presentation of the workflow is also used to show what is
+happening underneath."  Benchmarked: deferred start (observable pending
+state) and state/render queries; asserted: pending -> ready progression
+matches the workunit lifecycle.
+"""
+
+from repro.workflow.render import render_ascii, render_dot
+
+INTERFACE = {
+    "inputs": ["resource"],
+    "parameters": [
+        {"name": "reference_group", "type": "text", "required": True},
+    ],
+}
+
+
+def prepare_experiment(sys_, scientist, project):
+    application = sys_.applications.register_application(
+        scientist, name="two group analysis", connector="rserve",
+        executable="two_group_analysis", interface=INTERFACE,
+    )
+    workunit, resources, _ = sys_.imports.import_files(
+        scientist, project.id, "GeneChip",
+        ["scan01_a.cel", "scan01_b.cel"],
+        workunit_name="chips",
+    )
+    sys_.imports.apply_assignments(scientist, workunit.id)
+    return sys_.experiments.define(
+        scientist, project.id, "light effect",
+        application_id=application.id,
+        resource_ids=[r.id for r in resources],
+    )
+
+
+def deferred_run(sys_, scientist, project, *, experiment=None, name="deferred"):
+    if experiment is None:
+        experiment = prepare_experiment(sys_, scientist, project)
+    return sys_.experiments.run(
+        scientist, experiment.id, workunit_name=name,
+        parameters={"reference_group": "_a"}, defer=True,
+    )
+
+
+def test_f15_pending_then_ready(demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    workunit = deferred_run(sys_, scientist, project)
+    assert workunit.status == "pending"
+    instance = sys_.workflow.for_entity("workunit", workunit.id)[0]
+    assert instance.current_step == "pending"
+    definition = sys_.workflow.definition("run_experiment")
+    assert "▶[Pending]" in render_ascii(definition, instance.current_step)
+
+    workunit = sys_.experiments.execute_pending(scientist, workunit.id)
+    assert workunit.status == "available"
+    finished = sys_.workflow.get(instance.id)
+    assert finished.status == "completed"
+
+
+def test_f15_dot_rendering_highlights(system):
+    sys_, admin, scientist, expert = system
+    definition = sys_.workflow.definition("run_experiment")
+    dot = render_dot(definition, "pending")
+    assert 'label="Pending"' in dot
+    assert "fillcolor" in dot
+
+
+def test_f15_bench_deferred_start(benchmark, demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    experiment = prepare_experiment(sys_, scientist, project)
+    counter = iter(range(10_000_000))
+
+    def start():
+        return deferred_run(
+            sys_, scientist, project, experiment=experiment,
+            name=f"deferred {next(counter)}",
+        )
+
+    workunit = benchmark.pedantic(start, rounds=10, iterations=1)
+    assert workunit.status == "pending"
+
+
+def test_f15_bench_active_instance_listing(benchmark, system):
+    """The admin's 'what is running' query over many instances."""
+    sys_, admin, scientist, expert = system
+    for _ in range(200):
+        sys_.workflow.start(admin, "run_experiment")
+
+    active = benchmark(sys_.workflow.active_instances)
+    assert len(active) == 200

@@ -1,0 +1,87 @@
+"""F16 — results ready + zip export (paper Figure 16).
+
+"The results of the experiment is also presented to the user as a zip
+file so that they can easily be transferred to another medium."
+Benchmarked: zip packaging of a result workunit; asserted: archive
+contents and the availability guard.
+"""
+
+import io
+import zipfile
+
+import pytest
+
+from repro.errors import StateError
+
+INTERFACE = {
+    "inputs": ["resource"],
+    "parameters": [
+        {"name": "reference_group", "type": "text", "required": True},
+    ],
+}
+
+
+def available_run(sys_, scientist, project):
+    application = sys_.applications.register_application(
+        scientist, name="two group analysis", connector="rserve",
+        executable="two_group_analysis", interface=INTERFACE,
+    )
+    workunit, resources, _ = sys_.imports.import_files(
+        scientist, project.id, "GeneChip",
+        ["scan01_a.cel", "scan01_b.cel", "scan02_a.cel", "scan02_b.cel"],
+        workunit_name="chips",
+    )
+    sys_.imports.apply_assignments(scientist, workunit.id)
+    experiment = sys_.experiments.define(
+        scientist, project.id, "light effect",
+        application_id=application.id,
+        resource_ids=[r.id for r in resources],
+    )
+    return sys_.experiments.run(
+        scientist, experiment.id, workunit_name="results",
+        parameters={"reference_group": "_a"},
+    )
+
+
+def test_f16_zip_contents(demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    workunit = available_run(sys_, scientist, project)
+    payload = sys_.results.as_zip_bytes(scientist, workunit.id)
+    with zipfile.ZipFile(io.BytesIO(payload)) as archive:
+        names = set(archive.namelist())
+        assert "two_group_result.csv" in names
+        assert "report.txt" in names
+        assert "report/run_report.txt" in names
+        assert archive.testzip() is None
+        # The CSV is intact inside the archive.
+        header = archive.read("two_group_result.csv").decode().splitlines()[0]
+        assert header == "gene,log_fc,t_statistic,p_value"
+
+
+def test_f16_only_available_workunits_package(demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    pending = sys_.workunits.create(scientist, project.id, "not ready")
+    with pytest.raises(StateError):
+        sys_.results.as_zip_bytes(scientist, pending.id)
+
+
+def test_f16_bench_zip_packaging(benchmark, demo_project):
+    sys_, scientist, expert, project, sample = demo_project
+    workunit = available_run(sys_, scientist, project)
+
+    payload = benchmark(sys_.results.as_zip_bytes, scientist, workunit.id)
+    assert payload[:2] == b"PK"
+
+
+def test_f16_bench_write_zip_to_disk(benchmark, demo_project, tmp_path):
+    sys_, scientist, expert, project, sample = demo_project
+    workunit = available_run(sys_, scientist, project)
+    counter = iter(range(10_000_000))
+
+    def write():
+        return sys_.results.write_zip(
+            scientist, workunit.id, tmp_path / f"out_{next(counter)}.zip"
+        )
+
+    target = benchmark.pedantic(write, rounds=30, iterations=1)
+    assert target.is_file()

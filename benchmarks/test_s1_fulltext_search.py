@@ -1,0 +1,84 @@
+"""S1 — full-text search over the FGCZ-scale corpus (paper §2).
+
+Quick search, advanced search (field scoping, type filters, negation,
+OR), history, saved queries, export — measured over the 71k-object
+deployment's ~71k-document index.
+"""
+
+from repro.search.export import export_csv
+from repro.search.history import SearchHistory
+from repro.security.principals import Principal, Role
+
+EXPERT = Principal(user_id=1, login="user0000", role=Role.ADMIN)
+
+
+def test_s1_corpus_indexed(fgcz_deployment):
+    stats = fgcz_deployment.search.statistics()
+    assert stats["documents"] > 70_000
+    assert stats["terms"] > 100
+
+
+def test_s1_result_quality(fgcz_deployment):
+    results = fgcz_deployment.search.search(
+        EXPERT, "type:sample arabidopsis leaf", limit=10
+    )
+    assert results
+    assert all(r.entity_type == "sample" for r in results)
+    # Scores are descending.
+    scores = [r.score for r in results]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_s1_bench_quick_search(benchmark, fgcz_deployment):
+    results = benchmark(
+        fgcz_deployment.search.quick_search, EXPERT, "arabidopsis leaf"
+    )
+    assert results
+
+
+def test_s1_bench_advanced_search(benchmark, fgcz_deployment):
+    results = benchmark(
+        fgcz_deployment.search.search,
+        EXPERT,
+        "type:sample arabidopsis light OR dark -muscle",
+    )
+    assert isinstance(results, list)
+
+
+def test_s1_bench_common_term(benchmark, fgcz_deployment):
+    """A term present in tens of thousands of documents."""
+    results = benchmark(
+        fgcz_deployment.search.search, EXPERT, "workunit", limit=25
+    )
+    assert len(results) == 25
+
+
+def test_s1_bench_incremental_index_update(benchmark, fgcz_deployment):
+    """Re-indexing one changed document inside the big index."""
+    counter = iter(range(10_000_000))
+
+    def reindex_one():
+        n = next(counter)
+        fgcz_deployment.search.index_document(
+            "sample", 1, {"name": f"renamed sample {n}", "species": "test"},
+            project_id=1,
+        )
+
+    benchmark.pedantic(reindex_one, rounds=200, iterations=1)
+
+
+def test_s1_bench_export(benchmark, fgcz_deployment):
+    results = fgcz_deployment.search.search(EXPERT, "arabidopsis", limit=500)
+
+    text = benchmark(export_csv, results)
+    assert text.count("\n") == len(results) + 1
+
+
+def test_s1_history_and_saved_queries(fgcz_deployment):
+    history = SearchHistory()
+    for query in ("arabidopsis", "leaf", "arabidopsis"):
+        history.record(query)
+    assert history.entries() == ["arabidopsis", "leaf"]
+    fgcz_deployment.saved_queries.save(EXPERT, "plants", "type:sample arabidopsis")
+    saved = fgcz_deployment.saved_queries.get(EXPERT, "plants")
+    assert fgcz_deployment.search.search(EXPERT, saved.query)

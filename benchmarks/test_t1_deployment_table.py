@@ -1,0 +1,69 @@
+"""T1 — the paper's Final-Remark deployment table.
+
+Paper (January 2010)::
+
+    Users 1555       Samples 3151
+    Projects 750     Extracts 3642
+    Institutes 224   Data Resources 40005
+    Organizations 59 Workunits 23979
+
+We regenerate a deployment with exactly these counts and benchmark the
+operations such a deployment must sustain: building it, the
+object-count query that renders the table itself, and the dominant
+read pattern (project-scoped listing over the largest table).
+"""
+
+from repro import BFabric
+from repro.workload import DeploymentGenerator, FGCZ_JANUARY_2010
+
+from conftest import fresh_system
+
+
+def test_t1_exact_paper_counts(fgcz_deployment):
+    """The generated deployment reproduces the table exactly."""
+    assert (
+        fgcz_deployment.deployment_statistics()
+        == FGCZ_JANUARY_2010.as_paper_table()
+    )
+
+
+def test_t1_referential_integrity_at_scale(fgcz_deployment):
+    assert fgcz_deployment.db.verify_integrity() == []
+
+
+def test_t1_bench_build_deployment(benchmark):
+    """Synthesize the full 71k-object deployment (1 round; ~seconds)."""
+
+    def build():
+        system = fresh_system()
+        return DeploymentGenerator(system, seed=2010).generate(
+            FGCZ_JANUARY_2010
+        )
+
+    counts = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert counts == FGCZ_JANUARY_2010.as_paper_table()
+
+
+def test_t1_bench_statistics_table(benchmark, fgcz_deployment):
+    """Rendering the Final-Remark table (count per object type)."""
+    counts = benchmark(fgcz_deployment.deployment_statistics)
+    assert counts["Data Resources"] == 40005
+
+
+def test_t1_bench_project_scoped_listing(benchmark, fgcz_deployment):
+    """The dominant read: resources of one project's workunits."""
+    db = fgcz_deployment.db
+    workunit_ids = db.query("workunit").where("project_id", "=", 1).pks()
+
+    def project_resources():
+        total = 0
+        for workunit_id in workunit_ids[:50]:
+            total += (
+                db.query("data_resource")
+                .where("workunit_id", "=", workunit_id)
+                .count()
+            )
+        return total
+
+    total = benchmark(project_resources)
+    assert total >= 0

@@ -1,0 +1,119 @@
+"""Annotation curation at facility scale (paper Figures 4-8).
+
+A center's vocabulary decays as dozens of scientists type free-text
+variants of the same concept.  This example simulates a month of sloppy
+vocabulary growth — misspellings, case variants, word-order swaps — and
+then plays the FGCZ employee role: work the task list, release good
+values, and merge the near-duplicates the system recommends, watching
+the samples re-associate automatically.
+
+Run with::
+
+    python examples/annotation_curation.py
+"""
+
+import random
+
+from repro import BFabric
+
+# Canonical disease states plus the kinds of variants users actually type.
+CANONICAL = {
+    "Hopeless": ["Hopeles", "hopeless ", "Hopelless"],
+    "Healthy": ["healty", "Healthy control"],
+    "Heat Shock": ["shock heat", "Heat-Shock"],
+    "Drought Stress": ["drought stres", "Drought  Stress"],
+}
+
+
+def main() -> None:
+    system = BFabric()
+    admin = system.bootstrap()
+    expert = system.add_user(
+        admin, login="curator", full_name="FGCZ Curator", role="employee"
+    )
+    rng = random.Random(42)
+    scientists = [
+        system.add_user(admin, login=f"sci{i}", full_name=f"Scientist {i}")
+        for i in range(6)
+    ]
+    attribute = system.annotations.define_attribute(
+        expert, "Disease State", description="State of the biological source"
+    )
+
+    # --- a month of vocabulary decay -----------------------------------------
+    project = system.projects.create(admin, "Cross-facility samples")
+    for scientist in scientists:
+        system.projects.add_member(admin, project.id, scientist.user_id)
+
+    sample_counter = 0
+    for canonical, variants in CANONICAL.items():
+        for value in [canonical] + variants:
+            author = rng.choice(scientists)
+            try:
+                annotation, similar = system.annotations.create_annotation(
+                    author, attribute.id, value
+                )
+            except Exception:
+                continue  # exact duplicate after normalization
+            if similar:
+                best, score = similar[0]
+                print(f"  {author.login} typed {value!r} — system warns: "
+                      f"similar to {best.value!r} ({score:.0%})")
+            # Each annotation gets used on a couple of samples.
+            for _ in range(rng.randint(1, 3)):
+                sample_counter += 1
+                sample = system.samples.register_sample(
+                    author, project.id, f"sample {sample_counter:03d}",
+                    species="Homo sapiens",
+                )
+                system.annotations.annotate(
+                    author, annotation.id, "sample", sample.id
+                )
+
+    print(f"\nvocabulary now holds "
+          f"{len(system.annotations.vocabulary(attribute.id, include_pending=True))}"
+          f" values; {sample_counter} samples annotated")
+
+    # --- the expert works the task list (Figure 8) ----------------------------
+    inbox = system.tasks.inbox(expert)
+    print(f"\nexpert task list: {len(inbox)} open tasks")
+    for task in inbox[:5]:
+        print(f"  - {task.title}")
+
+    # --- merge recommendations (Figures 5-7) -----------------------------------
+    merged = 0
+    while True:
+        recommendations = system.annotations.merge_recommendations(attribute.id)
+        if not recommendations:
+            break
+        rec = recommendations[0]
+        before = len(system.annotations.entities_for(rec.merge_id))
+        system.annotations.merge(expert, rec.keep_id, rec.merge_id)
+        after = len(system.annotations.entities_for(rec.keep_id))
+        merged += 1
+        print(f"merged {rec.merge_value!r} -> {rec.keep_value!r} "
+              f"({rec.score:.0%}); {before} links moved, survivor now "
+              f"annotates {after} objects")
+
+    # --- release whatever legitimate values remain -------------------------------
+    released = 0
+    for annotation in system.annotations.pending_review():
+        system.annotations.release(expert, annotation.id)
+        released += 1
+
+    clean = system.annotations.vocabulary(attribute.id)
+    print(f"\ncuration done: {merged} merges, {released} releases")
+    print("released vocabulary:", sorted(a.value for a in clean))
+    print(f"expert task list now: {system.tasks.open_count(expert)} open tasks")
+
+    # Every sample still carries exactly its (now canonical) annotation.
+    orphaned = 0
+    for row in system.db.rows("sample"):
+        annotations = system.annotations.annotations_for("sample", row["id"])
+        if any(a.status in ("merged", "rejected") for a in annotations):
+            orphaned += 1
+    print(f"samples pointing at dead annotations: {orphaned} (must be 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Drive the web portal end to end — optionally serve it on localhost.
+
+Without arguments the example walks an in-process browser through every
+demo screen (login, sample form with vocabularies, annotation review,
+import wizard, experiment run, search, admin dashboard) and prints what
+it saw.  With ``--serve [port]`` it additionally starts a real
+:mod:`wsgiref` HTTP server so you can click through the same screens
+yourself (user ``demo`` / password ``demo1234``).
+
+Run with::
+
+    python examples/portal_tour.py
+    python examples/portal_tour.py --serve 8080
+"""
+
+import sys
+import tempfile
+
+from repro import BFabric
+from repro.dataimport import AffymetrixGeneChipProvider
+from repro.portal import PortalApplication
+from repro.portal.testing import PortalClient
+
+
+def build_system(tmp: str) -> BFabric:
+    from repro.annotations.seed import seed_standard_vocabularies
+
+    system = BFabric(tmp)
+    admin = system.bootstrap(password="admin1234")
+    system.directory.set_password(admin, admin.user_id, "admin1234")
+    demo = system.add_user(
+        admin, login="demo", full_name="Demo Scientist", password="demo1234"
+    )
+    system.add_user(
+        admin, login="expert", full_name="FGCZ Expert", role="employee",
+        password="expert1234",
+    )
+    system.imports.register_provider(AffymetrixGeneChipProvider("GeneChip", runs=1))
+    # Starter vocabularies so the registration forms have drop-downs.
+    seed_standard_vocabularies(system.annotations, admin)
+    return system
+
+
+def step(title: str, response) -> None:
+    marker = "ok" if response.status in (200, 303) else f"HTTP {response.status}"
+    print(f"  [{marker:>8s}] {title}")
+
+
+def tour(system: BFabric) -> None:
+    portal = PortalApplication(system)
+    client = PortalClient(portal)
+
+    print("scientist session:")
+    step("login", client.login("demo", "demo1234"))
+    step("home with task list + quick search", client.get("/"))
+    step("create project", client.post(
+        "/projects", {"name": "Arabidopsis light response",
+                      "description": "demo"}))
+    step("register sample (Figure 2)", client.post(
+        "/projects/1/samples",
+        {"name": "col0 wildtype", "species": "Arabidopsis Thaliana",
+         "description": ""}))
+    for name in ("scan01 a", "scan01 b"):
+        step(f"register extract {name!r} (Figure 3)", client.post(
+            "/samples/1/extracts", {"name": name, "procedure": "TRIzol"}))
+    step("import wizard lists GeneChip files (Figure 9)",
+         client.get("/projects/1/import?provider=GeneChip"))
+    step("create workunit from import", client.post(
+        "/projects/1/import",
+        {"provider": "GeneChip", "workunit_name": "chips", "mode": "copy",
+         "file": ["scan01_a.cel", "scan01_b.cel"]}))
+    step("assign extracts, best matches preselected (Figures 10-11)",
+         client.post("/workunits/1/assign",
+                     {"extract_1": "1", "extract_2": "2"}))
+    step("register application (Figure 12)", client.post("/applications", {
+        "name": "two group analysis", "connector": "rserve",
+        "executable": "two_group_analysis", "description": "",
+        "interface": ('{"inputs": ["resource"], "parameters": '
+                      '[{"name": "reference_group", "type": "text", '
+                      '"required": true}]}')}))
+    step("define experiment (Figure 13)", client.post(
+        "/projects/1/experiments",
+        {"name": "light effect", "application_id": "1",
+         "attributes": '{"treatment": "light"}', "resource": ["1", "2"]}))
+    step("run experiment to Ready (Figures 14-16)", client.post(
+        "/experiments/1/run",
+        {"workunit_name": "results", "param_reference_group": "_a"}))
+    step("search with history", client.get("/search?q=arabidopsis"))
+    step("browse networked objects", client.get("/browse/sample/1"))
+
+    print("admin session:")
+    admin_client = PortalClient(portal)
+    step("login", admin_client.login("admin", "admin1234"))
+    step("dashboard with deployment table", admin_client.get("/admin"))
+    step("audit trail", admin_client.get("/admin/audit"))
+    step("workflow administration", admin_client.get("/admin/workflows"))
+
+    print("\nportal tour complete; deployment:",
+          system.deployment_statistics())
+
+
+def serve(system: BFabric, port: int) -> None:
+    from wsgiref.simple_server import make_server
+
+    portal = PortalApplication(system)
+    print(f"\nserving the B-Fabric portal on http://127.0.0.1:{port} "
+          "(demo/demo1234, expert/expert1234, admin/admin1234) — Ctrl-C stops")
+    with make_server("127.0.0.1", port, portal) as httpd:
+        httpd.serve_forever()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        system = build_system(tmp)
+        tour(system)
+        if "--serve" in sys.argv:
+            position = sys.argv.index("--serve")
+            port = int(sys.argv[position + 1]) if len(sys.argv) > position + 1 else 8080
+            serve(system, port)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Quickstart: the paper's §2 demo scenario in ~80 lines.
+
+A scientist studies the effect of a gene and of light on *Arabidopsis
+Thaliana*: register samples and extracts, import GeneChip scans, let the
+system match files to extracts, register an analysis application, run
+the experiment, and download the results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import io
+import tempfile
+import zipfile
+
+from repro import BFabric
+from repro.dataimport import AffymetrixGeneChipProvider
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        system = BFabric(tmp)  # durable: WAL + managed file store under tmp
+        admin = system.bootstrap()
+        scientist = system.add_user(
+            admin, login="plant_scientist", full_name="Plant Scientist"
+        )
+
+        # --- register project, samples, extracts (Figures 2-3) -------------
+        project = system.projects.create(
+            scientist, "Arabidopsis light response",
+            description="Effect of a certain gene and of light",
+        )
+        sample = system.samples.register_sample(
+            scientist, project.id, "col0 wildtype",
+            species="Arabidopsis Thaliana",
+            attributes={"ecotype": "Columbia-0"},
+        )
+        system.samples.batch_register_extracts(
+            scientist, sample.id,
+            ["scan01 a", "scan01 b", "scan02 a", "scan02 b"],
+            procedure="TRIzol RNA extraction",
+        )
+
+        # --- import instrument data (Figures 9-11) -------------------------
+        system.imports.register_provider(
+            AffymetrixGeneChipProvider("Affymetrix GeneChip", runs=2)
+        )
+        cel_files = [
+            f.name
+            for f in system.imports.browse("Affymetrix GeneChip")
+            if f.kind == "cel"
+        ]
+        workunit, resources, _ = system.imports.import_files(
+            scientist, project.id, "Affymetrix GeneChip", cel_files,
+            workunit_name="light experiment chips",
+        )
+        proposals = system.imports.proposals_for(scientist, workunit.id)
+        print(f"imported {len(resources)} files; "
+              f"{len(proposals)} extract assignments proposed")
+        system.imports.apply_assignments(scientist, workunit.id)  # "save"
+
+        # --- register the application (Figure 12) --------------------------
+        application = system.applications.register_application(
+            scientist,
+            name="two group analysis",
+            connector="rserve",
+            executable="two_group_analysis",
+            interface={
+                "inputs": ["resource"],
+                "parameters": [
+                    {"name": "reference_group", "type": "text",
+                     "required": True},
+                    {"name": "alpha", "type": "float", "default": 0.05},
+                ],
+            },
+        )
+
+        # --- define and run the experiment (Figures 13-16) -----------------
+        experiment = system.experiments.define(
+            scientist, project.id, "gene and light effect",
+            application_id=application.id,
+            resource_ids=[r.id for r in resources],
+            attributes={"species": "Arabidopsis Thaliana",
+                        "treatment": "light"},
+        )
+        result = system.experiments.run(
+            scientist, experiment.id,
+            workunit_name="two group results",
+            parameters={"reference_group": "_a"},
+        )
+        print(f"experiment run: workunit {result.id} is {result.status}")
+        print()
+        print(system.results.read_report(result.id))
+
+        payload = system.results.as_zip_bytes(scientist, result.id)
+        with zipfile.ZipFile(io.BytesIO(payload)) as archive:
+            print("results zip contains:", archive.namelist())
+
+        # --- search and statistics ------------------------------------------
+        hits = system.search.quick_search(scientist, "arabidopsis light")
+        print("\nquick search 'arabidopsis light':")
+        for hit in hits[:5]:
+            print(f"  {hit.entity_type:14s} {hit.label!r}  score={hit.score:.3f}")
+        print("\ndeployment statistics:", system.deployment_statistics())
+
+
+if __name__ == "__main__":
+    main()

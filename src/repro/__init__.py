@@ -1,0 +1,14 @@
+"""B-Fabric reproduction: integrated data and application management for
+life sciences (Tuerker et al., EDBT 2010 demo).
+
+The public entry point is :class:`repro.BFabric`; subsystems are usable
+standalone (``repro.storage`` is a general embedded relational engine,
+``repro.workflow`` a general state-machine workflow engine, ...).
+"""
+
+from repro.facade import BFabric
+from repro.security.principals import Principal, Role, SYSTEM
+
+__version__ = "1.0.0"
+
+__all__ = ["BFabric", "Principal", "Role", "SYSTEM", "__version__"]

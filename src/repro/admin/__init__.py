@@ -1,0 +1,11 @@
+"""Administrative functions (paper §2, Miscellaneous Functions).
+
+"B-Fabric provides a bunch of administrative functions to manage
+objects, workflows, errors, and maintain the system."
+"""
+
+from repro.admin.errors import ErrorRegistry, ErrorRecord
+from repro.admin.maintenance import MaintenanceService
+from repro.admin.reports import UsageReports
+
+__all__ = ["ErrorRegistry", "ErrorRecord", "MaintenanceService", "UsageReports"]

@@ -1,0 +1,69 @@
+"""The error registry: operational failures an admin should look at."""
+
+from __future__ import annotations
+
+from repro.orm import (
+    BoolField,
+    DateTimeField,
+    IntField,
+    JsonField,
+    Model,
+    Registry,
+    TextField,
+)
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+
+
+class ErrorRecord(Model):
+    """One recorded operational error."""
+
+    __table__ = "error_record"
+    id = IntField(primary_key=True)
+    at = DateTimeField()
+    source = TextField(nullable=False, index=True)  # subsystem name
+    message = TextField(nullable=False)
+    details = JsonField(default=dict)
+    resolved = BoolField(default=False)
+    resolved_by = IntField(foreign_key="user.id")
+    resolved_at = DateTimeField()
+
+
+class ErrorRegistry:
+    """Records and manages operational errors."""
+
+    def __init__(self, registry: Registry, *, clock: Clock | None = None):
+        self._clock = clock or SystemClock()
+        self._errors = registry.repository(ErrorRecord)
+
+    def report(
+        self, source: str, message: str, details: dict | None = None
+    ) -> ErrorRecord:
+        return self._errors.create(
+            at=self._clock.now(),
+            source=source,
+            message=message,
+            details=details or {},
+        )
+
+    def open_errors(self) -> list[ErrorRecord]:
+        return (
+            self._errors.query()
+            .where("resolved", "=", False)
+            .order_by("id")
+            .all()
+        )
+
+    def resolve(self, principal: Principal, error_id: int) -> ErrorRecord:
+        return self._errors.update(
+            error_id,
+            resolved=True,
+            resolved_by=principal.user_id,
+            resolved_at=self._clock.now(),
+        )
+
+    def counts_by_source(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self._errors.iter():
+            counts[record.source] = counts.get(record.source, 0) + 1
+        return counts

@@ -1,0 +1,76 @@
+"""System maintenance: integrity checks, reindexing, checkpointing."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.audit.log import AuditLog
+from repro.errors import AccessDenied
+from repro.search.engine import SearchEngine
+from repro.security.principals import Principal
+from repro.storage.database import Database
+from repro.workflow.engine import WorkflowEngine
+
+
+class MaintenanceService:
+    """Admin-only housekeeping over the whole deployment."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        audit: AuditLog,
+        search: SearchEngine | None = None,
+        workflow: WorkflowEngine | None = None,
+    ):
+        self._db = database
+        self._audit = audit
+        self._search = search
+        self._workflow = workflow
+
+    @staticmethod
+    def _require_admin(principal: Principal, what: str) -> None:
+        if not principal.is_admin:
+            raise AccessDenied(
+                f"only admins may {what}",
+                principal=principal.login,
+                permission="admin.maintenance",
+            )
+
+    def integrity_check(self, principal: Principal) -> list[str]:
+        """Cross-check rows, constraints and indexes; list problems."""
+        self._require_admin(principal, "run integrity checks")
+        problems = self._db.verify_integrity()
+        self._audit.record(
+            principal, "update", "system", 0,
+            f"integrity check: {len(problems)} problem(s)",
+        )
+        return problems
+
+    def rebuild_indexes(self, principal: Principal) -> None:
+        self._require_admin(principal, "rebuild indexes")
+        self._db.rebuild_indexes()
+        self._audit.record(principal, "update", "system", 0, "indexes rebuilt")
+
+    def checkpoint(self, principal: Principal):
+        """Snapshot the database and truncate the WAL."""
+        self._require_admin(principal, "checkpoint the database")
+        path = self._db.checkpoint()
+        self._audit.record(
+            principal, "update", "system", 0, f"checkpoint {path.name}"
+        )
+        return path
+
+    def dashboard(self, principal: Principal) -> dict[str, Any]:
+        """One status dict for the admin landing page."""
+        self._require_admin(principal, "view the dashboard")
+        report: dict[str, Any] = {"storage": self._db.statistics()}
+        if self._search is not None:
+            report["search"] = self._search.statistics()
+        if self._workflow is not None:
+            active = self._workflow.active_instances()
+            report["workflows"] = {
+                "active": len(active),
+                "definitions": self._workflow.definition_names(),
+            }
+        return report

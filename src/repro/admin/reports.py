@@ -1,0 +1,128 @@
+"""Facility usage reports.
+
+A center like FGCZ bills and plans by usage; these reports aggregate the
+deployment with the storage engine's group-by support: objects per
+project, storage by mode, activity by user, application popularity.
+Rendered by the admin dashboard and exportable as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any
+
+from repro.errors import AccessDenied
+from repro.security.principals import Principal
+from repro.storage.database import Database
+
+
+class UsageReports:
+    """Aggregated views over one deployment."""
+
+    def __init__(self, database: Database):
+        self._db = database
+
+    @staticmethod
+    def _require_expert(principal: Principal) -> None:
+        if not principal.is_expert:
+            raise AccessDenied(
+                "usage reports are for center staff",
+                principal=principal.login,
+                permission="admin.reports",
+            )
+
+    def objects_per_project(
+        self, principal: Principal, *, top: int = 10
+    ) -> list[dict[str, Any]]:
+        """The busiest projects by workunit count, with sample counts."""
+        self._require_expert(principal)
+        workunits = self._db.query("workunit").group_by("project_id")
+        samples = self._db.query("sample").group_by("project_id")
+        rows = []
+        for project_id, workunit_count in workunits.items():
+            project = self._db.get_or_none("project", project_id) or {}
+            rows.append(
+                {
+                    "project_id": project_id,
+                    "project": project.get("name", "?"),
+                    "workunits": workunit_count,
+                    "samples": samples.get(project_id, 0),
+                }
+            )
+        rows.sort(key=lambda r: (-r["workunits"], r["project_id"]))
+        return rows[:top]
+
+    def storage_by_mode(self, principal: Principal) -> dict[str, dict[str, Any]]:
+        """Resource count and bytes per storage mode (internal/linked/...)."""
+        self._require_expert(principal)
+        counts = self._db.query("data_resource").group_by("storage")
+        total_bytes = self._db.query("data_resource").group_by(
+            "storage", aggregate="sum", value_column="size_bytes"
+        )
+        return {
+            mode: {"resources": counts[mode], "bytes": total_bytes.get(mode, 0)}
+            for mode in counts
+        }
+
+    def activity_by_user(
+        self, principal: Principal, *, top: int = 10
+    ) -> list[dict[str, Any]]:
+        """Audit-trail activity per user."""
+        self._require_expert(principal)
+        per_user = self._db.query("audit_entry").group_by("user_login")
+        rows = [
+            {"user": login, "operations": count}
+            for login, count in per_user.items()
+        ]
+        rows.sort(key=lambda r: (-r["operations"], r["user"]))
+        return rows[:top]
+
+    def application_popularity(self, principal: Principal) -> list[dict[str, Any]]:
+        """Runs per registered application."""
+        self._require_expert(principal)
+        per_application = (
+            self._db.query("workunit")
+            .where("application_id", "is_null", False)
+            .group_by("application_id")
+        )
+        rows = []
+        for application_id, runs in per_application.items():
+            application = self._db.get_or_none("application", application_id) or {}
+            rows.append(
+                {
+                    "application_id": application_id,
+                    "application": application.get("name", "?"),
+                    "runs": runs,
+                }
+            )
+        rows.sort(key=lambda r: (-r["runs"], r["application_id"]))
+        return rows
+
+    def vocabulary_health(self, principal: Principal) -> dict[str, int]:
+        """Annotation lifecycle counts — how dirty is the vocabulary?"""
+        self._require_expert(principal)
+        return self._db.query("annotation").group_by("status")
+
+    def full_report(self, principal: Principal) -> dict[str, Any]:
+        self._require_expert(principal)
+        return {
+            "projects": self.objects_per_project(principal),
+            "storage": self.storage_by_mode(principal),
+            "users": self.activity_by_user(principal),
+            "applications": self.application_popularity(principal),
+            "vocabulary": self.vocabulary_health(principal),
+        }
+
+    def export_csv(self, principal: Principal) -> str:
+        """The project report as CSV for spreadsheets."""
+        rows = self.objects_per_project(principal, top=10_000)
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(["project_id", "project", "workunits", "samples"])
+        for row in rows:
+            writer.writerow(
+                [row["project_id"], row["project"], row["workunits"],
+                 row["samples"]]
+            )
+        return buffer.getvalue()

@@ -1,0 +1,29 @@
+"""Annotation management: vocabularies, review, similarity, merging.
+
+The paper's "minimal metadata schema approach" pairs free extensibility
+with curation (Figures 2–7):
+
+* every annotated attribute (Disease State, Tissue, ...) has an
+  extensible controlled vocabulary;
+* any user may add a missing value while filling a form — it enters the
+  vocabulary as *pending* and an expert must review and *release* it;
+* near-duplicate values (``Hopeless`` vs. ``Hopeles``) are detected
+  automatically and recommended for merging;
+* merging re-associates every object that referenced the merged value —
+  samples annotated with the misspelling follow automatically.
+"""
+
+from repro.annotations.service import (
+    AnnotationService,
+    ANNOTATION_STATES,
+)
+from repro.annotations.similarity import SimilarityDetector, MergeRecommendation
+from repro.annotations.schema import annotation_models
+
+__all__ = [
+    "AnnotationService",
+    "ANNOTATION_STATES",
+    "SimilarityDetector",
+    "MergeRecommendation",
+    "annotation_models",
+]

@@ -1,0 +1,71 @@
+"""Persistent schema of the annotation subsystem."""
+
+from __future__ import annotations
+
+from repro.orm import (
+    DateTimeField,
+    IntField,
+    JsonField,
+    Model,
+    TextField,
+)
+
+
+class AttributeDef(Model):
+    """A named annotated attribute, e.g. "Disease State".
+
+    ``applies_to`` scopes the attribute to an entity type so that forms
+    only offer relevant vocabularies (sample, extract, resource, ...).
+    """
+
+    __table__ = "attribute_def"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False)
+    applies_to = TextField(nullable=False, default="sample")
+    description = TextField(default="")
+    created_at = DateTimeField()
+    __unique_together__ = [("name", "applies_to")]
+
+
+class Annotation(Model):
+    """One vocabulary value of one attribute.
+
+    Lifecycle: ``pending`` (user-created, awaiting expert review) →
+    ``released`` | ``rejected``; a released/pending value can later
+    become ``merged`` into another, recorded in ``merged_into``.
+    """
+
+    __table__ = "annotation"
+    id = IntField(primary_key=True)
+    attribute_id = IntField(nullable=False, foreign_key="attribute_def.id")
+    value = TextField(nullable=False)
+    status = TextField(
+        nullable=False,
+        default="pending",
+        check=lambda v: v in ("pending", "released", "rejected", "merged"),
+    )
+    created_by = IntField(nullable=False, foreign_key="user.id")
+    created_at = DateTimeField()
+    released_by = IntField(foreign_key="user.id")
+    released_at = DateTimeField()
+    merged_into = IntField(foreign_key="annotation.id")
+    #: Extra attribute values carried by the annotation (paper Figure 6
+    #: shows merging choosing among per-annotation attributes).
+    extra = JsonField(default=dict)
+    __unique_together__ = [("attribute_id", "value")]
+
+
+class AnnotationLink(Model):
+    """Associates an annotation value with an annotated object."""
+
+    __table__ = "annotation_link"
+    id = IntField(primary_key=True)
+    annotation_id = IntField(nullable=False, foreign_key="annotation.id")
+    entity_type = TextField(nullable=False)
+    entity_id = IntField(nullable=False)
+    __unique_together__ = [("annotation_id", "entity_type", "entity_id")]
+    __indexes__ = [("entity_type", "entity_id")]
+
+
+def annotation_models() -> list[type[Model]]:
+    return [AttributeDef, Annotation, AnnotationLink]

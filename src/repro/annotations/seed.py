@@ -1,0 +1,67 @@
+"""Standard starter vocabularies.
+
+The paper rejects heavyweight standard schemas (MIAME, Gene Ontology)
+for a "minimal metadata schema approach" — but a fresh deployment still
+wants sensible starter vocabularies so the first forms have drop-downs.
+These are the attribute sets the FGCZ-style screens show (Disease
+State, Tissue, Treatment, Extraction Method), seeded as *released*
+values by an expert principal.
+"""
+
+from __future__ import annotations
+
+from repro.annotations.service import AnnotationService
+from repro.errors import BFabricError
+from repro.security.principals import Principal
+
+#: attribute name -> (applies_to, values)
+STANDARD_VOCABULARIES: dict[str, tuple[str, tuple[str, ...]]] = {
+    "Disease State": (
+        "sample",
+        ("healthy", "infected", "tumor", "control"),
+    ),
+    "Tissue": (
+        "sample",
+        ("leaf", "root", "liver", "brain", "muscle", "whole organism",
+         "cell culture"),
+    ),
+    "Treatment": (
+        "sample",
+        ("untreated", "light", "dark", "heat", "cold", "drought"),
+    ),
+    "Extraction Method": (
+        "extract",
+        ("TRIzol", "phenol chloroform", "column purification",
+         "protein digest"),
+    ),
+}
+
+
+def seed_standard_vocabularies(
+    annotations: AnnotationService, expert: Principal
+) -> dict[str, int]:
+    """Create the standard attributes + released values.
+
+    Idempotent: existing attributes/values are left alone.  Returns
+    ``{attribute name: values released now}``.
+    """
+    report: dict[str, int] = {}
+    for name, (applies_to, values) in STANDARD_VOCABULARIES.items():
+        try:
+            attribute = annotations.attribute_by_name(name, applies_to)
+        except BFabricError:
+            attribute = annotations.define_attribute(
+                expert, name, applies_to=applies_to
+            )
+        released = 0
+        for value in values:
+            try:
+                annotation, _similar = annotations.create_annotation(
+                    expert, attribute.id, value
+                )
+            except BFabricError:
+                continue  # already present
+            annotations.release(expert, annotation.id)
+            released += 1
+        report[name] = released
+    return report

@@ -1,0 +1,404 @@
+"""The annotation service: vocabulary CRUD, review lifecycle, merging.
+
+Events published on the bus (consumed by the task system and indexer):
+
+* ``annotation.created`` — a new pending value needs expert review;
+* ``annotation.released`` / ``annotation.rejected`` — review done;
+* ``annotation.merged`` — two values were merged; links re-pointed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.annotations.schema import Annotation, AnnotationLink, AttributeDef
+from repro.annotations.similarity import MergeRecommendation, SimilarityDetector
+from repro.audit.log import AuditLog
+from repro.errors import (
+    AccessDenied,
+    EntityNotFound,
+    StateError,
+    ValidationError,
+)
+from repro.orm import Registry
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+from repro.util.events import EventBus
+from repro.util.text import normalize_whitespace
+
+ANNOTATION_STATES = ("pending", "released", "rejected", "merged")
+
+
+class AnnotationService:
+    """All operations on controlled vocabularies."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        audit: AuditLog,
+        events: EventBus,
+        clock: Clock | None = None,
+        detector: SimilarityDetector | None = None,
+    ):
+        self._registry = registry
+        self._db = registry.database
+        self._audit = audit
+        self._events = events
+        self._clock = clock or SystemClock()
+        self.detector = detector or SimilarityDetector()
+        self._attributes = registry.repository(AttributeDef)
+        self._annotations = registry.repository(Annotation)
+        self._links = registry.repository(AnnotationLink)
+
+    # -- attribute definitions ---------------------------------------------------
+
+    def define_attribute(
+        self,
+        principal: Principal,
+        name: str,
+        *,
+        applies_to: str = "sample",
+        description: str = "",
+    ) -> AttributeDef:
+        """Declare an annotated attribute (expert operation)."""
+        if not principal.is_expert:
+            raise AccessDenied(
+                "only experts define attributes",
+                principal=principal.login,
+                permission="annotation.define_attribute",
+            )
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("attribute name required", {"name": "required"})
+        attribute = self._attributes.create(
+            name=name,
+            applies_to=applies_to,
+            description=description,
+            created_at=self._clock.now(),
+        )
+        self._audit.record(
+            principal, "create", "attribute_def", attribute.id, f"attribute {name}"
+        )
+        return attribute
+
+    def attribute_by_name(self, name: str, applies_to: str = "sample") -> AttributeDef:
+        attribute = self._attributes.find_one(name=name, applies_to=applies_to)
+        if attribute is None:
+            raise EntityNotFound("AttributeDef", f"{name}/{applies_to}")
+        return attribute
+
+    def attributes_for(self, applies_to: str) -> list[AttributeDef]:
+        return (
+            self._attributes.query()
+            .where("applies_to", "=", applies_to)
+            .order_by("name")
+            .all()
+        )
+
+    # -- vocabulary --------------------------------------------------------------
+
+    def vocabulary(
+        self, attribute_id: int, *, include_pending: bool = False
+    ) -> list[Annotation]:
+        """Values offered in drop-down menus: released (+ pending if asked)."""
+        statuses = ("released", "pending") if include_pending else ("released",)
+        return (
+            self._annotations.query()
+            .where("attribute_id", "=", attribute_id)
+            .where("status", "in", statuses)
+            .order_by("value")
+            .all()
+        )
+
+    def create_annotation(
+        self,
+        principal: Principal,
+        attribute_id: int,
+        value: str,
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> tuple[Annotation, list[tuple[Annotation, float]]]:
+        """Add a vocabulary value; returns ``(annotation, similar)``.
+
+        Every user-created value starts ``pending`` — "all annotations
+        created by users must be reviewed by an expert".  The similar
+        list carries existing values the new one nearly duplicates, so
+        UIs can warn immediately (the merge recommendation proper is
+        surfaced to the expert at review time).
+        """
+        if not self._attributes.exists(attribute_id):
+            raise EntityNotFound("AttributeDef", attribute_id)
+        value = normalize_whitespace(value)
+        if not value:
+            raise ValidationError("annotation value required", {"value": "required"})
+        duplicate = self._annotations.find_one(
+            attribute_id=attribute_id, value=value
+        )
+        if duplicate is not None:
+            raise ValidationError(
+                f"value {value!r} already exists for this attribute",
+                {"value": "duplicate"},
+            )
+        annotation = self._annotations.create(
+            attribute_id=attribute_id,
+            value=value,
+            status="pending",
+            created_by=principal.user_id,
+            created_at=self._clock.now(),
+            extra=extra or {},
+        )
+        self._audit.record(
+            principal, "create", "annotation", annotation.id, f"annotation {value!r}"
+        )
+        similar_rows = self.detector.similar_to(
+            value,
+            [
+                a.to_row()
+                for a in self.vocabulary(attribute_id, include_pending=True)
+                if a.id != annotation.id
+            ],
+        )
+        similar = [
+            (Annotation.from_row(row), score) for row, score in similar_rows
+        ]
+        self._events.publish(
+            "annotation.created",
+            annotation=annotation,
+            principal=principal,
+            similar=similar,
+        )
+        return annotation, similar
+
+    # -- review lifecycle ------------------------------------------------------------
+
+    def pending_review(self) -> list[Annotation]:
+        """The expert's review queue, oldest first."""
+        return (
+            self._annotations.query()
+            .where("status", "=", "pending")
+            .order_by("id")
+            .all()
+        )
+
+    def _require_expert(self, principal: Principal, operation: str) -> None:
+        if not principal.is_expert:
+            raise AccessDenied(
+                f"only experts may {operation} annotations",
+                principal=principal.login,
+                permission=f"annotation.{operation}",
+            )
+
+    def release(self, principal: Principal, annotation_id: int) -> Annotation:
+        """Expert review outcome: the value is correct (paper Figure 4)."""
+        self._require_expert(principal, "release")
+        annotation = self._annotations.get(annotation_id)
+        if annotation.status != "pending":
+            raise StateError(
+                f"annotation {annotation_id} is {annotation.status}, not pending"
+            )
+        updated = self._annotations.update(
+            annotation_id,
+            status="released",
+            released_by=principal.user_id,
+            released_at=self._clock.now(),
+        )
+        self._audit.record(
+            principal, "update", "annotation", annotation_id,
+            f"released {annotation.value!r}",
+        )
+        self._events.publish(
+            "annotation.released", annotation=updated, principal=principal
+        )
+        return updated
+
+    def reject(self, principal: Principal, annotation_id: int) -> Annotation:
+        """Expert review outcome: the value is wrong; links are removed."""
+        self._require_expert(principal, "reject")
+        annotation = self._annotations.get(annotation_id)
+        if annotation.status != "pending":
+            raise StateError(
+                f"annotation {annotation_id} is {annotation.status}, not pending"
+            )
+        with self._db.transaction() as txn:
+            for link in self._links.find(annotation_id=annotation_id):
+                txn.delete(AnnotationLink.__table__, link.id)
+            txn.update(
+                Annotation.__table__, annotation_id, {"status": "rejected"}
+            )
+        updated = self._annotations.get(annotation_id)
+        self._audit.record(
+            principal, "update", "annotation", annotation_id,
+            f"rejected {annotation.value!r}",
+        )
+        self._events.publish(
+            "annotation.rejected", annotation=updated, principal=principal
+        )
+        return updated
+
+    # -- similarity & merge -------------------------------------------------------------
+
+    def merge_recommendations(
+        self, attribute_id: int | None = None
+    ) -> list[MergeRecommendation]:
+        """Near-duplicate pairs an expert should consider merging."""
+        query = self._annotations.query()
+        if attribute_id is not None:
+            query.where("attribute_id", "=", attribute_id)
+        rows = [a.to_row() for a in query.all()]
+        by_attribute: dict[int, list[dict]] = {}
+        for row in rows:
+            by_attribute.setdefault(row["attribute_id"], []).append(row)
+        recommendations: list[MergeRecommendation] = []
+        for group in by_attribute.values():
+            recommendations.extend(self.detector.recommendations(group))
+        recommendations.sort(key=lambda rec: (-rec.score, rec.keep_id))
+        return recommendations
+
+    def merge(
+        self,
+        principal: Principal,
+        keep_id: int,
+        merge_id: int,
+        *,
+        chosen_extra: dict[str, Any] | None = None,
+    ) -> Annotation:
+        """Merge annotation *merge_id* into *keep_id* (paper Figures 6–7).
+
+        Every object annotated with the merged value is re-associated
+        with the kept value, atomically.  ``chosen_extra`` lets the
+        expert pick the attribute values of the merge result (Figure 6's
+        selection form); omitted keys keep the survivor's values.
+        """
+        self._require_expert(principal, "merge")
+        if keep_id == merge_id:
+            raise ValidationError("cannot merge an annotation with itself")
+        keep = self._annotations.get(keep_id)
+        merge = self._annotations.get(merge_id)
+        if keep.attribute_id != merge.attribute_id:
+            raise ValidationError(
+                "annotations belong to different attributes "
+                f"({keep.attribute_id} vs {merge.attribute_id})"
+            )
+        if keep.status == "merged":
+            raise StateError(f"annotation {keep_id} was itself merged away")
+        if merge.status == "merged":
+            raise StateError(f"annotation {merge_id} is already merged")
+
+        moved = 0
+        with self._db.transaction() as txn:
+            for link in self._links.find(annotation_id=merge_id):
+                existing = (
+                    self._links.query()
+                    .where("annotation_id", "=", keep_id)
+                    .where("entity_type", "=", link.entity_type)
+                    .where("entity_id", "=", link.entity_id)
+                    .exists()
+                )
+                if existing:
+                    # Object already carries the survivor; drop duplicate.
+                    txn.delete(AnnotationLink.__table__, link.id)
+                else:
+                    txn.update(
+                        AnnotationLink.__table__, link.id,
+                        {"annotation_id": keep_id},
+                    )
+                moved += 1
+            txn.update(
+                Annotation.__table__,
+                merge_id,
+                {"status": "merged", "merged_into": keep_id},
+            )
+            changes: dict[str, Any] = {}
+            if chosen_extra is not None:
+                changes["extra"] = chosen_extra
+            if keep.status == "pending":
+                # Merging is an expert act; the survivor is implicitly
+                # reviewed and released.
+                changes.update(
+                    status="released",
+                    released_by=principal.user_id,
+                    released_at=self._clock.now(),
+                )
+            if changes:
+                txn.update(Annotation.__table__, keep_id, changes)
+        result = self._annotations.get(keep_id)
+        self._audit.record(
+            principal, "update", "annotation", keep_id,
+            f"merged {merge.value!r} into {keep.value!r} ({moved} links moved)",
+            {"merged_id": merge_id, "links_moved": moved},
+        )
+        self._events.publish(
+            "annotation.merged",
+            keep=result,
+            merged=self._annotations.get(merge_id),
+            principal=principal,
+            links_moved=moved,
+        )
+        return result
+
+    def resolve(self, annotation_id: int) -> Annotation:
+        """Follow merge redirects to the surviving annotation."""
+        seen: set[int] = set()
+        current = self._annotations.get(annotation_id)
+        while current.status == "merged" and current.merged_into is not None:
+            if current.id in seen:  # pragma: no cover - merge() prevents cycles
+                raise StateError(f"merge cycle at annotation {current.id}")
+            seen.add(current.id)
+            current = self._annotations.get(current.merged_into)
+        return current
+
+    # -- linking -----------------------------------------------------------------------
+
+    def annotate(
+        self,
+        principal: Principal,
+        annotation_id: int,
+        entity_type: str,
+        entity_id: int,
+    ) -> AnnotationLink:
+        """Attach a vocabulary value to an object."""
+        annotation = self._annotations.get(annotation_id)
+        if annotation.status in ("rejected", "merged"):
+            raise StateError(
+                f"annotation {annotation_id} is {annotation.status}; "
+                "annotate with the surviving value"
+            )
+        existing = (
+            self._links.query()
+            .where("annotation_id", "=", annotation_id)
+            .where("entity_type", "=", entity_type)
+            .where("entity_id", "=", entity_id)
+            .first()
+        )
+        if existing is not None:
+            return existing
+        link = self._links.create(
+            annotation_id=annotation_id,
+            entity_type=entity_type,
+            entity_id=entity_id,
+        )
+        self._audit.record(
+            principal, "create", "annotation_link", link.id,
+            f"annotated {entity_type}:{entity_id} with {annotation.value!r}",
+        )
+        return link
+
+    def annotations_for(
+        self, entity_type: str, entity_id: int
+    ) -> list[Annotation]:
+        """Vocabulary values attached to one object."""
+        links = (
+            self._links.query()
+            .where("entity_type", "=", entity_type)
+            .where("entity_id", "=", entity_id)
+            .all()
+        )
+        return [self._annotations.get(link.annotation_id) for link in links]
+
+    def entities_for(self, annotation_id: int) -> list[tuple[str, int]]:
+        """Objects carrying one vocabulary value (Figure 7's sample list)."""
+        return [
+            (link.entity_type, link.entity_id)
+            for link in self._links.find(annotation_id=annotation_id)
+        ]

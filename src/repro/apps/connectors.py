@@ -1,0 +1,98 @@
+"""The connector SPI.
+
+A connector knows how to run one *type* of application.  It receives a
+fully staged :class:`RunRequest` — local paths of the input resources,
+the experiment attributes, the run parameters — and returns a
+:class:`RunOutcome` of result files.  Everything B-Fabric-specific
+(creating the result workunit, storing files, workflow bookkeeping)
+stays in the executor; connectors stay small, which is what makes
+"on-the-fly coupling" cheap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ConnectorError
+
+
+@dataclass
+class RunRequest:
+    """Everything an application run needs, already staged locally."""
+
+    application: str
+    executable: str
+    input_files: list[Path]
+    parameters: dict[str, Any]
+    attributes: dict[str, Any]
+    workdir: Path
+
+
+@dataclass
+class RunOutcome:
+    """What a run produced."""
+
+    files: list[Path]
+    report: str = ""
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+class Connector(ABC):
+    """Runs applications of one kind."""
+
+    #: Connector kind, referenced by Application.connector.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def run(self, request: RunRequest) -> RunOutcome:
+        """Execute the application; raise :class:`ConnectorError` on failure."""
+
+
+class LocalPythonConnector(Connector):
+    """Runs applications that are plain Python callables.
+
+    The callable is registered under the application's ``executable``
+    name and receives the :class:`RunRequest`; whatever files it writes
+    into ``request.workdir`` and lists in its outcome become the result
+    workunit's resources.
+    """
+
+    kind = "python"
+
+    def __init__(self) -> None:
+        self._scripts: dict[str, Callable[[RunRequest], RunOutcome]] = {}
+
+    def register_script(
+        self, name: str, function: Callable[[RunRequest], RunOutcome]
+    ) -> None:
+        if name in self._scripts:
+            raise ConnectorError(f"script {name!r} already registered")
+        self._scripts[name] = function
+
+    def script_names(self) -> list[str]:
+        return sorted(self._scripts)
+
+    def run(self, request: RunRequest) -> RunOutcome:
+        script = self._scripts.get(request.executable)
+        if script is None:
+            raise ConnectorError(
+                f"connector {self.kind!r} has no script {request.executable!r}"
+            )
+        try:
+            outcome = script(request)
+        except ConnectorError:
+            raise
+        except Exception as exc:
+            raise ConnectorError(
+                f"application {request.application!r} crashed: {exc}"
+            ) from exc
+        for path in outcome.files:
+            if not Path(path).is_file():
+                raise ConnectorError(
+                    f"application {request.application!r} reported a result "
+                    f"file that does not exist: {path}"
+                )
+        return outcome

@@ -1,0 +1,223 @@
+"""Application registration (paper Figure 12).
+
+Registering an application binds a name to a connector kind, an
+executable (script) name, and a small *interface definition* describing
+how the application gets its input::
+
+    {
+        "inputs": ["resource"],            # what gets selected/staged
+        "parameters": [
+            {"name": "reference_group", "type": "text", "required": True},
+            {"name": "alpha", "type": "float", "default": 0.05},
+        ],
+        "output": "CSV of per-gene statistics plus a text report",
+    }
+
+"Through application registration, the functionality of B-Fabric can be
+extended at run-time without changing the core code base" — hence this
+is all data, validated here, interpreted by the executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.connectors import Connector
+from repro.audit.log import AuditLog
+from repro.core.entities import Application
+from repro.errors import ConnectorError, EntityNotFound, ValidationError
+from repro.orm import Registry
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+from repro.util.events import EventBus
+from repro.util.text import normalize_whitespace
+
+_INPUT_KINDS = ("resource", "sample", "extract")
+_PARAMETER_TYPES = ("text", "int", "float", "bool", "choice")
+
+
+def validate_interface(interface: dict[str, Any]) -> dict[str, str]:
+    """Return field errors for an interface definition (empty = valid)."""
+    errors: dict[str, str] = {}
+    inputs = interface.get("inputs", [])
+    if not isinstance(inputs, list) or not inputs:
+        errors["inputs"] = "at least one input kind required"
+    else:
+        unknown = [kind for kind in inputs if kind not in _INPUT_KINDS]
+        if unknown:
+            errors["inputs"] = f"unknown input kind(s): {unknown}"
+    parameters = interface.get("parameters", [])
+    if not isinstance(parameters, list):
+        errors["parameters"] = "must be a list"
+    else:
+        seen: set[str] = set()
+        for position, parameter in enumerate(parameters):
+            if not isinstance(parameter, dict) or "name" not in parameter:
+                errors[f"parameters[{position}]"] = "needs a name"
+                continue
+            name = parameter["name"]
+            if name in seen:
+                errors[f"parameters[{position}]"] = f"duplicate name {name!r}"
+            seen.add(name)
+            ptype = parameter.get("type", "text")
+            if ptype not in _PARAMETER_TYPES:
+                errors[f"parameters[{position}]"] = f"unknown type {ptype!r}"
+            if ptype == "choice" and not parameter.get("choices"):
+                errors[f"parameters[{position}]"] = "choice needs 'choices'"
+    return errors
+
+
+def check_parameters(
+    interface: dict[str, Any], supplied: dict[str, Any]
+) -> dict[str, Any]:
+    """Validate run parameters against the interface; returns the
+    effective parameters with defaults applied."""
+    declared = {p["name"]: p for p in interface.get("parameters", [])}
+    unknown = set(supplied) - set(declared)
+    if unknown:
+        raise ValidationError(
+            f"unknown parameter(s): {sorted(unknown)}",
+            {name: "unknown" for name in unknown},
+        )
+    effective: dict[str, Any] = {}
+    errors: dict[str, str] = {}
+    for name, spec in declared.items():
+        if name in supplied:
+            value = supplied[name]
+        elif "default" in spec:
+            value = spec["default"]
+        elif spec.get("required"):
+            errors[name] = "required"
+            continue
+        else:
+            continue
+        ptype = spec.get("type", "text")
+        try:
+            if ptype == "int":
+                value = int(value)
+            elif ptype == "float":
+                value = float(value)
+            elif ptype == "bool":
+                value = bool(value)
+            elif ptype == "choice":
+                if value not in spec.get("choices", []):
+                    errors[name] = f"not one of {spec.get('choices')}"
+                    continue
+            else:
+                value = str(value)
+        except (TypeError, ValueError):
+            errors[name] = f"not a valid {ptype}"
+            continue
+        effective[name] = value
+    if errors:
+        raise ValidationError("invalid run parameters", errors)
+    return effective
+
+
+class ApplicationRegistry:
+    """Registered applications plus the live connector instances."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        audit: AuditLog,
+        events: EventBus,
+        clock: Clock | None = None,
+    ):
+        self._audit = audit
+        self._events = events
+        self._clock = clock or SystemClock()
+        self._applications = registry.repository(Application)
+        self._connectors: dict[str, Connector] = {}
+
+    # -- connectors --------------------------------------------------------------
+
+    def register_connector(self, connector: Connector) -> None:
+        """Install a connector for one application type."""
+        if connector.kind in self._connectors:
+            raise ConnectorError(
+                f"connector kind {connector.kind!r} already registered"
+            )
+        self._connectors[connector.kind] = connector
+
+    def connector(self, kind: str) -> Connector:
+        try:
+            return self._connectors[kind]
+        except KeyError:
+            raise ConnectorError(f"no connector of kind {kind!r}") from None
+
+    def connector_kinds(self) -> list[str]:
+        return sorted(self._connectors)
+
+    # -- applications ----------------------------------------------------------------
+
+    def register_application(
+        self,
+        principal: Principal,
+        *,
+        name: str,
+        connector: str,
+        executable: str,
+        interface: dict[str, Any],
+        description: str = "",
+    ) -> Application:
+        """Register an application (Figure 12); available immediately."""
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("application name required", {"name": "required"})
+        if connector not in self._connectors:
+            raise ValidationError(
+                f"unknown connector {connector!r} "
+                f"(installed: {self.connector_kinds()})",
+                {"connector": "unknown"},
+            )
+        interface_errors = validate_interface(interface)
+        if interface_errors:
+            raise ValidationError("invalid interface definition", interface_errors)
+        application = self._applications.create(
+            name=name,
+            connector=connector,
+            executable=executable,
+            interface=interface,
+            description=description,
+            created_by=principal.user_id,
+            created_at=self._clock.now(),
+        )
+        self._audit.record(
+            principal, "create", "application", application.id, name
+        )
+        self._events.publish(
+            "application.registered", application=application, principal=principal
+        )
+        return application
+
+    def get(self, application_id: int) -> Application:
+        application = self._applications.get_or_none(application_id)
+        if application is None:
+            raise EntityNotFound("Application", application_id)
+        return application
+
+    def by_name(self, name: str) -> Application:
+        application = self._applications.find_one(name=name)
+        if application is None:
+            raise EntityNotFound("Application", name)
+        return application
+
+    def active_applications(self) -> list[Application]:
+        return (
+            self._applications.query()
+            .where("active", "=", True)
+            .order_by("name")
+            .all()
+        )
+
+    def deactivate(self, principal: Principal, application_id: int) -> Application:
+        application = self._applications.update(application_id, active=False)
+        self._audit.record(
+            principal, "update", "application", application_id, "deactivated"
+        )
+        return application
+
+    def count(self) -> int:
+        return self._applications.count()

@@ -1,0 +1,76 @@
+"""Result viewing and zip export (paper Figure 16).
+
+"The results of the experiment is also presented to the user as a zip
+file so that they can easily be transferred to another medium."
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from pathlib import Path
+
+from repro.core.services.workunits import WorkunitService
+from repro.dataimport.store import ManagedStore
+from repro.errors import StateError
+from repro.security.principals import Principal
+
+
+class ResultPackager:
+    """Collects a result workunit's files and packs them into a zip."""
+
+    def __init__(self, workunits: WorkunitService, store: ManagedStore):
+        self._workunits = workunits
+        self._store = store
+
+    def result_files(
+        self, principal: Principal, workunit_id: int
+    ) -> list[tuple[str, Path]]:
+        """``(name, local path)`` of the workunit's non-input resources.
+
+        Only internally stored files have local bytes; linked results
+        are skipped (their URI is in the resource row).
+        """
+        files = []
+        for resource in self._workunits.resources_of(
+            principal, workunit_id, inputs=False
+        ):
+            if resource.uri.startswith("store://"):
+                path = self._store.path_for(resource.uri)
+                if path.is_file():
+                    files.append((resource.name, path))
+        return files
+
+    def read_report(self, workunit_id: int) -> str:
+        """The run report text, if the connector produced one."""
+        path = self._store.directory_for(workunit_id) / "_run_report.txt"
+        if not path.is_file():
+            return ""
+        return path.read_text(encoding="utf-8")
+
+    def as_zip_bytes(self, principal: Principal, workunit_id: int) -> bytes:
+        """The workunit's results as an in-memory zip archive."""
+        workunit = self._workunits.get(principal, workunit_id)
+        if workunit.status != "available":
+            raise StateError(
+                f"workunit {workunit_id} is {workunit.status}; results are "
+                "only packaged once available"
+            )
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+            for name, path in self.result_files(principal, workunit_id):
+                archive.writestr(name, path.read_bytes())
+            report = self.read_report(workunit_id)
+            if report:
+                archive.writestr("report/run_report.txt", report)
+        return buffer.getvalue()
+
+    def write_zip(
+        self, principal: Principal, workunit_id: int, destination: "str | Path"
+    ) -> Path:
+        """Write the results zip to *destination* and return the path."""
+        payload = self.as_zip_bytes(principal, workunit_id)
+        target = Path(destination)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(payload)
+        return target

@@ -1,0 +1,15 @@
+"""Audit trail and system monitoring.
+
+Paper §2 (Miscellaneous Functions): "all data manipulation operations
+(create/update/delete) are logged in the system such that the user can
+remember what he did in the past and the system can be monitored."
+
+:class:`AuditLog` is the service every domain operation reports to;
+:class:`SystemMonitor` aggregates low-level storage commit activity into
+counters for the admin screens.
+"""
+
+from repro.audit.log import AuditLog, AuditEntry
+from repro.audit.monitor import SystemMonitor
+
+__all__ = ["AuditLog", "AuditEntry", "SystemMonitor"]

@@ -1,0 +1,55 @@
+"""Low-level system monitoring.
+
+Subscribes to storage commits and keeps rolling counters per table and
+operation — the raw material for the admin "monitor the system" screens.
+Purely in-memory; restarting resets the window.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.storage.database import Database
+from repro.storage.table import UndoEntry
+
+
+class SystemMonitor:
+    """Counts committed storage operations per table."""
+
+    def __init__(self, database: Database):
+        self._db = database
+        self._ops: Counter[tuple[str, str]] = Counter()
+        self._commits = 0
+        database.on_commit(self._observe)
+
+    def _observe(self, operations: list[UndoEntry]) -> None:
+        self._commits += 1
+        for op in operations:
+            self._ops[(op.table, op.op)] += 1
+
+    # -- reporting -----------------------------------------------------------------
+
+    @property
+    def commit_count(self) -> int:
+        return self._commits
+
+    def operation_counts(self) -> dict[str, dict[str, int]]:
+        """``{table: {op: count}}`` for all observed activity."""
+        report: dict[str, dict[str, int]] = {}
+        for (table, op), count in sorted(self._ops.items()):
+            report.setdefault(table, {})[op] = count
+        return report
+
+    def busiest_tables(self, n: int = 5) -> list[tuple[str, int]]:
+        totals: Counter[str] = Counter()
+        for (table, _), count in self._ops.items():
+            totals[table] += count
+        return totals.most_common(n)
+
+    def snapshot(self) -> dict:
+        """One dict for the admin dashboard."""
+        return {
+            "commits": self._commits,
+            "operations": self.operation_counts(),
+            "storage": self._db.statistics(),
+        }

@@ -1,0 +1,254 @@
+"""``bfabric`` — the command-line administration tool.
+
+Operates on a durable deployment directory (the argument every
+subcommand takes via ``--data``).  Subcommands:
+
+* ``init`` — create a deployment and its first admin user;
+* ``stats`` — print the deployment-statistics table (paper Final Remark);
+* ``integrity`` — run the storage self-checks;
+* ``checkpoint`` — snapshot the database and truncate the WAL;
+* ``reindex`` — rebuild the full-text index;
+* ``audit`` — show recent audit entries;
+* ``search`` — run a query from the shell;
+* ``generate`` — synthesize an FGCZ-scale benchmark deployment;
+* ``serve`` — run the web portal under wsgiref.
+
+Usage::
+
+    python -m repro.cli --data /var/lib/bfabric init --admin-password s3cret
+    python -m repro.cli --data /var/lib/bfabric stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.facade import BFabric
+
+
+def _open(args: argparse.Namespace, *, recover: bool = True) -> BFabric:
+    system = BFabric(args.data)
+    if recover:
+        system.recover()
+    return system
+
+
+def _principal(system: BFabric, login: str):
+    user = system.directory.user_by_login(login)
+    if user is None:
+        raise SystemExit(f"error: no user named {login!r} (run init first?)")
+    return system.directory.principal_for(user)
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    system = BFabric(args.data)
+    try:
+        system.recover()
+    except Exception:
+        pass  # brand-new directory
+    principal = system.bootstrap(
+        login=args.admin_login, password=args.admin_password
+    )
+    system.db.checkpoint()
+    print(f"initialized deployment at {args.data}")
+    print(f"admin user: {principal.login}")
+    system.close()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    system = _open(args)
+    stats = system.deployment_statistics()
+    width = max(len(k) for k in stats)
+    for key, value in stats.items():
+        print(f"{key:<{width}}  {value}")
+    storage = system.db.statistics()
+    print(f"\ntotal rows: {storage['total_rows']}, "
+          f"WAL: {storage['wal_bytes']} bytes")
+    system.close()
+    return 0
+
+
+def cmd_integrity(args: argparse.Namespace) -> int:
+    system = _open(args)
+    problems = system.db.verify_integrity()
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}")
+        system.close()
+        return 1
+    print("integrity check passed: no problems found")
+    system.close()
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    system = _open(args)
+    path = system.db.checkpoint()
+    print(f"checkpoint written: {path}")
+    system.close()
+    return 0
+
+
+def cmd_reindex(args: argparse.Namespace) -> int:
+    system = _open(args)
+    count = system.reindex_all()
+    print(f"indexed {count} documents "
+          f"({system.search.statistics()['terms']} terms)")
+    system.close()
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    system = _open(args)
+    for entry in system.audit.recent(limit=args.limit):
+        print(f"{entry.at}  {entry.user_login:<12s} {entry.action:<7s} "
+              f"{entry.entity_type}:{entry.entity_id}  {entry.summary}")
+    system.close()
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    system = _open(args)
+    system.reindex_all()
+    principal = _principal(system, args.as_user)
+    results = system.search.search(
+        principal, " ".join(args.query), limit=args.limit
+    )
+    if not results:
+        print("no results")
+    for result in results:
+        print(f"{result.score:8.4f}  {result.entity_type:<14s} "
+              f"{result.label}  — {result.snippet}")
+    system.close()
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workload import DeploymentGenerator, FGCZ_JANUARY_2010
+
+    system = _open(args)
+    spec = FGCZ_JANUARY_2010.scaled(args.scale)
+    counts = DeploymentGenerator(system, seed=args.seed).generate(spec)
+    for key, value in counts.items():
+        print(f"{key:<15s} {value}")
+    system.db.checkpoint()
+    system.close()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    system = _open(args)
+    principal = _principal(system, args.as_user)
+    report = system.reports.full_report(principal)
+    print("Busiest projects:")
+    for row in report["projects"]:
+        print(f"  {row['project']:<40s} workunits={row['workunits']:<6d} "
+              f"samples={row['samples']}")
+    print("Storage by mode:")
+    for mode, info in sorted(report["storage"].items()):
+        print(f"  {mode:<10s} resources={info['resources']:<8d} "
+              f"bytes={info['bytes']}")
+    print("Vocabulary health:", dict(sorted(report["vocabulary"].items())))
+    system.close()
+    return 0
+
+
+def cmd_provenance(args: argparse.Namespace) -> int:
+    system = _open(args)
+    record = system.provenance.trace(args.workunit_id)
+    print(record.render_text())
+    system.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from wsgiref.simple_server import make_server
+
+    from repro.portal import PortalApplication
+
+    system = _open(args)
+    system.reindex_all()
+    portal = PortalApplication(system)
+    print(f"serving the B-Fabric portal on http://{args.host}:{args.port}")
+    with make_server(args.host, args.port, portal) as httpd:
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+    system.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bfabric",
+        description="Administer a B-Fabric deployment directory",
+    )
+    parser.add_argument(
+        "--data", required=True, help="deployment directory (WAL + store)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_init = sub.add_parser("init", help="create deployment + admin user")
+    p_init.add_argument("--admin-login", default="admin")
+    p_init.add_argument("--admin-password", default="admin")
+    p_init.set_defaults(func=cmd_init)
+
+    p_stats = sub.add_parser("stats", help="deployment statistics table")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_integrity = sub.add_parser("integrity", help="storage self-checks")
+    p_integrity.set_defaults(func=cmd_integrity)
+
+    p_checkpoint = sub.add_parser("checkpoint", help="snapshot + truncate WAL")
+    p_checkpoint.set_defaults(func=cmd_checkpoint)
+
+    p_reindex = sub.add_parser("reindex", help="rebuild the search index")
+    p_reindex.set_defaults(func=cmd_reindex)
+
+    p_audit = sub.add_parser("audit", help="recent audit entries")
+    p_audit.add_argument("--limit", type=int, default=20)
+    p_audit.set_defaults(func=cmd_audit)
+
+    p_search = sub.add_parser("search", help="run a search query")
+    p_search.add_argument("query", nargs="+")
+    p_search.add_argument("--as-user", default="admin")
+    p_search.add_argument("--limit", type=int, default=10)
+    p_search.set_defaults(func=cmd_search)
+
+    p_generate = sub.add_parser(
+        "generate", help="synthesize an FGCZ-scale deployment"
+    )
+    p_generate.add_argument("--scale", type=float, default=1.0)
+    p_generate.add_argument("--seed", type=int, default=2010)
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_report = sub.add_parser("report", help="facility usage report")
+    p_report.add_argument("--as-user", default="admin")
+    p_report.set_defaults(func=cmd_report)
+
+    p_provenance = sub.add_parser(
+        "provenance", help="derivation record of a workunit"
+    )
+    p_provenance.add_argument("workunit_id", type=int)
+    p_provenance.set_defaults(func=cmd_provenance)
+
+    p_serve = sub.add_parser("serve", help="run the web portal")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    sys.exit(main())

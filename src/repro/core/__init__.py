@@ -1,0 +1,54 @@
+"""The B-Fabric core: Figure-1 metadata schema and registration services.
+
+Entities (paper Figure 1 + Final Remark):
+
+* :class:`~repro.core.entities.Organization` / :class:`~repro.core.entities.Institute`
+  / :class:`~repro.core.entities.User` — who works at/with the center;
+* :class:`~repro.core.entities.Project` — the scoping unit for samples
+  and visibility;
+* :class:`~repro.core.entities.Sample` — general information about a
+  biological source;
+* :class:`~repro.core.entities.Extract` — one extraction of a sample,
+  the actual experiment/measurement input (several per sample);
+* :class:`~repro.core.entities.DataResource` — abstraction of a file or
+  link to a file (raw mass-spec files, cel files, ...);
+* :class:`~repro.core.entities.Workunit` — a container referencing data
+  resources that logically form a unit; some resources are marked as
+  inputs of the processing step that created the rest;
+* :class:`~repro.core.entities.Application` /
+  :class:`~repro.core.entities.Experiment` — registered external
+  applications and experiment definitions that feed them.
+
+Services in :mod:`repro.core.services` wrap the entities with
+validation, cloning, batch registration, access control, and audit.
+"""
+
+from repro.core.entities import (
+    ALL_MODELS,
+    Application,
+    DataResource,
+    Experiment,
+    Extract,
+    Institute,
+    Organization,
+    Project,
+    ProjectMembership,
+    Sample,
+    User,
+    Workunit,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "Organization",
+    "Institute",
+    "User",
+    "Project",
+    "ProjectMembership",
+    "Sample",
+    "Extract",
+    "DataResource",
+    "Workunit",
+    "Application",
+    "Experiment",
+]

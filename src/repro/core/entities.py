@@ -1,0 +1,245 @@
+"""Declarative entities for the core metadata schema (paper Figure 1).
+
+Relationship chain, as the paper draws it::
+
+    Project 1──n Sample 1──n Extract 1──n DataResource n──1 Workunit
+
+A data resource is connected to the extract that was the biological input
+of the measurement producing it; samples (and through them extracts) hang
+off a project, which "helps to significantly reduce the set of values in
+drop-down menus".  Workunits group resources that logically form a unit,
+with some resources flagged ``is_input``.
+"""
+
+from __future__ import annotations
+
+from repro.orm import (
+    BoolField,
+    DateTimeField,
+    IntField,
+    JsonField,
+    Model,
+    TextField,
+)
+
+#: Workunit lifecycle states.  An import or application run creates the
+#: workunit in ``pending``; the executor moves it through ``processing``
+#: to ``available`` (paper Figure 16: "Ready") or ``failed``.
+WORKUNIT_STATES = ("pending", "processing", "available", "failed")
+
+#: How a data resource's bytes are held (paper: physically copying vs.
+#: linking, internal storage vs. attached external stores).
+RESOURCE_STORAGE_MODES = ("internal", "linked", "external")
+
+
+class Organization(Model):
+    """A customer organization (university, company...)."""
+
+    __table__ = "organization"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, unique=True)
+    created_at = DateTimeField()
+
+
+class Institute(Model):
+    """An institute within an organization; users belong to institutes."""
+
+    __table__ = "institute"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, index=True)
+    organization_id = IntField(nullable=False, foreign_key="organization.id")
+    __unique_together__ = [("name", "organization_id")]
+    created_at = DateTimeField()
+
+
+class User(Model):
+    """A registered user of the center."""
+
+    __table__ = "user"
+    id = IntField(primary_key=True)
+    login = TextField(nullable=False, unique=True)
+    full_name = TextField(nullable=False)
+    email = TextField(default="")
+    institute_id = IntField(foreign_key="institute.id")
+    role = TextField(
+        nullable=False,
+        default="scientist",
+        check=lambda v: v in ("scientist", "employee", "admin"),
+    )
+    password_hash = TextField(default="")
+    active = BoolField(default=True)
+    created_at = DateTimeField()
+
+
+class Project(Model):
+    """The scoping unit: samples, workunits and visibility hang off it."""
+
+    __table__ = "project"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, index=True)
+    description = TextField(default="")
+    created_by = IntField(nullable=False, foreign_key="user.id")
+    created_at = DateTimeField()
+
+
+class ProjectMembership(Model):
+    """Grants a user access to a project (role: member or leader)."""
+
+    __table__ = "project_membership"
+    id = IntField(primary_key=True)
+    user_id = IntField(nullable=False, foreign_key="user.id")
+    project_id = IntField(nullable=False, foreign_key="project.id")
+    role = TextField(
+        nullable=False,
+        default="member",
+        check=lambda v: v in ("member", "leader"),
+    )
+    __unique_together__ = [("user_id", "project_id")]
+
+
+class Sample(Model):
+    """General information about a biological source (paper Figure 2)."""
+
+    __table__ = "sample"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, index=True)
+    project_id = IntField(nullable=False, foreign_key="project.id")
+    species = TextField(default="")
+    description = TextField(default="")
+    #: Free-form structured annotations beyond the controlled vocabulary
+    #: links (e.g. instrument-specific fields drawn dynamically).
+    attributes = JsonField(default=dict)
+    created_by = IntField(nullable=False, foreign_key="user.id")
+    created_at = DateTimeField()
+    __unique_together__ = [("name", "project_id")]
+
+
+class Extract(Model):
+    """One extraction of a sample; the actual measurement input.
+
+    Paper: "There might be several extracts of one sample.  These
+    extracts might be the result of different extraction procedures."
+    """
+
+    __table__ = "extract"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, index=True)
+    sample_id = IntField(nullable=False, foreign_key="sample.id")
+    procedure = TextField(default="")
+    description = TextField(default="")
+    attributes = JsonField(default=dict)
+    created_by = IntField(nullable=False, foreign_key="user.id")
+    created_at = DateTimeField()
+    __unique_together__ = [("name", "sample_id")]
+
+
+class Application(Model):
+    """A registered external application (paper Figure 12).
+
+    ``connector`` names the connector type it runs through (e.g.
+    ``rserve``); ``interface`` is the small declarative description of
+    how the application gets its input.
+    """
+
+    __table__ = "application"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, unique=True)
+    description = TextField(default="")
+    connector = TextField(nullable=False)
+    #: Interface definition: input kinds, declared parameters, output
+    #: description.  Validated by the application registry.
+    interface = JsonField(default=dict)
+    executable = TextField(default="")
+    active = BoolField(default=True)
+    created_by = IntField(nullable=False, foreign_key="user.id")
+    created_at = DateTimeField()
+
+
+class Workunit(Model):
+    """A container of data resources that logically form a unit.
+
+    Created by a data import (Figure 9) or by running an application
+    (Figure 14).  ``application_id`` is set for application results;
+    ``parameters`` holds the run parameters (e.g. reference group).
+    """
+
+    __table__ = "workunit"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, index=True)
+    project_id = IntField(nullable=False, foreign_key="project.id")
+    application_id = IntField(foreign_key="application.id")
+    description = TextField(default="")
+    status = TextField(
+        nullable=False,
+        default="pending",
+        check=lambda v: v in WORKUNIT_STATES,
+    )
+    parameters = JsonField(default=dict)
+    created_by = IntField(nullable=False, foreign_key="user.id")
+    created_at = DateTimeField()
+
+
+class DataResource(Model):
+    """Abstraction of a file or a link to a file (paper Figure 1).
+
+    ``is_input`` marks resources that were inputs of the processing step
+    that created the remaining resources of the workunit.
+    """
+
+    __table__ = "data_resource"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, index=True)
+    workunit_id = IntField(nullable=False, foreign_key="workunit.id")
+    extract_id = IntField(foreign_key="extract.id")
+    uri = TextField(nullable=False)
+    storage = TextField(
+        nullable=False,
+        default="internal",
+        check=lambda v: v in RESOURCE_STORAGE_MODES,
+    )
+    size_bytes = IntField(default=0, check=lambda v: v >= 0)
+    checksum = TextField(default="")
+    is_input = BoolField(default=False)
+    created_at = DateTimeField()
+
+
+class Experiment(Model):
+    """An experiment definition (paper Figure 13).
+
+    Selects data resources, samples, extracts and arbitrary attributes
+    (e.g. species, treatment) that feed a registered application.  The
+    id lists are validated against the project by the experiment
+    service; they are stored denormalized because the selection is an
+    immutable snapshot of what the scientist picked.
+    """
+
+    __table__ = "experiment"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, index=True)
+    project_id = IntField(nullable=False, foreign_key="project.id")
+    application_id = IntField(nullable=False, foreign_key="application.id")
+    resource_ids = JsonField(default=list)
+    sample_ids = JsonField(default=list)
+    extract_ids = JsonField(default=list)
+    #: Arbitrary attribute name -> value pairs, e.g.
+    #: ``{"species": "Arabidopsis Thaliana", "treatment": "light"}``.
+    attributes = JsonField(default=dict)
+    created_by = IntField(nullable=False, foreign_key="user.id")
+    created_at = DateTimeField()
+
+
+#: Registration order is irrelevant (the registry topo-sorts), but this
+#: is the canonical list of core models.
+ALL_MODELS = [
+    Organization,
+    Institute,
+    User,
+    Project,
+    ProjectMembership,
+    Sample,
+    Extract,
+    Application,
+    Workunit,
+    DataResource,
+    Experiment,
+]

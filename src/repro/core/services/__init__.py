@@ -1,0 +1,19 @@
+"""Service layer over the core entities.
+
+Services take the acting :class:`~repro.security.principals.Principal`
+explicitly, enforce access control, validate input, write audit entries
+and publish events.  They are the only code the portal and the examples
+call; nothing above this layer touches the storage engine directly.
+"""
+
+from repro.core.services.directory import DirectoryService
+from repro.core.services.projects import ProjectService
+from repro.core.services.samples import SampleService
+from repro.core.services.workunits import WorkunitService
+
+__all__ = [
+    "DirectoryService",
+    "ProjectService",
+    "SampleService",
+    "WorkunitService",
+]

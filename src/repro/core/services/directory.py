@@ -1,0 +1,156 @@
+"""Organizations, institutes and users."""
+
+from __future__ import annotations
+
+from repro.audit.log import AuditLog
+from repro.core.entities import Institute, Organization, User
+from repro.errors import AccessDenied, ValidationError
+from repro.orm import Registry
+from repro.security.auth import hash_password
+from repro.security.principals import Principal, Role
+from repro.util.clock import Clock, SystemClock
+from repro.util.text import normalize_whitespace
+
+
+class DirectoryService:
+    """Who exists: organizations > institutes > users."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        audit: AuditLog,
+        clock: Clock | None = None,
+    ):
+        self._audit = audit
+        self._clock = clock or SystemClock()
+        self._organizations = registry.repository(Organization)
+        self._institutes = registry.repository(Institute)
+        self._users = registry.repository(User)
+
+    # -- organizations ------------------------------------------------------------
+
+    def create_organization(self, principal: Principal, name: str) -> Organization:
+        self._require_admin(principal, "create organizations")
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("organization name required", {"name": "required"})
+        organization = self._organizations.create(
+            name=name, created_at=self._clock.now()
+        )
+        self._audit.record(
+            principal, "create", "organization", organization.id, name
+        )
+        return organization
+
+    def organizations(self) -> list[Organization]:
+        return self._organizations.query().order_by("name").all()
+
+    # -- institutes -----------------------------------------------------------------
+
+    def create_institute(
+        self, principal: Principal, name: str, organization_id: int
+    ) -> Institute:
+        self._require_admin(principal, "create institutes")
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("institute name required", {"name": "required"})
+        institute = self._institutes.create(
+            name=name,
+            organization_id=organization_id,
+            created_at=self._clock.now(),
+        )
+        self._audit.record(principal, "create", "institute", institute.id, name)
+        return institute
+
+    def institutes_of(self, organization_id: int) -> list[Institute]:
+        return (
+            self._institutes.query()
+            .where("organization_id", "=", organization_id)
+            .order_by("name")
+            .all()
+        )
+
+    # -- users ------------------------------------------------------------------------
+
+    def create_user(
+        self,
+        principal: Principal,
+        *,
+        login: str,
+        full_name: str,
+        email: str = "",
+        institute_id: int | None = None,
+        role: str = "scientist",
+        password: str = "",
+    ) -> User:
+        self._require_admin(principal, "create users")
+        login = normalize_whitespace(login).lower()
+        errors: dict[str, str] = {}
+        if not login:
+            errors["login"] = "required"
+        if not normalize_whitespace(full_name):
+            errors["full_name"] = "required"
+        if role not in ("scientist", "employee", "admin"):
+            errors["role"] = f"unknown role {role!r}"
+        if email and "@" not in email:
+            errors["email"] = "not an email address"
+        if errors:
+            raise ValidationError("invalid user", errors)
+        user = self._users.create(
+            login=login,
+            full_name=normalize_whitespace(full_name),
+            email=email,
+            institute_id=institute_id,
+            role=role,
+            password_hash=hash_password(password) if password else "",
+            created_at=self._clock.now(),
+        )
+        self._audit.record(principal, "create", "user", user.id, login)
+        return user
+
+    def deactivate_user(self, principal: Principal, user_id: int) -> User:
+        self._require_admin(principal, "deactivate users")
+        user = self._users.update(user_id, active=False)
+        self._audit.record(
+            principal, "update", "user", user_id, f"deactivated {user.login}"
+        )
+        return user
+
+    def set_password(self, principal: Principal, user_id: int, password: str) -> None:
+        if principal.user_id != user_id:
+            self._require_admin(principal, "reset other users' passwords")
+        if len(password) < 4:
+            raise ValidationError(
+                "password too short", {"password": "minimum 4 characters"}
+            )
+        self._users.update(user_id, password_hash=hash_password(password))
+        self._audit.record(
+            principal, "update", "user", user_id, "password changed"
+        )
+
+    def user_by_login(self, login: str) -> User | None:
+        return self._users.find_one(login=login.lower())
+
+    def principal_for(self, user: User) -> Principal:
+        """Build the acting principal for a stored user."""
+        return Principal(user_id=user.id, login=user.login, role=Role(user.role))
+
+    def counts(self) -> dict[str, int]:
+        """Directory object counts (the Final-Remark table's left column)."""
+        return {
+            "users": self._users.count(),
+            "institutes": self._institutes.count(),
+            "organizations": self._organizations.count(),
+        }
+
+    # -- helpers -------------------------------------------------------------------------
+
+    @staticmethod
+    def _require_admin(principal: Principal, what: str) -> None:
+        if not principal.is_admin:
+            raise AccessDenied(
+                f"only admins may {what}",
+                principal=principal.login,
+                permission="directory.admin",
+            )

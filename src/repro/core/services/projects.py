@@ -1,0 +1,97 @@
+"""Projects and membership."""
+
+from __future__ import annotations
+
+from repro.audit.log import AuditLog
+from repro.core.entities import Project, ProjectMembership
+from repro.errors import ValidationError
+from repro.orm import Registry
+from repro.security.acl import AccessControl, Permission
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+from repro.util.events import EventBus
+from repro.util.text import normalize_whitespace
+
+
+class ProjectService:
+    """Create projects and manage who belongs to them."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        audit: AuditLog,
+        acl: AccessControl,
+        events: EventBus | None = None,
+        clock: Clock | None = None,
+    ):
+        self._audit = audit
+        self._acl = acl
+        self._events = events or EventBus()
+        self._clock = clock or SystemClock()
+        self._projects = registry.repository(Project)
+        self._memberships = registry.repository(ProjectMembership)
+
+    def create(
+        self, principal: Principal, name: str, *, description: str = ""
+    ) -> Project:
+        """Create a project; the creator becomes its leader."""
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("project name required", {"name": "required"})
+        project = self._projects.create(
+            name=name,
+            description=description,
+            created_by=principal.user_id,
+            created_at=self._clock.now(),
+        )
+        self._acl.grant(project.id, principal.user_id, "leader")
+        self._audit.record(principal, "create", "project", project.id, name)
+        self._events.publish(
+            "project.created", project=project, principal=principal
+        )
+        return project
+
+    def get(self, principal: Principal, project_id: int) -> Project:
+        self._acl.require(principal, Permission.READ, project_id)
+        return self._projects.get(project_id)
+
+    def visible_to(self, principal: Principal) -> list[Project]:
+        """Projects the principal can read, for browse lists."""
+        ids = self._acl.visible_project_ids(principal)
+        return (
+            self._projects.query().where("id", "in", ids).order_by("name").all()
+        )
+
+    def add_member(
+        self,
+        principal: Principal,
+        project_id: int,
+        user_id: int,
+        role: str = "member",
+    ) -> None:
+        self._acl.require(principal, Permission.MANAGE, project_id)
+        self._acl.grant(project_id, user_id, role)
+        self._audit.record(
+            principal, "update", "project", project_id,
+            f"added user {user_id} as {role}",
+        )
+
+    def remove_member(
+        self, principal: Principal, project_id: int, user_id: int
+    ) -> bool:
+        self._acl.require(principal, Permission.MANAGE, project_id)
+        removed = self._acl.revoke(project_id, user_id)
+        if removed:
+            self._audit.record(
+                principal, "update", "project", project_id,
+                f"removed user {user_id}",
+            )
+        return removed
+
+    def members(self, principal: Principal, project_id: int) -> list[ProjectMembership]:
+        self._acl.require(principal, Permission.READ, project_id)
+        return self._memberships.find(project_id=project_id)
+
+    def count(self) -> int:
+        return self._projects.count()

@@ -1,0 +1,364 @@
+"""Sample and extract registration (paper Figures 2 and 3).
+
+Registration supports the three entry styles the demo shows:
+
+* single registration through a validated form, with drop-down values
+  drawn from the released vocabulary and the option to create a missing
+  annotation on the fly;
+* *cloning* — "users typically register several samples and extracts
+  where only a few attributes differ";
+* *batch registration* — many names, one shared attribute set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.annotations.service import AnnotationService
+from repro.audit.log import AuditLog
+from repro.core.entities import Extract, Sample
+from repro.errors import EntityNotFound, ValidationError
+from repro.orm import Registry
+from repro.security.acl import AccessControl, Permission
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+from repro.util.events import EventBus
+from repro.util.text import normalize_whitespace
+
+
+class SampleService:
+    """Registers samples and extracts within a project."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        audit: AuditLog,
+        acl: AccessControl,
+        annotations: AnnotationService,
+        events: EventBus,
+        clock: Clock | None = None,
+    ):
+        self._registry = registry
+        self._audit = audit
+        self._acl = acl
+        self._annotations = annotations
+        self._events = events
+        self._clock = clock or SystemClock()
+        self._samples = registry.repository(Sample)
+        self._extracts = registry.repository(Extract)
+
+    # -- samples -----------------------------------------------------------------
+
+    def register_sample(
+        self,
+        principal: Principal,
+        project_id: int,
+        name: str,
+        *,
+        species: str = "",
+        description: str = "",
+        attributes: dict[str, Any] | None = None,
+        annotation_ids: Sequence[int] = (),
+    ) -> Sample:
+        """Register one sample (Figure 2).
+
+        ``annotation_ids`` are controlled-vocabulary values to attach;
+        creating a *new* vocabulary value happens through
+        :meth:`AnnotationService.create_annotation` first — the form
+        layer wires the two together.
+        """
+        self._acl.require(principal, Permission.WRITE, project_id)
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("sample name required", {"name": "required"})
+        if self._samples.find_one(name=name, project_id=project_id) is not None:
+            raise ValidationError(
+                f"sample {name!r} already exists in project {project_id}",
+                {"name": "duplicate"},
+            )
+        sample = self._samples.create(
+            name=name,
+            project_id=project_id,
+            species=normalize_whitespace(species),
+            description=description,
+            attributes=attributes or {},
+            created_by=principal.user_id,
+            created_at=self._clock.now(),
+        )
+        for annotation_id in annotation_ids:
+            self._annotations.annotate(principal, annotation_id, "sample", sample.id)
+        self._audit.record(principal, "create", "sample", sample.id, name)
+        self._events.publish("sample.registered", sample=sample, principal=principal)
+        return sample
+
+    def clone_sample(
+        self,
+        principal: Principal,
+        sample_id: int,
+        new_name: str,
+        *,
+        overrides: dict[str, Any] | None = None,
+    ) -> Sample:
+        """Register a copy of a sample differing only in *overrides*."""
+        original = self._samples.get_or_none(sample_id)
+        if original is None:
+            raise EntityNotFound("Sample", sample_id)
+        overrides = dict(overrides or {})
+        clone = self.register_sample(
+            principal,
+            overrides.pop("project_id", original.project_id),
+            new_name,
+            species=overrides.pop("species", original.species),
+            description=overrides.pop("description", original.description),
+            attributes={**original.attributes, **overrides.pop("attributes", {})},
+        )
+        if overrides:
+            raise ValidationError(
+                f"unknown clone override(s): {sorted(overrides)}"
+            )
+        # The clone inherits the original's vocabulary annotations.
+        for annotation in self._annotations.annotations_for("sample", sample_id):
+            self._annotations.annotate(principal, annotation.id, "sample", clone.id)
+        return clone
+
+    def batch_register_samples(
+        self,
+        principal: Principal,
+        project_id: int,
+        names: Sequence[str],
+        *,
+        species: str = "",
+        attributes: dict[str, Any] | None = None,
+        annotation_ids: Sequence[int] = (),
+    ) -> list[Sample]:
+        """Register many samples sharing one attribute set, atomically.
+
+        All-or-nothing: one duplicate name aborts the whole batch — that
+        is what makes batch registration safe to re-run.
+        """
+        self._acl.require(principal, Permission.WRITE, project_id)
+        cleaned = [normalize_whitespace(n) for n in names]
+        if not cleaned or any(not n for n in cleaned):
+            raise ValidationError("every sample in a batch needs a name")
+        if len(set(cleaned)) != len(cleaned):
+            raise ValidationError("duplicate names within the batch")
+        created: list[Sample] = []
+        db = self._registry.database
+        with db.transaction() as txn:
+            for name in cleaned:
+                if self._samples.find_one(name=name, project_id=project_id):
+                    raise ValidationError(
+                        f"sample {name!r} already exists in project {project_id}"
+                    )
+                row = txn.insert(
+                    Sample.__table__,
+                    {
+                        "name": name,
+                        "project_id": project_id,
+                        "species": normalize_whitespace(species),
+                        "description": "",
+                        "attributes": attributes or {},
+                        "created_by": principal.user_id,
+                        "created_at": self._clock.now(),
+                    },
+                )
+                created.append(Sample.from_row(row))
+        for sample in created:
+            for annotation_id in annotation_ids:
+                self._annotations.annotate(
+                    principal, annotation_id, "sample", sample.id
+                )
+            self._audit.record(
+                principal, "create", "sample", sample.id, sample.name
+            )
+            self._events.publish(
+                "sample.registered", sample=sample, principal=principal
+            )
+        return created
+
+    def samples_of_project(
+        self, principal: Principal, project_id: int
+    ) -> list[Sample]:
+        self._acl.require(principal, Permission.READ, project_id)
+        return (
+            self._samples.query()
+            .where("project_id", "=", project_id)
+            .order_by("name")
+            .all()
+        )
+
+    def get_sample(self, principal: Principal, sample_id: int) -> Sample:
+        sample = self._samples.get_or_none(sample_id)
+        if sample is None:
+            raise EntityNotFound("Sample", sample_id)
+        self._acl.require(principal, Permission.READ, sample.project_id)
+        return sample
+
+    # -- extracts --------------------------------------------------------------------
+
+    def register_extract(
+        self,
+        principal: Principal,
+        sample_id: int,
+        name: str,
+        *,
+        procedure: str = "",
+        description: str = "",
+        attributes: dict[str, Any] | None = None,
+        annotation_ids: Sequence[int] = (),
+    ) -> Extract:
+        """Register one extract of a sample (Figure 3)."""
+        sample = self.get_sample(principal, sample_id)
+        self._acl.require(principal, Permission.WRITE, sample.project_id)
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("extract name required", {"name": "required"})
+        if self._extracts.find_one(name=name, sample_id=sample_id) is not None:
+            raise ValidationError(
+                f"extract {name!r} already exists for sample {sample_id}",
+                {"name": "duplicate"},
+            )
+        extract = self._extracts.create(
+            name=name,
+            sample_id=sample_id,
+            procedure=normalize_whitespace(procedure),
+            description=description,
+            attributes=attributes or {},
+            created_by=principal.user_id,
+            created_at=self._clock.now(),
+        )
+        for annotation_id in annotation_ids:
+            self._annotations.annotate(
+                principal, annotation_id, "extract", extract.id
+            )
+        self._audit.record(principal, "create", "extract", extract.id, name)
+        self._events.publish(
+            "extract.registered", extract=extract, principal=principal
+        )
+        return extract
+
+    def clone_extract(
+        self,
+        principal: Principal,
+        extract_id: int,
+        new_name: str,
+        *,
+        overrides: dict[str, Any] | None = None,
+    ) -> Extract:
+        original = self._extracts.get_or_none(extract_id)
+        if original is None:
+            raise EntityNotFound("Extract", extract_id)
+        overrides = dict(overrides or {})
+        clone = self.register_extract(
+            principal,
+            overrides.pop("sample_id", original.sample_id),
+            new_name,
+            procedure=overrides.pop("procedure", original.procedure),
+            description=overrides.pop("description", original.description),
+            attributes={**original.attributes, **overrides.pop("attributes", {})},
+        )
+        if overrides:
+            raise ValidationError(
+                f"unknown clone override(s): {sorted(overrides)}"
+            )
+        for annotation in self._annotations.annotations_for("extract", extract_id):
+            self._annotations.annotate(
+                principal, annotation.id, "extract", clone.id
+            )
+        return clone
+
+    def batch_register_extracts(
+        self,
+        principal: Principal,
+        sample_id: int,
+        names: Sequence[str],
+        *,
+        procedure: str = "",
+        attributes: dict[str, Any] | None = None,
+    ) -> list[Extract]:
+        """Register many extracts of one sample, atomically."""
+        sample = self.get_sample(principal, sample_id)
+        self._acl.require(principal, Permission.WRITE, sample.project_id)
+        cleaned = [normalize_whitespace(n) for n in names]
+        if not cleaned or any(not n for n in cleaned):
+            raise ValidationError("every extract in a batch needs a name")
+        if len(set(cleaned)) != len(cleaned):
+            raise ValidationError("duplicate names within the batch")
+        created: list[Extract] = []
+        db = self._registry.database
+        with db.transaction() as txn:
+            for name in cleaned:
+                if self._extracts.find_one(name=name, sample_id=sample_id):
+                    raise ValidationError(
+                        f"extract {name!r} already exists for sample {sample_id}"
+                    )
+                row = txn.insert(
+                    Extract.__table__,
+                    {
+                        "name": name,
+                        "sample_id": sample_id,
+                        "procedure": normalize_whitespace(procedure),
+                        "description": "",
+                        "attributes": attributes or {},
+                        "created_by": principal.user_id,
+                        "created_at": self._clock.now(),
+                    },
+                )
+                created.append(Extract.from_row(row))
+        for extract in created:
+            self._audit.record(
+                principal, "create", "extract", extract.id, extract.name
+            )
+            self._events.publish(
+                "extract.registered", extract=extract, principal=principal
+            )
+        return created
+
+    def extracts_of_sample(
+        self, principal: Principal, sample_id: int
+    ) -> list[Extract]:
+        self.get_sample(principal, sample_id)  # access check
+        return (
+            self._extracts.query()
+            .where("sample_id", "=", sample_id)
+            .order_by("name")
+            .all()
+        )
+
+    def extracts_of_project(
+        self, principal: Principal, project_id: int
+    ) -> list[Extract]:
+        """Every extract reachable through the project's samples.
+
+        This is the "project association significantly reduces drop-down
+        menus" path (paper §1): forms assigning extracts only offer the
+        current project's extracts.
+        """
+        self._acl.require(principal, Permission.READ, project_id)
+        sample_ids = (
+            self._samples.query()
+            .where("project_id", "=", project_id)
+            .pks()
+        )
+        if not sample_ids:
+            return []
+        return (
+            self._extracts.query()
+            .where("sample_id", "in", sample_ids)
+            .order_by("name")
+            .all()
+        )
+
+    def get_extract(self, principal: Principal, extract_id: int) -> Extract:
+        extract = self._extracts.get_or_none(extract_id)
+        if extract is None:
+            raise EntityNotFound("Extract", extract_id)
+        self.get_sample(principal, extract.sample_id)  # access check
+        return extract
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "samples": self._samples.count(),
+            "extracts": self._extracts.count(),
+        }

@@ -1,0 +1,224 @@
+"""Workunits and their data resources.
+
+A workunit is "a container referencing data resources that logically
+form a unit" — the result of an experiment, a measurement, an analysis,
+a search, whatever the scientist decides.  Resources flagged
+``is_input`` were the inputs of the processing step that created the
+remaining resources.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.audit.log import AuditLog
+from repro.core.entities import DataResource, Workunit, WORKUNIT_STATES
+from repro.errors import EntityNotFound, StateError, ValidationError
+from repro.orm import Registry
+from repro.security.acl import AccessControl, Permission
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+from repro.util.events import EventBus
+from repro.util.text import normalize_whitespace
+
+#: Legal status transitions of a workunit.
+_TRANSITIONS = {
+    "pending": {"processing", "available", "failed"},
+    "processing": {"available", "failed"},
+    "available": set(),
+    "failed": {"pending"},  # retry
+}
+
+
+class WorkunitService:
+    """Creates workunits and manages their resources and lifecycle."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        audit: AuditLog,
+        acl: AccessControl,
+        events: EventBus,
+        clock: Clock | None = None,
+    ):
+        self._registry = registry
+        self._audit = audit
+        self._acl = acl
+        self._events = events
+        self._clock = clock or SystemClock()
+        self._workunits = registry.repository(Workunit)
+        self._resources = registry.repository(DataResource)
+
+    # -- creation ------------------------------------------------------------------
+
+    def create(
+        self,
+        principal: Principal,
+        project_id: int,
+        name: str,
+        *,
+        description: str = "",
+        application_id: int | None = None,
+        parameters: dict[str, Any] | None = None,
+        status: str = "pending",
+    ) -> Workunit:
+        self._acl.require(principal, Permission.WRITE, project_id)
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("workunit name required", {"name": "required"})
+        if status not in WORKUNIT_STATES:
+            raise ValidationError(f"unknown workunit status {status!r}")
+        workunit = self._workunits.create(
+            name=name,
+            project_id=project_id,
+            application_id=application_id,
+            description=description,
+            parameters=parameters or {},
+            status=status,
+            created_by=principal.user_id,
+            created_at=self._clock.now(),
+        )
+        self._audit.record(principal, "create", "workunit", workunit.id, name)
+        self._events.publish(
+            "workunit.created", workunit=workunit, principal=principal
+        )
+        return workunit
+
+    def get(self, principal: Principal, workunit_id: int) -> Workunit:
+        workunit = self._workunits.get_or_none(workunit_id)
+        if workunit is None:
+            raise EntityNotFound("Workunit", workunit_id)
+        self._acl.require(principal, Permission.READ, workunit.project_id)
+        return workunit
+
+    def of_project(self, principal: Principal, project_id: int) -> list[Workunit]:
+        self._acl.require(principal, Permission.READ, project_id)
+        return (
+            self._workunits.query()
+            .where("project_id", "=", project_id)
+            .order_by("id")
+            .all()
+        )
+
+    # -- resources ------------------------------------------------------------------
+
+    def add_resource(
+        self,
+        principal: Principal,
+        workunit_id: int,
+        name: str,
+        uri: str,
+        *,
+        storage: str = "internal",
+        size_bytes: int = 0,
+        checksum: str = "",
+        extract_id: int | None = None,
+        is_input: bool = False,
+    ) -> DataResource:
+        workunit = self.get(principal, workunit_id)
+        self._acl.require(principal, Permission.WRITE, workunit.project_id)
+        name = normalize_whitespace(name)
+        if not name:
+            raise ValidationError("resource name required", {"name": "required"})
+        if not uri:
+            raise ValidationError("resource uri required", {"uri": "required"})
+        resource = self._resources.create(
+            name=name,
+            workunit_id=workunit_id,
+            extract_id=extract_id,
+            uri=uri,
+            storage=storage,
+            size_bytes=size_bytes,
+            checksum=checksum,
+            is_input=is_input,
+            created_at=self._clock.now(),
+        )
+        self._audit.record(
+            principal, "create", "data_resource", resource.id, name
+        )
+        self._events.publish(
+            "resource.added", resource=resource, workunit=workunit,
+            principal=principal,
+        )
+        return resource
+
+    def resources_of(
+        self, principal: Principal, workunit_id: int, *, inputs: bool | None = None
+    ) -> list[DataResource]:
+        self.get(principal, workunit_id)  # access check
+        query = (
+            self._resources.query()
+            .where("workunit_id", "=", workunit_id)
+            .order_by("id")
+        )
+        if inputs is not None:
+            query.where("is_input", "=", inputs)
+        return query.all()
+
+    def assign_extract(
+        self,
+        principal: Principal,
+        resource_id: int,
+        extract_id: int | None,
+    ) -> DataResource:
+        """Connect a data resource to the extract it was measured from."""
+        resource = self._resources.get_or_none(resource_id)
+        if resource is None:
+            raise EntityNotFound("DataResource", resource_id)
+        workunit = self.get(principal, resource.workunit_id)
+        self._acl.require(principal, Permission.WRITE, workunit.project_id)
+        updated = self._resources.update(resource_id, extract_id=extract_id)
+        self._audit.record(
+            principal, "update", "data_resource", resource_id,
+            f"assigned extract {extract_id}",
+        )
+        return updated
+
+    def mark_inputs(
+        self, principal: Principal, workunit_id: int, resource_ids: Sequence[int]
+    ) -> int:
+        """Flag the given resources as the workunit's processing inputs."""
+        workunit = self.get(principal, workunit_id)
+        self._acl.require(principal, Permission.WRITE, workunit.project_id)
+        marked = 0
+        for resource_id in resource_ids:
+            resource = self._resources.get_or_none(resource_id)
+            if resource is None or resource.workunit_id != workunit_id:
+                raise ValidationError(
+                    f"resource {resource_id} is not part of workunit {workunit_id}"
+                )
+            self._resources.update(resource_id, is_input=True)
+            marked += 1
+        return marked
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def transition(
+        self, principal: Principal, workunit_id: int, new_status: str
+    ) -> Workunit:
+        """Move the workunit through its lifecycle, validating the edge."""
+        workunit = self.get(principal, workunit_id)
+        if new_status not in WORKUNIT_STATES:
+            raise ValidationError(f"unknown workunit status {new_status!r}")
+        if new_status not in _TRANSITIONS[workunit.status]:
+            raise StateError(
+                f"workunit {workunit_id}: illegal transition "
+                f"{workunit.status} -> {new_status}"
+            )
+        updated = self._workunits.update(workunit_id, status=new_status)
+        self._audit.record(
+            principal, "update", "workunit", workunit_id,
+            f"status {workunit.status} -> {new_status}",
+        )
+        self._events.publish(
+            "workunit.status", workunit=updated, previous=workunit.status,
+            principal=principal,
+        )
+        return updated
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "workunits": self._workunits.count(),
+            "data_resources": self._resources.count(),
+        }

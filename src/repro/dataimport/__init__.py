@@ -1,0 +1,42 @@
+"""Data import (paper Figures 9–11).
+
+"B-Fabric supports two ways of data import: 1) physically copying and
+2) linking data files."  Files come from *data providers* — the local
+file system or instruments known to the deployment (the demo fetches
+from an Affymetrix GeneChip scanner).  Provider configuration restricts
+the visible files "to the ones that are potentially relevant for the
+user ... since the number of the data files can be huge".
+
+An import produces a :class:`~repro.core.entities.Workunit` whose data
+resources then get extracts assigned — with best-match proposals so the
+scientist "typically just needs to press the save button".
+"""
+
+from repro.dataimport.providers import (
+    DataProvider,
+    ProviderFile,
+    RelevanceFilter,
+)
+from repro.dataimport.filesystem import LocalFileSystemProvider
+from repro.dataimport.instruments import (
+    AffymetrixGeneChipProvider,
+    MassSpectrometerProvider,
+)
+from repro.dataimport.store import ManagedStore
+from repro.dataimport.access import ResourceAccessor
+from repro.dataimport.matching import propose_assignments
+from repro.dataimport.importer import DataImportService, IMPORT_WORKFLOW
+
+__all__ = [
+    "DataProvider",
+    "ProviderFile",
+    "RelevanceFilter",
+    "LocalFileSystemProvider",
+    "AffymetrixGeneChipProvider",
+    "MassSpectrometerProvider",
+    "ManagedStore",
+    "ResourceAccessor",
+    "propose_assignments",
+    "DataImportService",
+    "IMPORT_WORKFLOW",
+]

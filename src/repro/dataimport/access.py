@@ -1,0 +1,76 @@
+"""Transparent access to data-resource bytes.
+
+Paper §1: "any external data store can be attached and made accessible
+via B-Fabric.  Users do not need to care about where and how the data
+are kept.  B-Fabric captures and provides the data transparently."
+
+A :class:`ResourceAccessor` resolves any resource URI to bytes:
+
+* ``store://...`` — read from the managed internal store;
+* ``<provider-kind>://<provider-name>/<path>`` — re-fetch from the
+  registered provider on demand (link-mode imports);
+
+so downstream consumers (experiment staging, the portal's download
+links, checksum verification) use one call regardless of storage mode.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import urllib.parse
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.dataimport.store import ManagedStore, sha256_of
+from repro.errors import ProviderError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dataimport.importer import DataImportService
+
+
+class ResourceAccessor:
+    """Resolves resource URIs to local bytes."""
+
+    def __init__(self, store: ManagedStore, imports: "DataImportService"):
+        self._store = store
+        self._imports = imports
+
+    def materialize(self, uri: str, destination: Path) -> Path:
+        """Place the bytes behind *uri* under *destination*; return the path."""
+        destination.mkdir(parents=True, exist_ok=True)
+        if uri.startswith("store://"):
+            source = self._store.path_for(uri)
+            if not source.is_file():
+                raise ProviderError(f"stored file missing: {uri}")
+            target = destination / source.name
+            target.write_bytes(source.read_bytes())
+            return target
+        return self._fetch_from_provider(uri, destination)
+
+    def _fetch_from_provider(self, uri: str, destination: Path) -> Path:
+        parsed = urllib.parse.urlsplit(uri)
+        provider_name, _, remainder = parsed.netloc, "", parsed.path.lstrip("/")
+        if not provider_name:
+            raise ProviderError(f"cannot resolve resource uri {uri!r}")
+        provider = self._imports.provider(provider_name)
+        file_name = remainder.rsplit("/", 1)[-1]
+        file = provider.find(file_name)
+        return provider.fetch(file, destination)
+
+    def read_bytes(self, uri: str) -> bytes:
+        """The full content behind *uri*."""
+        if uri.startswith("store://"):
+            path = self._store.path_for(uri)
+            if not path.is_file():
+                raise ProviderError(f"stored file missing: {uri}")
+            return path.read_bytes()
+        with tempfile.TemporaryDirectory() as tmp:
+            return self.materialize(uri, Path(tmp)).read_bytes()
+
+    def verify_checksum(self, uri: str, expected: str) -> bool:
+        """Re-hash the bytes behind *uri* against a recorded checksum."""
+        if not expected:
+            return False
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.materialize(uri, Path(tmp))
+            return sha256_of(path) == expected

@@ -1,0 +1,54 @@
+"""Local-filesystem data provider."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import shutil
+from pathlib import Path
+
+from repro.dataimport.providers import DataProvider, ProviderFile, RelevanceFilter
+from repro.errors import ProviderError
+
+
+class LocalFileSystemProvider(DataProvider):
+    """Imports files from a directory tree on the local machine."""
+
+    kind = "filesystem"
+
+    def __init__(
+        self,
+        name: str,
+        root: "str | Path",
+        *,
+        relevance: RelevanceFilter | None = None,
+    ):
+        super().__init__(name, relevance=relevance)
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise ProviderError(f"provider root {self.root} is not a directory")
+
+    def _list_all(self) -> list[ProviderFile]:
+        files = []
+        for path in sorted(self.root.rglob("*")):
+            if not path.is_file():
+                continue
+            stat = path.stat()
+            files.append(
+                ProviderFile(
+                    name=path.name,
+                    path=str(path.relative_to(self.root)),
+                    size_bytes=stat.st_size,
+                    modified=_dt.datetime.utcfromtimestamp(int(stat.st_mtime)),
+                    kind=path.suffix.lstrip(".").lower(),
+                )
+            )
+        return files
+
+    def fetch(self, file: ProviderFile, destination: Path) -> Path:
+        source = self.root / file.path
+        if not source.is_file():
+            raise ProviderError(f"file vanished from provider: {source}")
+        destination.mkdir(parents=True, exist_ok=True)
+        target = destination / file.name
+        shutil.copyfile(source, target)
+        return target

@@ -1,0 +1,301 @@
+"""The data-import service: provider registry, imports, extract assignment.
+
+An import (paper Figure 9) runs as a workflow (Figure 10)::
+
+    [fetch files] --fetched(auto)--> [assign extracts] --save--> END
+
+The fetch step executes during :meth:`DataImportService.import_files`;
+the workflow then parks in ``assign_extracts`` — the step highlighted
+for the user — until :meth:`apply_assignments` fires ``save``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+from repro.audit.log import AuditLog
+from repro.core.entities import DataResource, Extract, Workunit
+from repro.core.services.samples import SampleService
+from repro.core.services.workunits import WorkunitService
+from repro.dataimport.matching import AssignmentProposal, propose_assignments
+from repro.dataimport.providers import DataProvider, RelevanceFilter
+from repro.dataimport.store import ManagedStore
+from repro.errors import ProviderError, ValidationError
+from repro.orm import (
+    BoolField,
+    DateTimeField,
+    IntField,
+    JsonField,
+    Model,
+    Registry,
+    TextField,
+)
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+from repro.util.events import EventBus
+from repro.workflow.definitions import Action, Step, WorkflowDefinition
+from repro.workflow.engine import WorkflowEngine, WorkflowInstance
+
+#: Name of the registered data-import workflow definition.
+IMPORT_WORKFLOW = "data_import"
+
+IMPORT_MODES = ("copy", "link")
+
+
+class ProviderConfig(Model):
+    """Persisted provider configuration (admin-visible)."""
+
+    __table__ = "data_provider"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, unique=True)
+    kind = TextField(nullable=False)
+    config = JsonField(default=dict)
+    active = BoolField(default=True)
+    created_at = DateTimeField()
+
+
+def import_workflow_definition() -> WorkflowDefinition:
+    """Build the two-step import workflow of Figure 10."""
+    return WorkflowDefinition(
+        IMPORT_WORKFLOW,
+        steps=[
+            Step(
+                "fetch",
+                actions=(
+                    Action(
+                        "fetched",
+                        target="assign_extracts",
+                        label="Files fetched",
+                        auto=True,
+                    ),
+                ),
+                label="Fetch files",
+                description="Copy or link the selected provider files",
+            ),
+            Step(
+                "assign_extracts",
+                actions=(
+                    Action("save", target="done", label="Save assignments"),
+                ),
+                label="Assign extracts",
+                description="Connect each imported file to its extract",
+            ),
+            Step("done", actions=(), label="Import complete"),
+        ],
+        description="Data import: fetch provider files, assign extracts",
+    )
+
+
+class DataImportService:
+    """Imports provider files into workunits."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        workunits: WorkunitService,
+        samples: SampleService,
+        workflow: WorkflowEngine,
+        store: ManagedStore,
+        audit: AuditLog,
+        events: EventBus,
+        clock: Clock | None = None,
+    ):
+        self._registry = registry
+        self._workunits = workunits
+        self._samples = samples
+        self._workflow = workflow
+        self._store = store
+        self._audit = audit
+        self._events = events
+        self._clock = clock or SystemClock()
+        self._providers: dict[str, DataProvider] = {}
+        self._configs = registry.repository(ProviderConfig)
+        if IMPORT_WORKFLOW not in workflow.definition_names():
+            workflow.register_definition(import_workflow_definition())
+
+    # -- provider registry -----------------------------------------------------------
+
+    def register_provider(self, provider: DataProvider) -> ProviderConfig:
+        """Make a provider available for imports.
+
+        "New data providers can be added to the system easily" — the
+        live object goes into the in-memory registry, its configuration
+        is persisted for the admin console.
+        """
+        if provider.name in self._providers:
+            raise ValidationError(f"provider {provider.name!r} already registered")
+        self._providers[provider.name] = provider
+        existing = self._configs.find_one(name=provider.name)
+        if existing is not None:
+            return existing
+        return self._configs.create(
+            name=provider.name,
+            kind=provider.kind,
+            config={
+                "patterns": provider.relevance.patterns,
+                "extensions": provider.relevance.extensions,
+            },
+            created_at=self._clock.now(),
+        )
+
+    def provider(self, name: str) -> DataProvider:
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise ProviderError(f"no provider named {name!r}") from None
+
+    def provider_names(self) -> list[str]:
+        return sorted(self._providers)
+
+    def browse(
+        self, provider_name: str, extra_filter: RelevanceFilter | None = None
+    ):
+        """List a provider's relevant files for the picker UI."""
+        return self.provider(provider_name).list_files(extra_filter)
+
+    # -- importing --------------------------------------------------------------------
+
+    def import_files(
+        self,
+        principal: Principal,
+        project_id: int,
+        provider_name: str,
+        file_names: Sequence[str],
+        *,
+        workunit_name: str,
+        mode: str = "copy",
+        description: str = "",
+    ) -> tuple[Workunit, list[DataResource], WorkflowInstance]:
+        """Import files into a new workunit (paper Figure 9).
+
+        ``mode="copy"`` fetches bytes into the managed store and records
+        checksums; ``mode="link"`` records the provider URI only.
+        Returns the workunit (``pending`` until extract assignment), its
+        resources, and the running import workflow instance.
+        """
+        if mode not in IMPORT_MODES:
+            raise ValidationError(f"import mode must be copy|link, got {mode!r}")
+        if not file_names:
+            raise ValidationError("nothing selected for import")
+        provider = self.provider(provider_name)
+        files = [provider.find(name) for name in file_names]
+
+        # Copy mode fetches everything *before* any row is created, so a
+        # provider failure mid-import leaves no half-imported workunit.
+        with tempfile.TemporaryDirectory() as staging:
+            fetched_paths: dict[str, Path] = {}
+            if mode == "copy":
+                for file in files:
+                    fetched_paths[file.name] = provider.fetch(
+                        file, Path(staging) / file.name.replace("/", "_")
+                    )
+
+            workunit = self._workunits.create(
+                principal,
+                project_id,
+                workunit_name,
+                description=description
+                or f"import of {len(files)} file(s) from {provider_name}",
+                parameters={"provider": provider_name, "mode": mode},
+            )
+            resources: list[DataResource] = []
+            for file in files:
+                if mode == "copy":
+                    uri, checksum, size = self._store.ingest(
+                        workunit.id, fetched_paths[file.name]
+                    )
+                    storage = "internal"
+                else:
+                    uri = provider.uri_for(file)
+                    checksum = ""
+                    size = file.size_bytes
+                    storage = "linked"
+                resources.append(
+                    self._workunits.add_resource(
+                        principal,
+                        workunit.id,
+                        file.name,
+                        uri,
+                        storage=storage,
+                        size_bytes=size,
+                        checksum=checksum,
+                    )
+                )
+
+        instance = self._workflow.start(
+            principal,
+            IMPORT_WORKFLOW,
+            entity_type="workunit",
+            entity_id=workunit.id,
+            context={"provider": provider_name, "mode": mode,
+                     "files": [f.name for f in files]},
+        )
+        self._audit.record(
+            principal, "create", "import", workunit.id,
+            f"imported {len(files)} file(s) from {provider_name} ({mode})",
+        )
+        self._events.publish(
+            "import.awaiting_assignment",
+            workunit=workunit,
+            principal=principal,
+            unassigned=len(resources),
+        )
+        return workunit, resources, instance
+
+    # -- extract assignment ---------------------------------------------------------------
+
+    def proposals_for(
+        self, principal: Principal, workunit_id: int
+    ) -> list[AssignmentProposal]:
+        """Best-match extract proposals for a workunit's resources."""
+        workunit = self._workunits.get(principal, workunit_id)
+        resources = self._workunits.resources_of(principal, workunit_id)
+        extracts = self._samples.extracts_of_project(
+            principal, workunit.project_id
+        )
+        return propose_assignments(
+            {r.id: r.name for r in resources if r.extract_id is None},
+            {e.id: e.name for e in extracts},
+        )
+
+    def apply_assignments(
+        self,
+        principal: Principal,
+        workunit_id: int,
+        assignments: dict[int, int] | None = None,
+    ) -> Workunit:
+        """Persist assignments and complete the import workflow.
+
+        With ``assignments=None`` the best-match proposals are applied
+        as-is — the demo's "just press the save button" path.
+        """
+        if assignments is None:
+            assignments = {
+                p.resource_id: p.extract_id
+                for p in self.proposals_for(principal, workunit_id)
+            }
+        valid_extracts = {
+            e.id
+            for e in self._samples.extracts_of_project(
+                principal,
+                self._workunits.get(principal, workunit_id).project_id,
+            )
+        }
+        for resource_id, extract_id in assignments.items():
+            if extract_id not in valid_extracts:
+                raise ValidationError(
+                    f"extract {extract_id} does not belong to this project"
+                )
+            self._workunits.assign_extract(principal, resource_id, extract_id)
+
+        for instance in self._workflow.for_entity("workunit", workunit_id):
+            if instance.definition == IMPORT_WORKFLOW and instance.status == "active":
+                self._workflow.fire(principal, instance.id, "save")
+        workunit = self._workunits.transition(principal, workunit_id, "available")
+        self._events.publish(
+            "import.extracts_assigned", workunit=workunit, principal=principal
+        )
+        return workunit

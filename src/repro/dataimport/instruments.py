@@ -1,0 +1,99 @@
+"""Simulated instrument data stores.
+
+The FGCZ deployment imports from real instruments (the demo shows the
+Affymetrix GeneChip scanner); we have no scanner, so these providers
+*simulate* instrument stores: they synthesize deterministic file
+listings and deterministic file contents from a seed.  The provider SPI
+— listing, relevance filtering, copy/link fetch — is exercised exactly
+as with real hardware; only the bytes are synthetic (see DESIGN.md,
+substitutions).
+
+Determinism matters: the same seed always produces the same listing and
+the same bytes, so checksums are reproducible across test runs.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import random
+from pathlib import Path
+
+from repro.dataimport.providers import DataProvider, ProviderFile, RelevanceFilter
+
+
+def _content_for(path: str, size: int) -> bytes:
+    """Deterministic pseudo-random bytes for a simulated file."""
+    seed_digest = hashlib.sha256(path.encode("utf-8")).digest()
+    rng = random.Random(seed_digest)
+    return bytes(rng.getrandbits(8) for _ in range(size))
+
+
+class SimulatedInstrumentProvider(DataProvider):
+    """Base for instruments: synthesizes a run-structured listing."""
+
+    kind = "instrument"
+    #: Per-run file templates: (suffix, size) — subclasses override.
+    file_templates: tuple[tuple[str, int], ...] = ((".dat", 2048),)
+    run_prefix = "run"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        runs: int = 4,
+        samples_per_run: tuple[str, ...] = ("a", "b"),
+        start: _dt.datetime | None = None,
+        relevance: RelevanceFilter | None = None,
+    ):
+        super().__init__(name, relevance=relevance)
+        self.runs = runs
+        self.samples_per_run = samples_per_run
+        self.start = start or _dt.datetime(2010, 1, 4, 8, 0)
+        self._files = self._synthesize()
+
+    def _synthesize(self) -> list[ProviderFile]:
+        files: list[ProviderFile] = []
+        moment = self.start
+        for run in range(1, self.runs + 1):
+            for sample in self.samples_per_run:
+                for suffix, size in self.file_templates:
+                    stem = f"{self.run_prefix}{run:02d}_{sample}"
+                    name = f"{stem}{suffix}"
+                    files.append(
+                        ProviderFile(
+                            name=name,
+                            path=f"{self.run_prefix}{run:02d}/{name}",
+                            size_bytes=size,
+                            modified=moment,
+                            kind=suffix.lstrip("."),
+                        )
+                    )
+                moment += _dt.timedelta(hours=3)
+        return files
+
+    def _list_all(self) -> list[ProviderFile]:
+        return list(self._files)
+
+    def fetch(self, file: ProviderFile, destination: Path) -> Path:
+        destination.mkdir(parents=True, exist_ok=True)
+        target = destination / file.name
+        target.write_bytes(_content_for(file.path, file.size_bytes))
+        return target
+
+
+class AffymetrixGeneChipProvider(SimulatedInstrumentProvider):
+    """The GeneChip scanner of paper Figure 9: array scans produce
+    ``.cel`` intensity files plus a small ``.chp`` analysis file."""
+
+    kind = "genechip"
+    file_templates = ((".cel", 8192), (".chp", 1024))
+    run_prefix = "scan"
+
+
+class MassSpectrometerProvider(SimulatedInstrumentProvider):
+    """An LTQ-FT-style mass spectrometer producing ``.raw`` spectra."""
+
+    kind = "massspec"
+    file_templates = ((".raw", 16384),)
+    run_prefix = "ms"

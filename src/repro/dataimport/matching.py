@@ -1,0 +1,71 @@
+"""Intelligent extract assignment (paper Figure 11).
+
+"When the scientist goes to the assign extracts screen, he gets already
+the best matches between data resources and extract names.  Typically he
+just needs to press the save button and continue."
+
+The proposal is a stable matching by descending similarity: each
+resource gets at most one extract and each extract at most one resource
+(greedy on the globally best remaining pair — with file names like
+``wt_light_1.cel`` against extracts named ``wt light 1`` this is exact).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.util.text import combined_similarity, filename_stem
+
+
+@dataclass(frozen=True)
+class AssignmentProposal:
+    """One proposed resource → extract assignment."""
+
+    resource_id: int
+    extract_id: int
+    score: float
+
+
+def _comparable(text: str) -> str:
+    return re.sub(r"[_\-.]+", " ", text)
+
+
+def propose_assignments(
+    resources: dict[int, str],
+    extracts: dict[int, str],
+    *,
+    minimum: float = 0.3,
+) -> list[AssignmentProposal]:
+    """Best one-to-one matches between resource and extract names.
+
+    :param resources: resource id → file name.
+    :param extracts: extract id → extract name.
+    :param minimum: pairs scoring below this are not proposed at all.
+    :returns: proposals sorted by resource id; unmatched resources are
+        simply absent (the form leaves their drop-down empty).
+    """
+    pairs: list[tuple[float, int, int]] = []
+    resource_texts = {
+        rid: _comparable(filename_stem(name)) for rid, name in resources.items()
+    }
+    extract_texts = {eid: _comparable(name) for eid, name in extracts.items()}
+    for rid, rtext in resource_texts.items():
+        for eid, etext in extract_texts.items():
+            score = combined_similarity(rtext, etext)
+            if score >= minimum:
+                pairs.append((score, rid, eid))
+    # Greedy on globally best remaining pair; ties break deterministically
+    # by (resource id, extract id).
+    pairs.sort(key=lambda p: (-p[0], p[1], p[2]))
+    taken_resources: set[int] = set()
+    taken_extracts: set[int] = set()
+    proposals: list[AssignmentProposal] = []
+    for score, rid, eid in pairs:
+        if rid in taken_resources or eid in taken_extracts:
+            continue
+        taken_resources.add(rid)
+        taken_extracts.add(eid)
+        proposals.append(AssignmentProposal(rid, eid, round(score, 4)))
+    proposals.sort(key=lambda p: p.resource_id)
+    return proposals

@@ -1,0 +1,104 @@
+"""Data-provider SPI and relevance filtering."""
+
+from __future__ import annotations
+
+import fnmatch
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+import datetime as _dt
+from pathlib import Path
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ProviderFile:
+    """One file visible in a provider's data store."""
+
+    name: str
+    path: str
+    size_bytes: int
+    modified: _dt.datetime
+    kind: str = ""  # e.g. "cel", "raw", "wiff"
+
+
+@dataclass
+class RelevanceFilter:
+    """Restricts provider listings to potentially relevant files.
+
+    All criteria are conjunctive; empty criteria match everything.
+    """
+
+    patterns: list[str] = field(default_factory=list)  # fnmatch globs
+    extensions: list[str] = field(default_factory=list)  # without dot
+    modified_after: _dt.datetime | None = None
+    max_files: int | None = None
+
+    def matches(self, file: ProviderFile) -> bool:
+        if self.patterns and not any(
+            fnmatch.fnmatch(file.name, pattern) for pattern in self.patterns
+        ):
+            return False
+        if self.extensions:
+            suffix = file.name.rsplit(".", 1)[-1].lower() if "." in file.name else ""
+            if suffix not in [e.lower().lstrip(".") for e in self.extensions]:
+                return False
+        if self.modified_after is not None and file.modified < self.modified_after:
+            return False
+        return True
+
+    def apply(self, files: Iterable[ProviderFile]) -> list[ProviderFile]:
+        selected = [f for f in files if self.matches(f)]
+        selected.sort(key=lambda f: (f.modified, f.name), reverse=True)
+        if self.max_files is not None:
+            selected = selected[: self.max_files]
+        return selected
+
+
+class DataProvider(ABC):
+    """A configured source of importable files.
+
+    Implementations must be cheap to ``list_files`` (it backs a picker
+    UI) and deliver bytes through ``fetch``.
+    """
+
+    #: Provider kind identifier, e.g. "filesystem", "genechip".
+    kind: str = "abstract"
+
+    def __init__(self, name: str, *, relevance: RelevanceFilter | None = None):
+        self.name = name
+        self.relevance = relevance or RelevanceFilter()
+
+    @abstractmethod
+    def _list_all(self) -> list[ProviderFile]:
+        """Unfiltered listing of the underlying store."""
+
+    @abstractmethod
+    def fetch(self, file: ProviderFile, destination: Path) -> Path:
+        """Copy *file*'s bytes under *destination*; return the local path."""
+
+    def uri_for(self, file: ProviderFile) -> str:
+        """Stable URI for link-mode imports."""
+        return f"{self.kind}://{self.name}/{file.path.lstrip('/')}"
+
+    def list_files(
+        self, extra_filter: RelevanceFilter | None = None
+    ) -> list[ProviderFile]:
+        """Relevant files, newest first."""
+        files = self.relevance.apply(self._list_all())
+        if extra_filter is not None:
+            files = extra_filter.apply(files)
+        return files
+
+    def find(self, name: str) -> ProviderFile:
+        """Look up one relevant file by name."""
+        for file in self.list_files():
+            if file.name == name:
+                return file
+        from repro.errors import ProviderError
+
+        raise ProviderError(
+            f"provider {self.name!r} has no relevant file named {name!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,66 @@
+"""The managed internal store for copy-mode imports.
+
+Copied files land under ``<root>/<workunit_id>/<file name>`` and are
+checksummed (SHA-256) on the way in, so later integrity verification can
+detect bit rot or tampering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+
+def sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class ManagedStore:
+    """B-Fabric's internal storage area."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def directory_for(self, workunit_id: int) -> Path:
+        return self.root / f"workunit_{workunit_id:08d}"
+
+    def uri_for(self, workunit_id: int, name: str) -> str:
+        return f"store://{self.directory_for(workunit_id).name}/{name}"
+
+    def path_for(self, uri: str) -> Path:
+        """Resolve a ``store://`` URI back to a filesystem path."""
+        if not uri.startswith("store://"):
+            raise ValueError(f"not a managed-store uri: {uri!r}")
+        relative = uri[len("store://"):]
+        return self.root / relative
+
+    def ingest(self, workunit_id: int, source: Path) -> tuple[str, str, int]:
+        """Move a fetched file into the store.
+
+        Returns ``(uri, sha256, size_bytes)``.
+        """
+        directory = self.directory_for(workunit_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / source.name
+        if source != target:
+            target.write_bytes(source.read_bytes())
+        return (
+            self.uri_for(workunit_id, source.name),
+            sha256_of(target),
+            target.stat().st_size,
+        )
+
+    def verify(self, uri: str, expected_checksum: str) -> bool:
+        """Re-hash a stored file against its recorded checksum."""
+        path = self.path_for(uri)
+        if not path.is_file():
+            return False
+        return sha256_of(path) == expected_checksum
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.rglob("*") if p.is_file())

@@ -1,0 +1,182 @@
+"""Exception hierarchy for the B-Fabric reproduction.
+
+All exceptions raised by the library derive from :class:`BFabricError` so
+that callers can catch library failures with a single ``except`` clause.
+Subsystems add their own subclasses; the ones defined here are shared
+across packages.
+"""
+
+from __future__ import annotations
+
+
+class BFabricError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage-layer errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(BFabricError):
+    """Base class for errors raised by the embedded storage engine."""
+
+
+class SchemaError(StorageError):
+    """A table or column definition is invalid or used inconsistently."""
+
+
+class ConstraintViolation(StorageError):
+    """A write violated a declared constraint (PK, unique, FK, NOT NULL)."""
+
+    def __init__(self, message: str, *, table: str = "", constraint: str = ""):
+        super().__init__(message)
+        self.table = table
+        self.constraint = constraint
+
+
+class PrimaryKeyViolation(ConstraintViolation):
+    """Insert reused an existing primary key."""
+
+
+class UniqueViolation(ConstraintViolation):
+    """A unique index rejected a duplicate value."""
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    """A referenced row does not exist, or a referencing row blocks delete."""
+
+
+class NotNullViolation(ConstraintViolation):
+    """A required column received ``None``."""
+
+
+class CheckViolation(ConstraintViolation):
+    """A row failed a declared CHECK predicate."""
+
+
+class RowNotFound(StorageError):
+    """Lookup by primary key found no row."""
+
+    def __init__(self, table: str, key: object):
+        super().__init__(f"no row with key {key!r} in table {table!r}")
+        self.table = table
+        self.key = key
+
+
+class TransactionError(StorageError):
+    """A transaction was used outside its legal lifecycle."""
+
+
+class WalCorruption(StorageError):
+    """The write-ahead log failed its integrity checks during recovery."""
+
+
+# ---------------------------------------------------------------------------
+# Domain errors
+# ---------------------------------------------------------------------------
+
+
+class DomainError(BFabricError):
+    """Base class for domain/service-layer errors."""
+
+
+class ValidationError(DomainError):
+    """User input failed validation.
+
+    ``field_errors`` maps field names to human-readable problems so that
+    form layers can attach messages to the offending widgets.
+    """
+
+    def __init__(self, message: str, field_errors: dict[str, str] | None = None):
+        super().__init__(message)
+        self.field_errors = dict(field_errors or {})
+
+
+class EntityNotFound(DomainError):
+    """A service was asked to operate on a nonexistent entity."""
+
+    def __init__(self, entity_type: str, entity_id: object):
+        super().__init__(f"{entity_type} {entity_id!r} does not exist")
+        self.entity_type = entity_type
+        self.entity_id = entity_id
+
+
+class StateError(DomainError):
+    """An operation is not allowed in the entity's current state."""
+
+
+class AccessDenied(BFabricError):
+    """The acting principal lacks the permission for the operation."""
+
+    def __init__(self, message: str, *, principal: str = "", permission: str = ""):
+        super().__init__(message)
+        self.principal = principal
+        self.permission = permission
+
+
+class AuthenticationError(BFabricError):
+    """Login failed or the session is invalid/expired."""
+
+
+# ---------------------------------------------------------------------------
+# Workflow errors
+# ---------------------------------------------------------------------------
+
+
+class WorkflowError(BFabricError):
+    """Base class for workflow-engine errors."""
+
+
+class WorkflowDefinitionError(WorkflowError):
+    """A workflow definition is structurally invalid."""
+
+
+class InvalidActionError(WorkflowError):
+    """The requested action is not available in the current step."""
+
+    def __init__(self, action: str, step: str, available: list[str] | None = None):
+        avail = ", ".join(available or []) or "none"
+        super().__init__(
+            f"action {action!r} is not available in step {step!r} (available: {avail})"
+        )
+        self.action = action
+        self.step = step
+        self.available = list(available or [])
+
+
+class WorkflowConditionFailed(WorkflowError):
+    """An action's guard condition rejected the transition."""
+
+
+# ---------------------------------------------------------------------------
+# Integration errors
+# ---------------------------------------------------------------------------
+
+
+class ImportError_(BFabricError):
+    """A data import failed (provider unreachable, checksum mismatch, ...).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`ImportError`.
+    """
+
+
+class ProviderError(ImportError_):
+    """A data provider could not list or deliver files."""
+
+
+class ConnectorError(BFabricError):
+    """An application connector failed to stage, launch, or collect."""
+
+
+class ApplicationError(BFabricError):
+    """A registered application rejected its input or crashed."""
+
+
+class SearchError(BFabricError):
+    """The search engine rejected a query or failed to index a document."""
+
+
+class QuerySyntaxError(SearchError):
+    """The advanced-search query string could not be parsed."""

@@ -1,0 +1,447 @@
+"""The all-in-one entry point: :class:`BFabric`.
+
+Wires every subsystem — storage, ORM, security, audit, annotations,
+tasks, workflows, data import, applications, search, browsing, admin —
+into one object, the way the FGCZ deployment runs them together.
+
+::
+
+    from repro import BFabric
+
+    system = BFabric()                      # in-memory
+    admin = system.bootstrap()              # first admin principal
+    scientist = system.add_user(admin, login="turker", full_name="Can T.")
+    project = system.projects.create(scientist, "Arabidopsis light response")
+
+Durable deployments pass a directory::
+
+    system = BFabric("/var/lib/bfabric")    # WAL + managed file store
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.admin.errors import ErrorRecord, ErrorRegistry
+from repro.admin.maintenance import MaintenanceService
+from repro.annotations.schema import annotation_models
+from repro.annotations.service import AnnotationService
+from repro.apps.connectors import LocalPythonConnector
+from repro.apps.experiments import ExperimentService
+from repro.apps.registry import ApplicationRegistry
+from repro.apps.results import ResultPackager
+from repro.apps.rserve import RserveConnector, two_group_analysis
+from repro.audit.log import AuditLog
+from repro.audit.monitor import SystemMonitor
+from repro.core.entities import ALL_MODELS, User
+from repro.core.services.directory import DirectoryService
+from repro.core.services.projects import ProjectService
+from repro.core.services.samples import SampleService
+from repro.core.services.workunits import WorkunitService
+from repro.dataimport.importer import DataImportService, ProviderConfig
+from repro.dataimport.store import ManagedStore
+from repro.graphview.links import LinkGraph
+from repro.graphview.provenance import ProvenanceTracer
+from repro.admin.reports import UsageReports
+from repro.orm import Registry
+from repro.search.engine import SearchEngine
+from repro.search.history import SavedQuery, SavedQueryStore
+from repro.security.acl import AccessControl
+from repro.security.auth import Authenticator, hash_password
+from repro.security.principals import Principal, Role, SYSTEM
+from repro.storage.database import Database
+from repro.tasks.rules import install_standard_rules
+from repro.tasks.service import Task, TaskService
+from repro.util.clock import Clock, SystemClock
+from repro.util.events import EventBus
+from repro.workflow.engine import WorkflowEngine, workflow_models
+
+
+class BFabric:
+    """The integrated system."""
+
+    def __init__(
+        self,
+        path: "str | Path | None" = None,
+        *,
+        clock: Clock | None = None,
+        durable: bool = True,
+        index_on_events: bool = True,
+    ):
+        self.clock = clock or SystemClock()
+        self.path = Path(path) if path is not None else None
+
+        db_dir = self.path / "db" if self.path else None
+        self.db = Database(db_dir, durable=durable)
+        self.registry = Registry(self.db)
+        self.events = EventBus()
+        self.monitor = SystemMonitor(self.db)
+        self.audit = AuditLog(self.db, clock=self.clock)
+
+        # Schema: core entities first (FK targets), then subsystem models.
+        self.registry.register_all(ALL_MODELS)
+        self.registry.register_all(annotation_models())
+        self.registry.register(Task)
+        self.registry.register_all(workflow_models())
+        self.registry.register(ProviderConfig)
+        self.registry.register(SavedQuery)
+        self.registry.register(ErrorRecord)
+
+        self.acl = AccessControl(self.db)
+        self.auth = Authenticator(self.db, clock=self.clock)
+        self.directory = DirectoryService(
+            self.registry, audit=self.audit, clock=self.clock
+        )
+        self.projects = ProjectService(
+            self.registry, audit=self.audit, acl=self.acl, events=self.events,
+            clock=self.clock,
+        )
+        self.annotations = AnnotationService(
+            self.registry, audit=self.audit, events=self.events, clock=self.clock
+        )
+        self.samples = SampleService(
+            self.registry, audit=self.audit, acl=self.acl,
+            annotations=self.annotations, events=self.events, clock=self.clock,
+        )
+        self.workunits = WorkunitService(
+            self.registry, audit=self.audit, acl=self.acl, events=self.events,
+            clock=self.clock,
+        )
+        self.tasks = TaskService(self.registry, audit=self.audit, clock=self.clock)
+        self.workflow = WorkflowEngine(
+            self.registry, audit=self.audit, events=self.events, clock=self.clock
+        )
+        if self.path:
+            store_dir = self.path / "store"
+            self._store_tmp = None
+        else:
+            # In-memory systems get a throwaway store that vanishes with
+            # the instance instead of littering the working directory.
+            import tempfile
+
+            self._store_tmp = tempfile.TemporaryDirectory(
+                prefix="bfabric-store-"
+            )
+            store_dir = Path(self._store_tmp.name)
+        self.store = ManagedStore(store_dir)
+        self.imports = DataImportService(
+            self.registry,
+            workunits=self.workunits,
+            samples=self.samples,
+            workflow=self.workflow,
+            store=self.store,
+            audit=self.audit,
+            events=self.events,
+            clock=self.clock,
+        )
+        from repro.dataimport.access import ResourceAccessor
+
+        self.access = ResourceAccessor(self.store, self.imports)
+        self.applications = ApplicationRegistry(
+            self.registry, audit=self.audit, events=self.events, clock=self.clock
+        )
+        self.experiments = ExperimentService(
+            self.registry,
+            applications=self.applications,
+            workunits=self.workunits,
+            samples=self.samples,
+            workflow=self.workflow,
+            store=self.store,
+            audit=self.audit,
+            acl=self.acl,
+            events=self.events,
+            clock=self.clock,
+            access=self.access,
+        )
+        self.results = ResultPackager(self.workunits, self.store)
+        self.search = SearchEngine(acl=self.acl)
+        self.saved_queries = SavedQueryStore(self.registry, clock=self.clock)
+        self.links = LinkGraph(self.db)
+        self.provenance = ProvenanceTracer(self.db)
+        self.reports = UsageReports(self.db)
+        self.errors = ErrorRegistry(self.registry, clock=self.clock)
+        self.maintenance = MaintenanceService(
+            self.db, audit=self.audit, search=self.search, workflow=self.workflow
+        )
+
+        install_standard_rules(self.events, self.tasks)
+        if index_on_events:
+            self._install_index_hooks()
+        self._install_default_connectors()
+
+    # -- bootstrap --------------------------------------------------------------------
+
+    def bootstrap(
+        self,
+        *,
+        login: str = "admin",
+        full_name: str = "System Administrator",
+        password: str = "admin",
+    ) -> Principal:
+        """Create (or fetch) the first admin user and return the principal."""
+        existing = self.directory.user_by_login(login)
+        if existing is not None:
+            return self.directory.principal_for(existing)
+        row = self.db.insert(
+            User.__table__,
+            {
+                "login": login,
+                "full_name": full_name,
+                "role": "admin",
+                "password_hash": hash_password(password),
+                "email": "",
+                "active": True,
+                "created_at": self.clock.now(),
+                "institute_id": None,
+            },
+        )
+        self.audit.record(SYSTEM, "create", "user", row["id"], f"bootstrap {login}")
+        return Principal(user_id=row["id"], login=login, role=Role.ADMIN)
+
+    def add_user(
+        self,
+        actor: Principal,
+        *,
+        login: str,
+        full_name: str,
+        role: str = "scientist",
+        password: str = "",
+        email: str = "",
+        institute_id: int | None = None,
+    ) -> Principal:
+        """Create a user and return their acting principal."""
+        user = self.directory.create_user(
+            actor,
+            login=login,
+            full_name=full_name,
+            role=role,
+            password=password,
+            email=email,
+            institute_id=institute_id,
+        )
+        return self.directory.principal_for(user)
+
+    def recover(self) -> dict[str, int]:
+        """Load snapshot + WAL of a durable deployment."""
+        return self.db.recover()
+
+    def close(self) -> None:
+        self.db.close()
+        if self._store_tmp is not None:
+            self._store_tmp.cleanup()
+            self._store_tmp = None
+
+    def __enter__(self) -> "BFabric":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- deployment statistics (the Final-Remark table) ----------------------------------
+
+    def deployment_statistics(self) -> dict[str, int]:
+        """Object counts in the paper's Final-Remark layout."""
+        return {
+            "Users": self.db.count("user"),
+            "Projects": self.db.count("project"),
+            "Institutes": self.db.count("institute"),
+            "Organizations": self.db.count("organization"),
+            "Samples": self.db.count("sample"),
+            "Extracts": self.db.count("extract"),
+            "Data Resources": self.db.count("data_resource"),
+            "Workunits": self.db.count("workunit"),
+        }
+
+    # -- search wiring ----------------------------------------------------------------------
+
+    def _install_index_hooks(self) -> None:
+        """Keep the full-text index in sync with domain events."""
+
+        def index_project(project, **_):
+            self.search.index_document(
+                "project", project.id,
+                {"name": project.name, "description": project.description},
+                project_id=project.id,
+            )
+
+        def index_sample(sample, **_):
+            self.search.index_document(
+                "sample", sample.id,
+                {
+                    "name": sample.name,
+                    "species": sample.species,
+                    "description": sample.description,
+                    "attributes": " ".join(
+                        f"{k} {v}" for k, v in sample.attributes.items()
+                    ),
+                },
+                project_id=sample.project_id,
+            )
+
+        def index_extract(extract, **_):
+            sample_row = self.db.get_or_none("sample", extract.sample_id) or {}
+            self.search.index_document(
+                "extract", extract.id,
+                {
+                    "name": extract.name,
+                    "procedure": extract.procedure,
+                    "description": extract.description,
+                },
+                project_id=sample_row.get("project_id"),
+            )
+
+        def index_workunit(workunit, **_):
+            self.search.index_document(
+                "workunit", workunit.id,
+                {"name": workunit.name, "description": workunit.description},
+                project_id=workunit.project_id,
+            )
+
+        def index_resource(resource, workunit, **_):
+            fields = {"name": resource.name, "uri": resource.uri}
+            content = self._readable_resource_content(resource.uri)
+            if content:
+                fields["content"] = content
+            self.search.index_document(
+                "data_resource", resource.id, fields,
+                project_id=workunit.project_id,
+            )
+
+        def index_annotation(annotation, **_):
+            self.search.index_document(
+                "annotation", annotation.id,
+                {"value": annotation.value},
+                label=annotation.value,
+            )
+
+        def on_annotation_merged(keep, merged, **_):
+            self.search.index_document(
+                "annotation", keep.id, {"value": keep.value}, label=keep.value
+            )
+            self.search.remove_document("annotation", merged.id)
+
+        def index_application(application, **_):
+            self.search.index_document(
+                "application", application.id,
+                {"name": application.name, "description": application.description},
+            )
+
+        self.events.subscribe("project.created", index_project)
+        self.events.subscribe("sample.registered", index_sample)
+        self.events.subscribe("extract.registered", index_extract)
+        self.events.subscribe("workunit.created", index_workunit)
+        self.events.subscribe("resource.added", index_resource)
+        self.events.subscribe("annotation.created", index_annotation)
+        self.events.subscribe("annotation.released", index_annotation)
+        self.events.subscribe("annotation.merged", on_annotation_merged)
+        self.events.subscribe("application.registered", index_application)
+
+    def reindex_all(self) -> int:
+        """Rebuild the full-text index from the database (maintenance)."""
+        self.search.index.clear()
+        count = 0
+        for row in self.db.rows("project"):
+            self.search.index_document(
+                "project", row["id"],
+                {"name": row["name"], "description": row["description"]},
+                project_id=row["id"],
+            )
+            count += 1
+        for row in self.db.rows("sample"):
+            self.search.index_document(
+                "sample", row["id"],
+                {
+                    "name": row["name"],
+                    "species": row["species"],
+                    "description": row["description"],
+                },
+                project_id=row["project_id"],
+            )
+            count += 1
+        sample_projects = {
+            row["id"]: row["project_id"] for row in self.db.rows("sample")
+        }
+        for row in self.db.rows("extract"):
+            self.search.index_document(
+                "extract", row["id"],
+                {"name": row["name"], "procedure": row["procedure"]},
+                project_id=sample_projects.get(row["sample_id"]),
+            )
+            count += 1
+        workunit_projects = {}
+        for row in self.db.rows("workunit"):
+            workunit_projects[row["id"]] = row["project_id"]
+            self.search.index_document(
+                "workunit", row["id"],
+                {"name": row["name"], "description": row["description"]},
+                project_id=row["project_id"],
+            )
+            count += 1
+        for row in self.db.rows("data_resource"):
+            fields = {"name": row["name"], "uri": row["uri"]}
+            content = self._readable_resource_content(row["uri"])
+            if content:
+                fields["content"] = content
+            self.search.index_document(
+                "data_resource", row["id"], fields,
+                project_id=workunit_projects.get(row["workunit_id"]),
+            )
+            count += 1
+        for row in self.db.rows("annotation"):
+            if row["status"] in ("pending", "released"):
+                self.search.index_document(
+                    "annotation", row["id"], {"value": row["value"]},
+                    label=row["value"],
+                )
+                count += 1
+        for row in self.db.rows("application"):
+            self.search.index_document(
+                "application", row["id"],
+                {"name": row["name"], "description": row["description"]},
+            )
+            count += 1
+        return count
+
+    #: Extensions whose stored bytes are full-text indexed (paper: "the
+    #: content of readable attachments and data resources").
+    READABLE_EXTENSIONS = (".txt", ".csv", ".tsv", ".md", ".log")
+    #: Cap on indexed content per file; enough for reports, bounded for
+    #: accidental large text files.
+    _CONTENT_INDEX_LIMIT = 64 * 1024
+
+    def _readable_resource_content(self, uri: str) -> str:
+        """Text content of a stored, readable resource ('' otherwise)."""
+        if not uri.startswith("store://"):
+            return ""
+        if not uri.lower().endswith(self.READABLE_EXTENSIONS):
+            return ""
+        try:
+            path = self.store.path_for(uri)
+            if not path.is_file():
+                return ""
+            raw = path.read_bytes()[: self._CONTENT_INDEX_LIMIT]
+            return raw.decode("utf-8", errors="ignore")
+        except (OSError, ValueError):
+            return ""
+
+    # -- default connectors ------------------------------------------------------------------
+
+    def _install_default_connectors(self) -> None:
+        """Install the simulated Rserve (with the demo's two-group
+        analysis deployed) and a local Python connector."""
+        rserve = RserveConnector()
+        rserve.register_script("two_group_analysis", two_group_analysis)
+        self.applications.register_connector(rserve)
+        self.applications.register_connector(LocalPythonConnector())
+
+    # -- convenience -----------------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """Everything the admin dashboard shows."""
+        return {
+            "deployment": self.deployment_statistics(),
+            "storage": self.db.statistics(),
+            "search": self.search.statistics(),
+            "audit_entries": self.audit.count(),
+        }

@@ -1,0 +1,15 @@
+"""Networked browsing of linked objects.
+
+Paper §2 (Miscellaneous Functions): "B-Fabric supports a view on the
+main data objects in a networked fashion.  Users can simply browse
+bidirectionally through all objects linked together."
+
+:class:`LinkGraph` materializes the object graph from the relational
+state (foreign keys + annotation links) into a :mod:`networkx` graph and
+answers neighborhood, path and reachability questions.
+"""
+
+from repro.graphview.links import LinkGraph, ObjectRef
+from repro.graphview.provenance import ProvenanceRecord, ProvenanceTracer
+
+__all__ = ["LinkGraph", "ObjectRef", "ProvenanceRecord", "ProvenanceTracer"]

@@ -1,0 +1,143 @@
+"""The object link graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True, order=True)
+class ObjectRef:
+    """A typed reference to one domain object (a graph node)."""
+
+    entity_type: str
+    entity_id: int
+
+    def __str__(self) -> str:
+        return f"{self.entity_type}:{self.entity_id}"
+
+
+#: ``table -> [(fk column, referenced entity type, edge label)]`` —
+#: the FK edges worth browsing (bookkeeping FKs like created_by are
+#: deliberately excluded to keep the view on *data* objects).
+_BROWSE_EDGES: dict[str, list[tuple[str, str, str]]] = {
+    "sample": [("project_id", "project", "belongs to")],
+    "extract": [("sample_id", "sample", "extracted from")],
+    "workunit": [
+        ("project_id", "project", "belongs to"),
+        ("application_id", "application", "produced by"),
+    ],
+    "data_resource": [
+        ("workunit_id", "workunit", "contained in"),
+        ("extract_id", "extract", "measured from"),
+    ],
+    "experiment": [
+        ("project_id", "project", "belongs to"),
+        ("application_id", "application", "feeds"),
+    ],
+    "institute": [("organization_id", "organization", "part of")],
+    "user": [("institute_id", "institute", "member of")],
+}
+
+
+class LinkGraph:
+    """Builds and queries the browseable object network."""
+
+    def __init__(self, database: Database):
+        self._db = database
+        self._graph: nx.Graph = nx.Graph()
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    # -- construction --------------------------------------------------------------
+
+    def rebuild(self) -> "LinkGraph":
+        """Materialize the graph from the current database state."""
+        graph: nx.Graph = nx.Graph()
+        for table, edges in _BROWSE_EDGES.items():
+            if not self._db.has_table(table):
+                continue
+            for row in self._db.rows(table):
+                node = ObjectRef(table, row["id"])
+                graph.add_node(node, label=row.get("name", str(node)))
+                for column, target_type, label in edges:
+                    target_id = row.get(column)
+                    if target_id is None:
+                        continue
+                    target = ObjectRef(target_type, target_id)
+                    if target not in graph:
+                        target_row = self._db.get_or_none(target_type, target_id)
+                        graph.add_node(
+                            target,
+                            label=(target_row or {}).get("name", str(target)),
+                        )
+                    graph.add_edge(node, target, label=label)
+        if self._db.has_table("annotation_link"):
+            for row in self._db.rows("annotation_link"):
+                annotation = ObjectRef("annotation", row["annotation_id"])
+                entity = ObjectRef(row["entity_type"], row["entity_id"])
+                if annotation not in graph:
+                    annotation_row = self._db.get_or_none(
+                        "annotation", row["annotation_id"]
+                    )
+                    graph.add_node(
+                        annotation,
+                        label=(annotation_row or {}).get("value", str(annotation)),
+                    )
+                graph.add_node(entity)
+                graph.add_edge(annotation, entity, label="annotates")
+        self._graph = graph
+        return self
+
+    # -- queries ----------------------------------------------------------------------
+
+    def neighbors(self, ref: ObjectRef) -> list[tuple[ObjectRef, str]]:
+        """Directly linked objects with the link labels (both directions)."""
+        if ref not in self._graph:
+            return []
+        result = []
+        for other in self._graph.neighbors(ref):
+            label = self._graph.edges[ref, other].get("label", "linked")
+            result.append((other, label))
+        return sorted(result)
+
+    def neighborhood(self, ref: ObjectRef, radius: int = 2) -> list[ObjectRef]:
+        """Objects within *radius* hops (the browse page's context)."""
+        if ref not in self._graph:
+            return []
+        ego = nx.ego_graph(self._graph, ref, radius=radius)
+        return sorted(node for node in ego.nodes if node != ref)
+
+    def path(self, start: ObjectRef, end: ObjectRef) -> list[ObjectRef]:
+        """Shortest link path between two objects ([] when unconnected)."""
+        try:
+            return list(nx.shortest_path(self._graph, start, end))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return []
+
+    def connected(self, start: ObjectRef, end: ObjectRef) -> bool:
+        return bool(self.path(start, end))
+
+    def component_of(self, ref: ObjectRef) -> set[ObjectRef]:
+        """Everything transitively linked to *ref*."""
+        if ref not in self._graph:
+            return set()
+        return set(nx.node_connected_component(self._graph, ref))
+
+    def statistics(self) -> dict[str, int]:
+        return {
+            "nodes": self._graph.number_of_nodes(),
+            "edges": self._graph.number_of_edges(),
+            "components": nx.number_connected_components(self._graph)
+            if self._graph.number_of_nodes()
+            else 0,
+        }
+
+    def nodes_of_type(self, entity_type: str) -> Iterable[ObjectRef]:
+        return (n for n in self._graph.nodes if n.entity_type == entity_type)

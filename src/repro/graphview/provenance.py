@@ -1,0 +1,185 @@
+"""Provenance: how a result came to be.
+
+Paper §1: "Since experimental data is captured together with annotations
+like instrument and processing parameters, experiments become
+reproducible for third parties."  The tracer assembles exactly that
+record for a workunit: the application and its run parameters, every
+input resource with checksum and origin, the extracts/samples/project
+behind the inputs, and the annotations attached along the way — enough
+for a third party to re-run the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import EntityNotFound
+from repro.storage.database import Database
+
+
+@dataclass
+class ProvenanceRecord:
+    """The full derivation record of one workunit."""
+
+    workunit: dict[str, Any]
+    project: dict[str, Any]
+    application: dict[str, Any] | None
+    parameters: dict[str, Any]
+    inputs: list[dict[str, Any]] = field(default_factory=list)
+    outputs: list[dict[str, Any]] = field(default_factory=list)
+    extracts: list[dict[str, Any]] = field(default_factory=list)
+    samples: list[dict[str, Any]] = field(default_factory=list)
+    annotations: list[dict[str, Any]] = field(default_factory=list)
+    #: Workunits whose outputs fed this one (transitive re-analysis).
+    upstream_workunits: list[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "workunit": self.workunit,
+            "project": self.project,
+            "application": self.application,
+            "parameters": self.parameters,
+            "inputs": self.inputs,
+            "outputs": self.outputs,
+            "extracts": self.extracts,
+            "samples": self.samples,
+            "annotations": self.annotations,
+            "upstream_workunits": self.upstream_workunits,
+        }
+
+    def render_text(self) -> str:
+        """A readable derivation summary (the portal's provenance box)."""
+        lines = [
+            f"Workunit #{self.workunit['id']}: {self.workunit['name']} "
+            f"[{self.workunit['status']}]",
+            f"  project: {self.project['name']}",
+        ]
+        if self.application:
+            lines.append(
+                f"  application: {self.application['name']} "
+                f"(connector {self.application['connector']})"
+            )
+            lines.append(f"  parameters: {self.parameters}")
+        if self.inputs:
+            lines.append(f"  inputs ({len(self.inputs)}):")
+            for resource in self.inputs:
+                checksum = resource["checksum"][:12] or "-"
+                lines.append(
+                    f"    {resource['name']}  sha256:{checksum}  "
+                    f"({resource['uri']})"
+                )
+        if self.samples:
+            sample_names = ", ".join(s["name"] for s in self.samples)
+            lines.append(f"  biological sources: {sample_names}")
+        if self.annotations:
+            values = ", ".join(a["value"] for a in self.annotations)
+            lines.append(f"  annotations: {values}")
+        if self.upstream_workunits:
+            lines.append(
+                "  derived from workunit(s): "
+                + ", ".join(map(str, self.upstream_workunits))
+            )
+        return "\n".join(lines)
+
+
+class ProvenanceTracer:
+    """Builds :class:`ProvenanceRecord` objects from the database."""
+
+    def __init__(self, database: Database):
+        self._db = database
+
+    def trace(self, workunit_id: int) -> ProvenanceRecord:
+        workunit = self._db.get_or_none("workunit", workunit_id)
+        if workunit is None:
+            raise EntityNotFound("Workunit", workunit_id)
+        project = self._db.get("project", workunit["project_id"])
+        application = (
+            self._db.get_or_none("application", workunit["application_id"])
+            if workunit.get("application_id")
+            else None
+        )
+
+        resources = (
+            self._db.query("data_resource")
+            .where("workunit_id", "=", workunit_id)
+            .order_by("id")
+            .all()
+        )
+        inputs = [r for r in resources if r["is_input"]]
+        outputs = [r for r in resources if not r["is_input"]]
+
+        extract_ids = sorted(
+            {r["extract_id"] for r in inputs if r["extract_id"] is not None}
+        )
+        extracts = [self._db.get("extract", eid) for eid in extract_ids]
+        sample_ids = sorted({e["sample_id"] for e in extracts})
+        samples = [self._db.get("sample", sid) for sid in sample_ids]
+
+        annotations: list[dict[str, Any]] = []
+        if self._db.has_table("annotation_link"):
+            seen: set[int] = set()
+            for entity_type, ids in (
+                ("sample", sample_ids), ("extract", extract_ids),
+            ):
+                for entity_id in ids:
+                    links = (
+                        self._db.query("annotation_link")
+                        .where("entity_type", "=", entity_type)
+                        .where("entity_id", "=", entity_id)
+                        .all()
+                    )
+                    for link in links:
+                        if link["annotation_id"] in seen:
+                            continue
+                        seen.add(link["annotation_id"])
+                        annotations.append(
+                            self._db.get("annotation", link["annotation_id"])
+                        )
+
+        # An input whose URI points into another workunit's store area
+        # makes that workunit upstream (re-analysis chains).
+        upstream: set[int] = set()
+        for resource in inputs:
+            uri = resource["uri"]
+            if uri.startswith("store://workunit_"):
+                try:
+                    upstream_id = int(
+                        uri[len("store://workunit_"):].split("/", 1)[0]
+                    )
+                except ValueError:
+                    continue
+                if upstream_id != workunit_id:
+                    upstream.add(upstream_id)
+
+        return ProvenanceRecord(
+            workunit=workunit,
+            project=project,
+            application=application,
+            parameters=dict(workunit.get("parameters", {})),
+            inputs=inputs,
+            outputs=outputs,
+            extracts=extracts,
+            samples=samples,
+            annotations=annotations,
+            upstream_workunits=sorted(upstream),
+        )
+
+    def trace_chain(self, workunit_id: int, *, max_depth: int = 10) -> list[ProvenanceRecord]:
+        """The workunit's record plus its transitive upstream records."""
+        records: list[ProvenanceRecord] = []
+        seen: set[int] = set()
+        frontier = [workunit_id]
+        depth = 0
+        while frontier and depth < max_depth:
+            next_frontier: list[int] = []
+            for wid in frontier:
+                if wid in seen:
+                    continue
+                seen.add(wid)
+                record = self.trace(wid)
+                records.append(record)
+                next_frontier.extend(record.upstream_workunits)
+            frontier = next_frontier
+            depth += 1
+        return records

@@ -1,0 +1,49 @@
+"""Declarative object-relational mapping on top of :mod:`repro.storage`.
+
+Models declare fields as class attributes; a :class:`Registry` binds the
+models to a database (creating tables in dependency order) and hands out
+:class:`Repository` objects for typed CRUD.  A :class:`Session` adds a
+unit-of-work with an identity map for multi-entity operations.
+
+::
+
+    from repro.orm import Model, IntField, TextField, Registry
+
+    class Project(Model):
+        __table__ = "project"
+        id = IntField(primary_key=True)
+        name = TextField(nullable=False, unique=True)
+
+    registry = Registry(db)
+    registry.register(Project)
+    projects = registry.repository(Project)
+    p = projects.create(name="Arabidopsis light response")
+"""
+
+from repro.orm.fields import (
+    Field,
+    IntField,
+    FloatField,
+    TextField,
+    BoolField,
+    DateTimeField,
+    JsonField,
+)
+from repro.orm.model import Model
+from repro.orm.repository import Repository
+from repro.orm.registry import Registry
+from repro.orm.session import Session
+
+__all__ = [
+    "Field",
+    "IntField",
+    "FloatField",
+    "TextField",
+    "BoolField",
+    "DateTimeField",
+    "JsonField",
+    "Model",
+    "Repository",
+    "Registry",
+    "Session",
+]

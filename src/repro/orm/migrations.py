@@ -1,0 +1,105 @@
+"""Schema migrations.
+
+A deployment evolves: new attributes on samples, new indexes for new
+query patterns.  Migrations are ordered, idempotent-by-bookkeeping
+steps; the runner records applied ids in the ``schema_migration`` table
+so re-running is safe.
+
+::
+
+    runner = MigrationRunner(db)
+    runner.add(Migration(
+        "2010_03_add_sample_barcode",
+        "barcode column for plate robots",
+        lambda db: db.add_column(
+            "sample", Column("barcode", ColumnType.TEXT)),
+    ))
+    applied = runner.run_pending()
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SchemaError
+from repro.storage.database import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import ColumnType
+
+MIGRATION_TABLE = "schema_migration"
+
+
+def _migration_schema() -> TableSchema:
+    return TableSchema(
+        MIGRATION_TABLE,
+        [
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("migration_id", ColumnType.TEXT, nullable=False, unique=True),
+            Column("description", ColumnType.TEXT, default=""),
+            Column("applied_at", ColumnType.DATETIME),
+        ],
+    )
+
+
+@dataclass
+class Migration:
+    """One schema-evolution step."""
+
+    migration_id: str
+    description: str
+    apply: Callable[[Database], None]
+
+
+@dataclass
+class MigrationRunner:
+    """Applies pending migrations in registration order."""
+
+    database: Database
+    _migrations: list[Migration] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.database.has_table(MIGRATION_TABLE):
+            self.database.create_table(_migration_schema())
+
+    def add(self, migration: Migration) -> "MigrationRunner":
+        if any(
+            m.migration_id == migration.migration_id for m in self._migrations
+        ):
+            raise SchemaError(
+                f"migration {migration.migration_id!r} registered twice"
+            )
+        self._migrations.append(migration)
+        return self
+
+    def applied_ids(self) -> list[str]:
+        return self.database.query(MIGRATION_TABLE).order_by("id").values(
+            "migration_id"
+        )
+
+    def pending(self) -> list[Migration]:
+        done = set(self.applied_ids())
+        return [m for m in self._migrations if m.migration_id not in done]
+
+    def run_pending(self) -> list[str]:
+        """Apply every pending migration; returns the applied ids.
+
+        A failing migration raises after its own changes are already in
+        place (DDL here is not transactional — as in most databases);
+        it is *not* recorded as applied, so fixing and re-running is
+        the recovery path.
+        """
+        applied: list[str] = []
+        for migration in self.pending():
+            migration.apply(self.database)
+            self.database.insert(
+                MIGRATION_TABLE,
+                {
+                    "migration_id": migration.migration_id,
+                    "description": migration.description,
+                    "applied_at": _dt.datetime.utcnow().replace(microsecond=0),
+                },
+            )
+            applied.append(migration.migration_id)
+        return applied

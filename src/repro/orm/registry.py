@@ -1,0 +1,76 @@
+"""Binding models to a database.
+
+The registry resolves model interdependencies (foreign keys) and creates
+tables in a topological order, so callers can register models in any
+order via :meth:`Registry.register_all`.
+"""
+
+from __future__ import annotations
+
+from graphlib import TopologicalSorter
+from typing import Iterable, Type, TypeVar
+
+from repro.errors import SchemaError
+from repro.orm.model import Model
+from repro.orm.repository import Repository
+from repro.storage.database import Database
+from repro.storage.schema import ForeignKey
+
+M = TypeVar("M", bound=Model)
+
+
+class Registry:
+    """Knows which models are bound to which tables of one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._models: dict[str, Type[Model]] = {}
+        self._repositories: dict[str, Repository] = {}
+
+    def register(self, model: Type[Model]) -> Repository:
+        """Create *model*'s table (unless present) and return its repository."""
+        table = model.__table__
+        if table in self._models:
+            if self._models[table] is not model:
+                raise SchemaError(
+                    f"table {table!r} already bound to "
+                    f"{self._models[table].__name__}"
+                )
+            return self._repositories[table]
+        if not self.database.has_table(table):
+            self.database.create_table(model.schema())
+        self._models[table] = model
+        repo = Repository(self.database, model)
+        self._repositories[table] = repo
+        return repo
+
+    def register_all(self, models: Iterable[Type[Model]]) -> None:
+        """Register many models, ordering by foreign-key dependencies."""
+        by_table = {m.__table__: m for m in models}
+        graph: dict[str, set[str]] = {}
+        for table, model in by_table.items():
+            deps: set[str] = set()
+            for field in model.foreign_key_fields():
+                fk = ForeignKey.parse(field.foreign_key)  # type: ignore[arg-type]
+                if fk.table != table and fk.table in by_table:
+                    deps.add(fk.table)
+            graph[table] = deps
+        for table in TopologicalSorter(graph).static_order():
+            self.register(by_table[table])
+
+    def repository(self, model: Type[M]) -> "Repository[M]":
+        try:
+            return self._repositories[model.__table__]
+        except KeyError:
+            raise SchemaError(
+                f"model {model.__name__} is not registered"
+            ) from None
+
+    def model_for_table(self, table: str) -> Type[Model]:
+        try:
+            return self._models[table]
+        except KeyError:
+            raise SchemaError(f"no model bound to table {table!r}") from None
+
+    def models(self) -> list[Type[Model]]:
+        return list(self._models.values())

@@ -1,0 +1,170 @@
+"""Typed CRUD over one model.
+
+Repositories return model instances, not raw rows, and expose a typed
+variant of the storage query builder.  All writes run in single-statement
+transactions unless an explicit transaction is passed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, Type, TypeVar
+
+from repro.errors import EntityNotFound
+from repro.orm.model import Model
+from repro.storage.database import Database
+from repro.storage.query import Condition, Query
+from repro.storage.transaction import Transaction
+
+M = TypeVar("M", bound=Model)
+
+
+class ModelQuery(Generic[M]):
+    """Wraps a storage :class:`Query`, materializing model instances."""
+
+    def __init__(self, model: Type[M], query: Query):
+        self._model = model
+        self._query = query
+
+    def where(self, column: str, op: str = "=", value: Any = None) -> "ModelQuery[M]":
+        self._query.where(column, op, value)
+        return self
+
+    def filter(self, *conditions: Condition) -> "ModelQuery[M]":
+        self._query.filter(*conditions)
+        return self
+
+    def order_by(self, column: str, *, descending: bool = False) -> "ModelQuery[M]":
+        self._query.order_by(column, descending=descending)
+        return self
+
+    def limit(self, n: int) -> "ModelQuery[M]":
+        self._query.limit(n)
+        return self
+
+    def offset(self, n: int) -> "ModelQuery[M]":
+        self._query.offset(n)
+        return self
+
+    def all(self) -> list[M]:
+        return [self._model.from_row(row) for row in self._query.all()]
+
+    def first(self) -> M | None:
+        row = self._query.first()
+        return self._model.from_row(row) if row is not None else None
+
+    def one(self) -> M:
+        return self._model.from_row(self._query.one())
+
+    def count(self) -> int:
+        return self._query.count()
+
+    def exists(self) -> bool:
+        return self._query.exists()
+
+    def pks(self) -> list[Any]:
+        return self._query.pks()
+
+    def values(self, column: str) -> list[Any]:
+        return self._query.values(column)
+
+    def explain(self) -> dict[str, Any]:
+        return self._query.explain()
+
+
+class Repository(Generic[M]):
+    """CRUD + queries for one model bound to one database."""
+
+    def __init__(self, database: Database, model: Type[M]):
+        self.database = database
+        self.model = model
+        self.table = model.__table__
+        self._pk = model.primary_key_name()
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, pk: Any) -> M:
+        row = self.database.get_or_none(self.table, pk)
+        if row is None:
+            raise EntityNotFound(self.model.__name__, pk)
+        return self.model.from_row(row)
+
+    def get_or_none(self, pk: Any) -> M | None:
+        row = self.database.get_or_none(self.table, pk)
+        return self.model.from_row(row) if row is not None else None
+
+    def exists(self, pk: Any) -> bool:
+        return self.database.get_or_none(self.table, pk) is not None
+
+    def query(self) -> ModelQuery[M]:
+        return ModelQuery(self.model, self.database.query(self.table))
+
+    def all(self) -> list[M]:
+        return self.query().all()
+
+    def count(self) -> int:
+        return self.database.count(self.table)
+
+    def iter(self) -> Iterator[M]:
+        for row in self.database.rows(self.table):
+            yield self.model.from_row(row)
+
+    def find(self, **equals: Any) -> list[M]:
+        """Shorthand for equality filters: ``repo.find(project_id=3)``."""
+        query = self.query()
+        for column, value in equals.items():
+            query.where(column, "=", value)
+        return query.all()
+
+    def find_one(self, **equals: Any) -> M | None:
+        query = self.query()
+        for column, value in equals.items():
+            query.where(column, "=", value)
+        return query.first()
+
+    # -- writes -------------------------------------------------------------------
+
+    def create(self, txn: Transaction | None = None, /, **values: Any) -> M:
+        """Insert a new entity and return it (with its allocated pk)."""
+        instance = self.model(**values)
+        row = instance.to_row()
+        if txn is not None:
+            stored = txn.insert(self.table, row)
+        else:
+            stored = self.database.insert(self.table, row)
+        return self.model.from_row(stored)
+
+    def save(self, instance: M, txn: Transaction | None = None) -> M:
+        """Insert (no pk yet) or update (pk set) *instance*."""
+        row = instance.to_row()
+        pk = row.get(self._pk)
+        if pk is None or self.database.get_or_none(self.table, pk) is None:
+            if txn is not None:
+                stored = txn.insert(self.table, row)
+            else:
+                stored = self.database.insert(self.table, row)
+        else:
+            changes = {k: v for k, v in row.items() if k != self._pk}
+            if txn is not None:
+                stored = txn.update(self.table, pk, changes)
+            else:
+                stored = self.database.update(self.table, pk, changes)
+        refreshed = self.model.from_row(stored)
+        instance.__dict__.update(refreshed.__dict__)
+        return instance
+
+    def update(
+        self, pk: Any, txn: Transaction | None = None, /, **changes: Any
+    ) -> M:
+        if txn is not None:
+            stored = txn.update(self.table, pk, changes)
+        else:
+            stored = self.database.update(self.table, pk, changes)
+        return self.model.from_row(stored)
+
+    def delete(self, pk: Any, txn: Transaction | None = None) -> None:
+        if self.database.get_or_none(self.table, pk) is None:
+            raise EntityNotFound(self.model.__name__, pk)
+        if txn is not None:
+            txn.delete(self.table, pk)
+        else:
+            self.database.delete(self.table, pk)

@@ -1,0 +1,128 @@
+"""Unit-of-work session with an identity map.
+
+A :class:`Session` batches reads and writes over many models inside one
+storage transaction.  Within a session, loading the same row twice
+returns the same Python object (identity map), and all writes commit or
+roll back together.
+
+::
+
+    with Session(registry) as session:
+        project = session.get(Project, 7)
+        sample = session.add(Sample(name="wt light 1", project_id=project.id))
+    # committed here; any exception inside the block rolls everything back
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type, TypeVar
+
+from repro.errors import EntityNotFound, TransactionError
+from repro.orm.model import Model
+from repro.orm.registry import Registry
+from repro.storage.transaction import Transaction
+
+M = TypeVar("M", bound=Model)
+
+
+class Session:
+    """One unit of work over a registry's database."""
+
+    def __init__(self, registry: Registry):
+        self.registry = registry
+        self._txn: Transaction | None = None
+        self._identity: dict[tuple[str, Any], Model] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self) -> "Session":
+        if self._txn is not None:
+            raise TransactionError("session already has an open transaction")
+        self._txn = self.registry.database.transaction()
+        return self
+
+    def commit(self) -> None:
+        if self._txn is None:
+            raise TransactionError("no open transaction to commit")
+        self._txn.commit()
+        self._txn = None
+        self._identity.clear()
+
+    def rollback(self) -> None:
+        if self._txn is None:
+            raise TransactionError("no open transaction to roll back")
+        self._txn.rollback()
+        self._txn = None
+        self._identity.clear()
+
+    def __enter__(self) -> "Session":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._txn is None:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+    @property
+    def transaction(self) -> Transaction:
+        if self._txn is None:
+            raise TransactionError("session has no open transaction")
+        return self._txn
+
+    # -- operations -----------------------------------------------------------------
+
+    def get(self, model: Type[M], pk: Any) -> M:
+        """Load an entity; repeated loads return the identical object."""
+        key = (model.__table__, pk)
+        cached = self._identity.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        row = self.registry.database.get_or_none(model.__table__, pk)
+        if row is None:
+            raise EntityNotFound(model.__name__, pk)
+        instance = model.from_row(row)
+        self._identity[key] = instance
+        return instance
+
+    def add(self, instance: M) -> M:
+        """Insert *instance* within the session's transaction."""
+        txn = self.transaction
+        stored = txn.insert(instance.__table__, instance.to_row())
+        instance.__dict__.update(
+            type(instance).from_row(stored).__dict__
+        )
+        self._identity[(instance.__table__, instance.pk)] = instance
+        return instance
+
+    def update(self, instance: M, **changes: Any) -> M:
+        """Apply *changes* to a loaded entity within the transaction."""
+        txn = self.transaction
+        stored = txn.update(instance.__table__, instance.pk, changes)
+        instance.__dict__.update(
+            type(instance).from_row(stored).__dict__
+        )
+        return instance
+
+    def flush_update(self, instance: M) -> M:
+        """Persist every in-memory field change of *instance*."""
+        pk_name = instance.primary_key_name()
+        changes = {
+            k: v for k, v in instance.to_row().items() if k != pk_name
+        }
+        return self.update(instance, **changes)
+
+    def delete(self, instance: M) -> None:
+        txn = self.transaction
+        txn.delete(instance.__table__, instance.pk)
+        self._identity.pop((instance.__table__, instance.pk), None)
+
+    def savepoint(self, name: str) -> None:
+        self.transaction.savepoint(name)
+
+    def rollback_to(self, name: str) -> None:
+        self.transaction.rollback_to(name)
+        self._identity.clear()

@@ -1,0 +1,22 @@
+"""The web portal.
+
+"B-Fabric captures and provides the data transparently and in
+access-controlled fashion through a Web portal."  A WSGI application
+(stdlib only — run it under :mod:`wsgiref` or any WSGI server) with:
+
+* login/logout against the user table;
+* a home screen with the task list (Figure 8) and the quick-search box;
+* registration forms for samples and extracts with drop-down
+  vocabularies and inline new-annotation creation (Figures 2–3);
+* the expert's annotation review screen with release and merge
+  (Figures 4–7);
+* import and experiment screens (Figures 9–16);
+* search with history, saved queries and CSV export;
+* networked object browsing and an admin dashboard.
+"""
+
+from repro.portal.app import PortalApplication
+from repro.portal.http import Request, Response
+from repro.portal.routing import Router
+
+__all__ = ["PortalApplication", "Request", "Response", "Router"]

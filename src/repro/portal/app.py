@@ -1,0 +1,109 @@
+"""The portal WSGI application."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import (
+    AccessDenied,
+    AuthenticationError,
+    BFabricError,
+    EntityNotFound,
+    ValidationError,
+)
+from repro.facade import BFabric
+from repro.portal.http import Request, Response
+from repro.portal.render import esc, page
+from repro.portal.routing import Router
+from repro.search.history import SearchHistory
+
+_SESSION_COOKIE = "bfabric_session"
+
+#: Paths reachable without a login session.
+_PUBLIC_PATHS = {"/login", "/ping"}
+
+
+class PortalApplication:
+    """WSGI callable exposing the whole system."""
+
+    def __init__(self, system: BFabric):
+        self.system = system
+        self.router = Router()
+        self._histories: dict[str, SearchHistory] = {}
+        self._register_views()
+
+    # -- WSGI entry ----------------------------------------------------------------
+
+    def __call__(self, environ: dict, start_response: Callable):
+        request = Request.from_environ(environ)
+        response = self.handle(request)
+        return response.wsgi(start_response)
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch one request (used directly by tests, no sockets)."""
+        token = request.cookies.get(_SESSION_COOKIE, "")
+        if request.path not in _PUBLIC_PATHS:
+            try:
+                request.session = self.system.auth.resolve(token)
+            except AuthenticationError:
+                return Response.redirect("/login")
+        try:
+            return self.router.dispatch(request)
+        except AccessDenied as exc:
+            return Response.forbidden(esc(str(exc)))
+        except EntityNotFound as exc:
+            return Response.not_found(esc(str(exc)))
+        except ValidationError as exc:
+            details = "".join(
+                f"<li><b>{esc(field)}</b>: {esc(problem)}</li>"
+                for field, problem in exc.field_errors.items()
+            )
+            return Response(
+                page("Validation failed", f"<p>{esc(exc)}</p><ul>{details}</ul>"),
+                status=400,
+            )
+        except BFabricError as exc:
+            self.system.errors.report("portal", str(exc), {"path": request.path})
+            return Response(
+                page("Error", f"<p>{esc(exc)}</p>"), status=500
+            )
+
+    # -- session helpers ---------------------------------------------------------------
+
+    def principal(self, request: Request):
+        return request.session.principal
+
+    def history_for(self, request: Request) -> SearchHistory:
+        token = request.session.token
+        if token not in self._histories:
+            self._histories[token] = SearchHistory()
+        return self._histories[token]
+
+    # -- view registration ----------------------------------------------------------------
+
+    def _register_views(self) -> None:
+        from repro.portal.views import (
+            admin as admin_views,
+            annotations as annotation_views,
+            auth as auth_views,
+            experiments as experiment_views,
+            home as home_views,
+            imports as import_views,
+            projects as project_views,
+            search as search_views,
+        )
+
+        auth_views.register(self.router, self)
+        home_views.register(self.router, self)
+        project_views.register(self.router, self)
+        annotation_views.register(self.router, self)
+        import_views.register(self.router, self)
+        experiment_views.register(self.router, self)
+        search_views.register(self.router, self)
+        admin_views.register(self.router, self)
+
+    # -- for auth views ----------------------------------------------------------------------
+
+    @staticmethod
+    def session_cookie_name() -> str:
+        return _SESSION_COOKIE

@@ -1,0 +1,138 @@
+"""Minimal HTTP request/response model over WSGI."""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass, field
+from http import cookies as _cookies
+from typing import Any, Iterable
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    form: dict[str, str] = field(default_factory=dict)
+    #: Multi-valued form fields (checkbox groups, multi-selects).
+    form_lists: dict[str, list[str]] = field(default_factory=dict)
+    cookies: dict[str, str] = field(default_factory=dict)
+    #: Filled by the router from path placeholders.
+    params: dict[str, Any] = field(default_factory=dict)
+    #: Filled by the session middleware.
+    session: Any = None
+
+    @classmethod
+    def from_environ(cls, environ: dict) -> "Request":
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/") or "/"
+        query_pairs = urllib.parse.parse_qsl(
+            environ.get("QUERY_STRING", ""), keep_blank_values=True
+        )
+        query = dict(query_pairs)
+        form: dict[str, str] = {}
+        form_lists: dict[str, list[str]] = {}
+        if method in ("POST", "PUT"):
+            try:
+                length = int(environ.get("CONTENT_LENGTH") or 0)
+            except ValueError:
+                length = 0
+            body = environ["wsgi.input"].read(length) if length else b""
+            for key, value in urllib.parse.parse_qsl(
+                body.decode("utf-8"), keep_blank_values=True
+            ):
+                form_lists.setdefault(key, []).append(value)
+                form[key] = value
+        cookie_header = environ.get("HTTP_COOKIE", "")
+        jar = _cookies.SimpleCookie()
+        jar.load(cookie_header)
+        cookies = {key: morsel.value for key, morsel in jar.items()}
+        return cls(
+            method=method,
+            path=path,
+            query=query,
+            form=form,
+            form_lists=form_lists,
+            cookies=cookies,
+        )
+
+    def get(self, name: str, default: str = "") -> str:
+        """Form value first, then query string."""
+        if name in self.form:
+            return self.form[name]
+        return self.query.get(name, default)
+
+    def get_int(self, name: str, default: int | None = None) -> int | None:
+        raw = self.get(name, "")
+        if raw == "":
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            return default
+
+    def get_list(self, name: str) -> list[str]:
+        return list(self.form_lists.get(name, ()))
+
+
+class Response:
+    """One HTTP response."""
+
+    def __init__(
+        self,
+        body: "str | bytes" = "",
+        *,
+        status: int = 200,
+        content_type: str = "text/html; charset=utf-8",
+    ):
+        self.status = status
+        self.headers: list[tuple[str, str]] = [("Content-Type", content_type)]
+        self.body = body.encode("utf-8") if isinstance(body, str) else body
+
+    @classmethod
+    def redirect(cls, location: str) -> "Response":
+        response = cls("", status=303)
+        response.headers.append(("Location", location))
+        return response
+
+    @classmethod
+    def not_found(cls, message: str = "not found") -> "Response":
+        return cls(f"<h1>404</h1><p>{message}</p>", status=404)
+
+    @classmethod
+    def forbidden(cls, message: str = "forbidden") -> "Response":
+        return cls(f"<h1>403</h1><p>{message}</p>", status=403)
+
+    @classmethod
+    def download(
+        cls, payload: bytes, filename: str, content_type: str = "application/octet-stream"
+    ) -> "Response":
+        response = cls(payload, content_type=content_type)
+        response.headers.append(
+            ("Content-Disposition", f'attachment; filename="{filename}"')
+        )
+        return response
+
+    def set_cookie(self, name: str, value: str, *, max_age: int | None = None) -> None:
+        cookie = f"{name}={value}; Path=/; HttpOnly"
+        if max_age is not None:
+            cookie += f"; Max-Age={max_age}"
+        self.headers.append(("Set-Cookie", cookie))
+
+    @property
+    def status_line(self) -> str:
+        reasons = {
+            200: "OK", 303: "See Other", 400: "Bad Request",
+            403: "Forbidden", 404: "Not Found", 500: "Internal Server Error",
+        }
+        return f"{self.status} {reasons.get(self.status, 'Unknown')}"
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def wsgi(self, start_response) -> Iterable[bytes]:
+        start_response(self.status_line, self.headers)
+        return [self.body]

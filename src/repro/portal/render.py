@@ -1,0 +1,106 @@
+"""HTML rendering helpers.
+
+Small, deliberately framework-free: escape-by-default builders for the
+handful of structures every screen needs (page chrome, tables, forms,
+drop-downs filled from vocabularies).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Iterable, Sequence
+
+
+def esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def page(title: str, body: str, *, user: str = "", flash: str = "") -> str:
+    """The portal chrome around a screen body."""
+    nav = ""
+    if user:
+        nav = (
+            '<nav><a href="/">Home</a> | <a href="/projects">Projects</a> | '
+            '<a href="/annotations/review">Annotation Review</a> | '
+            '<a href="/search">Search</a> | <a href="/browse">Browse</a> | '
+            '<a href="/admin">Admin</a> | '
+            f"logged in as <b>{esc(user)}</b> "
+            '(<a href="/logout">logout</a>)</nav><hr>'
+        )
+    flash_html = f'<p class="flash"><em>{esc(flash)}</em></p>' if flash else ""
+    return (
+        "<!doctype html><html><head>"
+        f"<title>B-Fabric — {esc(title)}</title>"
+        "<style>body{font-family:sans-serif;margin:2em} "
+        "table{border-collapse:collapse} td,th{border:1px solid #999;"
+        "padding:4px 8px} .flash{color:#060}</style>"
+        f"</head><body>{nav}{flash_html}<h1>{esc(title)}</h1>{body}"
+        "</body></html>"
+    )
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    head = "".join(f"<th>{esc(h)}</th>" for h in headers)
+    body_rows = []
+    for row in rows:
+        cells = "".join(f"<td>{cell}</td>" for cell in row)
+        body_rows.append(f"<tr>{cells}</tr>")
+    return f"<table><tr>{head}</tr>{''.join(body_rows)}</table>"
+
+
+def link(href: str, label: Any) -> str:
+    return f'<a href="{esc(href)}">{esc(label)}</a>'
+
+
+def text_input(name: str, *, value: str = "", label: str = "") -> str:
+    caption = label or name.replace("_", " ")
+    return (
+        f"<label>{esc(caption)}: "
+        f'<input type="text" name="{esc(name)}" value="{esc(value)}"></label><br>'
+    )
+
+
+def dropdown(
+    name: str,
+    options: Sequence[tuple[Any, str]],
+    *,
+    selected: Any = None,
+    label: str = "",
+    allow_new: bool = False,
+) -> str:
+    """A select filled from a vocabulary.
+
+    With ``allow_new`` a free-text companion field ``new_<name>`` is
+    rendered — the demo's "if a user does not find a needed annotation
+    ... the user can create a new one" path.
+    """
+    caption = label or name.replace("_", " ")
+    option_html = ['<option value="">—</option>']
+    for value, text in options:
+        marker = " selected" if value == selected else ""
+        option_html.append(
+            f'<option value="{esc(value)}"{marker}>{esc(text)}</option>'
+        )
+    widget = (
+        f"<label>{esc(caption)}: "
+        f'<select name="{esc(name)}">{"".join(option_html)}</select></label>'
+    )
+    if allow_new:
+        widget += (
+            f' or new: <input type="text" name="new_{esc(name)}" value="">'
+        )
+    return widget + "<br>"
+
+
+def form(action: str, body: str, *, submit: str = "Save") -> str:
+    return (
+        f'<form method="post" action="{esc(action)}">{body}'
+        f'<button type="submit">{esc(submit)}</button></form>'
+    )
+
+
+def definition_list(pairs: Iterable[tuple[str, Any]]) -> str:
+    items = "".join(
+        f"<dt><b>{esc(key)}</b></dt><dd>{esc(value)}</dd>" for key, value in pairs
+    )
+    return f"<dl>{items}</dl>"

@@ -1,0 +1,78 @@
+"""Path routing with typed placeholders.
+
+Patterns look like ``/project/<int:project_id>/samples``; matched
+placeholders land in ``request.params``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.portal.http import Request, Response
+
+Handler = Callable[[Request], Response]
+
+_PLACEHOLDER_RE = re.compile(r"<(int|str):([a-z_]+)>")
+
+
+def _compile(pattern: str) -> re.Pattern:
+    regex = ""
+    position = 0
+    for match in _PLACEHOLDER_RE.finditer(pattern):
+        regex += re.escape(pattern[position : match.start()])
+        kind, name = match.group(1), match.group(2)
+        if kind == "int":
+            regex += f"(?P<{name}>\\d+)"
+        else:
+            regex += f"(?P<{name}>[^/]+)"
+        position = match.end()
+    regex += re.escape(pattern[position:])
+    return re.compile(f"^{regex}$")
+
+
+class Router:
+    """Registers and dispatches handlers."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern, str, Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append((method.upper(), _compile(pattern), pattern, handler))
+
+    def get(self, pattern: str) -> Callable[[Handler], Handler]:
+        def decorator(handler: Handler) -> Handler:
+            self.add("GET", pattern, handler)
+            return handler
+
+        return decorator
+
+    def post(self, pattern: str) -> Callable[[Handler], Handler]:
+        def decorator(handler: Handler) -> Handler:
+            self.add("POST", pattern, handler)
+            return handler
+
+        return decorator
+
+    def dispatch(self, request: Request) -> Response:
+        allowed: list[str] = []
+        for method, regex, _pattern, handler in self._routes:
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            if method != request.method:
+                allowed.append(method)
+                continue
+            params: dict = {}
+            for name, value in match.groupdict().items():
+                params[name] = int(value) if value.isdigit() else value
+            request.params = params
+            return handler(request)
+        if allowed:
+            return Response(
+                f"method {request.method} not allowed", status=400
+            )
+        return Response.not_found(f"no route for {request.path}")
+
+    def patterns(self) -> list[str]:
+        return [pattern for _, _, pattern, _ in self._routes]

@@ -1,0 +1,90 @@
+"""An in-process client for the portal (no sockets).
+
+Drives the WSGI app through real environ dicts, maintaining cookies
+across requests like a browser — used by the test suite and handy for
+scripting.
+"""
+
+from __future__ import annotations
+
+import io
+import urllib.parse
+
+from repro.portal.app import PortalApplication
+from repro.portal.http import Response
+
+
+class PortalClient:
+    """A cookie-keeping test browser."""
+
+    def __init__(self, portal: PortalApplication):
+        self._portal = portal
+        self._cookies: dict[str, str] = {}
+
+    def _environ(self, method: str, url: str, data: dict | None) -> dict:
+        parsed = urllib.parse.urlsplit(url)
+        body = b""
+        if data is not None:
+            pairs = []
+            for key, value in data.items():
+                if isinstance(value, (list, tuple)):
+                    pairs.extend((key, str(v)) for v in value)
+                else:
+                    pairs.append((key, str(value)))
+            body = urllib.parse.urlencode(pairs).encode("utf-8")
+        return {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": parsed.path or "/",
+            "QUERY_STRING": parsed.query,
+            "CONTENT_LENGTH": str(len(body)),
+            "wsgi.input": io.BytesIO(body),
+            "HTTP_COOKIE": "; ".join(
+                f"{k}={v}" for k, v in self._cookies.items()
+            ),
+        }
+
+    def _absorb_cookies(self, response: Response) -> None:
+        for name, value in response.headers:
+            if name != "Set-Cookie":
+                continue
+            cookie = value.split(";", 1)[0]
+            key, _, val = cookie.partition("=")
+            if val:
+                self._cookies[key] = val
+            else:
+                self._cookies.pop(key, None)
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        data: dict | None = None,
+        *,
+        follow_redirects: bool = True,
+    ) -> Response:
+        environ = self._environ(method, url, data)
+        captured: dict = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+            captured["headers"] = headers
+
+        chunks = self._portal(environ, start_response)
+        response = Response(
+            b"".join(chunks), status=int(captured["status"].split()[0])
+        )
+        response.headers = list(captured["headers"])
+        self._absorb_cookies(response)
+        if follow_redirects and response.status == 303:
+            location = dict(response.headers).get("Location", "/")
+            return self.request("GET", location)
+        return response
+
+    def get(self, url: str, **kwargs) -> Response:
+        return self.request("GET", url, **kwargs)
+
+    def post(self, url: str, data: dict | None = None, **kwargs) -> Response:
+        return self.request("POST", url, data or {}, **kwargs)
+
+    def login(self, login: str, password: str) -> Response:
+        return self.post("/login", {"login": login, "password": password})

@@ -1,0 +1,1 @@
+"""Portal view modules; each exposes ``register(router, portal)``."""

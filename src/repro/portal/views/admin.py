@@ -1,0 +1,140 @@
+"""Administrative screens: dashboard, audit trail, errors, workflows."""
+
+from __future__ import annotations
+
+from repro.portal.http import Request, Response
+from repro.portal.render import definition_list, esc, page, table
+
+
+def register(router, portal) -> None:
+    system = portal.system
+
+    @router.get("/admin")
+    def dashboard(request: Request) -> Response:
+        principal = portal.principal(request)
+        stats = system.maintenance.dashboard(principal)
+        deployment = system.deployment_statistics()
+        body = "<h2>Deployment (paper Final-Remark table)</h2>"
+        body += table(["object", "count"], sorted(deployment.items()))
+        body += "<h2>Storage</h2>" + definition_list(
+            sorted(
+                (k, v)
+                for k, v in stats["storage"].items()
+                if not isinstance(v, dict)
+            )
+        )
+        if "search" in stats:
+            body += "<h2>Search index</h2>" + definition_list(
+                sorted(stats["search"].items())
+            )
+        if "workflows" in stats:
+            body += "<h2>Workflows</h2>" + definition_list(
+                [("active instances", stats["workflows"]["active"]),
+                 ("definitions",
+                  ", ".join(stats["workflows"]["definitions"]))]
+            )
+        body += (
+            '<p><a href="/admin/audit">audit trail</a> | '
+            '<a href="/admin/errors">errors</a> | '
+            '<a href="/admin/workflows">workflow instances</a> | '
+            '<a href="/admin/reports">usage reports</a></p>'
+        )
+        return Response(page("Administration", body, user=principal.login))
+
+    @router.get("/admin/reports")
+    def usage_reports(request: Request) -> Response:
+        principal = portal.principal(request)
+        reports = system.reports
+        body = "<h2>Busiest projects</h2>" + table(
+            ["project", "workunits", "samples"],
+            [
+                (esc(r["project"]), r["workunits"], r["samples"])
+                for r in reports.objects_per_project(principal)
+            ],
+        )
+        body += "<h2>Storage by mode</h2>" + table(
+            ["mode", "resources", "bytes"],
+            [
+                (mode, info["resources"], info["bytes"])
+                for mode, info in sorted(
+                    reports.storage_by_mode(principal).items()
+                )
+            ],
+        )
+        body += "<h2>Activity by user</h2>" + table(
+            ["user", "operations"],
+            [
+                (esc(r["user"]), r["operations"])
+                for r in reports.activity_by_user(principal)
+            ],
+        )
+        body += "<h2>Application popularity</h2>" + table(
+            ["application", "runs"],
+            [
+                (esc(r["application"]), r["runs"])
+                for r in reports.application_popularity(principal)
+            ],
+        )
+        body += "<h2>Vocabulary health</h2>" + table(
+            ["status", "values"],
+            sorted(reports.vocabulary_health(principal).items()),
+        )
+        body += '<p><a href="/admin/reports.csv">export project report CSV</a></p>'
+        return Response(page("Usage Reports", body, user=principal.login))
+
+    @router.get("/admin/reports.csv")
+    def usage_reports_csv(request: Request) -> Response:
+        principal = portal.principal(request)
+        text = system.reports.export_csv(principal)
+        return Response.download(
+            text.encode("utf-8"), "usage_report.csv", "text/csv"
+        )
+
+    @router.get("/admin/audit")
+    def audit_trail(request: Request) -> Response:
+        principal = portal.principal(request)
+        user_id = request.get_int("user_id")
+        if user_id is not None:
+            entries = system.audit.for_user(user_id)
+        else:
+            entries = system.audit.recent(limit=100)
+        rows = [
+            (e.at, esc(e.user_login), e.action,
+             f"{e.entity_type}:{e.entity_id}", esc(e.summary))
+            for e in entries
+        ]
+        body = table(["at", "user", "action", "object", "summary"], rows)
+        return Response(page("Audit Trail", body, user=principal.login))
+
+    @router.get("/admin/errors")
+    def error_list(request: Request) -> Response:
+        principal = portal.principal(request)
+        rows = []
+        for record in system.errors.open_errors():
+            resolve = (
+                f'<form method="post" action="/admin/errors/{record.id}/resolve">'
+                "<button>resolve</button></form>"
+            )
+            rows.append((record.id, record.at, esc(record.source),
+                         esc(record.message), resolve))
+        body = table(["id", "at", "source", "message", "action"], rows)
+        return Response(page("Errors", body, user=principal.login))
+
+    @router.post("/admin/errors/<int:error_id>/resolve")
+    def resolve_error(request: Request) -> Response:
+        principal = portal.principal(request)
+        system.errors.resolve(principal, request.params["error_id"])
+        return Response.redirect("/admin/errors")
+
+    @router.get("/admin/workflows")
+    def workflow_list(request: Request) -> Response:
+        principal = portal.principal(request)
+        rows = [
+            (i.id, i.definition, f"{i.entity_type}:{i.entity_id}",
+             i.current_step, i.status)
+            for i in system.workflow.active_instances()
+        ]
+        body = "<h2>Active instances</h2>" + table(
+            ["id", "definition", "entity", "step", "status"], rows
+        )
+        return Response(page("Workflow Administration", body, user=principal.login))

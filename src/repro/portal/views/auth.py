@@ -1,0 +1,44 @@
+"""Login and logout."""
+
+from __future__ import annotations
+
+from repro.errors import AuthenticationError
+from repro.portal.http import Request, Response
+from repro.portal.render import form, page, text_input
+
+
+def register(router, portal) -> None:
+    @router.get("/ping")
+    def ping(request: Request) -> Response:
+        return Response("pong", content_type="text/plain")
+
+    @router.get("/login")
+    def login_form(request: Request) -> Response:
+        body = form(
+            "/login",
+            text_input("login")
+            + '<label>password: <input type="password" name="password"></label><br>',
+            submit="Log in",
+        )
+        return Response(page("Login", body))
+
+    @router.post("/login")
+    def do_login(request: Request) -> Response:
+        try:
+            session = portal.system.auth.login(
+                request.get("login"), request.get("password")
+            )
+        except AuthenticationError as exc:
+            return Response(
+                page("Login", f"<p>{exc}</p>"), status=403
+            )
+        response = Response.redirect("/")
+        response.set_cookie(portal.session_cookie_name(), session.token)
+        return response
+
+    @router.get("/logout")
+    def logout(request: Request) -> Response:
+        portal.system.auth.logout(request.session.token)
+        response = Response.redirect("/login")
+        response.set_cookie(portal.session_cookie_name(), "", max_age=0)
+        return response

@@ -1,0 +1,45 @@
+"""The home screen: open tasks (Figure 8) and the quick-search box."""
+
+from __future__ import annotations
+
+from repro.portal.http import Request, Response
+from repro.portal.render import link, page, table
+
+
+def register(router, portal) -> None:
+    @router.get("/")
+    def home(request: Request) -> Response:
+        principal = portal.principal(request)
+        tasks = portal.system.tasks.inbox(principal)
+        task_rows = [
+            (
+                task.id,
+                task.kind,
+                link(f"/tasks/{task.id}", task.title),
+                task.created_at or "",
+            )
+            for task in tasks
+        ]
+        body = (
+            '<form method="get" action="/search">'
+            '<input type="text" name="q" placeholder="quick search...">'
+            "<button>Search</button></form>"
+            f"<h2>Open tasks ({len(tasks)})</h2>"
+            + table(["id", "kind", "task", "since"], task_rows)
+        )
+        return Response(page("Home", body, user=principal.login))
+
+    @router.get("/tasks/<int:task_id>")
+    def task_detail(request: Request) -> Response:
+        principal = portal.principal(request)
+        task = portal.system.tasks.get(request.params["task_id"])
+        entity_link = ""
+        if task.entity_type == "annotation":
+            entity_link = link("/annotations/review", "open annotation review")
+        elif task.entity_type == "workunit":
+            entity_link = link(f"/workunits/{task.entity_id}", "open workunit")
+        body = (
+            f"<p>{task.title}</p><p>status: {task.status}</p>"
+            f"<p>{entity_link}</p>"
+        )
+        return Response(page(f"Task {task.id}", body, user=principal.login))

@@ -1,0 +1,124 @@
+"""Search screens: quick/advanced search, history, saved queries, export."""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.portal.http import Request, Response
+from repro.portal.render import esc, form, link, page, table, text_input
+from repro.search.export import export_csv
+
+
+def _run_search(portal, principal, query: str, limit: int = 25):
+    return portal.system.search.search(principal, query, limit=limit)
+
+
+def register(router, portal) -> None:
+    system = portal.system
+
+    @router.get("/search")
+    def search_screen(request: Request) -> Response:
+        principal = portal.principal(request)
+        history = portal.history_for(request)
+        query = request.get("q").strip()
+        body = (
+            '<form method="get" action="/search">'
+            f'<input type="text" name="q" value="{esc(query)}" size="50" '
+            'placeholder="terms, name:value, type:sample, -not, a OR b">'
+            "<button>Search</button></form>"
+        )
+        if query:
+            try:
+                results = _run_search(portal, principal, query)
+            except QuerySyntaxError as exc:
+                return Response(
+                    page("Search", body + f"<p>{esc(exc)}</p>",
+                         user=principal.login),
+                    status=400,
+                )
+            history.record(query)
+            rows = [
+                (
+                    r.entity_type,
+                    link(f"/{r.entity_type}s/{r.entity_id}", r.label),
+                    f"{r.score:.3f}",
+                    esc(r.snippet),
+                )
+                for r in results
+            ]
+            body += f"<h2>{len(results)} result(s)</h2>" + table(
+                ["type", "object", "score", "snippet"], rows
+            )
+            body += (
+                f'<p>{link(f"/search/export?q={esc(query)}", "export CSV")}</p>'
+            )
+            body += "<h3>Save this query</h3>" + form(
+                f"/search/save?q={esc(query)}", text_input("name"), submit="Save"
+            )
+        if len(history):
+            body += "<h2>Search history</h2><ul>" + "".join(
+                f'<li>{link(f"/search?q={esc(entry)}", entry)}</li>'
+                for entry in history.entries()
+            ) + "</ul>"
+        saved = system.saved_queries.list_for(principal)
+        if saved:
+            body += "<h2>Saved queries</h2><ul>" + "".join(
+                f'<li>{link(f"/search?q={esc(s.query)}", s.name)}'
+                f" — <code>{esc(s.query)}</code></li>"
+                for s in saved
+            ) + "</ul>"
+        return Response(page("Search", body, user=principal.login))
+
+    @router.post("/search/save")
+    def save_query(request: Request) -> Response:
+        principal = portal.principal(request)
+        query = request.get("q").strip()
+        system.saved_queries.save(principal, request.get("name"), query)
+        return Response.redirect(f"/search?q={query}")
+
+    @router.get("/search/export")
+    def export(request: Request) -> Response:
+        principal = portal.principal(request)
+        query = request.get("q").strip()
+        if not query:
+            return Response("missing query", status=400)
+        try:
+            results = _run_search(portal, principal, query, limit=1000)
+        except QuerySyntaxError as exc:
+            return Response(str(exc), status=400)
+        payload = export_csv(results)
+        return Response.download(
+            payload.encode("utf-8"), "search_results.csv", "text/csv"
+        )
+
+    @router.get("/browse")
+    def browse_root(request: Request) -> Response:
+        principal = portal.principal(request)
+        body = (
+            "<p>Pick an object to browse its network, e.g. "
+            f'{link("/browse/project/1", "project 1")}.</p>'
+        )
+        return Response(page("Browse", body, user=principal.login))
+
+    @router.get("/browse/<str:entity_type>/<int:entity_id>")
+    def browse(request: Request) -> Response:
+        from repro.graphview.links import ObjectRef
+
+        principal = portal.principal(request)
+        ref = ObjectRef(request.params["entity_type"], request.params["entity_id"])
+        system.links.rebuild()
+        neighbors = system.links.neighbors(ref)
+        rows = [
+            (
+                neighbor.entity_type,
+                link(
+                    f"/browse/{neighbor.entity_type}/{neighbor.entity_id}",
+                    str(neighbor),
+                ),
+                label,
+            )
+            for neighbor, label in neighbors
+        ]
+        body = table(["type", "object", "link"], rows)
+        return Response(
+            page(f"Browse — {ref}", body, user=principal.login)
+        )

@@ -1,0 +1,174 @@
+"""The search service: evaluation, access control, snippets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.search.index import Document, InvertedIndex
+from repro.search.query import SearchQuery, parse_query
+from repro.search.tokenizer import tokenize
+from repro.security.acl import AccessControl
+from repro.security.principals import Principal
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One hit, ready for display or export."""
+
+    entity_type: str
+    entity_id: int
+    score: float
+    label: str
+    snippet: str
+    metadata: dict[str, Any]
+
+
+def _snippet(document: Document, terms: set[str], *, width: int = 90) -> str:
+    """A short excerpt around the first matching term."""
+    text = document.text()
+    lowered = text.lower()
+    position = -1
+    for term in terms:
+        position = lowered.find(term)
+        if position >= 0:
+            break
+    if position < 0:
+        return text[:width]
+    start = max(0, position - width // 3)
+    excerpt = text[start : start + width]
+    prefix = "…" if start > 0 else ""
+    suffix = "…" if start + width < len(text) else ""
+    return f"{prefix}{excerpt}{suffix}"
+
+
+class SearchEngine:
+    """Quick and advanced search over the indexed corpus."""
+
+    def __init__(self, *, acl: AccessControl | None = None):
+        self.index = InvertedIndex()
+        self._acl = acl
+
+    # -- indexing -----------------------------------------------------------------
+
+    def index_document(
+        self,
+        entity_type: str,
+        entity_id: int,
+        fields: dict[str, str],
+        *,
+        project_id: int | None = None,
+        label: str = "",
+        **metadata: Any,
+    ) -> None:
+        """(Re-)index one object.
+
+        ``project_id`` drives access-control filtering at query time;
+        objects without one (e.g. vocabulary values) are public.
+        """
+        meta = dict(metadata)
+        meta["project_id"] = project_id
+        meta["label"] = label or fields.get("name", f"{entity_type} {entity_id}")
+        self.index.add(
+            Document(
+                entity_type=entity_type,
+                entity_id=entity_id,
+                fields={k: str(v) for k, v in fields.items()},
+                metadata=meta,
+            )
+        )
+
+    def remove_document(self, entity_type: str, entity_id: int) -> bool:
+        return self.index.remove(entity_type, entity_id)
+
+    # -- searching -------------------------------------------------------------------
+
+    def search(
+        self,
+        principal: Principal,
+        query: "str | SearchQuery",
+        *,
+        types: list[str] | None = None,
+        limit: int = 25,
+    ) -> list[SearchResult]:
+        """Evaluate *query* for *principal*, best matches first."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        effective_types = set(query.types or [])
+        if types:
+            effective_types |= set(types)
+
+        # Candidate set: intersection over required terms, union within
+        # each OR group, then intersected.
+        candidate_sets = []
+        for clause in query.required:
+            candidate_sets.append(self.index.candidates(clause.term, clause.field))
+        for group in query.any_of:
+            union: set = set()
+            for clause in group:
+                union |= self.index.candidates(clause.term, clause.field)
+            candidate_sets.append(union)
+        if not candidate_sets:
+            return []
+        candidates = set.intersection(*candidate_sets)
+        for clause in query.negated:
+            candidates -= self.index.candidates(clause.term, clause.field)
+        if effective_types:
+            candidates = {
+                key for key in candidates if key[0] in effective_types
+            }
+        candidates = self._visible(principal, candidates)
+
+        positive = query.positive_terms
+        term_set = {term for term, _ in positive}
+        scored = [
+            (self.index.score(key, positive), key) for key in candidates
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        results = []
+        for score, key in scored[:limit]:
+            document = self.index.document(*key)
+            assert document is not None
+            results.append(
+                SearchResult(
+                    entity_type=key[0],
+                    entity_id=key[1],
+                    score=round(score, 6),
+                    label=document.metadata.get("label", ""),
+                    snippet=_snippet(document, term_set),
+                    metadata=dict(document.metadata),
+                )
+            )
+        return results
+
+    def quick_search(
+        self, principal: Principal, text: str, *, limit: int = 10
+    ) -> list[SearchResult]:
+        """The main-screen quick box: plain words, all object types."""
+        terms = tokenize(text)
+        if not terms:
+            return []
+        return self.search(principal, " ".join(terms), limit=limit)
+
+    def _visible(self, principal: Principal, candidates: set) -> set:
+        """Filter candidates to projects the principal may read."""
+        if self._acl is None or principal.is_expert:
+            return candidates
+        visible_projects = set(self._acl.visible_project_ids(principal))
+        kept = set()
+        for key in candidates:
+            document = self.index.document(*key)
+            if document is None:
+                continue
+            project_id = document.metadata.get("project_id")
+            if project_id is None or project_id in visible_projects:
+                kept.add(key)
+        return kept
+
+    # -- stats -----------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, int]:
+        return {
+            "documents": len(self.index),
+            "terms": self.index.term_count(),
+        }

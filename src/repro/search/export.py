@@ -1,0 +1,52 @@
+"""Exporting search results to files (paper: "search results can be
+exported into files")."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.search.engine import SearchResult
+
+_COLUMNS = ("entity_type", "entity_id", "score", "label", "snippet")
+
+
+def _rows(results: Iterable[SearchResult]) -> Iterable[list]:
+    for result in results:
+        yield [
+            result.entity_type,
+            result.entity_id,
+            f"{result.score:.6f}",
+            result.label,
+            result.snippet,
+        ]
+
+
+def export_csv(
+    results: Iterable[SearchResult], path: "str | Path | None" = None
+) -> str:
+    """Write results as CSV; returns the text (and writes *path* if given)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_COLUMNS)
+    writer.writerows(_rows(results))
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def export_tsv(
+    results: Iterable[SearchResult], path: "str | Path | None" = None
+) -> str:
+    """Write results as TSV; returns the text (and writes *path* if given)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter="\t", lineterminator="\n")
+    writer.writerow(_COLUMNS)
+    writer.writerows(_rows(results))
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

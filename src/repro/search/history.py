@@ -1,0 +1,101 @@
+"""Search history and saved queries (paper §2, Full-text Search).
+
+"Searches done by the user are kept in the search history during his
+session and can be executed easily... A query can also be saved for
+future reuse.  A later invocation of such a saved query will of course
+include all objects satisfying the query at run-time."
+
+History is per login session (in memory, bounded); saved queries are
+persistent rows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.orm import DateTimeField, IntField, Model, Registry, TextField
+from repro.errors import EntityNotFound, ValidationError
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+
+_HISTORY_LIMIT = 50
+
+
+class SearchHistory:
+    """The bounded, most-recent-first history of one session."""
+
+    def __init__(self, limit: int = _HISTORY_LIMIT):
+        self._entries: deque[str] = deque(maxlen=limit)
+
+    def record(self, query: str) -> None:
+        query = query.strip()
+        if not query:
+            return
+        # Re-running a query moves it to the front instead of duplicating.
+        try:
+            self._entries.remove(query)
+        except ValueError:
+            pass
+        self._entries.appendleft(query)
+
+    def entries(self) -> list[str]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class SavedQuery(Model):
+    """A persistently saved search."""
+
+    __table__ = "saved_query"
+    id = IntField(primary_key=True)
+    user_id = IntField(nullable=False, foreign_key="user.id")
+    name = TextField(nullable=False)
+    query = TextField(nullable=False)
+    created_at = DateTimeField()
+    __unique_together__ = [("user_id", "name")]
+
+
+class SavedQueryStore:
+    """CRUD for saved queries."""
+
+    def __init__(self, registry: Registry, *, clock: Clock | None = None):
+        self._clock = clock or SystemClock()
+        self._queries = registry.repository(SavedQuery)
+
+    def save(self, principal: Principal, name: str, query: str) -> SavedQuery:
+        name = name.strip()
+        query = query.strip()
+        if not name or not query:
+            raise ValidationError("saved query needs a name and a query string")
+        existing = self._queries.find_one(user_id=principal.user_id, name=name)
+        if existing is not None:
+            return self._queries.update(existing.id, query=query)
+        return self._queries.create(
+            user_id=principal.user_id,
+            name=name,
+            query=query,
+            created_at=self._clock.now(),
+        )
+
+    def get(self, principal: Principal, name: str) -> SavedQuery:
+        saved = self._queries.find_one(user_id=principal.user_id, name=name)
+        if saved is None:
+            raise EntityNotFound("SavedQuery", name)
+        return saved
+
+    def list_for(self, principal: Principal) -> list[SavedQuery]:
+        return (
+            self._queries.query()
+            .where("user_id", "=", principal.user_id)
+            .order_by("name")
+            .all()
+        )
+
+    def delete(self, principal: Principal, name: str) -> None:
+        saved = self.get(principal, name)
+        self._queries.delete(saved.id)

@@ -1,0 +1,163 @@
+"""The inverted index with TF-IDF ranking.
+
+Documents are field-structured (``{"name": ..., "description": ...}``)
+so queries can scope to a field (``name:arabidopsis``).  Postings map
+``term -> {doc_key -> {field -> tf}}``; scoring is classic TF-IDF with
+cosine-style length normalization and a configurable per-field boost
+(names weigh more than free text).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.search.tokenizer import tokenize
+
+#: Default boost per field; unlisted fields weigh 1.0.
+DEFAULT_FIELD_BOOSTS = {"name": 3.0, "value": 2.0}
+
+DocKey = tuple[str, int]  # (entity_type, entity_id)
+
+
+@dataclass
+class Document:
+    """One indexed object."""
+
+    entity_type: str
+    entity_id: int
+    fields: dict[str, str]
+    #: Metadata carried through to results (not searched): project_id
+    #: for access control, display labels, timestamps...
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> DocKey:
+        return (self.entity_type, self.entity_id)
+
+    def text(self) -> str:
+        return " ".join(str(v) for v in self.fields.values())
+
+
+class InvertedIndex:
+    """Incremental term index over :class:`Document` objects."""
+
+    def __init__(self, *, field_boosts: dict[str, float] | None = None):
+        self._postings: dict[str, dict[DocKey, dict[str, int]]] = {}
+        self._documents: dict[DocKey, Document] = {}
+        self._lengths: dict[DocKey, float] = {}
+        self._boosts = dict(DEFAULT_FIELD_BOOSTS if field_boosts is None else field_boosts)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def add(self, document: Document) -> None:
+        """Index *document*, replacing any previous version."""
+        if document.key in self._documents:
+            self.remove(*document.key)
+        term_fields: dict[str, dict[str, int]] = {}
+        for field_name, value in document.fields.items():
+            for token in tokenize(str(value)):
+                term_fields.setdefault(token, {}).setdefault(field_name, 0)
+                term_fields[token][field_name] += 1
+        for term, per_field in term_fields.items():
+            self._postings.setdefault(term, {})[document.key] = per_field
+        self._documents[document.key] = document
+        self._lengths[document.key] = self._length_of(term_fields)
+
+    def _length_of(self, term_fields: dict[str, dict[str, int]]) -> float:
+        total = 0.0
+        for per_field in term_fields.values():
+            weighted = sum(
+                tf * self._boosts.get(field_name, 1.0)
+                for field_name, tf in per_field.items()
+            )
+            total += weighted * weighted
+        return math.sqrt(total) or 1.0
+
+    def remove(self, entity_type: str, entity_id: int) -> bool:
+        """Drop a document; returns whether it was indexed."""
+        key = (entity_type, entity_id)
+        if key not in self._documents:
+            return False
+        dead_terms = []
+        for term, docs in self._postings.items():
+            docs.pop(key, None)
+            if not docs:
+                dead_terms.append(term)
+        for term in dead_terms:
+            del self._postings[term]
+        del self._documents[key]
+        del self._lengths[key]
+        return True
+
+    def clear(self) -> None:
+        self._postings.clear()
+        self._documents.clear()
+        self._lengths.clear()
+
+    # -- introspection -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, key: DocKey) -> bool:
+        return key in self._documents
+
+    def document(self, entity_type: str, entity_id: int) -> Document | None:
+        return self._documents.get((entity_type, entity_id))
+
+    def term_count(self) -> int:
+        return len(self._postings)
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    # -- retrieval ------------------------------------------------------------------------
+
+    def _idf(self, term: str) -> float:
+        df = self.document_frequency(term)
+        if df == 0:
+            return 0.0
+        return math.log(1.0 + len(self._documents) / df)
+
+    def _term_score(
+        self, term: str, key: DocKey, scoped_field: str | None
+    ) -> float:
+        per_field = self._postings.get(term, {}).get(key)
+        if per_field is None:
+            return 0.0
+        if scoped_field is not None:
+            tf = per_field.get(scoped_field, 0)
+            if tf == 0:
+                return 0.0
+            weighted = tf * self._boosts.get(scoped_field, 1.0)
+        else:
+            weighted = sum(
+                tf * self._boosts.get(field_name, 1.0)
+                for field_name, tf in per_field.items()
+            )
+        return (1.0 + math.log(weighted)) * self._idf(term)
+
+    def candidates(self, term: str, scoped_field: str | None = None) -> set[DocKey]:
+        """Documents containing *term* (optionally only in one field)."""
+        docs = self._postings.get(term)
+        if docs is None:
+            return set()
+        if scoped_field is None:
+            return set(docs)
+        return {key for key, per_field in docs.items() if scoped_field in per_field}
+
+    def score(
+        self,
+        key: DocKey,
+        terms: list[tuple[str, str | None]],
+    ) -> float:
+        """TF-IDF score of a document against ``(term, field)`` pairs."""
+        raw = sum(self._term_score(term, key, scoped) for term, scoped in terms)
+        if raw == 0.0:
+            return 0.0
+        return raw / self._lengths[key]
+
+    def documents(self) -> list[Document]:
+        return list(self._documents.values())

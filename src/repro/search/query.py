@@ -1,0 +1,128 @@
+"""The advanced-search query language.
+
+Grammar (whitespace-separated clauses, AND is implicit)::
+
+    query      := clause+
+    clause     := ["-"] [field ":"] word     # "-" negates
+                | "type" ":" object_type     # restrict object types
+                | word "OR" word ...         # any-of group
+
+Examples::
+
+    arabidopsis light                  # both terms, any field
+    name:arabidopsis -heat             # term in name field, NOT heat
+    type:sample hopeless               # only samples
+    light OR dark                      # either term
+
+The parser is intentionally forgiving: empty clauses are dropped, an
+unknown trailing ``OR`` is treated as a word.  It raises
+:class:`~repro.errors.QuerySyntaxError` only for queries with no
+positive content (pure negation cannot be evaluated sensibly against an
+inverted index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QuerySyntaxError
+from repro.search.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class TermClause:
+    """One (possibly field-scoped, possibly negated) term."""
+
+    term: str
+    field: str | None = None
+    negated: bool = False
+
+
+@dataclass
+class SearchQuery:
+    """The parsed form the engine evaluates."""
+
+    required: list[TermClause] = field(default_factory=list)
+    negated: list[TermClause] = field(default_factory=list)
+    #: Groups of alternatives: a document must match ≥1 term per group.
+    any_of: list[list[TermClause]] = field(default_factory=list)
+    types: list[str] = field(default_factory=list)
+    raw: str = ""
+
+    @property
+    def positive_terms(self) -> list[tuple[str, str | None]]:
+        terms = [(c.term, c.field) for c in self.required]
+        for group in self.any_of:
+            terms.extend((c.term, c.field) for c in group)
+        return terms
+
+    def is_empty(self) -> bool:
+        return not (self.required or self.any_of)
+
+
+def _clause_from(token: str) -> TermClause | None:
+    negated = token.startswith("-")
+    if negated:
+        token = token[1:]
+    field_name: str | None = None
+    if ":" in token:
+        field_name, token = token.split(":", 1)
+        field_name = field_name.strip().lower() or None
+    words = tokenize(token, keep_stopwords=True)
+    if not words:
+        return None
+    # Multi-word after tokenization (e.g. "wt_light") — keep the first
+    # word scoped; the rest become part of the same clause is overkill,
+    # the engine treats each parsed clause as one term.
+    return TermClause(term=words[0], field=field_name, negated=negated)
+
+
+def parse_query(raw: str) -> SearchQuery:
+    """Parse *raw* into a :class:`SearchQuery`.
+
+    Raises :class:`QuerySyntaxError` when nothing positive remains.
+    """
+    query = SearchQuery(raw=raw)
+    tokens = raw.split()
+    index = 0
+    pending_or: list[TermClause] = []
+    while index < len(tokens):
+        token = tokens[index]
+        if token.upper() == "OR":
+            index += 1
+            continue
+        lowered = token.lower()
+        if lowered.startswith("type:"):
+            type_name = lowered[len("type:"):].strip()
+            if type_name:
+                query.types.append(type_name)
+            index += 1
+            continue
+        clause = _clause_from(token)
+        index += 1
+        if clause is None:
+            continue
+        # Look ahead: is this token part of an OR chain?
+        in_or_chain = (
+            index < len(tokens) and tokens[index].upper() == "OR"
+        ) or bool(pending_or)
+        if clause.negated:
+            query.negated.append(clause)
+            continue
+        if in_or_chain:
+            pending_or.append(clause)
+            chain_continues = (
+                index < len(tokens) and tokens[index].upper() == "OR"
+            )
+            if not chain_continues:
+                query.any_of.append(pending_or)
+                pending_or = []
+        else:
+            query.required.append(clause)
+    if pending_or:
+        query.any_of.append(pending_or)
+    if query.is_empty():
+        raise QuerySyntaxError(
+            f"query {raw!r} contains no searchable positive term"
+        )
+    return query

@@ -1,0 +1,29 @@
+"""Access control: principals, roles, project ACLs, login sessions.
+
+The paper: "B-Fabric captures and provides the data transparently and in
+access-controlled fashion through a Web portal."  Concretely:
+
+* every acting user is a :class:`Principal` carrying a role —
+  ``scientist`` (regular researcher), ``employee`` (FGCZ expert, reviews
+  annotations), or ``admin``;
+* data visibility is scoped per project: scientists only see objects of
+  projects they are members of, employees and admins see everything;
+* the web portal authenticates against stored (salted, hashed) passwords
+  and tracks login sessions.
+"""
+
+from repro.security.principals import Principal, Role, SYSTEM
+from repro.security.acl import AccessControl, Permission
+from repro.security.auth import Authenticator, LoginSession, hash_password, verify_password
+
+__all__ = [
+    "Principal",
+    "Role",
+    "SYSTEM",
+    "AccessControl",
+    "Permission",
+    "Authenticator",
+    "LoginSession",
+    "hash_password",
+    "verify_password",
+]

@@ -1,0 +1,122 @@
+"""Project-scoped access control.
+
+Visibility in B-Fabric follows project membership: a scientist sees and
+manipulates only objects belonging to projects they are a member of.
+Experts (FGCZ employees) and admins operate across projects.  The
+:class:`AccessControl` service answers permission questions against the
+``project_membership`` table and raises
+:class:`~repro.errors.AccessDenied` from its ``require_*`` variants.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import AccessDenied
+from repro.security.principals import Principal
+from repro.storage.database import Database
+
+
+class Permission(enum.Enum):
+    """What a principal may do with a project's objects."""
+
+    READ = "read"
+    WRITE = "write"
+    MANAGE = "manage"  # membership changes, project settings
+
+
+class AccessControl:
+    """Answers "may *principal* do *permission* on *project*?"."""
+
+    def __init__(self, database: Database):
+        self._db = database
+
+    # -- membership -------------------------------------------------------------
+
+    def membership_role(self, principal: Principal, project_id: int) -> str | None:
+        """The principal's role within the project, or ``None``."""
+        row = (
+            self._db.query("project_membership")
+            .where("user_id", "=", principal.user_id)
+            .where("project_id", "=", project_id)
+            .first()
+        )
+        return row["role"] if row else None
+
+    def is_member(self, principal: Principal, project_id: int) -> bool:
+        return self.membership_role(principal, project_id) is not None
+
+    def grant(
+        self,
+        project_id: int,
+        user_id: int,
+        role: str = "member",
+        *,
+        txn=None,
+    ) -> dict:
+        """Add (or upgrade) a membership.  ``role`` is member|leader."""
+        if role not in ("member", "leader"):
+            raise ValueError(f"membership role must be member|leader, got {role!r}")
+        existing = (
+            self._db.query("project_membership")
+            .where("user_id", "=", user_id)
+            .where("project_id", "=", project_id)
+            .first()
+        )
+        target = txn if txn is not None else self._db
+        if existing is not None:
+            return target.update(
+                "project_membership", existing["id"], {"role": role}
+            )
+        return target.insert(
+            "project_membership",
+            {"user_id": user_id, "project_id": project_id, "role": role},
+        )
+
+    def revoke(self, project_id: int, user_id: int, *, txn=None) -> bool:
+        existing = (
+            self._db.query("project_membership")
+            .where("user_id", "=", user_id)
+            .where("project_id", "=", project_id)
+            .first()
+        )
+        if existing is None:
+            return False
+        target = txn if txn is not None else self._db
+        target.delete("project_membership", existing["id"])
+        return True
+
+    # -- checks -------------------------------------------------------------------
+
+    def can(
+        self, principal: Principal, permission: Permission, project_id: int
+    ) -> bool:
+        if principal.is_expert:
+            # Employees and admins operate center-wide.
+            return True
+        role = self.membership_role(principal, project_id)
+        if role is None:
+            return False
+        if permission is Permission.MANAGE:
+            return role == "leader"
+        return True
+
+    def require(
+        self, principal: Principal, permission: Permission, project_id: int
+    ) -> None:
+        if not self.can(principal, permission, project_id):
+            raise AccessDenied(
+                f"{principal} lacks {permission.value} on project {project_id}",
+                principal=principal.login,
+                permission=permission.value,
+            )
+
+    def visible_project_ids(self, principal: Principal) -> list[int]:
+        """Projects the principal may read (all, for experts)."""
+        if principal.is_expert:
+            return self._db.query("project").pks()
+        return (
+            self._db.query("project_membership")
+            .where("user_id", "=", principal.user_id)
+            .values("project_id")
+        )

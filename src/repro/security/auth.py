@@ -1,0 +1,97 @@
+"""Authentication: salted password hashing and login sessions."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+from repro.errors import AuthenticationError
+from repro.security.principals import Principal, Role
+from repro.storage.database import Database
+from repro.util.clock import Clock, SystemClock
+from repro.util.ids import token_hex
+
+_PBKDF2_ITERATIONS = 50_000
+_SESSION_TTL_SECONDS = 8 * 3600
+
+
+def hash_password(password: str, *, salt: bytes | None = None) -> str:
+    """Return ``salt$hash`` using PBKDF2-HMAC-SHA256."""
+    if salt is None:
+        salt = os.urandom(16)
+    digest = hashlib.pbkdf2_hmac(
+        "sha256", password.encode("utf-8"), salt, _PBKDF2_ITERATIONS
+    )
+    return f"{salt.hex()}${digest.hex()}"
+
+
+def verify_password(password: str, stored: str) -> bool:
+    """Constant-time check of *password* against a stored ``salt$hash``."""
+    try:
+        salt_hex, digest_hex = stored.split("$", 1)
+        salt = bytes.fromhex(salt_hex)
+    except ValueError:
+        return False
+    candidate = hashlib.pbkdf2_hmac(
+        "sha256", password.encode("utf-8"), salt, _PBKDF2_ITERATIONS
+    )
+    return hmac.compare_digest(candidate.hex(), digest_hex)
+
+
+class LoginSession:
+    """One authenticated portal session."""
+
+    def __init__(self, token: str, principal: Principal, expires_at: float):
+        self.token = token
+        self.principal = principal
+        self.expires_at = expires_at
+        #: Arbitrary per-session state; the portal stores the search
+        #: history here (paper §2 Full-text Search).
+        self.data: dict = {}
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class Authenticator:
+    """Login/logout against the ``user`` table."""
+
+    def __init__(self, database: Database, *, clock: Clock | None = None):
+        self._db = database
+        self._clock = clock or SystemClock()
+        self._sessions: dict[str, LoginSession] = {}
+
+    def login(self, login: str, password: str) -> LoginSession:
+        """Validate credentials and open a session."""
+        user = self._db.query("user").where("login", "=", login).first()
+        if user is None or not user.get("active", True):
+            raise AuthenticationError(f"unknown or inactive user {login!r}")
+        if not verify_password(password, user["password_hash"]):
+            raise AuthenticationError("bad password")
+        principal = Principal(
+            user_id=user["id"], login=user["login"], role=Role(user["role"])
+        )
+        token = token_hex()
+        session = LoginSession(
+            token, principal, self._clock.timestamp() + _SESSION_TTL_SECONDS
+        )
+        self._sessions[token] = session
+        return session
+
+    def resolve(self, token: str) -> LoginSession:
+        """Return the live session for *token* or raise."""
+        session = self._sessions.get(token)
+        if session is None:
+            raise AuthenticationError("no such session")
+        if session.expired(self._clock.timestamp()):
+            del self._sessions[token]
+            raise AuthenticationError("session expired")
+        return session
+
+    def logout(self, token: str) -> None:
+        self._sessions.pop(token, None)
+
+    def active_sessions(self) -> int:
+        now = self._clock.timestamp()
+        return sum(1 for s in self._sessions.values() if not s.expired(now))

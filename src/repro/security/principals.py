@@ -1,0 +1,56 @@
+"""Principals and roles."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Role(enum.Enum):
+    """The three roles the demo distinguishes.
+
+    * ``SCIENTIST`` — registers samples/extracts, imports data, runs
+      experiments within their projects.
+    * ``EMPLOYEE`` — an FGCZ expert: everything a scientist can, plus
+      annotation review/release/merge and cross-project visibility.
+    * ``ADMIN`` — employee rights plus administrative functions
+      (workflow admin, error registry, maintenance).
+    """
+
+    SCIENTIST = "scientist"
+    EMPLOYEE = "employee"
+    ADMIN = "admin"
+
+    @property
+    def is_expert(self) -> bool:
+        """Experts review annotations (paper: 'an FGCZ employee')."""
+        return self in (Role.EMPLOYEE, Role.ADMIN)
+
+
+@dataclass(frozen=True)
+class Principal:
+    """The acting identity every service call carries.
+
+    ``user_id`` is the persistent ``user`` row id; the special
+    :data:`SYSTEM` principal (id 0) is used for engine-internal writes
+    such as workflow bookkeeping.
+    """
+
+    user_id: int
+    login: str
+    role: Role
+
+    @property
+    def is_admin(self) -> bool:
+        return self.role is Role.ADMIN
+
+    @property
+    def is_expert(self) -> bool:
+        return self.role.is_expert
+
+    def __str__(self) -> str:
+        return f"{self.login}({self.role.value})"
+
+
+#: Engine-internal actor for bookkeeping writes.
+SYSTEM = Principal(user_id=0, login="system", role=Role.ADMIN)

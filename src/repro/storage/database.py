@@ -1,0 +1,326 @@
+"""The database: table registry, transactions, durability, recovery.
+
+A :class:`Database` can run purely in memory (tests, benchmarks) or
+attached to a directory, in which case every commit is appended to a
+write-ahead log and :meth:`checkpoint` writes full snapshots.  Opening a
+database over an existing directory and calling :meth:`recover` restores
+the last snapshot and replays the log — including after a simulated
+crash that tore the final record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import SchemaError, WalCorruption
+from repro.storage.query import Query
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table, UndoEntry
+from repro.storage.transaction import Transaction
+from repro.storage.types import from_jsonable, to_jsonable
+from repro.storage.wal import WriteAheadLog
+
+SNAPSHOT_NAME = "snapshot.json"
+WAL_NAME = "wal.log"
+
+
+class Database:
+    """An embedded multi-table transactional store."""
+
+    def __init__(self, path: "str | Path | None" = None, *, durable: bool = True):
+        """Create a database.
+
+        :param path: directory for WAL + snapshots; ``None`` keeps
+            everything in memory.
+        :param durable: with a *path*, whether commits append to the WAL.
+            Turning this off (while keeping snapshots available) exists
+            for the A4 ablation benchmark.
+        """
+        self._tables: dict[str, Table] = {}
+        # referenced table -> list of (referencing table, column, on_delete)
+        self._referencing: dict[str, list[tuple[str, str, str]]] = {}
+        self._lock = threading.RLock()
+        self._txn_counter = 0
+        self._commit_listeners: list[Callable[[list[UndoEntry]], None]] = []
+        self._path = Path(path) if path is not None else None
+        self._durable = durable and self._path is not None
+        self._wal: WriteAheadLog | None = None
+        if self._durable:
+            assert self._path is not None
+            self._path.mkdir(parents=True, exist_ok=True)
+            self._wal = WriteAheadLog(self._path / WAL_NAME)
+
+    # -- schema -----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register *schema* and return the live table."""
+        with self._lock:
+            if schema.name in self._tables:
+                raise SchemaError(f"table {schema.name!r} already exists")
+            for _, fk in schema.foreign_keys():
+                if fk.table != schema.name and fk.table not in self._tables:
+                    raise SchemaError(
+                        f"table {schema.name!r}: foreign key references "
+                        f"unknown table {fk.table!r} (create it first)"
+                    )
+            table = Table(schema, self)
+            self._tables[schema.name] = table
+            for col, fk in schema.foreign_keys():
+                self._referencing.setdefault(fk.table, []).append(
+                    (schema.name, col.name, fk.on_delete)
+                )
+            return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def referencing(self, table: str) -> list[tuple[str, str, str]]:
+        """``(referencing_table, column, on_delete)`` for FKs targeting *table*."""
+        return list(self._referencing.get(table, ()))
+
+    def add_column(self, table: str, column) -> None:
+        """Schema evolution: add a column to a live table.
+
+        FK-bearing columns update the referential map so delete actions
+        apply immediately.
+        """
+        with self._lock:
+            target = self.table(table)
+            target.add_column(column)
+            if column.foreign_key is not None:
+                from repro.storage.schema import ForeignKey
+
+                fk = ForeignKey.parse(column.foreign_key)
+                if fk.table != table and fk.table not in self._tables:
+                    raise SchemaError(
+                        f"column {column.name!r} references unknown table "
+                        f"{fk.table!r}"
+                    )
+                self._referencing.setdefault(fk.table, []).append(
+                    (table, column.name, fk.on_delete)
+                )
+
+    def add_index(self, table: str, columns: "tuple[str, ...] | str") -> None:
+        """Schema evolution: index existing data."""
+        if isinstance(columns, str):
+            columns = (columns,)
+        with self._lock:
+            self.table(table).add_index(tuple(columns))
+
+    # -- transactions --------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Begin a transaction; the single-writer lock is held until it ends."""
+        self._lock.acquire()
+        self._txn_counter += 1
+        return Transaction(self, self._txn_counter)
+
+    def _finish_commit(self, txn: Transaction) -> None:
+        """Called by Transaction.commit while the lock is still held."""
+        operations = txn.operations
+        try:
+            if self._wal is not None and operations:
+                self._wal.append_commit(
+                    txn.txn_id, operations, self._encode_row_for_wal
+                )
+        finally:
+            self._lock.release()
+        for listener in self._commit_listeners:
+            listener(operations)
+
+    def _finish_abort(self, txn: Transaction) -> None:
+        self._lock.release()
+
+    def on_commit(self, listener: Callable[[list[UndoEntry]], None]) -> None:
+        """Register an observer invoked after each durable commit.
+
+        Listeners receive the operation list; the audit log and the
+        full-text indexer subscribe here.
+        """
+        self._commit_listeners.append(listener)
+
+    # -- autocommit conveniences ------------------------------------------------------
+
+    def insert(self, table: str, values: dict[str, Any]) -> dict[str, Any]:
+        """Insert in a single-statement transaction."""
+        with self.transaction() as txn:
+            return txn.insert(table, values)
+
+    def update(self, table: str, pk: Any, changes: dict[str, Any]) -> dict[str, Any]:
+        """Update in a single-statement transaction."""
+        with self.transaction() as txn:
+            return txn.update(table, pk, changes)
+
+    def delete(self, table: str, pk: Any) -> dict[str, Any]:
+        """Delete in a single-statement transaction."""
+        with self.transaction() as txn:
+            return txn.delete(table, pk)
+
+    def get(self, table: str, pk: Any) -> dict[str, Any]:
+        return self.table(table).get(pk)
+
+    def get_or_none(self, table: str, pk: Any) -> dict[str, Any] | None:
+        return self.table(table).get_or_none(pk)
+
+    def query(self, table: str) -> Query:
+        """Start a fluent query over *table*."""
+        return Query(self.table(table))
+
+    def count(self, table: str) -> int:
+        return len(self.table(table))
+
+    # -- WAL encoding ------------------------------------------------------------------
+
+    def _encode_row_for_wal(
+        self, table: str, row: dict[str, Any] | None
+    ) -> dict[str, Any] | None:
+        if row is None:
+            return None
+        schema = self.table(table).schema
+        return {
+            name: to_jsonable(value, schema.column(name).type)
+            for name, value in row.items()
+        }
+
+    def _decode_row_from_wal(
+        self, table: str, row: dict[str, Any] | None
+    ) -> dict[str, Any] | None:
+        if row is None:
+            return None
+        schema = self.table(table).schema
+        return {
+            name: from_jsonable(value, schema.column(name).type)
+            for name, value in row.items()
+            if schema.has_column(name)
+        }
+
+    # -- snapshots & recovery -----------------------------------------------------------
+
+    def checkpoint(self) -> Path:
+        """Write a full snapshot and reset the WAL.  Returns snapshot path."""
+        if self._path is None:
+            raise SchemaError("checkpoint requires a database directory")
+        with self._lock:
+            snapshot = {
+                name: [
+                    self._encode_row_for_wal(name, row)
+                    for row in table.rows()
+                ]
+                for name, table in self._tables.items()
+            }
+            target = self._path / SNAPSHOT_NAME
+            tmp = target.with_suffix(".json.tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh, separators=(",", ":"), default=str)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+            if self._wal is not None:
+                self._wal.reset()
+                self._wal.append_checkpoint_marker(SNAPSHOT_NAME)
+            return target
+
+    def recover(self) -> dict[str, int]:
+        """Load the latest snapshot, replay the WAL, heal a torn tail.
+
+        Must be called after every table has been declared (schemas live
+        in code).  Returns ``{"snapshot_rows": n, "wal_txns": m}``.
+        """
+        if self._path is None:
+            raise SchemaError("recover requires a database directory")
+        stats = {"snapshot_rows": 0, "wal_txns": 0}
+        with self._lock:
+            snapshot_path = self._path / SNAPSHOT_NAME
+            if snapshot_path.exists():
+                with open(snapshot_path, "r", encoding="utf-8") as fh:
+                    snapshot = json.load(fh)
+                for name, rows in snapshot.items():
+                    if name not in self._tables:
+                        raise SchemaError(
+                            f"snapshot contains unknown table {name!r}; "
+                            "declare schemas before recover()"
+                        )
+                    table = self._tables[name]
+                    for encoded in rows:
+                        decoded = self._decode_row_from_wal(name, encoded)
+                        assert decoded is not None
+                        table.apply_insert(decoded)
+                        stats["snapshot_rows"] += 1
+            if self._wal is not None:
+                try:
+                    for record in self._wal.records():
+                        if record.get("kind") != "commit":
+                            continue
+                        self._replay_commit(record)
+                        stats["wal_txns"] += 1
+                except WalCorruption:
+                    raise
+                self._wal.truncate_torn_tail()
+        return stats
+
+    def _replay_commit(self, record: dict[str, Any]) -> None:
+        for op in record["ops"]:
+            table = self.table(op["table"])
+            if op["op"] == "insert":
+                after = self._decode_row_from_wal(op["table"], op["after"])
+                assert after is not None
+                table.apply_insert(after)
+            elif op["op"] == "update":
+                after = self._decode_row_from_wal(op["table"], op["after"])
+                assert after is not None
+                table.apply_update(op["pk"], after)
+            elif op["op"] == "delete":
+                table.apply_delete(op["pk"])
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def verify_integrity(self) -> list[str]:
+        """Run every table's self-check; returns a list of problems."""
+        problems: list[str] = []
+        with self._lock:
+            for table in self._tables.values():
+                problems.extend(table.verify_integrity())
+        return problems
+
+    def rebuild_indexes(self) -> None:
+        with self._lock:
+            for table in self._tables.values():
+                table.rebuild_indexes()
+
+    def statistics(self) -> dict[str, Any]:
+        """Row counts per table plus WAL size; powers the admin console."""
+        with self._lock:
+            return {
+                "tables": {name: len(tbl) for name, tbl in self._tables.items()},
+                "total_rows": sum(len(tbl) for tbl in self._tables.values()),
+                "wal_bytes": self._wal.size_bytes() if self._wal else 0,
+                "transactions": self._txn_counter,
+            }
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- bulk iteration ------------------------------------------------------------------
+
+    def rows(self, table: str) -> Iterator[dict[str, Any]]:
+        return self.table(table).rows()

@@ -1,0 +1,177 @@
+"""Secondary indexes.
+
+Two flavours:
+
+* :class:`HashIndex` — equality lookups; used for plain and composite
+  secondary indexes and for unique constraints.
+* :class:`SortedIndex` — equality *and* range lookups over a single
+  column, kept as a sorted key list (binary search via :mod:`bisect`).
+
+Indexes map a key (tuple of column values) to the set of primary keys of
+rows carrying that key.  They are maintained synchronously by the table
+on every insert/update/delete so reads never rebuild anything.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from repro.errors import UniqueViolation
+from repro.storage.types import sort_key
+
+
+class HashIndex:
+    """Equality index over one or more columns.
+
+    Keys are tuples of the indexed column values.  With ``unique=True``
+    the index additionally enforces at most one row per fully-non-null
+    key (SQL semantics: NULLs never collide).
+    """
+
+    def __init__(self, table: str, columns: tuple[str, ...], *, unique: bool = False):
+        self.table = table
+        self.columns = columns
+        self.unique = unique
+        self._buckets: dict[tuple, set[Any]] = {}
+
+    @property
+    def name(self) -> str:
+        prefix = "uq" if self.unique else "ix"
+        return f"{prefix}_{self.table}_{'_'.join(self.columns)}"
+
+    def key_for(self, row: dict[str, Any]) -> tuple:
+        return tuple(row[c] for c in self.columns)
+
+    def _enforceable(self, key: tuple) -> bool:
+        """Unique constraints ignore keys containing NULL."""
+        return self.unique and all(part is not None for part in key)
+
+    def check_insert(self, row: dict[str, Any], pk: Any) -> None:
+        """Raise :class:`UniqueViolation` if inserting *row* would collide."""
+        key = self.key_for(row)
+        if self._enforceable(key):
+            existing = self._buckets.get(key)
+            if existing and any(other != pk for other in existing):
+                raise UniqueViolation(
+                    f"duplicate value {key!r} for unique index "
+                    f"{self.name!r}",
+                    table=self.table,
+                    constraint=self.name,
+                )
+
+    def add(self, row: dict[str, Any], pk: Any) -> None:
+        self._buckets.setdefault(self.key_for(row), set()).add(pk)
+
+    def remove(self, row: dict[str, Any], pk: Any) -> None:
+        key = self.key_for(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(pk)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: tuple) -> set[Any]:
+        """Return the pks of rows whose indexed columns equal *key*."""
+        return set(self._buckets.get(key, ()))
+
+    def keys(self) -> Iterator[tuple]:
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+
+class SortedIndex:
+    """Single-column index supporting range scans.
+
+    Maintains a sorted list of distinct comparable keys alongside a hash
+    map to pk-sets.  Keys are wrapped with
+    :func:`repro.storage.types.sort_key` so mixed/None values stay
+    ordered.
+    """
+
+    def __init__(self, table: str, column: str):
+        self.table = table
+        self.column = column
+        self._sorted_keys: list[tuple] = []   # sort_key-wrapped
+        self._by_key: dict[tuple, tuple[Any, set[Any]]] = {}
+        # _by_key maps wrapped_key -> (raw_value, pk_set)
+
+    @property
+    def name(self) -> str:
+        return f"sx_{self.table}_{self.column}"
+
+    def add(self, row: dict[str, Any], pk: Any) -> None:
+        raw = row[self.column]
+        wrapped = sort_key(raw)
+        entry = self._by_key.get(wrapped)
+        if entry is None:
+            bisect.insort(self._sorted_keys, wrapped)
+            self._by_key[wrapped] = (raw, {pk})
+        else:
+            entry[1].add(pk)
+
+    def remove(self, row: dict[str, Any], pk: Any) -> None:
+        wrapped = sort_key(row[self.column])
+        entry = self._by_key.get(wrapped)
+        if entry is None:
+            return
+        entry[1].discard(pk)
+        if not entry[1]:
+            del self._by_key[wrapped]
+            pos = bisect.bisect_left(self._sorted_keys, wrapped)
+            if pos < len(self._sorted_keys) and self._sorted_keys[pos] == wrapped:
+                del self._sorted_keys[pos]
+
+    def lookup(self, value: Any) -> set[Any]:
+        entry = self._by_key.get(sort_key(value))
+        return set(entry[1]) if entry else set()
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> set[Any]:
+        """Return pks with indexed value in the given (optionally open) range."""
+        if low is None:
+            lo_pos = 0
+        else:
+            wrapped_low = sort_key(low)
+            lo_pos = (
+                bisect.bisect_left(self._sorted_keys, wrapped_low)
+                if include_low
+                else bisect.bisect_right(self._sorted_keys, wrapped_low)
+            )
+        if high is None:
+            hi_pos = len(self._sorted_keys)
+        else:
+            wrapped_high = sort_key(high)
+            hi_pos = (
+                bisect.bisect_right(self._sorted_keys, wrapped_high)
+                if include_high
+                else bisect.bisect_left(self._sorted_keys, wrapped_high)
+            )
+        result: set[Any] = set()
+        for wrapped in self._sorted_keys[lo_pos:hi_pos]:
+            result |= self._by_key[wrapped][1]
+        return result
+
+    def ordered_pks(self, *, descending: bool = False) -> Iterable[Any]:
+        """Yield pks in indexed-value order (ties in arbitrary order)."""
+        keys = reversed(self._sorted_keys) if descending else self._sorted_keys
+        for wrapped in keys:
+            yield from self._by_key[wrapped][1]
+
+    def __len__(self) -> int:
+        return sum(len(entry[1]) for entry in self._by_key.values())
+
+    def clear(self) -> None:
+        self._sorted_keys.clear()
+        self._by_key.clear()

@@ -1,0 +1,413 @@
+"""Fluent queries with index-aware planning.
+
+Example::
+
+    resources = (
+        db.query("data_resource")
+        .where("project_id", "=", 42)
+        .where("size_bytes", ">=", 1_000_000)
+        .order_by("created_at", descending=True)
+        .limit(20)
+        .all()
+    )
+
+The planner uses, in order of preference: a composite hash index covering
+several equality predicates, a single-column hash index for one equality
+predicate, a sorted index for a range predicate, and finally a full scan.
+:meth:`Query.explain` reports which path was chosen — the A1 index
+ablation benchmark relies on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.errors import SchemaError
+from repro.storage.types import sort_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.table import Table
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and sort_key(a) < sort_key(b),
+    "<=": lambda a, b: a is not None and sort_key(a) <= sort_key(b),
+    ">": lambda a, b: a is not None and sort_key(a) > sort_key(b),
+    ">=": lambda a, b: a is not None and sort_key(a) >= sort_key(b),
+    "in": lambda a, b: a in b,
+    "contains": lambda a, b: (
+        b.lower() in a.lower() if isinstance(a, str) else (a is not None and b in a)
+    ),
+    "startswith": lambda a, b: isinstance(a, str) and a.startswith(b),
+    "is_null": lambda a, b: (a is None) == b,
+}
+
+_RANGE_OPS = {"<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One ``column <op> value`` predicate."""
+
+    column: str
+    op: str
+    value: Any
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        actual = row.get(self.column)
+        if self.op in ("=", "!=") or self.op in _RANGE_OPS:
+            # SQL three-valued logic: comparing with NULL is never true.
+            if self.value is None or actual is None:
+                return False
+        elif self.op == "in" and actual is None:
+            return False
+        return _OPS[self.op](actual, self.value)
+
+
+class F:
+    """Shorthand condition factory: ``F.eq("name", "x")`` etc."""
+
+    @staticmethod
+    def eq(column: str, value: Any) -> Condition:
+        return Condition(column, "=", value)
+
+    @staticmethod
+    def ne(column: str, value: Any) -> Condition:
+        return Condition(column, "!=", value)
+
+    @staticmethod
+    def lt(column: str, value: Any) -> Condition:
+        return Condition(column, "<", value)
+
+    @staticmethod
+    def le(column: str, value: Any) -> Condition:
+        return Condition(column, "<=", value)
+
+    @staticmethod
+    def gt(column: str, value: Any) -> Condition:
+        return Condition(column, ">", value)
+
+    @staticmethod
+    def ge(column: str, value: Any) -> Condition:
+        return Condition(column, ">=", value)
+
+    @staticmethod
+    def isin(column: str, values: Any) -> Condition:
+        return Condition(column, "in", tuple(values))
+
+    @staticmethod
+    def contains(column: str, value: Any) -> Condition:
+        return Condition(column, "contains", value)
+
+    @staticmethod
+    def startswith(column: str, value: str) -> Condition:
+        return Condition(column, "startswith", value)
+
+    @staticmethod
+    def is_null(column: str, flag: bool = True) -> Condition:
+        return Condition(column, "is_null", flag)
+
+
+class Query:
+    """Immutable-ish fluent query builder over one table."""
+
+    def __init__(self, table: "Table"):
+        self._table = table
+        self._conditions: list[Condition] = []
+        self._order: list[tuple[str, bool]] = []  # (column, descending)
+        self._limit: int | None = None
+        self._offset: int = 0
+        self._use_indexes = True
+
+    # -- building ----------------------------------------------------------------
+
+    def where(self, column: str, op: str = "=", value: Any = None) -> "Query":
+        """Add a predicate.  ``op`` is one of ``= != < <= > >= in contains
+        startswith is_null``."""
+        if op not in _OPS:
+            raise SchemaError(f"unknown operator {op!r}")
+        if not self._table.schema.has_column(column):
+            raise SchemaError(
+                f"table {self._table.name!r} has no column {column!r}"
+            )
+        self._conditions.append(Condition(column, op, value))
+        return self
+
+    def filter(self, *conditions: Condition) -> "Query":
+        """Add prebuilt :class:`Condition` objects (see :class:`F`)."""
+        for cond in conditions:
+            if not self._table.schema.has_column(cond.column):
+                raise SchemaError(
+                    f"table {self._table.name!r} has no column {cond.column!r}"
+                )
+            self._conditions.append(cond)
+        return self
+
+    def order_by(self, column: str, *, descending: bool = False) -> "Query":
+        if not self._table.schema.has_column(column):
+            raise SchemaError(
+                f"table {self._table.name!r} has no column {column!r}"
+            )
+        self._order.append((column, descending))
+        return self
+
+    def limit(self, n: int) -> "Query":
+        if n < 0:
+            raise SchemaError("limit must be >= 0")
+        self._limit = n
+        return self
+
+    def offset(self, n: int) -> "Query":
+        if n < 0:
+            raise SchemaError("offset must be >= 0")
+        self._offset = n
+        return self
+
+    def without_indexes(self) -> "Query":
+        """Force a full scan (used by the index-ablation benchmark)."""
+        self._use_indexes = False
+        return self
+
+    # -- planning ------------------------------------------------------------------
+
+    def _plan(self) -> tuple[str, set[Any] | None, list[Condition]]:
+        """Return ``(strategy, candidate_pks, residual_conditions)``.
+
+        ``candidate_pks=None`` means full scan.
+        """
+        if not self._use_indexes or not self._conditions:
+            return ("scan", None, list(self._conditions))
+
+        # `= NULL` never matches (SQL semantics), so such predicates must
+        # not drive an index lookup — they stay residual and reject rows.
+        eq_conditions = {
+            c.column: c
+            for c in self._conditions
+            if c.op == "=" and c.value is not None
+        }
+        pk_col = self._table.pk_column
+
+        # 0. Primary-key equality: direct dict hit.
+        if pk_col in eq_conditions:
+            cond = eq_conditions[pk_col]
+            pk = cond.value
+            pks = {pk} if pk in self._table else set()
+            residual = [c for c in self._conditions if c is not cond]
+            return ("pk", pks, residual)
+
+        # 1. Composite hash index covering the largest equality subset.
+        best_cols: tuple[str, ...] | None = None
+        for spec in self._table._hash_indexes:
+            if all(col in eq_conditions for col in spec):
+                if best_cols is None or len(spec) > len(best_cols):
+                    best_cols = spec
+        # Unique single-column indexes count too.
+        for index in self._table._unique_indexes:
+            spec = index.columns
+            if all(col in eq_conditions for col in spec):
+                if best_cols is None or len(spec) > len(best_cols):
+                    best_cols = spec
+        if best_cols is not None:
+            # Note: indexes define __len__, so an empty index is falsy —
+            # the None checks must be explicit.
+            index = self._table.hash_index_for(best_cols)
+            if index is None:
+                index = self._table.unique_index_for(best_cols)
+            assert index is not None
+            key = tuple(eq_conditions[col].value for col in best_cols)
+            # Identity-based filtering: conditions may hold unhashable
+            # values (e.g. lists for "in"), so no set membership here.
+            used_ids = {id(eq_conditions[col]) for col in best_cols}
+            residual = [c for c in self._conditions if id(c) not in used_ids]
+            return (f"index:{index.name}", index.lookup(key), residual)
+
+        # 2. Sorted index for a range predicate.
+        for cond in self._conditions:
+            if cond.op in _RANGE_OPS:
+                sx = self._table.sorted_index_for(cond.column)
+                if sx is None:
+                    continue
+                if cond.op in (">", ">="):
+                    pks = sx.range(low=cond.value, include_low=cond.op == ">=")
+                else:
+                    pks = sx.range(high=cond.value, include_high=cond.op == "<=")
+                residual = [c for c in self._conditions if c is not cond]
+                return (f"range:{sx.name}", pks, residual)
+
+        return ("scan", None, list(self._conditions))
+
+    def explain(self) -> dict[str, Any]:
+        """Describe the access path without executing the query."""
+        strategy, pks, residual = self._plan()
+        return {
+            "table": self._table.name,
+            "strategy": strategy,
+            "candidates": len(pks) if pks is not None else len(self._table),
+            "residual_predicates": len(residual),
+            "order_by": list(self._order),
+        }
+
+    # -- execution -----------------------------------------------------------------
+
+    def _matching_rows(self) -> Iterator[dict[str, Any]]:
+        strategy, pks, residual = self._plan()
+        if pks is None:
+            candidates: Iterator[Any] = iter(self._table.pks())
+        else:
+            candidates = iter(pks)
+        for pk in candidates:
+            row = self._table.raw_row(pk)
+            if row is None:
+                continue
+            if all(cond.matches(row) for cond in residual):
+                yield row
+
+    def _sorted_rows(self) -> list[dict[str, Any]]:
+        rows = list(self._matching_rows())
+        # Stable multi-key sort: apply keys in reverse priority order.
+        for column, descending in reversed(self._order):
+            rows.sort(key=lambda r: sort_key(r.get(column)), reverse=descending)
+        return rows
+
+    def all(self) -> list[dict[str, Any]]:
+        """Execute and return row copies."""
+        rows = self._sorted_rows()
+        if self._offset:
+            rows = rows[self._offset:]
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        return [dict(r) for r in rows]
+
+    def first(self) -> dict[str, Any] | None:
+        """Return the first matching row or ``None``."""
+        rows = self.limit(1).all() if self._limit is None else self.all()
+        return rows[0] if rows else None
+
+    def one(self) -> dict[str, Any]:
+        """Return exactly one row; raise if zero or several match."""
+        rows = self.limit(2).all()
+        if not rows:
+            raise SchemaError(
+                f"query on {self._table.name!r} matched no rows"
+            )
+        if len(rows) > 1:
+            raise SchemaError(
+                f"query on {self._table.name!r} matched more than one row"
+            )
+        return rows[0]
+
+    def count(self) -> int:
+        """Number of matching rows (ignores limit/offset)."""
+        return sum(1 for _ in self._matching_rows())
+
+    def exists(self) -> bool:
+        return next(iter(self._matching_rows()), None) is not None
+
+    def pks(self) -> list[Any]:
+        """Primary keys of matching rows, respecting order/limit/offset."""
+        pk_col = self._table.pk_column
+        return [row[pk_col] for row in self.all()]
+
+    def values(self, column: str) -> list[Any]:
+        """The given column of every matching row."""
+        if not self._table.schema.has_column(column):
+            raise SchemaError(
+                f"table {self._table.name!r} has no column {column!r}"
+            )
+        return [row.get(column) for row in self.all()]
+
+    def distinct_values(self, column: str) -> list[Any]:
+        """Distinct non-null values of *column*, sorted.
+
+        Backs drop-down filters ("all species in use").
+        """
+        if not self._table.schema.has_column(column):
+            raise SchemaError(
+                f"table {self._table.name!r} has no column {column!r}"
+            )
+        seen: dict = {}
+        for row in self._matching_rows():
+            value = row.get(column)
+            if value is not None:
+                seen[repr(value)] = value
+        return sorted(seen.values(), key=sort_key)
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def aggregate(self, column: str, function: str) -> Any:
+        """Aggregate *column* over matching rows.
+
+        ``function`` is one of ``count``, ``sum``, ``min``, ``max``,
+        ``avg``.  NULLs are ignored (SQL semantics); ``count`` counts
+        non-null values, ``avg``/``min``/``max`` of no values is
+        ``None``, ``sum`` of no values is 0.
+        """
+        if not self._table.schema.has_column(column):
+            raise SchemaError(
+                f"table {self._table.name!r} has no column {column!r}"
+            )
+        if function not in ("count", "sum", "min", "max", "avg"):
+            raise SchemaError(f"unknown aggregate {function!r}")
+        values = [
+            row[column]
+            for row in self._matching_rows()
+            if row.get(column) is not None
+        ]
+        if function == "count":
+            return len(values)
+        if function == "sum":
+            return sum(values) if values else 0
+        if not values:
+            return None
+        if function == "min":
+            return min(values, key=sort_key)
+        if function == "max":
+            return max(values, key=sort_key)
+        return sum(values) / len(values)
+
+    def group_by(
+        self, column: str, *, aggregate: str = "count", value_column: str | None = None
+    ) -> dict[Any, Any]:
+        """Group matching rows by *column* and aggregate per group.
+
+        The default counts rows per group; with *value_column* the
+        aggregate runs over that column's non-null values.  Powers the
+        admin dashboards ("workunits per project", "bytes per storage
+        mode").
+        """
+        if not self._table.schema.has_column(column):
+            raise SchemaError(
+                f"table {self._table.name!r} has no column {column!r}"
+            )
+        if value_column is not None and not self._table.schema.has_column(
+            value_column
+        ):
+            raise SchemaError(
+                f"table {self._table.name!r} has no column {value_column!r}"
+            )
+        if aggregate not in ("count", "sum", "min", "max", "avg"):
+            raise SchemaError(f"unknown aggregate {aggregate!r}")
+        groups: dict[Any, list[Any]] = {}
+        for row in self._matching_rows():
+            key = row.get(column)
+            if value_column is None:
+                groups.setdefault(key, []).append(1)
+            elif row.get(value_column) is not None:
+                groups.setdefault(key, []).append(row[value_column])
+            else:
+                groups.setdefault(key, [])
+        result: dict[Any, Any] = {}
+        for key, values in groups.items():
+            if aggregate == "count":
+                result[key] = len(values) if value_column is None else len(values)
+            elif aggregate == "sum":
+                result[key] = sum(values) if values else 0
+            elif aggregate == "min":
+                result[key] = min(values, key=sort_key) if values else None
+            elif aggregate == "max":
+                result[key] = max(values, key=sort_key) if values else None
+            else:
+                result[key] = sum(values) / len(values) if values else None
+        return result

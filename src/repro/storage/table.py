@@ -1,0 +1,420 @@
+"""The live table: row storage, constraint enforcement, index maintenance.
+
+A :class:`Table` owns its rows (``pk -> row dict``) plus every index
+declared for it.  All constraint checks happen here, *before* any state
+changes, so a failed write leaves rows and indexes untouched.  Foreign
+keys are validated through the owning :class:`~repro.storage.database.Database`
+because they span tables.
+
+Mutations return :class:`UndoEntry` records; transactions replay them in
+reverse on rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import (
+    CheckViolation,
+    ForeignKeyViolation,
+    NotNullViolation,
+    PrimaryKeyViolation,
+    RowNotFound,
+    SchemaError,
+)
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.schema import TableSchema
+from repro.storage.types import ColumnType, coerce
+from repro.util.ids import IdAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class UndoEntry:
+    """Inverse of one applied mutation.
+
+    ``op`` is the operation that *was applied*; rollback performs its
+    inverse: an ``insert`` is undone by deleting ``pk``, a ``delete`` by
+    re-inserting ``before``, an ``update`` by restoring ``before``.
+    """
+
+    op: str  # "insert" | "update" | "delete"
+    table: str
+    pk: Any
+    before: dict[str, Any] | None
+    after: dict[str, Any] | None
+
+
+class Table:
+    """One table of a :class:`Database`.  Not constructed directly."""
+
+    def __init__(self, schema: TableSchema, database: "Database"):
+        self.schema = schema
+        self._db = database
+        self._rows: dict[Any, dict[str, Any]] = {}
+        self._ids = IdAllocator()
+        self._pk = schema.primary_key.name
+        self._auto_pk = schema.primary_key.type is ColumnType.INT
+
+        # Unique constraints become unique hash indexes (PK handled by the
+        # row dict itself).  Plain/composite indexes become hash indexes;
+        # every single-column plain index also gets a sorted twin so range
+        # predicates and ORDER BY can use it.
+        self._unique_indexes: list[HashIndex] = []
+        self._hash_indexes: dict[tuple[str, ...], HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+
+        for col in schema.columns:
+            if col.unique and not col.primary_key:
+                self._unique_indexes.append(
+                    HashIndex(schema.name, (col.name,), unique=True)
+                )
+        for group in schema.unique_together:
+            self._unique_indexes.append(
+                HashIndex(schema.name, tuple(group), unique=True)
+            )
+        for spec in schema.index_specs():
+            if spec not in self._hash_indexes:
+                self._hash_indexes[spec] = HashIndex(schema.name, spec)
+            if len(spec) == 1 and spec[0] not in self._sorted_indexes:
+                self._sorted_indexes[spec[0]] = SortedIndex(schema.name, spec[0])
+
+    # -- basic access ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def pk_column(self) -> str:
+        return self._pk
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, pk: Any) -> bool:
+        return pk in self._rows
+
+    def get(self, pk: Any) -> dict[str, Any]:
+        """Return a copy of the row with primary key *pk*."""
+        try:
+            return dict(self._rows[pk])
+        except KeyError:
+            raise RowNotFound(self.name, pk) from None
+
+    def get_or_none(self, pk: Any) -> dict[str, Any] | None:
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Yield copies of all rows in insertion order."""
+        for row in list(self._rows.values()):
+            yield dict(row)
+
+    def pks(self) -> list[Any]:
+        return list(self._rows)
+
+    def raw_row(self, pk: Any) -> dict[str, Any] | None:
+        """Internal zero-copy access for the query planner. Do not mutate."""
+        return self._rows.get(pk)
+
+    # -- validation helpers --------------------------------------------------
+
+    def _normalize(self, values: dict[str, Any], *, for_insert: bool) -> dict[str, Any]:
+        """Coerce values, apply defaults (insert only), reject unknown columns."""
+        unknown = set(values) - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r}: unknown column(s) {sorted(unknown)!r}"
+            )
+        row: dict[str, Any] = {}
+        for col in self.schema.columns:
+            if col.name in values:
+                row[col.name] = coerce(values[col.name], col.type, column=col.name)
+            elif for_insert:
+                if col.primary_key and self._auto_pk:
+                    continue  # allocated later
+                row[col.name] = coerce(
+                    col.default_value(), col.type, column=col.name
+                )
+        return row
+
+    def _validate_row(self, row: dict[str, Any]) -> None:
+        """NOT NULL, per-column checks, table checks. Raises on violation."""
+        for col in self.schema.columns:
+            value = row.get(col.name)
+            if value is None:
+                if not col.nullable:
+                    raise NotNullViolation(
+                        f"column {self.name}.{col.name} may not be NULL",
+                        table=self.name,
+                        constraint=f"nn_{self.name}_{col.name}",
+                    )
+                continue
+            if col.check is not None and not col.check(value):
+                raise CheckViolation(
+                    f"column {self.name}.{col.name}: value {value!r} failed "
+                    "its check",
+                    table=self.name,
+                    constraint=f"ck_{self.name}_{col.name}",
+                )
+        for check in self.schema.checks:
+            if not check.predicate(row):
+                raise CheckViolation(
+                    f"table {self.name!r}: check {check.name!r} failed"
+                    + (f" ({check.description})" if check.description else ""),
+                    table=self.name,
+                    constraint=check.name,
+                )
+
+    def _check_foreign_keys(self, row: dict[str, Any]) -> None:
+        for col, fk in self.schema.foreign_keys():
+            value = row.get(col.name)
+            if value is None:
+                continue
+            target = self._db.table(fk.table)
+            if value not in target:
+                raise ForeignKeyViolation(
+                    f"{self.name}.{col.name}={value!r} references missing "
+                    f"{fk.table}.{fk.column}",
+                    table=self.name,
+                    constraint=f"fk_{self.name}_{col.name}",
+                )
+
+    def _check_unique(self, row: dict[str, Any], pk: Any) -> None:
+        for index in self._unique_indexes:
+            index.check_insert(row, pk)
+
+    # -- index plumbing ------------------------------------------------------
+
+    def _index_add(self, row: dict[str, Any], pk: Any) -> None:
+        for index in self._unique_indexes:
+            index.add(row, pk)
+        for index in self._hash_indexes.values():
+            index.add(row, pk)
+        for index in self._sorted_indexes.values():
+            index.add(row, pk)
+
+    def _index_remove(self, row: dict[str, Any], pk: Any) -> None:
+        for index in self._unique_indexes:
+            index.remove(row, pk)
+        for index in self._hash_indexes.values():
+            index.remove(row, pk)
+        for index in self._sorted_indexes.values():
+            index.remove(row, pk)
+
+    # -- mutations (called by Transaction) ------------------------------------
+
+    def apply_insert(self, values: dict[str, Any]) -> tuple[dict[str, Any], UndoEntry]:
+        """Validate and insert; returns ``(stored_row_copy, undo)``."""
+        row = self._normalize(values, for_insert=True)
+        if self._pk not in row or row[self._pk] is None:
+            if not self._auto_pk:
+                raise NotNullViolation(
+                    f"table {self.name!r}: TEXT primary key must be supplied",
+                    table=self.name,
+                    constraint=f"nn_{self.name}_{self._pk}",
+                )
+            row[self._pk] = self._ids.allocate()
+        pk = row[self._pk]
+        if pk in self._rows:
+            raise PrimaryKeyViolation(
+                f"table {self.name!r}: primary key {pk!r} already exists",
+                table=self.name,
+                constraint=f"pk_{self.name}",
+            )
+        self._validate_row(row)
+        self._check_unique(row, pk)
+        self._check_foreign_keys(row)
+        if self._auto_pk and isinstance(pk, int):
+            self._ids.observe(pk)
+        self._rows[pk] = row
+        self._index_add(row, pk)
+        return dict(row), UndoEntry("insert", self.name, pk, None, dict(row))
+
+    def apply_update(
+        self, pk: Any, changes: dict[str, Any]
+    ) -> tuple[dict[str, Any], UndoEntry]:
+        """Validate and update row *pk*; returns ``(new_row_copy, undo)``."""
+        if pk not in self._rows:
+            raise RowNotFound(self.name, pk)
+        normalized = self._normalize(changes, for_insert=False)
+        if self._pk in normalized and normalized[self._pk] != pk:
+            raise SchemaError(
+                f"table {self.name!r}: primary key of row {pk!r} cannot change"
+            )
+        before = dict(self._rows[pk])
+        candidate = {**before, **normalized}
+        self._validate_row(candidate)
+        self._check_unique(candidate, pk)
+        self._check_foreign_keys(candidate)
+        self._index_remove(before, pk)
+        self._rows[pk] = candidate
+        self._index_add(candidate, pk)
+        return dict(candidate), UndoEntry("update", self.name, pk, before, dict(candidate))
+
+    def apply_delete(self, pk: Any) -> tuple[dict[str, Any], UndoEntry]:
+        """Delete row *pk*; returns ``(deleted_row_copy, undo)``.
+
+        Referential actions (restrict/cascade/set_null) are orchestrated
+        by the transaction, which sees all tables.
+        """
+        if pk not in self._rows:
+            raise RowNotFound(self.name, pk)
+        before = self._rows.pop(pk)
+        self._index_remove(before, pk)
+        return dict(before), UndoEntry("delete", self.name, pk, dict(before), None)
+
+    def apply_undo(self, entry: UndoEntry) -> None:
+        """Reverse one previously applied mutation (rollback path)."""
+        if entry.op == "insert":
+            row = self._rows.pop(entry.pk)
+            self._index_remove(row, entry.pk)
+        elif entry.op == "delete":
+            assert entry.before is not None
+            self._rows[entry.pk] = dict(entry.before)
+            self._index_add(entry.before, entry.pk)
+        elif entry.op == "update":
+            assert entry.before is not None
+            current = self._rows[entry.pk]
+            self._index_remove(current, entry.pk)
+            self._rows[entry.pk] = dict(entry.before)
+            self._index_add(entry.before, entry.pk)
+        else:  # pragma: no cover - defensive
+            raise SchemaError(f"unknown undo op {entry.op!r}")
+
+    # -- planner hooks --------------------------------------------------------
+
+    def hash_index_for(self, columns: tuple[str, ...]) -> HashIndex | None:
+        return self._hash_indexes.get(columns)
+
+    def sorted_index_for(self, column: str) -> SortedIndex | None:
+        return self._sorted_indexes.get(column)
+
+    def unique_index_for(self, columns: tuple[str, ...]) -> HashIndex | None:
+        for index in self._unique_indexes:
+            if index.columns == columns:
+                return index
+        return None
+
+    def indexed_columns(self) -> set[str]:
+        """Single columns for which an equality index exists."""
+        cols = {spec[0] for spec in self._hash_indexes if len(spec) == 1}
+        cols |= {
+            idx.columns[0] for idx in self._unique_indexes if len(idx.columns) == 1
+        }
+        return cols
+
+    # -- schema evolution -----------------------------------------------------
+
+    def add_column(self, column) -> None:
+        """Add *column* to the live table, backfilling existing rows.
+
+        Existing rows receive the column's default (evaluated per row
+        for callable defaults).  A non-nullable column therefore needs
+        a default when rows exist.  New unique/index structures are
+        built over the backfilled data; a uniqueness conflict aborts
+        the whole operation before any state changes.
+        """
+        from repro.storage.schema import TableSchema
+
+        if self.schema.has_column(column.name):
+            raise SchemaError(
+                f"table {self.name!r} already has column {column.name!r}"
+            )
+        if column.primary_key:
+            raise SchemaError("cannot add a primary-key column")
+        backfill: dict[Any, Any] = {}
+        for pk in self._rows:
+            value = coerce(column.default_value(), column.type, column=column.name)
+            if value is None and not column.nullable:
+                raise SchemaError(
+                    f"column {column.name!r} is NOT NULL but has no default "
+                    "to backfill existing rows with"
+                )
+            backfill[pk] = value
+        if column.unique and len(self._rows) > 1:
+            non_null = [v for v in backfill.values() if v is not None]
+            if len(non_null) != len(set(map(repr, non_null))):
+                raise SchemaError(
+                    f"cannot add unique column {column.name!r}: backfill "
+                    "default would duplicate"
+                )
+
+        new_schema = TableSchema(
+            name=self.schema.name,
+            columns=list(self.schema.columns) + [column],
+            indexes=list(self.schema.indexes),
+            unique_together=list(self.schema.unique_together),
+            checks=list(self.schema.checks),
+            doc=self.schema.doc,
+        )
+        self.schema = new_schema
+        for pk, value in backfill.items():
+            self._rows[pk][column.name] = value
+        if column.unique:
+            index = HashIndex(self.name, (column.name,), unique=True)
+            for pk in self._rows:
+                index.add(self._rows[pk], pk)
+            self._unique_indexes.append(index)
+
+    def add_index(self, columns: tuple[str, ...]) -> None:
+        """Create a secondary index over existing data."""
+        for name in columns:
+            self.schema.column(name)  # validates existence
+        if columns in self._hash_indexes:
+            raise SchemaError(
+                f"table {self.name!r} already has an index on {columns!r}"
+            )
+        index = HashIndex(self.name, columns)
+        for pk, row in self._rows.items():
+            index.add(row, pk)
+        self._hash_indexes[columns] = index
+        if len(columns) == 1 and columns[0] not in self._sorted_indexes:
+            sorted_index = SortedIndex(self.name, columns[0])
+            for pk, row in self._rows.items():
+                sorted_index.add(row, pk)
+            self._sorted_indexes[columns[0]] = sorted_index
+        self.schema.indexes = list(self.schema.indexes) + [columns]
+
+    # -- maintenance ------------------------------------------------------------
+
+    def rebuild_indexes(self) -> None:
+        """Drop and rebuild every index from the row store (admin/repair)."""
+        for index in self._unique_indexes:
+            index.clear()
+        for index in self._hash_indexes.values():
+            index.clear()
+        for index in self._sorted_indexes.values():
+            index.clear()
+        for pk, row in self._rows.items():
+            self._index_add(row, pk)
+
+    def verify_integrity(self) -> list[str]:
+        """Cross-check rows against constraints and indexes; return problems."""
+        problems: list[str] = []
+        for pk, row in self._rows.items():
+            try:
+                self._validate_row(row)
+            except CheckViolation as exc:
+                problems.append(f"{self.name}[{pk}]: {exc}")
+            except NotNullViolation as exc:
+                problems.append(f"{self.name}[{pk}]: {exc}")
+            try:
+                self._check_foreign_keys(row)
+            except ForeignKeyViolation as exc:
+                problems.append(f"{self.name}[{pk}]: {exc}")
+            for index in self._unique_indexes:
+                if pk not in index.lookup(index.key_for(row)):
+                    problems.append(
+                        f"{self.name}[{pk}]: missing from unique index {index.name}"
+                    )
+            for index in self._hash_indexes.values():
+                if pk not in index.lookup(index.key_for(row)):
+                    problems.append(
+                        f"{self.name}[{pk}]: missing from index {index.name}"
+                    )
+        return problems

@@ -1,0 +1,143 @@
+"""Column types and value coercion for the storage engine.
+
+Every value written to a table passes through :func:`coerce` for its
+column's declared type.  Coercion is strict where it matters (no silent
+truncation, no bool→int surprises) and convenient where it is safe
+(ISO strings for datetimes, ints for floats).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+import json
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The value domains the engine supports."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+    DATETIME = "datetime"
+    JSON = "json"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnType.{self.name}"
+
+
+_DATETIME_FORMATS = (
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%dT%H:%M:%S.%f",
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%d",
+)
+
+
+def _parse_datetime(value: str) -> _dt.datetime:
+    for fmt in _DATETIME_FORMATS:
+        try:
+            return _dt.datetime.strptime(value, fmt)
+        except ValueError:
+            continue
+    raise SchemaError(f"cannot parse {value!r} as a datetime")
+
+
+def coerce(value: Any, column_type: ColumnType, *, column: str = "?") -> Any:
+    """Coerce *value* to *column_type*, raising :class:`SchemaError` on mismatch.
+
+    ``None`` passes through — nullability is enforced separately by the
+    table so that the error message can name the constraint.
+    """
+    if value is None:
+        return None
+
+    if column_type is ColumnType.INT:
+        # bool is a subclass of int; writing True into an INT column is
+        # almost always a bug, so reject it explicitly.
+        if isinstance(value, bool):
+            raise SchemaError(f"column {column!r}: bool given for INT")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise SchemaError(f"column {column!r}: {value!r} is not an int")
+
+    if column_type is ColumnType.FLOAT:
+        if isinstance(value, bool):
+            raise SchemaError(f"column {column!r}: bool given for FLOAT")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise SchemaError(f"column {column!r}: {value!r} is not a float")
+
+    if column_type is ColumnType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise SchemaError(f"column {column!r}: {value!r} is not text")
+
+    if column_type is ColumnType.BOOL:
+        if isinstance(value, bool):
+            return value
+        raise SchemaError(f"column {column!r}: {value!r} is not a bool")
+
+    if column_type is ColumnType.DATETIME:
+        if isinstance(value, _dt.datetime):
+            return value
+        if isinstance(value, _dt.date):
+            return _dt.datetime(value.year, value.month, value.day)
+        if isinstance(value, str):
+            return _parse_datetime(value)
+        raise SchemaError(f"column {column!r}: {value!r} is not a datetime")
+
+    if column_type is ColumnType.JSON:
+        # Accept anything JSON-representable; round-trip to guarantee it
+        # and to deep-copy so callers cannot mutate stored state.
+        try:
+            return json.loads(json.dumps(value))
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"column {column!r}: {value!r} is not JSON-serializable"
+            ) from exc
+
+    raise SchemaError(f"unknown column type {column_type!r}")  # pragma: no cover
+
+
+def to_jsonable(value: Any, column_type: ColumnType) -> Any:
+    """Encode a coerced value for the WAL / snapshot files."""
+    if value is None:
+        return None
+    if column_type is ColumnType.DATETIME:
+        return value.isoformat()
+    return value
+
+
+def from_jsonable(value: Any, column_type: ColumnType) -> Any:
+    """Decode a WAL / snapshot value back to its runtime representation."""
+    if value is None:
+        return None
+    if column_type is ColumnType.DATETIME:
+        return _parse_datetime(value)
+    return coerce(value, column_type)
+
+
+def sort_key(value: Any) -> tuple:
+    """Total-order key over heterogeneous, possibly-None values.
+
+    ``None`` sorts before everything (matching SQL ``NULLS FIRST``), then
+    values are grouped by type so comparisons never raise.
+    """
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, _dt.datetime):
+        return (3, value.isoformat())
+    if isinstance(value, str):
+        return (4, value)
+    return (5, json.dumps(value, sort_keys=True, default=str))

@@ -1,0 +1,156 @@
+"""Write-ahead log: durability and crash recovery.
+
+Committed transactions append one JSON line each to the log file.  Every
+record carries a CRC32 of its payload; recovery replays records until the
+first torn/corrupt line (a crash mid-append) and truncates the tail, or
+raises :class:`~repro.errors.WalCorruption` when corruption appears
+*before* intact records (which indicates tampering, not a crash).
+
+A *checkpoint* writes a full snapshot of every table and resets the log;
+recovery loads the most recent snapshot, then replays the WAL on top.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import WalCorruption
+from repro.storage.table import UndoEntry
+
+
+def _encode_payload(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+class WriteAheadLog:
+    """Append-only transaction log with CRC-protected records."""
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # -- writing ----------------------------------------------------------------
+
+    def append_commit(
+        self,
+        txn_id: int,
+        operations: list[UndoEntry],
+        encode_value,
+    ) -> None:
+        """Durably record one committed transaction.
+
+        *encode_value* maps ``(table, row_dict)`` to a JSON-safe dict;
+        the database supplies it so the WAL stays schema-agnostic.
+        """
+        ops = []
+        for entry in operations:
+            ops.append(
+                {
+                    "op": entry.op,
+                    "table": entry.table,
+                    "pk": entry.pk,
+                    "before": encode_value(entry.table, entry.before),
+                    "after": encode_value(entry.table, entry.after),
+                }
+            )
+        payload = {"txn": txn_id, "ops": ops}
+        self._append_record("commit", payload)
+
+    def append_checkpoint_marker(self, snapshot_name: str) -> None:
+        """Note that a snapshot file now covers everything before here."""
+        self._append_record("checkpoint", {"snapshot": snapshot_name})
+
+    def _append_record(self, kind: str, payload: dict[str, Any]) -> None:
+        body = _encode_payload({"kind": kind, **payload})
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        self._file.write(f"{crc:08x} {body}\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    # -- reading -------------------------------------------------------------------
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Yield intact records in order; stop cleanly at a torn tail.
+
+        Raises :class:`WalCorruption` if a corrupt record is followed by
+        an intact one — a crash can only tear the final append.
+        """
+        if not self.path.exists():
+            return
+        pending_error: str | None = None
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                record = self._parse_line(line, line_no)
+                if record is None:
+                    pending_error = f"line {line_no}"
+                    continue
+                if pending_error is not None:
+                    raise WalCorruption(
+                        f"WAL {self.path}: corrupt record at {pending_error} "
+                        "followed by intact records"
+                    )
+                yield record
+
+    @staticmethod
+    def _parse_line(line: str, line_no: int) -> dict[str, Any] | None:
+        if len(line) < 10 or line[8] != " ":
+            return None
+        crc_hex, body = line[:8], line[9:]
+        try:
+            expected = int(crc_hex, 16)
+        except ValueError:
+            return None
+        if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != expected:
+            return None
+        try:
+            return json.loads(body)
+        except ValueError:
+            return None
+
+    def truncate_torn_tail(self) -> int:
+        """Rewrite the file keeping only intact records; return kept count.
+
+        Called after recovery so the next append lands on a clean file.
+        """
+        kept = list(self.records())
+        self.close()
+        with open(self.path, "w", encoding="utf-8") as fh:
+            for record in kept:
+                body = _encode_payload(record)
+                crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+                fh.write(f"{crc:08x} {body}\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._file = open(self.path, "a", encoding="utf-8")
+        return len(kept)
+
+    def reset(self) -> None:
+        """Empty the log (after a checkpoint snapshot has been fsynced)."""
+        self.close()
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def size_bytes(self) -> int:
+        self._file.flush()
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

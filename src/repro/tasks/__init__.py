@@ -1,0 +1,13 @@
+"""Task orientation (paper Figure 8).
+
+"B-Fabric is a task-oriented system that reminds its users about open
+tasks, awaiting to be performed next."  Tasks are derived from events:
+as soon as a new annotation is added, a release-annotation task appears
+in the corresponding expert's task list; releasing (or rejecting) the
+annotation completes the task automatically.
+"""
+
+from repro.tasks.service import Task, TaskService
+from repro.tasks.rules import install_standard_rules
+
+__all__ = ["Task", "TaskService", "install_standard_rules"]

@@ -1,0 +1,94 @@
+"""Event-to-task derivation rules.
+
+The rules encode the paper's behaviour: "as soon as a new annotation is
+added to the vocabulary, a new task to release this annotation appears
+in the task list of the corresponding expert".  Completion is just as
+automatic — the review outcome closes the task.
+
+Further standard rules cover imports awaiting extract assignment and
+failed experiment runs needing attention.
+"""
+
+from __future__ import annotations
+
+from repro.security.principals import SYSTEM
+from repro.tasks.service import TaskService
+from repro.util.events import EventBus
+
+#: Task kinds created by the standard rules.
+KIND_RELEASE_ANNOTATION = "release_annotation"
+KIND_ASSIGN_EXTRACTS = "assign_extracts"
+KIND_INVESTIGATE_FAILURE = "investigate_failure"
+
+
+def install_standard_rules(events: EventBus, tasks: TaskService) -> None:
+    """Subscribe the standard derivation rules on *events*."""
+
+    def on_annotation_created(annotation, principal, similar, **_):
+        title = f"Release annotation '{annotation.value}'"
+        if similar:
+            best = similar[0]
+            title += f" (similar to '{best[0].value}', {best[1]:.0%})"
+        tasks.create(
+            KIND_RELEASE_ANNOTATION,
+            title,
+            assignee_role="employee",
+            entity_type="annotation",
+            entity_id=annotation.id,
+            payload={
+                "value": annotation.value,
+                "attribute_id": annotation.attribute_id,
+                "similar": [
+                    {"id": a.id, "value": a.value, "score": round(score, 3)}
+                    for a, score in similar
+                ],
+            },
+        )
+
+    def on_annotation_reviewed(annotation, principal, **_):
+        tasks.complete_for_entity(
+            principal, KIND_RELEASE_ANNOTATION, "annotation", annotation.id
+        )
+
+    def on_annotation_merged(keep, merged, principal, **_):
+        # The merged value no longer needs its own review.
+        tasks.complete_for_entity(
+            principal, KIND_RELEASE_ANNOTATION, "annotation", merged.id
+        )
+        tasks.complete_for_entity(
+            principal, KIND_RELEASE_ANNOTATION, "annotation", keep.id
+        )
+
+    def on_import_awaiting_assignment(workunit, principal, unassigned, **_):
+        tasks.create(
+            KIND_ASSIGN_EXTRACTS,
+            f"Assign extracts to {unassigned} imported file(s) of "
+            f"workunit '{workunit.name}'",
+            assignee_id=principal.user_id,
+            entity_type="workunit",
+            entity_id=workunit.id,
+            payload={"unassigned": unassigned},
+        )
+
+    def on_extracts_assigned(workunit, principal, **_):
+        tasks.complete_for_entity(
+            principal, KIND_ASSIGN_EXTRACTS, "workunit", workunit.id
+        )
+
+    def on_experiment_failed(workunit, error, **_):
+        tasks.create(
+            KIND_INVESTIGATE_FAILURE,
+            f"Experiment run for workunit '{workunit.name}' failed: {error}",
+            assignee_role="admin",
+            entity_type="workunit",
+            entity_id=workunit.id,
+            payload={"error": str(error)},
+        )
+
+    events.subscribe("annotation.created", on_annotation_created)
+    events.subscribe("annotation.released", on_annotation_reviewed)
+    events.subscribe("annotation.rejected", on_annotation_reviewed)
+    events.subscribe("annotation.merged", on_annotation_merged)
+    events.subscribe("import.awaiting_assignment", on_import_awaiting_assignment)
+    events.subscribe("import.extracts_assigned", on_extracts_assigned)
+    events.subscribe("experiment.failed", on_experiment_failed)

@@ -1,0 +1,175 @@
+"""Task storage and inbox queries."""
+
+from __future__ import annotations
+
+from repro.audit.log import AuditLog
+from repro.errors import StateError
+from repro.orm import (
+    DateTimeField,
+    IntField,
+    JsonField,
+    Model,
+    Registry,
+    TextField,
+)
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+
+TASK_STATES = ("open", "done", "cancelled")
+
+
+class Task(Model):
+    """One open item in somebody's task list.
+
+    Assignment is either to a concrete user (``assignee_id``) or to a
+    role (``assignee_role``) — annotation review goes to every expert,
+    so it is role-assigned.
+    """
+
+    __table__ = "task"
+    id = IntField(primary_key=True)
+    kind = TextField(nullable=False, index=True)
+    title = TextField(nullable=False)
+    status = TextField(
+        nullable=False, default="open", check=lambda v: v in TASK_STATES
+    )
+    assignee_id = IntField(foreign_key="user.id")
+    assignee_role = TextField(default="")
+    entity_type = TextField(default="")
+    entity_id = IntField(default=0)
+    payload = JsonField(default=dict)
+    created_at = DateTimeField()
+    completed_at = DateTimeField()
+    completed_by = IntField(foreign_key="user.id")
+    __indexes__ = [("entity_type", "entity_id"), "status", "assignee_role"]
+
+
+class TaskService:
+    """Creates, lists and completes tasks."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        audit: AuditLog,
+        clock: Clock | None = None,
+    ):
+        self._registry = registry
+        self._audit = audit
+        self._clock = clock or SystemClock()
+        self._tasks = registry.repository(Task)
+
+    # -- creation ----------------------------------------------------------------
+
+    def create(
+        self,
+        kind: str,
+        title: str,
+        *,
+        assignee_id: int | None = None,
+        assignee_role: str = "",
+        entity_type: str = "",
+        entity_id: int = 0,
+        payload: dict | None = None,
+    ) -> Task:
+        """Open a task.  Exactly one of assignee_id/assignee_role required."""
+        if (assignee_id is None) == (assignee_role == ""):
+            raise StateError(
+                "a task needs exactly one of assignee_id or assignee_role"
+            )
+        return self._tasks.create(
+            kind=kind,
+            title=title,
+            assignee_id=assignee_id,
+            assignee_role=assignee_role,
+            entity_type=entity_type,
+            entity_id=entity_id,
+            payload=payload or {},
+            created_at=self._clock.now(),
+        )
+
+    # -- inbox -------------------------------------------------------------------
+
+    def inbox(self, principal: Principal) -> list[Task]:
+        """Open tasks for *principal*: personal plus role-addressed ones."""
+        personal = (
+            self._tasks.query()
+            .where("status", "=", "open")
+            .where("assignee_id", "=", principal.user_id)
+            .all()
+        )
+        role_names = [principal.role.value]
+        if principal.is_expert:
+            # Admins also see employee-role (expert) work.
+            role_names = ["employee", "admin"] if principal.is_admin else ["employee"]
+        by_role = (
+            self._tasks.query()
+            .where("status", "=", "open")
+            .where("assignee_role", "in", role_names)
+            .all()
+        )
+        merged = {task.id: task for task in personal + by_role}
+        return sorted(merged.values(), key=lambda t: t.id)
+
+    def open_for_entity(self, entity_type: str, entity_id: int) -> list[Task]:
+        return (
+            self._tasks.query()
+            .where("status", "=", "open")
+            .where("entity_type", "=", entity_type)
+            .where("entity_id", "=", entity_id)
+            .all()
+        )
+
+    def open_count(self, principal: Principal) -> int:
+        return len(self.inbox(principal))
+
+    def get(self, task_id: int) -> Task:
+        return self._tasks.get(task_id)
+
+    # -- completion ------------------------------------------------------------------
+
+    def complete(self, principal: Principal, task_id: int) -> Task:
+        """Mark a task done (by hand or by the rule engine)."""
+        task = self._tasks.get(task_id)
+        if task.status != "open":
+            raise StateError(f"task {task_id} is {task.status}, not open")
+        updated = self._tasks.update(
+            task_id,
+            status="done",
+            completed_at=self._clock.now(),
+            completed_by=principal.user_id,
+        )
+        self._audit.record(
+            principal, "update", "task", task_id, f"completed: {task.title}"
+        )
+        return updated
+
+    def cancel(self, principal: Principal, task_id: int) -> Task:
+        task = self._tasks.get(task_id)
+        if task.status != "open":
+            raise StateError(f"task {task_id} is {task.status}, not open")
+        updated = self._tasks.update(
+            task_id,
+            status="cancelled",
+            completed_at=self._clock.now(),
+            completed_by=principal.user_id,
+        )
+        self._audit.record(
+            principal, "update", "task", task_id, f"cancelled: {task.title}"
+        )
+        return updated
+
+    def complete_for_entity(
+        self, principal: Principal, kind: str, entity_type: str, entity_id: int
+    ) -> int:
+        """Complete every open *kind* task attached to one object.
+
+        Used by the rules: releasing an annotation completes its
+        review task without anyone touching the task list.
+        """
+        done = 0
+        for task in self.open_for_entity(entity_type, entity_id):
+            if task.kind == kind:
+                self.complete(principal, task.id)
+                done += 1
+        return done

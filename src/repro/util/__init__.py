@@ -1,0 +1,26 @@
+"""Shared utilities: id generation, clocks, text helpers, validation."""
+
+from repro.util.clock import Clock, SystemClock, ManualClock
+from repro.util.ids import IdAllocator, token_hex
+from repro.util.text import (
+    normalize_whitespace,
+    slugify,
+    levenshtein,
+    normalized_similarity,
+    token_set_similarity,
+    best_name_match,
+)
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "ManualClock",
+    "IdAllocator",
+    "token_hex",
+    "normalize_whitespace",
+    "slugify",
+    "levenshtein",
+    "normalized_similarity",
+    "token_set_similarity",
+    "best_name_match",
+]

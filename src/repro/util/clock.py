@@ -1,0 +1,66 @@
+"""Clock abstraction.
+
+Timestamps appear throughout B-Fabric (audit trails, task creation times,
+workunit dates). Tests need deterministic time, so every subsystem takes a
+:class:`Clock` and production code defaults to :class:`SystemClock`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Source of the current time."""
+
+    @abstractmethod
+    def now(self) -> _dt.datetime:
+        """Return the current time as a naive UTC datetime."""
+
+    def timestamp(self) -> float:
+        """Return the current time as seconds since the epoch."""
+        return self.now().replace(tzinfo=_dt.timezone.utc).timestamp()
+
+    def isoformat(self) -> str:
+        """Return the current time as an ISO-8601 string."""
+        return self.now().isoformat(timespec="seconds")
+
+
+class SystemClock(Clock):
+    """The real wall clock (UTC)."""
+
+    def now(self) -> _dt.datetime:
+        return _dt.datetime.utcnow().replace(microsecond=0)
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to; for deterministic tests.
+
+    >>> clock = ManualClock(start=_dt.datetime(2010, 1, 15, 9, 0))
+    >>> clock.now().hour
+    9
+    >>> clock.advance(seconds=3600)
+    >>> clock.now().hour
+    10
+    """
+
+    def __init__(self, start: _dt.datetime | None = None):
+        self._now = start or _dt.datetime(2010, 1, 1, 0, 0, 0)
+
+    def now(self) -> _dt.datetime:
+        return self._now
+
+    def advance(self, *, seconds: float = 0.0, minutes: float = 0.0,
+                hours: float = 0.0, days: float = 0.0) -> None:
+        """Move the clock forward by the given amount."""
+        delta = _dt.timedelta(
+            seconds=seconds, minutes=minutes, hours=hours, days=days
+        )
+        if delta < _dt.timedelta(0):
+            raise ValueError("clock cannot move backwards")
+        self._now = self._now + delta
+
+    def set(self, moment: _dt.datetime) -> None:
+        """Jump to an absolute moment (may be earlier; tests own the clock)."""
+        self._now = moment

@@ -1,0 +1,49 @@
+"""A minimal synchronous event bus.
+
+Decouples producers (annotation created, import finished, experiment
+done) from consumers (the task system, the search indexer) without any
+threading: handlers run inline, in subscription order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+Handler = Callable[..., None]
+
+
+class EventBus:
+    """Publish/subscribe by event name."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, list[Handler]] = defaultdict(list)
+        self._delivered = 0
+
+    def subscribe(self, event: str, handler: Handler) -> None:
+        """Register *handler* for *event* (duplicates allowed, run twice)."""
+        self._handlers[event].append(handler)
+
+    def unsubscribe(self, event: str, handler: Handler) -> None:
+        try:
+            self._handlers[event].remove(handler)
+        except ValueError:
+            pass
+
+    def publish(self, event: str, **payload: Any) -> int:
+        """Call every handler of *event*; returns how many ran.
+
+        A failing handler aborts the publication — events fire inside
+        service operations and a broken consumer must not be silently
+        skipped (the enclosing transaction, if any, will roll back).
+        """
+        handlers = list(self._handlers.get(event, ()))
+        for handler in handlers:
+            handler(**payload)
+        self._delivered += len(handlers)
+        return len(handlers)
+
+    @property
+    def delivered(self) -> int:
+        """Total handler invocations (monitoring)."""
+        return self._delivered

@@ -1,0 +1,48 @@
+"""Identifier generation.
+
+B-Fabric assigns every persistent object a numeric surrogate id.  The
+storage engine hands allocation to an :class:`IdAllocator` per table so
+that ids remain dense, monotonic, and reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+
+
+class IdAllocator:
+    """Thread-safe monotonic integer id source.
+
+    The allocator never reissues an id, even after deletes: B-Fabric's
+    audit trail refers to objects by id long after they are gone.
+    """
+
+    def __init__(self, start: int = 1):
+        if start < 1:
+            raise ValueError("ids start at 1")
+        self._next = start
+        self._lock = threading.Lock()
+
+    def allocate(self) -> int:
+        """Return the next unused id."""
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def peek(self) -> int:
+        """Return the id the next :meth:`allocate` call would produce."""
+        with self._lock:
+            return self._next
+
+    def observe(self, used_id: int) -> None:
+        """Tell the allocator an id is in use (e.g. during WAL recovery)."""
+        with self._lock:
+            if used_id >= self._next:
+                self._next = used_id + 1
+
+
+def token_hex(nbytes: int = 16) -> str:
+    """Return a random hex token, e.g. for web-session identifiers."""
+    return secrets.token_hex(nbytes)

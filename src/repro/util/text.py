@@ -1,0 +1,159 @@
+"""Text utilities: normalization, similarity, and fuzzy name matching.
+
+Two B-Fabric features rest on these primitives:
+
+* *annotation similarity detection* (paper §2, Figures 5–7): newly created
+  vocabulary entries are compared against existing ones so that experts
+  get merge recommendations for near-duplicates such as ``Hopeless`` vs.
+  ``Hopeles``;
+* *assign-extracts intelligence* (Figure 11): imported data resources are
+  pre-matched to extracts by file-name similarity so the scientist
+  "typically just needs to press the save button".
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and strip the ends."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def slugify(text: str) -> str:
+    """Lower-case *text* and replace non-alphanumerics with hyphens.
+
+    >>> slugify("Arabidopsis Thaliana (light)")
+    'arabidopsis-thaliana-light'
+    """
+    text = unicodedata.normalize("NFKD", text)
+    text = text.encode("ascii", "ignore").decode("ascii").lower()
+    return _SLUG_RE.sub("-", text).strip("-")
+
+
+def fold(text: str) -> str:
+    """Case-fold and strip accents for similarity comparison."""
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(ch for ch in text if not unicodedata.combining(ch))
+    return normalize_whitespace(text.casefold())
+
+
+def levenshtein(a: str, b: str, *, limit: int | None = None) -> int:
+    """Return the edit distance between *a* and *b*.
+
+    With *limit*, computation stops early once the distance provably
+    exceeds it and ``limit + 1`` is returned; callers only comparing
+    against a threshold avoid the full O(len(a)*len(b)) cost for very
+    different strings.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if limit is not None and abs(len(a) - len(b)) > limit:
+        return limit + 1
+    # Classic two-row dynamic program; `previous` is the row for a[:i].
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        row_min = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            value = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+            current.append(value)
+            if value < row_min:
+                row_min = value
+        if limit is not None and row_min > limit:
+            return limit + 1
+        previous = current
+    return previous[-1]
+
+
+def normalized_similarity(a: str, b: str) -> float:
+    """Return edit-distance similarity in [0, 1]; 1.0 means identical.
+
+    Strings are case- and accent-folded first, so ``Hopeless`` vs.
+    ``hopeles`` score high.
+
+    >>> round(normalized_similarity("Hopeless", "Hopeles"), 3)
+    0.875
+    """
+    fa, fb = fold(a), fold(b)
+    if not fa and not fb:
+        return 1.0
+    longest = max(len(fa), len(fb))
+    return 1.0 - levenshtein(fa, fb) / longest
+
+
+def token_set_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of the word sets of *a* and *b* in [0, 1].
+
+    Complements edit distance for multi-word annotations where word order
+    differs (``"heat shock"`` vs. ``"shock heat"``).
+    """
+    ta = set(fold(a).split())
+    tb = set(fold(b).split())
+    if not ta and not tb:
+        return 1.0
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / len(ta | tb)
+
+
+def combined_similarity(a: str, b: str) -> float:
+    """Blend of edit-distance and token-set similarity used system-wide.
+
+    The max of the two measures is taken: either near-identical spelling
+    or near-identical word sets is enough to recommend a merge.
+    """
+    return max(normalized_similarity(a, b), token_set_similarity(a, b))
+
+
+_STEM_RE = re.compile(r"\.[A-Za-z0-9]{1,8}$")
+
+
+def filename_stem(name: str) -> str:
+    """Strip directories and one trailing extension from a file name."""
+    name = name.replace("\\", "/").rsplit("/", 1)[-1]
+    return _STEM_RE.sub("", name)
+
+
+def best_name_match(
+    name: str,
+    candidates: dict[object, str],
+    *,
+    minimum: float = 0.3,
+) -> tuple[object, float] | None:
+    """Return ``(key, score)`` of the candidate most similar to *name*.
+
+    *candidates* maps arbitrary keys (e.g. extract ids) to display names.
+    File extensions are stripped from *name* before comparison so that
+    ``wt_light_1.cel`` matches the extract ``wt light 1``.  Returns
+    ``None`` when nothing reaches *minimum*.
+    """
+    stem = filename_stem(name)
+    # Treat separators as spaces so that underscore/hyphen conventions in
+    # file names line up with human-entered extract names.
+    stem_text = re.sub(r"[_\-.]+", " ", stem)
+    best_key: object | None = None
+    best_score = minimum
+    for key, candidate in candidates.items():
+        cand_text = re.sub(r"[_\-.]+", " ", candidate)
+        score = combined_similarity(stem_text, cand_text)
+        if score > best_score or (score == best_score and best_key is None):
+            best_key = key
+            best_score = score
+    if best_key is None:
+        return None
+    return best_key, best_score

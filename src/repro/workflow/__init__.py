@@ -1,0 +1,40 @@
+"""Workflow engine (OSWorkflow analogue).
+
+The paper drives both data import and experiment execution through
+workflows and notes that "B-Fabric supports arbitrary complex workflows
+based on its underlying workflow engine (OSWorkflow)".  This engine
+reproduces OSWorkflow's model:
+
+* a :class:`~repro.workflow.definitions.WorkflowDefinition` is a named
+  graph of *steps*; each step offers *actions*;
+* an action has an optional guard *condition*, *pre-functions* that run
+  before the transition and *post-functions* after it, and a result
+  step (or ``END``);
+* a running :class:`~repro.workflow.engine.WorkflowInstance` is
+  persisted with its current step and context, and every transition is
+  recorded in a history table;
+* the current step can be *highlighted* in a textual or DOT rendering —
+  the demo's "the next step to be taken by the user is highlighted in
+  the graphical representation".
+"""
+
+from repro.workflow.definitions import (
+    END,
+    Action,
+    Step,
+    WorkflowDefinition,
+)
+from repro.workflow.engine import WorkflowEngine, WorkflowInstance, workflow_models
+from repro.workflow.render import render_ascii, render_dot
+
+__all__ = [
+    "END",
+    "Action",
+    "Step",
+    "WorkflowDefinition",
+    "WorkflowEngine",
+    "WorkflowInstance",
+    "workflow_models",
+    "render_ascii",
+    "render_dot",
+]

@@ -1,0 +1,181 @@
+"""Workflow definitions: steps, actions, conditions, functions.
+
+Definitions are code (like OSWorkflow's XML, but typed and validated at
+construction).  They are immutable once validated; instances reference
+them by name through the engine's definition registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import WorkflowDefinitionError
+
+#: Sentinel result: firing the action completes the workflow.
+END = "__end__"
+
+#: Guard signature: receives the instance context, returns admissibility.
+Condition = Callable[[dict[str, Any]], bool]
+
+#: Pre/post function signature: receives the mutable instance context.
+StepFunction = Callable[[dict[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One action offered by a step.
+
+    :param name: identifier, unique within the step.
+    :param target: the step the workflow moves to, or :data:`END`.
+    :param label: human-readable button text for the portal.
+    :param condition: optional guard; the action is only available when
+        it returns ``True`` for the instance context.
+    :param pre_functions: run before the transition (still in the old
+        step); raising aborts the transition.
+    :param post_functions: run after the transition (in the new step).
+    :param auto: fired automatically by the engine as soon as it becomes
+        available after entering the step (system steps, e.g. "run the
+        R report generation").
+    """
+
+    name: str
+    target: str
+    label: str = ""
+    condition: Condition | None = None
+    pre_functions: tuple[StepFunction, ...] = ()
+    post_functions: tuple[StepFunction, ...] = ()
+    auto: bool = False
+
+    def available(self, context: dict[str, Any]) -> bool:
+        if self.condition is None:
+            return True
+        return bool(self.condition(context))
+
+
+@dataclass(frozen=True)
+class Step:
+    """One node of the workflow graph."""
+
+    name: str
+    actions: tuple[Action, ...]
+    label: str = ""
+    description: str = ""
+
+    def action(self, name: str) -> Action | None:
+        for action in self.actions:
+            if action.name == name:
+                return action
+        return None
+
+    @property
+    def is_terminal(self) -> bool:
+        return not self.actions
+
+
+class WorkflowDefinition:
+    """A validated, immutable workflow graph."""
+
+    def __init__(
+        self,
+        name: str,
+        steps: list[Step],
+        *,
+        initial_step: str | None = None,
+        description: str = "",
+    ):
+        if not steps:
+            raise WorkflowDefinitionError(f"workflow {name!r} has no steps")
+        self.name = name
+        self.description = description
+        self._steps: dict[str, Step] = {}
+        for step in steps:
+            if step.name == END:
+                raise WorkflowDefinitionError(
+                    f"workflow {name!r}: step may not be named {END!r}"
+                )
+            if step.name in self._steps:
+                raise WorkflowDefinitionError(
+                    f"workflow {name!r}: duplicate step {step.name!r}"
+                )
+            self._steps[step.name] = step
+        self.initial_step = initial_step or steps[0].name
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial_step not in self._steps:
+            raise WorkflowDefinitionError(
+                f"workflow {self.name!r}: initial step "
+                f"{self.initial_step!r} does not exist"
+            )
+        for step in self._steps.values():
+            seen_actions: set[str] = set()
+            for action in step.actions:
+                if action.name in seen_actions:
+                    raise WorkflowDefinitionError(
+                        f"workflow {self.name!r}: step {step.name!r} has "
+                        f"duplicate action {action.name!r}"
+                    )
+                seen_actions.add(action.name)
+                if action.target != END and action.target not in self._steps:
+                    raise WorkflowDefinitionError(
+                        f"workflow {self.name!r}: action "
+                        f"{step.name}.{action.name} targets unknown step "
+                        f"{action.target!r}"
+                    )
+        unreachable = set(self._steps) - self._reachable()
+        if unreachable:
+            raise WorkflowDefinitionError(
+                f"workflow {self.name!r}: unreachable step(s) "
+                f"{sorted(unreachable)!r}"
+            )
+        if not self._can_finish():
+            raise WorkflowDefinitionError(
+                f"workflow {self.name!r} can never complete: no END action "
+                "and no terminal step is reachable"
+            )
+
+    def _reachable(self) -> set[str]:
+        frontier = [self.initial_step]
+        seen: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen or current == END:
+                continue
+            seen.add(current)
+            for action in self._steps[current].actions:
+                frontier.append(action.target)
+        return seen
+
+    def _can_finish(self) -> bool:
+        for step_name in self._reachable():
+            step = self._steps[step_name]
+            if step.is_terminal:
+                return True
+            if any(action.target == END for action in step.actions):
+                return True
+        return False
+
+    # -- access ------------------------------------------------------------------
+
+    def step(self, name: str) -> Step:
+        try:
+            return self._steps[name]
+        except KeyError:
+            raise WorkflowDefinitionError(
+                f"workflow {self.name!r} has no step {name!r}"
+            ) from None
+
+    def steps(self) -> list[Step]:
+        return list(self._steps.values())
+
+    def step_names(self) -> list[str]:
+        return list(self._steps)
+
+    def edges(self) -> list[tuple[str, str, str]]:
+        """``(from_step, action, to_step)`` for every transition."""
+        result = []
+        for step in self._steps.values():
+            for action in step.actions:
+                result.append((step.name, action.name, action.target))
+        return result

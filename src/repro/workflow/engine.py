@@ -1,0 +1,383 @@
+"""The workflow engine: instances, transitions, history.
+
+Instances are persisted rows; their mutable ``context`` dict travels
+through conditions and pre/post functions.  ``auto`` actions chain: after
+every transition the engine keeps firing available auto-actions until a
+step requires a human (this is how the demo's single-step "generate an R
+report" workflow runs to completion by itself).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.audit.log import AuditLog
+from repro.errors import (
+    EntityNotFound,
+    InvalidActionError,
+    StateError,
+    WorkflowConditionFailed,
+    WorkflowDefinitionError,
+)
+from repro.orm import (
+    DateTimeField,
+    IntField,
+    JsonField,
+    Model,
+    Registry,
+    TextField,
+)
+from repro.security.principals import Principal
+from repro.util.clock import Clock, SystemClock
+from repro.util.events import EventBus
+from repro.workflow.definitions import END, WorkflowDefinition
+
+INSTANCE_STATES = ("active", "completed", "cancelled", "failed")
+
+#: Safety bound on auto-action chaining (a cycle of autos would spin).
+_MAX_AUTO_CHAIN = 100
+
+
+class WorkflowInstance(Model):
+    """A running (or finished) workflow attached to a domain object."""
+
+    __table__ = "workflow_instance"
+    id = IntField(primary_key=True)
+    definition = TextField(nullable=False, index=True)
+    entity_type = TextField(default="")
+    entity_id = IntField(default=0)
+    current_step = TextField(nullable=False)
+    status = TextField(
+        nullable=False, default="active", check=lambda v: v in INSTANCE_STATES
+    )
+    context = JsonField(default=dict)
+    created_by = IntField(nullable=False, foreign_key="user.id")
+    created_at = DateTimeField()
+    updated_at = DateTimeField()
+    __indexes__ = [("entity_type", "entity_id"), "status"]
+
+
+class WorkflowEvent(Model):
+    """One recorded transition of an instance."""
+
+    __table__ = "workflow_event"
+    id = IntField(primary_key=True)
+    instance_id = IntField(nullable=False, foreign_key="workflow_instance.id")
+    at = DateTimeField()
+    actor = TextField(default="")
+    action = TextField(nullable=False)
+    from_step = TextField(nullable=False)
+    to_step = TextField(nullable=False)
+
+
+def workflow_models() -> list[type[Model]]:
+    return [WorkflowInstance, WorkflowEvent]
+
+
+class WorkflowEngine:
+    """Runs definitions; owns the definition registry."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        audit: AuditLog,
+        events: EventBus,
+        clock: Clock | None = None,
+    ):
+        self._registry = registry
+        self._audit = audit
+        self._events = events
+        self._clock = clock or SystemClock()
+        self._definitions: dict[str, WorkflowDefinition] = {}
+        self._instances = registry.repository(WorkflowInstance)
+        self._history = registry.repository(WorkflowEvent)
+
+    # -- definitions ----------------------------------------------------------------
+
+    def register_definition(self, definition: WorkflowDefinition) -> None:
+        if definition.name in self._definitions:
+            raise WorkflowDefinitionError(
+                f"workflow {definition.name!r} already registered"
+            )
+        self._definitions[definition.name] = definition
+
+    def definition(self, name: str) -> WorkflowDefinition:
+        try:
+            return self._definitions[name]
+        except KeyError:
+            raise WorkflowDefinitionError(
+                f"no workflow definition named {name!r}"
+            ) from None
+
+    def definition_names(self) -> list[str]:
+        return sorted(self._definitions)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(
+        self,
+        principal: Principal,
+        definition_name: str,
+        *,
+        entity_type: str = "",
+        entity_id: int = 0,
+        context: dict[str, Any] | None = None,
+    ) -> WorkflowInstance:
+        """Create an instance in the definition's initial step.
+
+        Auto-actions available in the initial step fire immediately.
+        """
+        definition = self.definition(definition_name)
+        instance = self._instances.create(
+            definition=definition_name,
+            entity_type=entity_type,
+            entity_id=entity_id,
+            current_step=definition.initial_step,
+            status="active",
+            context=context or {},
+            created_by=principal.user_id,
+            created_at=self._clock.now(),
+            updated_at=self._clock.now(),
+        )
+        self._audit.record(
+            principal, "create", "workflow_instance", instance.id,
+            f"started {definition_name}",
+        )
+        self._events.publish(
+            "workflow.started", instance=instance, principal=principal
+        )
+        return self._run_auto_actions(principal, instance)
+
+    def get(self, instance_id: int) -> WorkflowInstance:
+        instance = self._instances.get_or_none(instance_id)
+        if instance is None:
+            raise EntityNotFound("WorkflowInstance", instance_id)
+        return instance
+
+    def for_entity(self, entity_type: str, entity_id: int) -> list[WorkflowInstance]:
+        return (
+            self._instances.query()
+            .where("entity_type", "=", entity_type)
+            .where("entity_id", "=", entity_id)
+            .order_by("id")
+            .all()
+        )
+
+    def active_instances(self) -> list[WorkflowInstance]:
+        return (
+            self._instances.query().where("status", "=", "active").order_by("id").all()
+        )
+
+    # -- stepping ---------------------------------------------------------------------
+
+    def available_actions(self, instance_id: int) -> list[str]:
+        """Actions the current step offers whose conditions hold."""
+        instance = self.get(instance_id)
+        if instance.status != "active":
+            return []
+        step = self.definition(instance.definition).step(instance.current_step)
+        return [
+            action.name
+            for action in step.actions
+            if action.available(instance.context)
+        ]
+
+    def fire(
+        self,
+        principal: Principal,
+        instance_id: int,
+        action_name: str,
+        **context_updates: Any,
+    ) -> WorkflowInstance:
+        """Perform *action_name* on the instance.
+
+        ``context_updates`` merge into the context *before* the guard is
+        evaluated, so form input can satisfy conditions.  After the
+        transition, available auto-actions chain.
+        """
+        instance = self.get(instance_id)
+        if instance.status != "active":
+            raise StateError(
+                f"workflow instance {instance_id} is {instance.status}"
+            )
+        definition = self.definition(instance.definition)
+        step = definition.step(instance.current_step)
+        action = step.action(action_name)
+        if action is None:
+            raise InvalidActionError(
+                action_name, step.name, [a.name for a in step.actions]
+            )
+        context = dict(instance.context)
+        context.update(context_updates)
+        if not action.available(context):
+            raise WorkflowConditionFailed(
+                f"condition of {step.name}.{action_name} not satisfied"
+            )
+        for function in action.pre_functions:
+            function(context)
+
+        to_step = action.target
+        now = self._clock.now()
+        if to_step == END:
+            updated = self._instances.update(
+                instance_id,
+                status="completed",
+                context=context,
+                updated_at=now,
+            )
+        else:
+            updated = self._instances.update(
+                instance_id,
+                current_step=to_step,
+                context=context,
+                updated_at=now,
+            )
+        self._history.create(
+            instance_id=instance_id,
+            at=now,
+            actor=principal.login,
+            action=action_name,
+            from_step=step.name,
+            to_step=to_step,
+        )
+
+        for function in action.post_functions:
+            function(context)
+        # Post-functions may mutate the context; persist their effects.
+        updated = self._instances.update(instance_id, context=context)
+
+        if updated.status == "completed":
+            self._events.publish(
+                "workflow.completed", instance=updated, principal=principal
+            )
+            return updated
+        if definition.step(updated.current_step).is_terminal:
+            updated = self._instances.update(instance_id, status="completed")
+            self._events.publish(
+                "workflow.completed", instance=updated, principal=principal
+            )
+            return updated
+        self._events.publish(
+            "workflow.transitioned", instance=updated, action=action_name,
+            principal=principal,
+        )
+        return self._run_auto_actions(principal, updated)
+
+    def _run_auto_actions(
+        self, principal: Principal, instance: WorkflowInstance
+    ) -> WorkflowInstance:
+        """Chain auto-actions until a human step or completion."""
+        definition = self.definition(instance.definition)
+        for _ in range(_MAX_AUTO_CHAIN):
+            if instance.status != "active":
+                return instance
+            step = definition.step(instance.current_step)
+            auto = next(
+                (
+                    action
+                    for action in step.actions
+                    if action.auto and action.available(instance.context)
+                ),
+                None,
+            )
+            if auto is None:
+                return instance
+            instance = self.fire(principal, instance.id, auto.name)
+        raise StateError(
+            f"workflow instance {instance.id}: auto-action chain exceeded "
+            f"{_MAX_AUTO_CHAIN} transitions (cycle of auto actions?)"
+        )
+
+    def cancel(self, principal: Principal, instance_id: int) -> WorkflowInstance:
+        instance = self.get(instance_id)
+        if instance.status != "active":
+            raise StateError(
+                f"workflow instance {instance_id} is {instance.status}"
+            )
+        updated = self._instances.update(
+            instance_id, status="cancelled", updated_at=self._clock.now()
+        )
+        self._audit.record(
+            principal, "update", "workflow_instance", instance_id, "cancelled"
+        )
+        return updated
+
+    def fail(
+        self, principal: Principal, instance_id: int, reason: str
+    ) -> WorkflowInstance:
+        """Mark an instance failed (used by application connectors)."""
+        instance = self.get(instance_id)
+        if instance.status != "active":
+            raise StateError(
+                f"workflow instance {instance_id} is {instance.status}"
+            )
+        context = dict(instance.context)
+        context["failure_reason"] = reason
+        updated = self._instances.update(
+            instance_id,
+            status="failed",
+            context=context,
+            updated_at=self._clock.now(),
+        )
+        self._audit.record(
+            principal, "update", "workflow_instance", instance_id,
+            f"failed: {reason}",
+        )
+        return updated
+
+    def retry(
+        self,
+        principal: Principal,
+        instance_id: int,
+        *,
+        from_step: str | None = None,
+    ) -> WorkflowInstance:
+        """Reactivate a failed instance (workflow administration).
+
+        The instance resumes in *from_step* (default: where it failed);
+        auto-actions chain as usual.  Only failed instances can retry —
+        cancelled ones stay cancelled.
+        """
+        instance = self.get(instance_id)
+        if instance.status != "failed":
+            raise StateError(
+                f"workflow instance {instance_id} is {instance.status}; "
+                "only failed instances can be retried"
+            )
+        definition = self.definition(instance.definition)
+        target = from_step or instance.current_step
+        definition.step(target)  # validates the step exists
+        context = dict(instance.context)
+        context.pop("failure_reason", None)
+        now = self._clock.now()
+        updated = self._instances.update(
+            instance_id,
+            status="active",
+            current_step=target,
+            context=context,
+            updated_at=now,
+        )
+        self._history.create(
+            instance_id=instance_id,
+            at=now,
+            actor=principal.login,
+            action="__retry__",
+            from_step=instance.current_step,
+            to_step=target,
+        )
+        self._audit.record(
+            principal, "update", "workflow_instance", instance_id,
+            f"retried in step {target}",
+        )
+        return self._run_auto_actions(principal, updated)
+
+    # -- history ------------------------------------------------------------------------
+
+    def history(self, instance_id: int) -> list[WorkflowEvent]:
+        return (
+            self._history.query()
+            .where("instance_id", "=", instance_id)
+            .order_by("id")
+            .all()
+        )

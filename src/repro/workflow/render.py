@@ -1,0 +1,75 @@
+"""Graphical representation of workflows.
+
+The portal shows each running workflow with its current step highlighted
+("the next step to be taken by the user is highlighted in the graphical
+representation").  Two renderers:
+
+* :func:`render_ascii` — a terminal/HTML-pre drawing of the step chain;
+* :func:`render_dot` — Graphviz DOT for richer graphs.
+"""
+
+from __future__ import annotations
+
+from repro.workflow.definitions import END, WorkflowDefinition
+
+
+def _ordered_steps(definition: WorkflowDefinition) -> list[str]:
+    """Steps in a stable breadth-first order from the initial step."""
+    order: list[str] = []
+    seen: set[str] = set()
+    frontier = [definition.initial_step]
+    while frontier:
+        current = frontier.pop(0)
+        if current in seen or current == END:
+            continue
+        seen.add(current)
+        order.append(current)
+        for action in definition.step(current).actions:
+            frontier.append(action.target)
+    return order
+
+
+def render_ascii(
+    definition: WorkflowDefinition, current_step: str | None = None
+) -> str:
+    """A textual drawing; the current step is marked with ``▶ [...]``.
+
+    Example (data import workflow waiting on extract assignment)::
+
+        [select provider] --fetch--> ▶[assign extracts] --save--> [done]
+    """
+    lines = [f"workflow: {definition.name}"]
+    for step_name in _ordered_steps(definition):
+        step = definition.step(step_name)
+        marker = "▶" if step_name == current_step else " "
+        label = step.label or step.name
+        lines.append(f" {marker}[{label}]")
+        for action in step.actions:
+            target = "END" if action.target == END else action.target
+            guard = " (guarded)" if action.condition is not None else ""
+            auto = " (auto)" if action.auto else ""
+            lines.append(f"     --{action.name}{guard}{auto}--> {target}")
+    return "\n".join(lines)
+
+
+def render_dot(
+    definition: WorkflowDefinition, current_step: str | None = None
+) -> str:
+    """Graphviz DOT source with the current step filled."""
+    lines = [
+        f'digraph "{definition.name}" {{',
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="Helvetica"];',
+        '  __end__ [shape=doublecircle, label="end"];',
+    ]
+    for step_name in _ordered_steps(definition):
+        step = definition.step(step_name)
+        attrs = [f'label="{step.label or step.name}"']
+        if step_name == current_step:
+            attrs.append('style=filled fillcolor="#ffe08a"')
+        lines.append(f'  "{step_name}" [{", ".join(attrs)}];')
+    for from_step, action, to_step in definition.edges():
+        target = "__end__" if to_step == END else to_step
+        lines.append(f'  "{from_step}" -> "{target}" [label="{action}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Synthetic deployment workloads.
+
+The paper's only quantitative artifact is the January-2010 FGCZ
+deployment table::
+
+    Users 1555       Samples 3151
+    Projects 750     Extracts 3642
+    Institutes 224   Data Resources 40005
+    Organizations 59 Workunits 23979
+
+:class:`DeploymentGenerator` synthesizes a deployment with exactly these
+counts (scalable down for tests) and realistic attribute distributions,
+giving benchmarks an FGCZ-scale corpus without FGCZ's private data.
+"""
+
+from repro.workload.generator import (
+    DeploymentGenerator,
+    FGCZ_JANUARY_2010,
+    DeploymentSpec,
+)
+from repro.workload.scenario import ActivityReport, BusinessSimulator
+
+__all__ = [
+    "DeploymentGenerator",
+    "FGCZ_JANUARY_2010",
+    "DeploymentSpec",
+    "ActivityReport",
+    "BusinessSimulator",
+]

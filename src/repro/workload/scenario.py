@@ -1,0 +1,255 @@
+"""Daily-business simulation through the service layer.
+
+Where :mod:`repro.workload.generator` synthesizes *state* for scale
+benchmarks, this module simulates *operations*: scientists registering
+samples, extending vocabularies (with typos), importing instrument
+runs, running experiments; experts reviewing and merging — the "running
+in daily business at FGCZ since beginning of 2007" claim as executable
+workload.  Everything goes through the public services, so events,
+tasks, workflows, audit and search indexing all fire exactly as in
+production.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dataimport import AffymetrixGeneChipProvider
+from repro.errors import BFabricError
+from repro.facade import BFabric
+from repro.security.principals import Principal
+
+_SPECIES = ("Arabidopsis Thaliana", "Homo sapiens", "Mus musculus")
+_STATES = ("healthy", "infected", "heat shock", "drought stress", "hopeless")
+
+TWO_GROUP_INTERFACE = {
+    "inputs": ["resource"],
+    "parameters": [
+        {"name": "reference_group", "type": "text", "required": True},
+        {"name": "alpha", "type": "float", "default": 0.05},
+    ],
+}
+
+
+@dataclass
+class ActivityReport:
+    """What a simulation run did."""
+
+    days: int = 0
+    samples: int = 0
+    extracts: int = 0
+    annotations_created: int = 0
+    annotations_released: int = 0
+    merges: int = 0
+    imports: int = 0
+    experiment_runs: int = 0
+    failures: int = 0
+    per_day: list[dict] = field(default_factory=list)
+
+
+def _typo(rng: random.Random, word: str) -> str:
+    if len(word) < 4:
+        return word + word[-1]
+    position = rng.randrange(1, len(word) - 1)
+    return word[:position] + word[position + 1:]
+
+
+class BusinessSimulator:
+    """Drives one B-Fabric system through simulated working days."""
+
+    def __init__(self, system: BFabric, *, seed: int = 7, scientists: int = 3):
+        self._system = system
+        self._rng = random.Random(seed)
+        admin = system.bootstrap()
+        self._admin = admin
+        self._expert = self._ensure_user(
+            "sim_expert", "Simulation Expert", role="employee"
+        )
+        self._scientists: list[Principal] = [
+            self._ensure_user(f"sim_sci{i}", f"Simulated Scientist {i}")
+            for i in range(scientists)
+        ]
+        self._attribute = self._ensure_attribute()
+        self._provider = self._ensure_provider()
+        self._application = self._ensure_application()
+        self._projects: dict[int, Principal] = {}
+        self._day = 0
+
+    # -- setup helpers ----------------------------------------------------------
+
+    def _ensure_user(self, login, full_name, role="scientist"):
+        user = self._system.directory.user_by_login(login)
+        if user is not None:
+            return self._system.directory.principal_for(user)
+        return self._system.add_user(
+            self._admin, login=login, full_name=full_name, role=role
+        )
+
+    def _ensure_attribute(self):
+        try:
+            return self._system.annotations.attribute_by_name("Disease State")
+        except BFabricError:
+            return self._system.annotations.define_attribute(
+                self._expert, "Disease State"
+            )
+
+    def _ensure_provider(self):
+        name = "sim GeneChip"
+        if name not in self._system.imports.provider_names():
+            self._system.imports.register_provider(
+                AffymetrixGeneChipProvider(name, runs=400)
+            )
+        return name
+
+    def _ensure_application(self):
+        try:
+            return self._system.applications.by_name("two group analysis")
+        except BFabricError:
+            return self._system.applications.register_application(
+                self._expert,
+                name="two group analysis",
+                connector="rserve",
+                executable="two_group_analysis",
+                interface=TWO_GROUP_INTERFACE,
+            )
+
+    # -- one day ------------------------------------------------------------------
+
+    def simulate_days(self, days: int) -> ActivityReport:
+        """Run *days* of activity; returns the aggregate report."""
+        report = ActivityReport()
+        for _ in range(days):
+            daily = self._one_day()
+            report.days += 1
+            report.samples += daily["samples"]
+            report.extracts += daily["extracts"]
+            report.annotations_created += daily["annotations_created"]
+            report.annotations_released += daily["annotations_released"]
+            report.merges += daily["merges"]
+            report.imports += daily["imports"]
+            report.experiment_runs += daily["experiment_runs"]
+            report.failures += daily["failures"]
+            report.per_day.append(daily)
+        return report
+
+    def _one_day(self) -> dict:
+        rng = self._rng
+        self._day += 1
+        daily = dict(
+            samples=0, extracts=0, annotations_created=0,
+            annotations_released=0, merges=0, imports=0,
+            experiment_runs=0, failures=0,
+        )
+
+        # Sometimes a new project starts.
+        if not self._projects or rng.random() < 0.25:
+            owner = rng.choice(self._scientists)
+            project = self._system.projects.create(
+                owner, f"simulated project day {self._day}"
+            )
+            self._projects[project.id] = owner
+
+        project_id = rng.choice(list(self._projects))
+        owner = self._projects[project_id]
+
+        # Morning: registrations, occasionally with a new (typoed) value.
+        for sample_no in range(rng.randint(1, 3)):
+            value = rng.choice(_STATES)
+            if rng.random() < 0.3:
+                value = _typo(rng, value)
+            annotation_ids = []
+            try:
+                annotation, _ = self._system.annotations.create_annotation(
+                    owner, self._attribute.id, value
+                )
+                annotation_ids = [annotation.id]
+                daily["annotations_created"] += 1
+            except BFabricError:
+                existing = self._system.annotations.vocabulary(
+                    self._attribute.id, include_pending=True
+                )
+                match = next((a for a in existing if a.value == value), None)
+                if match:
+                    annotation_ids = [match.id]
+            sample = self._system.samples.register_sample(
+                owner, project_id,
+                f"day {self._day} sample {sample_no}",
+                species=rng.choice(_SPECIES),
+                annotation_ids=annotation_ids,
+            )
+            daily["samples"] += 1
+            run = f"scan{rng.randint(1, 400):02d}"
+            for letter in ("a", "b"):
+                try:
+                    self._system.samples.register_extract(
+                        owner, sample.id, f"{run} {letter}"
+                    )
+                    daily["extracts"] += 1
+                except BFabricError:
+                    pass
+
+        # Midday: an import with automatic assignment.
+        if rng.random() < 0.7:
+            run = rng.randint(1, 400)
+            files = [f"scan{run:02d}_a.cel", f"scan{run:02d}_b.cel"]
+            try:
+                workunit, resources, _ = self._system.imports.import_files(
+                    owner, project_id, self._provider, files,
+                    workunit_name=f"day {self._day} import {run}",
+                    mode=rng.choice(("copy", "link")),
+                )
+                self._system.imports.apply_assignments(owner, workunit.id)
+                daily["imports"] += 1
+
+                # Afternoon: run the analysis over the fresh import.
+                if rng.random() < 0.7:
+                    experiment = self._system.experiments.define(
+                        owner, project_id,
+                        f"day {self._day} analysis {run}",
+                        application_id=self._application.id,
+                        resource_ids=[r.id for r in resources],
+                    )
+                    marker = "_a" if rng.random() < 0.9 else "_zz"  # some fail
+                    result = self._system.experiments.run(
+                        owner, experiment.id,
+                        workunit_name=f"day {self._day} results {run}",
+                        parameters={"reference_group": marker},
+                    )
+                    daily["experiment_runs"] += 1
+                    if result.status == "failed":
+                        daily["failures"] += 1
+            except BFabricError:
+                daily["failures"] += 1
+
+        # Evening: the expert works the queue.
+        for task in list(self._system.tasks.inbox(self._expert))[:5]:
+            if task.kind != "release_annotation":
+                continue
+            recommendations = self._system.annotations.merge_recommendations(
+                self._attribute.id
+            )
+            handled = False
+            for rec in recommendations:
+                if rec.involves(task.entity_id):
+                    try:
+                        self._system.annotations.merge(
+                            self._expert, rec.keep_id, rec.merge_id
+                        )
+                        daily["merges"] += 1
+                        handled = True
+                        break
+                    except BFabricError:
+                        pass
+            if not handled:
+                try:
+                    self._system.annotations.release(
+                        self._expert, task.entity_id
+                    )
+                    daily["annotations_released"] += 1
+                except BFabricError:
+                    pass
+
+        if hasattr(self._system.clock, "advance"):
+            self._system.clock.advance(days=1)
+        return daily

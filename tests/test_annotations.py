@@ -1,0 +1,412 @@
+"""Annotation management: vocabularies, review, similarity, merging.
+
+Covers the paper's Figures 2–7 behaviours end to end.
+"""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotations.similarity import MergeRecommendation, SimilarityDetector
+from repro.errors import (
+    AccessDenied,
+    EntityNotFound,
+    StateError,
+    ValidationError,
+)
+from repro.facade import BFabric
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def system():
+    return BFabric(clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+
+
+@pytest.fixture
+def actors(system):
+    admin = system.bootstrap()
+    scientist = system.add_user(admin, login="sci", full_name="Scientist")
+    expert = system.add_user(
+        admin, login="exp", full_name="Expert", role="employee"
+    )
+    return admin, scientist, expert
+
+
+@pytest.fixture
+def disease_state(system, actors):
+    _, _, expert = actors
+    return system.annotations.define_attribute(expert, "Disease State")
+
+
+class TestAttributes:
+    def test_scientist_cannot_define(self, system, actors):
+        _, scientist, _ = actors
+        with pytest.raises(AccessDenied):
+            system.annotations.define_attribute(scientist, "Tissue")
+
+    def test_define_and_lookup(self, system, actors, disease_state):
+        fetched = system.annotations.attribute_by_name("Disease State")
+        assert fetched.id == disease_state.id
+
+    def test_attributes_for_scopes_by_type(self, system, actors):
+        _, _, expert = actors
+        system.annotations.define_attribute(expert, "Tissue", applies_to="sample")
+        system.annotations.define_attribute(
+            expert, "Digest", applies_to="extract"
+        )
+        assert [a.name for a in system.annotations.attributes_for("sample")] == [
+            "Tissue"
+        ]
+
+    def test_empty_name_rejected(self, system, actors):
+        _, _, expert = actors
+        with pytest.raises(ValidationError):
+            system.annotations.define_attribute(expert, "   ")
+
+    def test_unknown_attribute_raises(self, system, actors):
+        with pytest.raises(EntityNotFound):
+            system.annotations.attribute_by_name("Nope")
+
+
+class TestCreateAnnotation:
+    def test_created_pending(self, system, actors, disease_state):
+        _, scientist, _ = actors
+        annotation, similar = system.annotations.create_annotation(
+            scientist, disease_state.id, "Hopeless"
+        )
+        assert annotation.status == "pending"
+        assert similar == []
+
+    def test_duplicate_value_rejected(self, system, actors, disease_state):
+        _, scientist, _ = actors
+        system.annotations.create_annotation(scientist, disease_state.id, "X")
+        with pytest.raises(ValidationError):
+            system.annotations.create_annotation(scientist, disease_state.id, "X")
+
+    def test_whitespace_normalized(self, system, actors, disease_state):
+        _, scientist, _ = actors
+        annotation, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "  Heat   Shock "
+        )
+        assert annotation.value == "Heat Shock"
+
+    def test_similar_detected_at_creation(self, system, actors, disease_state):
+        _, scientist, _ = actors
+        system.annotations.create_annotation(scientist, disease_state.id, "Hopeless")
+        _, similar = system.annotations.create_annotation(
+            scientist, disease_state.id, "Hopeles"
+        )
+        assert [a.value for a, _ in similar] == ["Hopeless"]
+        assert similar[0][1] == pytest.approx(0.875)
+
+    def test_unknown_attribute(self, system, actors):
+        _, scientist, _ = actors
+        with pytest.raises(EntityNotFound):
+            system.annotations.create_annotation(scientist, 404, "x")
+
+    def test_not_in_dropdown_until_released(self, system, actors, disease_state):
+        _, scientist, _ = actors
+        system.annotations.create_annotation(scientist, disease_state.id, "New")
+        assert system.annotations.vocabulary(disease_state.id) == []
+        assert len(
+            system.annotations.vocabulary(disease_state.id, include_pending=True)
+        ) == 1
+
+
+class TestReviewLifecycle:
+    def test_release(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        annotation, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "Hopeless"
+        )
+        released = system.annotations.release(expert, annotation.id)
+        assert released.status == "released"
+        assert released.released_by == expert.user_id
+        assert [a.value for a in system.annotations.vocabulary(disease_state.id)] == [
+            "Hopeless"
+        ]
+
+    def test_scientist_cannot_release(self, system, actors, disease_state):
+        _, scientist, _ = actors
+        annotation, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "X"
+        )
+        with pytest.raises(AccessDenied):
+            system.annotations.release(scientist, annotation.id)
+
+    def test_double_release_fails(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        annotation, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "X"
+        )
+        system.annotations.release(expert, annotation.id)
+        with pytest.raises(StateError):
+            system.annotations.release(expert, annotation.id)
+
+    def test_reject_removes_links(self, system, actors, disease_state):
+        admin, scientist, expert = actors
+        project = system.projects.create(scientist, "P")
+        sample = system.samples.register_sample(scientist, project.id, "s1")
+        annotation, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "Wrong"
+        )
+        system.annotations.annotate(scientist, annotation.id, "sample", sample.id)
+        system.annotations.reject(expert, annotation.id)
+        assert system.annotations.annotations_for("sample", sample.id) == []
+
+    def test_pending_review_queue_ordered(self, system, actors, disease_state):
+        _, scientist, _ = actors
+        for value in ("b", "a", "c"):
+            system.annotations.create_annotation(scientist, disease_state.id, value)
+        queue = system.annotations.pending_review()
+        assert [a.value for a in queue] == ["b", "a", "c"]  # oldest first
+
+
+class TestSimilarityDetector:
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            SimilarityDetector(0.0)
+        with pytest.raises(ValueError):
+            SimilarityDetector(1.5)
+
+    def test_recommendations_prefer_released_survivor(self):
+        detector = SimilarityDetector()
+        rows = [
+            {"id": 1, "value": "Hopeles", "status": "pending"},
+            {"id": 2, "value": "Hopeless", "status": "released"},
+        ]
+        recs = detector.recommendations(rows)
+        assert len(recs) == 1
+        assert recs[0].keep_id == 2
+        assert recs[0].merge_id == 1
+
+    def test_recommendations_prefer_older_when_same_status(self):
+        detector = SimilarityDetector()
+        rows = [
+            {"id": 5, "value": "Hopeless", "status": "pending"},
+            {"id": 9, "value": "Hopeles", "status": "pending"},
+        ]
+        recs = detector.recommendations(rows)
+        assert recs[0].keep_id == 5
+
+    def test_merged_and_rejected_excluded(self):
+        detector = SimilarityDetector()
+        rows = [
+            {"id": 1, "value": "Hopeless", "status": "released"},
+            {"id": 2, "value": "Hopeles", "status": "merged"},
+            {"id": 3, "value": "Hopelesss", "status": "rejected"},
+        ]
+        assert detector.recommendations(rows) == []
+
+    def test_dissimilar_not_recommended(self):
+        detector = SimilarityDetector()
+        rows = [
+            {"id": 1, "value": "Hopeless", "status": "released"},
+            {"id": 2, "value": "Diabetes", "status": "released"},
+        ]
+        assert detector.recommendations(rows) == []
+
+    def test_recommendation_involves(self):
+        rec = MergeRecommendation(1, 2, "a", "b", 0.9)
+        assert rec.involves(1) and rec.involves(2) and not rec.involves(3)
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["hopeless", "hopeles", "hopless", "diabetes", "healthy"]
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recommendations_are_pairwise_and_bounded(self, values):
+        detector = SimilarityDetector()
+        rows = [
+            {"id": i + 1, "value": v, "status": "pending"}
+            for i, v in enumerate(values)
+        ]
+        recs = detector.recommendations(rows)
+        n = len(rows)
+        assert len(recs) <= n * (n - 1) // 2
+        for rec in recs:
+            assert rec.keep_id != rec.merge_id
+            assert rec.score >= detector.threshold
+
+
+class TestMerge:
+    def make_pair(self, system, scientist, expert, attribute):
+        keep, _ = system.annotations.create_annotation(
+            scientist, attribute.id, "Hopeless"
+        )
+        keep = system.annotations.release(expert, keep.id)
+        merge, _ = system.annotations.create_annotation(
+            scientist, attribute.id, "Hopeles"
+        )
+        return keep, merge
+
+    def test_merge_reassociates_links(self, system, actors, disease_state):
+        admin, scientist, expert = actors
+        project = system.projects.create(scientist, "P")
+        s1 = system.samples.register_sample(scientist, project.id, "s1")
+        s2 = system.samples.register_sample(scientist, project.id, "s2")
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        system.annotations.annotate(scientist, merge.id, "sample", s1.id)
+        system.annotations.annotate(scientist, merge.id, "sample", s2.id)
+
+        system.annotations.merge(expert, keep.id, merge.id)
+
+        for sample in (s1, s2):
+            values = [
+                a.value
+                for a in system.annotations.annotations_for("sample", sample.id)
+            ]
+            assert values == ["Hopeless"]
+
+    def test_merge_deduplicates_links(self, system, actors, disease_state):
+        admin, scientist, expert = actors
+        project = system.projects.create(scientist, "P")
+        sample = system.samples.register_sample(scientist, project.id, "s1")
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        system.annotations.annotate(scientist, keep.id, "sample", sample.id)
+        system.annotations.annotate(scientist, merge.id, "sample", sample.id)
+        system.annotations.merge(expert, keep.id, merge.id)
+        assert (
+            len(system.annotations.annotations_for("sample", sample.id)) == 1
+        )
+
+    def test_merged_status_and_redirect(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        system.annotations.merge(expert, keep.id, merge.id)
+        resolved = system.annotations.resolve(merge.id)
+        assert resolved.id == keep.id
+
+    def test_pending_survivor_released_by_merge(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        keep, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "Hopeless"
+        )
+        merge, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "Hopeles"
+        )
+        result = system.annotations.merge(expert, keep.id, merge.id)
+        assert result.status == "released"
+
+    def test_merge_self_rejected(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        with pytest.raises(ValidationError):
+            system.annotations.merge(expert, keep.id, keep.id)
+
+    def test_merge_across_attributes_rejected(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        other = system.annotations.define_attribute(expert, "Tissue")
+        a1, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "leafy"
+        )
+        a2, _ = system.annotations.create_annotation(scientist, other.id, "leaf")
+        with pytest.raises(ValidationError):
+            system.annotations.merge(expert, a1.id, a2.id)
+
+    def test_double_merge_rejected(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        system.annotations.merge(expert, keep.id, merge.id)
+        with pytest.raises(StateError):
+            system.annotations.merge(expert, keep.id, merge.id)
+
+    def test_scientist_cannot_merge(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        with pytest.raises(AccessDenied):
+            system.annotations.merge(scientist, keep.id, merge.id)
+
+    def test_chosen_extra_applied(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        result = system.annotations.merge(
+            expert, keep.id, merge.id, chosen_extra={"severity": "terminal"}
+        )
+        assert result.extra == {"severity": "terminal"}
+
+    def test_annotate_with_merged_value_fails(self, system, actors, disease_state):
+        admin, scientist, expert = actors
+        project = system.projects.create(scientist, "P")
+        sample = system.samples.register_sample(scientist, project.id, "s1")
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        system.annotations.merge(expert, keep.id, merge.id)
+        with pytest.raises(StateError):
+            system.annotations.annotate(scientist, merge.id, "sample", sample.id)
+
+    def test_merge_recommendations_end_to_end(self, system, actors, disease_state):
+        _, scientist, expert = actors
+        keep, merge = self.make_pair(system, scientist, expert, disease_state)
+        recs = system.annotations.merge_recommendations(disease_state.id)
+        assert len(recs) == 1
+        assert (recs[0].keep_id, recs[0].merge_id) == (keep.id, merge.id)
+        system.annotations.merge(expert, recs[0].keep_id, recs[0].merge_id)
+        assert system.annotations.merge_recommendations(disease_state.id) == []
+
+
+class TestAnnotateLinks:
+    def test_annotate_idempotent(self, system, actors, disease_state):
+        admin, scientist, expert = actors
+        project = system.projects.create(scientist, "P")
+        sample = system.samples.register_sample(scientist, project.id, "s1")
+        annotation, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "X"
+        )
+        link1 = system.annotations.annotate(
+            scientist, annotation.id, "sample", sample.id
+        )
+        link2 = system.annotations.annotate(
+            scientist, annotation.id, "sample", sample.id
+        )
+        assert link1.id == link2.id
+
+    def test_entities_for(self, system, actors, disease_state):
+        admin, scientist, expert = actors
+        project = system.projects.create(scientist, "P")
+        sample = system.samples.register_sample(scientist, project.id, "s1")
+        annotation, _ = system.annotations.create_annotation(
+            scientist, disease_state.id, "X"
+        )
+        system.annotations.annotate(scientist, annotation.id, "sample", sample.id)
+        assert system.annotations.entities_for(annotation.id) == [
+            ("sample", sample.id)
+        ]
+
+
+class TestStandardVocabularies:
+    def test_seed_creates_released_values(self, system, actors):
+        from repro.annotations.seed import seed_standard_vocabularies
+
+        _, _, expert = actors
+        report = seed_standard_vocabularies(system.annotations, expert)
+        assert report["Tissue"] == 7
+        tissue = system.annotations.attribute_by_name("Tissue")
+        values = [a.value for a in system.annotations.vocabulary(tissue.id)]
+        assert "leaf" in values
+        # Extraction Method is scoped to extracts, not samples.
+        extraction = system.annotations.attribute_by_name(
+            "Extraction Method", "extract"
+        )
+        assert system.annotations.vocabulary(extraction.id)
+
+    def test_seed_is_idempotent(self, system, actors):
+        from repro.annotations.seed import seed_standard_vocabularies
+
+        _, _, expert = actors
+        seed_standard_vocabularies(system.annotations, expert)
+        second = seed_standard_vocabularies(system.annotations, expert)
+        assert all(count == 0 for count in second.values())
+
+    def test_seed_leaves_no_open_tasks(self, system, actors):
+        from repro.annotations.seed import seed_standard_vocabularies
+
+        _, _, expert = actors
+        seed_standard_vocabularies(system.annotations, expert)
+        assert system.tasks.open_count(expert) == 0

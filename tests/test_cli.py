@@ -1,0 +1,101 @@
+"""The bfabric command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    data = tmp_path / "deploy"
+    assert main(["--data", str(data), "init", "--admin-password", "pw"]) == 0
+    return data
+
+
+def run(capsys, *argv) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestCli:
+    def test_init_creates_admin(self, tmp_path, capsys):
+        data = tmp_path / "d"
+        code, out = run(capsys, "--data", str(data), "init")
+        assert code == 0
+        assert "admin user: admin" in out
+        assert (data / "db" / "snapshot.json").exists()
+
+    def test_init_is_idempotent(self, deployment, capsys):
+        code, out = run(capsys, "--data", str(deployment), "init")
+        assert code == 0
+
+    def test_stats_table(self, deployment, capsys):
+        code, out = run(capsys, "--data", str(deployment), "stats")
+        assert code == 0
+        assert "Users" in out
+        assert "Workunits" in out
+
+    def test_integrity_clean(self, deployment, capsys):
+        code, out = run(capsys, "--data", str(deployment), "integrity")
+        assert code == 0
+        assert "no problems" in out
+
+    def test_checkpoint(self, deployment, capsys):
+        code, out = run(capsys, "--data", str(deployment), "checkpoint")
+        assert code == 0
+        assert "checkpoint written" in out
+
+    def test_generate_scaled(self, deployment, capsys):
+        code, out = run(
+            capsys, "--data", str(deployment), "generate", "--scale", "0.005"
+        )
+        assert code == 0
+        assert "Users" in out
+        # 0.5% of 1555 users ≈ 8, plus the bootstrap admin.
+        users_line = next(
+            line for line in out.splitlines() if line.startswith("Users")
+        )
+        assert int(users_line.split()[-1]) == 9
+
+    def test_reindex_after_generate(self, deployment, capsys):
+        run(capsys, "--data", str(deployment), "generate", "--scale", "0.005")
+        code, out = run(capsys, "--data", str(deployment), "reindex")
+        assert code == 0
+        assert "indexed" in out
+
+    def test_search_from_shell(self, deployment, capsys):
+        run(capsys, "--data", str(deployment), "generate", "--scale", "0.005")
+        code, out = run(
+            capsys, "--data", str(deployment), "search", "arabidopsis",
+        )
+        assert code == 0
+        assert out.strip()
+
+    def test_search_unknown_user(self, deployment, capsys):
+        with pytest.raises(SystemExit):
+            main(["--data", str(deployment), "search", "x",
+                  "--as-user", "ghost"])
+
+    def test_audit_listing(self, deployment, capsys):
+        code, out = run(capsys, "--data", str(deployment), "audit")
+        assert code == 0
+        assert "bootstrap" in out
+
+    def test_missing_command_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--data", str(tmp_path)])
+
+
+class TestCliReports:
+    def test_report(self, deployment, capsys):
+        run(capsys, "--data", str(deployment), "generate", "--scale", "0.005")
+        code, out = run(capsys, "--data", str(deployment), "report")
+        assert code == 0
+        assert "Busiest projects" in out
+        assert "Storage by mode" in out
+
+    def test_provenance(self, deployment, capsys):
+        run(capsys, "--data", str(deployment), "generate", "--scale", "0.005")
+        code, out = run(capsys, "--data", str(deployment), "provenance", "1")
+        assert code == 0
+        assert "Workunit #1" in out

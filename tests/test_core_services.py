@@ -1,0 +1,342 @@
+"""Core services: directory, projects, samples/extracts, workunits."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    EntityNotFound,
+    StateError,
+    ValidationError,
+)
+from repro.facade import BFabric
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def system():
+    return BFabric(clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+
+
+@pytest.fixture
+def admin(system):
+    return system.bootstrap()
+
+
+@pytest.fixture
+def scientist(system, admin):
+    return system.add_user(admin, login="sci", full_name="Scientist")
+
+
+@pytest.fixture
+def project(system, scientist):
+    return system.projects.create(scientist, "Arabidopsis light response")
+
+
+class TestDirectory:
+    def test_org_institute_user_chain(self, system, admin):
+        org = system.directory.create_organization(admin, "University of Zurich")
+        institute = system.directory.create_institute(
+            admin, "Institute of Plant Biology", org.id
+        )
+        user = system.directory.create_user(
+            admin,
+            login="Grower",
+            full_name="Plant Grower",
+            institute_id=institute.id,
+            email="grower@uzh.ch",
+        )
+        assert user.login == "grower"  # lowered
+        assert system.directory.institutes_of(org.id)[0].id == institute.id
+
+    def test_counts(self, system, admin):
+        system.directory.create_organization(admin, "O")
+        assert system.directory.counts() == {
+            "users": 1,  # bootstrap admin
+            "institutes": 0,
+            "organizations": 1,
+        }
+
+    def test_scientist_cannot_administer(self, system, admin, scientist):
+        with pytest.raises(AccessDenied):
+            system.directory.create_organization(scientist, "X")
+        with pytest.raises(AccessDenied):
+            system.directory.create_user(scientist, login="a", full_name="A")
+
+    def test_invalid_user_fields(self, system, admin):
+        with pytest.raises(ValidationError) as excinfo:
+            system.directory.create_user(
+                admin, login="", full_name="", role="wizard", email="nope"
+            )
+        errors = excinfo.value.field_errors
+        assert set(errors) == {"login", "full_name", "role", "email"}
+
+    def test_deactivate(self, system, admin, scientist):
+        user = system.directory.deactivate_user(admin, scientist.user_id)
+        assert user.active is False
+
+    def test_set_own_password(self, system, admin, scientist):
+        system.directory.set_password(scientist, scientist.user_id, "newpw")
+        session = system.auth.login("sci", "newpw")
+        assert session.principal.user_id == scientist.user_id
+
+    def test_cannot_set_others_password(self, system, admin, scientist):
+        other = system.add_user(admin, login="other", full_name="Other")
+        with pytest.raises(AccessDenied):
+            system.directory.set_password(scientist, other.user_id, "pwpw")
+
+    def test_short_password_rejected(self, system, scientist):
+        with pytest.raises(ValidationError):
+            system.directory.set_password(scientist, scientist.user_id, "ab")
+
+
+class TestProjects:
+    def test_creator_becomes_leader(self, system, scientist, project):
+        members = system.projects.members(scientist, project.id)
+        assert [(m.user_id, m.role) for m in members] == [
+            (scientist.user_id, "leader")
+        ]
+
+    def test_visibility(self, system, admin, scientist, project):
+        outsider = system.add_user(admin, login="out", full_name="Out")
+        assert system.projects.visible_to(outsider) == []
+        assert [p.id for p in system.projects.visible_to(scientist)] == [project.id]
+        with pytest.raises(AccessDenied):
+            system.projects.get(outsider, project.id)
+
+    def test_add_and_remove_member(self, system, admin, scientist, project):
+        member = system.add_user(admin, login="member", full_name="M")
+        system.projects.add_member(scientist, project.id, member.user_id)
+        assert [p.id for p in system.projects.visible_to(member)] == [project.id]
+        assert system.projects.remove_member(scientist, project.id, member.user_id)
+        assert system.projects.visible_to(member) == []
+
+    def test_member_cannot_manage(self, system, admin, scientist, project):
+        member = system.add_user(admin, login="member", full_name="M")
+        system.projects.add_member(scientist, project.id, member.user_id)
+        third = system.add_user(admin, login="third", full_name="T")
+        with pytest.raises(AccessDenied):
+            system.projects.add_member(member, project.id, third.user_id)
+
+    def test_empty_name_rejected(self, system, scientist):
+        with pytest.raises(ValidationError):
+            system.projects.create(scientist, "  ")
+
+
+class TestSamples:
+    def test_register(self, system, scientist, project):
+        sample = system.samples.register_sample(
+            scientist, project.id, "wt light 1",
+            species="Arabidopsis Thaliana",
+            attributes={"treatment": "light"},
+        )
+        assert sample.id is not None
+        assert sample.attributes == {"treatment": "light"}
+
+    def test_duplicate_name_in_project_rejected(self, system, scientist, project):
+        system.samples.register_sample(scientist, project.id, "s1")
+        with pytest.raises(ValidationError):
+            system.samples.register_sample(scientist, project.id, "s1")
+
+    def test_same_name_in_other_project_allowed(self, system, scientist):
+        p1 = system.projects.create(scientist, "P1")
+        p2 = system.projects.create(scientist, "P2")
+        system.samples.register_sample(scientist, p1.id, "s1")
+        system.samples.register_sample(scientist, p2.id, "s1")
+
+    def test_outsider_cannot_register(self, system, admin, project):
+        outsider = system.add_user(admin, login="out", full_name="Out")
+        with pytest.raises(AccessDenied):
+            system.samples.register_sample(outsider, project.id, "s1")
+
+    def test_clone_copies_attributes_and_annotations(
+        self, system, admin, scientist, project
+    ):
+        expert = system.add_user(admin, login="exp", full_name="E", role="employee")
+        attribute = system.annotations.define_attribute(expert, "Tissue")
+        annotation, _ = system.annotations.create_annotation(
+            scientist, attribute.id, "leaf"
+        )
+        original = system.samples.register_sample(
+            scientist, project.id, "original",
+            species="A. thaliana", attributes={"treatment": "light"},
+            annotation_ids=[annotation.id],
+        )
+        clone = system.samples.clone_sample(
+            scientist, original.id, "copy",
+            overrides={"attributes": {"replicate": 2}},
+        )
+        assert clone.species == "A. thaliana"
+        assert clone.attributes == {"treatment": "light", "replicate": 2}
+        assert [
+            a.value for a in system.annotations.annotations_for("sample", clone.id)
+        ] == ["leaf"]
+
+    def test_clone_unknown_override_rejected(self, system, scientist, project):
+        original = system.samples.register_sample(scientist, project.id, "o")
+        with pytest.raises(ValidationError):
+            system.samples.clone_sample(
+                scientist, original.id, "c", overrides={"bogus": 1}
+            )
+
+    def test_clone_missing_sample(self, system, scientist):
+        with pytest.raises(EntityNotFound):
+            system.samples.clone_sample(scientist, 404, "c")
+
+    def test_batch_register(self, system, scientist, project):
+        samples = system.samples.batch_register_samples(
+            scientist, project.id, ["a", "b", "c"], species="E. coli"
+        )
+        assert len(samples) == 3
+        assert all(s.species == "E. coli" for s in samples)
+
+    def test_batch_is_atomic(self, system, scientist, project):
+        system.samples.register_sample(scientist, project.id, "b")
+        with pytest.raises(ValidationError):
+            system.samples.batch_register_samples(
+                scientist, project.id, ["a", "b"]
+            )
+        # "a" must not have been created.
+        names = [
+            s.name
+            for s in system.samples.samples_of_project(scientist, project.id)
+        ]
+        assert names == ["b"]
+
+    def test_batch_duplicate_within_batch(self, system, scientist, project):
+        with pytest.raises(ValidationError):
+            system.samples.batch_register_samples(
+                scientist, project.id, ["x", "x"]
+            )
+
+    def test_batch_empty_name(self, system, scientist, project):
+        with pytest.raises(ValidationError):
+            system.samples.batch_register_samples(scientist, project.id, ["a", " "])
+
+
+class TestExtracts:
+    def test_register_extract(self, system, scientist, project):
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        extract = system.samples.register_extract(
+            scientist, sample.id, "s rna", procedure="TRIzol"
+        )
+        assert extract.sample_id == sample.id
+
+    def test_several_extracts_per_sample(self, system, scientist, project):
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        system.samples.register_extract(scientist, sample.id, "rna 1")
+        system.samples.register_extract(scientist, sample.id, "rna 2")
+        assert len(system.samples.extracts_of_sample(scientist, sample.id)) == 2
+
+    def test_duplicate_extract_name_rejected(self, system, scientist, project):
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        system.samples.register_extract(scientist, sample.id, "e")
+        with pytest.raises(ValidationError):
+            system.samples.register_extract(scientist, sample.id, "e")
+
+    def test_extracts_of_project_crosses_samples(self, system, scientist, project):
+        s1 = system.samples.register_sample(scientist, project.id, "s1")
+        s2 = system.samples.register_sample(scientist, project.id, "s2")
+        system.samples.register_extract(scientist, s1.id, "e1")
+        system.samples.register_extract(scientist, s2.id, "e2")
+        names = [
+            e.name
+            for e in system.samples.extracts_of_project(scientist, project.id)
+        ]
+        assert names == ["e1", "e2"]
+
+    def test_clone_extract(self, system, scientist, project):
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        original = system.samples.register_extract(
+            scientist, sample.id, "e", procedure="TRIzol"
+        )
+        clone = system.samples.clone_extract(scientist, original.id, "e2")
+        assert clone.procedure == "TRIzol"
+        assert clone.sample_id == sample.id
+
+    def test_batch_register_extracts(self, system, scientist, project):
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        extracts = system.samples.batch_register_extracts(
+            scientist, sample.id, ["e1", "e2"], procedure="column"
+        )
+        assert [e.procedure for e in extracts] == ["column", "column"]
+
+
+class TestWorkunits:
+    def test_create_and_add_resources(self, system, scientist, project):
+        workunit = system.workunits.create(scientist, project.id, "wu")
+        resource = system.workunits.add_resource(
+            scientist, workunit.id, "file.raw", "store://x/file.raw",
+            size_bytes=100,
+        )
+        assert resource.workunit_id == workunit.id
+        assert len(system.workunits.resources_of(scientist, workunit.id)) == 1
+
+    def test_mark_inputs(self, system, scientist, project):
+        workunit = system.workunits.create(scientist, project.id, "wu")
+        r1 = system.workunits.add_resource(
+            scientist, workunit.id, "in.raw", "u://1"
+        )
+        system.workunits.add_resource(scientist, workunit.id, "out.csv", "u://2")
+        assert system.workunits.mark_inputs(scientist, workunit.id, [r1.id]) == 1
+        inputs = system.workunits.resources_of(
+            scientist, workunit.id, inputs=True
+        )
+        assert [r.name for r in inputs] == ["in.raw"]
+
+    def test_mark_foreign_resource_rejected(self, system, scientist, project):
+        wu1 = system.workunits.create(scientist, project.id, "wu1")
+        wu2 = system.workunits.create(scientist, project.id, "wu2")
+        resource = system.workunits.add_resource(scientist, wu1.id, "f", "u://1")
+        with pytest.raises(ValidationError):
+            system.workunits.mark_inputs(scientist, wu2.id, [resource.id])
+
+    def test_lifecycle_transitions(self, system, scientist, project):
+        workunit = system.workunits.create(scientist, project.id, "wu")
+        workunit = system.workunits.transition(scientist, workunit.id, "processing")
+        workunit = system.workunits.transition(scientist, workunit.id, "available")
+        assert workunit.status == "available"
+
+    def test_illegal_transition(self, system, scientist, project):
+        workunit = system.workunits.create(scientist, project.id, "wu")
+        system.workunits.transition(scientist, workunit.id, "available")
+        with pytest.raises(StateError):
+            system.workunits.transition(scientist, workunit.id, "pending")
+
+    def test_failed_can_retry(self, system, scientist, project):
+        workunit = system.workunits.create(scientist, project.id, "wu")
+        system.workunits.transition(scientist, workunit.id, "failed")
+        retried = system.workunits.transition(scientist, workunit.id, "pending")
+        assert retried.status == "pending"
+
+    def test_assign_extract(self, system, scientist, project):
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        extract = system.samples.register_extract(scientist, sample.id, "e")
+        workunit = system.workunits.create(scientist, project.id, "wu")
+        resource = system.workunits.add_resource(scientist, workunit.id, "f", "u://1")
+        updated = system.workunits.assign_extract(
+            scientist, resource.id, extract.id
+        )
+        assert updated.extract_id == extract.id
+
+    def test_counts(self, system, scientist, project):
+        system.workunits.create(scientist, project.id, "wu")
+        assert system.workunits.counts() == {
+            "workunits": 1, "data_resources": 0,
+        }
+
+
+class TestAuditTrail:
+    def test_operations_recorded_per_user(self, system, scientist, project):
+        system.samples.register_sample(scientist, project.id, "s1")
+        entries = system.audit.for_user(scientist.user_id)
+        summaries = [(e.action, e.entity_type) for e in entries]
+        assert ("create", "sample") in summaries
+        assert ("create", "project") in summaries
+
+    def test_entity_history(self, system, scientist, project):
+        sample = system.samples.register_sample(scientist, project.id, "s1")
+        history = system.audit.for_entity("sample", sample.id)
+        assert len(history) == 1
+        assert history[0].action == "create"

@@ -1,0 +1,370 @@
+"""Data import: providers, relevance filters, store, matching, service."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dataimport import (
+    AffymetrixGeneChipProvider,
+    LocalFileSystemProvider,
+    ManagedStore,
+    MassSpectrometerProvider,
+    RelevanceFilter,
+    propose_assignments,
+)
+from repro.dataimport.providers import ProviderFile
+from repro.dataimport.store import sha256_of
+from repro.errors import ProviderError, ValidationError
+from repro.facade import BFabric
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def system(tmp_path):
+    return BFabric(tmp_path, clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+
+
+@pytest.fixture
+def scientist(system):
+    admin = system.bootstrap()
+    return system.add_user(admin, login="sci", full_name="Sci")
+
+
+@pytest.fixture
+def project(system, scientist):
+    return system.projects.create(scientist, "P")
+
+
+class TestRelevanceFilter:
+    def make_file(self, name, modified=None):
+        return ProviderFile(
+            name=name,
+            path=name,
+            size_bytes=10,
+            modified=modified or dt.datetime(2010, 1, 5),
+            kind=name.rsplit(".", 1)[-1] if "." in name else "",
+        )
+
+    def test_pattern_filter(self):
+        f = RelevanceFilter(patterns=["scan*"])
+        assert f.matches(self.make_file("scan01_a.cel"))
+        assert not f.matches(self.make_file("other.cel"))
+
+    def test_extension_filter(self):
+        f = RelevanceFilter(extensions=["cel"])
+        assert f.matches(self.make_file("x.cel"))
+        assert not f.matches(self.make_file("x.chp"))
+
+    def test_extension_filter_with_dot(self):
+        f = RelevanceFilter(extensions=[".CEL"])
+        assert f.matches(self.make_file("x.cel"))
+
+    def test_modified_after(self):
+        f = RelevanceFilter(modified_after=dt.datetime(2010, 1, 4))
+        assert f.matches(self.make_file("x", modified=dt.datetime(2010, 1, 5)))
+        assert not f.matches(self.make_file("x", modified=dt.datetime(2010, 1, 3)))
+
+    def test_max_files_keeps_newest(self):
+        files = [
+            self.make_file("old", modified=dt.datetime(2010, 1, 1)),
+            self.make_file("new", modified=dt.datetime(2010, 1, 9)),
+            self.make_file("mid", modified=dt.datetime(2010, 1, 5)),
+        ]
+        selected = RelevanceFilter(max_files=2).apply(files)
+        assert [f.name for f in selected] == ["new", "mid"]
+
+    def test_empty_filter_matches_all(self):
+        f = RelevanceFilter()
+        assert f.matches(self.make_file("anything.xyz"))
+
+
+class TestSimulatedInstruments:
+    def test_genechip_listing_structure(self):
+        provider = AffymetrixGeneChipProvider("gc", runs=2)
+        names = [f.name for f in provider.list_files()]
+        assert "scan01_a.cel" in names
+        assert "scan01_a.chp" in names
+        assert len(names) == 2 * 2 * 2  # runs x samples x templates
+
+    def test_massspec_kind(self):
+        provider = MassSpectrometerProvider("ms", runs=1)
+        files = provider.list_files()
+        assert all(f.kind == "raw" for f in files)
+
+    def test_deterministic_content(self, tmp_path):
+        provider = AffymetrixGeneChipProvider("gc", runs=1)
+        file = provider.find("scan01_a.cel")
+        p1 = provider.fetch(file, tmp_path / "one")
+        p2 = provider.fetch(file, tmp_path / "two")
+        assert sha256_of(p1) == sha256_of(p2)
+        assert p1.stat().st_size == file.size_bytes
+
+    def test_find_missing_file(self):
+        provider = AffymetrixGeneChipProvider("gc", runs=1)
+        with pytest.raises(ProviderError):
+            provider.find("nope.cel")
+
+    def test_relevance_applied_to_listing(self):
+        provider = AffymetrixGeneChipProvider(
+            "gc", runs=2, relevance=RelevanceFilter(extensions=["cel"])
+        )
+        assert all(f.kind == "cel" for f in provider.list_files())
+
+    def test_uri_for(self):
+        provider = AffymetrixGeneChipProvider("gc", runs=1)
+        file = provider.find("scan01_a.cel")
+        assert provider.uri_for(file) == "genechip://gc/scan01/scan01_a.cel"
+
+
+class TestLocalFileSystemProvider:
+    def test_lists_and_fetches(self, tmp_path):
+        root = tmp_path / "data"
+        (root / "sub").mkdir(parents=True)
+        (root / "a.txt").write_text("alpha")
+        (root / "sub" / "b.txt").write_text("beta")
+        provider = LocalFileSystemProvider("local", root)
+        names = sorted(f.name for f in provider.list_files())
+        assert names == ["a.txt", "b.txt"]
+        fetched = provider.fetch(provider.find("b.txt"), tmp_path / "out")
+        assert fetched.read_text() == "beta"
+
+    def test_missing_root(self, tmp_path):
+        with pytest.raises(ProviderError):
+            LocalFileSystemProvider("local", tmp_path / "missing")
+
+
+class TestManagedStore:
+    def test_ingest_and_verify(self, tmp_path):
+        store = ManagedStore(tmp_path / "store")
+        source = tmp_path / "f.bin"
+        source.write_bytes(b"payload")
+        uri, checksum, size = store.ingest(42, source)
+        assert uri == "store://workunit_00000042/f.bin"
+        assert size == 7
+        assert store.verify(uri, checksum)
+
+    def test_verify_detects_tampering(self, tmp_path):
+        store = ManagedStore(tmp_path / "store")
+        source = tmp_path / "f.bin"
+        source.write_bytes(b"payload")
+        uri, checksum, _ = store.ingest(1, source)
+        store.path_for(uri).write_bytes(b"tampered")
+        assert not store.verify(uri, checksum)
+
+    def test_verify_missing_file(self, tmp_path):
+        store = ManagedStore(tmp_path / "store")
+        assert not store.verify("store://workunit_00000001/ghost", "00")
+
+    def test_path_for_rejects_foreign_uri(self, tmp_path):
+        store = ManagedStore(tmp_path / "store")
+        with pytest.raises(ValueError):
+            store.path_for("http://elsewhere/f")
+
+    def test_total_bytes(self, tmp_path):
+        store = ManagedStore(tmp_path / "store")
+        source = tmp_path / "f.bin"
+        source.write_bytes(b"12345")
+        store.ingest(1, source)
+        assert store.total_bytes() == 5
+
+
+class TestMatching:
+    def test_exact_stem_matches(self):
+        proposals = propose_assignments(
+            {1: "wt_light_1.cel", 2: "wt_dark_1.cel"},
+            {10: "wt light 1", 20: "wt dark 1"},
+        )
+        assert {(p.resource_id, p.extract_id) for p in proposals} == {
+            (1, 10), (2, 20),
+        }
+        assert all(p.score == 1.0 for p in proposals)
+
+    def test_one_to_one(self):
+        # Two resources competing for one extract: only the better pair wins.
+        proposals = propose_assignments(
+            {1: "sample_a.cel", 2: "sample_a_rep.cel"},
+            {10: "sample a"},
+        )
+        assert len(proposals) == 1
+        assert proposals[0].resource_id == 1
+
+    def test_below_minimum_unmatched(self):
+        proposals = propose_assignments({1: "zzz.cel"}, {10: "totally different"})
+        assert proposals == []
+
+    def test_empty_inputs(self):
+        assert propose_assignments({}, {}) == []
+        assert propose_assignments({1: "x.cel"}, {}) == []
+
+    def test_deterministic_tie_break(self):
+        first = propose_assignments(
+            {1: "a.cel", 2: "a.cel"}, {10: "a", 20: "a"}
+        )
+        second = propose_assignments(
+            {1: "a.cel", 2: "a.cel"}, {10: "a", 20: "a"}
+        )
+        assert first == second
+
+
+class TestDataImportService:
+    def setup_provider(self, system):
+        provider = AffymetrixGeneChipProvider("GeneChip", runs=1)
+        system.imports.register_provider(provider)
+        return provider
+
+    def test_register_provider_twice_rejected(self, system, scientist):
+        self.setup_provider(system)
+        with pytest.raises(ValidationError):
+            system.imports.register_provider(
+                AffymetrixGeneChipProvider("GeneChip", runs=1)
+            )
+
+    def test_copy_import_stores_bytes_and_checksums(
+        self, system, scientist, project
+    ):
+        self.setup_provider(system)
+        workunit, resources, instance = system.imports.import_files(
+            scientist, project.id, "GeneChip", ["scan01_a.cel"],
+            workunit_name="import", mode="copy",
+        )
+        assert workunit.status == "pending"
+        resource = resources[0]
+        assert resource.storage == "internal"
+        assert resource.uri.startswith("store://")
+        assert system.store.verify(resource.uri, resource.checksum)
+        assert instance.current_step == "assign_extracts"
+
+    def test_link_import_records_uri_only(self, system, scientist, project):
+        self.setup_provider(system)
+        _, resources, _ = system.imports.import_files(
+            scientist, project.id, "GeneChip", ["scan01_a.cel"],
+            workunit_name="import", mode="link",
+        )
+        resource = resources[0]
+        assert resource.storage == "linked"
+        assert resource.uri == "genechip://GeneChip/scan01/scan01_a.cel"
+        assert resource.checksum == ""
+
+    def test_bad_mode(self, system, scientist, project):
+        self.setup_provider(system)
+        with pytest.raises(ValidationError):
+            system.imports.import_files(
+                scientist, project.id, "GeneChip", ["scan01_a.cel"],
+                workunit_name="x", mode="teleport",
+            )
+
+    def test_empty_selection(self, system, scientist, project):
+        self.setup_provider(system)
+        with pytest.raises(ValidationError):
+            system.imports.import_files(
+                scientist, project.id, "GeneChip", [], workunit_name="x"
+            )
+
+    def test_unknown_provider(self, system, scientist, project):
+        with pytest.raises(ProviderError):
+            system.imports.import_files(
+                scientist, project.id, "Ghost", ["f"], workunit_name="x"
+            )
+
+    def test_proposals_and_apply_default(self, system, scientist, project):
+        self.setup_provider(system)
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        system.samples.batch_register_extracts(
+            scientist, sample.id, ["scan01 a", "scan01 b"]
+        )
+        workunit, resources, _ = system.imports.import_files(
+            scientist, project.id, "GeneChip",
+            ["scan01_a.cel", "scan01_b.cel"], workunit_name="import",
+        )
+        proposals = system.imports.proposals_for(scientist, workunit.id)
+        assert len(proposals) == 2
+        workunit = system.imports.apply_assignments(scientist, workunit.id)
+        assert workunit.status == "available"
+        for resource in system.workunits.resources_of(scientist, workunit.id):
+            assert resource.extract_id is not None
+
+    def test_apply_rejects_foreign_extract(self, system, scientist, project):
+        self.setup_provider(system)
+        other_project = system.projects.create(scientist, "Other")
+        other_sample = system.samples.register_sample(
+            scientist, other_project.id, "os"
+        )
+        foreign = system.samples.register_extract(
+            scientist, other_sample.id, "foreign extract"
+        )
+        workunit, resources, _ = system.imports.import_files(
+            scientist, project.id, "GeneChip", ["scan01_a.cel"],
+            workunit_name="import",
+        )
+        with pytest.raises(ValidationError):
+            system.imports.apply_assignments(
+                scientist, workunit.id, {resources[0].id: foreign.id}
+            )
+
+    def test_import_completes_workflow(self, system, scientist, project):
+        self.setup_provider(system)
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        system.samples.batch_register_extracts(scientist, sample.id, ["scan01 a"])
+        workunit, _, instance = system.imports.import_files(
+            scientist, project.id, "GeneChip", ["scan01_a.cel"],
+            workunit_name="import",
+        )
+        system.imports.apply_assignments(scientist, workunit.id)
+        finished = system.workflow.get(instance.id)
+        assert finished.status == "completed"
+
+    def test_provider_config_persisted(self, system, scientist):
+        self.setup_provider(system)
+        rows = list(system.db.rows("data_provider"))
+        assert [r["name"] for r in rows] == ["GeneChip"]
+        assert rows[0]["kind"] == "genechip"
+
+
+class TestImportFailureInjection:
+    """A provider failing mid-fetch must leave no partial workunit."""
+
+    class FlakyProvider(AffymetrixGeneChipProvider):
+        kind = "genechip"
+
+        def __init__(self, *args, fail_on: str, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.fail_on = fail_on
+
+        def fetch(self, file, destination):
+            if file.name == self.fail_on:
+                raise ProviderError(f"instrument unreachable for {file.name}")
+            return super().fetch(file, destination)
+
+    def test_copy_failure_leaves_no_state(self, system, scientist, project):
+        provider = self.FlakyProvider("Flaky", runs=1, fail_on="scan01_b.cel")
+        system.imports.register_provider(provider)
+        before_workunits = system.db.count("workunit")
+        before_resources = system.db.count("data_resource")
+        with pytest.raises(ProviderError):
+            system.imports.import_files(
+                scientist, project.id, "Flaky",
+                ["scan01_a.cel", "scan01_b.cel"],
+                workunit_name="doomed", mode="copy",
+            )
+        assert system.db.count("workunit") == before_workunits
+        assert system.db.count("data_resource") == before_resources
+        # No orphaned workflow instances or tasks either.
+        assert system.workflow.active_instances() == []
+        assert system.tasks.inbox(scientist) == []
+
+    def test_failure_does_not_poison_later_imports(
+        self, system, scientist, project
+    ):
+        provider = self.FlakyProvider("Flaky", runs=1, fail_on="scan01_b.cel")
+        system.imports.register_provider(provider)
+        with pytest.raises(ProviderError):
+            system.imports.import_files(
+                scientist, project.id, "Flaky", ["scan01_b.cel"],
+                workunit_name="doomed",
+            )
+        workunit, resources, _ = system.imports.import_files(
+            scientist, project.id, "Flaky", ["scan01_a.cel"],
+            workunit_name="fine",
+        )
+        assert len(resources) == 1
+        assert system.store.verify(resources[0].uri, resources[0].checksum)

@@ -1,0 +1,174 @@
+"""Extension features: content search, workflow retry, portal batch form."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dataimport import AffymetrixGeneChipProvider
+from repro.errors import StateError, WorkflowDefinitionError
+from repro.facade import BFabric
+from repro.portal import PortalApplication
+from repro.portal.testing import PortalClient
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def system(tmp_path):
+    return BFabric(tmp_path, clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+
+
+@pytest.fixture
+def actors(system):
+    admin = system.bootstrap()
+    scientist = system.add_user(admin, login="sci", full_name="Sci")
+    return admin, scientist
+
+
+class TestResourceContentSearch:
+    """Paper: search covers 'the content of readable ... data resources'."""
+
+    def run_experiment(self, system, scientist):
+        project = system.projects.create(scientist, "P")
+        system.imports.register_provider(
+            AffymetrixGeneChipProvider("gc", runs=1)
+        )
+        workunit, resources, _ = system.imports.import_files(
+            scientist, project.id, "gc", ["scan01_a.cel"],
+            workunit_name="chips",
+        )
+        app = system.applications.register_application(
+            scientist, name="two group analysis", connector="rserve",
+            executable="two_group_analysis",
+            interface={"inputs": ["resource"], "parameters": [
+                {"name": "reference_group", "type": "text", "required": True},
+            ]},
+        )
+        # Need two groups: import the b file too.
+        workunit2, resources2, _ = system.imports.import_files(
+            scientist, project.id, "gc", ["scan01_b.cel"],
+            workunit_name="chips b",
+        )
+        experiment = system.experiments.define(
+            scientist, project.id, "e", application_id=app.id,
+            resource_ids=[resources[0].id, resources2[0].id],
+        )
+        return system.experiments.run(
+            scientist, experiment.id, workunit_name="results",
+            parameters={"reference_group": "_a"},
+        )
+
+    def test_report_content_is_searchable(self, system, actors):
+        admin, scientist = actors
+        self.run_experiment(system, scientist)
+        # "report.txt" contains the phrase "genes tested"; a content
+        # search must find the resource even though neither word is in
+        # its name or uri.
+        results = system.search.search(
+            scientist, "type:data_resource genes tested"
+        )
+        assert any(r.label == "report.txt" for r in results)
+
+    def test_binary_resources_not_content_indexed(self, system, actors):
+        admin, scientist = actors
+        self.run_experiment(system, scientist)
+        document = system.search.index.document("data_resource", 1)
+        assert document is not None
+        assert "content" not in document.fields  # .cel is binary
+
+    def test_reindex_preserves_content_field(self, system, actors):
+        admin, scientist = actors
+        self.run_experiment(system, scientist)
+        system.reindex_all()
+        results = system.search.search(
+            scientist, "type:data_resource genes tested"
+        )
+        assert any(r.label == "report.txt" for r in results)
+
+    def test_content_field_scoping_in_queries(self, system, actors):
+        admin, scientist = actors
+        self.run_experiment(system, scientist)
+        scoped = system.search.search(scientist, "content:significant")
+        assert scoped
+        assert all(r.entity_type == "data_resource" for r in scoped)
+
+
+class TestWorkflowRetry:
+    def fail_one(self, system, admin):
+        instance = system.workflow.start(admin, "run_experiment")
+        return system.workflow.fail(admin, instance.id, "connector down")
+
+    def test_retry_reactivates(self, system, actors):
+        admin, _ = actors
+        failed = self.fail_one(system, admin)
+        retried = system.workflow.retry(admin, failed.id)
+        assert retried.status == "active"
+        assert retried.current_step == "pending"
+        assert "failure_reason" not in retried.context
+
+    def test_retry_records_history(self, system, actors):
+        admin, _ = actors
+        failed = self.fail_one(system, admin)
+        system.workflow.retry(admin, failed.id)
+        actions = [e.action for e in system.workflow.history(failed.id)]
+        assert "__retry__" in actions
+
+    def test_retry_from_specific_step(self, system, actors):
+        admin, _ = actors
+        failed = self.fail_one(system, admin)
+        retried = system.workflow.retry(admin, failed.id, from_step="pending")
+        assert retried.current_step == "pending"
+
+    def test_retry_unknown_step_rejected(self, system, actors):
+        admin, _ = actors
+        failed = self.fail_one(system, admin)
+        with pytest.raises(WorkflowDefinitionError):
+            system.workflow.retry(admin, failed.id, from_step="nowhere")
+
+    def test_only_failed_instances_retry(self, system, actors):
+        admin, _ = actors
+        active = system.workflow.start(admin, "run_experiment")
+        with pytest.raises(StateError):
+            system.workflow.retry(admin, active.id)
+        cancelled = system.workflow.cancel(admin, active.id)
+        with pytest.raises(StateError):
+            system.workflow.retry(admin, cancelled.id)
+
+    def test_retried_instance_completes_normally(self, system, actors):
+        admin, _ = actors
+        failed = self.fail_one(system, admin)
+        retried = system.workflow.retry(admin, failed.id)
+        done = system.workflow.fire(admin, retried.id, "execute")
+        assert done.status == "completed"
+
+
+class TestPortalBatchRegistration:
+    @pytest.fixture
+    def client(self, system):
+        admin = system.bootstrap(password="adminpw")
+        system.directory.set_password(admin, admin.user_id, "adminpw")
+        system.add_user(admin, login="sci", full_name="Sci", password="sci123")
+        client = PortalClient(PortalApplication(system))
+        client.login("sci", "sci123")
+        return client
+
+    def test_batch_form_renders(self, client):
+        client.post("/projects", {"name": "P", "description": ""})
+        response = client.get("/projects/1/samples/batch")
+        assert "one per line" in response.text
+
+    def test_batch_registration_via_portal(self, system, client):
+        client.post("/projects", {"name": "P", "description": ""})
+        response = client.post(
+            "/projects/1/samples/batch",
+            {"names": "alpha\nbeta\n\n gamma ", "species": "E. coli"},
+        )
+        assert response.status == 200
+        names = sorted(system.db.query("sample").values("name"))
+        assert names == ["alpha", "beta", "gamma"]
+
+    def test_batch_duplicate_rejected_with_400(self, client):
+        client.post("/projects", {"name": "P", "description": ""})
+        response = client.post(
+            "/projects/1/samples/batch", {"names": "x\nx", "species": ""}
+        )
+        assert response.status == 400

@@ -1,0 +1,174 @@
+"""The facade wiring and the synthetic deployment generator."""
+
+import datetime as dt
+
+import pytest
+
+from repro import BFabric
+from repro.util.clock import ManualClock
+from repro.workload import (
+    DeploymentGenerator,
+    DeploymentSpec,
+    FGCZ_JANUARY_2010,
+)
+
+
+@pytest.fixture
+def system():
+    return BFabric(clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+
+
+class TestFacade:
+    def test_bootstrap_idempotent(self, system):
+        first = system.bootstrap()
+        second = system.bootstrap()
+        assert first.user_id == second.user_id
+        assert system.db.count("user") == 1
+
+    def test_bootstrap_login_works(self, system):
+        system.bootstrap(password="s3cret")
+        session = system.auth.login("admin", "s3cret")
+        assert session.principal.is_admin
+
+    def test_default_connectors_installed(self, system):
+        assert set(system.applications.connector_kinds()) == {"rserve", "python"}
+
+    def test_workflow_definitions_registered(self, system):
+        assert set(system.workflow.definition_names()) == {
+            "data_import", "run_experiment",
+        }
+
+    def test_deployment_statistics_keys_match_paper(self, system):
+        stats = system.deployment_statistics()
+        assert list(stats) == [
+            "Users", "Projects", "Institutes", "Organizations",
+            "Samples", "Extracts", "Data Resources", "Workunits",
+        ]
+
+    def test_statistics_shape(self, system):
+        system.bootstrap()
+        stats = system.statistics()
+        assert {"deployment", "storage", "search", "audit_entries"} <= set(stats)
+
+    def test_context_manager_closes(self, tmp_path):
+        with BFabric(tmp_path) as system:
+            system.bootstrap()
+        # WAL file handle is closed; reopening works.
+        revived = BFabric(tmp_path)
+        assert revived.recover()["wal_txns"] >= 1
+
+    def test_durable_round_trip_through_facade(self, tmp_path):
+        clock = ManualClock(dt.datetime(2010, 1, 15, 9, 0))
+        system = BFabric(tmp_path, clock=clock)
+        admin = system.bootstrap()
+        scientist = system.add_user(admin, login="sci", full_name="Sci")
+        project = system.projects.create(scientist, "Durable")
+        system.samples.register_sample(scientist, project.id, "s1")
+        system.close()
+
+        revived = BFabric(tmp_path, clock=clock)
+        revived.recover()
+        assert revived.db.count("sample") == 1
+        revived.reindex_all()
+        principal = revived.directory.principal_for(
+            revived.directory.user_by_login("sci")
+        )
+        assert revived.search.quick_search(principal, "s1")
+
+
+class TestDeploymentSpec:
+    def test_paper_numbers(self):
+        table = FGCZ_JANUARY_2010.as_paper_table()
+        assert table == {
+            "Users": 1555,
+            "Projects": 750,
+            "Institutes": 224,
+            "Organizations": 59,
+            "Samples": 3151,
+            "Extracts": 3642,
+            "Data Resources": 40005,
+            "Workunits": 23979,
+        }
+
+    def test_scaled_proportions(self):
+        small = FGCZ_JANUARY_2010.scaled(0.01)
+        assert small.users == round(1555 * 0.01)
+        assert small.organizations >= 1
+
+    def test_scaled_bounds(self):
+        with pytest.raises(ValueError):
+            FGCZ_JANUARY_2010.scaled(0.0)
+        with pytest.raises(ValueError):
+            FGCZ_JANUARY_2010.scaled(1.5)
+
+
+class TestDeploymentGenerator:
+    SCALE = 0.02  # ~1430 rows total: fast but structurally interesting
+
+    @pytest.fixture
+    def populated(self, system):
+        spec = FGCZ_JANUARY_2010.scaled(self.SCALE)
+        counts = DeploymentGenerator(system, seed=7).generate(spec)
+        return system, spec, counts
+
+    def test_exact_counts(self, populated):
+        system, spec, counts = populated
+        assert counts == spec.as_paper_table()
+
+    def test_referential_integrity(self, populated):
+        system, _, _ = populated
+        assert system.db.verify_integrity() == []
+
+    def test_deterministic(self):
+        spec = FGCZ_JANUARY_2010.scaled(self.SCALE)
+        a = BFabric(clock=ManualClock(dt.datetime(2010, 1, 15)))
+        b = BFabric(clock=ManualClock(dt.datetime(2010, 1, 15)))
+        DeploymentGenerator(a, seed=7).generate(spec)
+        DeploymentGenerator(b, seed=7).generate(spec)
+        rows_a = sorted(map(repr, a.db.rows("sample")))
+        rows_b = sorted(map(repr, b.db.rows("sample")))
+        assert rows_a == rows_b
+
+    def test_roles_distributed(self, populated):
+        system, _, _ = populated
+        roles = set(system.db.query("user").values("role"))
+        assert "admin" in roles and "scientist" in roles
+
+    def test_resources_link_to_project_extracts(self, populated):
+        system, _, _ = populated
+        # Every resource with an extract: the extract's sample lives in
+        # the same project as the resource's workunit.
+        sample_project = {
+            row["id"]: row["project_id"] for row in system.db.rows("sample")
+        }
+        extract_project = {
+            row["id"]: sample_project[row["sample_id"]]
+            for row in system.db.rows("extract")
+        }
+        workunit_project = {
+            row["id"]: row["project_id"] for row in system.db.rows("workunit")
+        }
+        for row in system.db.rows("data_resource"):
+            if row["extract_id"] is not None:
+                assert (
+                    extract_project[row["extract_id"]]
+                    == workunit_project[row["workunit_id"]]
+                )
+
+    def test_skewed_project_sizes(self, populated):
+        system, _, _ = populated
+        from collections import Counter
+
+        by_project = Counter(
+            row["project_id"] for row in system.db.rows("workunit")
+        )
+        counts = sorted(by_project.values(), reverse=True)
+        # Zipf-ish: the largest project clearly exceeds the median.
+        assert counts[0] >= 3 * counts[len(counts) // 2]
+
+    def test_search_over_generated_corpus(self, populated):
+        system, _, _ = populated
+        system.reindex_all()
+        admin = system.bootstrap()
+        results = system.search.quick_search(admin, "arabidopsis")
+        assert results

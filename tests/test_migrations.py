@@ -1,0 +1,197 @@
+"""Schema evolution: add_column, add_index, the migration runner."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.orm.migrations import Migration, MigrationRunner
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+@pytest.fixture
+def db_with_rows() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "sample",
+            [
+                Column("id", ColumnType.INT, primary_key=True),
+                Column("name", ColumnType.TEXT, nullable=False),
+            ],
+            indexes=["name"],
+        )
+    )
+    for name in ("a", "b", "c"):
+        db.insert("sample", {"name": name})
+    return db
+
+
+class TestAddColumn:
+    def test_backfills_default(self, db_with_rows):
+        db_with_rows.add_column(
+            "sample", Column("status", ColumnType.TEXT, default="active")
+        )
+        assert all(
+            row["status"] == "active" for row in db_with_rows.rows("sample")
+        )
+        # New inserts get the column too.
+        row = db_with_rows.insert("sample", {"name": "d"})
+        assert row["status"] == "active"
+
+    def test_nullable_without_default(self, db_with_rows):
+        db_with_rows.add_column("sample", Column("notes", ColumnType.TEXT))
+        assert all(row["notes"] is None for row in db_with_rows.rows("sample"))
+
+    def test_not_null_without_default_rejected(self, db_with_rows):
+        with pytest.raises(SchemaError):
+            db_with_rows.add_column(
+                "sample", Column("required", ColumnType.TEXT, nullable=False)
+            )
+
+    def test_not_null_with_default_ok(self, db_with_rows):
+        db_with_rows.add_column(
+            "sample",
+            Column("kind", ColumnType.TEXT, nullable=False, default="generic"),
+        )
+        db_with_rows.insert("sample", {"name": "d"})
+        assert db_with_rows.verify_integrity() == []
+
+    def test_duplicate_column_rejected(self, db_with_rows):
+        with pytest.raises(SchemaError):
+            db_with_rows.add_column("sample", Column("name", ColumnType.TEXT))
+
+    def test_primary_key_rejected(self, db_with_rows):
+        with pytest.raises(SchemaError):
+            db_with_rows.add_column(
+                "sample", Column("id2", ColumnType.INT, primary_key=True)
+            )
+
+    def test_unique_column_with_colliding_default_rejected(self, db_with_rows):
+        with pytest.raises(SchemaError):
+            db_with_rows.add_column(
+                "sample",
+                Column("code", ColumnType.TEXT, unique=True, default="same"),
+            )
+
+    def test_unique_column_on_empty_table(self):
+        db = Database()
+        db.create_table(
+            TableSchema("t", [Column("id", ColumnType.INT, primary_key=True)])
+        )
+        db.add_column("t", Column("code", ColumnType.TEXT, unique=True))
+        db.insert("t", {"code": "x"})
+        from repro.errors import UniqueViolation
+
+        with pytest.raises(UniqueViolation):
+            db.insert("t", {"code": "x"})
+
+    def test_added_fk_column_enforced(self, db_with_rows):
+        db_with_rows.create_table(
+            TableSchema("lab", [Column("id", ColumnType.INT, primary_key=True)])
+        )
+        db_with_rows.add_column(
+            "sample", Column("lab_id", ColumnType.INT, foreign_key="lab.id")
+        )
+        from repro.errors import ForeignKeyViolation
+
+        with pytest.raises(ForeignKeyViolation):
+            db_with_rows.insert("sample", {"name": "z", "lab_id": 99})
+        lab = db_with_rows.insert("lab", {})
+        db_with_rows.insert("sample", {"name": "z", "lab_id": lab["id"]})
+        # The referential map knows about the new FK: restrict applies.
+        with pytest.raises(ForeignKeyViolation):
+            db_with_rows.delete("lab", lab["id"])
+
+
+class TestAddIndex:
+    def test_index_over_existing_data(self, db_with_rows):
+        db_with_rows.add_column(
+            "sample", Column("status", ColumnType.TEXT, default="active")
+        )
+        db_with_rows.add_index("sample", "status")
+        plan = db_with_rows.query("sample").where("status", "=", "active").explain()
+        assert plan["strategy"].startswith("index:")
+        assert (
+            db_with_rows.query("sample").where("status", "=", "active").count()
+            == 3
+        )
+
+    def test_duplicate_index_rejected(self, db_with_rows):
+        with pytest.raises(SchemaError):
+            db_with_rows.add_index("sample", "name")
+
+    def test_index_on_unknown_column(self, db_with_rows):
+        with pytest.raises(SchemaError):
+            db_with_rows.add_index("sample", "bogus")
+
+    def test_composite_index(self, db_with_rows):
+        db_with_rows.add_column("sample", Column("group_no", ColumnType.INT, default=1))
+        db_with_rows.add_index("sample", ("name", "group_no"))
+        plan = (
+            db_with_rows.query("sample")
+            .where("name", "=", "a")
+            .where("group_no", "=", 1)
+            .explain()
+        )
+        assert plan["strategy"] == "index:ix_sample_name_group_no"
+
+
+class TestMigrationRunner:
+    def test_runs_pending_once(self, db_with_rows):
+        runner = MigrationRunner(db_with_rows)
+        runner.add(
+            Migration(
+                "001_add_status",
+                "status column",
+                lambda db: db.add_column(
+                    "sample", Column("status", ColumnType.TEXT, default="ok")
+                ),
+            )
+        )
+        assert runner.run_pending() == ["001_add_status"]
+        assert runner.run_pending() == []  # bookkept
+        assert runner.applied_ids() == ["001_add_status"]
+
+    def test_order_preserved(self, db_with_rows):
+        calls = []
+        runner = MigrationRunner(db_with_rows)
+        runner.add(Migration("001", "", lambda db: calls.append(1)))
+        runner.add(Migration("002", "", lambda db: calls.append(2)))
+        runner.run_pending()
+        assert calls == [1, 2]
+
+    def test_duplicate_registration_rejected(self, db_with_rows):
+        runner = MigrationRunner(db_with_rows)
+        runner.add(Migration("001", "", lambda db: None))
+        with pytest.raises(SchemaError):
+            runner.add(Migration("001", "", lambda db: None))
+
+    def test_failed_migration_not_recorded(self, db_with_rows):
+        runner = MigrationRunner(db_with_rows)
+
+        def explode(db):
+            raise RuntimeError("bad DDL")
+
+        runner.add(Migration("001", "", explode))
+        with pytest.raises(RuntimeError):
+            runner.run_pending()
+        assert runner.applied_ids() == []
+        assert runner.pending()  # still pending after the failure
+
+    def test_runner_survives_restart(self, tmp_path):
+        db = Database(tmp_path)
+        db.create_table(
+            TableSchema("t", [Column("id", ColumnType.INT, primary_key=True)])
+        )
+        runner = MigrationRunner(db)
+        runner.add(Migration("001", "", lambda d: None))
+        runner.run_pending()
+        db.close()
+
+        db2 = Database(tmp_path)
+        db2.create_table(
+            TableSchema("t", [Column("id", ColumnType.INT, primary_key=True)])
+        )
+        runner2 = MigrationRunner(db2)
+        db2.recover()
+        runner2.add(Migration("001", "", lambda d: None))
+        assert runner2.run_pending() == []

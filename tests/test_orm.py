@@ -1,0 +1,272 @@
+"""ORM: declarative models, registry, repositories, sessions."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import EntityNotFound, SchemaError, TransactionError, UniqueViolation
+from repro.orm import (
+    BoolField,
+    DateTimeField,
+    IntField,
+    JsonField,
+    Model,
+    Registry,
+    Session,
+    TextField,
+)
+from repro.storage import Database
+
+
+class Org(Model):
+    __table__ = "org"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, unique=True)
+
+
+class Person(Model):
+    __table__ = "person"
+    id = IntField(primary_key=True)
+    name = TextField(nullable=False, index=True)
+    org_id = IntField(foreign_key="org.id")
+    active = BoolField(default=True)
+    joined = DateTimeField()
+    tags = JsonField(default=list)
+
+
+@pytest.fixture
+def registry(db: Database) -> Registry:
+    reg = Registry(db)
+    reg.register_all([Person, Org])  # wrong order on purpose: FK sorting
+    return reg
+
+
+class TestModelDeclaration:
+    def test_fields_collected(self):
+        assert set(Person.field_names()) == {
+            "id",
+            "name",
+            "org_id",
+            "active",
+            "joined",
+            "tags",
+        }
+
+    def test_default_table_name_snake_cases(self):
+        class SampleExtract(Model):
+            id = IntField(primary_key=True)
+
+        assert SampleExtract.__table__ == "sample_extract"
+
+    def test_schema_includes_fk_index(self):
+        schema = Person.schema()
+        assert ("org_id",) in schema.index_specs()
+
+    def test_schema_includes_declared_index(self):
+        schema = Person.schema()
+        assert ("name",) in schema.index_specs()
+
+    def test_primary_key_name(self):
+        assert Person.primary_key_name() == "id"
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(SchemaError):
+            Person(bogus=1)
+
+    def test_defaults_applied_on_construction(self):
+        person = Person(name="ada")
+        assert person.active is True
+        assert person.tags == []
+
+    def test_repr_mentions_fields(self):
+        person = Person(name="ada")
+        assert "name='ada'" in repr(person)
+
+    def test_equality_by_value(self):
+        assert Person(name="a") == Person(name="a")
+        assert Person(name="a") != Person(name="b")
+
+    def test_fields_inherited(self):
+        class Base(Model):
+            id = IntField(primary_key=True)
+            created = DateTimeField()
+
+        class Child(Base):
+            __table__ = "child_thing"
+            name = TextField()
+
+        assert set(Child.field_names()) == {"id", "created", "name"}
+
+
+class TestRegistry:
+    def test_register_all_orders_by_fk(self, registry):
+        # Person references Org; registration must not have raised.
+        assert registry.database.has_table("org")
+        assert registry.database.has_table("person")
+
+    def test_double_register_is_idempotent(self, registry):
+        repo1 = registry.register(Org)
+        repo2 = registry.register(Org)
+        assert repo1 is repo2
+
+    def test_conflicting_binding_rejected(self, registry):
+        class Impostor(Model):
+            __table__ = "org"
+            id = IntField(primary_key=True)
+
+        with pytest.raises(SchemaError):
+            registry.register(Impostor)
+
+    def test_unregistered_model_rejected(self, db):
+        reg = Registry(db)
+        with pytest.raises(SchemaError):
+            reg.repository(Org)
+
+    def test_model_for_table(self, registry):
+        assert registry.model_for_table("person") is Person
+
+
+class TestRepository:
+    def test_create_returns_instance_with_pk(self, registry):
+        orgs = registry.repository(Org)
+        org = orgs.create(name="FGCZ")
+        assert org.id == 1
+        assert org.name == "FGCZ"
+
+    def test_get(self, registry):
+        orgs = registry.repository(Org)
+        created = orgs.create(name="FGCZ")
+        fetched = orgs.get(created.id)
+        assert fetched.name == "FGCZ"
+
+    def test_get_missing_raises_entity_not_found(self, registry):
+        with pytest.raises(EntityNotFound):
+            registry.repository(Org).get(404)
+
+    def test_get_or_none(self, registry):
+        assert registry.repository(Org).get_or_none(404) is None
+
+    def test_find_by_equality(self, registry):
+        orgs = registry.repository(Org)
+        people = registry.repository(Person)
+        org = orgs.create(name="FGCZ")
+        people.create(name="ada", org_id=org.id)
+        people.create(name="grace", org_id=org.id)
+        assert len(people.find(org_id=org.id)) == 2
+
+    def test_find_one(self, registry):
+        people = registry.repository(Person)
+        people.create(name="ada")
+        assert people.find_one(name="ada").name == "ada"
+        assert people.find_one(name="x") is None
+
+    def test_typed_query(self, registry):
+        people = registry.repository(Person)
+        for name in ("c", "a", "b"):
+            people.create(name=name)
+        result = people.query().order_by("name").limit(2).all()
+        assert [p.name for p in result] == ["a", "b"]
+        assert all(isinstance(p, Person) for p in result)
+
+    def test_update(self, registry):
+        people = registry.repository(Person)
+        person = people.create(name="ada")
+        updated = people.update(person.id, name="ada lovelace")
+        assert updated.name == "ada lovelace"
+
+    def test_save_inserts_then_updates(self, registry):
+        people = registry.repository(Person)
+        person = Person(name="ada", joined=dt.datetime(2010, 1, 1))
+        people.save(person)
+        assert person.id is not None
+        person.name = "ada l."
+        people.save(person)
+        assert people.get(person.id).name == "ada l."
+        assert people.count() == 1
+
+    def test_delete(self, registry):
+        people = registry.repository(Person)
+        person = people.create(name="ada")
+        people.delete(person.id)
+        assert people.count() == 0
+
+    def test_delete_missing(self, registry):
+        with pytest.raises(EntityNotFound):
+            registry.repository(Person).delete(404)
+
+    def test_iter(self, registry):
+        people = registry.repository(Person)
+        people.create(name="a")
+        people.create(name="b")
+        assert sorted(p.name for p in people.iter()) == ["a", "b"]
+
+    def test_datetime_field_round_trips(self, registry):
+        people = registry.repository(Person)
+        moment = dt.datetime(2010, 1, 15, 9, 0)
+        person = people.create(name="ada", joined=moment)
+        assert people.get(person.id).joined == moment
+
+
+class TestSession:
+    def test_commit_persists_all(self, registry):
+        with Session(registry) as session:
+            org = session.add(Org(name="FGCZ"))
+            session.add(Person(name="ada", org_id=org.id))
+        assert registry.repository(Person).count() == 1
+
+    def test_exception_rolls_back_all(self, registry):
+        with pytest.raises(UniqueViolation):
+            with Session(registry) as session:
+                session.add(Org(name="FGCZ"))
+                session.add(Person(name="ada"))
+                session.add(Org(name="FGCZ"))  # duplicate -> rollback
+        assert registry.repository(Org).count() == 0
+        assert registry.repository(Person).count() == 0
+
+    def test_identity_map(self, registry):
+        org = registry.repository(Org).create(name="FGCZ")
+        with Session(registry) as session:
+            first = session.get(Org, org.id)
+            second = session.get(Org, org.id)
+            assert first is second
+
+    def test_update_through_session(self, registry):
+        org = registry.repository(Org).create(name="old")
+        with Session(registry) as session:
+            loaded = session.get(Org, org.id)
+            session.update(loaded, name="new")
+            assert loaded.name == "new"
+        assert registry.repository(Org).get(org.id).name == "new"
+
+    def test_flush_update_persists_dirty_fields(self, registry):
+        org = registry.repository(Org).create(name="old")
+        with Session(registry) as session:
+            loaded = session.get(Org, org.id)
+            loaded.name = "new"
+            session.flush_update(loaded)
+        assert registry.repository(Org).get(org.id).name == "new"
+
+    def test_delete_through_session(self, registry):
+        org = registry.repository(Org).create(name="FGCZ")
+        with Session(registry) as session:
+            session.delete(session.get(Org, org.id))
+        assert registry.repository(Org).count() == 0
+
+    def test_savepoint_in_session(self, registry):
+        with Session(registry) as session:
+            session.add(Org(name="keep"))
+            session.savepoint("sp")
+            session.add(Org(name="drop"))
+            session.rollback_to("sp")
+        assert registry.repository(Org).query().values("name") == ["keep"]
+
+    def test_operations_outside_transaction_fail(self, registry):
+        session = Session(registry)
+        with pytest.raises(TransactionError):
+            session.add(Org(name="x"))
+
+    def test_double_begin_fails(self, registry):
+        session = Session(registry).begin()
+        with pytest.raises(TransactionError):
+            session.begin()
+        session.rollback()

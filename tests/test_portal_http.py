@@ -1,0 +1,161 @@
+"""HTTP plumbing: environ parsing, responses, cookies, render helpers."""
+
+import io
+
+from repro.portal.http import Request, Response
+from repro.portal.render import (
+    definition_list,
+    dropdown,
+    esc,
+    form,
+    link,
+    page,
+    table,
+    text_input,
+)
+
+
+def environ(method="GET", path="/", query="", body=b"", cookie=""):
+    return {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(body)),
+        "wsgi.input": io.BytesIO(body),
+        "HTTP_COOKIE": cookie,
+    }
+
+
+class TestRequestParsing:
+    def test_query_string(self):
+        request = Request.from_environ(environ(query="a=1&b=two%20words"))
+        assert request.query == {"a": "1", "b": "two words"}
+
+    def test_post_form(self):
+        request = Request.from_environ(
+            environ(method="POST", body=b"name=ada&age=36")
+        )
+        assert request.form == {"name": "ada", "age": "36"}
+
+    def test_multi_valued_form_fields(self):
+        request = Request.from_environ(
+            environ(method="POST", body=b"file=a.cel&file=b.cel")
+        )
+        assert request.get_list("file") == ["a.cel", "b.cel"]
+        assert request.get_list("missing") == []
+
+    def test_cookies(self):
+        request = Request.from_environ(environ(cookie="session=abc; theme=dark"))
+        assert request.cookies == {"session": "abc", "theme": "dark"}
+
+    def test_get_prefers_form_over_query(self):
+        request = Request.from_environ(
+            environ(method="POST", query="x=query", body=b"x=form")
+        )
+        assert request.get("x") == "form"
+
+    def test_get_int(self):
+        request = Request.from_environ(environ(query="n=42&bad=xyz&empty="))
+        assert request.get_int("n") == 42
+        assert request.get_int("bad") is None
+        assert request.get_int("bad", 7) == 7
+        assert request.get_int("empty", 3) == 3
+        assert request.get_int("missing") is None
+
+    def test_blank_keeps_blank_values(self):
+        request = Request.from_environ(environ(method="POST", body=b"a=&b=1"))
+        assert request.form["a"] == ""
+
+    def test_malformed_content_length(self):
+        env = environ(method="POST", body=b"a=1")
+        env["CONTENT_LENGTH"] = "garbage"
+        request = Request.from_environ(env)
+        assert request.form == {}
+
+
+class TestResponse:
+    def test_status_lines(self):
+        assert Response("ok").status_line == "200 OK"
+        assert Response.redirect("/x").status_line == "303 See Other"
+        assert Response.not_found().status == 404
+        assert Response.forbidden().status == 403
+
+    def test_redirect_location(self):
+        response = Response.redirect("/target")
+        assert dict(response.headers)["Location"] == "/target"
+
+    def test_set_cookie(self):
+        response = Response("ok")
+        response.set_cookie("session", "abc")
+        cookies = [v for k, v in response.headers if k == "Set-Cookie"]
+        assert cookies == ["session=abc; Path=/; HttpOnly"]
+
+    def test_cookie_with_max_age(self):
+        response = Response("ok")
+        response.set_cookie("session", "", max_age=0)
+        assert "Max-Age=0" in response.headers[-1][1]
+
+    def test_download_headers(self):
+        response = Response.download(b"PK", "results.zip", "application/zip")
+        headers = dict(response.headers)
+        assert headers["Content-Type"] == "application/zip"
+        assert 'filename="results.zip"' in headers["Content-Disposition"]
+
+    def test_wsgi_protocol(self):
+        response = Response("body")
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+
+        chunks = list(response.wsgi(start_response))
+        assert captured["status"] == "200 OK"
+        assert b"".join(chunks) == b"body"
+
+
+class TestRenderHelpers:
+    def test_esc(self):
+        assert esc('<b a="1">') == "&lt;b a=&quot;1&quot;&gt;"
+
+    def test_page_includes_nav_when_logged_in(self):
+        html = page("Title", "<p>body</p>", user="sci")
+        assert "logged in as <b>sci</b>" in html
+        assert "<h1>Title</h1>" in html
+
+    def test_page_without_user_has_no_nav(self):
+        html = page("Login", "x")
+        assert "logged in" not in html
+
+    def test_table(self):
+        html = table(["a", "b"], [[1, 2], [3, 4]])
+        assert html.count("<tr>") == 3
+        assert "<th>a</th>" in html
+
+    def test_link_escapes(self):
+        assert link("/x?a=1&b=2", "<label>") == (
+            '<a href="/x?a=1&amp;b=2">&lt;label&gt;</a>'
+        )
+
+    def test_text_input_value_escaped(self):
+        assert 'value="&quot;quoted&quot;"' in text_input("f", value='"quoted"')
+
+    def test_dropdown_selected_and_new(self):
+        html = dropdown(
+            "attr_1", [(1, "Healthy"), (2, "Hopeless")],
+            selected=2, allow_new=True,
+        )
+        assert '<option value="2" selected>Hopeless</option>' in html
+        assert 'name="new_attr_1"' in html
+
+    def test_dropdown_includes_empty_choice(self):
+        html = dropdown("x", [(1, "a")])
+        assert '<option value="">—</option>' in html
+
+    def test_form_wraps_and_submits(self):
+        html = form("/save", "inner", submit="Go")
+        assert 'action="/save"' in html
+        assert ">Go</button>" in html
+
+    def test_definition_list(self):
+        html = definition_list([("key", "value")])
+        assert "<dt><b>key</b></dt><dd>value</dd>" in html

@@ -1,0 +1,174 @@
+"""Provenance tracing and facility usage reports."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dataimport import AffymetrixGeneChipProvider
+from repro.errors import AccessDenied, EntityNotFound
+from repro.facade import BFabric
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def world(tmp_path):
+    system = BFabric(tmp_path, clock=ManualClock(dt.datetime(2010, 1, 15)))
+    admin = system.bootstrap()
+    scientist = system.add_user(admin, login="sci", full_name="Sci")
+    expert = system.add_user(admin, login="exp", full_name="Exp", role="employee")
+    project = system.projects.create(scientist, "Arabidopsis light response")
+    sample = system.samples.register_sample(
+        scientist, project.id, "col0", species="Arabidopsis Thaliana"
+    )
+    system.samples.batch_register_extracts(
+        scientist, sample.id, ["scan01 a", "scan01 b"]
+    )
+    attribute = system.annotations.define_attribute(expert, "Disease State")
+    annotation, _ = system.annotations.create_annotation(
+        scientist, attribute.id, "Hopeless"
+    )
+    system.annotations.annotate(scientist, annotation.id, "sample", sample.id)
+    system.imports.register_provider(AffymetrixGeneChipProvider("gc", runs=1))
+    workunit, resources, _ = system.imports.import_files(
+        scientist, project.id, "gc", ["scan01_a.cel", "scan01_b.cel"],
+        workunit_name="chips",
+    )
+    system.imports.apply_assignments(scientist, workunit.id)
+    app = system.applications.register_application(
+        scientist, name="two group analysis", connector="rserve",
+        executable="two_group_analysis",
+        interface={"inputs": ["resource"], "parameters": [
+            {"name": "reference_group", "type": "text", "required": True},
+        ]},
+    )
+    experiment = system.experiments.define(
+        scientist, project.id, "light effect", application_id=app.id,
+        resource_ids=[r.id for r in resources],
+    )
+    result = system.experiments.run(
+        scientist, experiment.id, workunit_name="results",
+        parameters={"reference_group": "_a"},
+    )
+    return system, admin, scientist, project, sample, result
+
+
+class TestProvenance:
+    def test_full_record(self, world):
+        system, admin, scientist, project, sample, result = world
+        record = system.provenance.trace(result.id)
+        assert record.workunit["id"] == result.id
+        assert record.project["name"] == "Arabidopsis light response"
+        assert record.application["name"] == "two group analysis"
+        assert record.parameters == {"reference_group": "_a"}
+        assert len(record.inputs) == 2
+        assert {r["name"] for r in record.outputs} == {
+            "two_group_result.csv", "report.txt",
+        }
+        assert [s["name"] for s in record.samples] == ["col0"]
+        assert [e["name"] for e in record.extracts] == ["scan01 a", "scan01 b"]
+        assert [a["value"] for a in record.annotations] == ["Hopeless"]
+
+    def test_render_text(self, world):
+        system, *_, result = world
+        text = system.provenance.trace(result.id).render_text()
+        assert "two group analysis" in text
+        assert "reference_group" in text
+        assert "col0" in text
+        assert "Hopeless" in text
+
+    def test_upstream_chain(self, world):
+        """A re-analysis over a previous result's outputs links upstream."""
+        system, admin, scientist, project, sample, result = world
+        outputs = system.workunits.resources_of(scientist, result.id, inputs=False)
+        experiment = system.experiments.define(
+            scientist, project.id, "re-analysis",
+            application_id=system.applications.by_name("two group analysis").id,
+            resource_ids=[r.id for r in outputs],
+        )
+        second = system.experiments.run(
+            scientist, experiment.id, workunit_name="round two",
+            parameters={"reference_group": "report"},
+        )
+        record = system.provenance.trace(second.id)
+        assert record.upstream_workunits == [result.id]
+        chain = system.provenance.trace_chain(second.id)
+        ids = [r.workunit["id"] for r in chain]
+        # second -> first results -> (transitively) the original import
+        # workunit, whose stored files were the first experiment's inputs.
+        import_id = system.db.query("workunit").where("name", "=", "chips").one()["id"]
+        assert ids == [second.id, result.id, import_id]
+
+    def test_import_workunit_has_no_application(self, world):
+        system, admin, scientist, project, sample, result = world
+        import_workunit = system.db.query("workunit").where(
+            "name", "=", "chips"
+        ).one()
+        record = system.provenance.trace(import_workunit["id"])
+        assert record.application is None
+        # Import resources are outputs (nothing was marked input).
+        assert len(record.outputs) == 2
+
+    def test_unknown_workunit(self, world):
+        system, *_ = world
+        with pytest.raises(EntityNotFound):
+            system.provenance.trace(9999)
+
+    def test_as_dict_round_trip(self, world):
+        system, *_, result = world
+        record = system.provenance.trace(result.id).as_dict()
+        assert set(record) >= {
+            "workunit", "application", "inputs", "outputs", "samples",
+        }
+
+
+class TestUsageReports:
+    def test_objects_per_project(self, world):
+        system, admin, *_ = world
+        rows = system.reports.objects_per_project(admin)
+        assert rows[0]["project"] == "Arabidopsis light response"
+        assert rows[0]["workunits"] == 2
+        assert rows[0]["samples"] == 1
+
+    def test_storage_by_mode(self, world):
+        system, admin, *_ = world
+        report = system.reports.storage_by_mode(admin)
+        assert "internal" in report
+        assert report["internal"]["resources"] > 0
+        assert report["internal"]["bytes"] > 0
+        assert "linked" in report  # re-linked experiment inputs
+
+    def test_activity_by_user(self, world):
+        system, admin, *_ = world
+        rows = system.reports.activity_by_user(admin)
+        users = {row["user"] for row in rows}
+        assert "sci" in users
+
+    def test_application_popularity(self, world):
+        system, admin, *_ = world
+        rows = system.reports.application_popularity(admin)
+        assert rows[0]["application"] == "two group analysis"
+        assert rows[0]["runs"] == 1
+
+    def test_vocabulary_health(self, world):
+        system, admin, *_ = world
+        health = system.reports.vocabulary_health(admin)
+        assert health.get("pending") == 1
+
+    def test_full_report_shape(self, world):
+        system, admin, *_ = world
+        report = system.reports.full_report(admin)
+        assert set(report) == {
+            "projects", "storage", "users", "applications", "vocabulary",
+        }
+
+    def test_csv_export(self, world):
+        system, admin, *_ = world
+        text = system.reports.export_csv(admin)
+        lines = text.strip().splitlines()
+        assert lines[0] == "project_id,project,workunits,samples"
+        assert len(lines) == 2
+
+    def test_scientists_denied(self, world):
+        system, admin, scientist, *_ = world
+        with pytest.raises(AccessDenied):
+            system.reports.full_report(scientist)

@@ -1,0 +1,123 @@
+"""Repair paths and remaining small behaviours."""
+
+import datetime as dt
+
+import pytest
+
+from repro.facade import BFabric
+from repro.search.engine import SearchEngine
+from repro.security.principals import SYSTEM
+from repro.storage import Database
+from repro.util.clock import ManualClock
+from repro.workflow import Action, Step, WorkflowDefinition
+from repro.workflow.render import render_ascii
+
+
+class TestIntegrityRepair:
+    def test_verify_detects_index_corruption_and_rebuild_fixes(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        people_db.insert("person", {"name": "ada", "org_id": org["id"]})
+        table = people_db.table("person")
+        # Sabotage: drop the row from its name index behind the engine's back.
+        index = table.hash_index_for(("name",))
+        index.remove({"name": "ada"}, 1)
+        problems = people_db.verify_integrity()
+        assert any("missing from index" in p for p in problems)
+        people_db.rebuild_indexes()
+        assert people_db.verify_integrity() == []
+        assert people_db.query("person").where("name", "=", "ada").count() == 1
+
+    def test_verify_detects_dangling_foreign_key(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        people_db.insert("person", {"name": "ada", "org_id": org["id"]})
+        # Sabotage the raw row store directly.
+        people_db.table("org")._rows.pop(org["id"])
+        problems = people_db.verify_integrity()
+        assert any("references missing" in p for p in problems)
+
+
+class TestSnippetEdgeCases:
+    def test_snippet_without_match_takes_prefix(self):
+        engine = SearchEngine()
+        engine.index_document(
+            "sample", 1, {"name": "alpha", "description": "x" * 300}
+        )
+        results = engine.search(SYSTEM, "alpha")
+        assert len(results[0].snippet) <= 95
+
+    def test_snippet_ellipses_in_long_text(self):
+        engine = SearchEngine()
+        text = ("filler " * 40) + "needle" + (" filler" * 40)
+        engine.index_document("sample", 1, {"name": "doc", "description": text})
+        results = engine.search(SYSTEM, "needle")
+        assert "needle" in results[0].snippet
+        assert "…" in results[0].snippet
+
+
+class TestRenderBranchingWorkflow:
+    def test_breadth_first_order_and_all_steps_present(self):
+        definition = WorkflowDefinition(
+            "branchy",
+            steps=[
+                Step("start", actions=(
+                    Action("left", target="a"),
+                    Action("right", target="b"),
+                )),
+                Step("a", actions=(Action("finish", target="done"),)),
+                Step("b", actions=(Action("finish", target="done"),)),
+                Step("done", actions=()),
+            ],
+        )
+        drawing = render_ascii(definition, "b")
+        for name in ("start", "a", "b", "done"):
+            assert f"[{name}]" in drawing
+        assert "▶[b]" in drawing
+        # start appears before its successors.
+        assert drawing.index("[start]") < drawing.index("[a]")
+
+
+class TestAuditCounts:
+    def test_counts_by_action(self):
+        system = BFabric(clock=ManualClock(dt.datetime(2010, 1, 15)))
+        admin = system.bootstrap()
+        scientist = system.add_user(admin, login="sci", full_name="Sci")
+        project = system.projects.create(scientist, "P")
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        counts = system.audit.counts_by_action()
+        assert counts["create"] >= 3
+        assert counts["delete"] == 0
+
+
+class TestImportPickerWithoutProvider:
+    def test_get_import_form_renders_provider_dropdown(self, tmp_path):
+        from repro.dataimport import AffymetrixGeneChipProvider
+        from repro.portal import PortalApplication
+        from repro.portal.testing import PortalClient
+
+        system = BFabric(tmp_path, clock=ManualClock(dt.datetime(2010, 1, 15)))
+        admin = system.bootstrap(password="pw1234")
+        system.directory.set_password(admin, admin.user_id, "pw1234")
+        system.imports.register_provider(
+            AffymetrixGeneChipProvider("GeneChip", runs=1)
+        )
+        client = PortalClient(PortalApplication(system))
+        client.login("admin", "pw1234")
+        client.post("/projects", {"name": "P", "description": ""})
+        response = client.get("/projects/1/import")
+        assert "GeneChip" in response.text
+        assert "Create workunit" not in response.text  # no files listed yet
+
+
+class TestInMemoryStoreCleanup:
+    def test_close_removes_temporary_store(self):
+        system = BFabric()
+        store_root = system.store.root
+        assert store_root.exists()
+        system.close()
+        assert not store_root.exists()
+
+    def test_durable_store_untouched_by_close(self, tmp_path):
+        system = BFabric(tmp_path)
+        store_root = system.store.root
+        system.close()
+        assert store_root.exists()

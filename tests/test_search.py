@@ -1,0 +1,341 @@
+"""Full-text search: tokenizer, index, query language, engine, history."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuerySyntaxError, ValidationError
+from repro.facade import BFabric
+from repro.search import (
+    Document,
+    InvertedIndex,
+    SearchHistory,
+    export_csv,
+    export_tsv,
+    parse_query,
+    tokenize,
+)
+from repro.util.clock import ManualClock
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("Arabidopsis Thaliana") == ["arabidopsis", "thaliana"]
+
+    def test_filename_separators(self):
+        assert tokenize("wt_light_1.cel") == ["wt", "light", "1", "cel"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("the effect of light on a plant") == [
+            "effect", "light", "plant",
+        ]
+
+    def test_keep_stopwords(self):
+        assert "the" in tokenize("the plant", keep_stopwords=True)
+
+    def test_accents_folded(self):
+        assert tokenize("Zürich") == ["zurich"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+
+def doc(entity_id, name, description="", entity_type="sample", **metadata):
+    return Document(
+        entity_type=entity_type,
+        entity_id=entity_id,
+        fields={"name": name, "description": description},
+        metadata=metadata,
+    )
+
+
+class TestInvertedIndex:
+    def test_add_and_candidates(self):
+        index = InvertedIndex()
+        index.add(doc(1, "arabidopsis light"))
+        index.add(doc(2, "yeast culture"))
+        assert index.candidates("arabidopsis") == {("sample", 1)}
+        assert index.candidates("missing") == set()
+
+    def test_reindex_replaces(self):
+        index = InvertedIndex()
+        index.add(doc(1, "old name"))
+        index.add(doc(1, "new name"))
+        assert index.candidates("old") == set()
+        assert index.candidates("new") == {("sample", 1)}
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = InvertedIndex()
+        index.add(doc(1, "something"))
+        assert index.remove("sample", 1)
+        assert not index.remove("sample", 1)
+        assert index.candidates("something") == set()
+        assert index.term_count() == 0
+
+    def test_field_scoped_candidates(self):
+        index = InvertedIndex()
+        index.add(doc(1, "alpha", description="beta"))
+        assert index.candidates("beta", "description") == {("sample", 1)}
+        assert index.candidates("beta", "name") == set()
+
+    def test_idf_ranks_rare_terms_higher(self):
+        index = InvertedIndex()
+        # "light" everywhere, "mutant" only in doc 3.
+        index.add(doc(1, "light run one"))
+        index.add(doc(2, "light run two"))
+        index.add(doc(3, "light mutant"))
+        terms = [("light", None), ("mutant", None)]
+        scores = {key: index.score(key, terms) for key in index.candidates("light")}
+        assert scores[("sample", 3)] > scores[("sample", 1)]
+
+    def test_name_field_boost(self):
+        index = InvertedIndex()
+        index.add(doc(1, "keyword", description="filler words here"))
+        index.add(doc(2, "other", description="keyword filler words"))
+        score_name = index.score(("sample", 1), [("keyword", None)])
+        score_description = index.score(("sample", 2), [("keyword", None)])
+        assert score_name > score_description
+
+    def test_document_frequency(self):
+        index = InvertedIndex()
+        index.add(doc(1, "x"))
+        index.add(doc(2, "x y"))
+        assert index.document_frequency("x") == 2
+        assert index.document_frequency("y") == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=20),
+                st.text(alphabet="abc ", max_size=12),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_add_remove_round_trip_property(self, entries):
+        index = InvertedIndex()
+        current: dict[int, str] = {}
+        for entity_id, text in entries:
+            index.add(doc(entity_id, text))
+            current[entity_id] = text
+        for entity_id in list(current):
+            index.remove("sample", entity_id)
+        assert len(index) == 0
+        assert index.term_count() == 0
+
+
+class TestQueryParser:
+    def test_plain_terms(self):
+        query = parse_query("arabidopsis light")
+        assert [c.term for c in query.required] == ["arabidopsis", "light"]
+
+    def test_field_scoped(self):
+        query = parse_query("name:arabidopsis")
+        assert query.required[0].field == "name"
+
+    def test_negation(self):
+        query = parse_query("light -heat")
+        assert [c.term for c in query.negated] == ["heat"]
+
+    def test_type_filter(self):
+        query = parse_query("type:sample light")
+        assert query.types == ["sample"]
+
+    def test_or_group(self):
+        query = parse_query("light OR dark")
+        assert len(query.any_of) == 1
+        assert {c.term for c in query.any_of[0]} == {"light", "dark"}
+
+    def test_or_chain_of_three(self):
+        query = parse_query("light OR dark OR heat")
+        assert {c.term for c in query.any_of[0]} == {"light", "dark", "heat"}
+
+    def test_mixed(self):
+        query = parse_query("type:sample name:wt light OR dark -heat")
+        assert query.types == ["sample"]
+        assert [c.term for c in query.required] == ["wt"]
+        assert len(query.any_of) == 1
+        assert [c.term for c in query.negated] == ["heat"]
+
+    def test_pure_negation_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("-light")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   ")
+
+    def test_case_insensitive_or(self):
+        query = parse_query("light or dark")
+        assert len(query.any_of) == 1
+
+
+@pytest.fixture
+def loaded_system():
+    system = BFabric(clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+    admin = system.bootstrap()
+    scientist = system.add_user(admin, login="sci", full_name="Sci")
+    outsider = system.add_user(admin, login="out", full_name="Out")
+    project = system.projects.create(scientist, "Arabidopsis light response")
+    system.samples.register_sample(
+        scientist, project.id, "wt light 1", species="Arabidopsis Thaliana"
+    )
+    system.samples.register_sample(
+        scientist, project.id, "wt dark 1", species="Arabidopsis Thaliana"
+    )
+    return system, admin, scientist, outsider, project
+
+
+class TestSearchEngine:
+    def test_quick_search_finds_by_any_field(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        results = system.search.quick_search(scientist, "thaliana")
+        assert {r.entity_type for r in results} == {"sample"}
+        assert len(results) == 2
+
+    def test_type_filter(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        results = system.search.search(scientist, "type:project arabidopsis")
+        assert [r.entity_type for r in results] == ["project"]
+
+    def test_negation(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        results = system.search.search(scientist, "wt -dark")
+        assert [r.label for r in results] == ["wt light 1"]
+
+    def test_or_query(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        results = system.search.search(scientist, "light OR dark type:sample")
+        assert len(results) == 2
+
+    def test_access_control_hides_foreign_projects(self, loaded_system):
+        system, admin, scientist, outsider, _ = loaded_system
+        assert system.search.quick_search(outsider, "thaliana") == []
+        # Experts see everything.
+        assert len(system.search.quick_search(admin, "thaliana")) == 2
+
+    def test_snippet_contains_match(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        results = system.search.quick_search(scientist, "thaliana")
+        assert "Thaliana" in results[0].snippet
+
+    def test_limit(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        results = system.search.search(scientist, "wt", limit=1)
+        assert len(results) == 1
+
+    def test_empty_quick_search(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        assert system.search.quick_search(scientist, "   ") == []
+
+    def test_removed_document_not_found(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        system.search.remove_document("sample", 1)
+        labels = [r.label for r in system.search.quick_search(admin, "wt")]
+        assert "wt light 1" not in labels
+
+    def test_statistics(self, loaded_system):
+        system, *_ = loaded_system
+        stats = system.search.statistics()
+        assert stats["documents"] >= 3
+        assert stats["terms"] > 0
+
+    def test_reindex_all_matches_event_indexing(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        before = system.search.statistics()
+        system.reindex_all()
+        after = system.search.statistics()
+        assert after["documents"] == before["documents"]
+
+
+class TestHistory:
+    def test_most_recent_first(self):
+        history = SearchHistory()
+        history.record("a")
+        history.record("b")
+        assert history.entries() == ["b", "a"]
+
+    def test_rerun_moves_to_front(self):
+        history = SearchHistory()
+        history.record("a")
+        history.record("b")
+        history.record("a")
+        assert history.entries() == ["a", "b"]
+
+    def test_bounded(self):
+        history = SearchHistory(limit=3)
+        for i in range(5):
+            history.record(f"q{i}")
+        assert len(history) == 3
+        assert history.entries()[0] == "q4"
+
+    def test_blank_ignored(self):
+        history = SearchHistory()
+        history.record("   ")
+        assert len(history) == 0
+
+    def test_clear(self):
+        history = SearchHistory()
+        history.record("a")
+        history.clear()
+        assert history.entries() == []
+
+
+class TestSavedQueries:
+    def test_save_and_rerun_live(self, loaded_system):
+        system, admin, scientist, _, project = loaded_system
+        system.saved_queries.save(scientist, "my samples", "type:sample wt")
+        saved = system.saved_queries.get(scientist, "my samples")
+        results = system.search.search(scientist, saved.query)
+        assert len(results) == 2
+        # New matching object appears on re-run ("at run-time").
+        system.samples.register_sample(scientist, project.id, "wt heat 1")
+        results = system.search.search(scientist, saved.query)
+        assert len(results) == 3
+
+    def test_save_overwrites_same_name(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        system.saved_queries.save(scientist, "q", "light")
+        system.saved_queries.save(scientist, "q", "dark")
+        assert system.saved_queries.get(scientist, "q").query == "dark"
+        assert len(system.saved_queries.list_for(scientist)) == 1
+
+    def test_per_user(self, loaded_system):
+        system, admin, scientist, outsider, _ = loaded_system
+        system.saved_queries.save(scientist, "q", "light")
+        assert system.saved_queries.list_for(outsider) == []
+
+    def test_delete(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        system.saved_queries.save(scientist, "q", "light")
+        system.saved_queries.delete(scientist, "q")
+        assert system.saved_queries.list_for(scientist) == []
+
+    def test_validation(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        with pytest.raises(ValidationError):
+            system.saved_queries.save(scientist, "", "x")
+        with pytest.raises(ValidationError):
+            system.saved_queries.save(scientist, "x", "  ")
+
+
+class TestExport:
+    def test_csv_round_trip(self, loaded_system, tmp_path):
+        system, admin, scientist, _, _ = loaded_system
+        results = system.search.quick_search(scientist, "thaliana")
+        path = tmp_path / "out.csv"
+        text = export_csv(results, path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0] == "entity_type,entity_id,score,label,snippet"
+        assert len(lines) == 1 + len(results)
+
+    def test_tsv(self, loaded_system):
+        system, admin, scientist, _, _ = loaded_system
+        results = system.search.quick_search(scientist, "thaliana")
+        text = export_tsv(results)
+        assert "\t" in text.splitlines()[0]

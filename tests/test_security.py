@@ -1,0 +1,220 @@
+"""Security: roles, project ACLs, password hashing, login sessions."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.entities import ALL_MODELS
+from repro.errors import AccessDenied, AuthenticationError
+from repro.orm import Registry
+from repro.security import (
+    AccessControl,
+    Authenticator,
+    Permission,
+    Principal,
+    Role,
+    hash_password,
+    verify_password,
+)
+from repro.security.auth import _SESSION_TTL_SECONDS
+from repro.storage import Database
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def env():
+    db = Database()
+    registry = Registry(db)
+    registry.register_all(ALL_MODELS)
+    clock = ManualClock(dt.datetime(2010, 1, 15, 9, 0))
+    return db, registry, clock
+
+
+def make_user(db, login, role="scientist", password=""):
+    row = db.insert(
+        "user",
+        {
+            "login": login,
+            "full_name": login.title(),
+            "role": role,
+            "password_hash": hash_password(password) if password else "",
+            "active": True,
+            "email": "",
+            "institute_id": None,
+            "created_at": None,
+        },
+    )
+    return Principal(user_id=row["id"], login=login, role=Role(role))
+
+
+def make_project(db, owner: Principal):
+    return db.insert(
+        "project",
+        {
+            "name": f"project of {owner.login}",
+            "description": "",
+            "created_by": owner.user_id,
+            "created_at": None,
+        },
+    )
+
+
+class TestRoles:
+    def test_expert_flags(self):
+        assert not Role.SCIENTIST.is_expert
+        assert Role.EMPLOYEE.is_expert
+        assert Role.ADMIN.is_expert
+
+    def test_principal_properties(self):
+        p = Principal(1, "x", Role.ADMIN)
+        assert p.is_admin and p.is_expert
+        q = Principal(2, "y", Role.EMPLOYEE)
+        assert q.is_expert and not q.is_admin
+
+
+class TestPasswords:
+    def test_round_trip(self):
+        stored = hash_password("hunter2")
+        assert verify_password("hunter2", stored)
+        assert not verify_password("hunter3", stored)
+
+    def test_salts_differ(self):
+        assert hash_password("same") != hash_password("same")
+
+    def test_malformed_stored_value(self):
+        assert not verify_password("x", "not-a-valid-hash")
+        assert not verify_password("x", "")
+
+
+class TestAccessControl:
+    def test_member_can_read_and_write(self, env):
+        db, registry, _ = env
+        acl = AccessControl(db)
+        scientist = make_user(db, "sci")
+        project = make_project(db, scientist)
+        acl.grant(project["id"], scientist.user_id)
+        assert acl.can(scientist, Permission.READ, project["id"])
+        assert acl.can(scientist, Permission.WRITE, project["id"])
+        assert not acl.can(scientist, Permission.MANAGE, project["id"])
+
+    def test_leader_can_manage(self, env):
+        db, registry, _ = env
+        acl = AccessControl(db)
+        scientist = make_user(db, "sci")
+        project = make_project(db, scientist)
+        acl.grant(project["id"], scientist.user_id, "leader")
+        assert acl.can(scientist, Permission.MANAGE, project["id"])
+
+    def test_nonmember_denied(self, env):
+        db, registry, _ = env
+        acl = AccessControl(db)
+        owner = make_user(db, "owner")
+        outsider = make_user(db, "outsider")
+        project = make_project(db, owner)
+        assert not acl.can(outsider, Permission.READ, project["id"])
+        with pytest.raises(AccessDenied):
+            acl.require(outsider, Permission.READ, project["id"])
+
+    def test_expert_sees_everything(self, env):
+        db, registry, _ = env
+        acl = AccessControl(db)
+        owner = make_user(db, "owner")
+        expert = make_user(db, "expert", role="employee")
+        project = make_project(db, owner)
+        assert acl.can(expert, Permission.READ, project["id"])
+        assert acl.can(expert, Permission.MANAGE, project["id"])
+
+    def test_grant_upgrades_role(self, env):
+        db, registry, _ = env
+        acl = AccessControl(db)
+        scientist = make_user(db, "sci")
+        project = make_project(db, scientist)
+        acl.grant(project["id"], scientist.user_id, "member")
+        acl.grant(project["id"], scientist.user_id, "leader")
+        assert acl.membership_role(scientist, project["id"]) == "leader"
+        # No duplicate membership rows.
+        assert db.count("project_membership") == 1
+
+    def test_grant_bad_role(self, env):
+        db, registry, _ = env
+        acl = AccessControl(db)
+        with pytest.raises(ValueError):
+            acl.grant(1, 1, "emperor")
+
+    def test_revoke(self, env):
+        db, registry, _ = env
+        acl = AccessControl(db)
+        scientist = make_user(db, "sci")
+        project = make_project(db, scientist)
+        acl.grant(project["id"], scientist.user_id)
+        assert acl.revoke(project["id"], scientist.user_id)
+        assert not acl.is_member(scientist, project["id"])
+        assert not acl.revoke(project["id"], scientist.user_id)
+
+    def test_visible_project_ids(self, env):
+        db, registry, _ = env
+        acl = AccessControl(db)
+        scientist = make_user(db, "sci")
+        expert = make_user(db, "exp", role="employee")
+        p1 = make_project(db, scientist)
+        p2 = make_project(db, scientist)
+        acl.grant(p1["id"], scientist.user_id)
+        assert acl.visible_project_ids(scientist) == [p1["id"]]
+        assert set(acl.visible_project_ids(expert)) == {p1["id"], p2["id"]}
+
+
+class TestAuthenticator:
+    def test_login_success(self, env):
+        db, registry, clock = env
+        make_user(db, "ada", password="pw1234")
+        auth = Authenticator(db, clock=clock)
+        session = auth.login("ada", "pw1234")
+        assert session.principal.login == "ada"
+        assert auth.resolve(session.token) is session
+
+    def test_login_bad_password(self, env):
+        db, registry, clock = env
+        make_user(db, "ada", password="pw1234")
+        auth = Authenticator(db, clock=clock)
+        with pytest.raises(AuthenticationError):
+            auth.login("ada", "wrong")
+
+    def test_login_unknown_user(self, env):
+        db, registry, clock = env
+        auth = Authenticator(db, clock=clock)
+        with pytest.raises(AuthenticationError):
+            auth.login("ghost", "pw")
+
+    def test_inactive_user_rejected(self, env):
+        db, registry, clock = env
+        principal = make_user(db, "ada", password="pw1234")
+        db.update("user", principal.user_id, {"active": False})
+        auth = Authenticator(db, clock=clock)
+        with pytest.raises(AuthenticationError):
+            auth.login("ada", "pw1234")
+
+    def test_session_expiry(self, env):
+        db, registry, clock = env
+        make_user(db, "ada", password="pw1234")
+        auth = Authenticator(db, clock=clock)
+        session = auth.login("ada", "pw1234")
+        clock.advance(seconds=_SESSION_TTL_SECONDS + 1)
+        with pytest.raises(AuthenticationError):
+            auth.resolve(session.token)
+
+    def test_logout(self, env):
+        db, registry, clock = env
+        make_user(db, "ada", password="pw1234")
+        auth = Authenticator(db, clock=clock)
+        session = auth.login("ada", "pw1234")
+        auth.logout(session.token)
+        with pytest.raises(AuthenticationError):
+            auth.resolve(session.token)
+
+    def test_active_session_count(self, env):
+        db, registry, clock = env
+        make_user(db, "ada", password="pw1234")
+        auth = Authenticator(db, clock=clock)
+        auth.login("ada", "pw1234")
+        auth.login("ada", "pw1234")
+        assert auth.active_sessions() == 2

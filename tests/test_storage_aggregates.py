@@ -1,0 +1,150 @@
+"""Aggregation: Query.aggregate and Query.group_by."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+@pytest.fixture
+def sales(people_db: Database) -> Database:
+    fgcz = people_db.insert("org", {"name": "FGCZ"})
+    eth = people_db.insert("org", {"name": "ETH"})
+    rows = [
+        ("a", 30, fgcz["id"]),
+        ("b", 40, fgcz["id"]),
+        ("c", 50, eth["id"]),
+        ("d", None, eth["id"]),
+        ("e", 20, None),
+    ]
+    for name, age, org in rows:
+        people_db.insert("person", {"name": name, "age": age, "org_id": org})
+    return people_db
+
+
+class TestAggregate:
+    def test_count_ignores_nulls(self, sales):
+        assert sales.query("person").aggregate("age", "count") == 4
+
+    def test_sum(self, sales):
+        assert sales.query("person").aggregate("age", "sum") == 140
+
+    def test_min_max(self, sales):
+        assert sales.query("person").aggregate("age", "min") == 20
+        assert sales.query("person").aggregate("age", "max") == 50
+
+    def test_avg(self, sales):
+        assert sales.query("person").aggregate("age", "avg") == 35
+
+    def test_with_filter(self, sales):
+        total = (
+            sales.query("person").where("org_id", "=", 1).aggregate("age", "sum")
+        )
+        assert total == 70
+
+    def test_empty_result_semantics(self, sales):
+        empty = sales.query("person").where("name", "=", "nobody")
+        assert empty.aggregate("age", "sum") == 0
+        assert empty.aggregate("age", "count") == 0
+        assert empty.aggregate("age", "min") is None
+        assert empty.aggregate("age", "avg") is None
+
+    def test_unknown_column(self, sales):
+        with pytest.raises(SchemaError):
+            sales.query("person").aggregate("bogus", "sum")
+
+    def test_unknown_function(self, sales):
+        with pytest.raises(SchemaError):
+            sales.query("person").aggregate("age", "median")
+
+
+class TestGroupBy:
+    def test_count_per_group(self, sales):
+        groups = sales.query("person").group_by("org_id")
+        assert groups == {1: 2, 2: 2, None: 1}
+
+    def test_sum_per_group(self, sales):
+        groups = sales.query("person").group_by(
+            "org_id", aggregate="sum", value_column="age"
+        )
+        assert groups == {1: 70, 2: 50, None: 20}
+
+    def test_avg_per_group_skips_nulls(self, sales):
+        groups = sales.query("person").group_by(
+            "org_id", aggregate="avg", value_column="age"
+        )
+        assert groups[2] == 50  # d's NULL age is ignored
+
+    def test_min_of_empty_group_is_none(self, sales):
+        # Group of one row whose value column is NULL.
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("g", ColumnType.INT),
+                    Column("v", ColumnType.INT),
+                ],
+            )
+        )
+        db.insert("t", {"g": 1, "v": None})
+        groups = db.query("t").group_by("g", aggregate="min", value_column="v")
+        assert groups == {1: None}
+
+    def test_group_by_respects_filters(self, sales):
+        groups = (
+            sales.query("person").where("age", ">=", 40).group_by("org_id")
+        )
+        assert groups == {1: 1, 2: 1}
+
+    def test_unknown_value_column(self, sales):
+        with pytest.raises(SchemaError):
+            sales.query("person").group_by("org_id", value_column="bogus")
+
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_group_sums_equal_total_sum(self, values):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("g", ColumnType.INT),
+                    Column("v", ColumnType.INT),
+                ],
+                indexes=["g"],
+            )
+        )
+        for g, v in values:
+            db.insert("t", {"g": g, "v": v})
+        groups = db.query("t").group_by("g", aggregate="sum", value_column="v")
+        assert sum(groups.values()) == db.query("t").aggregate("v", "sum")
+
+
+class TestDistinctValues:
+    def test_distinct_sorted_non_null(self, sales):
+        assert sales.query("person").distinct_values("org_id") == [1, 2]
+
+    def test_distinct_with_filter(self, sales):
+        values = (
+            sales.query("person").where("age", ">=", 40).distinct_values("org_id")
+        )
+        assert values == [1, 2]
+
+    def test_distinct_unknown_column(self, sales):
+        import pytest
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            sales.query("person").distinct_values("bogus")

@@ -1,0 +1,122 @@
+"""Concurrency: the single-writer lock under real threads."""
+
+import threading
+
+import pytest
+
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+@pytest.fixture
+def counter_db() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "counter",
+            [
+                Column("id", ColumnType.INT, primary_key=True),
+                Column("value", ColumnType.INT, nullable=False),
+            ],
+        )
+    )
+    db.insert("counter", {"value": 0})
+    return db
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self, counter_db):
+        """Read-modify-write inside one transaction is atomic."""
+
+        def worker():
+            for _ in range(50):
+                with counter_db.transaction() as txn:
+                    current = txn.get("counter", 1)["value"]
+                    txn.update("counter", 1, {"value": current + 1})
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter_db.get("counter", 1)["value"] == 200
+
+    def test_concurrent_inserts_unique_ids(self, counter_db):
+        ids: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = []
+            for _ in range(50):
+                row = counter_db.insert("counter", {"value": 1})
+                local.append(row["id"])
+            with lock:
+                ids.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(ids) == 200
+        assert len(set(ids)) == 200
+
+    def test_rollback_under_contention(self, counter_db):
+        """Some threads roll back; committed counts stay exact."""
+        committed = []
+        lock = threading.Lock()
+
+        def worker(index):
+            done = 0
+            for i in range(30):
+                txn = counter_db.transaction()
+                txn.insert("counter", {"value": index})
+                if i % 3 == 0:
+                    txn.rollback()
+                else:
+                    txn.commit()
+                    done += 1
+            with lock:
+                committed.append(done)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = 1 + sum(committed)  # plus the fixture row
+        assert counter_db.count("counter") == expected
+        assert counter_db.verify_integrity() == []
+
+    def test_concurrent_wal_commits_replay(self, tmp_path):
+        db = Database(tmp_path)
+        db.create_table(
+            TableSchema(
+                "event",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("tag", ColumnType.TEXT, nullable=False),
+                ],
+            )
+        )
+
+        def worker(tag):
+            for i in range(25):
+                db.insert("event", {"tag": f"{tag}-{i}"})
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{t}",)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        db.close()
+
+        revived = Database(tmp_path)
+        revived.create_table(db.table("event").schema)
+        revived.recover()
+        assert revived.count("event") == 100
+        tags = revived.query("event").values("tag")
+        assert len(set(tags)) == 100

@@ -1,0 +1,100 @@
+"""Database-level behaviour: registry, statistics, listeners, misc."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+def simple_schema(name="t"):
+    return TableSchema(
+        name,
+        [
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("v", ColumnType.TEXT),
+        ],
+    )
+
+
+class TestTableRegistry:
+    def test_create_and_lookup(self, db: Database):
+        db.create_table(simple_schema())
+        assert db.has_table("t")
+        assert db.table("t").name == "t"
+        assert db.table_names() == ["t"]
+
+    def test_duplicate_table_rejected(self, db):
+        db.create_table(simple_schema())
+        with pytest.raises(SchemaError):
+            db.create_table(simple_schema())
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            db.table("ghost")
+        with pytest.raises(SchemaError):
+            db.query("ghost")
+
+    def test_referencing_map(self, db):
+        db.create_table(simple_schema("parent"))
+        db.create_table(
+            TableSchema(
+                "child",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("parent_id", ColumnType.INT, foreign_key="parent.id"),
+                ],
+            )
+        )
+        assert db.referencing("parent") == [("child", "parent_id", "restrict")]
+        assert db.referencing("child") == []
+
+
+class TestStatistics:
+    def test_row_counts(self, db):
+        db.create_table(simple_schema())
+        db.insert("t", {"v": "a"})
+        db.insert("t", {"v": "b"})
+        stats = db.statistics()
+        assert stats["tables"] == {"t": 2}
+        assert stats["total_rows"] == 2
+        assert stats["transactions"] == 2
+        assert stats["wal_bytes"] == 0  # in-memory
+
+    def test_get_or_none(self, db):
+        db.create_table(simple_schema())
+        row = db.insert("t", {"v": "a"})
+        assert db.get_or_none("t", row["id"]) == row
+        assert db.get_or_none("t", 999) is None
+
+
+class TestRecoverPreconditions:
+    def test_recover_requires_directory(self, db):
+        with pytest.raises(SchemaError):
+            db.recover()
+
+    def test_recover_rejects_unknown_snapshot_table(self, tmp_path):
+        db = Database(tmp_path)
+        db.create_table(simple_schema())
+        db.insert("t", {"v": "x"})
+        db.checkpoint()
+        db.close()
+
+        fresh = Database(tmp_path)
+        # Schema for "t" never declared.
+        with pytest.raises(SchemaError):
+            fresh.recover()
+
+
+class TestRowsIteration:
+    def test_rows_are_copies(self, db):
+        db.create_table(simple_schema())
+        db.insert("t", {"v": "a"})
+        for row in db.rows("t"):
+            row["v"] = "mutated"
+        assert db.get("t", 1)["v"] == "a"
+
+    def test_insertion_order(self, db):
+        db.create_table(simple_schema())
+        for v in ("x", "y", "z"):
+            db.insert("t", {"v": v})
+        assert [r["v"] for r in db.rows("t")] == ["x", "y", "z"]

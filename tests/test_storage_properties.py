@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for the storage engine.
+
+Invariants checked:
+
+* applying a random sequence of CRUD operations and then rolling back a
+  transaction restores the exact prior table contents and index results;
+* index-backed queries always agree with full scans;
+* a WAL round trip reproduces the exact table contents, whatever the
+  operation mix was;
+* unique indexes never admit duplicates under any operation order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+def fresh_db() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "doc",
+            [
+                Column("id", ColumnType.INT, primary_key=True),
+                Column("bucket", ColumnType.INT),
+                Column("label", ColumnType.TEXT),
+                Column("score", ColumnType.FLOAT),
+            ],
+            indexes=["bucket", "label"],
+        )
+    )
+    return db
+
+
+# An operation is a tuple the executor interprets.
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(min_value=0, max_value=5),
+            st.text(alphabet="abc", max_size=3),
+            st.floats(allow_nan=False, allow_infinity=False, width=16),
+        ),
+        st.tuples(st.just("update"), st.integers(min_value=1, max_value=30),
+                  st.integers(min_value=0, max_value=5)),
+        st.tuples(st.just("delete"), st.integers(min_value=1, max_value=30)),
+    ),
+    max_size=30,
+)
+
+
+def apply_ops(db: Database, ops, txn=None) -> None:
+    target = txn if txn is not None else db
+    for op in ops:
+        try:
+            if op[0] == "insert":
+                target.insert(
+                    "doc", {"bucket": op[1], "label": op[2], "score": op[3]}
+                )
+            elif op[0] == "update":
+                target.update("doc", op[1], {"bucket": op[2]})
+            elif op[0] == "delete":
+                target.delete("doc", op[1])
+        except StorageError:
+            pass  # missing rows etc. are fine; we only care about invariants
+
+
+def table_contents(db: Database):
+    return sorted(
+        (tuple(sorted(row.items())) for row in db.rows("doc")), key=repr
+    )
+
+
+class TestRollbackRestoresState:
+    @given(setup=ops_strategy, inside=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_rollback_is_exact_inverse(self, setup, inside):
+        db = fresh_db()
+        apply_ops(db, setup)
+        before = table_contents(db)
+        txn = db.transaction()
+        apply_ops(db, inside, txn=txn)
+        txn.rollback()
+        assert table_contents(db) == before
+        assert db.verify_integrity() == []
+
+
+class TestIndexScanAgreement:
+    @given(ops=ops_strategy, bucket=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_equality_query_matches_scan(self, ops, bucket):
+        db = fresh_db()
+        apply_ops(db, ops)
+        indexed = db.query("doc").where("bucket", "=", bucket).pks()
+        scanned = db.query("doc").where("bucket", "=", bucket).without_indexes().pks()
+        assert sorted(indexed, key=repr) == sorted(scanned, key=repr)
+
+    @given(ops=ops_strategy, low=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_range_query_matches_scan(self, ops, low):
+        db = fresh_db()
+        apply_ops(db, ops)
+        indexed = db.query("doc").where("bucket", ">=", low).pks()
+        scanned = db.query("doc").where("bucket", ">=", low).without_indexes().pks()
+        assert sorted(indexed, key=repr) == sorted(scanned, key=repr)
+
+
+class TestWalRoundTrip:
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_recovery_reproduces_contents(self, ops, tmp_path_factory):
+        path = tmp_path_factory.mktemp("wal")
+        db = Database(path)
+        db.create_table(fresh_db().table("doc").schema)
+        apply_ops(db, ops)
+        expected = table_contents(db)
+        db.close()
+
+        db2 = Database(path)
+        db2.create_table(fresh_db().table("doc").schema)
+        db2.recover()
+        assert table_contents(db2) == expected
+        assert db2.verify_integrity() == []
+
+
+class TestUniqueInvariant:
+    @given(
+        names=st.lists(st.text(alphabet="xyz", min_size=1, max_size=2), max_size=25)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unique_column_never_has_duplicates(self, names):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "uniq",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("name", ColumnType.TEXT, unique=True),
+                ],
+            )
+        )
+        for name in names:
+            try:
+                db.insert("uniq", {"name": name})
+            except StorageError:
+                pass
+        stored = db.query("uniq").values("name")
+        assert len(stored) == len(set(stored))
+
+
+class TestIntegrityAlwaysHolds:
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_verify_integrity_after_arbitrary_ops(self, ops):
+        db = fresh_db()
+        apply_ops(db, ops)
+        assert db.verify_integrity() == []
+
+
+@pytest.mark.parametrize("descending", [False, True])
+@given(ops=ops_strategy)
+@settings(max_examples=40, deadline=None)
+def test_order_by_is_totally_ordered(descending, ops):
+    from repro.storage.types import sort_key
+
+    db = fresh_db()
+    apply_ops(db, ops)
+    rows = db.query("doc").order_by("score", descending=descending).all()
+    keys = [sort_key(r["score"]) for r in rows]
+    assert keys == sorted(keys, reverse=descending)

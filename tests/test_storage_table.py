@@ -1,0 +1,430 @@
+"""Unit tests for tables: constraints, indexes, CRUD semantics."""
+
+import pytest
+
+from repro.errors import (
+    CheckViolation,
+    ForeignKeyViolation,
+    NotNullViolation,
+    PrimaryKeyViolation,
+    RowNotFound,
+    SchemaError,
+    UniqueViolation,
+)
+from repro.storage import Column, ColumnType, Database, ForeignKey, TableSchema
+from repro.storage.schema import CheckConstraint
+
+
+class TestSchemaValidation:
+    def test_requires_exactly_one_primary_key(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", ColumnType.INT)])
+
+    def test_rejects_two_primary_keys(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [
+                    Column("a", ColumnType.INT, primary_key=True),
+                    Column("b", ColumnType.INT, primary_key=True),
+                ],
+            )
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("x", ColumnType.INT),
+                    Column("x", ColumnType.TEXT),
+                ],
+            )
+
+    def test_rejects_bad_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("Bad Name", [Column("id", ColumnType.INT, primary_key=True)])
+
+    def test_rejects_index_on_unknown_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("id", ColumnType.INT, primary_key=True)],
+                indexes=["missing"],
+            )
+
+    def test_rejects_float_primary_key(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("id", ColumnType.FLOAT, primary_key=True)])
+
+    def test_set_null_fk_requires_nullable_column(self):
+        with pytest.raises(SchemaError):
+            Column(
+                "ref",
+                ColumnType.INT,
+                nullable=False,
+                foreign_key=ForeignKey("other", on_delete="set_null"),
+            )
+
+    def test_foreign_key_shorthand_parses(self):
+        fk = ForeignKey.parse("project.id")
+        assert fk.table == "project"
+        assert fk.column == "id"
+
+    def test_foreign_key_bad_on_delete(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("t", on_delete="explode")
+
+
+class TestInsert:
+    def test_auto_allocates_int_pk(self, people_db: Database):
+        row1 = people_db.insert("org", {"name": "FGCZ"})
+        row2 = people_db.insert("org", {"name": "ETH"})
+        assert row1["id"] == 1
+        assert row2["id"] == 2
+
+    def test_explicit_pk_respected_and_sequence_advances(self, people_db):
+        people_db.insert("org", {"id": 10, "name": "A"})
+        row = people_db.insert("org", {"name": "B"})
+        assert row["id"] == 11
+
+    def test_duplicate_pk_rejected(self, people_db):
+        people_db.insert("org", {"id": 1, "name": "A"})
+        with pytest.raises(PrimaryKeyViolation):
+            people_db.insert("org", {"id": 1, "name": "B"})
+
+    def test_not_null_enforced(self, people_db):
+        with pytest.raises(NotNullViolation):
+            people_db.insert("org", {"name": None})
+
+    def test_unique_enforced(self, people_db):
+        people_db.insert("org", {"name": "FGCZ"})
+        with pytest.raises(UniqueViolation):
+            people_db.insert("org", {"name": "FGCZ"})
+
+    def test_unknown_column_rejected(self, people_db):
+        with pytest.raises(SchemaError):
+            people_db.insert("org", {"name": "A", "bogus": 1})
+
+    def test_defaults_applied(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("status", ColumnType.TEXT, default="pending"),
+                    Column("tags", ColumnType.JSON, default=list),
+                ],
+            )
+        )
+        row = db.insert("t", {})
+        assert row["status"] == "pending"
+        assert row["tags"] == []
+
+    def test_callable_defaults_not_shared(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("tags", ColumnType.JSON, default=list),
+                ],
+            )
+        )
+        row1 = db.insert("t", {})
+        row2 = db.insert("t", {})
+        db.update("t", row1["id"], {"tags": ["a"]})
+        assert db.get("t", row2["id"])["tags"] == []
+
+    def test_text_pk_must_be_supplied(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [Column("key", ColumnType.TEXT, primary_key=True)],
+            )
+        )
+        with pytest.raises(NotNullViolation):
+            db.insert("t", {})
+        row = db.insert("t", {"key": "abc"})
+        assert row["key"] == "abc"
+
+
+class TestForeignKeys:
+    def test_insert_with_missing_reference_fails(self, people_db):
+        with pytest.raises(ForeignKeyViolation):
+            people_db.insert("person", {"name": "p", "org_id": 99})
+
+    def test_insert_with_valid_reference(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        person = people_db.insert("person", {"name": "p", "org_id": org["id"]})
+        assert person["org_id"] == org["id"]
+
+    def test_null_fk_allowed(self, people_db):
+        row = people_db.insert("person", {"name": "p", "org_id": None})
+        assert row["org_id"] is None
+
+    def test_restrict_blocks_delete(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        people_db.insert("person", {"name": "p", "org_id": org["id"]})
+        with pytest.raises(ForeignKeyViolation):
+            people_db.delete("org", org["id"])
+
+    def test_delete_after_children_removed(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        person = people_db.insert("person", {"name": "p", "org_id": org["id"]})
+        people_db.delete("person", person["id"])
+        people_db.delete("org", org["id"])
+        assert people_db.count("org") == 0
+
+    def test_cascade_deletes_children(self):
+        db = Database()
+        db.create_table(
+            TableSchema("parent", [Column("id", ColumnType.INT, primary_key=True)])
+        )
+        db.create_table(
+            TableSchema(
+                "child",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column(
+                        "parent_id",
+                        ColumnType.INT,
+                        foreign_key=ForeignKey("parent", on_delete="cascade"),
+                    ),
+                ],
+                indexes=["parent_id"],
+            )
+        )
+        parent = db.insert("parent", {})
+        db.insert("child", {"parent_id": parent["id"]})
+        db.insert("child", {"parent_id": parent["id"]})
+        db.delete("parent", parent["id"])
+        assert db.count("child") == 0
+
+    def test_set_null_clears_reference(self):
+        db = Database()
+        db.create_table(
+            TableSchema("parent", [Column("id", ColumnType.INT, primary_key=True)])
+        )
+        db.create_table(
+            TableSchema(
+                "child",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column(
+                        "parent_id",
+                        ColumnType.INT,
+                        foreign_key=ForeignKey("parent", on_delete="set_null"),
+                    ),
+                ],
+                indexes=["parent_id"],
+            )
+        )
+        parent = db.insert("parent", {})
+        child = db.insert("child", {"parent_id": parent["id"]})
+        db.delete("parent", parent["id"])
+        assert db.get("child", child["id"])["parent_id"] is None
+
+    def test_fk_to_unknown_table_rejected_at_create(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.create_table(
+                TableSchema(
+                    "child",
+                    [
+                        Column("id", ColumnType.INT, primary_key=True),
+                        Column("x", ColumnType.INT, foreign_key="nope.id"),
+                    ],
+                )
+            )
+
+    def test_self_reference_allowed(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "node",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("parent_id", ColumnType.INT, foreign_key="node.id"),
+                ],
+                indexes=["parent_id"],
+            )
+        )
+        root = db.insert("node", {"parent_id": None})
+        leaf = db.insert("node", {"parent_id": root["id"]})
+        assert leaf["parent_id"] == root["id"]
+
+
+class TestUpdate:
+    def test_partial_update(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        person = people_db.insert(
+            "person", {"name": "p", "age": 30, "org_id": org["id"]}
+        )
+        updated = people_db.update("person", person["id"], {"age": 31})
+        assert updated["age"] == 31
+        assert updated["name"] == "p"
+
+    def test_update_missing_row(self, people_db):
+        with pytest.raises(RowNotFound):
+            people_db.update("org", 99, {"name": "x"})
+
+    def test_pk_change_rejected(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        with pytest.raises(SchemaError):
+            people_db.update("org", org["id"], {"id": 77})
+
+    def test_update_to_duplicate_unique_rejected(self, people_db):
+        people_db.insert("org", {"name": "A"})
+        b = people_db.insert("org", {"name": "B"})
+        with pytest.raises(UniqueViolation):
+            people_db.update("org", b["id"], {"name": "A"})
+
+    def test_update_keeps_indexes_fresh(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        person = people_db.insert("person", {"name": "old", "org_id": org["id"]})
+        people_db.update("person", person["id"], {"name": "new"})
+        assert people_db.query("person").where("name", "=", "old").count() == 0
+        assert people_db.query("person").where("name", "=", "new").count() == 1
+
+    def test_failed_update_leaves_row_intact(self, people_db):
+        people_db.insert("org", {"name": "A"})
+        b = people_db.insert("org", {"name": "B"})
+        with pytest.raises(UniqueViolation):
+            people_db.update("org", b["id"], {"name": "A"})
+        assert people_db.get("org", b["id"])["name"] == "B"
+        # Index must still find B under its old name.
+        assert people_db.query("org").where("name", "=", "B").count() == 1
+
+
+class TestDelete:
+    def test_delete_returns_row(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        deleted = people_db.delete("org", org["id"])
+        assert deleted["name"] == "FGCZ"
+        assert people_db.count("org") == 0
+
+    def test_delete_missing_row(self, people_db):
+        with pytest.raises(RowNotFound):
+            people_db.delete("org", 12345)
+
+    def test_delete_cleans_indexes(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        people_db.delete("org", org["id"])
+        assert people_db.query("org").where("name", "=", "FGCZ").count() == 0
+
+    def test_deleted_pk_not_reused(self, people_db):
+        row = people_db.insert("org", {"name": "A"})
+        people_db.delete("org", row["id"])
+        row2 = people_db.insert("org", {"name": "B"})
+        assert row2["id"] > row["id"]
+
+
+class TestChecks:
+    def test_column_check(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("size", ColumnType.INT, check=lambda v: v >= 0),
+                ],
+            )
+        )
+        db.insert("t", {"size": 5})
+        with pytest.raises(CheckViolation):
+            db.insert("t", {"size": -1})
+
+    def test_table_check(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "span",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("low", ColumnType.INT, nullable=False),
+                    Column("high", ColumnType.INT, nullable=False),
+                ],
+                checks=[
+                    CheckConstraint(
+                        "ck_span_order",
+                        lambda row: row["low"] <= row["high"],
+                        "low must not exceed high",
+                    )
+                ],
+            )
+        )
+        db.insert("span", {"low": 1, "high": 2})
+        with pytest.raises(CheckViolation):
+            db.insert("span", {"low": 3, "high": 2})
+
+    def test_null_skips_column_check(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("size", ColumnType.INT, check=lambda v: v >= 0),
+                ],
+            )
+        )
+        row = db.insert("t", {"size": None})
+        assert row["size"] is None
+
+
+class TestUniqueTogether:
+    def test_composite_uniqueness(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "membership",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("user_id", ColumnType.INT, nullable=False),
+                    Column("project_id", ColumnType.INT, nullable=False),
+                ],
+                unique_together=[("user_id", "project_id")],
+            )
+        )
+        db.insert("membership", {"user_id": 1, "project_id": 1})
+        db.insert("membership", {"user_id": 1, "project_id": 2})
+        with pytest.raises(UniqueViolation):
+            db.insert("membership", {"user_id": 1, "project_id": 1})
+
+    def test_null_component_does_not_collide(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", ColumnType.INT, primary_key=True),
+                    Column("a", ColumnType.INT),
+                    Column("b", ColumnType.INT),
+                ],
+                unique_together=[("a", "b")],
+            )
+        )
+        db.insert("t", {"a": 1, "b": None})
+        db.insert("t", {"a": 1, "b": None})  # SQL semantics: NULLs never equal
+
+
+class TestIntegrityVerification:
+    def test_clean_database_reports_no_problems(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        people_db.insert("person", {"name": "p", "org_id": org["id"]})
+        assert people_db.verify_integrity() == []
+
+    def test_rebuild_indexes_preserves_queries(self, people_db):
+        org = people_db.insert("org", {"name": "FGCZ"})
+        for i in range(10):
+            people_db.insert("person", {"name": f"p{i}", "org_id": org["id"]})
+        people_db.rebuild_indexes()
+        assert (
+            people_db.query("person").where("org_id", "=", org["id"]).count() == 10
+        )
+        assert people_db.verify_integrity() == []

@@ -1,0 +1,149 @@
+"""Unit tests for storage value coercion and ordering."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.types import (
+    ColumnType,
+    coerce,
+    from_jsonable,
+    sort_key,
+    to_jsonable,
+)
+
+
+class TestCoerceInt:
+    def test_accepts_int(self):
+        assert coerce(5, ColumnType.INT) == 5
+
+    def test_accepts_integral_float(self):
+        assert coerce(5.0, ColumnType.INT) == 5
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(SchemaError):
+            coerce(5.5, ColumnType.INT)
+
+    def test_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            coerce(True, ColumnType.INT)
+
+    def test_rejects_string(self):
+        with pytest.raises(SchemaError):
+            coerce("5", ColumnType.INT)
+
+    def test_none_passes_through(self):
+        assert coerce(None, ColumnType.INT) is None
+
+
+class TestCoerceFloat:
+    def test_accepts_float(self):
+        assert coerce(2.5, ColumnType.FLOAT) == 2.5
+
+    def test_upgrades_int(self):
+        value = coerce(2, ColumnType.FLOAT)
+        assert value == 2.0
+        assert isinstance(value, float)
+
+    def test_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            coerce(False, ColumnType.FLOAT)
+
+
+class TestCoerceText:
+    def test_accepts_str(self):
+        assert coerce("abc", ColumnType.TEXT) == "abc"
+
+    def test_rejects_int(self):
+        with pytest.raises(SchemaError):
+            coerce(42, ColumnType.TEXT)
+
+
+class TestCoerceBool:
+    def test_accepts_bool(self):
+        assert coerce(True, ColumnType.BOOL) is True
+
+    def test_rejects_int(self):
+        with pytest.raises(SchemaError):
+            coerce(1, ColumnType.BOOL)
+
+
+class TestCoerceDatetime:
+    def test_accepts_datetime(self):
+        moment = dt.datetime(2010, 1, 15, 9, 30)
+        assert coerce(moment, ColumnType.DATETIME) == moment
+
+    def test_accepts_date(self):
+        assert coerce(dt.date(2010, 1, 15), ColumnType.DATETIME) == dt.datetime(
+            2010, 1, 15
+        )
+
+    def test_parses_iso_string(self):
+        assert coerce("2010-01-15T09:30:00", ColumnType.DATETIME) == dt.datetime(
+            2010, 1, 15, 9, 30
+        )
+
+    def test_parses_date_only_string(self):
+        assert coerce("2010-01-15", ColumnType.DATETIME) == dt.datetime(2010, 1, 15)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            coerce("not a date", ColumnType.DATETIME)
+
+
+class TestCoerceJson:
+    def test_accepts_nested_structures(self):
+        value = {"a": [1, 2, {"b": None}]}
+        assert coerce(value, ColumnType.JSON) == value
+
+    def test_deep_copies(self):
+        original = {"inner": [1]}
+        stored = coerce(original, ColumnType.JSON)
+        stored["inner"].append(2)
+        assert original == {"inner": [1]}
+
+    def test_rejects_non_serializable(self):
+        with pytest.raises(SchemaError):
+            coerce(object(), ColumnType.JSON)
+
+
+class TestJsonableRoundTrip:
+    def test_datetime_round_trips(self):
+        moment = dt.datetime(2010, 1, 15, 9, 30, 12)
+        encoded = to_jsonable(moment, ColumnType.DATETIME)
+        assert isinstance(encoded, str)
+        assert from_jsonable(encoded, ColumnType.DATETIME) == moment
+
+    def test_none_round_trips(self):
+        assert to_jsonable(None, ColumnType.DATETIME) is None
+        assert from_jsonable(None, ColumnType.INT) is None
+
+    def test_plain_values_round_trip(self):
+        for value, col_type in [
+            (3, ColumnType.INT),
+            (1.5, ColumnType.FLOAT),
+            ("x", ColumnType.TEXT),
+            (True, ColumnType.BOOL),
+            ({"k": 1}, ColumnType.JSON),
+        ]:
+            assert from_jsonable(to_jsonable(value, col_type), col_type) == value
+
+
+class TestSortKey:
+    def test_none_sorts_first(self):
+        values = [3, None, 1]
+        assert sorted(values, key=sort_key) == [None, 1, 3]
+
+    def test_mixed_types_do_not_raise(self):
+        values = ["b", 2, None, dt.datetime(2010, 1, 1), "a", 1.5]
+        ordering = sorted(values, key=sort_key)
+        assert ordering[0] is None
+
+    def test_numbers_order_numerically(self):
+        assert sorted([10, 2, 33], key=sort_key) == [2, 10, 33]
+
+    def test_datetimes_order_chronologically(self):
+        early = dt.datetime(2009, 6, 1)
+        late = dt.datetime(2010, 1, 1)
+        assert sorted([late, early], key=sort_key) == [early, late]

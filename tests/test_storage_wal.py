@@ -1,0 +1,222 @@
+"""Durability: WAL append, checkpointing, recovery, torn-tail healing."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import WalCorruption
+from repro.storage import Column, ColumnType, Database, TableSchema
+from repro.storage.wal import WriteAheadLog
+
+
+def make_schema():
+    return TableSchema(
+        "item",
+        [
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("name", ColumnType.TEXT, nullable=False),
+            Column("created", ColumnType.DATETIME),
+            Column("meta", ColumnType.JSON),
+        ],
+        indexes=["name"],
+    )
+
+
+def open_db(path) -> Database:
+    db = Database(path)
+    db.create_table(make_schema())
+    return db
+
+
+class TestRecovery:
+    def test_inserts_survive_reopen(self, tmp_path):
+        db = open_db(tmp_path)
+        db.insert(
+            "item",
+            {
+                "name": "raw1",
+                "created": dt.datetime(2010, 1, 5, 12, 0),
+                "meta": {"instrument": "GeneChip"},
+            },
+        )
+        db.close()
+
+        db2 = open_db(tmp_path)
+        stats = db2.recover()
+        assert stats["wal_txns"] == 1
+        row = db2.get("item", 1)
+        assert row["name"] == "raw1"
+        assert row["created"] == dt.datetime(2010, 1, 5, 12, 0)
+        assert row["meta"] == {"instrument": "GeneChip"}
+
+    def test_updates_and_deletes_replay(self, tmp_path):
+        db = open_db(tmp_path)
+        a = db.insert("item", {"name": "a"})
+        b = db.insert("item", {"name": "b"})
+        db.update("item", a["id"], {"name": "a2"})
+        db.delete("item", b["id"])
+        db.close()
+
+        db2 = open_db(tmp_path)
+        db2.recover()
+        assert db2.count("item") == 1
+        assert db2.get("item", a["id"])["name"] == "a2"
+
+    def test_rolled_back_txn_not_in_wal(self, tmp_path):
+        db = open_db(tmp_path)
+        txn = db.transaction()
+        txn.insert("item", {"name": "ghost"})
+        txn.rollback()
+        db.insert("item", {"name": "real"})
+        db.close()
+
+        db2 = open_db(tmp_path)
+        db2.recover()
+        assert db2.query("item").values("name") == ["real"]
+
+    def test_id_sequence_continues_after_recovery(self, tmp_path):
+        db = open_db(tmp_path)
+        db.insert("item", {"name": "a"})
+        db.insert("item", {"name": "b"})
+        db.close()
+
+        db2 = open_db(tmp_path)
+        db2.recover()
+        row = db2.insert("item", {"name": "c"})
+        assert row["id"] == 3
+
+    def test_indexes_rebuilt_after_recovery(self, tmp_path):
+        db = open_db(tmp_path)
+        db.insert("item", {"name": "findme"})
+        db.close()
+
+        db2 = open_db(tmp_path)
+        db2.recover()
+        plan = db2.query("item").where("name", "=", "findme").explain()
+        assert plan["strategy"].startswith("index:")
+        assert db2.query("item").where("name", "=", "findme").count() == 1
+
+
+class TestCheckpoint:
+    def test_checkpoint_resets_wal(self, tmp_path):
+        db = open_db(tmp_path)
+        for i in range(20):
+            db.insert("item", {"name": f"n{i}"})
+        size_before = (tmp_path / "wal.log").stat().st_size
+        db.checkpoint()
+        size_after = (tmp_path / "wal.log").stat().st_size
+        assert size_after < size_before
+        db.close()
+
+        db2 = open_db(tmp_path)
+        stats = db2.recover()
+        assert stats["snapshot_rows"] == 20
+        assert db2.count("item") == 20
+
+    def test_commits_after_checkpoint_replay_on_top(self, tmp_path):
+        db = open_db(tmp_path)
+        db.insert("item", {"name": "old"})
+        db.checkpoint()
+        db.insert("item", {"name": "new"})
+        db.close()
+
+        db2 = open_db(tmp_path)
+        stats = db2.recover()
+        assert stats["snapshot_rows"] == 1
+        assert stats["wal_txns"] == 1
+        assert db2.count("item") == 2
+
+    def test_checkpoint_requires_directory(self):
+        from repro.errors import SchemaError
+
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.checkpoint()
+
+
+class TestTornTail:
+    def test_torn_final_record_is_discarded(self, tmp_path):
+        db = open_db(tmp_path)
+        db.insert("item", {"name": "safe"})
+        db.insert("item", {"name": "casualty"})
+        db.close()
+
+        # Simulate a crash that tore the last append.
+        wal_path = tmp_path / "wal.log"
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[:-15])
+
+        db2 = open_db(tmp_path)
+        stats = db2.recover()
+        assert stats["wal_txns"] == 1
+        assert db2.query("item").values("name") == ["safe"]
+
+    def test_recovery_heals_file_for_future_commits(self, tmp_path):
+        db = open_db(tmp_path)
+        db.insert("item", {"name": "safe"})
+        db.close()
+        wal_path = tmp_path / "wal.log"
+        with open(wal_path, "a") as fh:
+            fh.write("deadbeef {torn")
+
+        db2 = open_db(tmp_path)
+        db2.recover()
+        db2.insert("item", {"name": "after"})
+        db2.close()
+
+        db3 = open_db(tmp_path)
+        db3.recover()
+        assert sorted(db3.query("item").values("name")) == ["after", "safe"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        db = open_db(tmp_path)
+        db.insert("item", {"name": "one"})
+        db.insert("item", {"name": "two"})
+        db.close()
+
+        wal_path = tmp_path / "wal.log"
+        lines = wal_path.read_text().splitlines()
+        lines[0] = "00000000 {corrupt}"
+        wal_path.write_text("\n".join(lines) + "\n")
+
+        db2 = open_db(tmp_path)
+        with pytest.raises(WalCorruption):
+            db2.recover()
+
+
+class TestWalFile:
+    def test_records_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        wal._append_record("checkpoint", {"snapshot": "s"})
+        records = list(wal.records())
+        assert [r["kind"] for r in records] == ["commit", "checkpoint"]
+        wal.close()
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        assert list(wal.records()) == []
+        wal.close()
+
+    def test_size_bytes(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        assert wal.size_bytes() == 0
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        assert wal.size_bytes() > 0
+        wal.close()
+
+
+class TestNonDurable:
+    def test_durable_false_skips_wal(self, tmp_path):
+        db = Database(tmp_path, durable=False)
+        db.create_table(make_schema())
+        db.insert("item", {"name": "x"})
+        assert not (tmp_path / "wal.log").exists()
+
+    def test_statistics_reports_wal_bytes(self, tmp_path):
+        db = open_db(tmp_path)
+        db.insert("item", {"name": "x"})
+        stats = db.statistics()
+        assert stats["wal_bytes"] > 0
+        assert stats["tables"]["item"] == 1
+        assert stats["total_rows"] == 1

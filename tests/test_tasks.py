@@ -1,0 +1,172 @@
+"""Task orientation: creation, inboxes, rule-driven derivation (Figure 8)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import StateError
+from repro.facade import BFabric
+from repro.tasks.rules import KIND_RELEASE_ANNOTATION
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def system():
+    return BFabric(clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+
+
+@pytest.fixture
+def actors(system):
+    admin = system.bootstrap()
+    scientist = system.add_user(admin, login="sci", full_name="Sci")
+    expert = system.add_user(admin, login="exp", full_name="Exp", role="employee")
+    return admin, scientist, expert
+
+
+class TestTaskService:
+    def test_create_role_task(self, system, actors):
+        _, _, expert = actors
+        task = system.tasks.create(
+            "review", "Review something", assignee_role="employee"
+        )
+        assert task.status == "open"
+        assert [t.id for t in system.tasks.inbox(expert)] == [task.id]
+
+    def test_create_personal_task(self, system, actors):
+        _, scientist, expert = actors
+        task = system.tasks.create(
+            "todo", "Do a thing", assignee_id=scientist.user_id
+        )
+        assert [t.id for t in system.tasks.inbox(scientist)] == [task.id]
+        assert task.id not in [t.id for t in system.tasks.inbox(expert)]
+
+    def test_exactly_one_assignee_required(self, system):
+        with pytest.raises(StateError):
+            system.tasks.create("x", "both", assignee_id=1, assignee_role="employee")
+        with pytest.raises(StateError):
+            system.tasks.create("x", "neither")
+
+    def test_admin_sees_employee_tasks(self, system, actors):
+        admin, _, _ = actors
+        system.tasks.create("review", "For experts", assignee_role="employee")
+        assert system.tasks.open_count(admin) == 1
+
+    def test_scientist_does_not_see_expert_tasks(self, system, actors):
+        _, scientist, _ = actors
+        system.tasks.create("review", "For experts", assignee_role="employee")
+        assert system.tasks.open_count(scientist) == 0
+
+    def test_complete(self, system, actors):
+        _, _, expert = actors
+        task = system.tasks.create("review", "t", assignee_role="employee")
+        done = system.tasks.complete(expert, task.id)
+        assert done.status == "done"
+        assert done.completed_by == expert.user_id
+        assert system.tasks.inbox(expert) == []
+
+    def test_complete_twice_fails(self, system, actors):
+        _, _, expert = actors
+        task = system.tasks.create("review", "t", assignee_role="employee")
+        system.tasks.complete(expert, task.id)
+        with pytest.raises(StateError):
+            system.tasks.complete(expert, task.id)
+
+    def test_cancel(self, system, actors):
+        _, _, expert = actors
+        task = system.tasks.create("review", "t", assignee_role="employee")
+        cancelled = system.tasks.cancel(expert, task.id)
+        assert cancelled.status == "cancelled"
+
+    def test_complete_for_entity_scopes_by_kind(self, system, actors):
+        _, _, expert = actors
+        system.tasks.create(
+            "kind_a", "a", assignee_role="employee",
+            entity_type="thing", entity_id=7,
+        )
+        system.tasks.create(
+            "kind_b", "b", assignee_role="employee",
+            entity_type="thing", entity_id=7,
+        )
+        done = system.tasks.complete_for_entity(expert, "kind_a", "thing", 7)
+        assert done == 1
+        assert len(system.tasks.open_for_entity("thing", 7)) == 1
+
+
+class TestAnnotationRules:
+    """Paper: new annotation -> release task; review -> task closes."""
+
+    def test_creation_opens_expert_task(self, system, actors):
+        _, scientist, expert = actors
+        attribute = system.annotations.define_attribute(expert, "Disease State")
+        annotation, _ = system.annotations.create_annotation(
+            scientist, attribute.id, "Hopeless"
+        )
+        inbox = system.tasks.inbox(expert)
+        assert len(inbox) == 1
+        assert inbox[0].kind == KIND_RELEASE_ANNOTATION
+        assert "Hopeless" in inbox[0].title
+        assert inbox[0].entity_id == annotation.id
+
+    def test_task_title_mentions_similarity(self, system, actors):
+        _, scientist, expert = actors
+        attribute = system.annotations.define_attribute(expert, "Disease State")
+        system.annotations.create_annotation(scientist, attribute.id, "Hopeless")
+        system.annotations.create_annotation(scientist, attribute.id, "Hopeles")
+        titles = [t.title for t in system.tasks.inbox(expert)]
+        assert any("similar to 'Hopeless'" in title for title in titles)
+
+    def test_release_closes_task(self, system, actors):
+        _, scientist, expert = actors
+        attribute = system.annotations.define_attribute(expert, "Disease State")
+        annotation, _ = system.annotations.create_annotation(
+            scientist, attribute.id, "Hopeless"
+        )
+        system.annotations.release(expert, annotation.id)
+        assert system.tasks.inbox(expert) == []
+
+    def test_reject_closes_task(self, system, actors):
+        _, scientist, expert = actors
+        attribute = system.annotations.define_attribute(expert, "Disease State")
+        annotation, _ = system.annotations.create_annotation(
+            scientist, attribute.id, "Wrong"
+        )
+        system.annotations.reject(expert, annotation.id)
+        assert system.tasks.inbox(expert) == []
+
+    def test_merge_closes_both_tasks(self, system, actors):
+        _, scientist, expert = actors
+        attribute = system.annotations.define_attribute(expert, "Disease State")
+        keep, _ = system.annotations.create_annotation(
+            scientist, attribute.id, "Hopeless"
+        )
+        merge, _ = system.annotations.create_annotation(
+            scientist, attribute.id, "Hopeles"
+        )
+        assert system.tasks.open_count(expert) == 2
+        system.annotations.merge(expert, keep.id, merge.id)
+        assert system.tasks.open_count(expert) == 0
+
+
+class TestImportRules:
+    def test_import_opens_and_assignment_closes(self, system, actors, tmp_path):
+        from repro.dataimport import AffymetrixGeneChipProvider
+
+        _, scientist, _ = actors
+        project = system.projects.create(scientist, "P")
+        sample = system.samples.register_sample(scientist, project.id, "s")
+        system.samples.batch_register_extracts(
+            scientist, sample.id, ["scan01 a", "scan01 b"]
+        )
+        system.imports.register_provider(
+            AffymetrixGeneChipProvider("GeneChip", runs=1)
+        )
+        workunit, _, _ = system.imports.import_files(
+            scientist, project.id, "GeneChip",
+            ["scan01_a.cel", "scan01_b.cel"],
+            workunit_name="import",
+        )
+        assert any(
+            t.kind == "assign_extracts" for t in system.tasks.inbox(scientist)
+        )
+        system.imports.apply_assignments(scientist, workunit.id)
+        assert system.tasks.inbox(scientist) == []

@@ -1,0 +1,144 @@
+"""Infrastructure utilities: ids, clocks, the event bus."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.clock import ManualClock, SystemClock
+from repro.util.events import EventBus
+from repro.util.ids import IdAllocator, token_hex
+
+
+class TestIdAllocator:
+    def test_monotonic_from_one(self):
+        allocator = IdAllocator()
+        assert [allocator.allocate() for _ in range(3)] == [1, 2, 3]
+
+    def test_custom_start(self):
+        allocator = IdAllocator(start=100)
+        assert allocator.allocate() == 100
+
+    def test_start_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            IdAllocator(start=0)
+
+    def test_peek_does_not_consume(self):
+        allocator = IdAllocator()
+        assert allocator.peek() == 1
+        assert allocator.peek() == 1
+        assert allocator.allocate() == 1
+
+    def test_observe_advances(self):
+        allocator = IdAllocator()
+        allocator.observe(41)
+        assert allocator.allocate() == 42
+
+    def test_observe_lower_noop(self):
+        allocator = IdAllocator()
+        allocator.allocate()
+        allocator.allocate()
+        allocator.observe(1)
+        assert allocator.allocate() == 3
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_never_reissues(self, observed):
+        allocator = IdAllocator()
+        issued = set()
+        for value in observed:
+            allocator.observe(value)
+            new_id = allocator.allocate()
+            assert new_id not in issued
+            assert new_id > value
+            issued.add(new_id)
+
+
+class TestTokenHex:
+    def test_length_and_uniqueness(self):
+        token = token_hex()
+        assert len(token) == 32
+        assert token != token_hex()
+
+    def test_custom_size(self):
+        assert len(token_hex(8)) == 16
+
+
+class TestClocks:
+    def test_manual_clock_advances(self):
+        clock = ManualClock(dt.datetime(2010, 1, 15, 9, 0))
+        clock.advance(hours=1, minutes=30)
+        assert clock.now() == dt.datetime(2010, 1, 15, 10, 30)
+
+    def test_manual_clock_rejects_backwards_advance(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(seconds=-1)
+
+    def test_manual_clock_set(self):
+        clock = ManualClock()
+        clock.set(dt.datetime(2009, 6, 1))
+        assert clock.now() == dt.datetime(2009, 6, 1)
+
+    def test_timestamp_and_isoformat(self):
+        clock = ManualClock(dt.datetime(2010, 1, 1, 0, 0, 0))
+        assert clock.isoformat() == "2010-01-01T00:00:00"
+        assert clock.timestamp() == dt.datetime(
+            2010, 1, 1, tzinfo=dt.timezone.utc
+        ).timestamp()
+
+    def test_system_clock_is_roughly_now(self):
+        system_now = SystemClock().now()
+        real_now = dt.datetime.utcnow()
+        assert abs((real_now - system_now).total_seconds()) < 5
+
+
+class TestEventBus:
+    def test_publish_calls_handlers_in_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe("e", lambda **kw: calls.append("first"))
+        bus.subscribe("e", lambda **kw: calls.append("second"))
+        assert bus.publish("e") == 2
+        assert calls == ["first", "second"]
+
+    def test_payload_passed_as_kwargs(self):
+        bus = EventBus()
+        seen = {}
+        bus.subscribe("e", lambda value, **kw: seen.update(value=value))
+        bus.publish("e", value=42, extra="ignored")
+        assert seen == {"value": 42}
+
+    def test_unknown_event_is_noop(self):
+        bus = EventBus()
+        assert bus.publish("nothing") == 0
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        calls = []
+        handler = lambda **kw: calls.append(1)
+        bus.subscribe("e", handler)
+        bus.unsubscribe("e", handler)
+        bus.publish("e")
+        assert calls == []
+
+    def test_unsubscribe_unknown_is_noop(self):
+        bus = EventBus()
+        bus.unsubscribe("e", lambda **kw: None)
+
+    def test_failing_handler_propagates(self):
+        bus = EventBus()
+
+        def bad(**kw):
+            raise RuntimeError("handler broke")
+
+        bus.subscribe("e", bad)
+        with pytest.raises(RuntimeError):
+            bus.publish("e")
+
+    def test_delivered_counter(self):
+        bus = EventBus()
+        bus.subscribe("e", lambda **kw: None)
+        bus.publish("e")
+        bus.publish("e")
+        assert bus.delivered == 2

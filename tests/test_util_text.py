@@ -1,0 +1,152 @@
+"""Text utilities: edit distance, similarity measures, name matching."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.text import (
+    best_name_match,
+    combined_similarity,
+    filename_stem,
+    fold,
+    levenshtein,
+    normalize_whitespace,
+    normalized_similarity,
+    slugify,
+    token_set_similarity,
+)
+
+
+class TestNormalizeWhitespace:
+    def test_collapses_runs(self):
+        assert normalize_whitespace("a   b\t c\n") == "a b c"
+
+    def test_empty(self):
+        assert normalize_whitespace("   ") == ""
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Arabidopsis Thaliana (light)") == "arabidopsis-thaliana-light"
+
+    def test_accents_stripped(self):
+        assert slugify("Zürich café") == "zurich-cafe"
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_cases(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_known_distance(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_single_deletion(self):
+        assert levenshtein("hopeless", "hopeles") == 1
+
+    def test_limit_short_circuits(self):
+        assert levenshtein("aaaa", "bbbbbbbbbb", limit=2) == 3  # limit + 1
+
+    def test_limit_not_triggered_when_close(self):
+        assert levenshtein("abc", "abd", limit=2) == 1
+
+    @given(st.text(max_size=15), st.text(max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=12), st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_identity_of_indiscernibles(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestSimilarity:
+    def test_paper_example(self):
+        # The demo's Hopeless vs. Hopeles misspelling.
+        assert normalized_similarity("Hopeless", "Hopeles") == pytest.approx(0.875)
+
+    def test_case_insensitive(self):
+        assert normalized_similarity("HEAT SHOCK", "heat shock") == 1.0
+
+    def test_disjoint_strings(self):
+        assert normalized_similarity("abc", "xyz") == 0.0
+
+    def test_token_set_word_order(self):
+        assert token_set_similarity("heat shock", "shock heat") == 1.0
+
+    def test_token_set_partial(self):
+        assert token_set_similarity("heat shock", "heat") == pytest.approx(0.5)
+
+    def test_combined_takes_max(self):
+        # Word-order swap: edit distance poor, token set perfect.
+        assert combined_similarity("heat shock", "shock heat") == 1.0
+
+    def test_empty_both(self):
+        assert normalized_similarity("", "") == 1.0
+        assert token_set_similarity("", "") == 1.0
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, a, b):
+        assert 0.0 <= normalized_similarity(a, b) <= 1.0
+        assert 0.0 <= token_set_similarity(a, b) <= 1.0
+
+    @given(st.text(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_one(self, a):
+        assert combined_similarity(a, a) == 1.0
+
+
+class TestFilenameStem:
+    def test_strips_extension(self):
+        assert filename_stem("wt_light_1.cel") == "wt_light_1"
+
+    def test_strips_directories(self):
+        assert filename_stem("scan01/wt_light_1.cel") == "wt_light_1"
+
+    def test_no_extension(self):
+        assert filename_stem("README") == "README"
+
+    def test_only_one_extension_stripped(self):
+        assert filename_stem("archive.tar.gz") == "archive.tar"
+
+
+class TestBestNameMatch:
+    def test_exact_match_after_separator_folding(self):
+        match = best_name_match(
+            "wt_light_1.cel", {1: "wt light 1", 2: "wt dark 1"}
+        )
+        assert match is not None
+        key, score = match
+        assert key == 1
+        assert score == 1.0
+
+    def test_below_minimum_returns_none(self):
+        assert best_name_match("zzzz.cel", {1: "completely different"}) is None
+
+    def test_empty_candidates(self):
+        assert best_name_match("x.cel", {}) is None
+
+    def test_prefers_higher_score(self):
+        match = best_name_match(
+            "sample_42_leaf.raw",
+            {1: "sample 42 leaf", 2: "sample 42", 3: "leaf"},
+        )
+        assert match is not None
+        assert match[0] == 1
+
+
+class TestFold:
+    def test_casefold_and_accents(self):
+        assert fold("Zürich") == "zurich"
+
+    def test_whitespace_normalized(self):
+        assert fold("A  B") == "a b"

@@ -1,0 +1,102 @@
+"""Additional coverage: workflow instance persistence details, the
+data-import and experiment workflow definitions as shipped."""
+
+import datetime as dt
+
+import pytest
+
+from repro.apps.experiments import experiment_workflow_definition
+from repro.dataimport.importer import import_workflow_definition
+from repro.facade import BFabric
+from repro.util.clock import ManualClock
+from repro.workflow import END
+
+
+@pytest.fixture
+def system():
+    return BFabric(clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0)))
+
+
+class TestShippedDefinitions:
+    def test_import_workflow_shape(self):
+        definition = import_workflow_definition()
+        assert definition.initial_step == "fetch"
+        assert [s.name for s in definition.steps()] == [
+            "fetch", "assign_extracts", "done",
+        ]
+        fetch = definition.step("fetch")
+        assert fetch.actions[0].auto  # fetch completes by itself
+        assert definition.step("done").is_terminal
+
+    def test_experiment_workflow_shape(self):
+        definition = experiment_workflow_definition()
+        assert definition.initial_step == "pending"
+        pending = definition.step("pending")
+        assert [a.name for a in pending.actions] == ["execute"]
+        assert not pending.actions[0].auto  # the executor fires it
+        assert definition.step("ready").is_terminal
+
+    def test_edges_enumeration(self):
+        definition = import_workflow_definition()
+        assert ("fetch", "fetched", "assign_extracts") in definition.edges()
+        assert ("assign_extracts", "save", "done") in definition.edges()
+
+
+class TestInstancePersistence:
+    def test_context_survives_in_database(self, system):
+        admin = system.bootstrap()
+        instance = system.workflow.start(
+            admin, "data_import",
+            context={"provider": "GeneChip", "files": ["a.cel"]},
+        )
+        row = system.db.get("workflow_instance", instance.id)
+        assert row["context"]["provider"] == "GeneChip"
+        assert row["current_step"] == "assign_extracts"
+
+    def test_updated_at_advances(self, system):
+        admin = system.bootstrap()
+        instance = system.workflow.start(admin, "data_import")
+        system.clock.advance(minutes=10)
+        updated = system.workflow.fire(admin, instance.id, "save")
+        assert updated.updated_at > instance.created_at
+
+    def test_history_actor_recorded(self, system):
+        admin = system.bootstrap()
+        instance = system.workflow.start(admin, "data_import")
+        system.workflow.fire(admin, instance.id, "save")
+        history = system.workflow.history(instance.id)
+        assert all(event.actor == "admin" for event in history)
+
+    def test_completed_instance_reports_no_actions(self, system):
+        admin = system.bootstrap()
+        instance = system.workflow.start(admin, "data_import")
+        system.workflow.fire(admin, instance.id, "save")
+        assert system.workflow.available_actions(instance.id) == []
+
+    def test_terminal_step_completes_instance(self, system):
+        admin = system.bootstrap()
+        instance = system.workflow.start(admin, "data_import")
+        finished = system.workflow.fire(admin, instance.id, "save")
+        assert finished.status == "completed"
+        assert finished.current_step == "done"
+        # END-marker transitions also complete (experiment workflow).
+        run = system.workflow.start(admin, "run_experiment")
+        completed = system.workflow.fire(admin, run.id, "execute")
+        assert completed.status == "completed"
+
+    def test_context_updates_via_fire_persist(self, system):
+        admin = system.bootstrap()
+        instance = system.workflow.start(admin, "data_import")
+        system.workflow.fire(
+            admin, instance.id, "save", assigned=4, note="all matched"
+        )
+        row = system.db.get("workflow_instance", instance.id)
+        assert row["context"]["assigned"] == 4
+        assert row["context"]["note"] == "all matched"
+
+    def test_end_target_recorded_in_history(self, system):
+        admin = system.bootstrap()
+        run = system.workflow.start(admin, "run_experiment")
+        system.workflow.fire(admin, run.id, "execute")
+        history = system.workflow.history(run.id)
+        assert history[-1].to_step in (END, "ready")

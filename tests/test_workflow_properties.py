@@ -1,0 +1,129 @@
+"""Property-based tests for the workflow engine.
+
+Random linear-with-branches definitions are generated and driven with
+random action choices; invariants:
+
+* the engine never reports an unavailable action as available;
+* firing any reported action succeeds and lands on the action's target;
+* every instance either completes, is explicitly cancelled, or remains
+  active in a step that exists in its definition;
+* the history's transitions concatenate: each event's from_step equals
+  the previous event's to_step (ignoring retries).
+"""
+
+import datetime as dt
+
+from hypothesis import given, settings, strategies as st
+
+from repro.facade import BFabric
+from repro.util.clock import ManualClock
+from repro.workflow import END, Action, Step, WorkflowDefinition
+
+_counter = iter(range(1_000_000))
+
+
+def build_definition(structure: list[list[int]]) -> WorkflowDefinition:
+    """Build a random forward-edge workflow.
+
+    *structure* assigns each step a list of action targets as relative
+    forward offsets; an offset beyond the last step means END.  Forward
+    edges only, so the definition always terminates and validates.
+    """
+    names = [f"s{i}" for i in range(len(structure))]
+    steps = []
+    for i, offsets in enumerate(structure):
+        # Action a0 always advances to the next step so every step stays
+        # reachable; further actions jump by random forward offsets.
+        targets = [1] + list(offsets)
+        actions = []
+        for j, offset in enumerate(targets):
+            target_index = i + max(1, offset)
+            target = (
+                names[target_index] if target_index < len(names) else END
+            )
+            actions.append(Action(f"a{j}", target=target))
+        steps.append(Step(names[i], actions=tuple(actions)))
+    return WorkflowDefinition(f"random_{next(_counter)}", steps=steps)
+
+
+structure_strategy = st.lists(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=0, max_size=3),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(structure=structure_strategy, choices=st.lists(st.integers(0, 10), max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_random_walk_preserves_invariants(structure, choices):
+    system = BFabric(
+        clock=ManualClock(dt.datetime(2010, 1, 15)), index_on_events=False
+    )
+    admin = system.bootstrap()
+    definition = build_definition(structure)
+    system.workflow.register_definition(definition)
+    instance = system.workflow.start(admin, definition.name)
+
+    for choice in choices:
+        if instance.status != "active":
+            break
+        available = system.workflow.available_actions(instance.id)
+        step = definition.step(instance.current_step)
+        # Availability is sound: every reported action exists on the step.
+        assert set(available) <= {a.name for a in step.actions}
+        if not available:
+            break
+        action_name = available[choice % len(available)]
+        target = step.action(action_name).target
+        instance = system.workflow.fire(admin, instance.id, action_name)
+        if target == END:
+            assert instance.status == "completed"
+        elif definition.step(target).is_terminal:
+            assert instance.status == "completed"
+        else:
+            assert instance.current_step == target
+
+    final = system.workflow.get(instance.id)
+    assert final.status in ("active", "completed")
+    if final.status == "active":
+        assert final.current_step in definition.step_names()
+
+    # History chains: from_step of event k+1 equals to_step of event k.
+    history = system.workflow.history(instance.id)
+    for previous, current in zip(history, history[1:]):
+        assert current.from_step == previous.to_step
+
+
+@given(structure=structure_strategy)
+@settings(max_examples=60, deadline=None)
+def test_generated_definitions_always_validate(structure):
+    definition = build_definition(structure)
+    # Reachability: breadth-first from the initial step covers all steps?
+    # Not necessarily all — but the constructor already rejected
+    # unreachable ones, so just confirm basic introspection works.
+    assert definition.initial_step == "s0"
+    assert definition.edges()
+
+
+@given(structure=structure_strategy)
+@settings(max_examples=40, deadline=None)
+def test_all_auto_definitions_run_to_completion(structure):
+    """If every first action is auto, starting runs straight to the end
+    (forward edges guarantee termination)."""
+    names = [f"s{i}" for i in range(len(structure))]
+    steps = []
+    for i, _offsets in enumerate(structure):
+        # Strict chain so every step is reachable; all actions auto.
+        target = names[i + 1] if i + 1 < len(names) else END
+        steps.append(
+            Step(names[i], actions=(Action("go", target=target, auto=True),))
+        )
+    definition = WorkflowDefinition(f"auto_{next(_counter)}", steps=steps)
+
+    system = BFabric(
+        clock=ManualClock(dt.datetime(2010, 1, 15)), index_on_events=False
+    )
+    admin = system.bootstrap()
+    system.workflow.register_definition(definition)
+    instance = system.workflow.start(admin, definition.name)
+    assert instance.status == "completed"
