@@ -5,6 +5,7 @@ subcommand takes via ``--data``).  Subcommands:
 
 * ``init`` — create a deployment and its first admin user;
 * ``stats`` — print the deployment-statistics table (paper Final Remark);
+* ``metrics`` — dump the observability registry (text exposition or JSON);
 * ``integrity`` — run the storage self-checks;
 * ``checkpoint`` — snapshot the database and truncate the WAL;
 * ``reindex`` — rebuild the full-text index;
@@ -67,6 +68,27 @@ def cmd_stats(args: argparse.Namespace) -> int:
     storage = system.db.statistics()
     print(f"\ntotal rows: {storage['total_rows']}, "
           f"WAL: {storage['wal_bytes']} bytes")
+    snapshot = system.monitor.snapshot()
+    print(f"commits observed: {snapshot['commits']}")
+    latency = snapshot["latency"]
+    if latency:
+        print("latency (seconds):")
+        for name, summary in sorted(latency.items()):
+            print(f"  {name:<32s} n={summary['count']:<7d} "
+                  f"p50={summary['p50']:.6f} p95={summary['p95']:.6f} "
+                  f"p99={summary['p99']:.6f}")
+    system.close()
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    system = _open(args)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(system.obs.metrics.snapshot(), indent=2, default=str))
+    else:
+        print(system.obs.metrics.render_text(), end="")
     system.close()
     return 0
 
@@ -199,6 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="deployment statistics table")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="dump the observability metrics registry"
+    )
+    p_metrics.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text = Prometheus exposition, json = structured snapshot",
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_integrity = sub.add_parser("integrity", help="storage self-checks")
     p_integrity.set_defaults(func=cmd_integrity)

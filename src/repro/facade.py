@@ -44,6 +44,7 @@ from repro.dataimport.store import ManagedStore
 from repro.graphview.links import LinkGraph
 from repro.graphview.provenance import ProvenanceTracer
 from repro.admin.reports import UsageReports
+from repro.obs import Observability
 from repro.orm import Registry
 from repro.search.engine import SearchEngine
 from repro.search.history import SavedQuery, SavedQueryStore
@@ -72,10 +73,14 @@ class BFabric:
         self.clock = clock or SystemClock()
         self.path = Path(path) if path is not None else None
 
+        # One observability hub shared by every subsystem, so a portal
+        # request traces through search, storage, and the WAL, and all
+        # layers report into the same metrics registry.
+        self.obs = Observability(clock=self.clock)
         db_dir = self.path / "db" if self.path else None
-        self.db = Database(db_dir, durable=durable)
+        self.db = Database(db_dir, durable=durable, obs=self.obs)
         self.registry = Registry(self.db)
-        self.events = EventBus()
+        self.events = EventBus(obs=self.obs)
         self.monitor = SystemMonitor(self.db)
         self.audit = AuditLog(self.db, clock=self.clock)
 
@@ -110,7 +115,8 @@ class BFabric:
         )
         self.tasks = TaskService(self.registry, audit=self.audit, clock=self.clock)
         self.workflow = WorkflowEngine(
-            self.registry, audit=self.audit, events=self.events, clock=self.clock
+            self.registry, audit=self.audit, events=self.events,
+            clock=self.clock, obs=self.obs,
         )
         if self.path:
             store_dir = self.path / "store"
@@ -155,7 +161,7 @@ class BFabric:
             access=self.access,
         )
         self.results = ResultPackager(self.workunits, self.store)
-        self.search = SearchEngine(acl=self.acl)
+        self.search = SearchEngine(acl=self.acl, obs=self.obs)
         self.saved_queries = SavedQueryStore(self.registry, clock=self.clock)
         self.links = LinkGraph(self.db)
         self.provenance = ProvenanceTracer(self.db)
@@ -223,10 +229,19 @@ class BFabric:
         return self.directory.principal_for(user)
 
     def recover(self) -> dict[str, int]:
-        """Load snapshot + WAL of a durable deployment."""
-        return self.db.recover()
+        """Load snapshot + WAL of a durable deployment.
+
+        Also restores the persisted metric state, so counters and
+        latency histograms accumulate across process restarts.
+        """
+        stats = self.db.recover()
+        if self.path is not None:
+            self.obs.load(self.path / "obs")
+        return stats
 
     def close(self) -> None:
+        if self.path is not None:
+            self.obs.save(self.path / "obs")
         self.db.close()
         if self._store_tmp is not None:
             self._store_tmp.cleanup()
@@ -339,6 +354,17 @@ class BFabric:
 
     def reindex_all(self) -> int:
         """Rebuild the full-text index from the database (maintenance)."""
+        with self.obs.tracer.span("search.reindex") as span:
+            timer = self.obs.timer()
+            count = self._reindex_all()
+            self.obs.metrics.histogram(
+                "search_index_build_seconds",
+                "Full-text index rebuild duration",
+            ).observe(timer.elapsed())
+            span.set(documents=count)
+            return count
+
+    def _reindex_all(self) -> int:
         self.search.index.clear()
         count = 0
         for row in self.db.rows("project"):
@@ -444,4 +470,5 @@ class BFabric:
             "storage": self.db.statistics(),
             "search": self.search.statistics(),
             "audit_entries": self.audit.count(),
+            "observability": self.obs.statistics(),
         }

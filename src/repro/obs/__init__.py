@@ -1,0 +1,34 @@
+"""Observability: metrics, tracing, structured logs.
+
+The operational introspection layer the paper's admin screens imply
+(Figures 13–16) and every future performance PR measures against.  See
+:mod:`repro.obs.metrics`, :mod:`repro.obs.tracing`, :mod:`repro.obs.logs`
+for the three parts and :class:`repro.obs.hub.Observability` for the
+bundle the facade wires through every subsystem.
+"""
+
+from repro.obs.hub import Observability
+from repro.obs.logs import StructuredLog, file_sink
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Observability",
+    "StructuredLog",
+    "file_sink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+]

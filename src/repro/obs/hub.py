@@ -1,0 +1,85 @@
+"""The observability hub: one object bundling metrics + tracing + logs.
+
+Every instrumented subsystem takes an optional ``obs`` argument; when the
+caller (normally :class:`repro.facade.BFabric`) does not supply one, the
+subsystem creates a private hub so instrumentation code never branches.
+The facade shares a single hub across all layers, which is what makes a
+portal request show up as one trace spanning search, storage and the WAL.
+
+Durable deployments persist the metric state next to the database
+(:meth:`Observability.save` / :meth:`Observability.load`), so counters
+and latency histograms accumulate across process restarts and the CLI
+can report on sessions served by the portal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.logs import StructuredLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+from repro.util.clock import Clock, SystemClock
+
+#: File (inside the deployment's ``obs`` directory) carrying metric state.
+METRICS_STATE_NAME = "metrics.json"
+
+
+class Observability:
+    """Shared metrics registry, tracer, and structured log."""
+
+    def __init__(self, *, clock: Clock | None = None, namespace: str = "bfabric"):
+        self.clock = clock or SystemClock()
+        self.metrics = MetricsRegistry(namespace=namespace)
+        self.log = StructuredLog(clock=self.clock)
+        self.tracer = Tracer(clock=self.clock, sink=self._record_span)
+
+    def _record_span(self, span: Span) -> None:
+        self.log.log("span", **{
+            k: v for k, v in span.to_record().items() if k != "span"
+        }, name=span.name)
+
+    # -- conveniences --------------------------------------------------------
+
+    def timer(self):
+        """Start a monotonic timer on the shared clock."""
+        return self.clock.timer()
+
+    def render_metrics(self) -> str:
+        return self.metrics.render_text()
+
+    def statistics(self) -> dict:
+        """Admin-dashboard summary of the layer itself."""
+        return {
+            "metric_families": len(self.metrics.families()),
+            "finished_spans": len(self.tracer.finished()),
+            "log_records": self.log.emitted,
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: "str | Path") -> Path:
+        """Write the metric state under *directory*; returns the file path."""
+        target_dir = Path(directory)
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / METRICS_STATE_NAME
+        tmp = target.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(self.metrics.state(), separators=(",", ":")),
+            encoding="utf-8",
+        )
+        tmp.replace(target)
+        return target
+
+    def load(self, directory: "str | Path") -> bool:
+        """Restore metric state saved by :meth:`save`; False if absent."""
+        source = Path(directory) / METRICS_STATE_NAME
+        if not source.exists():
+            return False
+        try:
+            state = json.loads(source.read_text(encoding="utf-8"))
+        except ValueError:
+            return False  # a torn write must not block startup
+        self.metrics.restore(state)
+        return True

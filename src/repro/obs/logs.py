@@ -1,0 +1,80 @@
+"""Structured logging: one JSON line per operational event.
+
+Instrumented subsystems emit one record per span, commit, and request.
+Records are plain dicts with a timestamp and an ``event`` discriminator;
+the log keeps a bounded in-memory ring (for the admin screens and tests)
+and forwards every record to an optional *sink* — a callable, so a
+deployment can tee records to a file, a socket, or a collector without
+the instrumented code knowing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, IO
+
+Sink = Callable[[dict[str, Any]], None]
+
+
+def file_sink(path: "str | Path") -> Sink:
+    """A sink appending JSON lines to *path* (line-buffered)."""
+    handle: IO[str] = open(Path(path), "a", encoding="utf-8", buffering=1)
+
+    def write(record: dict[str, Any]) -> None:
+        handle.write(json.dumps(record, default=str, sort_keys=True) + "\n")
+
+    return write
+
+
+class StructuredLog:
+    """Bounded in-memory record ring with pluggable fan-out."""
+
+    def __init__(self, *, clock=None, capacity: int = 2048):
+        from repro.util.clock import SystemClock
+
+        self._clock = clock or SystemClock()
+        self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._sinks: list[Sink] = []
+        self._lock = threading.Lock()
+        self._emitted = 0
+
+    def add_sink(self, sink: Sink) -> None:
+        """Forward every future record to *sink* as well."""
+        self._sinks.append(sink)
+
+    def log(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Record one event; returns the record that was stored."""
+        record = {"ts": self._clock.isoformat(), "event": event, **fields}
+        with self._lock:
+            self._records.append(record)
+            self._emitted += 1
+        for sink in self._sinks:
+            sink(record)
+        return record
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self, event: str | None = None, *, limit: int | None = None) -> list[dict[str, Any]]:
+        """Stored records oldest-first, optionally filtered/limited."""
+        with self._lock:
+            records = list(self._records)
+        if event is not None:
+            records = [r for r in records if r.get("event") == event]
+        if limit is not None:
+            records = records[-limit:]
+        return records
+
+    @property
+    def emitted(self) -> int:
+        """Total records ever logged (the ring may have dropped some)."""
+        return self._emitted
+
+    def jsonl(self, *, limit: int | None = None) -> str:
+        """The stored records as JSON lines (newest last)."""
+        return "\n".join(
+            json.dumps(record, default=str, sort_keys=True)
+            for record in self.records(limit=limit)
+        )

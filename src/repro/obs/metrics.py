@@ -1,0 +1,496 @@
+"""The metrics registry: counters, gauges, histograms, exposition.
+
+Dependency-free (stdlib only).  Every instrument belongs to a *family*
+(one name + help text + fixed label names); a family with labels has one
+*child* per distinct label combination, obtained via :meth:`_Family.labels`.
+Instrumented code caches children on hot paths so recording is a couple
+of dict-free operations under one registry lock.
+
+Histograms keep three complementary views of the same stream:
+
+* exact ``count`` / ``sum`` / ``min`` / ``max``,
+* fixed cumulative buckets (Prometheus ``_bucket{le=...}`` exposition),
+* a bounded reservoir sample for streaming percentiles (p50/p95/p99).
+
+The reservoir uses Vitter's Algorithm R with a per-histogram seeded RNG,
+so a given observation sequence always produces the same percentile
+estimates — property tests stay deterministic.  While the stream is
+shorter than the reservoir capacity the percentiles are exact.
+
+The registry serialises to a plain dict (:meth:`MetricsRegistry.state`)
+and restores from one (:meth:`MetricsRegistry.restore`), which is how a
+durable deployment carries its metrics across process restarts.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from bisect import bisect_left, insort
+from typing import Any, Iterator
+
+#: Default histogram boundaries, tuned for operation latencies in seconds
+#: (100µs .. 10s).  ``+Inf`` is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Reservoir capacity per histogram child; percentiles are exact up to
+#: this many observations and a uniform sample beyond.
+RESERVOIR_SIZE = 512
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class MetricsError(ValueError):
+    """Misuse of the registry (name/kind/label mismatches)."""
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    # -- persistence ---------------------------------------------------------
+
+    def _state(self) -> Any:
+        return self._value
+
+    def _restore(self, state: Any) -> None:
+        self._value = float(state)
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.RLock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _state(self) -> Any:
+        return self._value
+
+    def _restore(self, state: Any) -> None:
+        self._value = float(state)
+
+
+class Histogram:
+    """A distribution of observations with streaming percentiles."""
+
+    __slots__ = (
+        "_lock", "_buckets", "_bucket_counts", "count", "sum",
+        "min", "max", "_reservoir", "_rng",
+    )
+
+    def __init__(
+        self,
+        lock: threading.RLock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        self._lock = lock
+        self._buckets = tuple(sorted(buckets))
+        self._bucket_counts = [0] * len(self._buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        # Sorted reservoir sample; Algorithm R keeps it uniform.
+        self._reservoir: list[float] = []
+        self._rng = random.Random(0x0B5E)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            index = bisect_left(self._buckets, value)
+            if index < len(self._bucket_counts):
+                self._bucket_counts[index] += 1
+            if len(self._reservoir) < RESERVOIR_SIZE:
+                insort(self._reservoir, value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < RESERVOIR_SIZE:
+                    del self._reservoir[self._rng.randrange(RESERVOIR_SIZE)]
+                    insort(self._reservoir, value)
+
+    # -- reading -------------------------------------------------------------
+
+    def percentile(self, q: float) -> float | None:
+        """The q-th percentile (0..100), linearly interpolated.
+
+        Exact while fewer than :data:`RESERVOIR_SIZE` observations have
+        been made; a uniform-sample estimate afterwards.  ``None`` when
+        empty.
+        """
+        with self._lock:
+            sample = self._reservoir
+            if not sample:
+                return None
+            if len(sample) == 1:
+                return sample[0]
+            rank = (q / 100.0) * (len(sample) - 1)
+            low = int(rank)
+            high = min(low + 1, len(sample) - 1)
+            fraction = rank - low
+            # a + f*(b-a) rather than (1-f)*a + f*b: the latter can
+            # underflow to 0 on subnormal observations.
+            return sample[low] + fraction * (sample[high] - sample[low])
+
+    @property
+    def mean(self) -> float | None:
+        return (self.sum / self.count) if self.count else None
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        with self._lock:
+            pairs = []
+            running = 0
+            for bound, in_bucket in zip(self._buckets, self._bucket_counts):
+                running += in_bucket
+                pairs.append((bound, running))
+            pairs.append((float("inf"), self.count))
+            return pairs
+
+    def summary(self) -> dict[str, Any]:
+        """count/sum/min/max/mean plus the standard percentiles."""
+        with self._lock:
+            report: dict[str, Any] = {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+            }
+            for q in _PERCENTILES:
+                report[f"p{q:g}"] = self.percentile(q)
+            return report
+
+    # -- persistence ---------------------------------------------------------
+
+    def _state(self) -> Any:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self._buckets),
+            "bucket_counts": list(self._bucket_counts),
+            "reservoir": list(self._reservoir),
+        }
+
+    def _restore(self, state: Any) -> None:
+        self.count = int(state["count"])
+        self.sum = float(state["sum"])
+        self.min = state["min"]
+        self.max = state["max"]
+        stored = tuple(state["buckets"])
+        if stored == self._buckets:
+            self._bucket_counts = [int(n) for n in state["bucket_counts"]]
+        # A boundary change across versions drops bucket detail but keeps
+        # count/sum/percentiles — acceptable for a restart carry-over.
+        self._reservoir = sorted(float(v) for v in state["reservoir"])
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """All children of one metric name."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        lock: threading.RLock,
+        buckets: tuple[float, ...] | None = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = labelnames
+        self._lock = lock
+        self._buckets = buckets
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def labels(self, **labels: Any) -> Any:
+        """The child for this label combination (created on first use)."""
+        if set(labels) != set(self.labelnames):
+            raise MetricsError(
+                f"metric {self.name!r} takes labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _make_child(self) -> Any:
+        if self.kind == "histogram":
+            return Histogram(self._lock, self._buckets or DEFAULT_BUCKETS)
+        return _KINDS[self.kind](self._lock)
+
+    # Unlabelled families proxy the single child's interface.
+
+    def _solo(self) -> Any:
+        if self.labelnames:
+            raise MetricsError(
+                f"metric {self.name!r} is labelled by {self.labelnames!r}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def percentile(self, q: float) -> float | None:
+        return self._solo().percentile(q)
+
+    def summary(self) -> dict[str, Any]:
+        return self._solo().summary()
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        return self._solo().cumulative_buckets()
+
+    def samples(self) -> Iterator[tuple[dict[str, str], Any]]:
+        """``(labels_dict, child)`` for every child, insertion order."""
+        with self._lock:
+            items = list(self._children.items())
+        for key, child in items:
+            yield dict(zip(self.labelnames, key)), child
+
+
+class MetricsRegistry:
+    """Owns every metric family; renders and persists them."""
+
+    def __init__(self, *, namespace: str = "bfabric"):
+        self.namespace = namespace
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+
+    # -- declaring instruments ----------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> _Family:
+        labels = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(
+                    name, kind, help_text, labels, self._lock, buckets
+                )
+                self._families[name] = family
+                return family
+            if family.kind != kind:
+                raise MetricsError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            if family.labelnames != labels:
+                raise MetricsError(
+                    f"metric {name!r} already registered with labels "
+                    f"{family.labelnames!r}"
+                )
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", *, labels: tuple[str, ...] = ()
+    ) -> _Family:
+        return self._family(name, "counter", help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", *, labels: tuple[str, ...] = ()
+    ) -> _Family:
+        return self._family(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ) -> _Family:
+        return self._family(name, "histogram", help_text, labels, buckets)
+
+    # -- reading -------------------------------------------------------------
+
+    def get(self, name: str) -> _Family | None:
+        return self._families.get(name)
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return list(self._families.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view of every metric (for JSON output and tests)."""
+        report: dict[str, Any] = {}
+        for family in self.families():
+            entries = []
+            for labels, child in family.samples():
+                entry: dict[str, Any] = {"labels": labels}
+                if family.kind == "histogram":
+                    entry.update(child.summary())
+                else:
+                    entry["value"] = child.value
+                entries.append(entry)
+            report[family.name] = {"kind": family.kind, "samples": entries}
+        return report
+
+    # -- exposition -----------------------------------------------------------
+
+    def render_text(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every family."""
+        lines: list[str] = []
+        for family in self.families():
+            full = f"{self.namespace}_{family.name}" if self.namespace else family.name
+            if family.help:
+                lines.append(f"# HELP {full} {family.help}")
+            lines.append(f"# TYPE {full} {family.kind}")
+            for labels, child in family.samples():
+                if family.kind == "histogram":
+                    for bound, cumulative in child.cumulative_buckets():
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_bound(bound)
+                        lines.append(
+                            f"{full}_bucket{_render_labels(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f"{full}_sum{_render_labels(labels)} {_format_value(child.sum)}"
+                    )
+                    lines.append(
+                        f"{full}_count{_render_labels(labels)} {child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{full}{_render_labels(labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    # -- persistence -----------------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the full registry (for save/restore)."""
+        families = []
+        for family in self.families():
+            families.append(
+                {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labelnames": list(family.labelnames),
+                    "buckets": list(family._buckets) if family._buckets else None,
+                    "children": [
+                        {"labels": labels, "state": child._state()}
+                        for labels, child in family.samples()
+                    ],
+                }
+            )
+        return {"namespace": self.namespace, "families": families}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Recreate families/children from :meth:`state` output.
+
+        Existing children with the same identity are overwritten;
+        instruments registered later accumulate on top of the restored
+        values (how a restarted deployment continues its history).
+        """
+        for spec in state.get("families", ()):
+            family = self._family(
+                spec["name"],
+                spec["kind"],
+                spec.get("help", ""),
+                tuple(spec.get("labelnames", ())),
+                tuple(spec["buckets"]) if spec.get("buckets") else None,
+            )
+            for child_spec in spec.get("children", ()):
+                child = family.labels(**child_spec.get("labels", {}))
+                child._restore(child_spec["state"])
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else f"{bound:g}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

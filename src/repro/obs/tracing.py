@@ -1,0 +1,170 @@
+"""Span-based tracing.
+
+A :class:`Tracer` hands out context-managed *spans*; entering a span
+inside another links it to its parent, so one portal request produces a
+tree: ``http.request`` → ``search.query`` → ``storage.commit``.  Spans
+measure duration on the clock's monotonic source (deterministic under
+:class:`~repro.util.clock.ManualClock`) and finished spans land in a
+bounded ring buffer plus an optional sink (the structured log, by
+default, so every span becomes one JSON line).
+
+Identifiers are sequential (``s1``, ``s2`` …) rather than random: the
+tracer is in-process only, and deterministic ids keep traces assertable
+in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.util.clock import Clock, SystemClock
+
+
+@dataclass
+class Span:
+    """One timed operation, possibly nested inside another."""
+
+    name: str
+    span_id: str
+    trace_id: str
+    parent_id: str | None
+    started_at: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    duration: float | None = None
+
+    def set(self, **attributes: Any) -> None:
+        """Attach attributes mid-flight (result counts, row ids …)."""
+        self.attributes.update(attributes)
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSON-line payload for the structured log."""
+        return {
+            "span": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "status": self.status,
+            **{f"attr.{k}": v for k, v in self.attributes.items()},
+        }
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span", "_timer")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+        self._timer = None
+
+    def __enter__(self) -> Span:
+        self._timer = self._tracer._clock.timer()
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._timer is not None
+        self.span.duration = self._timer.elapsed()
+        if exc_type is not None:
+            self.span.status = "error"
+            self.span.attributes.setdefault("error", repr(exc))
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans; keeps the most recent finished ones."""
+
+    def __init__(
+        self,
+        *,
+        clock: Clock | None = None,
+        sink: Callable[[Span], None] | None = None,
+        capacity: int = 1000,
+    ):
+        self._clock = clock or SystemClock()
+        self._sink = sink
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span; nests under the thread's current span, if any.
+
+        ::
+
+            with tracer.span("search.query", terms=3) as span:
+                ...
+                span.set(results=len(hits))
+        """
+        parent = self.current()
+        with self._lock:
+            self._counter += 1
+            span_id = f"s{self._counter}"
+        span = Span(
+            name=name,
+            span_id=span_id,
+            trace_id=parent.trace_id if parent else span_id,
+            parent_id=parent.span_id if parent else None,
+            started_at=self._clock.isoformat(),
+            attributes=dict(attributes),
+        )
+        return _SpanContext(self, span)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+        if self._sink is not None:
+            self._sink(span)
+
+    # -- reading -------------------------------------------------------------
+
+    def finished(self, name: str | None = None) -> list[Span]:
+        """Finished spans, oldest first; optionally filtered by name."""
+        with self._lock:
+            spans = list(self._finished)
+        if name is not None:
+            spans = [span for span in spans if span.name == name]
+        return spans
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Every finished span of one trace, oldest first."""
+        return [s for s in self.finished() if s.trace_id == trace_id]
+
+    def children(self, span: Span) -> Iterator[Span]:
+        for candidate in self.finished():
+            if candidate.parent_id == span.span_id:
+                yield candidate
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()

@@ -40,7 +40,47 @@ class PortalApplication:
         return response.wsgi(start_response)
 
     def handle(self, request: Request) -> Response:
-        """Dispatch one request (used directly by tests, no sockets)."""
+        """Dispatch one request with timing (the WSGI middleware layer).
+
+        Every request is traced and recorded as a labelled counter +
+        latency histogram; the route label is the registered pattern
+        (``/project/<int:project_id>``), never the raw path, so metric
+        cardinality stays bounded.  Unroutable paths share one
+        ``<unmatched>`` label.
+        """
+        obs = self.system.obs
+        route = self.router.pattern_for(request.method, request.path) or "<unmatched>"
+        with obs.tracer.span(
+            "http.request", method=request.method, route=route
+        ) as span:
+            timer = obs.timer()
+            response = self._dispatch(request)
+            elapsed = timer.elapsed()
+            span.set(status=response.status)
+        obs.metrics.counter(
+            "http_requests_total",
+            "Portal requests served",
+            labels=("route", "method", "status"),
+        ).labels(
+            route=route, method=request.method, status=response.status
+        ).inc()
+        obs.metrics.histogram(
+            "http_request_seconds",
+            "Portal request latency",
+            labels=("route",),
+        ).labels(route=route).observe(elapsed)
+        obs.log.log(
+            "http.request",
+            method=request.method,
+            path=request.path,
+            route=route,
+            status=response.status,
+            duration=elapsed,
+        )
+        return response
+
+    def _dispatch(self, request: Request) -> Response:
+        """Session check + routing + error mapping (no instrumentation)."""
         token = request.cookies.get(_SESSION_COOKIE, "")
         if request.path not in _PUBLIC_PATHS:
             try:

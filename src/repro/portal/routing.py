@@ -76,3 +76,19 @@ class Router:
 
     def patterns(self) -> list[str]:
         return [pattern for _, _, pattern, _ in self._routes]
+
+    def pattern_for(self, method: str, path: str) -> str | None:
+        """The registered pattern *path* would dispatch to, if any.
+
+        Used as the bounded-cardinality route label on request metrics
+        (raw paths embed ids; patterns do not).
+        """
+        method = method.upper()
+        fallback: str | None = None
+        for route_method, regex, pattern, _ in self._routes:
+            if regex.match(path) is None:
+                continue
+            if route_method == method:
+                return pattern
+            fallback = pattern  # method mismatch still identifies the route
+        return fallback

@@ -6,6 +6,23 @@ from repro.portal.http import Request, Response
 from repro.portal.render import definition_list, esc, page, table
 
 
+def _fmt(value) -> str:
+    """Six-decimal seconds, or a dash for empty histograms."""
+    return f"{value:.6f}" if value is not None else "—"
+
+
+def _http_rows(registry) -> list[tuple]:
+    family = registry.get("http_requests_total")
+    if family is None:
+        return []
+    rows = [
+        (esc(labels["route"]), labels["method"], labels["status"],
+         int(child.value))
+        for labels, child in family.samples()
+    ]
+    return sorted(rows)
+
+
 def register(router, portal) -> None:
     system = portal.system
 
@@ -37,9 +54,57 @@ def register(router, portal) -> None:
             '<p><a href="/admin/audit">audit trail</a> | '
             '<a href="/admin/errors">errors</a> | '
             '<a href="/admin/workflows">workflow instances</a> | '
-            '<a href="/admin/reports">usage reports</a></p>'
+            '<a href="/admin/reports">usage reports</a> | '
+            '<a href="/admin/metrics">metrics</a></p>'
         )
         return Response(page("Administration", body, user=principal.login))
+
+    @router.get("/admin/metrics")
+    def metrics_page(request: Request) -> Response:
+        principal = portal.principal(request)
+        registry = system.obs.metrics
+        monitor = system.monitor
+
+        body = "<h2>Latency (seconds)</h2>" + table(
+            ["operation", "count", "mean", "p50", "p95", "p99", "max"],
+            [
+                (
+                    esc(name),
+                    s["count"],
+                    _fmt(s["mean"]), _fmt(s["p50"]),
+                    _fmt(s["p95"]), _fmt(s["p99"]), _fmt(s["max"]),
+                )
+                for name, s in sorted(monitor.latency_summary().items())
+            ],
+        )
+        body += "<h2>Requests by route</h2>" + table(
+            ["route", "method", "status", "count"],
+            _http_rows(registry),
+        )
+        body += "<h2>Committed operations</h2>" + table(
+            ["table", "operation", "count"],
+            [
+                (esc(tbl), op, count)
+                for tbl, ops in sorted(monitor.operation_counts().items())
+                for op, count in sorted(ops.items())
+            ],
+        )
+        body += "<h2>Layer</h2>" + definition_list(
+            sorted(system.obs.statistics().items())
+        )
+        body += (
+            '<p><a href="/admin/metrics.txt">raw exposition '
+            "(Prometheus text format)</a></p>"
+        )
+        return Response(page("Metrics", body, user=principal.login))
+
+    @router.get("/admin/metrics.txt")
+    def metrics_text(request: Request) -> Response:
+        portal.principal(request)  # session required; content is operational
+        return Response(
+            system.obs.metrics.render_text(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
 
     @router.get("/admin/reports")
     def usage_reports(request: Request) -> Response:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs import Observability
 from repro.search.index import Document, InvertedIndex
 from repro.search.query import SearchQuery, parse_query
 from repro.search.tokenizer import tokenize
@@ -45,9 +46,31 @@ def _snippet(document: Document, terms: set[str], *, width: int = 90) -> str:
 class SearchEngine:
     """Quick and advanced search over the indexed corpus."""
 
-    def __init__(self, *, acl: AccessControl | None = None):
+    def __init__(
+        self,
+        *,
+        acl: AccessControl | None = None,
+        obs: Observability | None = None,
+    ):
         self.index = InvertedIndex()
         self._acl = acl
+        self.obs = obs if obs is not None else Observability()
+        self._m_query_seconds = self.obs.metrics.histogram(
+            "search_query_seconds", "Full query evaluation latency"
+        )
+        self._m_queries = self.obs.metrics.counter(
+            "search_queries_total", "Queries evaluated"
+        )
+        self._m_results = self.obs.metrics.histogram(
+            "search_result_count",
+            "Results returned per query",
+            buckets=(0, 1, 2, 5, 10, 25, 50, 100, 250),
+        )
+        self._m_index_ops = self.obs.metrics.counter(
+            "search_index_ops_total",
+            "Documents (re)indexed or removed",
+            labels=("action",),
+        )
 
     # -- indexing -----------------------------------------------------------------
 
@@ -77,9 +100,13 @@ class SearchEngine:
                 metadata=meta,
             )
         )
+        self._m_index_ops.labels(action="index").inc()
 
     def remove_document(self, entity_type: str, entity_id: int) -> bool:
-        return self.index.remove(entity_type, entity_id)
+        removed = self.index.remove(entity_type, entity_id)
+        if removed:
+            self._m_index_ops.labels(action="remove").inc()
+        return removed
 
     # -- searching -------------------------------------------------------------------
 
@@ -92,6 +119,23 @@ class SearchEngine:
         limit: int = 25,
     ) -> list[SearchResult]:
         """Evaluate *query* for *principal*, best matches first."""
+        with self.obs.tracer.span("search.query", user=principal.login) as span:
+            timer = self.obs.timer()
+            results = self._evaluate(principal, query, types=types, limit=limit)
+            self._m_queries.inc()
+            self._m_query_seconds.observe(timer.elapsed())
+            self._m_results.observe(len(results))
+            span.set(results=len(results))
+            return results
+
+    def _evaluate(
+        self,
+        principal: Principal,
+        query: "str | SearchQuery",
+        *,
+        types: list[str] | None,
+        limit: int,
+    ) -> list[SearchResult]:
         if isinstance(query, str):
             query = parse_query(query)
         effective_types = set(query.types or [])

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.errors import SchemaError, WalCorruption
+from repro.obs import Observability
 from repro.storage.query import Query
 from repro.storage.schema import TableSchema
 from repro.storage.table import Table, UndoEntry
@@ -31,7 +32,13 @@ WAL_NAME = "wal.log"
 class Database:
     """An embedded multi-table transactional store."""
 
-    def __init__(self, path: "str | Path | None" = None, *, durable: bool = True):
+    def __init__(
+        self,
+        path: "str | Path | None" = None,
+        *,
+        durable: bool = True,
+        obs: Observability | None = None,
+    ):
         """Create a database.
 
         :param path: directory for WAL + snapshots; ``None`` keeps
@@ -39,7 +46,32 @@ class Database:
         :param durable: with a *path*, whether commits append to the WAL.
             Turning this off (while keeping snapshots available) exists
             for the A4 ablation benchmark.
+        :param obs: observability hub shared with the rest of the
+            deployment; a private one is created when omitted.
         """
+        self.obs = obs if obs is not None else Observability()
+        self._m_commit_seconds = self.obs.metrics.histogram(
+            "storage_commit_seconds",
+            "Transaction latency, begin to durable commit",
+        )
+        self._m_commits = self.obs.metrics.counter(
+            "storage_commits_total", "Committed transactions"
+        )
+        self._m_ops = self.obs.metrics.counter(
+            "storage_ops_total",
+            "Committed row operations",
+            labels=("table", "op"),
+        )
+        self._m_wal_append = self.obs.metrics.histogram(
+            "storage_wal_append_seconds",
+            "WAL append (serialize + write + fsync) per commit",
+        )
+        self._m_checkpoint = self.obs.metrics.histogram(
+            "storage_checkpoint_seconds", "Snapshot + WAL reset duration"
+        )
+        self._m_recover = self.obs.metrics.histogram(
+            "storage_recover_seconds", "Snapshot load + WAL replay duration"
+        )
         self._tables: dict[str, Table] = {}
         # referenced table -> list of (referencing table, column, on_delete)
         self._referencing: dict[str, list[tuple[str, str, str]]] = {}
@@ -52,7 +84,7 @@ class Database:
         if self._durable:
             assert self._path is not None
             self._path.mkdir(parents=True, exist_ok=True)
-            self._wal = WriteAheadLog(self._path / WAL_NAME)
+            self._wal = WriteAheadLog(self._path / WAL_NAME, obs=self.obs)
 
     # -- schema -----------------------------------------------------------------
 
@@ -126,20 +158,34 @@ class Database:
         """Begin a transaction; the single-writer lock is held until it ends."""
         self._lock.acquire()
         self._txn_counter += 1
-        return Transaction(self, self._txn_counter)
+        return Transaction(self, self._txn_counter, timer=self.obs.timer())
 
     def _finish_commit(self, txn: Transaction) -> None:
         """Called by Transaction.commit while the lock is still held."""
         operations = txn.operations
         try:
             if self._wal is not None and operations:
+                wal_timer = self.obs.timer()
                 self._wal.append_commit(
                     txn.txn_id, operations, self._encode_row_for_wal
                 )
+                self._m_wal_append.observe(wal_timer.elapsed())
         finally:
             self._lock.release()
         for listener in self._commit_listeners:
             listener(operations)
+        self._m_commits.inc()
+        for op in operations:
+            self._m_ops.labels(table=op.table, op=op.op).inc()
+        elapsed = txn.timer.elapsed() if txn.timer is not None else 0.0
+        self._m_commit_seconds.observe(elapsed)
+        if operations:
+            self.obs.log.log(
+                "storage.commit",
+                txn=txn.txn_id,
+                operations=len(operations),
+                duration=elapsed,
+            )
 
     def _finish_abort(self, txn: Transaction) -> None:
         self._lock.release()
@@ -213,6 +259,7 @@ class Database:
         """Write a full snapshot and reset the WAL.  Returns snapshot path."""
         if self._path is None:
             raise SchemaError("checkpoint requires a database directory")
+        timer = self.obs.timer()
         with self._lock:
             snapshot = {
                 name: [
@@ -231,6 +278,11 @@ class Database:
             if self._wal is not None:
                 self._wal.reset()
                 self._wal.append_checkpoint_marker(SNAPSHOT_NAME)
+            elapsed = timer.elapsed()
+            self._m_checkpoint.observe(elapsed)
+            self.obs.log.log(
+                "storage.checkpoint", path=str(target), duration=elapsed
+            )
             return target
 
     def recover(self) -> dict[str, int]:
@@ -242,6 +294,7 @@ class Database:
         if self._path is None:
             raise SchemaError("recover requires a database directory")
         stats = {"snapshot_rows": 0, "wal_txns": 0}
+        timer = self.obs.timer()
         with self._lock:
             snapshot_path = self._path / SNAPSHOT_NAME
             if snapshot_path.exists():
@@ -269,6 +322,9 @@ class Database:
                 except WalCorruption:
                     raise
                 self._wal.truncate_torn_tail()
+        elapsed = timer.elapsed()
+        self._m_recover.observe(elapsed)
+        self.obs.log.log("storage.recover", duration=elapsed, **stats)
         return stats
 
     def _replay_commit(self, record: dict[str, Any]) -> None:

@@ -82,6 +82,24 @@ class Table:
             if len(spec) == 1 and spec[0] not in self._sorted_indexes:
                 self._sorted_indexes[spec[0]] = SortedIndex(schema.name, spec[0])
 
+        # Index-maintenance instruments, cached per table so the per-row
+        # hot path is a single counter increment.
+        obs = database.obs
+        index_ops = obs.metrics.counter(
+            "storage_index_ops_total",
+            "Index entries written/removed during row maintenance",
+            labels=("table", "action"),
+        )
+        self._m_index_add = index_ops.labels(table=schema.name, action="add")
+        self._m_index_remove = index_ops.labels(
+            table=schema.name, action="remove"
+        )
+        self._m_index_build = obs.metrics.histogram(
+            "storage_index_build_seconds",
+            "Full index (re)builds over existing rows",
+            labels=("table",),
+        ).labels(table=schema.name)
+
     # -- basic access ------------------------------------------------------
 
     @property
@@ -190,6 +208,13 @@ class Table:
 
     # -- index plumbing ------------------------------------------------------
 
+    def _index_count(self) -> int:
+        return (
+            len(self._unique_indexes)
+            + len(self._hash_indexes)
+            + len(self._sorted_indexes)
+        )
+
     def _index_add(self, row: dict[str, Any], pk: Any) -> None:
         for index in self._unique_indexes:
             index.add(row, pk)
@@ -197,6 +222,7 @@ class Table:
             index.add(row, pk)
         for index in self._sorted_indexes.values():
             index.add(row, pk)
+        self._m_index_add.inc(self._index_count())
 
     def _index_remove(self, row: dict[str, Any], pk: Any) -> None:
         for index in self._unique_indexes:
@@ -205,6 +231,7 @@ class Table:
             index.remove(row, pk)
         for index in self._sorted_indexes.values():
             index.remove(row, pk)
+        self._m_index_remove.inc(self._index_count())
 
     # -- mutations (called by Transaction) ------------------------------------
 
@@ -369,6 +396,7 @@ class Table:
             raise SchemaError(
                 f"table {self.name!r} already has an index on {columns!r}"
             )
+        timer = self._db.obs.timer()
         index = HashIndex(self.name, columns)
         for pk, row in self._rows.items():
             index.add(row, pk)
@@ -379,11 +407,13 @@ class Table:
                 sorted_index.add(row, pk)
             self._sorted_indexes[columns[0]] = sorted_index
         self.schema.indexes = list(self.schema.indexes) + [columns]
+        self._m_index_build.observe(timer.elapsed())
 
     # -- maintenance ------------------------------------------------------------
 
     def rebuild_indexes(self) -> None:
         """Drop and rebuild every index from the row store (admin/repair)."""
+        timer = self._db.obs.timer()
         for index in self._unique_indexes:
             index.clear()
         for index in self._hash_indexes.values():
@@ -392,6 +422,7 @@ class Table:
             index.clear()
         for pk, row in self._rows.items():
             self._index_add(row, pk)
+        self._m_index_build.observe(timer.elapsed())
 
     def verify_integrity(self) -> list[str]:
         """Cross-check rows against constraints and indexes; return problems."""

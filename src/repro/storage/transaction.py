@@ -38,9 +38,12 @@ _ROLLED_BACK = "rolled_back"
 class Transaction:
     """One atomic unit of work.  Obtain via ``Database.transaction()``."""
 
-    def __init__(self, database: "Database", txn_id: int):
+    def __init__(self, database: "Database", txn_id: int, *, timer=None):
         self._db = database
         self.txn_id = txn_id
+        #: Monotonic timer started at begin; the database reads it at
+        #: commit to record end-to-end transaction latency.
+        self.timer = timer
         self._log: list[UndoEntry] = []
         self._state = _ACTIVE
         self._savepoints: dict[str, int] = {}

@@ -16,10 +16,13 @@ import json
 import os
 import zlib
 from pathlib import Path
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import WalCorruption
 from repro.storage.table import UndoEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 
 def _encode_payload(payload: dict[str, Any]) -> str:
@@ -29,10 +32,18 @@ def _encode_payload(payload: dict[str, Any]) -> str:
 class WriteAheadLog:
     """Append-only transaction log with CRC-protected records."""
 
-    def __init__(self, path: "str | Path"):
+    def __init__(self, path: "str | Path", *, obs: "Observability | None" = None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "a", encoding="utf-8")
+        self._obs = obs
+        self._m_fsync = (
+            obs.metrics.histogram(
+                "storage_wal_fsync_seconds", "fsync of one WAL record"
+            )
+            if obs is not None
+            else None
+        )
 
     # -- writing ----------------------------------------------------------------
 
@@ -70,7 +81,13 @@ class WriteAheadLog:
         crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
         self._file.write(f"{crc:08x} {body}\n")
         self._file.flush()
-        os.fsync(self._file.fileno())
+        if self._m_fsync is not None:
+            assert self._obs is not None
+            timer = self._obs.timer()
+            os.fsync(self._file.fileno())
+            self._m_fsync.observe(timer.elapsed())
+        else:
+            os.fsync(self._file.fileno())
 
     # -- reading -------------------------------------------------------------------
 

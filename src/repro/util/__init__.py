@@ -1,6 +1,6 @@
 """Shared utilities: id generation, clocks, text helpers, validation."""
 
-from repro.util.clock import Clock, SystemClock, ManualClock
+from repro.util.clock import Clock, SystemClock, ManualClock, Timer
 from repro.util.ids import IdAllocator, token_hex
 from repro.util.text import (
     normalize_whitespace,
@@ -15,6 +15,7 @@ __all__ = [
     "Clock",
     "SystemClock",
     "ManualClock",
+    "Timer",
     "IdAllocator",
     "token_hex",
     "normalize_whitespace",

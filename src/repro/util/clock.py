@@ -3,12 +3,46 @@
 Timestamps appear throughout B-Fabric (audit trails, task creation times,
 workunit dates). Tests need deterministic time, so every subsystem takes a
 :class:`Clock` and production code defaults to :class:`SystemClock`.
+
+Besides wall time, clocks expose a *monotonic* reading for measuring
+durations (:meth:`Clock.monotonic` / :meth:`Clock.timer`).  The
+observability layer times every instrumented hot path through it, so
+span and histogram tests run deterministically under :class:`ManualClock`.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import time as _time
 from abc import ABC, abstractmethod
+
+
+class Timer:
+    """Measures elapsed seconds on a clock's monotonic source.
+
+    >>> clock = ManualClock()
+    >>> timer = clock.timer()
+    >>> clock.advance(seconds=2.5)
+    >>> timer.elapsed()
+    2.5
+    """
+
+    __slots__ = ("_clock", "_start")
+
+    def __init__(self, clock: "Clock"):
+        self._clock = clock
+        self._start = clock.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return max(0.0, self._clock.monotonic() - self._start)
+
+    def restart(self) -> float:
+        """Return the elapsed seconds and start a fresh measurement."""
+        now = self._clock.monotonic()
+        elapsed = max(0.0, now - self._start)
+        self._start = now
+        return elapsed
 
 
 class Clock(ABC):
@@ -26,12 +60,28 @@ class Clock(ABC):
         """Return the current time as an ISO-8601 string."""
         return self.now().isoformat(timespec="seconds")
 
+    def monotonic(self) -> float:
+        """A reading in seconds that never moves backwards.
+
+        Only differences are meaningful; the default derives it from
+        wall time (sub-second resolution not guaranteed — real clocks
+        override this).
+        """
+        return self.timestamp()
+
+    def timer(self) -> Timer:
+        """Start measuring elapsed time from now."""
+        return Timer(self)
+
 
 class SystemClock(Clock):
     """The real wall clock (UTC)."""
 
     def now(self) -> _dt.datetime:
         return _dt.datetime.utcnow().replace(microsecond=0)
+
+    def monotonic(self) -> float:
+        return _time.perf_counter()
 
 
 class ManualClock(Clock):
@@ -47,9 +97,14 @@ class ManualClock(Clock):
 
     def __init__(self, start: _dt.datetime | None = None):
         self._now = start or _dt.datetime(2010, 1, 1, 0, 0, 0)
+        self._mono = 0.0
 
     def now(self) -> _dt.datetime:
         return self._now
+
+    def monotonic(self) -> float:
+        """Seconds accumulated by :meth:`advance` (``set`` never rewinds it)."""
+        return self._mono
 
     def advance(self, *, seconds: float = 0.0, minutes: float = 0.0,
                 hours: float = 0.0, days: float = 0.0) -> None:
@@ -60,6 +115,7 @@ class ManualClock(Clock):
         if delta < _dt.timedelta(0):
             raise ValueError("clock cannot move backwards")
         self._now = self._now + delta
+        self._mono += delta.total_seconds()
 
     def set(self, moment: _dt.datetime) -> None:
         """Jump to an absolute moment (may be earlier; tests own the clock)."""

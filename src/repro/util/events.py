@@ -3,12 +3,18 @@
 Decouples producers (annotation created, import finished, experiment
 done) from consumers (the task system, the search indexer) without any
 threading: handlers run inline, in subscription order.
+
+When constructed with an observability hub the bus records one publish
+latency histogram and a handler-invocation counter per event name.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 Handler = Callable[..., None]
 
@@ -16,9 +22,21 @@ Handler = Callable[..., None]
 class EventBus:
     """Publish/subscribe by event name."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, obs: "Observability | None" = None) -> None:
         self._handlers: dict[str, list[Handler]] = defaultdict(list)
         self._delivered = 0
+        self._obs = obs
+        if obs is not None:
+            self._m_publish = obs.metrics.histogram(
+                "events_publish_seconds",
+                "Latency of one publish (all handlers)",
+                labels=("event",),
+            )
+            self._m_handled = obs.metrics.counter(
+                "events_handled_total",
+                "Handler invocations",
+                labels=("event",),
+            )
 
     def subscribe(self, event: str, handler: Handler) -> None:
         """Register *handler* for *event* (duplicates allowed, run twice)."""
@@ -36,11 +54,22 @@ class EventBus:
         A failing handler aborts the publication — events fire inside
         service operations and a broken consumer must not be silently
         skipped (the enclosing transaction, if any, will roll back).
+        Handlers that did run before the failure keep their delivery
+        credit.
         """
         handlers = list(self._handlers.get(event, ()))
-        for handler in handlers:
-            handler(**payload)
-        self._delivered += len(handlers)
+        timer = self._obs.clock.timer() if self._obs is not None else None
+        ran = 0
+        try:
+            for handler in handlers:
+                ran += 1
+                self._delivered += 1
+                handler(**payload)
+        finally:
+            if self._obs is not None:
+                self._m_handled.labels(event=event).inc(ran)
+                assert timer is not None
+                self._m_publish.labels(event=event).observe(timer.elapsed())
         return len(handlers)
 
     @property

@@ -19,6 +19,7 @@ from repro.errors import (
     WorkflowConditionFailed,
     WorkflowDefinitionError,
 )
+from repro.obs import Observability
 from repro.orm import (
     DateTimeField,
     IntField,
@@ -84,14 +85,32 @@ class WorkflowEngine:
         audit: AuditLog,
         events: EventBus,
         clock: Clock | None = None,
+        obs: Observability | None = None,
     ):
         self._registry = registry
         self._audit = audit
         self._events = events
         self._clock = clock or SystemClock()
+        self.obs = obs if obs is not None else Observability()
         self._definitions: dict[str, WorkflowDefinition] = {}
         self._instances = registry.repository(WorkflowInstance)
         self._history = registry.repository(WorkflowEvent)
+        self._m_transition_seconds = self.obs.metrics.histogram(
+            "workflow_transition_seconds",
+            "One fired action: guard, functions, persistence",
+            labels=("definition", "action"),
+        )
+        self._m_transitions = self.obs.metrics.counter(
+            "workflow_transitions_total",
+            "Fired actions",
+            labels=("definition",),
+        )
+        self._m_active = self.obs.metrics.gauge(
+            "workflow_active", "Workflow instances currently active"
+        )
+        self._m_started = self.obs.metrics.counter(
+            "workflow_started_total", "Instances started", labels=("definition",)
+        )
 
     # -- definitions ----------------------------------------------------------------
 
@@ -144,6 +163,8 @@ class WorkflowEngine:
             principal, "create", "workflow_instance", instance.id,
             f"started {definition_name}",
         )
+        self._m_started.labels(definition=definition_name).inc()
+        self._m_active.inc()
         self._events.publish(
             "workflow.started", instance=instance, principal=principal
         )
@@ -196,6 +217,7 @@ class WorkflowEngine:
         evaluated, so form input can satisfy conditions.  After the
         transition, available auto-actions chain.
         """
+        timer = self.obs.timer()
         instance = self.get(instance_id)
         if instance.status != "active":
             raise StateError(
@@ -248,21 +270,45 @@ class WorkflowEngine:
         updated = self._instances.update(instance_id, context=context)
 
         if updated.status == "completed":
+            self._finish_transition(timer, updated, action_name, completed=True)
             self._events.publish(
                 "workflow.completed", instance=updated, principal=principal
             )
             return updated
         if definition.step(updated.current_step).is_terminal:
             updated = self._instances.update(instance_id, status="completed")
+            self._finish_transition(timer, updated, action_name, completed=True)
             self._events.publish(
                 "workflow.completed", instance=updated, principal=principal
             )
             return updated
+        self._finish_transition(timer, updated, action_name, completed=False)
         self._events.publish(
             "workflow.transitioned", instance=updated, action=action_name,
             principal=principal,
         )
         return self._run_auto_actions(principal, updated)
+
+    def _finish_transition(
+        self, timer, instance: WorkflowInstance, action_name: str, *, completed: bool
+    ) -> None:
+        """Record per-transition metrics; *timer* was started at fire()."""
+        elapsed = timer.elapsed()
+        self._m_transition_seconds.labels(
+            definition=instance.definition, action=action_name
+        ).observe(elapsed)
+        self._m_transitions.labels(definition=instance.definition).inc()
+        if completed:
+            self._m_active.dec()
+        self.obs.log.log(
+            "workflow.transition",
+            instance=instance.id,
+            definition=instance.definition,
+            action=action_name,
+            to_step=instance.current_step,
+            status=instance.status,
+            duration=elapsed,
+        )
 
     def _run_auto_actions(
         self, principal: Principal, instance: WorkflowInstance
@@ -298,6 +344,7 @@ class WorkflowEngine:
         updated = self._instances.update(
             instance_id, status="cancelled", updated_at=self._clock.now()
         )
+        self._m_active.dec()
         self._audit.record(
             principal, "update", "workflow_instance", instance_id, "cancelled"
         )
@@ -319,6 +366,10 @@ class WorkflowEngine:
             status="failed",
             context=context,
             updated_at=self._clock.now(),
+        )
+        self._m_active.dec()
+        self.obs.log.log(
+            "workflow.failed", instance=instance_id, reason=reason
         )
         self._audit.record(
             principal, "update", "workflow_instance", instance_id,
@@ -358,6 +409,7 @@ class WorkflowEngine:
             context=context,
             updated_at=now,
         )
+        self._m_active.inc()
         self._history.create(
             instance_id=instance_id,
             at=now,

@@ -76,6 +76,36 @@ class TestCli:
             main(["--data", str(deployment), "search", "x",
                   "--as-user", "ghost"])
 
+    def test_metrics_text_exposition(self, deployment, capsys):
+        run(capsys, "--data", str(deployment), "generate", "--scale", "0.005")
+        code, out = run(capsys, "--data", str(deployment), "metrics")
+        assert code == 0
+        # Commit activity from generate was persisted and reloaded.
+        assert "# TYPE bfabric_storage_commit_seconds histogram" in out
+        assert "bfabric_storage_ops_total" in out
+        count_line = next(
+            line for line in out.splitlines()
+            if line.startswith("bfabric_storage_commit_seconds_count")
+        )
+        assert int(count_line.split()[-1]) > 0
+
+    def test_metrics_json_format(self, deployment, capsys):
+        code, out = run(
+            capsys, "--data", str(deployment), "metrics", "--format", "json"
+        )
+        assert code == 0
+        import json
+
+        snapshot = json.loads(out)
+        assert snapshot["storage_commits_total"]["kind"] == "counter"
+
+    def test_stats_includes_metrics_snapshot(self, deployment, capsys):
+        code, out = run(capsys, "--data", str(deployment), "stats")
+        assert code == 0
+        assert "commits observed:" in out
+        assert "latency (seconds):" in out
+        assert "storage_commit_seconds" in out
+
     def test_audit_listing(self, deployment, capsys):
         code, out = run(capsys, "--data", str(deployment), "audit")
         assert code == 0

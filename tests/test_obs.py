@@ -1,0 +1,322 @@
+"""The observability layer: metrics, tracing, structured logs."""
+
+import datetime as dt
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    MetricsError,
+    MetricsRegistry,
+    Observability,
+    StructuredLog,
+    Tracer,
+    file_sink,
+)
+from repro.obs.metrics import RESERVOIR_SIZE
+from repro.util.clock import ManualClock
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        family = MetricsRegistry().counter("ops", labels=("table", "op"))
+        family.labels(table="user", op="insert").inc()
+        family.labels(table="user", op="insert").inc()
+        family.labels(table="sample", op="delete").inc()
+        assert family.labels(table="user", op="insert").value == 2
+        assert family.labels(table="sample", op="delete").value == 1
+
+    def test_wrong_labels_rejected(self):
+        family = MetricsRegistry().counter("ops", labels=("table",))
+        with pytest.raises(MetricsError):
+            family.labels(route="/")
+        with pytest.raises(MetricsError):
+            family.inc()  # labelled family has no solo child
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError):
+            registry.gauge("x")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labels=("a",))
+        with pytest.raises(MetricsError):
+            registry.counter("x", labels=("b",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("active")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4
+
+
+class TestHistogramPercentiles:
+    def test_uniform_distribution(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        # Linear interpolation over 1..100.
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(95) == pytest.approx(95.05)
+        assert histogram.percentile(99) == pytest.approx(99.01)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_constant_distribution(self):
+        histogram = MetricsRegistry().histogram("h")
+        for _ in range(10):
+            histogram.observe(7.0)
+        for q in (50, 95, 99):
+            assert histogram.percentile(q) == 7.0
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.percentile(50) is None
+        assert histogram.summary()["count"] == 0
+
+    def test_two_point_distribution(self):
+        histogram = MetricsRegistry().histogram("h")
+        for _ in range(90):
+            histogram.observe(1.0)
+        for _ in range(10):
+            histogram.observe(100.0)
+        assert histogram.percentile(50) == 1.0
+        assert histogram.percentile(99) > 50.0
+
+    def test_summary_fields(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        summary = histogram.summary()
+        assert summary["count"] == 2
+        assert summary["sum"] == 4.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_reservoir_overflow_keeps_estimates_sane(self):
+        histogram = MetricsRegistry().histogram("h")
+        n = RESERVOIR_SIZE * 4
+        for value in range(n):
+            histogram.observe(float(value))
+        assert histogram.count == n
+        # A uniform sample of a uniform stream: the median estimate must
+        # land well inside the middle of the range.
+        median = histogram.percentile(50)
+        assert n * 0.3 < median < n * 0.7
+        assert histogram.summary()["max"] == float(n - 1)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_percentiles_bounded_by_min_max(self, values):
+        histogram = MetricsRegistry().histogram("h")
+        for value in values:
+            histogram.observe(value)
+        for q in (0, 50, 95, 99, 100):
+            estimate = histogram.percentile(q)
+            assert min(values) <= estimate <= max(values)
+
+    def test_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.cumulative_buckets() == [
+            (0.1, 1), (1.0, 3), (10.0, 4), (float("inf"), 5),
+        ]
+
+    def test_boundary_value_counts_as_le(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.cumulative_buckets()[0] == (1.0, 1)
+
+
+class TestExposition:
+    def test_counter_and_histogram_rendering(self):
+        registry = MetricsRegistry(namespace="bfabric")
+        registry.counter("requests_total", "Requests", labels=("route",)).labels(
+            route="/login"
+        ).inc(3)
+        registry.histogram("latency_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render_text()
+        assert "# HELP bfabric_requests_total Requests" in text
+        assert "# TYPE bfabric_requests_total counter" in text
+        assert 'bfabric_requests_total{route="/login"} 3' in text
+        assert 'bfabric_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'bfabric_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "bfabric_latency_seconds_count 1" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("q",)).labels(q='say "hi"\n').inc()
+        rendered = registry.render_text()
+        assert r'q="say \"hi\"\n"' in rendered
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["g"]["samples"][0]["value"] == 2
+        assert snapshot["h"]["samples"][0]["count"] == 1
+
+
+class TestPersistence:
+    def test_state_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", labels=("table",)).labels(table="user").inc(7)
+        histogram = registry.histogram("lat")
+        for value in range(1, 101):
+            histogram.observe(value / 1000)
+
+        # Through JSON, like the on-disk file.
+        state = json.loads(json.dumps(registry.state()))
+        restored = MetricsRegistry()
+        restored.restore(state)
+        assert restored.get("ops").labels(table="user").value == 7
+        assert restored.get("lat").percentile(95) == pytest.approx(
+            histogram.percentile(95)
+        )
+        assert restored.get("lat").summary()["count"] == 100
+
+    def test_restored_metrics_keep_accumulating(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        restored = MetricsRegistry()
+        restored.restore(registry.state())
+        restored.counter("c").inc()
+        assert restored.get("c").value == 6
+
+
+class TestTracer:
+    def test_nested_spans_parent_child(self):
+        clock = ManualClock(dt.datetime(2010, 1, 15, 9, 0))
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            clock.advance(seconds=1)
+            with tracer.span("inner") as inner:
+                clock.advance(seconds=0.5)
+            with tracer.span("sibling"):
+                clock.advance(seconds=0.25)
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        assert outer.parent_id is None
+        assert inner.duration == 0.5
+        assert outer.duration == 1.75
+        # Children finish before parents; trace() sees all three.
+        names = [span.name for span in tracer.trace(outer.trace_id)]
+        assert names == ["inner", "sibling", "outer"]
+        assert [s.name for s in tracer.children(outer)] == ["inner", "sibling"]
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer(clock=ManualClock())
+        with pytest.raises(ValueError):
+            with tracer.span("risky"):
+                raise ValueError("boom")
+        span = tracer.finished("risky")[0]
+        assert span.status == "error"
+        assert "boom" in span.attributes["error"]
+
+    def test_attributes_and_set(self):
+        tracer = Tracer(clock=ManualClock())
+        with tracer.span("q", terms=3) as span:
+            span.set(results=7)
+        finished = tracer.finished("q")[0]
+        assert finished.attributes == {"terms": 3, "results": 7}
+
+    def test_sink_receives_finished_spans(self):
+        seen = []
+        tracer = Tracer(clock=ManualClock(), sink=seen.append)
+        with tracer.span("a"):
+            pass
+        assert [span.name for span in seen] == ["a"]
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(clock=ManualClock(), capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.finished()) == 3
+
+
+class TestStructuredLog:
+    def test_records_and_filtering(self):
+        log = StructuredLog(clock=ManualClock())
+        log.log("commit", txn=1)
+        log.log("request", path="/")
+        assert [r["event"] for r in log.records()] == ["commit", "request"]
+        assert log.records("commit")[0]["txn"] == 1
+        assert log.emitted == 2
+
+    def test_ring_capacity(self):
+        log = StructuredLog(clock=ManualClock(), capacity=2)
+        for index in range(5):
+            log.log("e", i=index)
+        assert [r["i"] for r in log.records()] == [3, 4]
+        assert log.emitted == 5
+
+    def test_jsonl_lines_parse(self):
+        log = StructuredLog(clock=ManualClock())
+        log.log("e", value=1)
+        parsed = [json.loads(line) for line in log.jsonl().splitlines()]
+        assert parsed[0]["event"] == "e"
+        assert parsed[0]["ts"] == "2010-01-01T00:00:00"
+
+    def test_file_sink_appends_json_lines(self, tmp_path):
+        log = StructuredLog(clock=ManualClock())
+        log.add_sink(file_sink(tmp_path / "obs.jsonl"))
+        log.log("commit", txn=9)
+        line = (tmp_path / "obs.jsonl").read_text().strip()
+        assert json.loads(line)["txn"] == 9
+
+
+class TestObservabilityHub:
+    def test_spans_become_log_records(self):
+        clock = ManualClock()
+        obs = Observability(clock=clock)
+        with obs.tracer.span("search.query"):
+            clock.advance(seconds=0.1)
+        record = obs.log.records("span")[0]
+        assert record["name"] == "search.query"
+        assert record["duration"] == pytest.approx(0.1)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        obs = Observability(clock=ManualClock())
+        obs.metrics.counter("c").inc(4)
+        obs.save(tmp_path)
+        fresh = Observability(clock=ManualClock())
+        assert fresh.load(tmp_path) is True
+        assert fresh.metrics.get("c").value == 4
+
+    def test_load_missing_or_corrupt_is_graceful(self, tmp_path):
+        obs = Observability(clock=ManualClock())
+        assert obs.load(tmp_path) is False
+        (tmp_path / "metrics.json").write_text("{torn", encoding="utf-8")
+        assert obs.load(tmp_path) is False
+
+    def test_statistics(self):
+        obs = Observability(clock=ManualClock())
+        obs.metrics.counter("c").inc()
+        with obs.tracer.span("s"):
+            pass
+        stats = obs.statistics()
+        assert stats["metric_families"] == 1
+        assert stats["finished_spans"] == 1
+        assert stats["log_records"] == 1

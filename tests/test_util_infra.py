@@ -142,3 +142,35 @@ class TestEventBus:
         bus.publish("e")
         bus.publish("e")
         assert bus.delivered == 2
+
+    def test_delivered_credits_handlers_before_failure(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe("e", lambda **kw: calls.append(1))
+
+        def bad(**kw):
+            raise RuntimeError("handler broke")
+
+        bus.subscribe("e", bad)
+        bus.subscribe("e", lambda **kw: calls.append(3))
+        with pytest.raises(RuntimeError):
+            bus.publish("e")
+        # The first handler ran and the failing one was invoked; the
+        # third never started.  Both invoked handlers are credited.
+        assert calls == [1]
+        assert bus.delivered == 2
+
+    def test_publish_metrics_when_observed(self):
+        from repro.obs import Observability
+        from repro.util.clock import ManualClock
+
+        clock = ManualClock()
+        obs = Observability(clock=clock)
+        bus = EventBus(obs=obs)
+        bus.subscribe("e", lambda **kw: clock.advance(seconds=0.25))
+        bus.subscribe("e", lambda **kw: None)
+        bus.publish("e")
+        handled = obs.metrics.get("events_handled_total")
+        assert handled.labels(event="e").value == 2
+        latency = obs.metrics.get("events_publish_seconds")
+        assert latency.labels(event="e").summary()["max"] == 0.25
