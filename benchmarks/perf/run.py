@@ -1,0 +1,20 @@
+"""Standalone entry point for the storage hot-path benchmarks.
+
+Equivalent to ``python -m repro.bench`` but runnable straight from a
+checkout without installing the package::
+
+    python benchmarks/perf/run.py --scale 0.1 --out report.json
+    python benchmarks/perf/run.py --validate BENCH_PR2.json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

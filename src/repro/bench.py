@@ -1,0 +1,390 @@
+"""Benchmark harness for the storage hot paths.
+
+Measures the paths the PR2 performance work targets:
+
+* **commit throughput** per WAL durability mode (``always``, ``group``,
+  ``buffered``) under concurrent committers, with the fsync count so the
+  group-commit batching is visible (fsyncs ≪ commits);
+* **query latency** — primary-key hit, indexed equality, forced full
+  scan, and cached repeat of the same queries;
+* **query-result cache** hit rate over that workload;
+* **full-text search** QPS on a warm corpus, where the candidate cache
+  serves repeated query shapes.
+
+The report is JSON in the stable ``repro-bench/v1`` schema; CI runs a
+scaled-down smoke (``--scale 0.05``) and checks the shape with
+:func:`validate_report`.  The full run writes ``BENCH_PR2.json``::
+
+    python -m repro.bench --out BENCH_PR2.json
+    python -m repro.cli --data /tmp/d bench --scale 0.1 --out report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.search.engine import SearchEngine
+from repro.security.principals import SYSTEM
+from repro.storage.database import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import ColumnType
+
+REPORT_SCHEMA = "repro-bench/v1"
+
+#: Commit workload at scale 1.0.  48 threads is where group commit
+#: saturates on a typical 150 µs-fsync filesystem (batches fill to the
+#: thread count, so fsyncs drop 48×) while the GIL still schedules every
+#: committer fairly.
+COMMIT_TXNS = 3200
+COMMIT_THREADS = 48
+QUERY_ROWS = 2000
+SEARCH_DOCS = 400
+SEARCH_QUERIES = 400
+
+
+def _commit_schema() -> TableSchema:
+    return TableSchema(
+        name="bench_commit",
+        columns=[
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("n", ColumnType.INT, nullable=False),
+        ],
+    )
+
+
+def _fsync_count(db: Database) -> int:
+    family = db.obs.metrics.get("storage_wal_fsync_seconds")
+    if family is None:
+        return 0
+    child = family.labels() if hasattr(family, "labels") else family
+    return int(getattr(child, "count", 0))
+
+
+def bench_commit_mode(
+    mode: str, *, txns: int, threads: int, base_dir: "str | Path | None" = None
+) -> dict[str, Any]:
+    """Throughput of *txns* single-insert commits from *threads* writers."""
+    per_thread = max(1, txns // threads)
+    total = per_thread * threads
+    with tempfile.TemporaryDirectory(
+        prefix=f"bench-{mode.split(':')[0]}-", dir=base_dir
+    ) as tmp:
+        db = Database(tmp, durability=mode)
+        db.create_table(_commit_schema())
+        barrier = threading.Barrier(threads + 1)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            base = worker_id * per_thread
+            for i in range(per_thread):
+                db.insert("bench_commit", {"id": base + i, "n": i})
+
+        pool = [
+            threading.Thread(target=worker, args=(w,), daemon=True)
+            for w in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        fsyncs = _fsync_count(db)
+        committed = db.count("bench_commit")
+        db.close()
+    return {
+        "mode": mode,
+        "transactions": total,
+        "committed": committed,
+        "threads": threads,
+        "seconds": round(elapsed, 6),
+        "tx_per_sec": round(total / elapsed, 1),
+        "fsyncs": fsyncs,
+    }
+
+
+def bench_commit_throughput(
+    *,
+    txns: int,
+    threads: int,
+    repeats: int = 3,
+    base_dir: "str | Path | None" = None,
+) -> dict[str, Any]:
+    """Per-mode throughput, best of *repeats* runs.
+
+    Scheduling noise on a shared box is one-sided — interference only
+    slows a run down — so each mode reports its best run, with every
+    individual measurement kept under ``runs``.
+    """
+    modes = {}
+    for mode in ("buffered", "always", "group"):
+        runs = [
+            bench_commit_mode(mode, txns=txns, threads=threads, base_dir=base_dir)
+            for _ in range(repeats)
+        ]
+        best = max(runs, key=lambda r: r["tx_per_sec"])
+        best["runs"] = [r["tx_per_sec"] for r in runs]
+        modes[mode] = best
+    speedup = modes["group"]["tx_per_sec"] / modes["always"]["tx_per_sec"]
+    return {"modes": modes, "group_speedup_vs_always": round(speedup, 2)}
+
+
+def _query_db(rows: int) -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            name="bench_q",
+            columns=[
+                Column("id", ColumnType.INT, primary_key=True),
+                Column("project", ColumnType.INT, nullable=False),
+                Column("payload", ColumnType.TEXT, nullable=False),
+            ],
+            indexes=["project"],
+        )
+    )
+    with db.transaction() as txn:
+        for i in range(rows):
+            txn.insert(
+                "bench_q",
+                {"id": i, "project": i % 50, "payload": f"payload row {i}"},
+            )
+    return db
+
+
+def bench_query_latency(rows: int) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Per-query latency by access path, plus the cache statistics."""
+    db = _query_db(rows)
+    projects = list(range(50))
+
+    def timed(run) -> float:
+        started = time.perf_counter()
+        for project in projects:
+            run(project)
+        return (time.perf_counter() - started) / len(projects)
+
+    pk_seconds = timed(
+        lambda p: db.query("bench_q").where("id", "=", p).all()
+    )
+    # First pass over distinct values: every lookup is a cache miss, so
+    # this is true index latency; the repeat pass measures cache hits.
+    indexed_seconds = timed(
+        lambda p: db.query("bench_q").where("project", "=", p).all()
+    )
+    cached_seconds = timed(
+        lambda p: db.query("bench_q").where("project", "=", p).all()
+    )
+    scan_seconds = timed(
+        lambda p: db.query("bench_q")
+        .where("project", "=", p)
+        .without_indexes()
+        .all()
+    )
+    stats = db.query_cache.statistics()
+    lookups = stats.get("lookups", {})
+    hits = lookups.get("hit", 0)
+    misses = lookups.get("miss", 0)
+    latency = {
+        "rows": rows,
+        "pk_seconds": round(pk_seconds, 9),
+        "indexed_seconds": round(indexed_seconds, 9),
+        "cached_seconds": round(cached_seconds, 9),
+        "scan_seconds": round(scan_seconds, 9),
+        "scan_vs_indexed": round(scan_seconds / indexed_seconds, 2)
+        if indexed_seconds
+        else None,
+    }
+    cache = {
+        "hits": hits,
+        "misses": misses,
+        "bypasses": lookups.get("bypass", 0),
+        "hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+        "entries": stats.get("entries", 0),
+        "evictions": stats.get("evictions", 0),
+    }
+    db.close()
+    return latency, cache
+
+
+_SPECIES = ("arabidopsis", "yeast", "zebrafish", "mouse", "human")
+_TISSUES = ("leaf", "root", "liver", "brain", "culture")
+
+
+def bench_search(docs: int, queries: int) -> dict[str, Any]:
+    """QPS of a fixed query mix over a warm corpus."""
+    engine = SearchEngine()
+    for i in range(docs):
+        engine.index_document(
+            "sample",
+            i,
+            {
+                "name": f"{_SPECIES[i % 5]} {_TISSUES[i % 4]} sample {i}",
+                "description": f"replicate {i % 7} of the "
+                f"{_SPECIES[(i + 2) % 5]} series",
+            },
+            label=f"sample {i}",
+        )
+    # A small rotation of shapes: repeats exercise the candidate cache
+    # the way a portal's saved searches do.
+    shapes = [f"{s} {t}" for s in _SPECIES for t in _TISSUES[:3]]
+    started = time.perf_counter()
+    results = 0
+    for i in range(queries):
+        results += len(engine.search(SYSTEM, shapes[i % len(shapes)], limit=10))
+    elapsed = time.perf_counter() - started
+    metrics = engine.obs.metrics.get("search_cache_total")
+    hits = misses = 0.0
+    if metrics is not None:
+        hits = metrics.labels(result="hit").value
+        misses = metrics.labels(result="miss").value
+    return {
+        "documents": docs,
+        "queries": queries,
+        "results": results,
+        "seconds": round(elapsed, 6),
+        "qps": round(queries / elapsed, 1),
+        "cache_hits": int(hits),
+        "cache_misses": int(misses),
+        "cache_hit_rate": round(hits / (hits + misses), 4)
+        if hits + misses
+        else 0.0,
+    }
+
+
+def run_benchmarks(
+    *,
+    scale: float = 1.0,
+    threads: int = COMMIT_THREADS,
+    data_dir: "str | Path | None" = None,
+) -> dict[str, Any]:
+    """Run every benchmark and return the report dict."""
+    txns = max(threads, int(COMMIT_TXNS * scale))
+    rows = max(100, int(QUERY_ROWS * scale))
+    docs = max(50, int(SEARCH_DOCS * scale))
+    queries = max(50, int(SEARCH_QUERIES * scale))
+    base_dir = None
+    if data_dir is not None:
+        base_dir = Path(data_dir)
+        base_dir.mkdir(parents=True, exist_ok=True)
+    commit = bench_commit_throughput(
+        txns=txns, threads=threads, base_dir=base_dir
+    )
+    latency, cache = bench_query_latency(rows)
+    search = bench_search(docs, queries)
+    return {
+        "schema": REPORT_SCHEMA,
+        "generated_by": "PR2",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "config": {
+            "scale": scale,
+            "threads": threads,
+            "commit_txns": txns,
+            "query_rows": rows,
+            "search_docs": docs,
+            "search_queries": queries,
+        },
+        "benchmarks": {
+            "commit_throughput": commit,
+            "query_latency": latency,
+            "query_cache": cache,
+            "search": search,
+        },
+    }
+
+
+def validate_report(report: dict[str, Any]) -> list[str]:
+    """Shape-check a report; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if report.get("schema") != REPORT_SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {REPORT_SCHEMA!r}"
+        )
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        return problems + ["missing benchmarks section"]
+    commit = benchmarks.get("commit_throughput", {})
+    modes = commit.get("modes", {})
+    for mode in ("always", "group", "buffered"):
+        entry = modes.get(mode)
+        if not isinstance(entry, dict):
+            problems.append(f"commit_throughput missing mode {mode!r}")
+            continue
+        if not entry.get("tx_per_sec", 0) > 0:
+            problems.append(f"mode {mode!r} reports no throughput")
+        if entry.get("committed") != entry.get("transactions"):
+            problems.append(f"mode {mode!r} lost transactions")
+    group, always = modes.get("group", {}), modes.get("always", {})
+    if group.get("fsyncs", 0) >= group.get("transactions", 1):
+        problems.append("group mode did not batch fsyncs")
+    if not isinstance(commit.get("group_speedup_vs_always"), (int, float)):
+        problems.append("missing group_speedup_vs_always")
+    latency = benchmarks.get("query_latency", {})
+    for key in ("pk_seconds", "indexed_seconds", "cached_seconds", "scan_seconds"):
+        if not latency.get(key, 0) > 0:
+            problems.append(f"query_latency missing {key}")
+    cache = benchmarks.get("query_cache", {})
+    if not cache.get("hits", 0) > 0:
+        problems.append("query cache recorded no hits")
+    search = benchmarks.get("search", {})
+    if not search.get("qps", 0) > 0:
+        problems.append("search benchmark recorded no throughput")
+    if not search.get("cache_hits", 0) > 0:
+        problems.append("search candidate cache recorded no hits")
+    return problems
+
+
+def write_report(report: dict[str, Any], path: "str | Path") -> None:
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="Storage hot-path benchmarks"
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--threads", type=int, default=COMMIT_THREADS)
+    parser.add_argument(
+        "--data", default=None,
+        help="scratch parent directory for the WAL workloads "
+        "(defaults to the system temp dir)",
+    )
+    parser.add_argument("--out", default="BENCH_PR2.json")
+    parser.add_argument(
+        "--validate", metavar="PATH",
+        help="validate an existing report instead of running benchmarks",
+    )
+    args = parser.parse_args(argv)
+    if args.validate:
+        report = json.loads(Path(args.validate).read_text())
+        problems = validate_report(report)
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        if problems:
+            return 1
+        print(f"{args.validate}: valid {report.get('schema')} report")
+        return 0
+    report = run_benchmarks(
+        scale=args.scale, threads=args.threads, data_dir=args.data
+    )
+    write_report(report, args.out)
+    commit = report["benchmarks"]["commit_throughput"]
+    for mode, entry in commit["modes"].items():
+        print(
+            f"{mode:<10s} {entry['tx_per_sec']:>9.1f} tx/s  "
+            f"fsyncs={entry['fsyncs']}"
+        )
+    print(f"group speedup vs always: {commit['group_speedup_vs_always']}x")
+    print(f"report written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    import sys
+
+    sys.exit(main())

@@ -12,6 +12,7 @@ subcommand takes via ``--data``).  Subcommands:
 * ``audit`` — show recent audit entries;
 * ``search`` — run a query from the shell;
 * ``generate`` — synthesize an FGCZ-scale benchmark deployment;
+* ``bench`` — measure the storage hot paths, write a JSON report;
 * ``serve`` — run the web portal under wsgiref.
 
 Usage::
@@ -30,7 +31,7 @@ from repro.facade import BFabric
 
 
 def _open(args: argparse.Namespace, *, recover: bool = True) -> BFabric:
-    system = BFabric(args.data)
+    system = BFabric(args.data, durability=getattr(args, "durability", None))
     if recover:
         system.recover()
     return system
@@ -44,7 +45,7 @@ def _principal(system: BFabric, login: str):
 
 
 def cmd_init(args: argparse.Namespace) -> int:
-    system = BFabric(args.data)
+    system = BFabric(args.data, durability=getattr(args, "durability", None))
     try:
         system.recover()
     except Exception:
@@ -186,6 +187,17 @@ def cmd_provenance(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_benchmarks, write_report
+
+    report = run_benchmarks(
+        scale=args.scale, threads=args.threads, data_dir=args.data,
+    )
+    write_report(report, args.out)
+    print(f"benchmark report written: {args.out}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from wsgiref.simple_server import make_server
 
@@ -211,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--data", required=True, help="deployment directory (WAL + store)"
+    )
+    parser.add_argument(
+        "--durability",
+        default=None,
+        help="WAL durability mode: always (default), "
+        "group[:window_ms:max_batch], or buffered",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -266,6 +284,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_provenance.add_argument("workunit_id", type=int)
     p_provenance.set_defaults(func=cmd_provenance)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure the storage hot paths, write a JSON report"
+    )
+    p_bench.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload multiplier (CI smoke uses ~0.1)",
+    )
+    p_bench.add_argument(
+        "--threads", type=int, default=48,
+        help="concurrent committers for the group-commit comparison",
+    )
+    p_bench.add_argument("--out", default="BENCH_PR2.json")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser("serve", help="run the web portal")
     p_serve.add_argument("--host", default="127.0.0.1")

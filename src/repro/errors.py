@@ -72,6 +72,15 @@ class WalCorruption(StorageError):
     """The write-ahead log failed its integrity checks during recovery."""
 
 
+class WalWriteError(StorageError):
+    """Appending a commit record to the write-ahead log failed.
+
+    Raised by the database while the writer lock is still held so the
+    transaction can undo its in-memory changes; ``__cause__`` carries
+    the underlying I/O or encoding error.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Domain errors
 # ---------------------------------------------------------------------------

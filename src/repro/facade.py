@@ -68,6 +68,7 @@ class BFabric:
         *,
         clock: Clock | None = None,
         durable: bool = True,
+        durability: "str | None" = None,
         index_on_events: bool = True,
     ):
         self.clock = clock or SystemClock()
@@ -78,7 +79,9 @@ class BFabric:
         # layers report into the same metrics registry.
         self.obs = Observability(clock=self.clock)
         db_dir = self.path / "db" if self.path else None
-        self.db = Database(db_dir, durable=durable, obs=self.obs)
+        self.db = Database(
+            db_dir, durable=durable, durability=durability, obs=self.obs
+        )
         self.registry = Registry(self.db)
         self.events = EventBus(obs=self.obs)
         self.monitor = SystemMonitor(self.db)

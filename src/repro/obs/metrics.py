@@ -144,9 +144,13 @@ class Histogram:
             if len(self._reservoir) < RESERVOIR_SIZE:
                 insort(self._reservoir, value)
             else:
-                slot = self._rng.randrange(self.count)
+                # random() is a single C call, much cheaper than
+                # randrange's rejection sampling; the float has 53 bits
+                # of entropy, plenty for uniformity at these sizes.
+                slot = int(self._rng.random() * self.count)
                 if slot < RESERVOIR_SIZE:
-                    del self._reservoir[self._rng.randrange(RESERVOIR_SIZE)]
+                    victim = int(self._rng.random() * RESERVOIR_SIZE)
+                    del self._reservoir[victim]
                     insort(self._reservoir, value)
 
     # -- reading -------------------------------------------------------------

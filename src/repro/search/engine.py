@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
@@ -23,6 +24,11 @@ class SearchResult:
     label: str
     snippet: str
     metadata: dict[str, Any]
+
+
+#: Bound on cached candidate sets (distinct query shapes per index
+#: generation); small because one index mutation invalidates them all.
+SEARCH_CACHE_SIZE = 128
 
 
 def _snippet(document: Document, terms: set[str], *, width: int = 90) -> str:
@@ -71,6 +77,19 @@ class SearchEngine:
             "Documents (re)indexed or removed",
             labels=("action",),
         )
+        cache_total = self.obs.metrics.counter(
+            "search_cache_total",
+            "Candidate-set cache lookups by result",
+            labels=("result",),
+        )
+        self._m_cache_hit = cache_total.labels(result="hit")
+        self._m_cache_miss = cache_total.labels(result="miss")
+        # Posting-intersection cache, keyed by the index generation plus
+        # the canonical query shape.  Everything cached here is derived
+        # purely from index contents (term candidates, boolean algebra,
+        # type filter); per-principal ACL filtering happens after and is
+        # never cached.
+        self._candidate_cache: "OrderedDict[tuple, frozenset]" = OrderedDict()
 
     # -- indexing -----------------------------------------------------------------
 
@@ -142,25 +161,9 @@ class SearchEngine:
         if types:
             effective_types |= set(types)
 
-        # Candidate set: intersection over required terms, union within
-        # each OR group, then intersected.
-        candidate_sets = []
-        for clause in query.required:
-            candidate_sets.append(self.index.candidates(clause.term, clause.field))
-        for group in query.any_of:
-            union: set = set()
-            for clause in group:
-                union |= self.index.candidates(clause.term, clause.field)
-            candidate_sets.append(union)
-        if not candidate_sets:
+        candidates = self._candidates(query, effective_types)
+        if candidates is None:
             return []
-        candidates = set.intersection(*candidate_sets)
-        for clause in query.negated:
-            candidates -= self.index.candidates(clause.term, clause.field)
-        if effective_types:
-            candidates = {
-                key for key in candidates if key[0] in effective_types
-            }
         candidates = self._visible(principal, candidates)
 
         positive = query.positive_terms
@@ -184,6 +187,58 @@ class SearchEngine:
                 )
             )
         return results
+
+    def _candidates(
+        self, query: SearchQuery, effective_types: set[str]
+    ) -> frozenset | None:
+        """The pre-ACL candidate set for *query*, cached per generation.
+
+        Returns ``None`` for a query with no positive clause.  The cache
+        key includes the index generation, so any add/remove/clear makes
+        every previous entry unreachable (entries age out of the bounded
+        LRU rather than being swept eagerly).
+        """
+        if not query.required and not query.any_of:
+            return None
+        shape = (
+            self.index.generation,
+            tuple((c.term, c.field) for c in query.required),
+            tuple(
+                tuple((c.term, c.field) for c in group)
+                for group in query.any_of
+            ),
+            tuple((c.term, c.field) for c in query.negated),
+            tuple(sorted(effective_types)),
+        )
+        cached = self._candidate_cache.get(shape)
+        if cached is not None:
+            self._candidate_cache.move_to_end(shape)
+            self._m_cache_hit.inc()
+            return cached
+        self._m_cache_miss.inc()
+
+        # Intersection over required terms, union within each OR group,
+        # then intersected; negations subtracted, then the type filter.
+        candidate_sets = []
+        for clause in query.required:
+            candidate_sets.append(self.index.candidates(clause.term, clause.field))
+        for group in query.any_of:
+            union: set = set()
+            for clause in group:
+                union |= self.index.candidates(clause.term, clause.field)
+            candidate_sets.append(union)
+        candidates = set.intersection(*candidate_sets)
+        for clause in query.negated:
+            candidates -= self.index.candidates(clause.term, clause.field)
+        if effective_types:
+            candidates = {
+                key for key in candidates if key[0] in effective_types
+            }
+        result = frozenset(candidates)
+        self._candidate_cache[shape] = result
+        while len(self._candidate_cache) > SEARCH_CACHE_SIZE:
+            self._candidate_cache.popitem(last=False)
+        return result
 
     def quick_search(
         self, principal: Principal, text: str, *, limit: int = 10
@@ -215,4 +270,6 @@ class SearchEngine:
         return {
             "documents": len(self.index),
             "terms": self.index.term_count(),
+            "generation": self.index.generation,
+            "candidate_cache_entries": len(self._candidate_cache),
         }

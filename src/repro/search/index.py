@@ -48,6 +48,16 @@ class InvertedIndex:
         self._documents: dict[DocKey, Document] = {}
         self._lengths: dict[DocKey, float] = {}
         self._boosts = dict(DEFAULT_FIELD_BOOSTS if field_boosts is None else field_boosts)
+        # Monotonic generation, bumped on every index mutation.  The
+        # search engine keys cached posting intersections on it — the
+        # same trick the storage layer plays with table versions — so a
+        # stale candidate set can never be served.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Version of the index contents; changes on add/remove/clear."""
+        return self._generation
 
     # -- maintenance -----------------------------------------------------------------
 
@@ -64,6 +74,7 @@ class InvertedIndex:
             self._postings.setdefault(term, {})[document.key] = per_field
         self._documents[document.key] = document
         self._lengths[document.key] = self._length_of(term_fields)
+        self._generation += 1
 
     def _length_of(self, term_fields: dict[str, dict[str, int]]) -> float:
         total = 0.0
@@ -89,12 +100,14 @@ class InvertedIndex:
             del self._postings[term]
         del self._documents[key]
         del self._lengths[key]
+        self._generation += 1
         return True
 
     def clear(self) -> None:
         self._postings.clear()
         self._documents.clear()
         self._lengths.clear()
+        self._generation += 1
 
     # -- introspection -----------------------------------------------------------------
 

@@ -30,7 +30,8 @@ Quick tour::
 
 from repro.storage.types import ColumnType
 from repro.storage.schema import Column, TableSchema, ForeignKey
-from repro.storage.query import Query, F
+from repro.storage.durability import Durability
+from repro.storage.query import Query, QueryCache, F
 from repro.storage.database import Database
 from repro.storage.transaction import Transaction
 from repro.storage.wal import WriteAheadLog
@@ -40,9 +41,11 @@ __all__ = [
     "Column",
     "TableSchema",
     "ForeignKey",
+    "Durability",
     "Database",
     "Transaction",
     "Query",
+    "QueryCache",
     "F",
     "WriteAheadLog",
 ]

@@ -16,9 +16,10 @@ import threading
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
-from repro.errors import SchemaError, WalCorruption
+from repro.errors import SchemaError, WalCorruption, WalWriteError
 from repro.obs import Observability
-from repro.storage.query import Query
+from repro.storage.durability import Durability
+from repro.storage.query import DEFAULT_QUERY_CACHE_SIZE, Query, QueryCache
 from repro.storage.schema import TableSchema
 from repro.storage.table import Table, UndoEntry
 from repro.storage.transaction import Transaction
@@ -37,6 +38,8 @@ class Database:
         path: "str | Path | None" = None,
         *,
         durable: bool = True,
+        durability: "Durability | str | None" = None,
+        query_cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
         obs: Observability | None = None,
     ):
         """Create a database.
@@ -46,26 +49,35 @@ class Database:
         :param durable: with a *path*, whether commits append to the WAL.
             Turning this off (while keeping snapshots available) exists
             for the A4 ablation benchmark.
+        :param durability: WAL durability policy — ``"always"``
+            (default), ``"group"``/``"group:<window_ms>:<max_batch>"``
+            for group commit, or ``"buffered"`` for re-runnable bulk
+            loads.  See :class:`~repro.storage.durability.Durability`.
+        :param query_cache_size: bound on the query-result cache
+            (entries); ``0`` disables result caching.
         :param obs: observability hub shared with the rest of the
             deployment; a private one is created when omitted.
         """
         self.obs = obs if obs is not None else Observability()
+        # Hot-path instruments are resolved to their (unlabelled) child
+        # once, so each commit records without a family lookup.
         self._m_commit_seconds = self.obs.metrics.histogram(
             "storage_commit_seconds",
             "Transaction latency, begin to durable commit",
-        )
+        ).labels()
         self._m_commits = self.obs.metrics.counter(
             "storage_commits_total", "Committed transactions"
-        )
+        ).labels()
         self._m_ops = self.obs.metrics.counter(
             "storage_ops_total",
             "Committed row operations",
             labels=("table", "op"),
         )
+        self._m_ops_children: dict[tuple[str, str], Any] = {}
         self._m_wal_append = self.obs.metrics.histogram(
             "storage_wal_append_seconds",
             "WAL append (serialize + write + fsync) per commit",
-        )
+        ).labels()
         self._m_checkpoint = self.obs.metrics.histogram(
             "storage_checkpoint_seconds", "Snapshot + WAL reset duration"
         )
@@ -77,14 +89,31 @@ class Database:
         self._referencing: dict[str, list[tuple[str, str, str]]] = {}
         self._lock = threading.RLock()
         self._txn_counter = 0
+        # Writers that have declared intent (called transaction(), maybe
+        # still blocked on the writer lock) and not yet handed their
+        # record to the WAL.  Group-commit leaders poll this to decide
+        # whether lingering in the batch window can pay off: counting
+        # lock-waiters (not just the lock holder) means the leader keeps
+        # the window open across the handoff between two transactions.
+        # The counter is touched outside the writer lock, so it gets its
+        # own tiny mutex (``+=`` on an attribute is not atomic).
+        self._intent_lock = threading.Lock()
+        self._write_intents = 0
         self._commit_listeners: list[Callable[[list[UndoEntry]], None]] = []
         self._path = Path(path) if path is not None else None
         self._durable = durable and self._path is not None
+        self.durability = Durability.parse(durability)
+        self.query_cache = QueryCache(query_cache_size, obs=self.obs)
         self._wal: WriteAheadLog | None = None
         if self._durable:
             assert self._path is not None
             self._path.mkdir(parents=True, exist_ok=True)
-            self._wal = WriteAheadLog(self._path / WAL_NAME, obs=self.obs)
+            self._wal = WriteAheadLog(
+                self._path / WAL_NAME,
+                obs=self.obs,
+                durability=self.durability,
+                pending_writers=lambda: self._write_intents,
+            )
 
     # -- schema -----------------------------------------------------------------
 
@@ -156,27 +185,63 @@ class Database:
 
     def transaction(self) -> Transaction:
         """Begin a transaction; the single-writer lock is held until it ends."""
+        with self._intent_lock:
+            self._write_intents += 1
         self._lock.acquire()
         self._txn_counter += 1
         return Transaction(self, self._txn_counter, timer=self.obs.timer())
 
     def _finish_commit(self, txn: Transaction) -> None:
-        """Called by Transaction.commit while the lock is still held."""
+        """Called by Transaction.commit while the lock is still held.
+
+        Appends (or, under group durability, enqueues) the WAL record and
+        publishes the new table versions, then releases the writer lock.
+        A group-commit ticket is awaited *after* the release, so other
+        transactions apply their changes while this one's batch fsyncs.
+
+        On a WAL append failure the lock is kept and
+        :class:`~repro.errors.WalWriteError` is raised so the caller can
+        undo the in-memory changes before releasing.
+        """
         operations = txn.operations
-        try:
-            if self._wal is not None and operations:
-                wal_timer = self.obs.timer()
-                self._wal.append_commit(
+        ticket = None
+        if self._wal is not None and operations:
+            # Under group durability the per-commit append is only an
+            # enqueue — the write+fsync happens in the leader's batch and
+            # is covered by the fsync/batch histograms — so the append
+            # timer is only meaningful (and only recorded) when the
+            # record is written synchronously.
+            wal_timer = None if self.durability.grouped else self.obs.timer()
+            try:
+                ticket = self._wal.append_commit(
                     txn.txn_id, operations, self._encode_row_for_wal
                 )
+            except Exception as exc:
+                raise WalWriteError(
+                    f"transaction #{txn.txn_id}: WAL append failed"
+                ) from exc
+            if wal_timer is not None:
                 self._m_wal_append.observe(wal_timer.elapsed())
-        finally:
-            self._lock.release()
+        for name in {op.table for op in operations}:
+            self._tables[name].commit_version()
+        with self._intent_lock:
+            self._write_intents -= 1
+        self._lock.release()
+        if ticket is not None:
+            # Block until the group leader's fsync covers our record.
+            # The in-memory state is already committed; a failure here is
+            # a durability failure, not a consistency one.
+            ticket()
         for listener in self._commit_listeners:
             listener(operations)
         self._m_commits.inc()
         for op in operations:
-            self._m_ops.labels(table=op.table, op=op.op).inc()
+            key = (op.table, op.op)
+            child = self._m_ops_children.get(key)
+            if child is None:
+                child = self._m_ops.labels(table=op.table, op=op.op)
+                self._m_ops_children[key] = child
+            child.inc()
         elapsed = txn.timer.elapsed() if txn.timer is not None else 0.0
         self._m_commit_seconds.observe(elapsed)
         if operations:
@@ -188,6 +253,8 @@ class Database:
             )
 
     def _finish_abort(self, txn: Transaction) -> None:
+        with self._intent_lock:
+            self._write_intents -= 1
         self._lock.release()
 
     def on_commit(self, listener: Callable[[list[UndoEntry]], None]) -> None:
@@ -236,6 +303,10 @@ class Database:
         if row is None:
             return None
         schema = self.table(table).schema
+        # Only DATETIME values need transforming; every other type is
+        # already JSON-safe, so most tables skip the per-value pass.
+        if schema.wal_passthrough:
+            return row
         return {
             name: to_jsonable(value, schema.column(name).type)
             for name, value in row.items()
@@ -322,6 +393,11 @@ class Database:
                 except WalCorruption:
                     raise
                 self._wal.truncate_torn_tail()
+            # Replay applied rows outside any transaction; settle them
+            # into one committed version per table so the query cache
+            # starts from a clean, non-dirty state.
+            for table in self._tables.values():
+                table.commit_version()
         elapsed = timer.elapsed()
         self._m_recover.observe(elapsed)
         self.obs.log.log("storage.recover", duration=elapsed, **stats)
@@ -330,12 +406,15 @@ class Database:
     def _replay_commit(self, record: dict[str, Any]) -> None:
         for op in record["ops"]:
             table = self.table(op["table"])
+            # "before"/"after" are omitted when they carry nothing (an
+            # insert has no before-image, a delete no after-image); use
+            # .get so both the compact and the legacy encoding replay.
             if op["op"] == "insert":
-                after = self._decode_row_from_wal(op["table"], op["after"])
+                after = self._decode_row_from_wal(op["table"], op.get("after"))
                 assert after is not None
                 table.apply_insert(after)
             elif op["op"] == "update":
-                after = self._decode_row_from_wal(op["table"], op["after"])
+                after = self._decode_row_from_wal(op["table"], op.get("after"))
                 assert after is not None
                 table.apply_update(op["pk"], after)
             elif op["op"] == "delete":
@@ -364,6 +443,8 @@ class Database:
                 "total_rows": sum(len(tbl) for tbl in self._tables.values()),
                 "wal_bytes": self._wal.size_bytes() if self._wal else 0,
                 "transactions": self._txn_counter,
+                "durability": self.durability.spec(),
+                "query_cache": self.query_cache.statistics(),
             }
 
     def close(self) -> None:

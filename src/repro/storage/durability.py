@@ -1,0 +1,99 @@
+"""Durability policies for the write-ahead log.
+
+Every committed transaction must reach the WAL, but *when* the bytes are
+forced to stable storage is a policy decision with a large performance
+range (an ``fsync`` costs orders of magnitude more than a buffered
+write).  Three modes:
+
+``always``
+    One ``write + fsync`` per commit, inside the commit path.  The
+    strongest guarantee — a commit that returned is on disk — and the
+    historical behaviour; remains the default.
+
+``group``
+    Group commit: committers enqueue their encoded records and wait;
+    one *leader* performs a single ``write + fsync`` for the whole
+    batch.  A commit that returned is still on disk — the guarantee is
+    unchanged — but concurrent committers share the fsync cost, and the
+    fsync itself happens *outside* the database writer lock, so other
+    transactions apply their changes while the disk head is busy.
+    ``window_ms`` bounds how long a leader waits for stragglers to join
+    its batch; ``max_batch`` caps batch size.
+
+``buffered``
+    ``write + flush`` only, no fsync (the OS decides when blocks reach
+    the platter).  For bulk imports where the job is re-runnable; a
+    crash can lose the tail of the log.
+
+Specs parse from strings so the mode can ride through CLI flags and
+config files: ``"always"``, ``"buffered"``, ``"group"``,
+``"group:5"`` (5 ms window), ``"group:5:128"`` (window + max batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Leader wait for stragglers, in milliseconds, when unspecified.
+DEFAULT_GROUP_WINDOW_MS = 2.0
+#: Batch-size cap when unspecified.
+DEFAULT_GROUP_MAX_BATCH = 128
+
+_MODES = ("always", "group", "buffered")
+
+
+@dataclass(frozen=True)
+class Durability:
+    """One parsed durability policy (see module docstring)."""
+
+    mode: str = "always"
+    window_ms: float = DEFAULT_GROUP_WINDOW_MS
+    max_batch: int = DEFAULT_GROUP_MAX_BATCH
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown durability mode {self.mode!r}; expected one of {_MODES}"
+            )
+        if self.window_ms < 0:
+            raise ValueError("group window must be >= 0 ms")
+        if self.max_batch < 1:
+            raise ValueError("group max_batch must be >= 1")
+
+    @property
+    def fsync_per_commit(self) -> bool:
+        return self.mode == "always"
+
+    @property
+    def grouped(self) -> bool:
+        return self.mode == "group"
+
+    @classmethod
+    def parse(cls, spec: "str | Durability | None") -> "Durability":
+        """Accept a :class:`Durability`, a spec string, or ``None`` (default)."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, Durability):
+            return spec
+        parts = str(spec).strip().lower().split(":")
+        mode = parts[0]
+        if mode != "group" and len(parts) > 1:
+            raise ValueError(f"mode {mode!r} takes no parameters: {spec!r}")
+        window_ms = DEFAULT_GROUP_WINDOW_MS
+        max_batch = DEFAULT_GROUP_MAX_BATCH
+        try:
+            if len(parts) > 1 and parts[1]:
+                window_ms = float(parts[1])
+            if len(parts) > 2 and parts[2]:
+                max_batch = int(parts[2])
+        except ValueError:
+            raise ValueError(f"bad durability spec {spec!r}") from None
+        if len(parts) > 3:
+            raise ValueError(f"bad durability spec {spec!r}")
+        return cls(mode=mode, window_ms=window_ms, max_batch=max_batch)
+
+    def spec(self) -> str:
+        """The canonical string form (inverse of :meth:`parse`)."""
+        if self.mode == "group":
+            return f"group:{self.window_ms:g}:{self.max_batch}"
+        return self.mode

@@ -15,11 +15,24 @@ The planner uses, in order of preference: a composite hash index covering
 several equality predicates, a single-column hash index for one equality
 predicate, a sorted index for a range predicate, and finally a full scan.
 :meth:`Query.explain` reports which path was chosen — the A1 index
-ablation benchmark relies on it.
+ablation benchmark relies on it — plus the query's plan fingerprint and
+its result-cache status.
+
+Result caching: every :meth:`Query.all`/:meth:`Query.count` consults the
+database's :class:`QueryCache`, a bounded LRU keyed on ``(table,
+committed version, plan fingerprint)``.  Because the table version only
+advances on commit, invalidation is a single integer comparison: any
+committed write makes every older entry unreachable, while rolled-back
+transactions leave the version — and the cache — intact.  While a
+transaction has uncommitted changes on a table the cache is *bypassed*
+in both directions, so dirty state is never served or stored.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
@@ -27,7 +40,11 @@ from repro.errors import SchemaError
 from repro.storage.types import sort_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
     from repro.storage.table import Table
+
+#: Result-cache entries kept per database when unconfigured.
+DEFAULT_QUERY_CACHE_SIZE = 256
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "=": lambda a, b: a == b,
@@ -108,6 +125,92 @@ class F:
     @staticmethod
     def is_null(column: str, flag: bool = True) -> Condition:
         return Condition(column, "is_null", flag)
+
+
+class QueryCache:
+    """Bounded LRU of query results keyed on ``(table, version, fingerprint)``.
+
+    Entries for superseded table versions are never served (the key no
+    longer matches) and age out through the LRU bound; no explicit
+    invalidation pass is needed.  Stored rows are private copies; hits
+    hand fresh copies to the caller, so cached data can never be
+    mutated from outside.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_QUERY_CACHE_SIZE,
+        *,
+        obs: "Observability | None" = None,
+    ):
+        self.capacity = max(0, int(capacity))
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._m_lookups = None
+        self._m_evictions = None
+        if obs is not None:
+            self._m_lookups = obs.metrics.counter(
+                "storage_query_cache_total",
+                "Query-result cache lookups by outcome",
+                labels=("result",),
+            )
+            self._m_evictions = obs.metrics.counter(
+                "storage_query_cache_evictions_total",
+                "Query-result cache entries evicted by the LRU bound",
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(self, result: str) -> None:
+        """Count one lookup outcome (``hit`` / ``miss`` / ``bypass``)."""
+        if self._m_lookups is not None:
+            self._m_lookups.labels(result=result).inc()
+
+    def get(self, key: tuple) -> Any | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def peek(self, key: tuple) -> bool:
+        """Presence check without touching LRU order or metrics."""
+        with self._lock:
+            return key in self._entries
+
+    def put(self, key: tuple, value: Any) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def statistics(self) -> dict[str, Any]:
+        lookups: dict[str, float] = {}
+        if self._m_lookups is not None:
+            for labels, child in self._m_lookups.samples():
+                lookups[labels["result"]] = child.value
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "lookups": lookups,
+            "evictions": (
+                self._m_evictions.value if self._m_evictions is not None else 0
+            ),
+        }
 
 
 class Query:
@@ -238,15 +341,58 @@ class Query:
 
         return ("scan", None, list(self._conditions))
 
+    def fingerprint(self) -> str:
+        """Stable digest of the query shape (conditions, order, paging).
+
+        Together with the table's committed version this keys the result
+        cache; :meth:`explain` reports it so operators can correlate
+        cache entries with query sites.
+        """
+        shape = (
+            tuple(
+                (c.column, c.op, repr(c.value)) for c in self._conditions
+            ),
+            tuple(self._order),
+            self._limit,
+            self._offset,
+            self._use_indexes,
+        )
+        digest = hashlib.sha1(repr(shape).encode("utf-8")).hexdigest()
+        return digest[:12]
+
+    def _cache(self) -> "QueryCache | None":
+        cache = getattr(self._table._db, "query_cache", None)
+        if cache is None or not cache.enabled:
+            return None
+        return cache
+
+    def _cacheable(self) -> bool:
+        # without_indexes() exists for the ablation benchmarks, which
+        # must measure real scans; a dirty table must never populate or
+        # serve the cache (its in-memory state is uncommitted).
+        return self._use_indexes and not self._table.dirty
+
+    def _cache_key(self, kind: str) -> tuple:
+        return (self._table.name, self._table.version, kind, self.fingerprint())
+
     def explain(self) -> dict[str, Any]:
         """Describe the access path without executing the query."""
         strategy, pks, residual = self._plan()
+        cache = self._cache()
+        if cache is None or not self._cacheable():
+            cache_status = "bypassed"
+        elif cache.peek(self._cache_key("rows")):
+            cache_status = "hit"
+        else:
+            cache_status = "miss"
         return {
             "table": self._table.name,
             "strategy": strategy,
             "candidates": len(pks) if pks is not None else len(self._table),
             "residual_predicates": len(residual),
             "order_by": list(self._order),
+            "cache": cache_status,
+            "fingerprint": self.fingerprint(),
         }
 
     # -- execution -----------------------------------------------------------------
@@ -271,14 +417,36 @@ class Query:
             rows.sort(key=lambda r: sort_key(r.get(column)), reverse=descending)
         return rows
 
-    def all(self) -> list[dict[str, Any]]:
-        """Execute and return row copies."""
+    def _limited_rows(self) -> list[dict[str, Any]]:
+        """Matching rows after sort/offset/limit — internal references."""
         rows = self._sorted_rows()
         if self._offset:
             rows = rows[self._offset:]
         if self._limit is not None:
             rows = rows[: self._limit]
-        return [dict(r) for r in rows]
+        return rows
+
+    def all(self) -> list[dict[str, Any]]:
+        """Execute and return row copies."""
+        cache = self._cache()
+        if cache is not None and self._cacheable():
+            key = self._cache_key("rows")
+            cached = cache.get(key)
+            if cached is not None:
+                cache.record("hit")
+                return [dict(r) for r in cached]
+            cache.record("miss")
+            # Snapshot the epoch before executing: if any mutation lands
+            # while we scan, the result may be torn and must not be
+            # published under the version captured in the key.
+            epoch = self._table.mutation_epoch
+            result = [dict(r) for r in self._limited_rows()]
+            if self._table.mutation_epoch == epoch and not self._table.dirty:
+                cache.put(key, tuple(dict(r) for r in result))
+            return result
+        if cache is not None:
+            cache.record("bypass")
+        return [dict(r) for r in self._limited_rows()]
 
     def first(self) -> dict[str, Any] | None:
         """Return the first matching row or ``None``."""
@@ -300,6 +468,21 @@ class Query:
 
     def count(self) -> int:
         """Number of matching rows (ignores limit/offset)."""
+        cache = self._cache()
+        if cache is not None and self._cacheable():
+            key = self._cache_key("count")
+            cached = cache.get(key)
+            if cached is not None:
+                cache.record("hit")
+                return cached
+            cache.record("miss")
+            epoch = self._table.mutation_epoch
+            result = sum(1 for _ in self._matching_rows())
+            if self._table.mutation_epoch == epoch and not self._table.dirty:
+                cache.put(key, result)
+            return result
+        if cache is not None:
+            cache.record("bypass")
         return sum(1 for _ in self._matching_rows())
 
     def exists(self) -> bool:
@@ -308,7 +491,9 @@ class Query:
     def pks(self) -> list[Any]:
         """Primary keys of matching rows, respecting order/limit/offset."""
         pk_col = self._table.pk_column
-        return [row[pk_col] for row in self.all()]
+        # Read straight off the internal rows: copying whole dicts to
+        # extract one column was pure overhead.
+        return [row[pk_col] for row in self._limited_rows()]
 
     def values(self, column: str) -> list[Any]:
         """The given column of every matching row."""
@@ -316,7 +501,7 @@ class Query:
             raise SchemaError(
                 f"table {self._table.name!r} has no column {column!r}"
             )
-        return [row.get(column) for row in self.all()]
+        return [row.get(column) for row in self._limited_rows()]
 
     def distinct_values(self, column: str) -> list[Any]:
         """Distinct non-null values of *column*, sorted.

@@ -157,6 +157,15 @@ class TableSchema:
                         f"table {self.name!r}: unique_together on unknown "
                         f"column {col_name!r}"
                     )
+        # Name -> Column map for O(1) lookups on hot paths (WAL encode
+        # touches every column of every row).  Schema evolution builds a
+        # fresh TableSchema, so the map never goes stale.
+        self._column_map = {c.name: c for c in self.columns}
+        # Rows of a table without DATETIME columns are JSON-safe as-is
+        # and skip per-value encoding on the WAL path.
+        self.wal_passthrough = all(
+            c.type is not ColumnType.DATETIME for c in self.columns
+        )
 
     # -- introspection -----------------------------------------------------
 
@@ -171,13 +180,13 @@ class TableSchema:
 
     def column(self, name: str) -> Column:
         """Return the column *name* or raise :class:`SchemaError`."""
-        for col in self.columns:
-            if col.name == name:
-                return col
-        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        col = self._column_map.get(name)
+        if col is None:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return col
 
     def has_column(self, name: str) -> bool:
-        return any(c.name == name for c in self.columns)
+        return name in self._column_map
 
     def index_specs(self) -> list[tuple[str, ...]]:
         """Normalize ``indexes`` entries to tuples of column names."""

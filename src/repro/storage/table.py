@@ -59,6 +59,19 @@ class Table:
         self._pk = schema.primary_key.name
         self._auto_pk = schema.primary_key.type is ColumnType.INT
 
+        # Query-cache bookkeeping.  ``_version`` identifies the last
+        # *committed* state and keys cached query results; it only moves
+        # forward when a transaction commits (or recovery finishes), so a
+        # rollback leaves it untouched and pre-transaction cache entries
+        # stay valid.  ``_mutation_epoch`` counts every state change —
+        # including undos — so an in-flight query can detect that the
+        # table moved under it and must not publish its result.
+        # ``_pending_ops`` counts applied-but-uncommitted mutations;
+        # while non-zero the table is dirty and the cache is bypassed.
+        self._version = 0
+        self._mutation_epoch = 0
+        self._pending_ops = 0
+
         # Unique constraints become unique hash indexes (PK handled by the
         # row dict itself).  Plain/composite indexes become hash indexes;
         # every single-column plain index also gets a sorted twin so range
@@ -138,6 +151,56 @@ class Table:
     def raw_row(self, pk: Any) -> dict[str, Any] | None:
         """Internal zero-copy access for the query planner. Do not mutate."""
         return self._rows.get(pk)
+
+    def raw_items(self) -> list[tuple[Any, dict[str, Any]]]:
+        """Internal zero-copy ``(pk, row)`` pairs for read-only scans.
+
+        Callers must not mutate the returned row dicts.
+        """
+        return list(self._rows.items())
+
+    # -- versioning (query-cache keys) ----------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic version of the last committed state."""
+        return self._version
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Bumped on every state change, committed or not (incl. undo)."""
+        return self._mutation_epoch
+
+    @property
+    def dirty(self) -> bool:
+        """True while an open transaction has uncommitted changes here."""
+        return self._pending_ops > 0
+
+    def _note_mutation(self) -> None:
+        self._mutation_epoch += 1
+        self._pending_ops += 1
+
+    def _note_undo(self) -> None:
+        self._mutation_epoch += 1
+        if self._pending_ops > 0:
+            self._pending_ops -= 1
+
+    def commit_version(self) -> None:
+        """Publish pending mutations as one new committed version.
+
+        Called by the database at commit (and once after recovery); a
+        rollback never calls this, so the version — and with it every
+        cached result for the pre-transaction state — survives.
+        """
+        if self._pending_ops:
+            self._pending_ops = 0
+            self._version += 1
+
+    def _bump_version(self) -> None:
+        """Out-of-band invalidation for non-transactional changes
+        (schema evolution); advances the committed version directly."""
+        self._mutation_epoch += 1
+        self._version += 1
 
     # -- validation helpers --------------------------------------------------
 
@@ -260,6 +323,7 @@ class Table:
             self._ids.observe(pk)
         self._rows[pk] = row
         self._index_add(row, pk)
+        self._note_mutation()
         return dict(row), UndoEntry("insert", self.name, pk, None, dict(row))
 
     def apply_update(
@@ -281,6 +345,7 @@ class Table:
         self._index_remove(before, pk)
         self._rows[pk] = candidate
         self._index_add(candidate, pk)
+        self._note_mutation()
         return dict(candidate), UndoEntry("update", self.name, pk, before, dict(candidate))
 
     def apply_delete(self, pk: Any) -> tuple[dict[str, Any], UndoEntry]:
@@ -293,6 +358,7 @@ class Table:
             raise RowNotFound(self.name, pk)
         before = self._rows.pop(pk)
         self._index_remove(before, pk)
+        self._note_mutation()
         return dict(before), UndoEntry("delete", self.name, pk, dict(before), None)
 
     def apply_undo(self, entry: UndoEntry) -> None:
@@ -312,6 +378,7 @@ class Table:
             self._index_add(entry.before, entry.pk)
         else:  # pragma: no cover - defensive
             raise SchemaError(f"unknown undo op {entry.op!r}")
+        self._note_undo()
 
     # -- planner hooks --------------------------------------------------------
 
@@ -382,6 +449,7 @@ class Table:
         self.schema = new_schema
         for pk, value in backfill.items():
             self._rows[pk][column.name] = value
+        self._bump_version()
         if column.unique:
             index = HashIndex(self.name, (column.name,), unique=True)
             for pk in self._rows:
@@ -407,6 +475,7 @@ class Table:
                 sorted_index.add(row, pk)
             self._sorted_indexes[columns[0]] = sorted_index
         self.schema.indexes = list(self.schema.indexes) + [columns]
+        self._bump_version()
         self._m_index_build.observe(timer.elapsed())
 
     # -- maintenance ------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.errors import (
     ForeignKeyViolation,
     RowNotFound,
     TransactionError,
+    WalWriteError,
 )
 from repro.storage.table import UndoEntry
 
@@ -106,9 +107,11 @@ class Transaction:
             if index is not None:
                 ref_pks = index.lookup((pk,))
             else:
+                # Read-only scan: use the internal rows directly instead
+                # of per-row copies.
                 ref_pks = {
-                    row[ref.pk_column]
-                    for row in ref.rows()
+                    rpk
+                    for rpk, row in ref.raw_items()
                     if row.get(ref_column) == pk
                 }
             ref_pks = {
@@ -171,14 +174,19 @@ class Transaction:
         self._state = _COMMITTED
         try:
             self._db._finish_commit(self)
-        except Exception:
-            # The WAL write failed: the in-memory state must not claim
-            # durability it does not have.  Undo and re-raise.
+        except WalWriteError as exc:
+            # The WAL append failed while the writer lock was still
+            # held: the in-memory state must not claim durability it
+            # does not have.  Undo, release, and surface the cause.
             self._state = _ACTIVE
             self._rollback_log()
             self._state = _ROLLED_BACK
             self._db._finish_abort(self)
-            raise
+            raise (exc.__cause__ or exc) from None
+        # Any other failure happens after the lock release (post-commit
+        # listeners, group-fsync wait): the transaction is committed in
+        # memory and cannot be unwound here, so the error propagates
+        # with the committed state intact.
 
     def rollback(self) -> None:
         """Undo every mutation of this transaction and release the lock."""

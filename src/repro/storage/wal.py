@@ -8,17 +8,27 @@ raises :class:`~repro.errors.WalCorruption` when corruption appears
 
 A *checkpoint* writes a full snapshot of every table and resets the log;
 recovery loads the most recent snapshot, then replays the WAL on top.
+
+When the log runs under ``group`` durability
+(:class:`~repro.storage.durability.Durability`), committers do not fsync
+individually: they enqueue their encoded record and wait while a single
+*leader* flushes the whole batch with one ``write + fsync``.  Record
+order in the file always matches enqueue order, so recovery semantics
+are identical across modes.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import WalCorruption
+from repro.storage.durability import Durability
 from repro.storage.table import UndoEntry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,21 +39,67 @@ def _encode_payload(payload: dict[str, Any]) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
 
 
+class _Batch:
+    """One group-commit batch: lines queued for a single write+fsync."""
+
+    __slots__ = ("lines", "flushed", "error")
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.flushed = False
+        self.error: BaseException | None = None
+
+
 class WriteAheadLog:
     """Append-only transaction log with CRC-protected records."""
 
-    def __init__(self, path: "str | Path", *, obs: "Observability | None" = None):
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        obs: "Observability | None" = None,
+        durability: "Durability | str | None" = None,
+        pending_writers=None,
+    ):
+        """*pending_writers*: optional zero-argument callable reporting
+        how many transactions are currently applying changes and will
+        enqueue a record soon.  A group-commit leader keeps its window
+        open only while this is positive — when nobody else can join
+        the batch, waiting is pure latency."""
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "a", encoding="utf-8")
+        self.durability = Durability.parse(durability)
+        self._pending_writers = pending_writers
         self._obs = obs
-        self._m_fsync = (
-            obs.metrics.histogram(
-                "storage_wal_fsync_seconds", "fsync of one WAL record"
-            )
-            if obs is not None
-            else None
-        )
+        self._m_fsync = None
+        self._m_batch = None
+        if obs is not None:
+            self._m_fsync = obs.metrics.histogram(
+                "storage_wal_fsync_seconds", "fsync of one WAL write (batch)"
+            ).labels()
+            self._m_batch = obs.metrics.histogram(
+                "storage_wal_batch_records",
+                "Records made durable per WAL fsync",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            ).labels()
+        # Group-commit state: one open batch fills while (at most) one
+        # leader flushes a closed batch.  Both conditions share one
+        # mutex; the split keeps enqueues from waking every waiter:
+        # _join_cv wakes only the window-waiting leader, _flushed_cv
+        # wakes the committers blocked on their batch.
+        self._mutex = threading.Lock()
+        self._join_cv = threading.Condition(self._mutex)
+        self._flushed_cv = threading.Condition(self._mutex)
+        self._current: _Batch | None = None
+        self._leader_active = False
+        # Size of the most recently flushed batch.  A solo commit skips
+        # the batch window only when the previous batch was also solo:
+        # right after a multi-record flush the other committers are busy
+        # with post-commit bookkeeping and about to enqueue again, and
+        # flushing ahead of them would split the stream into half-sized
+        # batches with one stray single-record fsync in between.
+        self._last_batch_size = 0
 
     # -- writing ----------------------------------------------------------------
 
@@ -52,41 +108,171 @@ class WriteAheadLog:
         txn_id: int,
         operations: list[UndoEntry],
         encode_value,
-    ) -> None:
-        """Durably record one committed transaction.
+    ):
+        """Record one committed transaction; returns a *durability ticket*.
 
         *encode_value* maps ``(table, row_dict)`` to a JSON-safe dict;
         the database supplies it so the WAL stays schema-agnostic.
+
+        Under ``always``/``buffered`` durability the record is written
+        before returning and the ticket is ``None``.  Under ``group``
+        durability the record is only *enqueued*: the caller must invoke
+        the returned zero-argument ticket — after releasing any locks —
+        to block until the batch fsync makes the record durable.
         """
         ops = []
         for entry in operations:
-            ops.append(
-                {
-                    "op": entry.op,
-                    "table": entry.table,
-                    "pk": entry.pk,
-                    "before": encode_value(entry.table, entry.before),
-                    "after": encode_value(entry.table, entry.after),
-                }
-            )
+            op: dict[str, Any] = {
+                "op": entry.op,
+                "table": entry.table,
+                "pk": entry.pk,
+            }
+            # Inserts have no before-image and deletes no after-image;
+            # omit the keys instead of serialising nulls.
+            if entry.op != "insert":
+                before = encode_value(entry.table, entry.before)
+                if before is not None:
+                    op["before"] = before
+            if entry.op != "delete":
+                after = encode_value(entry.table, entry.after)
+                if after is not None:
+                    op["after"] = after
+            ops.append(op)
         payload = {"txn": txn_id, "ops": ops}
-        self._append_record("commit", payload)
+        return self._append_record("commit", payload)
 
     def append_checkpoint_marker(self, snapshot_name: str) -> None:
         """Note that a snapshot file now covers everything before here."""
         self._append_record("checkpoint", {"snapshot": snapshot_name})
 
-    def _append_record(self, kind: str, payload: dict[str, Any]) -> None:
+    def _append_record(self, kind: str, payload: dict[str, Any]):
         body = _encode_payload({"kind": kind, **payload})
         crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
-        self._file.write(f"{crc:08x} {body}\n")
+        line = f"{crc:08x} {body}\n"
+        if self.durability.grouped and kind == "commit":
+            batch = self._enqueue(line)
+            return lambda: self._await_batch(batch)
+        self._write_lines([line], fsync=self.durability.mode != "buffered")
+        return None
+
+    def _write_lines(self, lines: list[str], *, fsync: bool) -> None:
+        self._file.write("".join(lines))
         self._file.flush()
+        if not fsync:
+            return
         if self._m_fsync is not None:
             assert self._obs is not None
             timer = self._obs.timer()
             os.fsync(self._file.fileno())
             self._m_fsync.observe(timer.elapsed())
         else:
+            os.fsync(self._file.fileno())
+        if self._m_batch is not None:
+            self._m_batch.observe(len(lines))
+
+    # -- group commit ------------------------------------------------------------
+
+    def _enqueue(self, line: str) -> _Batch:
+        """Add *line* to the open batch (creating one) and return it."""
+        with self._mutex:
+            if self._current is None:
+                self._current = _Batch()
+            batch = self._current
+            batch.lines.append(line)
+            self._join_cv.notify()  # let a window-waiting leader re-evaluate
+            return batch
+
+    def _await_batch(self, batch: _Batch) -> None:
+        """Block until *batch* is on disk; re-raise its flush error."""
+        with self._mutex:
+            while not batch.flushed:
+                if not self._leader_active:
+                    self._leader_active = True
+                    # A lone commit with no other writer in flight skips
+                    # the batch window: group durability then costs one
+                    # fsync, exactly like `always`.
+                    alone = (
+                        len(batch.lines) <= 1
+                        and self._last_batch_size <= 1
+                        and (
+                            self._pending_writers is None
+                            or self._pending_writers() <= 0
+                        )
+                    )
+                    self._lead_locked(batch, wait_window=not alone)
+                else:
+                    self._flushed_cv.wait()
+        if batch.error is not None:
+            raise batch.error
+
+    def _lead_locked(self, batch: _Batch, *, wait_window: bool) -> None:
+        """Flush *batch* as leader.  Called (and returns) with _mutex held.
+
+        The leader lingers up to the durability window so stragglers can
+        join, closes the batch, then performs the write+fsync *outside*
+        the mutex so new commits keep enqueueing meanwhile.
+        """
+        assert batch is self._current
+        window_s = self.durability.window_ms / 1000.0
+        if wait_window and window_s > 0:
+            deadline = time.monotonic() + window_s
+            while len(batch.lines) < self.durability.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if (
+                    self._pending_writers is not None
+                    and self._pending_writers() <= 0
+                ):
+                    # No writer in flight.  Committers released by the
+                    # previous flush run their post-commit bookkeeping
+                    # before re-declaring intent, so probe briefly (an
+                    # enqueue notifies _join_cv and ends the wait early);
+                    # close the batch only if nothing new shows up.
+                    seen = len(batch.lines)
+                    self._join_cv.wait(min(remaining, 0.0001))
+                    if (
+                        len(batch.lines) == seen
+                        and self._pending_writers() <= 0
+                    ):
+                        break
+                    continue
+                # Writers are applying and will enqueue soon; tick short
+                # so an aborting writer never costs the whole window.
+                self._join_cv.wait(min(remaining, 0.0005))
+        self._current = None  # close the batch; later commits start a new one
+        self._mutex.release()
+        error: BaseException | None = None
+        try:
+            self._write_lines(batch.lines, fsync=True)
+        except BaseException as exc:  # propagate to every waiter
+            error = exc
+        self._mutex.acquire()
+        batch.error = error
+        batch.flushed = True
+        self._last_batch_size = len(batch.lines)
+        self._leader_active = False
+        self._flushed_cv.notify_all()
+
+    def sync(self) -> None:
+        """Drain pending group batches and force the file to disk.
+
+        Checkpoints and ``close`` call this so no enqueued-but-unflushed
+        record is ever lost to a log reset; under ``buffered`` durability
+        it is also the point where the tail becomes crash-safe.
+        """
+        with self._mutex:
+            while True:
+                batch = self._current
+                if batch is None and not self._leader_active:
+                    break
+                if batch is not None and not self._leader_active:
+                    self._leader_active = True
+                    self._lead_locked(batch, wait_window=False)
+                    continue
+                self._flushed_cv.wait()
+        if not self._file.closed:
+            self._file.flush()
             os.fsync(self._file.fileno())
 
     # -- reading -------------------------------------------------------------------
@@ -151,6 +337,7 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Empty the log (after a checkpoint snapshot has been fsynced)."""
+        self.sync()
         self.close()
         with open(self.path, "w", encoding="utf-8") as fh:
             fh.flush()
@@ -163,6 +350,7 @@ class WriteAheadLog:
 
     def close(self) -> None:
         if not self._file.closed:
+            self.sync()
             self._file.flush()
             self._file.close()
 

@@ -77,8 +77,24 @@ class Clock(ABC):
 class SystemClock(Clock):
     """The real wall clock (UTC)."""
 
+    __slots__ = ("_iso_second", "_iso_value")
+
+    def __init__(self) -> None:
+        self._iso_second = -1
+        self._iso_value = ""
+
     def now(self) -> _dt.datetime:
         return _dt.datetime.utcnow().replace(microsecond=0)
+
+    def isoformat(self) -> str:
+        # Timestamps are second-resolution, so the formatted string only
+        # changes once a second; caching it keeps per-event logging off
+        # the datetime-formatting path (it is called on every commit).
+        second = int(_time.time())
+        if second != self._iso_second:
+            self._iso_value = _dt.datetime.utcfromtimestamp(second).isoformat()
+            self._iso_second = second
+        return self._iso_value
 
     def monotonic(self) -> float:
         return _time.perf_counter()

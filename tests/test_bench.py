@@ -1,0 +1,52 @@
+"""The benchmark harness: report shape, validation, CLI plumbing."""
+
+import json
+
+from repro.bench import (
+    REPORT_SCHEMA,
+    bench_commit_mode,
+    run_benchmarks,
+    validate_report,
+    write_report,
+)
+
+
+class TestCommitBench:
+    def test_counts_line_up(self, tmp_path):
+        result = bench_commit_mode(
+            "group", txns=40, threads=4, base_dir=tmp_path
+        )
+        assert result["committed"] == result["transactions"] == 40
+        assert result["tx_per_sec"] > 0
+        assert 0 < result["fsyncs"] <= 40
+
+    def test_always_mode_fsyncs_per_commit(self, tmp_path):
+        result = bench_commit_mode(
+            "always", txns=20, threads=4, base_dir=tmp_path
+        )
+        assert result["fsyncs"] >= result["transactions"]
+
+
+class TestReport:
+    def test_smoke_report_is_valid(self, tmp_path):
+        report = run_benchmarks(scale=0.02, threads=4, data_dir=tmp_path)
+        assert report["schema"] == REPORT_SCHEMA
+        assert validate_report(report) == []
+        out = tmp_path / "report.json"
+        write_report(report, out)
+        assert validate_report(json.loads(out.read_text())) == []
+
+    def test_validation_flags_problems(self):
+        assert validate_report({}) != []
+        broken = {
+            "schema": REPORT_SCHEMA,
+            "benchmarks": {
+                "commit_throughput": {"modes": {}},
+                "query_latency": {},
+                "query_cache": {},
+                "search": {},
+            },
+        }
+        problems = validate_report(broken)
+        assert any("always" in p for p in problems)
+        assert any("query cache" in p for p in problems)

@@ -1,0 +1,109 @@
+"""The generation-keyed candidate cache in the search engine."""
+
+from repro.search.engine import SearchEngine
+from repro.security.principals import SYSTEM, Principal, Role
+
+
+def make_engine() -> SearchEngine:
+    engine = SearchEngine()
+    engine.index_document(
+        "sample", 1, {"name": "arabidopsis leaf extract"}, label="s1"
+    )
+    engine.index_document(
+        "sample", 2, {"name": "yeast culture"}, label="s2"
+    )
+    engine.index_document(
+        "project", 3, {"name": "arabidopsis light response"}, label="p3"
+    )
+    return engine
+
+
+def cache_counts(engine: SearchEngine) -> tuple[float, float]:
+    family = engine.obs.metrics.get("search_cache_total")
+    return (
+        family.labels(result="hit").value,
+        family.labels(result="miss").value,
+    )
+
+
+class TestGeneration:
+    def test_generation_bumps_on_mutation(self):
+        engine = make_engine()
+        g0 = engine.index.generation
+        engine.index_document("sample", 9, {"name": "mouse liver"})
+        assert engine.index.generation > g0
+        g1 = engine.index.generation
+        engine.remove_document("sample", 9)
+        assert engine.index.generation > g1
+        g2 = engine.index.generation
+        engine.index.clear()
+        assert engine.index.generation > g2
+
+    def test_reindex_of_same_document_bumps(self):
+        engine = make_engine()
+        g0 = engine.index.generation
+        engine.index_document("sample", 1, {"name": "renamed"}, label="s1")
+        assert engine.index.generation > g0
+
+
+class TestCandidateCache:
+    def test_repeat_query_is_a_hit(self):
+        engine = make_engine()
+        first = engine.search(SYSTEM, "arabidopsis")
+        second = engine.search(SYSTEM, "arabidopsis")
+        assert [r.entity_id for r in first] == [r.entity_id for r in second]
+        hits, misses = cache_counts(engine)
+        assert hits == 1 and misses == 1
+
+    def test_mutation_invalidates(self):
+        engine = make_engine()
+        assert len(engine.search(SYSTEM, "arabidopsis")) == 2
+        engine.index_document(
+            "sample", 4, {"name": "arabidopsis root"}, label="s4"
+        )
+        results = engine.search(SYSTEM, "arabidopsis")
+        assert {r.entity_id for r in results} == {1, 3, 4}
+
+    def test_removal_invalidates(self):
+        engine = make_engine()
+        engine.search(SYSTEM, "arabidopsis")
+        engine.remove_document("sample", 1)
+        results = engine.search(SYSTEM, "arabidopsis")
+        assert {r.entity_id for r in results} == {3}
+
+    def test_type_filter_is_part_of_the_key(self):
+        engine = make_engine()
+        all_types = engine.search(SYSTEM, "arabidopsis")
+        only_projects = engine.search(SYSTEM, "arabidopsis", types=["project"])
+        assert {r.entity_type for r in only_projects} == {"project"}
+        assert len(all_types) > len(only_projects)
+
+    def test_statistics_expose_cache(self):
+        engine = make_engine()
+        engine.search(SYSTEM, "arabidopsis")
+        stats = engine.statistics()
+        assert stats["candidate_cache_entries"] == 1
+        assert stats["generation"] == engine.index.generation
+
+
+class _NoProjectsAcl:
+    """An ACL under which non-experts see no projects at all."""
+
+    def visible_project_ids(self, principal):
+        return []
+
+
+class TestAclStaysUncached:
+    def test_principals_share_candidates_not_visibility(self):
+        engine = SearchEngine(acl=_NoProjectsAcl())
+        engine.index_document(
+            "sample", 1, {"name": "arabidopsis secret"}, project_id=7,
+        )
+        outsider = Principal(user_id=5, login="outsider", role=Role.SCIENTIST)
+        # The expert sees the document and primes the candidate cache;
+        # the outsider's query hits the same cached candidate set but
+        # the per-principal ACL pass still filters everything out.
+        assert len(engine.search(SYSTEM, "arabidopsis")) == 1
+        assert engine.search(outsider, "arabidopsis") == []
+        hits, misses = cache_counts(engine)
+        assert hits == 1 and misses == 1

@@ -1,0 +1,157 @@
+"""Version-keyed query-result caching: hits, invalidation, explain."""
+
+import pytest
+
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+def make_db(*, cache_size: int = 64) -> Database:
+    db = Database(query_cache_size=cache_size)
+    db.create_table(
+        TableSchema(
+            "doc",
+            [
+                Column("id", ColumnType.INT, primary_key=True),
+                Column("project", ColumnType.INT, nullable=False),
+                Column("title", ColumnType.TEXT, nullable=False),
+            ],
+            indexes=["project"],
+        )
+    )
+    for i in range(10):
+        db.insert("doc", {"id": i, "project": i % 3, "title": f"doc {i}"})
+    return db
+
+
+def lookup_counts(db: Database) -> dict[str, float]:
+    return db.query_cache.statistics()["lookups"]
+
+
+class TestCacheHits:
+    def test_repeat_query_hits(self):
+        db = make_db()
+        first = db.query("doc").where("project", "=", 1).all()
+        second = db.query("doc").where("project", "=", 1).all()
+        assert first == second
+        counts = lookup_counts(db)
+        assert counts["hit"] >= 1
+
+    def test_hit_returns_copies(self):
+        db = make_db()
+        db.query("doc").where("project", "=", 1).all()
+        stolen = db.query("doc").where("project", "=", 1).all()
+        stolen[0]["title"] = "mutated"
+        clean = db.query("doc").where("project", "=", 1).all()
+        assert clean[0]["title"] != "mutated"
+
+    def test_count_cached_separately_from_rows(self):
+        db = make_db()
+        q1 = db.query("doc").where("project", "=", 2)
+        assert q1.count() == len(db.query("doc").where("project", "=", 2).all())
+        assert db.query("doc").where("project", "=", 2).count() == q1.count()
+
+    def test_lru_eviction_is_bounded(self):
+        db = make_db(cache_size=4)
+        for i in range(10):
+            db.query("doc").where("id", "=", i).all()
+        stats = db.query_cache.statistics()
+        assert stats["entries"] <= 4
+        assert stats["evictions"] >= 6
+
+
+class TestInvalidation:
+    def test_insert_invalidates(self):
+        db = make_db()
+        before = db.query("doc").where("project", "=", 0).all()
+        db.insert("doc", {"id": 100, "project": 0, "title": "new"})
+        after = db.query("doc").where("project", "=", 0).all()
+        assert len(after) == len(before) + 1
+
+    def test_update_invalidates(self):
+        db = make_db()
+        db.query("doc").where("project", "=", 1).all()
+        db.update("doc", 1, {"project": 2})
+        assert all(
+            row["id"] != 1 for row in db.query("doc").where("project", "=", 1).all()
+        )
+
+    def test_delete_invalidates(self):
+        db = make_db()
+        db.query("doc").where("project", "=", 1).all()
+        db.delete("doc", 1)
+        ids = [r["id"] for r in db.query("doc").where("project", "=", 1).all()]
+        assert 1 not in ids
+
+    def test_dirty_table_bypasses_cache(self):
+        db = make_db()
+        db.query("doc").where("project", "=", 0).all()
+        with db.transaction() as txn:
+            txn.insert("doc", {"id": 200, "project": 0, "title": "uncommitted"})
+            inside = db.query("doc").where("project", "=", 0).all()
+            # The uncommitted row is visible to the transaction's own
+            # connection but must come from a live read, not the cache.
+            assert any(r["id"] == 200 for r in inside)
+        counts = lookup_counts(db)
+        assert counts.get("bypass", 0) >= 1
+
+
+class TestRollback:
+    def test_rollback_keeps_version_and_cache(self):
+        db = make_db()
+        table = db.table("doc")
+        cached = db.query("doc").where("project", "=", 0).all()
+        version = table.version
+        txn = db.transaction()
+        txn.insert("doc", {"id": 300, "project": 0, "title": "doomed"})
+        txn.rollback()
+        # No commit happened: the version must not move, so the old
+        # cache entry is still valid and served again.
+        assert table.version == version
+        again = db.query("doc").where("project", "=", 0).all()
+        assert again == cached
+        assert lookup_counts(db)["hit"] >= 1
+
+    def test_rollback_never_leaks_uncommitted_rows(self):
+        db = make_db()
+        txn = db.transaction()
+        txn.insert("doc", {"id": 301, "project": 0, "title": "ghost"})
+        txn.rollback()
+        rows = db.query("doc").where("project", "=", 0).all()
+        assert all(row["id"] != 301 for row in rows)
+
+
+class TestExplain:
+    def test_explain_reports_miss_then_hit(self):
+        db = make_db()
+        query = db.query("doc").where("project", "=", 1)
+        assert query.explain()["cache"] == "miss"
+        query.all()
+        assert query.explain()["cache"] == "hit"
+
+    def test_explain_reports_bypass_for_forced_scan(self):
+        db = make_db()
+        query = db.query("doc").where("project", "=", 1).without_indexes()
+        plan = query.explain()
+        assert plan["strategy"] == "scan"
+        assert plan["cache"] == "bypassed"
+
+    def test_fingerprint_distinguishes_plans(self):
+        db = make_db()
+        indexed = db.query("doc").where("project", "=", 1)
+        scan = db.query("doc").where("project", "=", 1).without_indexes()
+        assert indexed.explain()["strategy"].startswith("index:")
+        assert scan.explain()["strategy"] == "scan"
+        assert indexed.fingerprint() != scan.fingerprint()
+
+    def test_fingerprint_stable_for_same_shape(self):
+        db = make_db()
+        a = db.query("doc").where("project", "=", 1).order_by("id").limit(3)
+        b = db.query("doc").where("project", "=", 1).order_by("id").limit(3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_cache_disabled_always_bypasses(self):
+        db = make_db(cache_size=0)
+        query = db.query("doc").where("project", "=", 1)
+        query.all()
+        assert query.explain()["cache"] == "bypassed"
+        assert len(db.query_cache) == 0

@@ -220,3 +220,88 @@ class TestNonDurable:
         assert stats["wal_bytes"] > 0
         assert stats["tables"]["item"] == 1
         assert stats["total_rows"] == 1
+
+
+class TestCompactEncoding:
+    """Commit records omit absent images (PR2): inserts carry no
+    ``before``, deletes no ``after``."""
+
+    def test_insert_update_delete_images(self, tmp_path):
+        db = open_db(tmp_path)
+        row = db.insert("item", {"name": "a"})
+        db.update("item", row["id"], {"name": "b"})
+        db.delete("item", row["id"])
+        records = list(db._wal.records())
+        ops = [op for rec in records for op in rec["ops"]]
+        by_kind = {op["op"]: op for op in ops}
+        assert "before" not in by_kind["insert"]
+        assert "after" in by_kind["insert"]
+        assert "before" in by_kind["update"] and "after" in by_kind["update"]
+        assert "after" not in by_kind["delete"]
+        assert "before" in by_kind["delete"]
+        db.close()
+
+    def test_compact_records_replay(self, tmp_path):
+        db = open_db(tmp_path)
+        keep = db.insert("item", {"name": "keep"})
+        gone = db.insert("item", {"name": "gone"})
+        db.update("item", keep["id"], {"name": "kept"})
+        db.delete("item", gone["id"])
+        db.close()
+
+        revived = open_db(tmp_path)
+        revived.recover()
+        assert revived.count("item") == 1
+        assert revived.get("item", keep["id"])["name"] == "kept"
+
+
+class TestDurabilityModes:
+    """Recovery semantics hold in every durability mode."""
+
+    @pytest.mark.parametrize("mode", ["always", "group", "group:5:64", "buffered"])
+    def test_commits_survive_reopen(self, tmp_path, mode):
+        db = Database(tmp_path, durability=mode)
+        db.create_table(make_schema())
+        for i in range(5):
+            db.insert("item", {"name": f"r{i}"})
+        db.close()
+
+        revived = open_db(tmp_path)
+        stats = revived.recover()
+        assert stats["wal_txns"] == 5
+        assert revived.count("item") == 5
+
+    @pytest.mark.parametrize("mode", ["group", "buffered"])
+    def test_torn_tail_still_healed(self, tmp_path, mode):
+        db = Database(tmp_path, durability=mode)
+        db.create_table(make_schema())
+        db.insert("item", {"name": "whole"})
+        db.close()
+        wal_path = tmp_path / "wal.log"
+        with wal_path.open("a", encoding="utf-8") as fh:
+            fh.write('deadbeef {"kind": "commit", "txn"')  # torn write
+
+        revived = open_db(tmp_path)
+        revived.recover()
+        assert revived.count("item") == 1
+        assert revived.query("item").one()["name"] == "whole"
+
+    def test_checkpoint_under_group_mode(self, tmp_path):
+        db = Database(tmp_path, durability="group")
+        db.create_table(make_schema())
+        db.insert("item", {"name": "pre"})
+        db.checkpoint()
+        db.insert("item", {"name": "post"})
+        db.close()
+
+        revived = Database(tmp_path, durability="group")
+        revived.create_table(make_schema())
+        revived.recover()
+        assert sorted(revived.query("item").values("name")) == ["post", "pre"]
+
+    def test_statistics_report_durability(self, tmp_path):
+        db = Database(tmp_path, durability="group:5:64")
+        db.create_table(make_schema())
+        spec = db.statistics()["durability"]
+        assert spec.startswith("group")
+        db.close()
