@@ -46,6 +46,16 @@ class Connector(ABC):
     #: Connector kind, referenced by Application.connector.
     kind: str = "abstract"
 
+    @property
+    def endpoint(self) -> str:
+        """Identity of the backend this connector talks to.
+
+        Circuit breakers are keyed by endpoint, so connectors that talk
+        to a remote server (Rserve) should include its address — one
+        broken server must not open the breaker of another.
+        """
+        return self.kind
+
     @abstractmethod
     def run(self, request: RunRequest) -> RunOutcome:
         """Execute the application; raise :class:`ConnectorError` on failure."""

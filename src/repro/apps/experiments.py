@@ -254,14 +254,17 @@ class ExperimentService:
         instance = self._active_instance(workunit_id)
         experiment = self.get(principal, instance.context["experiment_id"])
         application = self._applications.get(experiment.application_id)
-        connector = self._applications.connector(application.connector)
 
         workunit = self._workunits.transition(principal, workunit_id, "processing")
         try:
             with tempfile.TemporaryDirectory() as tmp:
                 workdir = Path(tmp)
                 input_files = self._stage_inputs(principal, experiment, workdir)
-                outcome = connector.run(
+                # Registry.run applies the retry/timeout/breaker policy;
+                # CircuitOpenError and TimeoutExceeded are BFabricErrors,
+                # so an outage lands in the same failed path below.
+                outcome = self._applications.run(
+                    application,
                     RunRequest(
                         application=application.name,
                         executable=application.executable,

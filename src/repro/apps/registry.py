@@ -20,20 +20,52 @@ is all data, validated here, interpreted by the executor.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from repro.apps.connectors import Connector
+from repro.apps.connectors import Connector, RunOutcome, RunRequest
 from repro.audit.log import AuditLog
 from repro.core.entities import Application
-from repro.errors import ConnectorError, EntityNotFound, ValidationError
+from repro.errors import (
+    ApplicationError,
+    ConnectorError,
+    EntityNotFound,
+    TimeoutExceeded,
+    ValidationError,
+)
 from repro.orm import Registry
+from repro.resilience.faults import fault_point
+from repro.resilience.policies import (
+    BreakerRegistry,
+    ResiliencePolicy,
+    RetryPolicy,
+    Timeout,
+    resilient,
+)
 from repro.security.principals import Principal
 from repro.util.clock import Clock, SystemClock
 from repro.util.events import EventBus
 from repro.util.text import normalize_whitespace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
 _INPUT_KINDS = ("resource", "sample", "extract")
 _PARAMETER_TYPES = ("text", "int", "float", "bool", "choice")
+
+#: Defaults for connector execution.  Infrastructure failures
+#: (ConnectorError, a hung backend) are retried and count against the
+#: connector's breaker; an ApplicationError means the *run* is bad —
+#: retrying cannot help and the endpoint is not at fault.
+DEFAULT_RUN_POLICY = ResiliencePolicy(
+    retry=RetryPolicy(
+        max_attempts=3,
+        base_delay=0.05,
+        seed=0,
+        retry_on=(ConnectorError, TimeoutExceeded),
+    ),
+    timeout=Timeout(60.0),
+    give_up_on=(ApplicationError,),
+)
 
 
 def validate_interface(interface: dict[str, Any]) -> dict[str, str]:
@@ -124,10 +156,16 @@ class ApplicationRegistry:
         audit: AuditLog,
         events: EventBus,
         clock: Clock | None = None,
+        obs: "Observability | None" = None,
+        breakers: BreakerRegistry | None = None,
+        run_policy: ResiliencePolicy | None = None,
     ):
         self._audit = audit
         self._events = events
         self._clock = clock or SystemClock()
+        self._obs = obs
+        self._breakers = breakers
+        self._run_policy = run_policy or DEFAULT_RUN_POLICY
         self._applications = registry.repository(Application)
         self._connectors: dict[str, Connector] = {}
 
@@ -149,6 +187,33 @@ class ApplicationRegistry:
 
     def connector_kinds(self) -> list[str]:
         return sorted(self._connectors)
+
+    def run(self, application: Application, request: RunRequest) -> RunOutcome:
+        """Execute *application* through its connector, resiliently.
+
+        The call runs under the registry's retry/timeout policy with a
+        circuit breaker per connector endpoint: a flapping Rserve is
+        retried with backoff, a down one fails fast with
+        :class:`~repro.errors.CircuitOpenError` until its cooldown
+        half-opens the breaker.  All of these are
+        :class:`~repro.errors.BFabricError`\\ s, so callers' failure
+        handling (workflow ``fail``, the ``experiment.failed`` event)
+        is unchanged.
+        """
+        connector = self.connector(application.connector)
+        policy = self._run_policy
+        if self._breakers is not None:
+            policy = policy.with_breaker(
+                self._breakers.breaker(connector.endpoint)
+            )
+
+        def run_once(req: RunRequest) -> RunOutcome:
+            fault_point("connector.run")
+            return connector.run(req)
+
+        return resilient(policy, site="connector.run", obs=self._obs)(run_once)(
+            request
+        )
 
     # -- applications ----------------------------------------------------------------
 

@@ -43,6 +43,10 @@ class RserveConnector(Connector):
         self._scripts: dict[str, Callable[[RunRequest], RunOutcome]] = {}
         self._session_log: list[str] = []
 
+    @property
+    def endpoint(self) -> str:
+        return f"rserve:{self.host}:{self.port}"
+
     def register_script(
         self, name: str, function: Callable[[RunRequest], RunOutcome]
     ) -> None:

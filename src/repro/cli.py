@@ -198,6 +198,57 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dlq(args: argparse.Namespace) -> int:
+    system = _open(args)
+    try:
+        if args.dlq_command == "list":
+            letters = system.dlq.list(
+                status=None if args.all else "dead"
+            )
+            if not letters:
+                print("dead-letter queue is empty")
+                return 0
+            for letter in letters:
+                print(
+                    f"#{letter.id:<5d} {letter.status:<9s} "
+                    f"{letter.event:<28s} {letter.handler:<36s} "
+                    f"attempts={letter.attempts}  {letter.error}"
+                )
+            return 0
+        if args.dlq_command == "retry":
+            if args.id is not None:
+                try:
+                    letter = system.dlq.retry(args.id, system.events)
+                except Exception as exc:
+                    print(f"retry of #{args.id} failed: {exc}")
+                    return 1
+                print(f"#{letter.id} redelivered ({letter.event})")
+                return 0
+            succeeded, failed = system.dlq.retry_all(system.events)
+            print(f"retried: {succeeded} succeeded, {failed} failed")
+            return 0 if failed == 0 else 1
+        if args.dlq_command == "discard":
+            letter = system.dlq.discard(args.id)
+            print(f"#{letter.id} discarded ({letter.event})")
+            return 0
+        raise SystemExit(f"unknown dlq command {args.dlq_command!r}")
+    finally:
+        system.close()
+
+
+def cmd_torture(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.resilience.torture import run_torture
+
+    # The driver creates its own throwaway databases under the
+    # deployment directory; the deployment itself is never touched.
+    base = Path(args.data) / "torture"
+    report = run_torture(base, commits=args.commits, seed=args.seed)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from wsgiref.simple_server import make_server
 
@@ -298,6 +349,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--out", default="BENCH_PR2.json")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_dlq = sub.add_parser(
+        "dlq", help="inspect and replay the event dead-letter queue"
+    )
+    dlq_sub = p_dlq.add_subparsers(dest="dlq_command", required=True)
+    p_dlq_list = dlq_sub.add_parser("list", help="show dead letters")
+    p_dlq_list.add_argument(
+        "--all", action="store_true",
+        help="include retried and discarded letters",
+    )
+    p_dlq_list.set_defaults(func=cmd_dlq)
+    p_dlq_retry = dlq_sub.add_parser(
+        "retry", help="redeliver one letter (or every dead one)"
+    )
+    p_dlq_retry.add_argument(
+        "id", type=int, nargs="?", default=None,
+        help="letter id; omit to retry all dead letters",
+    )
+    p_dlq_retry.set_defaults(func=cmd_dlq)
+    p_dlq_discard = dlq_sub.add_parser("discard", help="drop one letter")
+    p_dlq_discard.add_argument("id", type=int)
+    p_dlq_discard.set_defaults(func=cmd_dlq)
+
+    p_torture = sub.add_parser(
+        "torture",
+        help="crash-point torture: kill the WAL at every fault site, "
+        "verify recovery in all durability modes",
+    )
+    p_torture.add_argument("--commits", type=int, default=6)
+    p_torture.add_argument("--seed", type=int, default=2010)
+    p_torture.set_defaults(func=cmd_torture)
 
     p_serve = sub.add_parser("serve", help="run the web portal")
     p_serve.add_argument("--host", default="127.0.0.1")

@@ -11,18 +11,27 @@ for the user — until :meth:`apply_assignments` fires ``save``.
 
 from __future__ import annotations
 
+import shutil
 import tempfile
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.audit.log import AuditLog
 from repro.core.entities import DataResource, Extract, Workunit
 from repro.core.services.samples import SampleService
 from repro.core.services.workunits import WorkunitService
 from repro.dataimport.matching import AssignmentProposal, propose_assignments
-from repro.dataimport.providers import DataProvider, RelevanceFilter
+from repro.dataimport.providers import DataProvider, ProviderFile, RelevanceFilter
 from repro.dataimport.store import ManagedStore
-from repro.errors import ProviderError, ValidationError
+from repro.errors import ProviderError, TimeoutExceeded, ValidationError
+from repro.resilience.faults import fault_point
+from repro.resilience.policies import (
+    BreakerRegistry,
+    ResiliencePolicy,
+    RetryPolicy,
+    Timeout,
+    resilient,
+)
 from repro.orm import (
     BoolField,
     DateTimeField,
@@ -37,6 +46,23 @@ from repro.util.clock import Clock, SystemClock
 from repro.util.events import EventBus
 from repro.workflow.definitions import Action, Step, WorkflowDefinition
 from repro.workflow.engine import WorkflowEngine, WorkflowInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+#: Retry/timeout defaults for provider fetches: instrument shares are
+#: slow and flaky, so a couple of short-backoff retries absorb most
+#: transient failures; anything slower than the timeout is treated as
+#: an outage and counts against the provider's circuit breaker.
+DEFAULT_PROVIDER_POLICY = ResiliencePolicy(
+    retry=RetryPolicy(
+        max_attempts=3,
+        base_delay=0.05,
+        seed=0,
+        retry_on=(ProviderError, TimeoutExceeded, OSError),
+    ),
+    timeout=Timeout(30.0),
+)
 
 #: Name of the registered data-import workflow definition.
 IMPORT_WORKFLOW = "data_import"
@@ -102,6 +128,9 @@ class DataImportService:
         audit: AuditLog,
         events: EventBus,
         clock: Clock | None = None,
+        obs: "Observability | None" = None,
+        breakers: BreakerRegistry | None = None,
+        provider_policy: ResiliencePolicy | None = None,
     ):
         self._registry = registry
         self._workunits = workunits
@@ -111,6 +140,9 @@ class DataImportService:
         self._audit = audit
         self._events = events
         self._clock = clock or SystemClock()
+        self._obs = obs
+        self._breakers = breakers
+        self._provider_policy = provider_policy or DEFAULT_PROVIDER_POLICY
         self._providers: dict[str, DataProvider] = {}
         self._configs = registry.repository(ProviderConfig)
         if IMPORT_WORKFLOW not in workflow.definition_names():
@@ -182,17 +214,29 @@ class DataImportService:
             raise ValidationError("nothing selected for import")
         provider = self.provider(provider_name)
         files = [provider.find(name) for name in file_names]
+        fetch = self._fetcher_for(provider)
 
         # Copy mode fetches everything *before* any row is created, so a
         # provider failure mid-import leaves no half-imported workunit.
+        # Each fetch runs under the provider's retry/timeout/breaker
+        # policy and is size-verified against the listing, so a partial
+        # read is detected (and usually healed by a retry) here, not
+        # discovered later as a corrupt resource.
         with tempfile.TemporaryDirectory() as staging:
             fetched_paths: dict[str, Path] = {}
             if mode == "copy":
                 for file in files:
-                    fetched_paths[file.name] = provider.fetch(
+                    fetched_paths[file.name] = fetch(
                         file, Path(staging) / file.name.replace("/", "_")
                     )
 
+            # Everything from the workunit row onward must be atomic
+            # from the caller's point of view.  The services autocommit
+            # per operation, so a failure mid-loop (store ingest, a
+            # resource row, the workflow start) is healed by explicit
+            # compensation: created rows and store files are removed and
+            # the original error propagates — never a half-imported
+            # workunit.
             workunit = self._workunits.create(
                 principal,
                 project_id,
@@ -202,37 +246,42 @@ class DataImportService:
                 parameters={"provider": provider_name, "mode": mode},
             )
             resources: list[DataResource] = []
-            for file in files:
-                if mode == "copy":
-                    uri, checksum, size = self._store.ingest(
-                        workunit.id, fetched_paths[file.name]
+            try:
+                for file in files:
+                    if mode == "copy":
+                        fault_point("dataimport.ingest")
+                        uri, checksum, size = self._store.ingest(
+                            workunit.id, fetched_paths[file.name]
+                        )
+                        storage = "internal"
+                    else:
+                        uri = provider.uri_for(file)
+                        checksum = ""
+                        size = file.size_bytes
+                        storage = "linked"
+                    resources.append(
+                        self._workunits.add_resource(
+                            principal,
+                            workunit.id,
+                            file.name,
+                            uri,
+                            storage=storage,
+                            size_bytes=size,
+                            checksum=checksum,
+                        )
                     )
-                    storage = "internal"
-                else:
-                    uri = provider.uri_for(file)
-                    checksum = ""
-                    size = file.size_bytes
-                    storage = "linked"
-                resources.append(
-                    self._workunits.add_resource(
-                        principal,
-                        workunit.id,
-                        file.name,
-                        uri,
-                        storage=storage,
-                        size_bytes=size,
-                        checksum=checksum,
-                    )
+                instance = self._workflow.start(
+                    principal,
+                    IMPORT_WORKFLOW,
+                    entity_type="workunit",
+                    entity_id=workunit.id,
+                    context={"provider": provider_name, "mode": mode,
+                             "files": [f.name for f in files]},
                 )
+            except Exception as exc:
+                self._abort_import(principal, workunit, resources, exc)
+                raise
 
-        instance = self._workflow.start(
-            principal,
-            IMPORT_WORKFLOW,
-            entity_type="workunit",
-            entity_id=workunit.id,
-            context={"provider": provider_name, "mode": mode,
-                     "files": [f.name for f in files]},
-        )
         self._audit.record(
             principal, "create", "import", workunit.id,
             f"imported {len(files)} file(s) from {provider_name} ({mode})",
@@ -244,6 +293,77 @@ class DataImportService:
             unassigned=len(resources),
         )
         return workunit, resources, instance
+
+    def _fetcher_for(self, provider: DataProvider):
+        """One provider fetch under the retry/timeout/breaker policy.
+
+        Each provider is its own endpoint: repeated failures open that
+        provider's breaker without affecting imports from healthy ones.
+        """
+        policy = self._provider_policy
+        if self._breakers is not None:
+            policy = policy.with_breaker(
+                self._breakers.breaker(f"provider:{provider.name}")
+            )
+
+        def fetch_once(file: ProviderFile, destination: Path) -> Path:
+            action = fault_point("dataimport.fetch")
+            path = provider.fetch(file, destination)
+            if action is not None and action.kind == "partial":
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, int(len(data) * action.fraction))])
+            got = path.stat().st_size
+            if file.size_bytes and got != file.size_bytes:
+                raise ProviderError(
+                    f"partial read of {file.name!r}: got {got} of "
+                    f"{file.size_bytes} bytes"
+                )
+            return path
+
+        return resilient(policy, site="dataimport.fetch", obs=self._obs)(
+            fetch_once
+        )
+
+    def _abort_import(
+        self,
+        principal: Principal,
+        workunit: Workunit,
+        resources: list[DataResource],
+        error: BaseException,
+    ) -> None:
+        """Compensate a failed import: remove everything it created.
+
+        Resources go first (their FK to the workunit is ``restrict``),
+        then the workunit row, then any bytes already ingested into the
+        managed store.  Best-effort: a failing compensation step is
+        logged but never masks the original import error.
+        """
+        try:
+            resource_repo = self._registry.repository(DataResource)
+            for resource in reversed(resources):
+                resource_repo.delete(resource.id)
+            self._registry.repository(Workunit).delete(workunit.id)
+            directory = self._store.directory_for(workunit.id)
+            if directory.exists():
+                shutil.rmtree(directory, ignore_errors=True)
+            self._audit.record(
+                principal, "delete", "import", workunit.id,
+                f"import rolled back: {error}",
+            )
+            self._events.publish(
+                "import.rolled_back",
+                workunit=workunit,
+                resources=list(resources),
+                principal=principal,
+                error=str(error),
+            )
+        except Exception as cleanup_error:  # pragma: no cover - defensive
+            if self._obs is not None:
+                self._obs.log.log(
+                    "dataimport.compensation_failed",
+                    workunit=workunit.id,
+                    error=str(cleanup_error),
+                )
 
     # -- extract assignment ---------------------------------------------------------------
 

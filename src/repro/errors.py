@@ -129,6 +129,62 @@ class AuthenticationError(BFabricError):
 
 
 # ---------------------------------------------------------------------------
+# Resilience errors
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(BFabricError):
+    """Base class for the fault-tolerance layer's own failures."""
+
+
+class TimeoutExceeded(ResilienceError):
+    """A guarded call ran longer than its :class:`Timeout` allows."""
+
+    def __init__(self, message: str, *, site: str = "", seconds: float = 0.0):
+        super().__init__(message)
+        self.site = site
+        self.seconds = seconds
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker rejected the call without attempting it.
+
+    Raised while the breaker is *open* (the endpoint failed repeatedly
+    and its cooldown has not elapsed) so callers fail fast instead of
+    piling onto a broken dependency.
+    """
+
+    def __init__(self, message: str, *, endpoint: str = ""):
+        super().__init__(message)
+        self.endpoint = endpoint
+
+
+class RetryExhausted(ResilienceError):
+    """Every attempt allowed by a :class:`RetryPolicy` failed.
+
+    ``attempts`` carries one message per attempt (the error chain);
+    ``__cause__`` is the final attempt's exception.
+    """
+
+    def __init__(self, message: str, *, attempts: "list[str] | None" = None):
+        super().__init__(message)
+        self.attempts = list(attempts or [])
+
+
+class FaultInjected(BFabricError):
+    """An error deliberately raised by the fault-injection harness."""
+
+
+class CrashPoint(FaultInjected):
+    """A simulated process kill at a registered crash site.
+
+    The torture driver treats everything after this exception as
+    unreachable: the 'crashed' database object is abandoned and recovery
+    is exercised on a fresh one.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Workflow errors
 # ---------------------------------------------------------------------------
 
@@ -156,6 +212,20 @@ class InvalidActionError(WorkflowError):
 
 class WorkflowConditionFailed(WorkflowError):
     """An action's guard condition rejected the transition."""
+
+
+class WorkflowTransitionFailed(WorkflowError):
+    """A transition's functions kept failing after bounded retries.
+
+    The instance has been moved to the terminal ``failed`` state; its
+    context carries the full per-attempt error chain under
+    ``error_chain``.  ``attempts`` repeats that chain here for callers
+    that never look at the instance.
+    """
+
+    def __init__(self, message: str, *, attempts: "list[str] | None" = None):
+        super().__init__(message)
+        self.attempts = list(attempts or [])
 
 
 # ---------------------------------------------------------------------------

@@ -46,6 +46,8 @@ from repro.graphview.provenance import ProvenanceTracer
 from repro.admin.reports import UsageReports
 from repro.obs import Observability
 from repro.orm import Registry
+from repro.resilience.dlq import DeadLetter, DeadLetterQueue
+from repro.resilience.policies import BreakerRegistry
 from repro.search.engine import SearchEngine
 from repro.search.history import SavedQuery, SavedQueryStore
 from repro.security.acl import AccessControl
@@ -95,6 +97,15 @@ class BFabric:
         self.registry.register(ProviderConfig)
         self.registry.register(SavedQuery)
         self.registry.register(ErrorRecord)
+        self.registry.register(DeadLetter)
+
+        # Resilience: failed event deliveries persist as dead letters,
+        # and one breaker registry is shared by the importer and the
+        # application layer so the same endpoint always means the same
+        # breaker (states surface on /admin/metrics).
+        self.dlq = DeadLetterQueue(self.registry, clock=self.clock, obs=self.obs)
+        self.events.attach_dlq(self.dlq)
+        self.breakers = BreakerRegistry(clock=self.clock, obs=self.obs)
 
         self.acl = AccessControl(self.db)
         self.auth = Authenticator(self.db, clock=self.clock)
@@ -143,12 +154,15 @@ class BFabric:
             audit=self.audit,
             events=self.events,
             clock=self.clock,
+            obs=self.obs,
+            breakers=self.breakers,
         )
         from repro.dataimport.access import ResourceAccessor
 
         self.access = ResourceAccessor(self.store, self.imports)
         self.applications = ApplicationRegistry(
-            self.registry, audit=self.audit, events=self.events, clock=self.clock
+            self.registry, audit=self.audit, events=self.events, clock=self.clock,
+            obs=self.obs, breakers=self.breakers,
         )
         self.experiments = ExperimentService(
             self.registry,
@@ -345,7 +359,16 @@ class BFabric:
                 {"name": application.name, "description": application.description},
             )
 
+        def on_import_rolled_back(workunit, resources=(), **_):
+            # The compensation deleted the rows; drop their index docs
+            # (they were indexed by workunit.created / resource.added
+            # before the import failed).
+            self.search.remove_document("workunit", workunit.id)
+            for resource in resources:
+                self.search.remove_document("data_resource", resource.id)
+
         self.events.subscribe("project.created", index_project)
+        self.events.subscribe("import.rolled_back", on_import_rolled_back)
         self.events.subscribe("sample.registered", index_sample)
         self.events.subscribe("extract.registered", index_extract)
         self.events.subscribe("workunit.created", index_workunit)

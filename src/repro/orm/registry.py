@@ -44,6 +44,10 @@ class Registry:
         self._repositories[table] = repo
         return repo
 
+    def repository_for(self, table: str) -> Repository | None:
+        """The repository bound to *table*, or ``None`` if unregistered."""
+        return self._repositories.get(table)
+
     def register_all(self, models: Iterable[Type[Model]]) -> None:
         """Register many models, ordering by foreign-key dependencies."""
         by_table = {m.__table__: m for m in models}

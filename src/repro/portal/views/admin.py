@@ -92,6 +92,28 @@ def register(router, portal) -> None:
         body += "<h2>Layer</h2>" + definition_list(
             sorted(system.obs.statistics().items())
         )
+        body += "<h2>Resilience</h2>" + table(
+            ["circuit breaker", "state"],
+            [
+                (esc(endpoint), state)
+                for endpoint, state in sorted(system.breakers.states().items())
+            ],
+        )
+        resilience_counts = []
+        for metric in ("resilience_retries_total", "resilience_gave_up_total"):
+            family = registry.get(metric)
+            if family is None:
+                continue
+            resilience_counts.extend(
+                (esc(metric), esc(labels.get("site", "")), int(child.value))
+                for labels, child in family.samples()
+            )
+        body += table(
+            ["counter", "site", "count"], sorted(resilience_counts)
+        )
+        body += definition_list(
+            [("dead letters pending", system.dlq.pending_count())]
+        )
         body += (
             '<p><a href="/admin/metrics.txt">raw exposition '
             "(Prometheus text format)</a></p>"

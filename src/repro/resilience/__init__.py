@@ -1,0 +1,86 @@
+"""Resilience: fault-tolerance policies, fault injection, dead letters.
+
+Three pieces, designed to be used together:
+
+* :mod:`repro.resilience.policies` — declarative :class:`RetryPolicy`,
+  :class:`Timeout` and :class:`CircuitBreaker`, bundled into a
+  :class:`ResiliencePolicy` and applied with the :func:`resilient`
+  wrapper.  Connectors and data-import providers are guarded this way.
+* :mod:`repro.resilience.faults` — deterministic fault injection at
+  named sites (:func:`fault_point`), scripted by a :class:`FaultPlan`.
+  The WAL write path, the importer, connectors and the workflow engine
+  all declare sites; the torture driver and chaos tests use them.
+* :mod:`repro.resilience.dlq` — the persistent dead-letter queue that
+  failed event deliveries are routed to (``repro dlq list|retry``).
+* :mod:`repro.resilience.torture` — the crash-point torture driver:
+  kills the database at every WAL fault site and asserts the recovery
+  invariants across all durability modes.
+
+``dlq`` and ``torture`` are imported lazily: they depend on the ORM and
+storage layers, which themselves declare fault sites from this package.
+"""
+
+from repro.resilience.faults import (
+    Fault,
+    FaultAction,
+    FaultPlan,
+    REGISTERED_SITES,
+    WAL_SITES,
+    active_plan,
+    fault_point,
+    inject,
+    install,
+)
+from repro.resilience.policies import (
+    BreakerRegistry,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    Timeout,
+    resilient,
+)
+
+__all__ = [
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "Fault",
+    "FaultAction",
+    "FaultPlan",
+    "REGISTERED_SITES",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "Timeout",
+    "TortureReport",
+    "WAL_SITES",
+    "active_plan",
+    "fault_point",
+    "handler_name",
+    "inject",
+    "install",
+    "resilient",
+    "run_torture",
+]
+
+_LAZY = {
+    "DeadLetter": ("repro.resilience.dlq", "DeadLetter"),
+    "DeadLetterQueue": ("repro.resilience.dlq", "DeadLetterQueue"),
+    "handler_name": ("repro.resilience.dlq", "handler_name"),
+    "TortureReport": ("repro.resilience.torture", "TortureReport"),
+    "run_torture": ("repro.resilience.torture", "run_torture"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,269 @@
+"""Crash-point torture: kill the database at every WAL fault site.
+
+For each durability mode × WAL fault site the driver runs a small commit
+workload, injects a :class:`~repro.errors.CrashPoint` at the site, then
+*abandons* the database object without closing it — exactly what a
+killed process leaves behind — reopens the directory, recovers, and
+checks the recovery invariants.
+
+The invariants encode commit *uncertainty* honestly.  A fault is
+classified by where in the append path it fires:
+
+``wal.append``
+    Before any byte is written.  The commit rolls back in memory and
+    the transaction must be **absent** after recovery.
+``wal.write`` (torn), ``wal.after_write``, ``wal.after_fsync``
+    The commit raised, but part or all of the record may have reached
+    disk — the classic commit-uncertainty window.  The transaction is
+    **uncertain**: recovery may surface it or not, and either answer is
+    correct as long as the record that does appear is intact.
+
+Checked after every crash:
+
+* no lost committed rows — every commit that *returned successfully*
+  is present after recovery (``committed ⊆ present``);
+* no invented rows — everything present was either committed or
+  uncertain (``present ⊆ committed ∪ uncertain``);
+* no resurrected aborted rows — deliberately rolled-back transactions
+  never reappear;
+* ``verify_integrity`` reports a clean store;
+* the healed log accepts new commits, and a second recovery over the
+  same directory reproduces the identical row set.
+
+Note on ``buffered`` durability: commits flush to the OS but skip
+fsync, so the ``wal.after_fsync`` site is never reached there; the case
+still runs (and recovery is still verified) with ``fired=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CrashPoint, FaultInjected
+from repro.resilience.faults import Fault, FaultPlan, WAL_SITES, inject
+from repro.storage.database import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import ColumnType
+
+TABLE = "torture_rows"
+
+#: One spec per durability family; group gets a short window so the
+#: driver stays fast.
+DEFAULT_MODES = ("always", "group:4:32", "buffered")
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        name=TABLE,
+        columns=[
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("value", ColumnType.TEXT, nullable=False),
+        ],
+    )
+
+
+def _open(directory: Path, mode: str) -> Database:
+    db = Database(directory, durability=mode)
+    db.create_table(_schema())
+    return db
+
+
+def _deliberate_rollback(db: Database, row_id: int, aborted: list[int]) -> None:
+    """A transaction the application itself abandons — must never recover."""
+    txn = db.transaction()
+    txn.insert(TABLE, {"id": row_id, "value": f"aborted-{row_id}"})
+    txn.rollback()
+    aborted.append(row_id)
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one (durability mode, fault site) crash case."""
+
+    mode: str
+    site: str
+    fired: bool
+    committed: list[int]
+    uncertain: list[int]
+    aborted: list[int]
+    present: list[int]
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        fired = "crash" if self.fired else "site not reached"
+        return (
+            f"[{status}] {self.mode:>12} × {self.site:<15} ({fired}): "
+            f"{len(self.committed)} committed, {len(self.uncertain)} uncertain, "
+            f"{len(self.aborted)} aborted, {len(self.present)} recovered"
+            + ("" if self.ok else f" — {'; '.join(self.problems)}")
+        )
+
+
+@dataclass
+class TortureReport:
+    """Every case of one torture run."""
+
+    seed: int
+    commits: int
+    cases: list[CaseResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    def failures(self) -> list[CaseResult]:
+        return [case for case in self.cases if not case.ok]
+
+    def summary(self) -> str:
+        lines = [
+            f"torture: seed={self.seed} commits={self.commits} "
+            f"cases={len(self.cases)} failures={len(self.failures())}"
+        ]
+        lines.extend(case.describe() for case in self.cases)
+        return "\n".join(lines)
+
+
+def run_torture(
+    base_dir: "str | Path",
+    *,
+    modes: "tuple[str, ...]" = DEFAULT_MODES,
+    sites: "tuple[str, ...]" = WAL_SITES,
+    commits: int = 6,
+    seed: int = 2010,
+) -> TortureReport:
+    """Run every mode × site crash case under *base_dir*; never raises
+    for an invariant violation — failures land in the report."""
+    if commits < 3:
+        raise ValueError("commits must be >= 3 so the fault step is reachable")
+    base = Path(base_dir)
+    cases: list[CaseResult] = []
+    offset = 0
+    for mode in modes:
+        for site in sites:
+            slug = f"{mode.replace(':', '_')}-{site.replace('.', '_')}"
+            cases.append(
+                run_case(
+                    base / slug,
+                    mode=mode,
+                    site=site,
+                    commits=commits,
+                    seed=seed,
+                    offset=offset,
+                )
+            )
+            offset += 1
+    return TortureReport(seed=seed, commits=commits, cases=cases)
+
+
+def run_case(
+    directory: "str | Path",
+    *,
+    mode: str,
+    site: str,
+    commits: int,
+    seed: int,
+    offset: int = 0,
+) -> CaseResult:
+    """One crash case: workload → injected kill → recovery → invariants."""
+    directory = Path(directory)
+    committed: list[int] = []
+    uncertain: list[int] = []
+    aborted: list[int] = []
+
+    db = _open(directory, mode)
+    next_id = 1
+    # Warm-up: a durable baseline and a checkpoint, so recovery has to
+    # combine snapshot load with WAL replay, then a deliberate rollback
+    # that must never resurrect.
+    for _ in range(2):
+        db.insert(TABLE, {"id": next_id, "value": f"commit-{next_id}"})
+        committed.append(next_id)
+        next_id += 1
+    db.checkpoint()
+    _deliberate_rollback(db, 1000 + offset * 10, aborted)
+
+    # The scripted kill: torn write at the write site (exercising
+    # torn-tail healing), a CrashPoint everywhere else.  at_call is
+    # seed-derived but always within the workload's reach.
+    kind = "torn_write" if site == "wal.write" else "error"
+    fault = (
+        Fault(site, kind="torn_write", at_call=1 + (seed + offset) % 2, fraction=0.6)
+        if kind == "torn_write"
+        else Fault(site, kind="error", at_call=1 + (seed + offset) % 2, error=CrashPoint)
+    )
+    plan = FaultPlan([fault], seed=seed)
+    with inject(plan):
+        for step in range(commits):
+            if step == 1:
+                _deliberate_rollback(db, 1001 + offset * 10, aborted)
+            row_id = next_id
+            next_id += 1
+            try:
+                db.insert(TABLE, {"id": row_id, "value": f"commit-{row_id}"})
+            except FaultInjected:
+                # The "process" died mid-commit.  Pre-write faults are
+                # clean aborts; everything later is uncertain.
+                (aborted if site == "wal.append" else uncertain).append(row_id)
+                break
+            committed.append(row_id)
+    fired = plan.fired() > 0
+    # Crash simulation: drop the handle WITHOUT close() — close would
+    # drain batches and fsync, defeating the whole exercise.
+    del db
+
+    problems: list[str] = []
+    recovered = _open(directory, mode)
+    recovered.recover()
+    present = sorted(row["id"] for row in recovered.rows(TABLE))
+    present_set = set(present)
+    allowed = set(committed) | set(uncertain)
+
+    lost = [i for i in committed if i not in present_set]
+    if lost:
+        problems.append(f"lost committed rows {lost}")
+    invented = [i for i in present if i not in allowed]
+    if invented:
+        problems.append(f"recovered rows never committed {invented}")
+    resurrected = [i for i in aborted if i in present_set]
+    if resurrected:
+        problems.append(f"resurrected aborted rows {resurrected}")
+    integrity = recovered.verify_integrity()
+    if integrity:
+        problems.append(f"integrity violations {integrity}")
+
+    # The healed log must accept appends again.
+    epilogue_id = 900_000 + offset
+    try:
+        recovered.insert(TABLE, {"id": epilogue_id, "value": "post-recovery"})
+    except Exception as exc:
+        problems.append(f"post-recovery commit failed: {exc}")
+    recovered.close()
+
+    # A second recovery over the same directory must reproduce the
+    # exact row set (replay is idempotent, the tail is truly healed).
+    again = _open(directory, mode)
+    again.recover()
+    expected = sorted(present_set | {epilogue_id})
+    second = sorted(row["id"] for row in again.rows(TABLE))
+    if second != expected:
+        problems.append(
+            f"second recovery diverged: expected {expected}, got {second}"
+        )
+    again.close()
+
+    return CaseResult(
+        mode=mode,
+        site=site,
+        fired=fired,
+        committed=committed,
+        uncertain=uncertain,
+        aborted=aborted,
+        present=present,
+        problems=problems,
+    )

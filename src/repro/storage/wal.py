@@ -27,7 +27,8 @@ import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.errors import WalCorruption
+from repro.errors import CrashPoint, WalCorruption
+from repro.resilience.faults import fault_point
 from repro.storage.durability import Durability
 from repro.storage.table import UndoEntry
 
@@ -146,6 +147,9 @@ class WriteAheadLog:
         self._append_record("checkpoint", {"snapshot": snapshot_name})
 
     def _append_record(self, kind: str, payload: dict[str, Any]):
+        # Crash site: the record exists only in memory — a fault here
+        # must leave no trace of the transaction on disk.
+        fault_point("wal.append")
         body = _encode_payload({"kind": kind, **payload})
         crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
         line = f"{crc:08x} {body}\n"
@@ -156,8 +160,23 @@ class WriteAheadLog:
         return None
 
     def _write_lines(self, lines: list[str], *, fsync: bool) -> None:
-        self._file.write("".join(lines))
+        data = "".join(lines)
+        # Crash site: a torn_write fault makes a *prefix* of the batch
+        # durable — the partial final record is what recovery's
+        # torn-tail healing must truncate away.
+        action = fault_point("wal.write")
+        if action is not None and action.kind == "torn_write":
+            cut = min(max(int(len(data) * action.fraction), 1), len(data) - 1)
+            self._file.write(data[:cut])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            raise CrashPoint(
+                f"torn WAL write: {cut}/{len(data)} bytes reached disk"
+            )
+        self._file.write(data)
         self._file.flush()
+        # Crash site: bytes handed to the OS but not yet forced down.
+        fault_point("wal.after_write")
         if not fsync:
             return
         if self._m_fsync is not None:
@@ -167,6 +186,9 @@ class WriteAheadLog:
             self._m_fsync.observe(timer.elapsed())
         else:
             os.fsync(self._file.fileno())
+        # Crash site: the record is durable but the committer has not
+        # heard back — the classic commit-uncertainty window.
+        fault_point("wal.after_fsync")
         if self._m_batch is not None:
             self._m_batch.observe(len(lines))
 

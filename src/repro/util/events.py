@@ -1,8 +1,15 @@
-"""A minimal synchronous event bus.
+"""A minimal synchronous event bus with subscriber isolation.
 
 Decouples producers (annotation created, import finished, experiment
 done) from consumers (the task system, the search indexer) without any
 threading: handlers run inline, in subscription order.
+
+Subscribers are *isolated*: one handler raising does not prevent
+delivery to the handlers behind it.  The failed delivery is counted
+(``events_subscriber_errors_total``), logged, and routed to the
+attached dead-letter queue (:meth:`EventBus.attach_dlq`) — or, without
+one, kept on a bounded in-memory ``failures`` list — so a crashing
+consumer can neither lose an event nor poison later deliveries.
 
 When constructed with an observability hub the bus records one publish
 latency histogram and a handler-invocation counter per event name.
@@ -10,13 +17,17 @@ latency histogram and a handler-invocation counter per event name.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.resilience.dlq import DeadLetterQueue
 
 Handler = Callable[..., None]
+
+#: Failures remembered in memory when no dead-letter queue is attached.
+_FAILURE_MEMORY = 100
 
 
 class EventBus:
@@ -25,7 +36,15 @@ class EventBus:
     def __init__(self, *, obs: "Observability | None" = None) -> None:
         self._handlers: dict[str, list[Handler]] = defaultdict(list)
         self._delivered = 0
+        self._errors = 0
+        self._dlq: "DeadLetterQueue | None" = None
+        #: ``(event, handler, error)`` of recent failures (fallback
+        #: introspection when no DLQ is attached; DLQ rows otherwise).
+        self.failures: deque[tuple[str, Handler, BaseException]] = deque(
+            maxlen=_FAILURE_MEMORY
+        )
         self._obs = obs
+        self._m_errors = None
         if obs is not None:
             self._m_publish = obs.metrics.histogram(
                 "events_publish_seconds",
@@ -37,6 +56,15 @@ class EventBus:
                 "Handler invocations",
                 labels=("event",),
             )
+            self._m_errors = obs.metrics.counter(
+                "events_subscriber_errors_total",
+                "Handler invocations that raised (isolated, dead-lettered)",
+                labels=("event",),
+            )
+
+    def attach_dlq(self, dlq: "DeadLetterQueue") -> None:
+        """Route failed deliveries to *dlq* from now on."""
+        self._dlq = dlq
 
     def subscribe(self, event: str, handler: Handler) -> None:
         """Register *handler* for *event* (duplicates allowed, run twice)."""
@@ -48,14 +76,17 @@ class EventBus:
         except ValueError:
             pass
 
-    def publish(self, event: str, **payload: Any) -> int:
-        """Call every handler of *event*; returns how many ran.
+    def handlers_for(self, event: str) -> list[Handler]:
+        """The current subscribers of *event*, in delivery order."""
+        return list(self._handlers.get(event, ()))
 
-        A failing handler aborts the publication — events fire inside
-        service operations and a broken consumer must not be silently
-        skipped (the enclosing transaction, if any, will roll back).
-        Handlers that did run before the failure keep their delivery
-        credit.
+    def publish(self, event: str, **payload: Any) -> int:
+        """Call every handler of *event*; returns how many were invoked.
+
+        A failing handler does not abort the publication: the error is
+        isolated, counted, and the failed delivery is dead-lettered so
+        it can be replayed once the consumer is fixed.  Every handler
+        behind the failing one still runs.
         """
         handlers = list(self._handlers.get(event, ()))
         timer = self._obs.clock.timer() if self._obs is not None else None
@@ -64,7 +95,23 @@ class EventBus:
             for handler in handlers:
                 ran += 1
                 self._delivered += 1
-                handler(**payload)
+                try:
+                    handler(**payload)
+                except Exception as exc:
+                    self._errors += 1
+                    if self._m_errors is not None:
+                        self._m_errors.labels(event=event).inc()
+                    if self._obs is not None:
+                        self._obs.log.log(
+                            "events.subscriber_error",
+                            topic=event,
+                            handler=getattr(handler, "__qualname__", repr(handler)),
+                            error=str(exc),
+                        )
+                    if self._dlq is not None:
+                        self._dlq.add(event, handler, payload, exc)
+                    else:
+                        self.failures.append((event, handler, exc))
         finally:
             if self._obs is not None:
                 self._m_handled.labels(event=event).inc(ran)
@@ -76,3 +123,8 @@ class EventBus:
     def delivered(self) -> int:
         """Total handler invocations (monitoring)."""
         return self._delivered
+
+    @property
+    def subscriber_errors(self) -> int:
+        """Total handler invocations that raised (monitoring)."""
+        return self._errors

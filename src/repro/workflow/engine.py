@@ -9,6 +9,7 @@ report" workflow runs to completion by itself).
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.audit.log import AuditLog
@@ -18,8 +19,11 @@ from repro.errors import (
     StateError,
     WorkflowConditionFailed,
     WorkflowDefinitionError,
+    WorkflowTransitionFailed,
 )
 from repro.obs import Observability
+from repro.resilience.faults import fault_point
+from repro.resilience.policies import RetryPolicy
 from repro.orm import (
     DateTimeField,
     IntField,
@@ -37,6 +41,13 @@ INSTANCE_STATES = ("active", "completed", "cancelled", "failed")
 
 #: Safety bound on auto-action chaining (a cycle of autos would spin).
 _MAX_AUTO_CHAIN = 100
+
+#: Default bounded retry for transition pre-functions.  Nothing is
+#: persisted before they run, so re-running is safe; the short backoff
+#: absorbs transient failures (a flaky notifier, a busy store).
+DEFAULT_TRANSITION_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.01, max_delay=0.1, seed=0
+)
 
 
 class WorkflowInstance(Model):
@@ -86,11 +97,17 @@ class WorkflowEngine:
         events: EventBus,
         clock: Clock | None = None,
         obs: Observability | None = None,
+        transition_retry: RetryPolicy | None = None,
     ):
         self._registry = registry
         self._audit = audit
         self._events = events
         self._clock = clock or SystemClock()
+        self._transition_retry = (
+            transition_retry
+            if transition_retry is not None
+            else DEFAULT_TRANSITION_RETRY
+        )
         self.obs = obs if obs is not None else Observability()
         self._definitions: dict[str, WorkflowDefinition] = {}
         self._instances = registry.repository(WorkflowInstance)
@@ -110,6 +127,16 @@ class WorkflowEngine:
         )
         self._m_started = self.obs.metrics.counter(
             "workflow_started_total", "Instances started", labels=("definition",)
+        )
+        self._m_transition_retries = self.obs.metrics.counter(
+            "workflow_transition_retries_total",
+            "Transition pre-function attempts that were retried",
+            labels=("definition",),
+        )
+        self._m_transition_failures = self.obs.metrics.counter(
+            "workflow_transition_failures_total",
+            "Transitions that exhausted their retries (instance failed)",
+            labels=("definition",),
         )
 
     # -- definitions ----------------------------------------------------------------
@@ -236,8 +263,7 @@ class WorkflowEngine:
             raise WorkflowConditionFailed(
                 f"condition of {step.name}.{action_name} not satisfied"
             )
-        for function in action.pre_functions:
-            function(context)
+        self._execute_pre_functions(principal, instance, step.name, action, context)
 
         to_step = action.target
         now = self._clock.now()
@@ -288,6 +314,103 @@ class WorkflowEngine:
             principal=principal,
         )
         return self._run_auto_actions(principal, updated)
+
+    def _execute_pre_functions(
+        self,
+        principal: Principal,
+        instance: WorkflowInstance,
+        step_name: str,
+        action,
+        context: dict[str, Any],
+    ) -> None:
+        """Run the action's pre-functions under the bounded retry policy.
+
+        Nothing of the transition has been persisted yet, so a failed
+        attempt can simply re-run (pre-functions are expected to be
+        idempotent over the context).  When the attempts are exhausted
+        the instance moves to the terminal ``failed`` state with the
+        whole error chain in its context, and
+        :class:`~repro.errors.WorkflowTransitionFailed` is raised.
+        """
+        retry = self._transition_retry
+        delays = retry.delays() if retry is not None else iter(())
+        attempts: list[str] = []
+        while True:
+            try:
+                fault_point("workflow.transition")
+                for function in action.pre_functions:
+                    function(context)
+                return
+            except Exception as exc:
+                attempts.append(f"{type(exc).__name__}: {exc}")
+                retryable = retry is not None and retry.retryable(exc)
+                delay = next(delays, None) if retryable else None
+                if delay is None:
+                    self._fail_transition(
+                        principal, instance, step_name, action.name,
+                        attempts, exc,
+                    )
+                self._m_transition_retries.labels(
+                    definition=instance.definition
+                ).inc()
+                self.obs.log.log(
+                    "workflow.transition_retry",
+                    instance=instance.id,
+                    action=action.name,
+                    attempt=len(attempts),
+                    delay=delay,
+                    error=str(exc),
+                )
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _fail_transition(
+        self,
+        principal: Principal,
+        instance: WorkflowInstance,
+        step_name: str,
+        action_name: str,
+        attempts: list[str],
+        cause: BaseException,
+    ) -> None:
+        """Move *instance* to terminal ``failed``; always raises."""
+        now = self._clock.now()
+        context = dict(self.get(instance.id).context)
+        context["failure_reason"] = attempts[-1]
+        context["error_chain"] = list(attempts)
+        updated = self._instances.update(
+            instance.id, status="failed", context=context, updated_at=now
+        )
+        self._m_active.dec()
+        self._m_transition_failures.labels(definition=instance.definition).inc()
+        self._history.create(
+            instance_id=instance.id,
+            at=now,
+            actor=principal.login,
+            action=action_name,
+            from_step=step_name,
+            to_step="__failed__",
+        )
+        self.obs.log.log(
+            "workflow.transition_failed",
+            instance=instance.id,
+            action=action_name,
+            attempts=len(attempts),
+            error=attempts[-1],
+        )
+        self._audit.record(
+            principal, "update", "workflow_instance", instance.id,
+            f"failed after {len(attempts)} attempt(s): {attempts[-1]}",
+        )
+        self._events.publish(
+            "workflow.failed", instance=updated, principal=principal
+        )
+        raise WorkflowTransitionFailed(
+            f"workflow instance {instance.id}: action {action_name!r} in "
+            f"step {step_name!r} failed after {len(attempts)} attempt(s): "
+            f"{attempts[-1]}",
+            attempts=attempts,
+        ) from cause
 
     def _finish_transition(
         self, timer, instance: WorkflowInstance, action_name: str, *, completed: bool
@@ -401,6 +524,7 @@ class WorkflowEngine:
         definition.step(target)  # validates the step exists
         context = dict(instance.context)
         context.pop("failure_reason", None)
+        context.pop("error_chain", None)
         now = self._clock.now()
         updated = self._instances.update(
             instance_id,

@@ -4,7 +4,8 @@ import datetime as dt
 
 import pytest
 
-from repro.errors import WalCorruption
+from repro.errors import CrashPoint, WalCorruption
+from repro.resilience import WAL_SITES, Fault, FaultPlan, inject
 from repro.storage import Column, ColumnType, Database, TableSchema
 from repro.storage.wal import WriteAheadLog
 
@@ -298,6 +299,41 @@ class TestDurabilityModes:
         revived.create_table(make_schema())
         revived.recover()
         assert sorted(revived.query("item").values("name")) == ["post", "pre"]
+
+    @pytest.mark.parametrize(
+        "mode", ["always", "group:4:32", "buffered"]
+    )
+    @pytest.mark.parametrize("site", WAL_SITES)
+    def test_crash_at_every_fault_site_heals(self, tmp_path, mode, site):
+        """A kill at any WAL crash point (including a torn write) never
+        loses an earlier commit, and the healed log accepts new ones."""
+        db = Database(tmp_path, durability=mode)
+        db.create_table(make_schema())
+        db.insert("item", {"name": "keep"})
+        if site == "wal.write":
+            fault = Fault(site, kind="torn_write", at_call=1, fraction=0.5)
+        else:
+            fault = Fault(site, at_call=1, error=CrashPoint)
+        with inject(FaultPlan([fault])):
+            try:
+                db.insert("item", {"name": "crashing"})
+            except Exception:
+                pass
+        # Simulated kill: abandon the handle without close().
+        del db
+
+        revived = Database(tmp_path, durability=mode)
+        revived.create_table(make_schema())
+        revived.recover()
+        assert "keep" in set(revived.query("item").values("name"))
+        assert revived.verify_integrity() == []
+        revived.insert("item", {"name": "after-heal"})
+        revived.close()
+
+        again = open_db(tmp_path)
+        again.recover()
+        assert "after-heal" in set(again.query("item").values("name"))
+        again.close()
 
     def test_statistics_report_durability(self, tmp_path):
         db = Database(tmp_path, durability="group:5:64")

@@ -126,15 +126,19 @@ class TestEventBus:
         bus = EventBus()
         bus.unsubscribe("e", lambda **kw: None)
 
-    def test_failing_handler_propagates(self):
+    def test_failing_handler_is_isolated(self):
         bus = EventBus()
 
         def bad(**kw):
             raise RuntimeError("handler broke")
 
         bus.subscribe("e", bad)
-        with pytest.raises(RuntimeError):
-            bus.publish("e")
+        assert bus.publish("e") == 1
+        assert bus.subscriber_errors == 1
+        event, handler, error = bus.failures[-1]
+        assert event == "e"
+        assert handler is bad
+        assert isinstance(error, RuntimeError)
 
     def test_delivered_counter(self):
         bus = EventBus()
@@ -143,7 +147,7 @@ class TestEventBus:
         bus.publish("e")
         assert bus.delivered == 2
 
-    def test_delivered_credits_handlers_before_failure(self):
+    def test_failure_does_not_block_later_handlers(self):
         bus = EventBus()
         calls = []
         bus.subscribe("e", lambda **kw: calls.append(1))
@@ -153,12 +157,12 @@ class TestEventBus:
 
         bus.subscribe("e", bad)
         bus.subscribe("e", lambda **kw: calls.append(3))
-        with pytest.raises(RuntimeError):
-            bus.publish("e")
-        # The first handler ran and the failing one was invoked; the
-        # third never started.  Both invoked handlers are credited.
-        assert calls == [1]
-        assert bus.delivered == 2
+        assert bus.publish("e") == 3
+        # The failing handler is isolated: the one behind it still ran
+        # and every invocation (including the failed one) is credited.
+        assert calls == [1, 3]
+        assert bus.delivered == 3
+        assert bus.subscriber_errors == 1
 
     def test_publish_metrics_when_observed(self):
         from repro.obs import Observability

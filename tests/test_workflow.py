@@ -214,9 +214,18 @@ class TestConditionsAndFunctions:
         instance = system.workflow.fire(admin, instance.id, "proceed", ready=True)
         assert instance.status == "completed"
 
-    def test_pre_function_failure_aborts(self, system, admin):
+    def test_pre_function_failure_fails_instance_after_retries(
+        self, system, admin
+    ):
+        from repro.errors import WorkflowTransitionFailed
+
+        calls = []
+        broken = [True]
+
         def explode(ctx):
-            raise RuntimeError("pre failed")
+            calls.append(1)
+            if broken[0]:
+                raise RuntimeError("pre failed")
 
         definition = WorkflowDefinition(
             "prefail",
@@ -231,9 +240,23 @@ class TestConditionsAndFunctions:
         )
         system.workflow.register_definition(definition)
         instance = system.workflow.start(admin, "prefail")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(WorkflowTransitionFailed) as excinfo:
             system.workflow.fire(admin, instance.id, "go")
-        assert system.workflow.get(instance.id).current_step == "a"
+        # The engine retried (default policy: 3 attempts) before moving
+        # the instance to the terminal failed state with the error chain.
+        assert len(calls) == 3
+        assert len(excinfo.value.attempts) == 3
+        failed = system.workflow.get(instance.id)
+        assert failed.status == "failed"
+        assert failed.current_step == "a"
+        assert failed.context["error_chain"] == excinfo.value.attempts
+        assert "pre failed" in failed.context["failure_reason"]
+        # An operator retry clears the error chain and resumes.
+        broken[0] = False
+        resumed = system.workflow.retry(admin, instance.id)
+        assert resumed.status == "active"
+        assert "error_chain" not in resumed.context
+        assert "failure_reason" not in resumed.context
 
     def test_post_function_mutates_context(self, system, admin):
         def stamp(ctx):
