@@ -4,7 +4,7 @@ Equivalent to ``python -m repro.bench`` but runnable straight from a
 checkout without installing the package::
 
     python benchmarks/perf/run.py --scale 0.1 --out report.json
-    python benchmarks/perf/run.py --validate BENCH_PR2.json
+    python benchmarks/perf/run.py --validate BENCH_PR4.json
 """
 
 from __future__ import annotations

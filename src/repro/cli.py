@@ -244,7 +244,10 @@ def cmd_torture(args: argparse.Namespace) -> int:
     # The driver creates its own throwaway databases under the
     # deployment directory; the deployment itself is never touched.
     base = Path(args.data) / "torture"
-    report = run_torture(base, commits=args.commits, seed=args.seed)
+    kwargs = {}
+    if args.mode:
+        kwargs["modes"] = (args.mode,)
+    report = run_torture(base, commits=args.commits, seed=args.seed, **kwargs)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -347,7 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, default=48,
         help="concurrent committers for the group-commit comparison",
     )
-    p_bench.add_argument("--out", default="BENCH_PR2.json")
+    p_bench.add_argument("--out", default="BENCH_PR4.json")
     p_bench.set_defaults(func=cmd_bench)
 
     p_dlq = sub.add_parser(
@@ -379,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_torture.add_argument("--commits", type=int, default=6)
     p_torture.add_argument("--seed", type=int, default=2010)
+    p_torture.add_argument(
+        "--mode",
+        default=None,
+        help="restrict to one durability mode (e.g. always, group:4:32, "
+        "buffered); default runs all modes",
+    )
     p_torture.set_defaults(func=cmd_torture)
 
     p_serve = sub.add_parser("serve", help="run the web portal")

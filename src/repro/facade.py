@@ -256,6 +256,18 @@ class BFabric:
             self.obs.load(self.path / "obs")
         return stats
 
+    def snapshot(self):
+        """Open a lock-free MVCC read view over the whole deployment.
+
+        Shorthand for :meth:`Database.snapshot`; use as a context
+        manager so pruning can reclaim old row versions promptly::
+
+            with system.snapshot() as snap:
+                projects = snap.query("project").all()
+                hits = system.search.search(principal, "heart", snapshot=snap)
+        """
+        return self.db.snapshot()
+
     def close(self) -> None:
         if self.path is not None:
             self.obs.save(self.path / "obs")

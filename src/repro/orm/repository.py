@@ -95,8 +95,11 @@ class Repository(Generic[M]):
     def exists(self, pk: Any) -> bool:
         return self.database.get_or_none(self.table, pk) is not None
 
-    def query(self) -> ModelQuery[M]:
-        return ModelQuery(self.model, self.database.query(self.table))
+    def query(self, *, snapshot=None) -> ModelQuery[M]:
+        """Typed query; pass an MVCC ``snapshot`` for a pinned read view."""
+        return ModelQuery(
+            self.model, self.database.query(self.table, snapshot=snapshot)
+        )
 
     def all(self) -> list[M]:
         return self.query().all()

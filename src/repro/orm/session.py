@@ -1,9 +1,20 @@
-"""Unit-of-work session with an identity map.
+"""Unit-of-work session with an identity map and repeatable reads.
 
 A :class:`Session` batches reads and writes over many models inside one
 storage transaction.  Within a session, loading the same row twice
 returns the same Python object (identity map), and all writes commit or
 roll back together.
+
+Every session additionally pins an MVCC snapshot at :meth:`begin`, so
+its reads are **repeatable**: commits made by other threads while the
+session is open stay invisible.  A read-write session pins the snapshot
+right after acquiring the writer lock (its view therefore includes
+every commit that preceded it); reads of tables the session itself has
+modified go through the live transaction so the session always sees its
+own writes.  A ``readonly=True`` session skips the transaction — and
+the writer lock — entirely and serves every read from the snapshot,
+which makes it safe to hold open during long report generation without
+stalling writers.
 
 ::
 
@@ -11,6 +22,10 @@ roll back together.
         project = session.get(Project, 7)
         sample = session.add(Sample(name="wt light 1", project_id=project.id))
     # committed here; any exception inside the block rolls everything back
+
+    with Session(registry, readonly=True) as view:
+        rows = view.query(Sample).where("project_id", "=", 7).all()
+        # repeatable: same result for the lifetime of the session
 """
 
 from __future__ import annotations
@@ -20,6 +35,8 @@ from typing import Any, Type, TypeVar
 from repro.errors import EntityNotFound, TransactionError
 from repro.orm.model import Model
 from repro.orm.registry import Registry
+from repro.storage.query import Query
+from repro.storage.snapshot import Snapshot
 from repro.storage.transaction import Transaction
 
 M = TypeVar("M", bound=Model)
@@ -28,43 +45,72 @@ M = TypeVar("M", bound=Model)
 class Session:
     """One unit of work over a registry's database."""
 
-    def __init__(self, registry: Registry):
+    def __init__(self, registry: Registry, *, readonly: bool = False):
         self.registry = registry
+        self.readonly = readonly
         self._txn: Transaction | None = None
+        self._snapshot: Snapshot | None = None
         self._identity: dict[tuple[str, Any], Model] = {}
 
     # -- lifecycle ---------------------------------------------------------------
 
     def begin(self) -> "Session":
-        if self._txn is not None:
+        if self._txn is not None or self._snapshot is not None:
             raise TransactionError("session already has an open transaction")
-        self._txn = self.registry.database.transaction()
+        if not self.readonly:
+            self._txn = self.registry.database.transaction()
+        self._snapshot = self.registry.database.snapshot()
         return self
 
+    def _finish(self) -> None:
+        if self._snapshot is not None:
+            self._snapshot.close()
+            self._snapshot = None
+        self._identity.clear()
+
     def commit(self) -> None:
+        if self.readonly:
+            if self._snapshot is None:
+                raise TransactionError("session has not begun")
+            self._finish()
+            return
         if self._txn is None:
             raise TransactionError("no open transaction to commit")
         self._txn.commit()
         self._txn = None
-        self._identity.clear()
+        self._finish()
 
     def rollback(self) -> None:
+        if self.readonly:
+            if self._snapshot is None:
+                raise TransactionError("session has not begun")
+            self._finish()
+            return
         if self._txn is None:
             raise TransactionError("no open transaction to roll back")
         self._txn.rollback()
         self._txn = None
-        self._identity.clear()
+        self._finish()
+
+    def close(self) -> None:
+        """Release the session: roll back an open transaction, drop the
+        pinned snapshot.  Idempotent."""
+        if self._txn is not None:
+            self.rollback()
+        else:
+            self._finish()
 
     def __enter__(self) -> "Session":
         return self.begin()
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        if self._txn is None:
-            return False
-        if exc_type is None:
-            self.commit()
+        if self._txn is not None:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
         else:
-            self.rollback()
+            self._finish()
         return False
 
     @property
@@ -73,7 +119,24 @@ class Session:
             raise TransactionError("session has no open transaction")
         return self._txn
 
-    # -- operations -----------------------------------------------------------------
+    @property
+    def snapshot(self) -> Snapshot | None:
+        """The pinned read view, or ``None`` before :meth:`begin`."""
+        return self._snapshot
+
+    # -- reads ---------------------------------------------------------------------
+
+    def _read_row(self, table: str, pk: Any) -> dict[str, Any] | None:
+        """Snapshot read unless the session has written to *table*.
+
+        A dirty table inside an open session means *our own* uncommitted
+        writes (we hold the writer lock), which the session must see.
+        """
+        database = self.registry.database
+        snap = self._snapshot
+        if snap is not None and not database.table(table).dirty:
+            return snap.get_or_none(table, pk)
+        return database.get_or_none(table, pk)
 
     def get(self, model: Type[M], pk: Any) -> M:
         """Load an entity; repeated loads return the identical object."""
@@ -81,12 +144,29 @@ class Session:
         cached = self._identity.get(key)
         if cached is not None:
             return cached  # type: ignore[return-value]
-        row = self.registry.database.get_or_none(model.__table__, pk)
+        row = self._read_row(model.__table__, pk)
         if row is None:
             raise EntityNotFound(model.__name__, pk)
         instance = model.from_row(row)
         self._identity[key] = instance
         return instance
+
+    def query(self, model: Type[M]):
+        """Typed query evaluated at this session's pinned snapshot.
+
+        Falls back to the live state for tables the session itself has
+        modified (read-your-writes) or when no snapshot is pinned.
+        """
+        from repro.orm.repository import ModelQuery
+
+        database = self.registry.database
+        table = database.table(model.__table__)
+        snap = self._snapshot
+        if snap is not None and not table.dirty:
+            return ModelQuery(model, Query(table, snapshot=snap))
+        return ModelQuery(model, Query(table))
+
+    # -- writes ---------------------------------------------------------------------
 
     def add(self, instance: M) -> M:
         """Insert *instance* within the session's transaction."""

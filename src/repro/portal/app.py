@@ -80,13 +80,23 @@ class PortalApplication:
         return response
 
     def _dispatch(self, request: Request) -> Response:
-        """Session check + routing + error mapping (no instrumentation)."""
+        """Session check + routing + error mapping (no instrumentation).
+
+        Every GET runs against one MVCC snapshot (``request.snapshot``),
+        opened here and closed when the view returns: the page renders
+        from a single consistent state, never blocks on a concurrent
+        writer, and repeated reads within the view agree with each
+        other.  Writes (POST/PUT) keep working against the live
+        database through the single-writer transaction protocol.
+        """
         token = request.cookies.get(_SESSION_COOKIE, "")
         if request.path not in _PUBLIC_PATHS:
             try:
                 request.session = self.system.auth.resolve(token)
             except AuthenticationError:
                 return Response.redirect("/login")
+        if request.method == "GET":
+            request.snapshot = self.system.db.snapshot()
         try:
             return self.router.dispatch(request)
         except AccessDenied as exc:
@@ -107,6 +117,10 @@ class PortalApplication:
             return Response(
                 page("Error", f"<p>{esc(exc)}</p>"), status=500
             )
+        finally:
+            if request.snapshot is not None:
+                request.snapshot.close()
+                request.snapshot = None
 
     # -- session helpers ---------------------------------------------------------------
 

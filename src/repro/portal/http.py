@@ -23,6 +23,9 @@ class Request:
     params: dict[str, Any] = field(default_factory=dict)
     #: Filled by the session middleware.
     session: Any = None
+    #: MVCC read view for GET requests, opened by the dispatcher and
+    #: closed when the request finishes; ``None`` for writes.
+    snapshot: Any = None
 
     @classmethod
     def from_environ(cls, environ: dict) -> "Request":

@@ -8,8 +8,12 @@ from repro.portal.render import esc, form, link, page, table, text_input
 from repro.search.export import export_csv
 
 
-def _run_search(portal, principal, query: str, limit: int = 25):
-    return portal.system.search.search(principal, query, limit=limit)
+def _run_search(portal, request, principal, query: str, limit: int = 25):
+    # GET requests carry a pinned MVCC snapshot; the ACL filter inside
+    # the engine reads membership at it, lock-free.
+    return portal.system.search.search(
+        principal, query, limit=limit, snapshot=request.snapshot
+    )
 
 
 def register(router, portal) -> None:
@@ -28,7 +32,7 @@ def register(router, portal) -> None:
         )
         if query:
             try:
-                results = _run_search(portal, principal, query)
+                results = _run_search(portal, request, principal, query)
             except QuerySyntaxError as exc:
                 return Response(
                     page("Search", body + f"<p>{esc(exc)}</p>",
@@ -82,7 +86,7 @@ def register(router, portal) -> None:
         if not query:
             return Response("missing query", status=400)
         try:
-            results = _run_search(portal, principal, query, limit=1000)
+            results = _run_search(portal, request, principal, query, limit=1000)
         except QuerySyntaxError as exc:
             return Response(str(exc), status=400)
         payload = export_csv(results)

@@ -136,11 +136,21 @@ class SearchEngine:
         *,
         types: list[str] | None = None,
         limit: int = 25,
+        snapshot=None,
     ) -> list[SearchResult]:
-        """Evaluate *query* for *principal*, best matches first."""
+        """Evaluate *query* for *principal*, best matches first.
+
+        With *snapshot* (an MVCC read view) the per-principal ACL
+        filter reads project membership at that snapshot, so a search
+        issued inside a pinned request sees access rights consistent
+        with every other read of that request — and never blocks on a
+        concurrent membership write.
+        """
         with self.obs.tracer.span("search.query", user=principal.login) as span:
             timer = self.obs.timer()
-            results = self._evaluate(principal, query, types=types, limit=limit)
+            results = self._evaluate(
+                principal, query, types=types, limit=limit, snapshot=snapshot
+            )
             self._m_queries.inc()
             self._m_query_seconds.observe(timer.elapsed())
             self._m_results.observe(len(results))
@@ -154,6 +164,7 @@ class SearchEngine:
         *,
         types: list[str] | None,
         limit: int,
+        snapshot=None,
     ) -> list[SearchResult]:
         if isinstance(query, str):
             query = parse_query(query)
@@ -164,7 +175,7 @@ class SearchEngine:
         candidates = self._candidates(query, effective_types)
         if candidates is None:
             return []
-        candidates = self._visible(principal, candidates)
+        candidates = self._visible(principal, candidates, snapshot=snapshot)
 
         positive = query.positive_terms
         term_set = {term for term, _ in positive}
@@ -241,19 +252,31 @@ class SearchEngine:
         return result
 
     def quick_search(
-        self, principal: Principal, text: str, *, limit: int = 10
+        self, principal: Principal, text: str, *, limit: int = 10, snapshot=None
     ) -> list[SearchResult]:
         """The main-screen quick box: plain words, all object types."""
         terms = tokenize(text)
         if not terms:
             return []
-        return self.search(principal, " ".join(terms), limit=limit)
+        return self.search(
+            principal, " ".join(terms), limit=limit, snapshot=snapshot
+        )
 
-    def _visible(self, principal: Principal, candidates: set) -> set:
-        """Filter candidates to projects the principal may read."""
+    def _visible(self, principal: Principal, candidates: set, *, snapshot=None) -> set:
+        """Filter candidates to projects the principal may read.
+
+        The membership lookup runs at *snapshot* when one is given, so
+        the ACL decision is repeatable within a pinned request.
+        """
         if self._acl is None or principal.is_expert:
             return candidates
-        visible_projects = set(self._acl.visible_project_ids(principal))
+        if snapshot is not None:
+            ids = self._acl.visible_project_ids(principal, snapshot=snapshot)
+        else:
+            # Keyword omitted so duck-typed ACL stand-ins predating the
+            # snapshot parameter keep working for live searches.
+            ids = self._acl.visible_project_ids(principal)
+        visible_projects = set(ids)
         kept = set()
         for key in candidates:
             document = self.index.document(*key)

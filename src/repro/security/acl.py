@@ -111,12 +111,19 @@ class AccessControl:
                 permission=permission.value,
             )
 
-    def visible_project_ids(self, principal: Principal) -> list[int]:
-        """Projects the principal may read (all, for experts)."""
+    def visible_project_ids(
+        self, principal: Principal, *, snapshot=None
+    ) -> list[int]:
+        """Projects the principal may read (all, for experts).
+
+        With *snapshot* (an MVCC read view) the membership tables are
+        evaluated at that snapshot — lock-free and consistent with any
+        other reads pinned to it — instead of the live state.
+        """
         if principal.is_expert:
-            return self._db.query("project").pks()
+            return self._db.query("project", snapshot=snapshot).pks()
         return (
-            self._db.query("project_membership")
+            self._db.query("project_membership", snapshot=snapshot)
             .where("user_id", "=", principal.user_id)
             .values("project_id")
         )

@@ -32,6 +32,7 @@ from repro.storage.types import ColumnType
 from repro.storage.schema import Column, TableSchema, ForeignKey
 from repro.storage.durability import Durability
 from repro.storage.query import Query, QueryCache, F
+from repro.storage.snapshot import Snapshot
 from repro.storage.database import Database
 from repro.storage.transaction import Transaction
 from repro.storage.wal import WriteAheadLog
@@ -46,6 +47,7 @@ __all__ = [
     "Transaction",
     "Query",
     "QueryCache",
+    "Snapshot",
     "F",
     "WriteAheadLog",
 ]

@@ -21,6 +21,7 @@ from repro.obs import Observability
 from repro.storage.durability import Durability
 from repro.storage.query import DEFAULT_QUERY_CACHE_SIZE, Query, QueryCache
 from repro.storage.schema import TableSchema
+from repro.storage.snapshot import Snapshot
 from repro.storage.table import Table, UndoEntry
 from repro.storage.transaction import Transaction
 from repro.storage.types import from_jsonable, to_jsonable
@@ -99,6 +100,18 @@ class Database:
         # own tiny mutex (``+=`` on an attribute is not atomic).
         self._intent_lock = threading.Lock()
         self._write_intents = 0
+        # MVCC state.  ``_committed_seq`` is the database-wide commit
+        # sequence number: every commit stamps its new row versions with
+        # the next number *before* publishing it here, so a lock-free
+        # snapshot open that reads ``s`` can resolve every version at or
+        # below ``s``.  The registry maps open snapshot ids to their
+        # pinned sequence numbers; its minimum is the pruning horizon.
+        # ``_snapshot_lock`` covers the registry and the horizon
+        # computation so snapshot registration cannot race a prune.
+        self._committed_seq = 0
+        self._snapshot_lock = threading.Lock()
+        self._snapshots: dict[int, int] = {}
+        self._snapshot_counter = 0
         self._commit_listeners: list[Callable[[list[UndoEntry]], None]] = []
         self._path = Path(path) if path is not None else None
         self._durable = durable and self._path is not None
@@ -222,8 +235,14 @@ class Database:
                 ) from exc
             if wal_timer is not None:
                 self._m_wal_append.observe(wal_timer.elapsed())
-        for name in {op.table for op in operations}:
-            self._tables[name].commit_version()
+        if operations:
+            # Stamp-then-publish: touched tables stamp their uncommitted
+            # versions with the new sequence number first, and only then
+            # does the number become visible to snapshot opens.
+            seq = self._committed_seq + 1
+            for name in {op.table for op in operations}:
+                self._tables[name].commit_version(seq)
+            self._committed_seq = seq
         with self._intent_lock:
             self._write_intents -= 1
         self._lock.release()
@@ -288,12 +307,82 @@ class Database:
     def get_or_none(self, table: str, pk: Any) -> dict[str, Any] | None:
         return self.table(table).get_or_none(pk)
 
-    def query(self, table: str) -> Query:
-        """Start a fluent query over *table*."""
-        return Query(self.table(table))
+    def query(self, table: str, *, snapshot: "Snapshot | None" = None) -> Query:
+        """Start a fluent query over *table*, optionally snapshot-pinned."""
+        return Query(self.table(table), snapshot=snapshot)
 
     def count(self, table: str) -> int:
         return len(self.table(table))
+
+    # -- snapshots (MVCC read views) ---------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Open an immutable, lock-free read view at the current commit.
+
+        The returned :class:`~repro.storage.snapshot.Snapshot` serves
+        repeatable reads without ever acquiring the writer lock; commits
+        that happen after the open stay invisible to it.  Open snapshots
+        pin their row versions in memory — close them promptly (they are
+        context managers) so pruning can reclaim superseded versions.
+        """
+        with self._snapshot_lock:
+            sid = self._snapshot_counter
+            self._snapshot_counter += 1
+            seq = self._committed_seq
+            self._snapshots[sid] = seq
+        return Snapshot(self, sid, seq)
+
+    def _release_snapshot(self, sid: int) -> None:
+        with self._snapshot_lock:
+            self._snapshots.pop(sid, None)
+        # Closing the oldest snapshot may unlock a swath of prunable
+        # versions; sweep opportunistically if the writer lock is free
+        # (never block a reader-side close behind a writer).
+        if self._lock.acquire(blocking=False):
+            try:
+                horizon = self.version_horizon()
+                for table in self._tables.values():
+                    table.prune_versions(horizon)
+            finally:
+                self._lock.release()
+
+    def version_horizon(self) -> int:
+        """Oldest commit sequence any live snapshot may still read.
+
+        Version chains are never cut at or above this number.  With no
+        open snapshots it is the current committed sequence — only the
+        latest version of each row needs to stay.
+        """
+        with self._snapshot_lock:
+            if self._snapshots:
+                return min(self._snapshots.values())
+            return self._committed_seq
+
+    def open_snapshots(self) -> int:
+        with self._snapshot_lock:
+            return len(self._snapshots)
+
+    def prune_versions(self) -> dict[str, int]:
+        """Blocking sweep of every table's version chains.
+
+        Takes the writer lock; returns reclaimed node counts per table.
+        The write path and snapshot closes already prune lazily — this
+        exists for admin tooling and tests.
+        """
+        with self._lock:
+            horizon = self.version_horizon()
+            return {
+                name: table.prune_versions(horizon)
+                for name, table in self._tables.items()
+            }
+
+    def _reserve_commit_seq(self) -> int:
+        """Next commit sequence number, not yet published (writer lock held)."""
+        return self._committed_seq + 1
+
+    def _publish_commit_seq(self, seq: int) -> None:
+        """Make *seq* visible to snapshot opens (after stamping)."""
+        self._committed_seq = seq
 
     # -- WAL encoding ------------------------------------------------------------------
 
@@ -394,10 +483,24 @@ class Database:
                     raise
                 self._wal.truncate_torn_tail()
             # Replay applied rows outside any transaction; settle them
-            # into one committed version per table so the query cache
-            # starts from a clean, non-dirty state.
+            # into one committed version per table (a single fresh
+            # commit sequence number) so the query cache starts from a
+            # clean, non-dirty state and every row carries exactly one
+            # current version.
+            seq = self._committed_seq + 1
+            settled = False
             for table in self._tables.values():
-                table.commit_version()
+                if table.dirty:
+                    table.commit_version(seq)
+                    settled = True
+            if settled:
+                self._committed_seq = seq
+            # No snapshot can be open during recovery, so the replayed
+            # history (one version per replayed op, tombstones for
+            # replayed deletes) is pure garbage: cut every chain down to
+            # its current version.
+            for table in self._tables.values():
+                table.prune_versions(self._committed_seq)
         elapsed = timer.elapsed()
         self._m_recover.observe(elapsed)
         self.obs.log.log("storage.recover", duration=elapsed, **stats)
@@ -445,6 +548,14 @@ class Database:
                 "transactions": self._txn_counter,
                 "durability": self.durability.spec(),
                 "query_cache": self.query_cache.statistics(),
+                "mvcc": {
+                    "committed_seq": self._committed_seq,
+                    "open_snapshots": self.open_snapshots(),
+                    "retained_versions": sum(
+                        tbl.version_statistics()["nodes"]
+                        for tbl in self._tables.values()
+                    ),
+                },
             }
 
     def close(self) -> None:

@@ -26,6 +26,18 @@ committed write makes every older entry unreachable, while rolled-back
 transactions leave the version — and the cache — intact.  While a
 transaction has uncommitted changes on a table the cache is *bypassed*
 in both directions, so dirty state is never served or stored.
+
+Snapshot execution: a query built from a
+:class:`~repro.storage.snapshot.Snapshot` (``snap.query(...)`` or
+``Query(table, snapshot=snap)``) resolves rows from the version chains
+at the snapshot's commit sequence number and never takes the writer
+lock.  The planner still uses the live indexes when they are provably
+equivalent to the snapshot state — no commit past the snapshot, no
+uncommitted changes, seqlock epoch stable across planning — and
+otherwise degrades to a chain-walking scan.  Cache keys are identical
+in both modes whenever the table hasn't moved past the snapshot, so
+snapshot readers and live readers share cached results; a snapshot of
+an older state bypasses the cache (historical versions are not keyed).
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ from repro.storage.types import sort_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.storage.snapshot import Snapshot
     from repro.storage.table import Table
 
 #: Result-cache entries kept per database when unconfigured.
@@ -216,8 +229,9 @@ class QueryCache:
 class Query:
     """Immutable-ish fluent query builder over one table."""
 
-    def __init__(self, table: "Table"):
+    def __init__(self, table: "Table", *, snapshot: "Snapshot | None" = None):
         self._table = table
+        self._snapshot = snapshot
         self._conditions: list[Condition] = []
         self._order: list[tuple[str, bool]] = []  # (column, descending)
         self._limit: int | None = None
@@ -278,8 +292,25 @@ class Query:
     def _plan(self) -> tuple[str, set[Any] | None, list[Condition]]:
         """Return ``(strategy, candidate_pks, residual_conditions)``.
 
-        ``candidate_pks=None`` means full scan.
+        ``candidate_pks=None`` means full scan.  Snapshot queries may
+        only use the live indexes while those provably match the
+        snapshot state: no committed change past the snapshot's
+        sequence number, no uncommitted changes, and a stable (even)
+        seqlock epoch across planning.  A failed guard degrades to a
+        chain-walking scan, which is always correct.
         """
+        if self._snapshot is None:
+            return self._plan_live()
+        tbl = self._table
+        epoch = tbl.mutation_epoch
+        if epoch & 1 or tbl.dirty or tbl.version > self._snapshot.seq:
+            return ("scan", None, list(self._conditions))
+        plan = self._plan_live()
+        if tbl.mutation_epoch != epoch:
+            return ("scan", None, list(self._conditions))
+        return plan
+
+    def _plan_live(self) -> tuple[str, set[Any] | None, list[Condition]]:
         if not self._use_indexes or not self._conditions:
             return ("scan", None, list(self._conditions))
 
@@ -369,36 +400,101 @@ class Query:
     def _cacheable(self) -> bool:
         # without_indexes() exists for the ablation benchmarks, which
         # must measure real scans; a dirty table must never populate or
-        # serve the cache (its in-memory state is uncommitted).
-        return self._use_indexes and not self._table.dirty
+        # serve the cache (its in-memory state is uncommitted).  A
+        # snapshot query is cacheable only while the live table still
+        # matches the snapshot — the cache is keyed on committed table
+        # versions and does not index historical states.
+        if not self._use_indexes or self._table.dirty:
+            return False
+        if (
+            self._snapshot is not None
+            and self._table.version > self._snapshot.seq
+        ):
+            return False
+        return True
 
     def _cache_key(self, kind: str) -> tuple:
+        # When a snapshot query is cacheable the live version equals the
+        # snapshot-visible version, so both modes share one key space.
         return (self._table.name, self._table.version, kind, self.fingerprint())
 
     def explain(self) -> dict[str, Any]:
-        """Describe the access path without executing the query."""
+        """Describe the access path without executing the query.
+
+        Besides the strategy, reports the snapshot pin
+        (``snapshot_version``, ``None`` for live queries) and the exact
+        result-cache key (``cache_key``, ``None`` when the cache is
+        bypassed) so hits and misses are debuggable across the
+        version-keyed cache.
+        """
         strategy, pks, residual = self._plan()
         cache = self._cache()
+        key = self._cache_key("rows")
         if cache is None or not self._cacheable():
             cache_status = "bypassed"
-        elif cache.peek(self._cache_key("rows")):
+        elif cache.peek(key):
             cache_status = "hit"
         else:
             cache_status = "miss"
+        if pks is not None:
+            candidates = len(pks)
+        elif self._snapshot is not None:
+            candidates = self._table.count_at(self._snapshot.seq)
+        else:
+            candidates = len(self._table)
         return {
             "table": self._table.name,
             "strategy": strategy,
-            "candidates": len(pks) if pks is not None else len(self._table),
+            "candidates": candidates,
             "residual_predicates": len(residual),
             "order_by": list(self._order),
             "cache": cache_status,
             "fingerprint": self.fingerprint(),
+            "snapshot_version": (
+                None if self._snapshot is None else self._snapshot.seq
+            ),
+            "cache_key": (
+                None
+                if cache_status == "bypassed"
+                else {
+                    "table": key[0],
+                    "version": key[1],
+                    "kind": key[2],
+                    "fingerprint": key[3],
+                }
+            ),
         }
 
     # -- execution -----------------------------------------------------------------
 
     def _matching_rows(self) -> Iterator[dict[str, Any]]:
         strategy, pks, residual = self._plan()
+        snap = self._snapshot
+        if snap is not None:
+            if snap.closed:
+                raise SchemaError(
+                    f"query on {self._table.name!r}: snapshot is closed"
+                )
+            seq = snap.seq
+            if pks is None:
+                # Chain-walking scan at the pinned sequence number; the
+                # pk set is materialized atomically so concurrent
+                # commits can neither tear it nor change its size.
+                for _pk, row in self._table.items_at(seq):
+                    if all(cond.matches(row) for cond in residual):
+                        yield row
+            else:
+                # Index candidates were validated against the snapshot
+                # by the planner; rows are still resolved through the
+                # chains so a commit racing this loop cannot leak newer
+                # versions into the result.
+                for pk in pks:
+                    row = self._table.row_at(pk, seq)
+                    if row is None:
+                        continue
+                    if all(cond.matches(row) for cond in residual):
+                        yield row
+            return
         if pks is None:
             candidates: Iterator[Any] = iter(self._table.pks())
         else:

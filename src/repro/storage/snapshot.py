@@ -1,0 +1,205 @@
+"""Snapshot-isolated, lock-free read views.
+
+A :class:`Snapshot` pins the database-wide commit sequence number at
+open time and serves every read — point lookups, scans, index-backed
+equality lookups, and fluent queries — from the row versions visible at
+that number.  It **never acquires the writer lock**: readers stay wait
+free while transactions commit, and a pinned scan sees either all of a
+concurrent transaction's changes or none of them (it sees none, since
+the snapshot predates the commit).
+
+Isolation rests on the version chains maintained by
+:class:`~repro.storage.table.Table`:
+
+* every committed version is stamped with the commit sequence number
+  that published it; uncommitted versions carry ``None`` and are
+  invisible to every snapshot;
+* commit stamps versions *before* publishing the new sequence number,
+  so a snapshot that observes sequence ``s`` can resolve every version
+  at or below ``s`` without synchronisation;
+* version payloads are immutable after publication, so zero-copy reads
+  can hold references across concurrent commits.
+
+Open snapshots hold back version pruning: the database's horizon is the
+oldest live snapshot's sequence number, and chains are only cut below
+it.  Close snapshots promptly (use them as context managers) so storage
+can reclaim superseded versions.
+
+Index lookups opportunistically use the live secondary indexes — valid
+whenever the table has not changed since the snapshot — guarded by the
+table's seqlock epoch; when the table has moved on (or a mutation is in
+flight), they fall back to a chain-walking scan, trading speed for the
+same correctness.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import RowNotFound, SchemaError
+from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.database import Database
+    from repro.storage.query import Query
+
+
+class Snapshot:
+    """An immutable read view over the whole database.
+
+    Obtained via :meth:`Database.snapshot`; usable as a context manager.
+    All reads are repeatable: the same call returns the same result for
+    the lifetime of the snapshot, regardless of concurrent commits.
+    """
+
+    __slots__ = ("_db", "_sid", "_seq", "_closed")
+
+    def __init__(self, database: "Database", sid: int, seq: int):
+        self._db = database
+        self._sid = sid
+        self._seq = seq
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """The commit sequence number this view is pinned to."""
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the snapshot, allowing versions behind it to be pruned.
+
+        Idempotent.  Reads after close raise :class:`SchemaError`.
+        """
+        if not self._closed:
+            self._closed = True
+            self._db._release_snapshot(self._sid)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<Snapshot seq={self._seq} {state}>"
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SchemaError("snapshot is closed")
+
+    def _table(self, name: str) -> Table:
+        self._check_open()
+        return self._db.table(name)
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, table: str, pk: Any) -> dict[str, Any]:
+        """Return a copy of row *pk* as of this snapshot."""
+        row = self._table(table).row_at(pk, self._seq)
+        if row is None:
+            raise RowNotFound(table, pk)
+        return dict(row)
+
+    def get_or_none(self, table: str, pk: Any) -> dict[str, Any] | None:
+        row = self._table(table).row_at(pk, self._seq)
+        return None if row is None else dict(row)
+
+    def contains(self, table: str, pk: Any) -> bool:
+        return self._table(table).row_at(pk, self._seq) is not None
+
+    def scan(self, table: str) -> Iterator[dict[str, Any]]:
+        """Yield copies of every row visible at this snapshot."""
+        tbl = self._table(table)
+        for _pk, row in tbl.items_at(self._seq):
+            yield dict(row)
+
+    def count(self, table: str) -> int:
+        return self._table(table).count_at(self._seq)
+
+    def pks(self, table: str) -> list[Any]:
+        return [pk for pk, _row in self._table(table).items_at(self._seq)]
+
+    def lookup(
+        self, table: str, columns: "str | tuple[str, ...]", *values: Any
+    ) -> list[dict[str, Any]]:
+        """Equality lookup, index-backed when the index is still valid.
+
+        ``columns`` may be one column name or a tuple (composite
+        indexes); *values* matches it positionally.  Uses the live
+        hash/unique index when the table has not changed since the
+        snapshot (seqlock-guarded); otherwise falls back to a chain
+        scan.  Either path returns the same rows.
+        """
+        if isinstance(columns, str):
+            columns = (columns,)
+        if len(columns) != len(values):
+            raise SchemaError(
+                f"lookup on {columns!r} got {len(values)} value(s)"
+            )
+        tbl = self._table(table)
+        pks = self._index_pks(tbl, columns, tuple(values))
+        rows: list[dict[str, Any]] = []
+        if pks is not None:
+            for pk in pks:
+                row = tbl.row_at(pk, self._seq)
+                if row is not None and all(
+                    row.get(c) == v for c, v in zip(columns, values)
+                ):
+                    rows.append(dict(row))
+            return rows
+        for _pk, row in tbl.items_at(self._seq):
+            if all(row.get(c) == v for c, v in zip(columns, values)):
+                rows.append(dict(row))
+        return rows
+
+    def _index_pks(
+        self, tbl: Table, columns: tuple[str, ...], key: tuple
+    ) -> "set[Any] | None":
+        """Candidate pks from a live index, or ``None`` when unusable.
+
+        The live index reflects the *latest* state; it matches this
+        snapshot only when the table has no committed change past our
+        sequence number and no uncommitted change at all.  The seqlock
+        epoch is read before and after: an odd or changed epoch means a
+        writer raced us and the candidate set cannot be trusted.
+        """
+        epoch = tbl.mutation_epoch
+        if epoch & 1 or tbl.dirty or tbl.version > self._seq:
+            return None
+        index = tbl.hash_index_for(columns) or tbl.unique_index_for(columns)
+        if index is None and len(columns) == 1:
+            sorted_index = tbl.sorted_index_for(columns[0])
+            pks = None if sorted_index is None else sorted_index.lookup(key[0])
+        elif index is None:
+            return None
+        else:
+            pks = index.lookup(key)
+        if pks is None or tbl.mutation_epoch != epoch:
+            return None
+        return pks
+
+    def query(self, table: str) -> "Query":
+        """Start a fluent query evaluated against this snapshot."""
+        from repro.storage.query import Query
+
+        return Query(self._table(table), snapshot=self)
+
+    def statistics(self) -> dict[str, Any]:
+        """Row counts visible at this snapshot (admin/debugging)."""
+        self._check_open()
+        tables = {
+            name: self._db.table(name).count_at(self._seq)
+            for name in self._db.table_names()
+        }
+        return {
+            "seq": self._seq,
+            "tables": tables,
+            "total_rows": sum(tables.values()),
+        }

@@ -1,13 +1,36 @@
-"""The live table: row storage, constraint enforcement, index maintenance.
+"""The live table: versioned row storage, constraints, index maintenance.
 
-A :class:`Table` owns its rows (``pk -> row dict``) plus every index
-declared for it.  All constraint checks happen here, *before* any state
-changes, so a failed write leaves rows and indexes untouched.  Foreign
-keys are validated through the owning :class:`~repro.storage.database.Database`
-because they span tables.
+A :class:`Table` owns its rows and every index declared for it.  Since
+the MVCC refactor a row is not a bare dict but the head of a small
+**version chain**: each write prepends an immutable :class:`RowVersion`
+(a delete prepends a tombstone), and commit stamps the new versions with
+the database-wide commit sequence number.  Readers pinned to a
+:class:`~repro.storage.snapshot.Snapshot` walk the chain to the newest
+version visible at their sequence number and therefore never block on —
+or observe — an in-flight writer.  Versions below the oldest live
+snapshot are pruned lazily on the write path and swept when snapshots
+close.
+
+All constraint checks happen against the *latest* state, *before* any
+chain changes, so a failed write leaves rows and indexes untouched.
+Foreign keys are validated through the owning
+:class:`~repro.storage.database.Database` because they span tables.
 
 Mutations return :class:`UndoEntry` records; transactions replay them in
-reverse on rollback.
+reverse on rollback, which pops the uncommitted chain heads.
+
+Thread-safety model: there is exactly one writer at a time (the
+database's writer lock) and any number of lock-free readers.  Readers
+rely on three invariants:
+
+* ``RowVersion`` payloads are never mutated after publication — an
+  update builds a *new* dict;
+* the ``pk -> head`` mapping is only replaced one key at a time, and
+  readers materialize ``list(dict.items())`` (atomic under the GIL)
+  before walking;
+* ``mutation_epoch`` is a seqlock: odd while a mutation is in flight,
+  so a reader can detect that an index lookup raced a writer and fall
+  back to a chain scan.
 """
 
 from __future__ import annotations
@@ -32,6 +55,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.database import Database
 
 
+class RowVersion:
+    """One immutable version of a row.
+
+    ``row`` is the payload dict (``None`` marks a tombstone — the row
+    was deleted at this version).  ``seq`` is the database-wide commit
+    sequence number that published this version, or ``None`` while the
+    owning transaction is still open (uncommitted versions are invisible
+    to every snapshot).  ``older`` links to the previous version.
+
+    The payload dict must never be mutated once the version is linked
+    into a chain: lock-free readers hold direct references to it.
+    """
+
+    __slots__ = ("row", "seq", "older")
+
+    def __init__(
+        self,
+        row: "dict[str, Any] | None",
+        seq: "int | None",
+        older: "RowVersion | None",
+    ):
+        self.row = row
+        self.seq = seq
+        self.older = older
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "tombstone" if self.row is None else "row"
+        state = "uncommitted" if self.seq is None else f"seq={self.seq}"
+        return f"<RowVersion {kind} {state} chained={self.older is not None}>"
+
+
 @dataclass(frozen=True)
 class UndoEntry:
     """Inverse of one applied mutation.
@@ -39,6 +93,8 @@ class UndoEntry:
     ``op`` is the operation that *was applied*; rollback performs its
     inverse: an ``insert`` is undone by deleting ``pk``, a ``delete`` by
     re-inserting ``before``, an ``update`` by restoring ``before``.
+    Under MVCC each of these amounts to popping the uncommitted head of
+    the row's version chain.
     """
 
     op: str  # "insert" | "update" | "delete"
@@ -54,20 +110,33 @@ class Table:
     def __init__(self, schema: TableSchema, database: "Database"):
         self.schema = schema
         self._db = database
-        self._rows: dict[Any, dict[str, Any]] = {}
+        #: pk -> newest :class:`RowVersion` (head of the chain).
+        self._rows: dict[Any, RowVersion] = {}
+        #: Number of live (non-tombstone) heads; backs ``len(table)``.
+        self._live = 0
+        #: Uncommitted versions in application order; commit stamps them
+        #: with the global sequence number, rollback pops them (LIFO).
+        self._uncommitted: list[RowVersion] = []
+        #: Upper bound on chain nodes a prune sweep could reclaim
+        #: (superseded versions + tombstones).  Zero means a sweep would
+        #: find nothing, so snapshot close skips the O(n) pass.
+        self._reclaimable = 0
         self._ids = IdAllocator()
         self._pk = schema.primary_key.name
         self._auto_pk = schema.primary_key.type is ColumnType.INT
 
         # Query-cache bookkeeping.  ``_version`` identifies the last
-        # *committed* state and keys cached query results; it only moves
-        # forward when a transaction commits (or recovery finishes), so a
-        # rollback leaves it untouched and pre-transaction cache entries
-        # stay valid.  ``_mutation_epoch`` counts every state change —
-        # including undos — so an in-flight query can detect that the
-        # table moved under it and must not publish its result.
-        # ``_pending_ops`` counts applied-but-uncommitted mutations;
-        # while non-zero the table is dirty and the cache is bypassed.
+        # *committed* state — since MVCC it is the database-wide commit
+        # sequence number of the last commit that touched this table —
+        # and keys cached query results; it only moves forward when a
+        # transaction commits (or recovery finishes), so a rollback
+        # leaves it untouched and pre-transaction cache entries stay
+        # valid.  ``_mutation_epoch`` is a seqlock: bumped at the start
+        # *and* end of every state change — including undos — so it is
+        # odd mid-mutation and a reader can detect that the table moved
+        # under it.  ``_pending_ops`` counts applied-but-uncommitted
+        # mutations; while non-zero the table is dirty and the cache is
+        # bypassed.
         self._version = 0
         self._mutation_epoch = 0
         self._pending_ops = 0
@@ -75,7 +144,9 @@ class Table:
         # Unique constraints become unique hash indexes (PK handled by the
         # row dict itself).  Plain/composite indexes become hash indexes;
         # every single-column plain index also gets a sorted twin so range
-        # predicates and ORDER BY can use it.
+        # predicates and ORDER BY can use it.  Indexes always reflect the
+        # *latest* (possibly uncommitted) state; snapshot reads may only
+        # use them when the table has not moved past the snapshot.
         self._unique_indexes: list[HashIndex] = []
         self._hash_indexes: dict[tuple[str, ...], HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
@@ -112,6 +183,11 @@ class Table:
             "Full index (re)builds over existing rows",
             labels=("table",),
         ).labels(table=schema.name)
+        self._m_pruned = obs.metrics.counter(
+            "storage_versions_pruned_total",
+            "Row versions reclaimed from MVCC chains",
+            labels=("table",),
+        ).labels(table=schema.name)
 
     # -- basic access ------------------------------------------------------
 
@@ -124,51 +200,113 @@ class Table:
         return self._pk
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._live
 
     def __contains__(self, pk: Any) -> bool:
-        return pk in self._rows
+        head = self._rows.get(pk)
+        return head is not None and head.row is not None
 
     def get(self, pk: Any) -> dict[str, Any]:
-        """Return a copy of the row with primary key *pk*."""
-        try:
-            return dict(self._rows[pk])
-        except KeyError:
-            raise RowNotFound(self.name, pk) from None
+        """Return a copy of the latest version of row *pk*."""
+        head = self._rows.get(pk)
+        if head is None or head.row is None:
+            raise RowNotFound(self.name, pk)
+        return dict(head.row)
 
     def get_or_none(self, pk: Any) -> dict[str, Any] | None:
-        row = self._rows.get(pk)
-        return dict(row) if row is not None else None
+        head = self._rows.get(pk)
+        return dict(head.row) if head is not None and head.row is not None else None
 
     def rows(self) -> Iterator[dict[str, Any]]:
-        """Yield copies of all rows in insertion order."""
-        for row in list(self._rows.values()):
-            yield dict(row)
+        """Yield copies of all live rows in insertion order."""
+        for head in list(self._rows.values()):
+            if head.row is not None:
+                yield dict(head.row)
 
     def pks(self) -> list[Any]:
-        return list(self._rows)
+        return [pk for pk, head in list(self._rows.items()) if head.row is not None]
 
     def raw_row(self, pk: Any) -> dict[str, Any] | None:
-        """Internal zero-copy access for the query planner. Do not mutate."""
-        return self._rows.get(pk)
+        """Zero-copy access to the *latest* version's payload.
+
+        Contract: the returned dict is an immutable version payload —
+        writers never mutate it in place (an update publishes a new
+        dict), so holding a reference across a concurrent commit is
+        safe.  Callers must treat it as read-only and must not assume it
+        reflects committed state (the latest version may belong to an
+        open transaction); isolation-sensitive callers read through a
+        pinned :class:`~repro.storage.snapshot.Snapshot` / :meth:`row_at`
+        instead.
+        """
+        head = self._rows.get(pk)
+        return head.row if head is not None else None
 
     def raw_items(self) -> list[tuple[Any, dict[str, Any]]]:
-        """Internal zero-copy ``(pk, row)`` pairs for read-only scans.
+        """Zero-copy ``(pk, row)`` pairs of the latest live versions.
 
-        Callers must not mutate the returned row dicts.
+        Same contract as :meth:`raw_row`: payloads are immutable version
+        dicts (never mutated after publication, safe to hold without
+        copying, must not be written to), and the view is the *latest*
+        state, which may include uncommitted changes of an open
+        transaction.  Snapshot-isolated scans use :meth:`items_at`.
         """
-        return list(self._rows.items())
+        return [
+            (pk, head.row)
+            for pk, head in list(self._rows.items())
+            if head.row is not None
+        ]
 
-    # -- versioning (query-cache keys) ----------------------------------------
+    # -- snapshot reads (lock-free) -------------------------------------------
+
+    @staticmethod
+    def _visible_at(head: "RowVersion | None", seq: int) -> "RowVersion | None":
+        """Newest version of a chain committed at or before *seq*."""
+        node = head
+        while node is not None:
+            committed = node.seq
+            if committed is not None and committed <= seq:
+                return node
+            node = node.older
+        return None
+
+    def row_at(self, pk: Any, seq: int) -> dict[str, Any] | None:
+        """The payload of row *pk* as of commit sequence *seq*.
+
+        Zero-copy (same immutability contract as :meth:`raw_row`);
+        returns ``None`` for rows that did not exist — or were deleted —
+        at that point.  Never takes any lock.
+        """
+        node = self._visible_at(self._rows.get(pk), seq)
+        return None if node is None else node.row
+
+    def items_at(self, seq: int) -> Iterator[tuple[Any, dict[str, Any]]]:
+        """Zero-copy ``(pk, row)`` pairs visible at commit sequence *seq*.
+
+        The pk set is materialized atomically (GIL) before walking, so a
+        concurrent writer can neither tear the iteration nor raise
+        ``dict changed size``; rows the writer commits afterwards carry
+        a higher sequence number and stay invisible.
+        """
+        for pk, head in list(self._rows.items()):
+            node = self._visible_at(head, seq)
+            if node is not None and node.row is not None:
+                yield pk, node.row
+
+    def count_at(self, seq: int) -> int:
+        return sum(1 for _ in self.items_at(seq))
+
+    # -- versioning (query-cache keys, seqlock) --------------------------------
 
     @property
     def version(self) -> int:
-        """Monotonic version of the last committed state."""
+        """Commit sequence number of the last committed change here."""
         return self._version
 
     @property
     def mutation_epoch(self) -> int:
-        """Bumped on every state change, committed or not (incl. undo)."""
+        """Seqlock epoch: bumped entering *and* leaving every state
+        change (committed or not, incl. undo), so it is odd while a
+        mutation is in flight and even when the table is stable."""
         return self._mutation_epoch
 
     @property
@@ -176,31 +314,106 @@ class Table:
         """True while an open transaction has uncommitted changes here."""
         return self._pending_ops > 0
 
-    def _note_mutation(self) -> None:
+    def _begin_change(self) -> None:
+        self._mutation_epoch += 1
+
+    def _end_change(self) -> None:
         self._mutation_epoch += 1
         self._pending_ops += 1
 
-    def _note_undo(self) -> None:
+    def _end_undo(self) -> None:
         self._mutation_epoch += 1
         if self._pending_ops > 0:
             self._pending_ops -= 1
 
-    def commit_version(self) -> None:
+    def commit_version(self, seq: int) -> None:
         """Publish pending mutations as one new committed version.
 
-        Called by the database at commit (and once after recovery); a
-        rollback never calls this, so the version — and with it every
-        cached result for the pre-transaction state — survives.
+        Called by the database at commit (and once after recovery) with
+        the new global commit sequence number; stamps every uncommitted
+        version so snapshots at or above *seq* see them.  A rollback
+        never calls this, so the version — and with it every cached
+        result for the pre-transaction state — survives.
         """
         if self._pending_ops:
+            for node in self._uncommitted:
+                node.seq = seq
+            self._uncommitted.clear()
             self._pending_ops = 0
-            self._version += 1
+            self._version = seq
 
-    def _bump_version(self) -> None:
-        """Out-of-band invalidation for non-transactional changes
-        (schema evolution); advances the committed version directly."""
-        self._mutation_epoch += 1
-        self._version += 1
+    def _publish_out_of_band(self) -> int:
+        """Reserve a commit sequence number for non-transactional
+        changes (schema evolution) and move this table's version to it.
+        Caller holds the writer lock and must hand the number to
+        ``Database._publish_commit_seq`` once any new versions are
+        linked (stamp-then-publish, so lock-free snapshot opens never
+        observe a half-applied migration)."""
+        seq = self._db._reserve_commit_seq()
+        self._version = seq
+        return seq
+
+    # -- version pruning ---------------------------------------------------------
+
+    def _truncate_chain(self, head: RowVersion, horizon: int) -> int:
+        """Cut *head*'s chain below the newest version visible at
+        *horizon*; returns the number of nodes dropped.  Safe against
+        concurrent readers: every live snapshot sits at or above the
+        horizon, so the kept node is the oldest any reader can need."""
+        node = head
+        while node is not None and (node.seq is None or node.seq > horizon):
+            node = node.older
+        if node is None or node.older is None:
+            return 0
+        dropped = 0
+        cursor = node.older
+        node.older = None
+        while cursor is not None:
+            dropped += 1
+            cursor = cursor.older
+        return dropped
+
+    def prune_versions(self, horizon: int) -> int:
+        """Sweep every chain, dropping versions below *horizon* and
+        removing fully-dead tombstone entries.  Caller holds the writer
+        lock.  Returns the number of chain nodes reclaimed."""
+        if self._reclaimable == 0:
+            return 0
+        dropped = 0
+        reclaimable = 0
+        for pk in list(self._rows):
+            head = self._rows[pk]
+            dropped += self._truncate_chain(head, horizon)
+            if (
+                head.row is None
+                and head.older is None
+                and head.seq is not None
+                and head.seq <= horizon
+            ):
+                # Committed tombstone with no history left and no
+                # snapshot that could still see the row: the chain is
+                # fully dead.
+                del self._rows[pk]
+                dropped += 1
+            else:
+                node = head
+                while node is not None:
+                    if node.older is not None or node.row is None:
+                        reclaimable += 1
+                    node = node.older
+        self._reclaimable = reclaimable
+        if dropped:
+            self._m_pruned.inc(dropped)
+        return dropped
+
+    def version_chain_length(self, pk: Any) -> int:
+        """Number of retained versions for *pk* (0 = unknown pk)."""
+        length = 0
+        node = self._rows.get(pk)
+        while node is not None:
+            length += 1
+            node = node.older
+        return length
 
     # -- validation helpers --------------------------------------------------
 
@@ -310,7 +523,8 @@ class Table:
                 )
             row[self._pk] = self._ids.allocate()
         pk = row[self._pk]
-        if pk in self._rows:
+        head = self._rows.get(pk)
+        if head is not None and head.row is not None:
             raise PrimaryKeyViolation(
                 f"table {self.name!r}: primary key {pk!r} already exists",
                 table=self.name,
@@ -321,64 +535,120 @@ class Table:
         self._check_foreign_keys(row)
         if self._auto_pk and isinstance(pk, int):
             self._ids.observe(pk)
-        self._rows[pk] = row
+        self._begin_change()
+        node = RowVersion(row, None, head)
+        self._rows[pk] = node
+        self._uncommitted.append(node)
+        self._live += 1
+        self._lazy_truncate(node)
         self._index_add(row, pk)
-        self._note_mutation()
+        self._end_change()
         return dict(row), UndoEntry("insert", self.name, pk, None, dict(row))
 
     def apply_update(
         self, pk: Any, changes: dict[str, Any]
     ) -> tuple[dict[str, Any], UndoEntry]:
         """Validate and update row *pk*; returns ``(new_row_copy, undo)``."""
-        if pk not in self._rows:
+        head = self._rows.get(pk)
+        if head is None or head.row is None:
             raise RowNotFound(self.name, pk)
         normalized = self._normalize(changes, for_insert=False)
         if self._pk in normalized and normalized[self._pk] != pk:
             raise SchemaError(
                 f"table {self.name!r}: primary key of row {pk!r} cannot change"
             )
-        before = dict(self._rows[pk])
+        before = head.row
         candidate = {**before, **normalized}
         self._validate_row(candidate)
         self._check_unique(candidate, pk)
         self._check_foreign_keys(candidate)
+        self._begin_change()
         self._index_remove(before, pk)
-        self._rows[pk] = candidate
+        node = RowVersion(candidate, None, head)
+        self._rows[pk] = node
+        self._uncommitted.append(node)
+        self._reclaimable += 1
+        self._lazy_truncate(node)
         self._index_add(candidate, pk)
-        self._note_mutation()
-        return dict(candidate), UndoEntry("update", self.name, pk, before, dict(candidate))
+        self._end_change()
+        return dict(candidate), UndoEntry(
+            "update", self.name, pk, dict(before), dict(candidate)
+        )
 
     def apply_delete(self, pk: Any) -> tuple[dict[str, Any], UndoEntry]:
         """Delete row *pk*; returns ``(deleted_row_copy, undo)``.
 
-        Referential actions (restrict/cascade/set_null) are orchestrated
-        by the transaction, which sees all tables.
+        The chain gets a tombstone head so snapshots pinned before the
+        delete keep seeing the row.  Referential actions
+        (restrict/cascade/set_null) are orchestrated by the transaction,
+        which sees all tables.
         """
-        if pk not in self._rows:
+        head = self._rows.get(pk)
+        if head is None or head.row is None:
             raise RowNotFound(self.name, pk)
-        before = self._rows.pop(pk)
+        before = head.row
+        self._begin_change()
         self._index_remove(before, pk)
-        self._note_mutation()
+        node = RowVersion(None, None, head)
+        self._rows[pk] = node
+        self._uncommitted.append(node)
+        self._live -= 1
+        self._reclaimable += 2  # the tombstone plus the superseded version
+        self._lazy_truncate(node)
+        self._end_change()
         return dict(before), UndoEntry("delete", self.name, pk, dict(before), None)
 
+    def _lazy_truncate(self, head: RowVersion) -> None:
+        """Write-path pruning: cut this chain below the version horizon
+        so chains stay short without waiting for a full sweep."""
+        if head.older is None:
+            return
+        dropped = self._truncate_chain(head, self._db.version_horizon())
+        if dropped:
+            self._reclaimable = max(0, self._reclaimable - dropped)
+            self._m_pruned.inc(dropped)
+
     def apply_undo(self, entry: UndoEntry) -> None:
-        """Reverse one previously applied mutation (rollback path)."""
+        """Reverse one previously applied mutation (rollback path).
+
+        Undo entries are replayed in reverse application order, so the
+        chain head for ``entry.pk`` is always the uncommitted version
+        that mutation created: undo pops it.
+        """
+        head = self._rows.get(entry.pk)
+        assert head is not None and head.seq is None, (
+            f"undo of {entry.op} on {self.name}[{entry.pk!r}] found a "
+            "committed head; undo order violated"
+        )
+        assert self._uncommitted and self._uncommitted[-1] is head
+        self._begin_change()
+        self._uncommitted.pop()
         if entry.op == "insert":
-            row = self._rows.pop(entry.pk)
-            self._index_remove(row, entry.pk)
+            assert head.row is not None
+            self._index_remove(head.row, entry.pk)
+            if head.older is None:
+                del self._rows[entry.pk]
+            else:
+                self._rows[entry.pk] = head.older
+            self._live -= 1
         elif entry.op == "delete":
-            assert entry.before is not None
-            self._rows[entry.pk] = dict(entry.before)
-            self._index_add(entry.before, entry.pk)
+            older = head.older
+            assert older is not None and older.row is not None
+            self._rows[entry.pk] = older
+            self._index_add(older.row, entry.pk)
+            self._live += 1
+            self._reclaimable = max(0, self._reclaimable - 2)
         elif entry.op == "update":
-            assert entry.before is not None
-            current = self._rows[entry.pk]
-            self._index_remove(current, entry.pk)
-            self._rows[entry.pk] = dict(entry.before)
-            self._index_add(entry.before, entry.pk)
+            older = head.older
+            assert older is not None and older.row is not None
+            assert head.row is not None
+            self._index_remove(head.row, entry.pk)
+            self._rows[entry.pk] = older
+            self._index_add(older.row, entry.pk)
+            self._reclaimable = max(0, self._reclaimable - 1)
         else:  # pragma: no cover - defensive
             raise SchemaError(f"unknown undo op {entry.op!r}")
-        self._note_undo()
+        self._end_undo()
 
     # -- planner hooks --------------------------------------------------------
 
@@ -411,7 +681,9 @@ class Table:
         for callable defaults).  A non-nullable column therefore needs
         a default when rows exist.  New unique/index structures are
         built over the backfilled data; a uniqueness conflict aborts
-        the whole operation before any state changes.
+        the whole operation before any state changes.  Backfill
+        publishes *new* row versions (payloads are immutable), so
+        snapshots pinned before the migration keep the old shape.
         """
         from repro.storage.schema import TableSchema
 
@@ -422,7 +694,9 @@ class Table:
         if column.primary_key:
             raise SchemaError("cannot add a primary-key column")
         backfill: dict[Any, Any] = {}
-        for pk in self._rows:
+        for pk, head in self._rows.items():
+            if head.row is None:
+                continue
             value = coerce(column.default_value(), column.type, column=column.name)
             if value is None and not column.nullable:
                 raise SchemaError(
@@ -430,7 +704,7 @@ class Table:
                     "to backfill existing rows with"
                 )
             backfill[pk] = value
-        if column.unique and len(self._rows) > 1:
+        if column.unique and self._live > 1:
             non_null = [v for v in backfill.values() if v is not None]
             if len(non_null) != len(set(map(repr, non_null))):
                 raise SchemaError(
@@ -447,13 +721,21 @@ class Table:
             doc=self.schema.doc,
         )
         self.schema = new_schema
+        self._begin_change()
+        seq = self._publish_out_of_band()
         for pk, value in backfill.items():
-            self._rows[pk][column.name] = value
-        self._bump_version()
+            head = self._rows[pk]
+            self._rows[pk] = RowVersion(
+                {**head.row, column.name: value}, seq, head
+            )
+            self._reclaimable += 1
+        self._mutation_epoch += 1  # close the seqlock without going dirty
+        self._db._publish_commit_seq(seq)
         if column.unique:
             index = HashIndex(self.name, (column.name,), unique=True)
-            for pk in self._rows:
-                index.add(self._rows[pk], pk)
+            for pk, head in self._rows.items():
+                if head.row is not None:
+                    index.add(head.row, pk)
             self._unique_indexes.append(index)
 
     def add_index(self, columns: tuple[str, ...]) -> None:
@@ -465,17 +747,21 @@ class Table:
                 f"table {self.name!r} already has an index on {columns!r}"
             )
         timer = self._db.obs.timer()
+        self._begin_change()
         index = HashIndex(self.name, columns)
-        for pk, row in self._rows.items():
-            index.add(row, pk)
+        for pk, head in self._rows.items():
+            if head.row is not None:
+                index.add(head.row, pk)
         self._hash_indexes[columns] = index
         if len(columns) == 1 and columns[0] not in self._sorted_indexes:
             sorted_index = SortedIndex(self.name, columns[0])
-            for pk, row in self._rows.items():
-                sorted_index.add(row, pk)
+            for pk, head in self._rows.items():
+                if head.row is not None:
+                    sorted_index.add(head.row, pk)
             self._sorted_indexes[columns[0]] = sorted_index
         self.schema.indexes = list(self.schema.indexes) + [columns]
-        self._bump_version()
+        self._db._publish_commit_seq(self._publish_out_of_band())
+        self._mutation_epoch += 1
         self._m_index_build.observe(timer.elapsed())
 
     # -- maintenance ------------------------------------------------------------
@@ -483,20 +769,26 @@ class Table:
     def rebuild_indexes(self) -> None:
         """Drop and rebuild every index from the row store (admin/repair)."""
         timer = self._db.obs.timer()
+        self._begin_change()
         for index in self._unique_indexes:
             index.clear()
         for index in self._hash_indexes.values():
             index.clear()
         for index in self._sorted_indexes.values():
             index.clear()
-        for pk, row in self._rows.items():
-            self._index_add(row, pk)
+        for pk, head in self._rows.items():
+            if head.row is not None:
+                self._index_add(head.row, pk)
+        self._mutation_epoch += 1
         self._m_index_build.observe(timer.elapsed())
 
     def verify_integrity(self) -> list[str]:
         """Cross-check rows against constraints and indexes; return problems."""
         problems: list[str] = []
-        for pk, row in self._rows.items():
+        for pk, head in self._rows.items():
+            row = head.row
+            if row is None:
+                continue
             try:
                 self._validate_row(row)
             except CheckViolation as exc:
@@ -518,3 +810,29 @@ class Table:
                         f"{self.name}[{pk}]: missing from index {index.name}"
                     )
         return problems
+
+    # -- statistics ------------------------------------------------------------
+
+    def version_statistics(self) -> dict[str, int]:
+        """Chain shape counters for the admin console / tests."""
+        chains = 0
+        nodes = 0
+        tombstones = 0
+        multi = 0
+        for head in list(self._rows.values()):
+            chains += 1
+            if head.older is not None:
+                multi += 1
+            node = head
+            while node is not None:
+                nodes += 1
+                if node.row is None:
+                    tombstones += 1
+                node = node.older
+        return {
+            "chains": chains,
+            "nodes": nodes,
+            "tombstones": tombstones,
+            "superseded_versions": nodes - chains,
+            "multi_version_chains": multi,
+        }

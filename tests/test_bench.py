@@ -50,3 +50,34 @@ class TestReport:
         problems = validate_report(broken)
         assert any("always" in p for p in problems)
         assert any("query cache" in p for p in problems)
+        assert any("concurrency" in p for p in problems)
+
+    def test_validation_checks_concurrency_cells(self):
+        broken = {
+            "schema": REPORT_SCHEMA,
+            "benchmarks": {
+                "commit_throughput": {"modes": {}},
+                "query_latency": {},
+                "query_cache": {},
+                "search": {},
+                "concurrency": {
+                    "thread_counts": [1, 4],
+                    "workloads": {
+                        "read_only": {
+                            "1": {"reads": 10, "writes": 0},
+                            # 4-thread cell missing
+                        },
+                        "write_only": {
+                            "1": {"reads": 0, "writes": 5},
+                            "4": {"reads": 0, "writes": 0},  # no ops
+                        },
+                        # mixed_90_10 entirely missing
+                    },
+                },
+            },
+        }
+        problems = validate_report(broken)
+        assert any("4-thread cell" in p for p in problems)
+        assert any("no operations" in p for p in problems)
+        assert any("mixed_90_10" in p for p in problems)
+        assert any("mixed_read_scaling" in p for p in problems)

@@ -270,3 +270,56 @@ class TestSession:
         with pytest.raises(TransactionError):
             session.begin()
         session.rollback()
+
+
+class TestSessionSnapshots:
+    """The MVCC read view every session pins at begin() (PR4)."""
+
+    def test_session_pins_a_snapshot(self, registry):
+        session = Session(registry)
+        assert session.snapshot is None
+        with session:
+            assert session.snapshot is not None
+            assert not session.snapshot.closed
+        assert session.snapshot is None
+
+    def test_readonly_session_repeatable_reads(self, registry):
+        orgs = registry.repository(Org)
+        org = orgs.create(name="old")
+        with Session(registry, readonly=True) as view:
+            first = view.get(Org, org.id).name
+            # Another writer commits mid-session; the view must not move.
+            orgs.update(org.id, name="new")
+            fresh = Session(registry, readonly=True)
+            with fresh:
+                assert fresh.get(Org, org.id).name == "new"
+            view._identity.clear()  # bypass the identity map on purpose
+            assert view.get(Org, org.id).name == first == "old"
+
+    def test_readonly_session_query_is_pinned(self, registry):
+        orgs = registry.repository(Org)
+        orgs.create(name="FGCZ")
+        with Session(registry, readonly=True) as view:
+            orgs.create(name="ETH")
+            assert view.query(Org).count() == 1
+            assert [o.name for o in view.query(Org).all()] == ["FGCZ"]
+        assert registry.repository(Org).count() == 2
+
+    def test_readonly_session_rejects_writes(self, registry):
+        with Session(registry, readonly=True) as view:
+            with pytest.raises(TransactionError):
+                view.add(Org(name="x"))
+
+    def test_write_session_reads_its_own_writes(self, registry):
+        with Session(registry) as session:
+            org = session.add(Org(name="FGCZ"))
+            session._identity.clear()  # force a storage read
+            assert session.get(Org, org.id).name == "FGCZ"
+            assert session.query(Org).count() == 1
+
+    def test_readonly_commit_and_rollback_just_release(self, registry):
+        session = Session(registry, readonly=True).begin()
+        session.commit()
+        assert session.snapshot is None
+        with pytest.raises(TransactionError):
+            session.commit()

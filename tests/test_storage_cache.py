@@ -155,3 +155,56 @@ class TestExplain:
         query.all()
         assert query.explain()["cache"] == "bypassed"
         assert len(db.query_cache) == 0
+
+    def test_explain_reports_cache_key_provenance(self):
+        db = make_db()
+        plan = db.query("doc").where("project", "=", 1).explain()
+        key = plan["cache_key"]
+        assert key["table"] == "doc"
+        assert key["version"] == db.table("doc").version
+        assert key["kind"] == "rows"
+        assert isinstance(key["fingerprint"], str)
+
+    def test_bypassed_query_has_no_cache_key(self):
+        db = make_db()
+        plan = db.query("doc").where("project", "=", 1).without_indexes().explain()
+        assert plan["cache"] == "bypassed"
+        assert plan["cache_key"] is None
+
+
+class TestSnapshotCaching:
+    def test_snapshot_and_live_share_cache_entries(self):
+        """While the table sits at the snapshot's version, both paths
+        compute the same (table, version, kind, fingerprint) key: a
+        live query warms the cache for snapshot readers and vice
+        versa."""
+        db = make_db()
+        with db.snapshot() as snap:
+            live_key = db.query("doc").where("project", "=", 1).explain()[
+                "cache_key"
+            ]
+            snap_key = snap.query("doc").where("project", "=", 1).explain()[
+                "cache_key"
+            ]
+            assert live_key == snap_key
+            db.query("doc").where("project", "=", 1).all()
+            assert (
+                snap.query("doc").where("project", "=", 1).explain()["cache"]
+                == "hit"
+            )
+
+    def test_historical_snapshot_bypasses_cache(self):
+        """Once the table moves past the snapshot, its results describe
+        a state no future query can name — caching them under the
+        current version would poison live readers, so the query runs
+        uncached."""
+        db = make_db()
+        with db.snapshot() as snap:
+            db.insert("doc", {"id": 400, "project": 1, "title": "newer"})
+            query = snap.query("doc").where("project", "=", 1)
+            rows = query.all()
+            assert all(row["id"] != 400 for row in rows)
+            plan = query.explain()
+            assert plan["cache"] == "bypassed"
+            assert plan["cache_key"] is None
+            assert plan["snapshot_version"] == snap.seq

@@ -128,6 +128,32 @@ class TestPlanning:
         plan = loaded.query("org").where("name", "=", "FGCZ").explain()
         assert plan["strategy"].startswith(("index:", "range:"))
 
+    def test_live_query_explains_no_snapshot(self, loaded):
+        plan = loaded.query("person").where("name", "=", "ada").explain()
+        assert plan["snapshot_version"] is None
+
+    def test_snapshot_query_explains_its_version(self, loaded):
+        with loaded.snapshot() as snap:
+            plan = snap.query("person").where("name", "=", "ada").explain()
+            assert plan["snapshot_version"] == snap.seq
+            # The table hasn't moved: the planner may still use indexes.
+            assert plan["strategy"].startswith("index:")
+
+    def test_stale_snapshot_query_falls_back_to_scan(self, loaded):
+        with loaded.snapshot() as snap:
+            loaded.insert("person", {"name": "edsger", "age": 52})
+            plan = snap.query("person").where("name", "=", "ada").explain()
+            assert plan["snapshot_version"] == snap.seq
+            assert plan["strategy"] == "scan"
+            rows = snap.query("person").where("name", "=", "ada").all()
+            assert [r["name"] for r in rows] == ["ada"]
+
+    def test_snapshot_and_live_agree_when_unchanged(self, loaded):
+        with loaded.snapshot() as snap:
+            live = loaded.query("person").where("age", ">=", 40).values("name")
+            pinned = snap.query("person").where("age", ">=", 40).values("name")
+            assert sorted(live) == sorted(pinned)
+
 
 class TestOrderingAndPagination:
     def test_order_by_ascending(self, loaded):

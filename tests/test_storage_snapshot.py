@@ -1,0 +1,215 @@
+"""MVCC snapshots: pinned reads, lookups, pruning, recovery."""
+
+import pytest
+
+from repro.errors import RowNotFound, SchemaError
+from repro.storage import Column, ColumnType, Database, Snapshot, TableSchema
+
+
+@pytest.fixture
+def loaded(people_db: Database) -> Database:
+    org = people_db.insert("org", {"name": "FGCZ"})
+    for name, age in [("ada", 36), ("grace", 45), ("alan", 41)]:
+        people_db.insert(
+            "person", {"name": name, "age": age, "org_id": org["id"]}
+        )
+    return people_db
+
+
+class TestSnapshotBasics:
+    def test_snapshot_pins_point_reads(self, loaded):
+        snap = loaded.snapshot()
+        loaded.update("person", 1, {"age": 99})
+        assert snap.get("person", 1)["age"] == 36
+        assert loaded.get("person", 1)["age"] == 99
+        snap.close()
+
+    def test_snapshot_pins_scan_and_count(self, loaded):
+        with loaded.snapshot() as snap:
+            loaded.insert("person", {"name": "edsger", "age": 52})
+            loaded.delete("person", 1)
+            assert snap.count("person") == 3
+            names = {row["name"] for row in snap.scan("person")}
+            assert names == {"ada", "grace", "alan"}
+            assert sorted(snap.pks("person")) == [1, 2, 3]
+        assert loaded.count("person") == 3  # +edsger, -ada
+
+    def test_deleted_row_still_visible_in_old_snapshot(self, loaded):
+        snap = loaded.snapshot()
+        loaded.delete("person", 2)
+        assert snap.contains("person", 2)
+        assert snap.get("person", 2)["name"] == "grace"
+        fresh = loaded.snapshot()
+        assert not fresh.contains("person", 2)
+        with pytest.raises(RowNotFound):
+            fresh.get("person", 2)
+        snap.close()
+        fresh.close()
+
+    def test_new_snapshot_sees_committed_changes(self, loaded):
+        loaded.update("person", 3, {"age": 42})
+        with loaded.snapshot() as snap:
+            assert snap.get("person", 3)["age"] == 42
+
+    def test_uncommitted_changes_invisible(self, loaded):
+        txn = loaded.transaction()
+        txn.insert("person", {"name": "ghost", "age": 1})
+        txn.update("person", 1, {"age": 99})
+        with loaded.snapshot() as snap:
+            # The snapshot postdates the writes but predates the commit.
+            assert snap.count("person") == 3
+            assert snap.get("person", 1)["age"] == 36
+        txn.rollback()
+
+    def test_reads_after_close_fail(self, loaded):
+        snap = loaded.snapshot()
+        snap.close()
+        snap.close()  # idempotent
+        assert snap.closed
+        with pytest.raises(SchemaError):
+            snap.get("person", 1)
+        with pytest.raises(SchemaError):
+            list(snap.scan("person"))
+
+    def test_context_manager_releases_registration(self, loaded):
+        assert loaded.open_snapshots() == 0
+        with loaded.snapshot() as snap:
+            assert isinstance(snap, Snapshot)
+            assert loaded.open_snapshots() == 1
+        assert loaded.open_snapshots() == 0
+
+    def test_statistics_report_pinned_counts(self, loaded):
+        with loaded.snapshot() as snap:
+            loaded.insert("org", {"name": "ETH"})
+            stats = snap.statistics()
+            assert stats["seq"] == snap.seq
+            assert stats["tables"]["org"] == 1
+            assert stats["tables"]["person"] == 3
+
+
+class TestSnapshotLookup:
+    def test_lookup_uses_live_index_when_unchanged(self, loaded):
+        with loaded.snapshot() as snap:
+            rows = snap.lookup("person", "name", "ada")
+            assert [r["age"] for r in rows] == [36]
+
+    def test_lookup_falls_back_after_mutation(self, loaded):
+        with loaded.snapshot() as snap:
+            loaded.update("person", 1, {"name": "augusta"})
+            # Live index no longer matches the snapshot: chain fallback.
+            assert [r["id"] for r in snap.lookup("person", "name", "ada")] == [1]
+            assert snap.lookup("person", "name", "augusta") == []
+
+    def test_composite_lookup(self, loaded):
+        with loaded.snapshot() as snap:
+            rows = snap.lookup("person", ("org_id", "age"), 1, 45)
+            assert [r["name"] for r in rows] == ["grace"]
+
+    def test_lookup_arity_mismatch_rejected(self, loaded):
+        with loaded.snapshot() as snap:
+            with pytest.raises(SchemaError):
+                snap.lookup("person", ("org_id", "age"), 1)
+
+    def test_both_paths_agree(self, loaded):
+        pinned = loaded.snapshot()
+        expected = pinned.lookup("person", "age", 36)
+        loaded.insert("person", {"name": "barbara", "age": 36})
+        assert pinned.lookup("person", "age", 36) == expected
+        pinned.close()
+
+
+class TestSnapshotQuery:
+    def test_query_evaluates_at_snapshot(self, loaded):
+        with loaded.snapshot() as snap:
+            loaded.update("person", 2, {"age": 20})
+            ages = snap.query("person").where("age", ">=", 40).values("age")
+            assert sorted(ages) == [41, 45]
+
+    def test_query_after_close_fails(self, loaded):
+        snap = loaded.snapshot()
+        query = snap.query("person").where("age", ">=", 40)
+        snap.close()
+        with pytest.raises(SchemaError):
+            query.all()
+
+
+class TestPruningAndHorizon:
+    def test_open_snapshot_retains_versions(self, loaded):
+        snap = loaded.snapshot()
+        for age in (50, 51, 52):
+            loaded.update("person", 1, {"age": age})
+        table = loaded.table("person")
+        assert table.version_chain_length(1) >= 2
+        assert snap.get("person", 1)["age"] == 36
+        snap.close()
+
+    def test_close_prunes_version_chains(self, loaded):
+        snap = loaded.snapshot()
+        for age in (50, 51, 52):
+            loaded.update("person", 1, {"age": age})
+        snap.close()
+        loaded.prune_versions()
+        table = loaded.table("person")
+        assert table.version_chain_length(1) == 1
+        stats = table.version_statistics()
+        assert stats["multi_version_chains"] == 0
+
+    def test_pruning_removes_dead_tombstones(self, loaded):
+        snap = loaded.snapshot()
+        loaded.delete("person", 3)
+        assert loaded.table("person").version_statistics()["tombstones"] == 1
+        snap.close()
+        loaded.prune_versions()
+        assert loaded.table("person").version_statistics()["tombstones"] == 0
+
+    def test_horizon_tracks_oldest_snapshot(self, loaded):
+        old = loaded.snapshot()
+        loaded.update("person", 1, {"age": 37})
+        newer = loaded.snapshot()
+        assert loaded.version_horizon() == old.seq
+        old.close()
+        assert loaded.version_horizon() == newer.seq
+        newer.close()
+
+    def test_database_statistics_expose_mvcc_state(self, loaded):
+        snap = loaded.snapshot()
+        loaded.update("person", 1, {"age": 37})
+        mvcc = loaded.statistics()["mvcc"]
+        assert mvcc["open_snapshots"] == 1
+        assert mvcc["committed_seq"] == loaded.table("person").version
+        assert mvcc["retained_versions"] >= 1
+        snap.close()
+
+
+class TestRecovery:
+    def _schema(self) -> TableSchema:
+        return TableSchema(
+            "event",
+            [
+                Column("id", ColumnType.INT, primary_key=True),
+                Column("n", ColumnType.INT, nullable=False),
+            ],
+        )
+
+    def test_recovery_rebuilds_single_version_per_row(self, tmp_path):
+        db = Database(tmp_path, durability="always")
+        db.create_table(self._schema())
+        for i in range(5):
+            db.insert("event", {"id": i, "n": 0})
+        for i in range(5):
+            db.update("event", i, {"n": i * 10})
+        db.delete("event", 4)
+        db.close()
+
+        revived = Database(tmp_path)
+        revived.create_table(self._schema())
+        revived.recover()
+        table = revived.table("event")
+        stats = table.version_statistics()
+        assert stats["chains"] == stats["nodes"] == 4
+        assert stats["tombstones"] == 0
+        for i in range(4):
+            assert table.version_chain_length(i) == 1
+        with revived.snapshot() as snap:
+            assert snap.count("event") == 4
+            assert snap.get("event", 3)["n"] == 30
