@@ -127,14 +127,20 @@ class Session:
     # -- reads ---------------------------------------------------------------------
 
     def _read_row(self, table: str, pk: Any) -> dict[str, Any] | None:
-        """Snapshot read unless the session has written to *table*.
+        """Snapshot read unless *this session* has written to *table*.
 
-        A dirty table inside an open session means *our own* uncommitted
-        writes (we hold the writer lock), which the session must see.
+        The live fallback exists for read-your-writes: a dirty table
+        while we hold an open transaction means our own uncommitted
+        changes, which the session must see.  Without a transaction
+        (readonly sessions) a dirty table is some *other* thread's
+        in-flight work — reading live would leak its uncommitted rows
+        and break repeatable-read, so the snapshot always wins.
         """
         database = self.registry.database
         snap = self._snapshot
-        if snap is not None and not database.table(table).dirty:
+        if snap is not None and (
+            self._txn is None or not database.table(table).dirty
+        ):
             return snap.get_or_none(table, pk)
         return database.get_or_none(table, pk)
 
@@ -154,15 +160,17 @@ class Session:
     def query(self, model: Type[M]):
         """Typed query evaluated at this session's pinned snapshot.
 
-        Falls back to the live state for tables the session itself has
-        modified (read-your-writes) or when no snapshot is pinned.
+        Falls back to the live state only for tables *this session's
+        own transaction* has modified (read-your-writes) or when no
+        snapshot is pinned; another thread's dirty table never pulls a
+        readonly session off its snapshot.
         """
         from repro.orm.repository import ModelQuery
 
         database = self.registry.database
         table = database.table(model.__table__)
         snap = self._snapshot
-        if snap is not None and not table.dirty:
+        if snap is not None and (self._txn is None or not table.dirty):
             return ModelQuery(model, Query(table, snapshot=snap))
         return ModelQuery(model, Query(table))
 

@@ -397,26 +397,35 @@ class Query:
             return None
         return cache
 
-    def _cacheable(self) -> bool:
-        # without_indexes() exists for the ablation benchmarks, which
-        # must measure real scans; a dirty table must never populate or
-        # serve the cache (its in-memory state is uncommitted).  A
-        # snapshot query is cacheable only while the live table still
-        # matches the snapshot — the cache is keyed on committed table
-        # versions and does not index historical states.
-        if not self._use_indexes or self._table.dirty:
-            return False
-        if (
-            self._snapshot is not None
-            and self._table.version > self._snapshot.seq
-        ):
-            return False
-        return True
+    def _cache_version(self) -> "int | None":
+        """The committed table version this query may be cached under,
+        or ``None`` when it must bypass the cache.
 
-    def _cache_key(self, kind: str) -> tuple:
+        ``table.version`` is read exactly once and that captured value
+        drives both the cacheability check and the cache key — reading
+        it twice would let a commit land in between and publish a
+        stale (snapshot-state) result under the new version's key.
+
+        without_indexes() exists for the ablation benchmarks, which
+        must measure real scans; a dirty table must never populate or
+        serve the cache (its in-memory state is uncommitted).  A
+        snapshot query is cacheable only while the live table still
+        matches the snapshot — the cache is keyed on committed table
+        versions and does not index historical states.
+        """
+        if not self._use_indexes or self._table.dirty:
+            return None
+        version = self._table.version
+        if self._snapshot is not None and version > self._snapshot.seq:
+            return None
+        return version
+
+    def _cache_key(self, kind: str, version: "int | None" = None) -> tuple:
         # When a snapshot query is cacheable the live version equals the
         # snapshot-visible version, so both modes share one key space.
-        return (self._table.name, self._table.version, kind, self.fingerprint())
+        if version is None:
+            version = self._table.version
+        return (self._table.name, version, kind, self.fingerprint())
 
     def explain(self) -> dict[str, Any]:
         """Describe the access path without executing the query.
@@ -429,8 +438,9 @@ class Query:
         """
         strategy, pks, residual = self._plan()
         cache = self._cache()
-        key = self._cache_key("rows")
-        if cache is None or not self._cacheable():
+        version = self._cache_version()
+        key = self._cache_key("rows", version)
+        if cache is None or version is None:
             cache_status = "bypassed"
         elif cache.peek(key):
             cache_status = "hit"
@@ -525,8 +535,9 @@ class Query:
     def all(self) -> list[dict[str, Any]]:
         """Execute and return row copies."""
         cache = self._cache()
-        if cache is not None and self._cacheable():
-            key = self._cache_key("rows")
+        version = self._cache_version() if cache is not None else None
+        if cache is not None and version is not None:
+            key = self._cache_key("rows", version)
             cached = cache.get(key)
             if cached is not None:
                 cache.record("hit")
@@ -537,7 +548,11 @@ class Query:
             # published under the version captured in the key.
             epoch = self._table.mutation_epoch
             result = [dict(r) for r in self._limited_rows()]
-            if self._table.mutation_epoch == epoch and not self._table.dirty:
+            if (
+                self._table.mutation_epoch == epoch
+                and not self._table.dirty
+                and self._table.version == version
+            ):
                 cache.put(key, tuple(dict(r) for r in result))
             return result
         if cache is not None:
@@ -565,8 +580,9 @@ class Query:
     def count(self) -> int:
         """Number of matching rows (ignores limit/offset)."""
         cache = self._cache()
-        if cache is not None and self._cacheable():
-            key = self._cache_key("count")
+        version = self._cache_version() if cache is not None else None
+        if cache is not None and version is not None:
+            key = self._cache_key("count", version)
             cached = cache.get(key)
             if cached is not None:
                 cache.record("hit")
@@ -574,7 +590,11 @@ class Query:
             cache.record("miss")
             epoch = self._table.mutation_epoch
             result = sum(1 for _ in self._matching_rows())
-            if self._table.mutation_epoch == epoch and not self._table.dirty:
+            if (
+                self._table.mutation_epoch == epoch
+                and not self._table.dirty
+                and self._table.version == version
+            ):
                 cache.put(key, result)
             return result
         if cache is not None:

@@ -192,7 +192,11 @@ class Snapshot:
         return Query(self._table(table), snapshot=self)
 
     def statistics(self) -> dict[str, Any]:
-        """Row counts visible at this snapshot (admin/debugging)."""
+        """Row counts visible at this snapshot (admin/debugging).
+
+        Cheap (O(1) per table) while the tables have not moved past
+        this snapshot; a table with newer commits is counted by walking
+        its version chains — O(rows) for that table."""
         self._check_open()
         tables = {
             name: self._db.table(name).count_at(self._seq)

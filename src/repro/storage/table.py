@@ -293,6 +293,18 @@ class Table:
                 yield pk, node.row
 
     def count_at(self, seq: int) -> int:
+        """Number of rows visible at commit sequence *seq*.
+
+        O(1) while the table has not moved past *seq* (the live count
+        equals the snapshot count, seqlock-verified); otherwise a full
+        chain-walking pass — snapshot ``statistics()``/``explain()`` on
+        a table with newer commits pay O(rows).
+        """
+        epoch = self._mutation_epoch
+        if not (epoch & 1) and self._pending_ops == 0 and self._version <= seq:
+            live = self._live
+            if self._mutation_epoch == epoch:
+                return live
         return sum(1 for _ in self.items_at(seq))
 
     # -- versioning (query-cache keys, seqlock) --------------------------------
@@ -334,13 +346,22 @@ class Table:
         version so snapshots at or above *seq* see them.  A rollback
         never calls this, so the version — and with it every cached
         result for the pre-transaction state — survives.
+
+        Publication is seqlock-guarded: the epoch goes odd for the
+        duration, and ``_version`` moves before ``_pending_ops`` clears.
+        Otherwise a lock-free reader racing this window could observe
+        an even epoch, ``dirty`` False, and a stale ``version`` all at
+        once — and wrongly trust the live indexes, which already
+        reflect this commit's deletes and updates.
         """
         if self._pending_ops:
+            self._mutation_epoch += 1
             for node in self._uncommitted:
                 node.seq = seq
             self._uncommitted.clear()
-            self._pending_ops = 0
             self._version = seq
+            self._pending_ops = 0
+            self._mutation_epoch += 1
 
     def _publish_out_of_band(self) -> int:
         """Reserve a commit sequence number for non-transactional

@@ -310,6 +310,27 @@ class TestSessionSnapshots:
             with pytest.raises(TransactionError):
                 view.add(Org(name="x"))
 
+    def test_readonly_session_ignores_other_writers_dirty_tables(self, registry):
+        """A dirty table that belongs to ANOTHER open transaction must
+        not pull a readonly session off its snapshot: the
+        read-your-writes fallback only applies to the session's own
+        transaction, never to someone else's in-flight writes."""
+        orgs = registry.repository(Org)
+        org = orgs.create(name="committed")
+        db = registry.database
+        with Session(registry, readonly=True) as view:
+            txn = db.transaction()
+            try:
+                txn.insert("org", {"name": "uncommitted"})
+                txn.update("org", org.id, {"name": "dirty"})
+                assert db.table("org").dirty
+                view._identity.clear()  # bypass the identity map on purpose
+                assert view.get(Org, org.id).name == "committed"
+                assert view.query(Org).count() == 1
+                assert [o.name for o in view.query(Org).all()] == ["committed"]
+            finally:
+                txn.rollback()
+
     def test_write_session_reads_its_own_writes(self, registry):
         with Session(registry) as session:
             org = session.add(Org(name="FGCZ"))

@@ -193,6 +193,27 @@ class TestSnapshotCaching:
                 == "hit"
             )
 
+    def test_commit_landing_mid_query_never_caches_the_stale_result(self):
+        """A commit racing a snapshot query's execution must not
+        publish the snapshot-state rows into the shared cache: the put
+        re-verifies that the version captured for the key is still
+        current, so live readers at the new version recompute."""
+        db = make_db()
+        with db.snapshot() as snap:
+            query = snap.query("doc").where("project", "=", 1)
+            real = query._limited_rows
+
+            def commit_mid_execution():
+                rows = real()
+                db.insert("doc", {"id": 500, "project": 1, "title": "racer"})
+                return rows
+
+            query._limited_rows = commit_mid_execution
+            stale = query.all()
+            assert all(row["id"] != 500 for row in stale)
+        fresh = db.query("doc").where("project", "=", 1).all()
+        assert any(row["id"] == 500 for row in fresh)
+
     def test_historical_snapshot_bypasses_cache(self):
         """Once the table moves past the snapshot, its results describe
         a state no future query can name — caching them under the

@@ -212,6 +212,26 @@ class TestMVCCReaders:
                 txn.insert("ledger", {"id": i, "balance": 100, "epoch": 0})
         return db
 
+    def test_commit_publication_is_seqlock_guarded(self):
+        """commit_version() publishes under the seqlock: the epoch goes
+        odd for the stamping window (and lands even, changed), so a
+        lock-free reader racing the publication can never observe a
+        stable epoch, ``dirty`` False, and a stale version at once —
+        the combination that would make it trust live indexes which
+        already reflect the commit's deletes and updates."""
+        db = self._ledger_db()
+        table = db.table("ledger")
+        txn = db.transaction()
+        txn.update("ledger", 0, {"balance": 7, "epoch": 7})
+        epoch_mid = table.mutation_epoch
+        version_mid = table.version
+        assert table.dirty
+        txn.commit()
+        assert table.mutation_epoch % 2 == 0
+        assert table.mutation_epoch > epoch_mid
+        assert table.version > version_mid
+        assert not table.dirty
+
     def test_pinned_scans_see_consistent_state_during_commits(self):
         """N readers scan one pinned snapshot while a writer rewrites
         every row, transaction by transaction.  Every scan must see the
