@@ -15,13 +15,16 @@ Measures the paths the performance work targets:
   The mixed workload is where snapshot isolation pays: writers spend
   most of their commit inside ``fsync`` (which releases the GIL), so
   lock-free readers keep scanning instead of queueing on the writer
-  lock, and aggregate reader throughput *scales* with threads.
+  lock, and aggregate reader throughput *scales* with threads;
+* **replication** (PR5) — WAL-shipping end-to-end apply throughput,
+  aggregate snapshot-read QPS fanned out across 1/2/4 replicas, and
+  the p95 replica lag under concurrent writes.
 
 The report is JSON in the stable ``repro-bench/v1`` schema; CI runs a
 scaled-down smoke (``--scale 0.05``) and checks the shape with
-:func:`validate_report`.  The full run writes ``BENCH_PR4.json``::
+:func:`validate_report`.  The full run writes ``BENCH_PR5.json``::
 
-    python -m repro.bench --out BENCH_PR4.json
+    python -m repro.bench --out BENCH_PR5.json
     python -m repro.cli --data /tmp/d bench --scale 0.1 --out report.json
 """
 
@@ -382,6 +385,204 @@ def bench_concurrency(
     }
 
 
+#: Replication workload at scale 1.0.
+REPLICATION_COMMITS = 800
+REPLICATION_FANOUT = (1, 2, 4)
+REPLICATION_READERS_PER_REPLICA = 4
+#: Per-read client think time, seconds.  Snapshot point-gets are pure
+#: CPU under the GIL, so raw in-process reads cannot scale with replica
+#: count; real portal clients pay network/render latency between
+#: requests.  The think time models that, which makes the fan-out
+#: figure honest: capacity scales because each replica serves its own
+#: pool of latency-bound clients, not because Python grew parallelism.
+REPLICATION_THINK_SECONDS = 0.002
+REPLICATION_WINDOW = 0.8
+REPLICATION_SEED_ROWS = 400
+
+
+def bench_replication(
+    *,
+    commits: int,
+    window: float = REPLICATION_WINDOW,
+    fanout: Sequence[int] = REPLICATION_FANOUT,
+    readers_per_replica: int = REPLICATION_READERS_PER_REPLICA,
+    base_dir: "str | Path | None" = None,
+) -> dict[str, Any]:
+    """WAL-shipping replication: apply throughput, read fan-out, lag.
+
+    * **apply** — end-to-end replication throughput: time from the
+      first primary commit until one replica confirms the last of
+      *commits* streamed records (``wait_for`` on the final sequence).
+    * **fanout** — aggregate snapshot-read QPS from think-time readers
+      pinned round-robin to 1/2/4 replicas, with a background writer
+      keeping the stream busy; the same replicas persist across cells
+      so each step only adds followers.
+    * **lag** — p95 of the worst replica's sequence lag, sampled every
+      5 ms during the largest fan-out cell (the busiest moment).
+    """
+    from repro.errors import ReplicaLagExceeded
+    from repro.replication import Replica, ReplicationPublisher
+
+    think = REPLICATION_THINK_SECONDS
+    with tempfile.TemporaryDirectory(prefix="bench-repl-", dir=base_dir) as tmp:
+        root = Path(tmp)
+        primary = Database(root / "primary", durability="group:2:64")
+        primary.create_table(_commit_schema())
+        with primary.transaction() as txn:
+            for i in range(REPLICATION_SEED_ROWS):
+                txn.insert("bench_commit", {"id": i, "n": i})
+        publisher = ReplicationPublisher(primary).start()
+        replicas: list[Replica] = []
+
+        def add_replica() -> Replica:
+            index = len(replicas)
+            rdb = Database(root / f"replica-{index}", durability="buffered")
+            rdb.create_table(_commit_schema())
+            replica = Replica(
+                rdb, ("127.0.0.1", publisher.port), name=f"r{index}"
+            ).start()
+            replicas.append(replica)
+            return replica
+
+        def converge(timeout: float = 15.0) -> None:
+            seq = primary.replication_start_point()[0]
+            for replica in replicas:
+                replica.wait_for(seq, timeout=timeout)
+
+        # -- apply throughput ------------------------------------------
+        add_replica()
+        converge()
+        writer_threads = 8
+        per_writer = max(1, commits // writer_threads)
+        total = per_writer * writer_threads
+        barrier = threading.Barrier(writer_threads + 1)
+
+        def commit_worker(worker_id: int) -> None:
+            barrier.wait()
+            base = REPLICATION_SEED_ROWS + 1_000 + worker_id * per_writer
+            for i in range(per_writer):
+                primary.insert("bench_commit", {"id": base + i, "n": i})
+
+        pool = [
+            threading.Thread(target=commit_worker, args=(w,), daemon=True)
+            for w in range(writer_threads)
+        ]
+        for thread in pool:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in pool:
+            thread.join()
+        final_seq = primary.replication_start_point()[0]
+        replicas[0].wait_for(final_seq, timeout=60.0)
+        apply_elapsed = time.perf_counter() - started
+        apply = {
+            "commits": total,
+            "seconds": round(apply_elapsed, 6),
+            "replicated_per_sec": round(total / apply_elapsed, 1),
+        }
+
+        # -- read fan-out + lag sampling -------------------------------
+        cells: dict[str, dict[str, Any]] = {}
+        lag_samples: list[int] = []
+        next_write_id = [REPLICATION_SEED_ROWS + 200_000]
+        for count in fanout:
+            while len(replicas) < count:
+                add_replica()
+            converge()
+            n_readers = count * readers_per_replica
+            stop = threading.Event()
+            ready = threading.Barrier(n_readers + 2)
+            reads = [0] * n_readers
+            sample_here = count == fanout[-1]
+            if sample_here:
+                lag_samples.clear()
+
+            def reader(tid: int, count: int = count) -> None:
+                replica = replicas[tid % count]
+                ready.wait()
+                i, done = 0, 0
+                while not stop.is_set():
+                    i += 1
+                    try:
+                        with replica.snapshot() as snap:
+                            snap.get_or_none(
+                                "bench_commit",
+                                (tid * 31 + i) % REPLICATION_SEED_ROWS,
+                            )
+                        done += 1
+                    except ReplicaLagExceeded:
+                        pass
+                    time.sleep(think)
+                reads[tid] = done
+
+            def background_writer() -> None:
+                ready.wait()
+                while not stop.is_set():
+                    row_id = next_write_id[0]
+                    next_write_id[0] += 1
+                    primary.insert("bench_commit", {"id": row_id, "n": row_id})
+                    time.sleep(0.002)
+
+            def lag_sampler() -> None:
+                while not stop.is_set():
+                    lag_samples.append(max(r.lag() for r in replicas))
+                    time.sleep(0.005)
+
+            threads = [
+                threading.Thread(target=reader, args=(t,), daemon=True)
+                for t in range(n_readers)
+            ]
+            threads.append(
+                threading.Thread(target=background_writer, daemon=True)
+            )
+            if sample_here:
+                threads.append(
+                    threading.Thread(target=lag_sampler, daemon=True)
+                )
+            for thread in threads:
+                thread.start()
+            ready.wait()
+            cell_started = time.perf_counter()
+            time.sleep(window)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - cell_started
+            cells[str(count)] = {
+                "replicas": count,
+                "readers": n_readers,
+                "reads": sum(reads),
+                "seconds": round(elapsed, 6),
+                "qps": round(sum(reads) / elapsed, 1),
+            }
+
+        for replica in replicas:
+            replica.stop()
+            replica.db.close()
+        publisher.stop()
+        primary.close()
+
+    low, high = str(fanout[0]), str(fanout[-1])
+    scaling = (
+        round(cells[high]["qps"] / cells[low]["qps"], 2)
+        if cells[low]["qps"]
+        else None
+    )
+    lag_p95 = 0
+    if lag_samples:
+        lag_p95 = sorted(lag_samples)[min(len(lag_samples) - 1, int(len(lag_samples) * 0.95))]
+    return {
+        "seed_rows": REPLICATION_SEED_ROWS,
+        "think_seconds": think,
+        "window_seconds": window,
+        "apply": apply,
+        "fanout": cells,
+        "fanout_scaling": scaling,
+        "lag_p95_seqs": int(lag_p95),
+    }
+
+
 _SPECIES = ("arabidopsis", "yeast", "zebrafish", "mouse", "human")
 _TISSUES = ("leaf", "root", "liver", "brain", "culture")
 
@@ -443,15 +644,22 @@ def run_benchmarks(
         base_dir = Path(data_dir)
         base_dir.mkdir(parents=True, exist_ok=True)
     window = max(0.12, CONCURRENCY_WINDOW * scale)
+    replication_commits = max(64, int(REPLICATION_COMMITS * scale))
+    replication_window = max(0.2, REPLICATION_WINDOW * scale)
     commit = bench_commit_throughput(
         txns=txns, threads=threads, base_dir=base_dir
     )
     latency, cache = bench_query_latency(rows)
     search = bench_search(docs, queries)
     concurrency = bench_concurrency(duration=window, base_dir=base_dir)
+    replication = bench_replication(
+        commits=replication_commits,
+        window=replication_window,
+        base_dir=base_dir,
+    )
     return {
         "schema": REPORT_SCHEMA,
-        "generated_by": "PR4",
+        "generated_by": "PR5",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "config": {
             "scale": scale,
@@ -461,6 +669,8 @@ def run_benchmarks(
             "search_docs": docs,
             "search_queries": queries,
             "concurrency_window_seconds": window,
+            "replication_commits": replication_commits,
+            "replication_window_seconds": replication_window,
         },
         "benchmarks": {
             "commit_throughput": commit,
@@ -468,6 +678,7 @@ def run_benchmarks(
             "query_cache": cache,
             "search": search,
             "concurrency": concurrency,
+            "replication": replication,
         },
     }
 
@@ -538,6 +749,25 @@ def validate_report(report: dict[str, Any]) -> list[str]:
             problems.append("mixed workload recorded no writes")
     if not isinstance(concurrency.get("mixed_read_scaling"), (int, float)):
         problems.append("missing mixed_read_scaling")
+    replication = benchmarks.get("replication")
+    if not isinstance(replication, dict):
+        problems.append("missing replication section")
+        return problems
+    apply = replication.get("apply", {})
+    if not apply.get("replicated_per_sec", 0) > 0:
+        problems.append("replication apply recorded no throughput")
+    fanout = replication.get("fanout", {})
+    for count in ("1", "2", "4"):
+        cell = fanout.get(count)
+        if not isinstance(cell, dict):
+            problems.append(f"replication fanout missing {count}-replica cell")
+            continue
+        if not cell.get("reads", 0) > 0:
+            problems.append(f"replication fanout@{count} recorded no reads")
+    if not isinstance(replication.get("fanout_scaling"), (int, float)):
+        problems.append("missing replication fanout_scaling")
+    if not isinstance(replication.get("lag_p95_seqs"), (int, float)):
+        problems.append("missing replication lag_p95_seqs")
     return problems
 
 
@@ -556,7 +786,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="scratch parent directory for the WAL workloads "
         "(defaults to the system temp dir)",
     )
-    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--out", default="BENCH_PR5.json")
     parser.add_argument(
         "--validate", metavar="PATH",
         help="validate an existing report instead of running benchmarks",
@@ -590,6 +820,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(f"{name:<12s} {rates} per sec")
     print(f"mixed reader scaling (max vs 1 thread): {concurrency['mixed_read_scaling']}x")
+    replication = report["benchmarks"]["replication"]
+    fan = "  ".join(
+        f"{k}rep={cell['qps']:.0f}qps"
+        for k, cell in replication["fanout"].items()
+    )
+    print(
+        f"replication   apply={replication['apply']['replicated_per_sec']:.0f}/s  "
+        f"{fan}  scaling={replication['fanout_scaling']}x  "
+        f"lag_p95={replication['lag_p95_seqs']} seqs"
+    )
     print(f"report written: {args.out}")
     return 0
 

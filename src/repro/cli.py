@@ -13,7 +13,13 @@ subcommand takes via ``--data``).  Subcommands:
 * ``search`` — run a query from the shell;
 * ``generate`` — synthesize an FGCZ-scale benchmark deployment;
 * ``bench`` — measure the storage hot paths, write a JSON report;
-* ``serve`` — run the web portal under wsgiref.
+* ``serve`` — run the web portal under wsgiref;
+* ``replicate`` — WAL-shipping replication: ``serve`` publishes this
+  deployment's log, ``join`` follows a primary, ``status`` prints the
+  local replication position, ``promote`` heals a replica directory
+  into a writable primary;
+* ``maintenance`` — housekeeping (``prune`` sweeps MVCC version
+  chains).
 
 Usage::
 
@@ -69,6 +75,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
     storage = system.db.statistics()
     print(f"\ntotal rows: {storage['total_rows']}, "
           f"WAL: {storage['wal_bytes']} bytes")
+    mvcc = storage["mvcc"]
+    print(f"MVCC: committed seq {mvcc['committed_seq']}, "
+          f"open snapshots {mvcc['open_snapshots']}, "
+          f"version horizon {mvcc['version_horizon']}, "
+          f"retained versions {mvcc['retained_versions']}")
     snapshot = system.monitor.snapshot()
     print(f"commits observed: {snapshot['commits']}")
     latency = snapshot["latency"]
@@ -239,17 +250,141 @@ def cmd_dlq(args: argparse.Namespace) -> int:
 def cmd_torture(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.resilience.torture import run_torture
+    from repro.resilience.torture import run_replication_torture, run_torture
 
     # The driver creates its own throwaway databases under the
     # deployment directory; the deployment itself is never touched.
     base = Path(args.data) / "torture"
+    if args.replication:
+        report = run_replication_torture(
+            base / "replication",
+            commits=max(args.commits, 20),
+            seed=args.seed,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
     kwargs = {}
     if args.mode:
         kwargs["modes"] = (args.mode,)
     report = run_torture(base, commits=args.commits, seed=args.seed, **kwargs)
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.replication import Replica, ReplicationPublisher
+
+    if args.replicate_command == "status":
+        system = _open(args)
+        seq, offset = system.db.replication_start_point()
+        mvcc = system.db.statistics()["mvcc"]
+        print(f"committed seq:    {seq}")
+        print(f"WAL tail offset:  {offset} bytes")
+        print(f"open snapshots:   {mvcc['open_snapshots']}")
+        print(f"version horizon:  {mvcc['version_horizon']}")
+        system.close()
+        return 0
+
+    if args.replicate_command == "promote":
+        # Offline heal: turn an abandoned replica directory into a
+        # writable primary.  Online promotion (a live Replica object)
+        # goes through ReplicaSet.failover(); this verb covers the
+        # process-per-node deployment where the replica process died.
+        system = BFabric(args.data, durability=getattr(args, "durability", None))
+        if system.db.wal is not None:
+            system.db.wal.truncate_torn_tail()
+        system.recover()
+        problems = system.db.verify_integrity()
+        if problems:
+            for problem in problems:
+                print(f"PROBLEM: {problem}")
+            system.close()
+            return 1
+        system.db.checkpoint()
+        seq = system.db.replication_start_point()[0]
+        print(f"promoted: {args.data} is writable at commit seq {seq}")
+        system.close()
+        return 0
+
+    if args.replicate_command == "serve":
+        system = _open(args)
+        system.reindex_all()
+        publisher = ReplicationPublisher(
+            system.db, host=args.host, port=args.port, obs=system.obs
+        ).start()
+        print(f"publishing WAL of {args.data} "
+              f"on {publisher.host}:{publisher.port}")
+        deadline = (
+            time.monotonic() + args.duration if args.duration else None
+        )
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.2)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        status = publisher.status()
+        publisher.stop()
+        system.close()
+        print(f"served seq {status['last_seq']} to "
+              f"{len(status['replicas'])} replica(s)")
+        return 0
+
+    if args.replicate_command == "join":
+        host, _, port = args.primary.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(
+                f"error: --primary must be host:port, got {args.primary!r}"
+            )
+        system = BFabric(args.data, durability=getattr(args, "durability", None))
+        try:
+            system.recover()
+        except Exception:
+            pass  # brand-new replica directory; bootstrap will fill it
+        replica = Replica(
+            system,
+            (host, int(port)),
+            name=args.name,
+            max_lag=args.max_lag,
+        ).start()
+        print(f"replica {replica.name!r} following {host}:{port} "
+              f"from seq {replica.applied_seq}")
+        deadline = (
+            time.monotonic() + args.duration if args.duration else None
+        )
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.5)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        status = replica.status()
+        replica.stop()
+        system.close()
+        print(f"applied seq {status['applied_seq']} "
+              f"(lag {status['lag_seqs']}, connected={status['connected']})")
+        return 0
+
+    raise SystemExit(f"unknown replicate command {args.replicate_command!r}")
+
+
+def cmd_maintenance(args: argparse.Namespace) -> int:
+    system = _open(args)
+    try:
+        if args.maintenance_command == "prune":
+            reclaimed = system.db.prune_versions()
+            for name, count in sorted(reclaimed.items()):
+                if count:
+                    print(f"{name:<20s} {count}")
+            total = sum(reclaimed.values())
+            print(f"pruned {total} retained version(s) "
+                  f"(horizon seq {system.db.version_horizon()})")
+            return 0
+        raise SystemExit(
+            f"unknown maintenance command {args.maintenance_command!r}"
+        )
+    finally:
+        system.close()
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -350,7 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, default=48,
         help="concurrent committers for the group-commit comparison",
     )
-    p_bench.add_argument("--out", default="BENCH_PR4.json")
+    p_bench.add_argument("--out", default="BENCH_PR5.json")
     p_bench.set_defaults(func=cmd_bench)
 
     p_dlq = sub.add_parser(
@@ -388,7 +523,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to one durability mode (e.g. always, group:4:32, "
         "buffered); default runs all modes",
     )
+    p_torture.add_argument(
+        "--replication",
+        action="store_true",
+        help="run the replication scenario instead: kill the primary "
+        "mid-stream, promote the most-caught-up replica, verify no "
+        "confirmed commit is lost",
+    )
     p_torture.set_defaults(func=cmd_torture)
+
+    p_replicate = sub.add_parser(
+        "replicate", help="WAL-shipping replication: publish, follow, promote"
+    )
+    rep_sub = p_replicate.add_subparsers(dest="replicate_command", required=True)
+    p_rep_serve = rep_sub.add_parser(
+        "serve", help="publish this deployment's WAL to replicas"
+    )
+    p_rep_serve.add_argument("--host", default="127.0.0.1")
+    p_rep_serve.add_argument("--port", type=int, default=9443)
+    p_rep_serve.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after N seconds (default: run until interrupted)",
+    )
+    p_rep_serve.set_defaults(func=cmd_replicate)
+    p_rep_join = rep_sub.add_parser(
+        "join", help="follow a primary as a read-only replica"
+    )
+    p_rep_join.add_argument(
+        "--primary", required=True, metavar="HOST:PORT",
+        help="address of the primary's replicate-serve endpoint",
+    )
+    p_rep_join.add_argument("--name", default="replica")
+    p_rep_join.add_argument(
+        "--max-lag", type=int, default=None,
+        help="staleness bound in commit sequences for local reads",
+    )
+    p_rep_join.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after N seconds (default: run until interrupted)",
+    )
+    p_rep_join.set_defaults(func=cmd_replicate)
+    p_rep_status = rep_sub.add_parser(
+        "status", help="local replication position of this deployment"
+    )
+    p_rep_status.set_defaults(func=cmd_replicate)
+    p_rep_promote = rep_sub.add_parser(
+        "promote", help="heal a replica directory into a writable primary"
+    )
+    p_rep_promote.set_defaults(func=cmd_replicate)
+
+    p_maint = sub.add_parser("maintenance", help="housekeeping tasks")
+    maint_sub = p_maint.add_subparsers(dest="maintenance_command", required=True)
+    p_maint_prune = maint_sub.add_parser(
+        "prune", help="sweep MVCC version chains up to the horizon"
+    )
+    p_maint_prune.set_defaults(func=cmd_maintenance)
 
     p_serve = sub.add_parser("serve", help="run the web portal")
     p_serve.add_argument("--host", default="127.0.0.1")

@@ -185,6 +185,40 @@ class CrashPoint(FaultInjected):
 
 
 # ---------------------------------------------------------------------------
+# Replication errors
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(BFabricError):
+    """Base class for WAL-shipping replication failures."""
+
+
+class ReplicationProtocolError(ReplicationError):
+    """A wire frame failed its length/CRC/handshake checks.
+
+    Raised by the framing layer on a corrupt or out-of-sequence frame;
+    the stream loop treats it as a connection loss and resynchronises
+    from the handshake.
+    """
+
+
+class ReplicaLagExceeded(ReplicationError):
+    """A replica's staleness bound was violated.
+
+    Raised by ``Replica.wait_for`` on timeout and used by the routing
+    facade to divert reads back to the primary.
+    """
+
+    def __init__(self, message: str, *, lag_seqs: int = 0):
+        super().__init__(message)
+        self.lag_seqs = lag_seqs
+
+
+class NotPromoted(ReplicationError):
+    """A write path was exercised on a replica that is still read-only."""
+
+
+# ---------------------------------------------------------------------------
 # Workflow errors
 # ---------------------------------------------------------------------------
 

@@ -26,8 +26,14 @@ _PUBLIC_PATHS = {"/login", "/ping"}
 class PortalApplication:
     """WSGI callable exposing the whole system."""
 
-    def __init__(self, system: BFabric):
+    def __init__(self, system: BFabric, *, replicas=None):
+        """*replicas* is an optional
+        :class:`~repro.replication.manager.ReplicaSet`: when given,
+        every GET's read snapshot is routed to the least-lagged healthy
+        replica (primary fallback), so browse traffic scales across the
+        replica fleet while writes keep hitting the primary."""
         self.system = system
+        self.replicas = replicas
         self.router = Router()
         self._histories: dict[str, SearchHistory] = {}
         self._register_views()
@@ -96,7 +102,10 @@ class PortalApplication:
             except AuthenticationError:
                 return Response.redirect("/login")
         if request.method == "GET":
-            request.snapshot = self.system.db.snapshot()
+            if self.replicas is not None:
+                request.snapshot = self.replicas.read_snapshot()
+            else:
+                request.snapshot = self.system.db.snapshot()
         try:
             return self.router.dispatch(request)
         except AccessDenied as exc:

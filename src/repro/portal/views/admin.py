@@ -11,6 +11,21 @@ def _fmt(value) -> str:
     return f"{value:.6f}" if value is not None else "—"
 
 
+def _replication_rows(registry) -> list[tuple]:
+    """Every ``replication_*`` sample: lag gauges, frame/read counters."""
+    rows = []
+    for family in registry.families():
+        if not family.name.startswith("replication_"):
+            continue
+        for labels, child in family.samples():
+            value = getattr(child, "value", None)
+            if value is None:
+                continue
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            rows.append((esc(family.name), esc(detail), int(value)))
+    return sorted(rows)
+
+
 def _http_rows(registry) -> list[tuple]:
     family = registry.get("http_requests_total")
     if family is None:
@@ -114,6 +129,20 @@ def register(router, portal) -> None:
         body += definition_list(
             [("dead letters pending", system.dlq.pending_count())]
         )
+        mvcc = system.db.statistics()["mvcc"]
+        body += "<h2>MVCC</h2>" + definition_list(
+            [
+                ("committed sequence", mvcc["committed_seq"]),
+                ("open snapshots", mvcc["open_snapshots"]),
+                ("version horizon", mvcc["version_horizon"]),
+                ("retained versions", mvcc["retained_versions"]),
+            ]
+        )
+        replication_rows = _replication_rows(registry)
+        if replication_rows:
+            body += "<h2>Replication</h2>" + table(
+                ["metric", "labels", "value"], replication_rows
+            )
         body += (
             '<p><a href="/admin/metrics.txt">raw exposition '
             "(Prometheus text format)</a></p>"

@@ -1,0 +1,381 @@
+"""Primary side of WAL shipping: the :class:`ReplicationPublisher`.
+
+The publisher owns one listening TCP socket and three kinds of thread:
+
+* a *tail* thread that re-scans the live WAL whenever a commit publishes
+  (poked through :meth:`Database.on_commit_seq`, which fires after the
+  record's durability ticket) and turns each new record into a buffered
+  stream entry ``(seq, prev, record, nbytes)``;
+* an *accept* thread that takes replica connections and hands each one
+  to a serve thread;
+* per-connection *serve* / *ack* threads — the serve thread replays the
+  buffer (or a bootstrap snapshot when the replica's position is not in
+  the retained chain) and then follows the tail, interleaving
+  heartbeats; the ack thread reads the replica's applied sequence and
+  keeps the per-replica lag gauges honest.
+
+The entry buffer is bounded (``retain`` entries).  A replica that falls
+behind the buffer is disconnected; on reconnect its ``hello.last_seq``
+no longer matches a chain point and it gets a full snapshot instead —
+bounded memory on the primary, bounded staleness on the replica.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReplicationError
+from repro.replication import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+    from repro.storage.database import Database
+
+
+class _Entry:
+    """One shipped commit in the publisher's retained buffer."""
+
+    __slots__ = ("seq", "prev", "record", "nbytes")
+
+    def __init__(self, seq: int, prev: int, record: dict[str, Any], nbytes: int):
+        self.seq = seq
+        self.prev = prev
+        self.record = record
+        self.nbytes = nbytes
+
+
+class _Handle:
+    """Publisher-side state for one connected replica."""
+
+    __slots__ = ("name", "conn", "acked_seq", "cursor", "alive")
+
+    def __init__(self, name: str, conn: protocol.Connection, cursor: int):
+        self.name = name
+        self.conn = conn
+        self.acked_seq = cursor
+        self.cursor = cursor
+        self.alive = True
+
+
+class ReplicationPublisher:
+    """Streams committed WAL records to connected replicas."""
+
+    def __init__(
+        self,
+        db: "Database",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        obs: "Observability | None" = None,
+        retain: int = 512,
+        heartbeat_interval: float = 0.2,
+    ):
+        if db.wal is None:
+            raise ReplicationError(
+                "replication requires a durable database (no WAL to ship)"
+            )
+        self.db = db
+        self.obs = obs if obs is not None else db.obs
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.retain = retain
+        self.heartbeat_interval = heartbeat_interval
+        self._mu = threading.Lock()
+        self._cv = threading.Condition(self._mu)
+        self._entries: deque[_Entry] = deque()
+        self._last_seq = 0
+        self._offset = 0
+        self._handles: dict[str, _Handle] = {}
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        metrics = self.obs.metrics
+        self._g_lag_seqs = metrics.gauge(
+            "replication_lag_seqs",
+            "Commit sequences shipped but not yet acked, per replica",
+            labels=("replica",),
+        )
+        self._g_lag_bytes = metrics.gauge(
+            "replication_lag_bytes",
+            "WAL bytes shipped but not yet acked, per replica",
+            labels=("replica",),
+        )
+        self._g_connected = metrics.gauge(
+            "replication_connected_replicas", "Replicas currently streaming"
+        ).labels()
+        self._m_frames = metrics.counter(
+            "replication_frames_total",
+            "Frames sent by the publisher",
+            labels=("type",),
+        )
+        self._m_bootstraps = metrics.counter(
+            "replication_bootstraps_total",
+            "Full-snapshot bootstraps served to joining replicas",
+        ).labels()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ReplicationPublisher":
+        """Capture the tail position, bind the listener, start threads."""
+        if self._started:
+            raise ReplicationError("publisher already started")
+        self._started = True
+        self._last_seq, self._offset = self.db.replication_start_point()
+        self.db.on_commit_seq(self._poke)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(16)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        for name, target in (
+            ("replication-tail", self._tail_loop),
+            ("replication-accept", self._accept_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self.obs.log.log(
+            "replication.serve", host=self.host, port=self.port,
+            seq=self._last_seq,
+        )
+        return self
+
+    def _poke(self, seq: int) -> None:
+        self._wake.set()
+
+    def stop(self) -> None:
+        """Stop streaming and close every connection (drains nothing)."""
+        self._stop.set()
+        self._wake.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._mu:
+            handles = list(self._handles.values())
+            self._cv.notify_all()
+        for handle in handles:
+            handle.conn.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    # The torture driver's "kill": identical to stop today, named so the
+    # intent (abrupt primary death, nothing is flushed or drained for
+    # the replicas' benefit) stays explicit at call sites.
+    kill = stop
+
+    # -- WAL tailing -------------------------------------------------------
+
+    def _tail_loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=0.1)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            try:
+                self._scan_new_records()
+            except Exception as exc:  # survive torn concurrent writes
+                self.obs.log.log("replication.tail_error", error=str(exc))
+
+    def _scan_new_records(self) -> None:
+        wal = self.db.wal
+        assert wal is not None
+        if wal.tail_offset() < self._offset:
+            # The WAL was reset (checkpoint): rescan from the start,
+            # skipping records at or below what we already shipped.
+            self._offset = 0
+        fresh: list[tuple[dict[str, Any], int, int]] = []
+        start = self._offset
+        for record, end in wal.records_with_offsets(self._offset):
+            fresh.append((record, end - start, end))
+            start = end
+        if not fresh:
+            return
+        with self._mu:
+            for record, nbytes, end in fresh:
+                self._offset = end
+                if record.get("kind") != "commit":
+                    continue
+                seq = record.get("seq")
+                if not isinstance(seq, int) or seq <= self._last_seq:
+                    continue  # pre-replication record or already shipped
+                self._entries.append(
+                    _Entry(seq, self._last_seq, record, nbytes)
+                )
+                self._last_seq = seq
+            while len(self._entries) > self.retain:
+                self._entries.popleft()
+            self._refresh_lag_locked()
+            self._cv.notify_all()
+
+    # -- connection handling -----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            thread = threading.Thread(
+                target=self._serve,
+                args=(sock, addr),
+                name=f"replication-serve-{addr[1]}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, sock: socket.socket, addr: tuple[str, int]) -> None:
+        sock.settimeout(10.0)
+        conn = protocol.Connection(sock)
+        handle: _Handle | None = None
+        try:
+            hello = conn.recv()
+            if hello is None or hello.get("type") != "hello":
+                return
+            name = str(hello.get("replica") or f"{addr[0]}:{addr[1]}")
+            last_seq = int(hello.get("last_seq", 0))
+            cursor = self._handshake(conn, name, last_seq)
+            handle = _Handle(name, conn, cursor)
+            with self._mu:
+                self._handles[name] = handle
+                self._g_connected.set(len(self._handles))
+            ack_thread = threading.Thread(
+                target=self._ack_loop,
+                args=(handle,),
+                name=f"replication-ack-{name}",
+                daemon=True,
+            )
+            ack_thread.start()
+            self._threads.append(ack_thread)
+            self._stream(handle)
+        except Exception as exc:
+            self.obs.log.log("replication.serve_error", error=str(exc))
+        finally:
+            if handle is not None:
+                handle.alive = False
+                with self._mu:
+                    if self._handles.get(handle.name) is handle:
+                        del self._handles[handle.name]
+                    self._g_connected.set(len(self._handles))
+            conn.close()
+
+    def _handshake(
+        self, conn: protocol.Connection, name: str, last_seq: int
+    ) -> int:
+        """Resume from the chain when possible, else serve a bootstrap.
+
+        Returns the cursor the stream starts from.  ``last_seq`` is a
+        valid resume point only when it is a *chain point* — the ``prev``
+        of a retained entry or the newest shipped sequence — because the
+        sequence space has gaps and an arbitrary number in range could
+        be a diverged replica's private history.
+        """
+        with self._mu:
+            chain_points = {entry.prev for entry in self._entries}
+            chain_points.add(self._last_seq)
+            resumable = last_seq in chain_points
+        if resumable:
+            conn.send(protocol.resume(last_seq))
+            self._m_frames.labels(type="resume").inc()
+            self.obs.log.log("replication.resume", replica=name, seq=last_seq)
+            return last_seq
+        seq, tables = self.db.export_snapshot()
+        conn.send(protocol.snapshot_message(seq, tables))
+        self._m_frames.labels(type="snapshot").inc()
+        self._m_bootstraps.inc()
+        self.obs.log.log("replication.bootstrap", replica=name, seq=seq)
+        return seq
+
+    def _stream(self, handle: _Handle) -> None:
+        """Replay the buffer past the cursor, then follow the tail."""
+        while not self._stop.is_set() and handle.alive:
+            with self._mu:
+                if self._entries and handle.cursor < self._entries[0].prev:
+                    # Fell behind the retained buffer: force a rejoin
+                    # (the replica's next hello will get a bootstrap).
+                    self.obs.log.log(
+                        "replication.evict", replica=handle.name,
+                        cursor=handle.cursor,
+                    )
+                    return
+                batch = [e for e in self._entries if e.seq > handle.cursor]
+                if not batch:
+                    self._cv.wait(timeout=self.heartbeat_interval)
+                    batch = [e for e in self._entries if e.seq > handle.cursor]
+                heartbeat_seq = self._last_seq
+            if not batch:
+                handle.conn.send(protocol.heartbeat(heartbeat_seq))
+                self._m_frames.labels(type="heartbeat").inc()
+                continue
+            for entry in batch:
+                handle.conn.send(
+                    protocol.commit_message(entry.seq, entry.prev, entry.record)
+                )
+                handle.cursor = entry.seq
+                self._m_frames.labels(type="commit").inc()
+
+    def _ack_loop(self, handle: _Handle) -> None:
+        try:
+            while not self._stop.is_set() and handle.alive:
+                try:
+                    message = handle.conn.recv()
+                except socket.timeout:
+                    continue
+                if message is None:
+                    return
+                if message.get("type") != "ack":
+                    continue
+                seq = int(message.get("seq", 0))
+                with self._mu:
+                    if seq > handle.acked_seq:
+                        handle.acked_seq = seq
+                    self._refresh_lag_locked(handle)
+        except Exception:
+            pass  # the serve thread owns connection teardown
+
+    def _refresh_lag_locked(self, only: "_Handle | None" = None) -> None:
+        handles = [only] if only is not None else list(self._handles.values())
+        for handle in handles:
+            lag_seqs = max(0, self._last_seq - handle.acked_seq)
+            lag_bytes = sum(
+                e.nbytes for e in self._entries if e.seq > handle.acked_seq
+            )
+            self._g_lag_seqs.labels(replica=handle.name).set(lag_seqs)
+            self._g_lag_bytes.labels(replica=handle.name).set(lag_bytes)
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Connected replicas and their lag, for CLI/portal display."""
+        with self._mu:
+            return {
+                "address": f"{self.host}:{self.port}",
+                "last_seq": self._last_seq,
+                "buffered_entries": len(self._entries),
+                "replicas": {
+                    h.name: {
+                        "acked_seq": h.acked_seq,
+                        "lag_seqs": max(0, self._last_seq - h.acked_seq),
+                        "lag_bytes": sum(
+                            e.nbytes
+                            for e in self._entries
+                            if e.seq > h.acked_seq
+                        ),
+                    }
+                    for h in self._handles.values()
+                },
+            }
+
+    def connected_replicas(self) -> list[str]:
+        with self._mu:
+            return sorted(self._handles)

@@ -1,0 +1,210 @@
+"""Wire protocol for WAL shipping: framing, messages, handshake rules.
+
+Every message is one *frame* on a TCP stream::
+
+    +----------------+----------------+------------------------+
+    | length (4B BE) | CRC32  (4B BE) | UTF-8 JSON body        |
+    +----------------+----------------+------------------------+
+
+The CRC covers the body only; a length or checksum mismatch raises
+:class:`~repro.errors.ReplicationProtocolError` and the connection is
+abandoned — the replica re-handshakes and the sequence-chain rules below
+take care of anything that was in flight.
+
+Message types
+-------------
+
+``hello``      replica → primary; carries ``last_seq`` (the replica's
+               applied commit sequence) and a display ``replica`` name.
+``resume``     primary → replica; incremental tailing will start from
+               ``seq`` (the replica's own ``last_seq`` echoed back).
+``snapshot``   primary → replica; full bootstrap: ``tables`` maps table
+               name to encoded rows, ``seq`` is the snapshot's commit
+               sequence.  Sent when the replica's ``last_seq`` is not a
+               valid chain point in the primary's retained buffer.
+``commit``     primary → replica; one shipped WAL record at ``seq``,
+               with ``prev`` = the sequence the publisher shipped just
+               before it (the *chain* rule, see below).
+``heartbeat``  primary → replica; ``seq`` is the newest shipped
+               sequence, letting an idle replica measure lag and detect
+               a silently lost final frame.
+``ack``        replica → primary; ``seq`` is the replica's applied
+               sequence, used for lag gauges and read-your-writes.
+
+Chain rule
+----------
+
+The commit sequence space has *gaps* (out-of-band schema publishes bump
+the counter without a WAL record), so a replica cannot detect a lost
+frame by ``seq`` arithmetic alone.  Instead every ``commit`` frame
+carries ``prev``; with ``applied`` the replica's current sequence:
+
+* ``seq <= applied``          — duplicate delivery, skip and ack;
+* ``prev <= applied < seq``   — in order, apply;
+* ``prev > applied``          — a frame between ``applied`` and ``prev``
+  was lost: raise, reconnect, resume from ``applied``.
+
+A lost *final* frame (nothing after it to violate the chain) is caught
+by the heartbeat: ``heartbeat.seq > applied`` with no commit in flight
+means the stream dropped something — same remedy.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from collections import deque
+from typing import Any
+
+from repro.errors import ReplicationProtocolError
+from repro.resilience.faults import fault_point
+
+#: Sanity bound on one frame; a bootstrap snapshot of a big deployment
+#: is the largest legitimate message.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">II")
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialise one message to its wire frame."""
+    body = json.dumps(
+        message, sort_keys=True, separators=(",", ":"), default=str
+    ).encode("utf-8")
+    return _HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def read_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly *count* bytes; ``None`` on clean EOF at a boundary.
+
+    EOF in the *middle* of the requested span raises — the peer died
+    mid-frame, which is a torn stream, not a clean close.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ReplicationProtocolError(
+                f"stream closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class Connection:
+    """One framed, CRC-checked, fault-injectable message stream.
+
+    Wraps a connected socket for either side of the protocol.  The
+    ``replication.send`` / ``replication.recv`` fault sites understand
+    ``drop`` (the frame vanishes), ``duplicate`` (the frame is delivered
+    twice), and — on send — ``torn_write`` (a prefix of the frame's
+    bytes goes out, then the connection is declared dead), which is how
+    the torture driver exercises the chain rule and CRC checks.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._pushback: deque[dict[str, Any]] = deque()
+
+    def send(self, message: dict[str, Any]) -> None:
+        action = fault_point("replication.send")
+        data = encode_frame(message)
+        if action is not None:
+            if action.kind == "drop":
+                return  # the network ate it; the chain rule will notice
+            if action.kind == "torn_write":
+                cut = min(max(int(len(data) * action.fraction), 1), len(data) - 1)
+                self._sock.sendall(data[:cut])
+                raise ReplicationProtocolError(
+                    f"torn frame send: {cut}/{len(data)} bytes"
+                )
+            if action.kind == "duplicate":
+                self._sock.sendall(data)
+        self._sock.sendall(data)
+
+    def recv(self) -> dict[str, Any] | None:
+        """Next message, or ``None`` on clean EOF.
+
+        ``socket.timeout`` propagates so pollers can interleave their
+        stop checks; any framing violation raises
+        :class:`ReplicationProtocolError`.
+        """
+        if self._pushback:
+            return self._pushback.popleft()
+        message = self._recv_raw()
+        if message is None:
+            return None
+        action = fault_point("replication.recv")
+        if action is not None:
+            if action.kind == "drop":
+                # This frame never existed as far as the caller knows;
+                # deliver the one after it instead.
+                return self._recv_raw()
+            if action.kind == "duplicate":
+                self._pushback.append(message)
+        return message
+
+    def _recv_raw(self) -> dict[str, Any] | None:
+        header = read_exact(self._sock, _HEADER.size)
+        if header is None:
+            return None
+        length, expected_crc = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ReplicationProtocolError(
+                f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap"
+            )
+        body = read_exact(self._sock, length)
+        if body is None:
+            raise ReplicationProtocolError("stream closed between header and body")
+        if zlib.crc32(body) & 0xFFFFFFFF != expected_crc:
+            raise ReplicationProtocolError("frame CRC mismatch")
+        try:
+            message = json.loads(body.decode("utf-8"))
+        except ValueError as exc:
+            raise ReplicationProtocolError("frame body is not valid JSON") from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise ReplicationProtocolError("frame body is not a typed message")
+        return message
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# -- message constructors (both endpoints speak through these) --------------
+
+
+def hello(last_seq: int, replica: str) -> dict[str, Any]:
+    return {"type": "hello", "last_seq": last_seq, "replica": replica}
+
+
+def resume(seq: int) -> dict[str, Any]:
+    return {"type": "resume", "seq": seq}
+
+
+def snapshot_message(seq: int, tables: dict[str, list]) -> dict[str, Any]:
+    return {"type": "snapshot", "seq": seq, "tables": tables}
+
+
+def commit_message(seq: int, prev: int, record: dict[str, Any]) -> dict[str, Any]:
+    return {"type": "commit", "seq": seq, "prev": prev, "record": record}
+
+
+def heartbeat(seq: int) -> dict[str, Any]:
+    return {"type": "heartbeat", "seq": seq}
+
+
+def ack(seq: int) -> dict[str, Any]:
+    return {"type": "ack", "seq": seq}

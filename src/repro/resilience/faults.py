@@ -22,12 +22,13 @@ Fault kinds:
     out of the fault point.  ``error=CrashPoint`` simulates a kill.
 ``latency``
     Sleep ``latency_s`` seconds inside the fault point, then continue.
-``torn_write`` / ``partial``
+``torn_write`` / ``partial`` / ``drop`` / ``duplicate``
     Returned to the call site as a :class:`FaultAction`; only sites that
     understand them react (the WAL tears its append after ``fraction``
     of the bytes; the importer truncates a fetched file to ``fraction``
-    of its size).  Sites that receive an action kind they do not
-    implement ignore it.
+    of its size; the replication stream swallows or redelivers a
+    frame).  Sites that receive an action kind they do not implement
+    ignore it.
 
 Scheduling is by exact step (``at_call``, 1-based per site) or seeded
 probability per hit; both are deterministic for a given plan seed.
@@ -53,6 +54,14 @@ REGISTERED_SITES: dict[str, str] = {
     "dataimport.ingest": "managed-store ingest of one fetched file (error)",
     "connector.run": "application connector execution (error, latency)",
     "workflow.transition": "workflow transition executor (error)",
+    "replication.send": (
+        "primary-side frame send to one replica (error, latency, drop,"
+        " torn_write)"
+    ),
+    "replication.recv": (
+        "replica-side frame receive (error, latency, drop, duplicate)"
+    ),
+    "replication.apply": "replica-side apply of one shipped commit (error)",
 }
 
 #: The WAL crash sites the torture driver kills the database at.
@@ -83,7 +92,14 @@ class Fault:
                 f"unknown fault site {self.site!r}; "
                 f"registered: {sorted(REGISTERED_SITES)}"
             )
-        if self.kind not in ("error", "latency", "torn_write", "partial"):
+        if self.kind not in (
+            "error",
+            "latency",
+            "torn_write",
+            "partial",
+            "drop",
+            "duplicate",
+        ):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 < self.fraction < 1.0 and self.kind in ("torn_write", "partial"):
             raise ValueError("fraction must be strictly between 0 and 1")

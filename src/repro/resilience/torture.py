@@ -267,3 +267,130 @@ def run_case(
         present=present,
         problems=problems,
     )
+
+
+def run_replication_torture(
+    base_dir: "str | Path",
+    *,
+    commits: int = 24,
+    seed: int = 2010,
+    replicas: int = 2,
+    confirm_timeout: float = 5.0,
+) -> TortureReport:
+    """Kill the primary mid-stream, promote, verify nothing confirmed is lost.
+
+    A primary publishes its WAL to *replicas* followers while a writer
+    commits.  Each commit is classified the way a replication-aware
+    client would see it:
+
+    * **committed** — a replica confirmed applying it (``wait_for``
+      returned) before the crash.  Because every replica applies a
+      *prefix* of the primary's history and promotion picks the
+      maximum-applied replica, one confirmation from *any* replica
+      guarantees survival.
+    * **uncertain** — the primary acknowledged it but no replica
+      confirmed before the publisher was killed.  It raced the crash
+      onto the wire: the promoted replica may or may not have it, and
+      either answer is correct.
+
+    The last quarter of the workload is deliberately left unconfirmed
+    so some commits genuinely race the kill.  After abandoning the
+    primary (no ``close()`` — a dead process flushes nothing), the
+    most-caught-up replica drains, promotes, and must satisfy the same
+    invariants as the crash-point torture: ``committed ⊆ present ⊆
+    committed ∪ uncertain``, aborted transactions never resurrect,
+    integrity is clean, and the promoted database accepts new commits.
+    """
+    from repro.errors import ReplicaLagExceeded
+    from repro.replication import Replica, ReplicationPublisher
+
+    if commits < 8:
+        raise ValueError("commits must be >= 8 so the race window exists")
+    base = Path(base_dir)
+    committed: list[int] = []
+    uncertain: list[int] = []
+    aborted: list[int] = []
+    problems: list[str] = []
+
+    primary = _open(base / "primary", "always")
+    publisher = ReplicationPublisher(primary).start()
+    followers = [
+        Replica(
+            _open(base / f"replica-{i}", "always"),
+            ("127.0.0.1", publisher.port),
+            name=f"r{i}",
+        ).start()
+        for i in range(replicas)
+    ]
+
+    _deliberate_rollback(primary, 5000 + seed % 100, aborted)
+    kill_at = commits - max(3, commits // 4)
+    for step in range(commits):
+        row_id = step + 1
+        primary.insert(TABLE, {"id": row_id, "value": f"commit-{row_id}"})
+        seq = primary.replication_start_point()[0]
+        if step >= kill_at:
+            # Unconfirmed tail: these race the kill onto the wire.
+            uncertain.append(row_id)
+            continue
+        confirmed = False
+        for follower in followers:
+            try:
+                follower.wait_for(seq, timeout=confirm_timeout)
+                confirmed = True
+                break
+            except ReplicaLagExceeded:
+                continue
+        (committed if confirmed else uncertain).append(row_id)
+    publisher.kill()
+    # Crash simulation: abandon the primary without close() — a killed
+    # process drains and flushes nothing for its replicas' benefit.
+    del primary
+
+    best = max(followers, key=lambda r: r.applied_seq)
+    promoted = best.promote(drain_timeout=2.0)
+    survivors = [f for f in followers if f is not best]
+    for follower in survivors:
+        follower.stop()
+
+    present = sorted(row["id"] for row in promoted.rows(TABLE))
+    present_set = set(present)
+    allowed = set(committed) | set(uncertain)
+    lost = [i for i in committed if i not in present_set]
+    if lost:
+        problems.append(f"promoted replica lost confirmed commits {lost}")
+    invented = [i for i in present if i not in allowed]
+    if invented:
+        problems.append(f"promoted replica has rows never committed {invented}")
+    resurrected = [i for i in aborted if i in present_set]
+    if resurrected:
+        problems.append(f"promoted replica resurrected aborted rows {resurrected}")
+    # The prefix property that makes single-confirmation safe: no
+    # survivor may be ahead of the replica that was promoted.
+    ahead = [f.name for f in survivors if f.applied_seq > best.applied_seq]
+    if ahead:
+        problems.append(f"promotion skipped more-caught-up replicas {ahead}")
+    integrity = promoted.verify_integrity()
+    if integrity:
+        problems.append(f"integrity violations {integrity}")
+    epilogue_id = 900_000 + seed % 100
+    try:
+        promoted.insert(TABLE, {"id": epilogue_id, "value": "post-promote"})
+    except Exception as exc:
+        problems.append(f"post-promote commit failed: {exc}")
+
+    for follower in survivors:
+        follower.db.close()
+    promoted.close()
+
+    case = CaseResult(
+        mode="replication",
+        site="kill_primary",
+        fired=True,
+        committed=committed,
+        uncertain=uncertain,
+        aborted=aborted,
+        present=present,
+        problems=problems,
+    )
+    return TortureReport(seed=seed, commits=commits, cases=[case])

@@ -85,6 +85,21 @@ class Database:
         self._m_recover = self.obs.metrics.histogram(
             "storage_recover_seconds", "Snapshot load + WAL replay duration"
         )
+        # MVCC bookkeeping gauges: snapshot opens/closes keep the first
+        # two current (O(1) updates); the retained-version count is only
+        # refreshed where chains are already being walked (statistics,
+        # explicit prunes) because counting nodes is O(rows).
+        self._g_open_snapshots = self.obs.metrics.gauge(
+            "storage_open_snapshots", "Currently open MVCC snapshots"
+        ).labels()
+        self._g_version_horizon = self.obs.metrics.gauge(
+            "storage_version_horizon",
+            "Oldest commit sequence a live snapshot may still read",
+        ).labels()
+        self._g_retained_versions = self.obs.metrics.gauge(
+            "storage_retained_versions",
+            "Row-version nodes retained across all version chains",
+        ).labels()
         self._tables: dict[str, Table] = {}
         # referenced table -> list of (referencing table, column, on_delete)
         self._referencing: dict[str, list[tuple[str, str, str]]] = {}
@@ -113,6 +128,7 @@ class Database:
         self._snapshots: dict[int, int] = {}
         self._snapshot_counter = 0
         self._commit_listeners: list[Callable[[list[UndoEntry]], None]] = []
+        self._commit_seq_listeners: list[Callable[[int], None]] = []
         self._path = Path(path) if path is not None else None
         self._durable = durable and self._path is not None
         self.durability = Durability.parse(durability)
@@ -218,6 +234,11 @@ class Database:
         """
         operations = txn.operations
         ticket = None
+        # The commit sequence number is reserved before the WAL append so
+        # the record itself can carry it — replication identifies commits
+        # by this number, and the sequence space has gaps (out-of-band
+        # schema publishes) that a record count cannot reproduce.
+        seq = self._committed_seq + 1 if operations else None
         if self._wal is not None and operations:
             # Under group durability the per-commit append is only an
             # enqueue — the write+fsync happens in the leader's batch and
@@ -227,7 +248,7 @@ class Database:
             wal_timer = None if self.durability.grouped else self.obs.timer()
             try:
                 ticket = self._wal.append_commit(
-                    txn.txn_id, operations, self._encode_row_for_wal
+                    txn.txn_id, operations, self._encode_row_for_wal, seq=seq
                 )
             except Exception as exc:
                 raise WalWriteError(
@@ -235,11 +256,10 @@ class Database:
                 ) from exc
             if wal_timer is not None:
                 self._m_wal_append.observe(wal_timer.elapsed())
-        if operations:
+        if seq is not None:
             # Stamp-then-publish: touched tables stamp their uncommitted
             # versions with the new sequence number first, and only then
             # does the number become visible to snapshot opens.
-            seq = self._committed_seq + 1
             for name in {op.table for op in operations}:
                 self._tables[name].commit_version(seq)
             self._committed_seq = seq
@@ -253,6 +273,12 @@ class Database:
             ticket()
         for listener in self._commit_listeners:
             listener(operations)
+        if seq is not None:
+            # Sequence listeners fire after the durability ticket, so by
+            # the time a replication publisher is poked the record is in
+            # the log file (modulo `buffered` mode's OS cache).
+            for seq_listener in self._commit_seq_listeners:
+                seq_listener(seq)
         self._m_commits.inc()
         for op in operations:
             key = (op.table, op.op)
@@ -283,6 +309,16 @@ class Database:
         full-text indexer subscribe here.
         """
         self._commit_listeners.append(listener)
+
+    def on_commit_seq(self, listener: Callable[[int], None]) -> None:
+        """Register an observer invoked with each published commit seq.
+
+        Fires after the commit's durability ticket has been honoured —
+        the WAL record is in the file by then — which makes it the right
+        hook for a replication publisher to poke its tailer.  Also fires
+        for replicated applies, so cascading topologies work.
+        """
+        self._commit_seq_listeners.append(listener)
 
     # -- autocommit conveniences ------------------------------------------------------
 
@@ -330,11 +366,19 @@ class Database:
             self._snapshot_counter += 1
             seq = self._committed_seq
             self._snapshots[sid] = seq
+            self._g_open_snapshots.set(len(self._snapshots))
+            self._g_version_horizon.set(min(self._snapshots.values()))
         return Snapshot(self, sid, seq)
 
     def _release_snapshot(self, sid: int) -> None:
         with self._snapshot_lock:
             self._snapshots.pop(sid, None)
+            self._g_open_snapshots.set(len(self._snapshots))
+            self._g_version_horizon.set(
+                min(self._snapshots.values())
+                if self._snapshots
+                else self._committed_seq
+            )
         # Closing the oldest snapshot may unlock a swath of prunable
         # versions; sweep opportunistically if the writer lock is free
         # (never block a reader-side close behind a writer).
@@ -371,10 +415,17 @@ class Database:
         """
         with self._lock:
             horizon = self.version_horizon()
-            return {
+            reclaimed = {
                 name: table.prune_versions(horizon)
                 for name, table in self._tables.items()
             }
+            self._g_retained_versions.set(
+                sum(
+                    tbl.version_statistics()["nodes"]
+                    for tbl in self._tables.values()
+                )
+            )
+            return reclaimed
 
     def _reserve_commit_seq(self) -> int:
         """Next commit sequence number, not yet published (writer lock held)."""
@@ -472,12 +523,16 @@ class Database:
                         assert decoded is not None
                         table.apply_insert(decoded)
                         stats["snapshot_rows"] += 1
+            replayed_seq = 0
             if self._wal is not None:
                 try:
                     for record in self._wal.records():
                         if record.get("kind") != "commit":
                             continue
                         self._replay_commit(record)
+                        record_seq = record.get("seq")
+                        if isinstance(record_seq, int):
+                            replayed_seq = max(replayed_seq, record_seq)
                         stats["wal_txns"] += 1
                 except WalCorruption:
                     raise
@@ -495,6 +550,13 @@ class Database:
                     settled = True
             if settled:
                 self._committed_seq = seq
+            # Commit records carry their sequence number since PR 5.
+            # Restoring the highest replayed one keeps the counter
+            # continuous across restarts, so a restarted replica can
+            # report a resumable position instead of re-bootstrapping
+            # (checkpoints still reset the log — and the counter — so a
+            # checkpointed replica falls back to the full snapshot).
+            self._committed_seq = max(self._committed_seq, replayed_seq)
             # No snapshot can be open during recovery, so the replayed
             # history (one version per replayed op, tombstones for
             # replayed deletes) is pure garbage: cut every chain down to
@@ -506,7 +568,8 @@ class Database:
         self.obs.log.log("storage.recover", duration=elapsed, **stats)
         return stats
 
-    def _replay_commit(self, record: dict[str, Any]) -> None:
+    def _replay_commit(self, record: dict[str, Any]) -> list[UndoEntry]:
+        applied: list[UndoEntry] = []
         for op in record["ops"]:
             table = self.table(op["table"])
             # "before"/"after" are omitted when they carry nothing (an
@@ -515,13 +578,155 @@ class Database:
             if op["op"] == "insert":
                 after = self._decode_row_from_wal(op["table"], op.get("after"))
                 assert after is not None
-                table.apply_insert(after)
+                applied.append(table.apply_insert(after)[1])
             elif op["op"] == "update":
                 after = self._decode_row_from_wal(op["table"], op.get("after"))
                 assert after is not None
-                table.apply_update(op["pk"], after)
+                applied.append(table.apply_update(op["pk"], after)[1])
             elif op["op"] == "delete":
-                table.apply_delete(op["pk"])
+                applied.append(table.apply_delete(op["pk"])[1])
+        return applied
+
+    # -- replication apply path ----------------------------------------------------------
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The write-ahead log (``None`` for in-memory databases)."""
+        return self._wal
+
+    def replication_start_point(self) -> tuple[int, int]:
+        """Atomically capture ``(committed_seq, wal_tail_offset)``.
+
+        Takes the writer lock so the pair is consistent: every commit at
+        or below the returned sequence has its record below the returned
+        offset (pending group batches are drained first).  This is where
+        a publisher begins tailing.
+        """
+        with self._lock:
+            offset = 0
+            if self._wal is not None:
+                self._wal.sync()
+                offset = self._wal.tail_offset()
+            return self._committed_seq, offset
+
+    def export_snapshot(self) -> tuple[int, dict[str, list[dict[str, Any]]]]:
+        """One consistent, JSON-safe copy of every table for bootstrap.
+
+        Served from an MVCC snapshot, so concurrent commits neither
+        block nor tear the export.  Table order in the map carries no
+        meaning (the wire codec sorts keys anyway);
+        :meth:`load_replicated_snapshot` re-orders by its own schema.
+        """
+        with self.snapshot() as snap:
+            tables = {
+                name: [
+                    self._encode_row_for_wal(name, row)
+                    for row in snap.scan(name)
+                ]
+                for name in self.table_names()
+            }
+            return snap.seq, tables
+
+    def apply_replicated_commit(self, record: dict[str, Any], *, seq: int) -> bool:
+        """Apply one shipped commit record at primary sequence *seq*.
+
+        This is the replica-side twin of :meth:`_finish_commit`: it takes
+        the writer lock, replays the record's operations through the
+        recovery path, appends the record (sequence number included) to
+        this database's own WAL so a replica restart can replay it, then
+        stamps and publishes *seq* — keeping the replica in the
+        *primary's* sequence space so snapshot tokens transfer across
+        the wire.
+
+        Returns ``False`` without touching anything when ``seq`` is not
+        ahead of the published sequence (a redelivered frame); the
+        caller treats that as a clean duplicate, not an error.
+        """
+        with self._intent_lock:
+            self._write_intents += 1
+        self._lock.acquire()
+        ticket = None
+        try:
+            if seq <= self._committed_seq:
+                return False
+            applied = self._replay_commit(record)
+            if self._wal is not None:
+                try:
+                    ticket = self._wal.append_replicated(record)
+                except Exception as exc:
+                    raise WalWriteError(
+                        f"replicated commit seq={seq}: WAL append failed"
+                    ) from exc
+            for table in self._tables.values():
+                if table.dirty:
+                    table.commit_version(seq)
+            self._committed_seq = seq
+        finally:
+            with self._intent_lock:
+                self._write_intents -= 1
+            self._lock.release()
+        if ticket is not None:
+            ticket()
+        for listener in self._commit_listeners:
+            listener(applied)
+        for seq_listener in self._commit_seq_listeners:
+            seq_listener(seq)
+        return True
+
+    def load_replicated_snapshot(
+        self, tables: dict[str, list[dict[str, Any]]], *, seq: int
+    ) -> None:
+        """Replace the whole database with a bootstrap snapshot at *seq*.
+
+        Used when a joining replica is too far behind for incremental
+        tailing.  Existing rows are deleted in reverse creation order
+        and the snapshot's rows inserted in creation order, so foreign
+        keys hold at every step; open local snapshots keep reading their
+        pinned versions (the wipe writes tombstones, it does not cut
+        chains below the horizon).  The published sequence is set to
+        *exactly* ``seq`` — not ``max(...)`` — because the replica must
+        mirror the primary's sequence space or later frames would be
+        misjudged as duplicates.
+        """
+        with self._intent_lock:
+            self._write_intents += 1
+        self._lock.acquire()
+        try:
+            for name in reversed(list(self._tables)):
+                table = self._tables[name]
+                for pk in table.pks():
+                    table.apply_delete(pk)
+            unknown = [name for name in tables if name not in self._tables]
+            if unknown:
+                raise SchemaError(
+                    f"bootstrap snapshot contains unknown table(s) "
+                    f"{unknown!r}; replica schemas must match the primary"
+                )
+            # Insert in *this* database's creation order, not the wire
+            # map's order — the frame codec sorts keys, but creation
+            # order is the FK-topological one.
+            for name, table in self._tables.items():
+                for encoded in tables.get(name, ()):
+                    decoded = self._decode_row_from_wal(name, encoded)
+                    assert decoded is not None
+                    table.apply_insert(decoded)
+            for table in self._tables.values():
+                if table.dirty:
+                    table.commit_version(seq)
+            self._committed_seq = seq
+            horizon = self.version_horizon()
+            for table in self._tables.values():
+                table.prune_versions(horizon)
+            # Persist the bootstrap as a checkpoint so the stale WAL
+            # records from before the wipe can never replay over it.
+            if self._durable:
+                self.checkpoint()
+        finally:
+            with self._intent_lock:
+                self._write_intents -= 1
+            self._lock.release()
+        for seq_listener in self._commit_seq_listeners:
+            seq_listener(seq)
 
     # -- maintenance -------------------------------------------------------------------
 
@@ -541,6 +746,11 @@ class Database:
     def statistics(self) -> dict[str, Any]:
         """Row counts per table plus WAL size; powers the admin console."""
         with self._lock:
+            retained = sum(
+                tbl.version_statistics()["nodes"]
+                for tbl in self._tables.values()
+            )
+            self._g_retained_versions.set(retained)
             return {
                 "tables": {name: len(tbl) for name, tbl in self._tables.items()},
                 "total_rows": sum(len(tbl) for tbl in self._tables.values()),
@@ -551,10 +761,8 @@ class Database:
                 "mvcc": {
                     "committed_seq": self._committed_seq,
                     "open_snapshots": self.open_snapshots(),
-                    "retained_versions": sum(
-                        tbl.version_statistics()["nodes"]
-                        for tbl in self._tables.values()
-                    ),
+                    "version_horizon": self.version_horizon(),
+                    "retained_versions": retained,
                 },
             }
 

@@ -109,11 +109,17 @@ class WriteAheadLog:
         txn_id: int,
         operations: list[UndoEntry],
         encode_value,
+        *,
+        seq: int | None = None,
     ):
         """Record one committed transaction; returns a *durability ticket*.
 
         *encode_value* maps ``(table, row_dict)`` to a JSON-safe dict;
         the database supplies it so the WAL stays schema-agnostic.
+        *seq*, when given, embeds the database-wide commit sequence
+        number in the record so downstream consumers (replication) can
+        identify a commit without counting records — the sequence space
+        has gaps the record count cannot reproduce.
 
         Under ``always``/``buffered`` durability the record is written
         before returning and the ticket is ``None``.  Under ``group``
@@ -139,8 +145,23 @@ class WriteAheadLog:
                 if after is not None:
                     op["after"] = after
             ops.append(op)
-        payload = {"txn": txn_id, "ops": ops}
+        payload: dict[str, Any] = {"txn": txn_id, "ops": ops}
+        if seq is not None:
+            payload["seq"] = seq
         return self._append_record("commit", payload)
+
+    def append_replicated(self, record: dict[str, Any]):
+        """Re-log a commit record shipped from another node, verbatim.
+
+        The record (including its embedded primary ``seq``) is appended
+        exactly as received so a replica restart replays the same
+        history a fresh copy of the primary's log would.  Returns a
+        durability ticket under ``group`` mode, like
+        :meth:`append_commit`.
+        """
+        kind = record.get("kind", "commit")
+        payload = {k: v for k, v in record.items() if k != "kind"}
+        return self._append_record(kind, payload)
 
     def append_checkpoint_marker(self, snapshot_name: str) -> None:
         """Note that a snapshot file now covers everything before here."""
@@ -299,30 +320,91 @@ class WriteAheadLog:
 
     # -- reading -------------------------------------------------------------------
 
-    def records(self) -> Iterator[dict[str, Any]]:
+    def records(self, start_offset: int = 0) -> Iterator[dict[str, Any]]:
         """Yield intact records in order; stop cleanly at a torn tail.
+
+        *start_offset* resumes the scan from a byte position previously
+        returned by :meth:`tail_offset` or observed through
+        :meth:`records_with_offsets`, so repeated reads of a growing log
+        are O(new bytes) rather than O(file) each time.  It must point
+        at a record boundary (0 or a yielded ``end_offset``).
 
         Raises :class:`WalCorruption` if a corrupt record is followed by
         an intact one — a crash can only tear the final append.
         """
+        pending_error: str | None = None
+        for record, _end, reason in self._scan(start_offset):
+            if record is None:
+                if reason == "incomplete":
+                    return  # unterminated tail line: nothing after it yet
+                pending_error = reason
+                continue
+            if pending_error is not None:
+                raise WalCorruption(
+                    f"WAL {self.path}: corrupt record at {pending_error} "
+                    "followed by intact records"
+                )
+            yield record
+
+    def records_with_offsets(
+        self, start_offset: int = 0
+    ) -> Iterator[tuple[dict[str, Any], int]]:
+        """Yield ``(record, end_offset)`` pairs; stop at the first bad line.
+
+        This is the *lenient* scan used for live tailing: a torn,
+        corrupt, or still-being-written final line simply ends the
+        iteration (the returned offsets never straddle it), so a tailer
+        can poll a log that is growing under its feet and resume from
+        the last good ``end_offset`` once more bytes arrive.
+        """
+        for record, end, _reason in self._scan(start_offset):
+            if record is None:
+                return
+            yield record, end
+
+    def _scan(
+        self, start_offset: int
+    ) -> Iterator[tuple[dict[str, Any] | None, int, str]]:
+        """Walk line-framed records from *start_offset*.
+
+        Yields ``(record, end_offset, reason)`` where ``record`` is
+        ``None`` for a bad line (``reason`` says why: ``"incomplete"``
+        for a line missing its newline, else a location string).  Byte
+        offsets are exact because the scan reads in binary mode.
+        """
         if not self.path.exists():
             return
-        pending_error: str | None = None
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line_no, line in enumerate(fh, start=1):
-                line = line.rstrip("\n")
+        offset = start_offset
+        line_no = 0
+        with open(self.path, "rb") as fh:
+            fh.seek(start_offset)
+            for raw in fh:
+                line_no += 1
+                end = offset + len(raw)
+                if not raw.endswith(b"\n"):
+                    yield None, offset, "incomplete"
+                    return
+                offset = end
+                line = raw.decode("utf-8", errors="replace").rstrip("\n")
                 if not line:
                     continue
                 record = self._parse_line(line, line_no)
                 if record is None:
-                    pending_error = f"line {line_no}"
+                    yield None, offset, f"line {line_no} (+{start_offset}B)"
                     continue
-                if pending_error is not None:
-                    raise WalCorruption(
-                        f"WAL {self.path}: corrupt record at {pending_error} "
-                        "followed by intact records"
-                    )
-                yield record
+                yield record, offset, ""
+
+    def tail_offset(self) -> int:
+        """Byte position past the last record handed to the OS.
+
+        Flushes Python's userspace buffer first so the value is usable
+        as a ``records(start_offset=...)`` resume point for everything
+        appended so far.  Under ``group`` durability, call :meth:`sync`
+        first if enqueued-but-unflushed batches must be included.
+        """
+        if not self._file.closed:
+            self._file.flush()
+        return self.path.stat().st_size if self.path.exists() else 0
 
     @staticmethod
     def _parse_line(line: str, line_no: int) -> dict[str, Any] | None:
@@ -341,11 +423,17 @@ class WriteAheadLog:
             return None
 
     def truncate_torn_tail(self) -> int:
-        """Rewrite the file keeping only intact records; return kept count.
+        """Rewrite the file keeping the intact *prefix*; return kept count.
 
-        Called after recovery so the next append lands on a clean file.
+        Everything from the first torn/corrupt line onward is dropped —
+        including any valid-looking records after the tear, because a
+        record whose predecessor never fully landed cannot be trusted to
+        belong to the committed prefix (replication can redeliver frames
+        out of band; replay must stop at the tear).  Idempotent: a clean
+        log round-trips unchanged.  Called after recovery (and by
+        replica promotion) so the next append lands on a clean file.
         """
-        kept = list(self.records())
+        kept = [record for record, _end in self.records_with_offsets()]
         self.close()
         with open(self.path, "w", encoding="utf-8") as fh:
             for record in kept:

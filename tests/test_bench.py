@@ -81,3 +81,26 @@ class TestReport:
         assert any("no operations" in p for p in problems)
         assert any("mixed_90_10" in p for p in problems)
         assert any("mixed_read_scaling" in p for p in problems)
+
+
+class TestReplicationBench:
+    def test_validation_requires_replication_section(self):
+        report = {
+            "schema": REPORT_SCHEMA,
+            "benchmarks": {
+                "concurrency": {"workloads": {}, "thread_counts": []},
+            },
+        }
+        assert "missing replication section" in validate_report(report)
+
+    def test_replication_section_runs_at_smoke_scale(self, tmp_path):
+        from repro.bench import bench_replication
+
+        section = bench_replication(
+            commits=48, window=0.2, base_dir=tmp_path
+        )
+        assert section["apply"]["replicated_per_sec"] > 0
+        for count in ("1", "2", "4"):
+            assert section["fanout"][count]["reads"] > 0
+        assert isinstance(section["fanout_scaling"], float)
+        assert section["lag_p95_seqs"] >= 0

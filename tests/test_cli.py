@@ -129,3 +129,80 @@ class TestCliReports:
         code, out = run(capsys, "--data", str(deployment), "provenance", "1")
         assert code == 0
         assert "Workunit #1" in out
+
+
+class TestCliReplication:
+    def test_stats_shows_mvcc_line(self, deployment, capsys):
+        code, out = run(capsys, "--data", str(deployment), "stats")
+        assert code == 0
+        assert "MVCC: committed seq" in out
+        assert "retained versions" in out
+
+    def test_maintenance_prune(self, deployment, capsys):
+        code, out = run(
+            capsys, "--data", str(deployment), "maintenance", "prune"
+        )
+        assert code == 0
+        assert "pruned" in out
+        assert "horizon seq" in out
+
+    def test_replicate_status(self, deployment, capsys):
+        code, out = run(
+            capsys, "--data", str(deployment), "replicate", "status"
+        )
+        assert code == 0
+        assert "committed seq" in out
+        assert "WAL tail offset" in out
+
+    def test_replicate_promote_heals_torn_wal(self, deployment, capsys):
+        # Leave the WAL the way a killed replica process would: torn.
+        with open(deployment / "db" / "wal.log", "ab") as fh:
+            fh.write(b"deadbeef {torn")
+        code, out = run(
+            capsys, "--data", str(deployment), "replicate", "promote"
+        )
+        assert code == 0
+        assert "promoted" in out
+        code, out = run(capsys, "--data", str(deployment), "integrity")
+        assert code == 0
+
+    def test_replicate_serve_and_join(self, tmp_path, capsys):
+        import threading
+
+        primary = tmp_path / "primary"
+        replica = tmp_path / "replica"
+        assert main(["--data", str(primary), "init"]) == 0
+
+        serve_result: list[int] = []
+
+        def serve() -> None:
+            serve_result.append(
+                main(
+                    [
+                        "--data", str(primary),
+                        "replicate", "serve",
+                        "--port", "19510",
+                        "--duration", "6",
+                    ]
+                )
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        import time
+
+        time.sleep(1.0)
+        code = main(
+            [
+                "--data", str(replica),
+                "replicate", "join",
+                "--primary", "127.0.0.1:19510",
+                "--name", "r1",
+                "--duration", "3",
+            ]
+        )
+        thread.join(timeout=15.0)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert serve_result == [0]
+        assert "connected=True" in out

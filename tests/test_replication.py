@@ -1,0 +1,428 @@
+"""WAL-shipping replication: protocol, convergence, routing, failover."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ReplicaLagExceeded, ReplicationProtocolError
+from repro.replication import Replica, ReplicaSet, ReplicationPublisher
+from repro.replication import protocol
+from repro.resilience import Fault, FaultPlan, inject
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+def make_schema():
+    return TableSchema(
+        "doc",
+        [
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("body", ColumnType.TEXT, nullable=False),
+        ],
+    )
+
+
+def open_db(path) -> Database:
+    db = Database(path, durability="always")
+    db.create_table(make_schema())
+    return db
+
+
+def current_seq(db: Database) -> int:
+    return db.replication_start_point()[0]
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    """A primary publishing to two followers, torn down afterwards."""
+    primary = open_db(tmp_path / "primary")
+    publisher = ReplicationPublisher(primary).start()
+    replicas = [
+        Replica(
+            open_db(tmp_path / f"r{i}"),
+            ("127.0.0.1", publisher.port),
+            name=f"r{i}",
+        ).start()
+        for i in range(2)
+    ]
+    yield primary, publisher, replicas
+    for replica in replicas:
+        replica.stop()
+        replica.db.close()
+    publisher.stop()
+    primary.close()
+
+
+class TestProtocol:
+    def _pair(self):
+        left, right = socket.socketpair()
+        return protocol.Connection(left), protocol.Connection(right)
+
+    def test_frame_round_trip(self):
+        a, b = self._pair()
+        a.send(protocol.hello(7, "r1"))
+        a.send(protocol.commit_message(9, 7, {"txn": 1, "ops": []}))
+        assert b.recv() == {"type": "hello", "last_seq": 7, "replica": "r1"}
+        commit = b.recv()
+        assert commit["seq"] == 9 and commit["prev"] == 7
+        a.close()
+        b.close()
+
+    def test_corrupted_body_raises(self):
+        a, b = self._pair()
+        frame = bytearray(protocol.encode_frame(protocol.ack(3)))
+        frame[-1] ^= 0xFF
+        a._sock.sendall(bytes(frame))
+        with pytest.raises(ReplicationProtocolError, match="CRC"):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = self._pair()
+        frame = protocol.encode_frame(protocol.heartbeat(5))
+        a._sock.sendall(frame[: len(frame) - 4])
+        a.close()
+        with pytest.raises(ReplicationProtocolError):
+            b.recv()
+        b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        assert b.recv() is None
+        b.close()
+
+    def test_oversize_frame_rejected(self):
+        a, b = self._pair()
+        header = protocol._HEADER.pack(protocol.MAX_FRAME_BYTES + 1, 0)
+        a._sock.sendall(header)
+        with pytest.raises(ReplicationProtocolError, match="cap"):
+            b.recv()
+        a.close()
+        b.close()
+
+
+class TestConvergence:
+    def test_two_replicas_converge_under_concurrent_writers(self, cluster):
+        primary, publisher, replicas = cluster
+        writers, per_writer = 4, 12
+        barrier = threading.Barrier(writers)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            base = worker_id * per_writer + 1
+            for i in range(per_writer):
+                primary.insert("doc", {"id": base + i, "body": f"row {base + i}"})
+
+        pool = [
+            threading.Thread(target=worker, args=(w,)) for w in range(writers)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        seq = current_seq(primary)
+        expected = sorted(row["id"] for row in primary.rows("doc"))
+        assert len(expected) == writers * per_writer
+        for replica in replicas:
+            replica.wait_for(seq, timeout=10.0)
+            with replica.snapshot() as snap:
+                assert sorted(snap.pks("doc")) == expected
+            assert replica.status()["connected"]
+
+    def test_wait_for_gives_read_your_writes(self, cluster):
+        primary, publisher, replicas = cluster
+        primary.insert("doc", {"id": 1, "body": "mine"})
+        seq = current_seq(primary)
+        replicas[0].wait_for(seq, timeout=10.0)
+        with replicas[0].snapshot() as snap:
+            assert snap.get("doc", 1)["body"] == "mine"
+
+    def test_wait_for_times_out(self, cluster):
+        primary, publisher, replicas = cluster
+        with pytest.raises(ReplicaLagExceeded):
+            replicas[0].wait_for(current_seq(primary) + 1000, timeout=0.1)
+
+    def test_late_joiner_bootstraps(self, cluster, tmp_path):
+        primary, publisher, replicas = cluster
+        for i in range(5):
+            primary.insert("doc", {"id": i + 1, "body": f"pre {i}"})
+        late = Replica(
+            open_db(tmp_path / "late"),
+            ("127.0.0.1", publisher.port),
+            name="late",
+        ).start()
+        try:
+            late.wait_for(current_seq(primary), timeout=10.0)
+            with late.snapshot() as snap:
+                assert snap.count("doc") == 5
+            assert late.status()["bootstraps"] >= 0
+        finally:
+            late.stop()
+            late.db.close()
+
+
+class TestRouting:
+    def test_reads_route_to_replicas(self, cluster):
+        primary, publisher, replicas = cluster
+        primary.insert("doc", {"id": 1, "body": "routed"})
+        rs = ReplicaSet(primary, replicas, publisher=publisher)
+        rs.wait_all(current_seq(primary), timeout=10.0)
+        with rs.read_snapshot() as snap:
+            assert snap.get("doc", 1)["body"] == "routed"
+        counter = primary.obs.metrics.get("replication_reads_total")
+        routed = {
+            labels["target"]: child.value for labels, child in counter.samples()
+        }
+        assert any(name.startswith("r") for name in routed)
+
+    def test_fallback_to_primary_when_replicas_unhealthy(self, cluster):
+        primary, publisher, replicas = cluster
+        primary.insert("doc", {"id": 1, "body": "fallback"})
+        rs = ReplicaSet(primary, replicas, publisher=publisher)
+        for replica in replicas:
+            replica.stop()
+        with rs.read_snapshot() as snap:
+            assert snap.get("doc", 1)["body"] == "fallback"
+        counter = primary.obs.metrics.get("replication_reads_total")
+        assert counter.labels(target="primary").value >= 1
+
+    def test_disconnected_replica_snapshot_raises(self, cluster):
+        primary, publisher, replicas = cluster
+        replicas[0].max_lag = 8  # opt in to the staleness bound
+        replicas[0].stop()
+        with pytest.raises(ReplicaLagExceeded):
+            replicas[0].snapshot()
+
+    def test_lag_gauges_exported(self, cluster):
+        primary, publisher, replicas = cluster
+        primary.insert("doc", {"id": 1, "body": "gauge"})
+        seq = current_seq(primary)
+        for replica in replicas:
+            replica.wait_for(seq, timeout=10.0)
+        status = publisher.status()
+        assert set(status["replicas"]) == {"r0", "r1"}
+        gauge = primary.obs.metrics.get("replication_lag_seqs")
+        assert gauge is not None
+        for name in ("r0", "r1"):
+            assert gauge.labels(replica=name).value >= 0
+
+
+class TestFaultTolerance:
+    def test_converges_through_dropped_and_duplicated_frames(self, tmp_path):
+        plan = FaultPlan(
+            [
+                Fault("replication.recv", kind="drop", probability=0.15, times=4),
+                Fault(
+                    "replication.recv", kind="duplicate", probability=0.15, times=4
+                ),
+            ],
+            seed=11,
+        )
+        with inject(plan):
+            primary = open_db(tmp_path / "primary")
+            publisher = ReplicationPublisher(primary).start()
+            replica = Replica(
+                open_db(tmp_path / "r0"),
+                ("127.0.0.1", publisher.port),
+                name="r0",
+            ).start()
+            try:
+                for i in range(40):
+                    primary.insert("doc", {"id": i + 1, "body": f"row {i}"})
+                replica.wait_for(current_seq(primary), timeout=20.0)
+                with replica.snapshot() as snap:
+                    assert snap.count("doc") == 40
+            finally:
+                replica.stop()
+                replica.db.close()
+                publisher.stop()
+                primary.close()
+        assert plan.fired() > 0
+
+    def test_recovers_from_torn_frame_send(self, tmp_path):
+        plan = FaultPlan(
+            [Fault("replication.send", kind="torn_write", at_call=4, fraction=0.5)]
+        )
+        with inject(plan):
+            primary = open_db(tmp_path / "primary")
+            publisher = ReplicationPublisher(primary).start()
+            replica = Replica(
+                open_db(tmp_path / "r0"),
+                ("127.0.0.1", publisher.port),
+                name="r0",
+            ).start()
+            try:
+                for i in range(20):
+                    primary.insert("doc", {"id": i + 1, "body": f"row {i}"})
+                replica.wait_for(current_seq(primary), timeout=20.0)
+                with replica.snapshot() as snap:
+                    assert snap.count("doc") == 20
+            finally:
+                replica.stop()
+                replica.db.close()
+                publisher.stop()
+                primary.close()
+        assert plan.fired() == 1
+
+
+class TestFailover:
+    def test_promote_preserves_confirmed_commits(self, cluster):
+        primary, publisher, replicas = cluster
+        for i in range(10):
+            primary.insert("doc", {"id": i + 1, "body": f"row {i}"})
+        seq = current_seq(primary)
+        for replica in replicas:
+            replica.wait_for(seq, timeout=10.0)
+        publisher.kill()
+        rs = ReplicaSet(primary, list(replicas), publisher=None)
+        promoted = rs.promote(drain_timeout=2.0)
+        db = promoted.db
+        assert sorted(row["id"] for row in db.rows("doc")) == list(range(1, 11))
+        assert db.verify_integrity() == []
+        db.insert("doc", {"id": 999, "body": "post-promote"})
+        assert db.get("doc", 999)["body"] == "post-promote"
+        assert promoted.promoted
+        with promoted.snapshot() as snap:  # promoted replicas always serve
+            assert snap.count("doc") == 11
+
+    def test_failover_rewires_the_survivor(self, cluster):
+        primary, publisher, replicas = cluster
+        for i in range(6):
+            primary.insert("doc", {"id": i + 1, "body": f"row {i}"})
+        seq = current_seq(primary)
+        for replica in replicas:
+            replica.wait_for(seq, timeout=10.0)
+        rs = ReplicaSet(primary, list(replicas), publisher=publisher)
+        promoted = rs.failover(drain_timeout=2.0)
+        try:
+            assert rs.primary is promoted.system
+            promoted.db.insert("doc", {"id": 100, "body": "new primary"})
+            new_seq = current_seq(promoted.db)
+            survivor = rs.replicas[0]
+            survivor.wait_for(new_seq, timeout=10.0)
+            with survivor.snapshot() as snap:
+                assert snap.get("doc", 100)["body"] == "new primary"
+        finally:
+            rs.publisher.stop()
+
+
+class TestBootstrapAndRestart:
+    def test_bootstrap_reorders_alphabetical_wire_map(self, tmp_path):
+        """The frame codec sorts keys; FK order must not depend on it."""
+
+        def fk_db(path) -> Database:
+            db = Database(path, durability="always")
+            db.create_table(
+                TableSchema(
+                    "z_parent",
+                    [
+                        Column("id", ColumnType.INT, primary_key=True),
+                        Column("name", ColumnType.TEXT, nullable=False),
+                    ],
+                )
+            )
+            db.create_table(
+                TableSchema(
+                    "a_child",
+                    [
+                        Column("id", ColumnType.INT, primary_key=True),
+                        Column(
+                            "parent_id",
+                            ColumnType.INT,
+                            foreign_key="z_parent.id",
+                            nullable=False,
+                        ),
+                    ],
+                )
+            )
+            return db
+
+        primary = fk_db(tmp_path / "primary")
+        primary.insert("z_parent", {"id": 1, "name": "p"})
+        primary.insert("a_child", {"id": 1, "parent_id": 1})
+        seq, tables = primary.export_snapshot()
+        wire_order = dict(sorted(tables.items()))  # what sort_keys does
+        assert list(wire_order) == ["a_child", "z_parent"]
+        replica = fk_db(tmp_path / "replica")
+        replica.load_replicated_snapshot(wire_order, seq=seq)
+        assert replica.get("a_child", 1)["parent_id"] == 1
+        assert replica.verify_integrity() == []
+        primary.close()
+        replica.close()
+
+    def test_recover_restores_commit_sequence(self, tmp_path):
+        db = open_db(tmp_path)
+        for i in range(3):
+            db.insert("doc", {"id": i + 1, "body": f"row {i}"})
+        seq = current_seq(db)
+        assert seq >= 3
+        db.close()
+        db2 = open_db(tmp_path)
+        db2.recover()
+        assert current_seq(db2) == seq
+        db2.close()
+
+
+class TestMvccObservability:
+    def test_snapshot_gauges_track_open_and_horizon(self):
+        db = Database()
+        db.create_table(make_schema())
+        open_gauge = db.obs.metrics.get("storage_open_snapshots").labels()
+        horizon_gauge = db.obs.metrics.get("storage_version_horizon").labels()
+        db.insert("doc", {"id": 1, "body": "x"})
+        snap = db.snapshot()
+        assert open_gauge.value == 1
+        assert horizon_gauge.value == snap.seq
+        snap.close()
+        assert open_gauge.value == 0
+        mvcc = db.statistics()["mvcc"]
+        assert set(mvcc) == {
+            "committed_seq",
+            "open_snapshots",
+            "version_horizon",
+            "retained_versions",
+        }
+
+
+class TestPortalRouting:
+    def test_get_pages_render_from_replica_snapshots(self, tmp_path):
+        import datetime as dt
+
+        from repro.facade import BFabric
+        from repro.portal import PortalApplication
+        from repro.portal.testing import PortalClient
+        from repro.util.clock import ManualClock
+
+        primary = BFabric(
+            tmp_path / "p", clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0))
+        )
+        admin = primary.bootstrap(password="adminpw")
+        primary.directory.set_password(admin, admin.user_id, "adminpw")
+        publisher = ReplicationPublisher(primary.db, obs=primary.obs).start()
+        follower_system = BFabric(tmp_path / "r")
+        follower = Replica(
+            follower_system, ("127.0.0.1", publisher.port), name="r0"
+        ).start()
+        rs = ReplicaSet(primary, [follower], publisher=publisher)
+        try:
+            rs.wait_all(
+                primary.db.replication_start_point()[0], timeout=15.0
+            )
+            client = PortalClient(PortalApplication(primary, replicas=rs))
+            client.login("admin", "adminpw")
+            page = client.get("/admin/metrics")
+            assert page.status == 200
+            assert "MVCC" in page.text
+            assert "Replication" in page.text
+            counter = primary.obs.metrics.get("replication_reads_total")
+            routed = {
+                labels["target"]: child.value
+                for labels, child in counter.samples()
+            }
+            assert routed.get("r0", 0) >= 1
+        finally:
+            rs.close()
+            follower_system.close()
+            primary.close()

@@ -341,3 +341,122 @@ class TestDurabilityModes:
         spec = db.statistics()["durability"]
         assert spec.startswith("group")
         db.close()
+
+
+class TestTornTailEdgeCases:
+    """truncate_torn_tail() on degenerate logs (PR 5 hardening)."""
+
+    def test_empty_log_is_a_no_op(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        wal.truncate_torn_tail()
+        assert list(wal.records()) == []
+        assert wal.size_bytes() == 0
+        wal.close()
+
+    def test_only_line_torn_truncates_to_empty(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        wal.close()
+        path = tmp_path / "w.log"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+
+        wal2 = WriteAheadLog(path)
+        wal2.truncate_torn_tail()
+        assert list(wal2.records()) == []
+        assert wal2.size_bytes() == 0
+        wal2.close()
+
+    def test_valid_line_after_tear_is_dropped(self, tmp_path):
+        # Healing keeps the longest intact PREFIX.  A valid-looking
+        # record after a tear must never be resurrected: the tear means
+        # everything beyond it is of unknown provenance.
+        wal = WriteAheadLog(tmp_path / "w.log")
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        wal.close()
+        path = tmp_path / "w.log"
+        intact_prefix = path.read_bytes()
+        with open(path, "ab") as fh:
+            fh.write(b"deadbeef {torn\n")
+        wal2 = WriteAheadLog(path)
+        wal2._append_record("commit", {"txn": 2, "ops": []})
+        wal2.close()
+
+        wal3 = WriteAheadLog(path)
+        wal3.truncate_torn_tail()
+        assert [r["txn"] for r in wal3.records()] == [1]
+        assert path.read_bytes() == intact_prefix
+        wal3.close()
+
+    def test_double_truncate_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        wal._append_record("commit", {"txn": 2, "ops": []})
+        wal.close()
+        path = tmp_path / "w.log"
+        with open(path, "ab") as fh:
+            fh.write(b"0bad0bad {garbage")
+
+        wal2 = WriteAheadLog(path)
+        wal2.truncate_torn_tail()
+        healed = path.read_bytes()
+        wal2.truncate_torn_tail()
+        assert path.read_bytes() == healed
+        assert [r["txn"] for r in wal2.records()] == [1, 2]
+        wal2.close()
+
+
+class TestResumableRecords:
+    """records(start_offset=...) / records_with_offsets / tail_offset —
+    the tailing primitives the replication publisher is built on."""
+
+    def test_records_resume_from_offset(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        middle = wal.tail_offset()
+        wal._append_record("commit", {"txn": 2, "ops": []})
+        wal._append_record("commit", {"txn": 3, "ops": []})
+        assert [r["txn"] for r in wal.records(start_offset=middle)] == [2, 3]
+        assert [r["txn"] for r in wal.records()] == [1, 2, 3]
+        wal.close()
+
+    def test_offsets_chain_exactly(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        for txn in (1, 2, 3):
+            wal._append_record("commit", {"txn": txn, "ops": []})
+        pairs = list(wal.records_with_offsets())
+        assert [record["txn"] for record, _end in pairs] == [1, 2, 3]
+        # Every end offset is a valid resume point for the remainder.
+        for index, (_record, end) in enumerate(pairs):
+            rest = [r["txn"] for r, _ in wal.records_with_offsets(end)]
+            assert rest == [2, 3][index:]
+        assert pairs[-1][1] == wal.tail_offset()
+        wal.close()
+
+    def test_tail_offset_tracks_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        assert wal.tail_offset() == 0
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        first = wal.tail_offset()
+        assert first == wal.size_bytes() > 0
+        wal._append_record("commit", {"txn": 2, "ops": []})
+        assert wal.tail_offset() > first
+        wal.close()
+
+    def test_lenient_iteration_stops_at_torn_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        wal._append_record("commit", {"txn": 2, "ops": []})
+        wal.close()
+        path = tmp_path / "w.log"
+        good_end = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b"deadbeef {half-writ")  # no newline: in-flight append
+
+        wal2 = WriteAheadLog(path)
+        pairs = list(wal2.records_with_offsets())
+        assert [record["txn"] for record, _end in pairs] == [1, 2]
+        # The tailer parks exactly at the intact prefix's end, so the
+        # next poll re-reads only the (possibly now completed) tail.
+        assert pairs[-1][1] == good_end
+        wal2.close()

@@ -78,3 +78,20 @@ class TestDriver:
     def test_commit_floor_is_enforced(self, tmp_path):
         with pytest.raises(ValueError):
             run_torture(tmp_path, commits=2)
+
+
+class TestReplicationTorture:
+    def test_kill_primary_promote_invariants(self, tmp_path):
+        from repro.resilience.torture import run_replication_torture
+
+        report = run_replication_torture(tmp_path / "repl", commits=16, seed=5)
+        assert report.ok, report.summary()
+        case = report.cases[0]
+        assert (case.mode, case.site) == ("replication", "kill_primary")
+        # The promoted replica holds every confirmed commit, nothing
+        # that was never committed, and none of the aborted rows.
+        assert set(case.committed) <= set(case.present)
+        assert set(case.present) <= set(case.committed) | set(case.uncertain)
+        assert not set(case.aborted) & set(case.present)
+        assert case.committed, "no commit was ever confirmed by a replica"
+        assert case.uncertain, "the kill raced nothing - scenario too tame"
