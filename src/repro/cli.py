@@ -302,6 +302,10 @@ def cmd_replicate(args: argparse.Namespace) -> int:
                 print(f"PROBLEM: {problem}")
             system.close()
             return 1
+        # Post-promotion commits are a new lineage: mint a fresh history
+        # id so replicas of the dead primary bootstrap rather than
+        # resume when they re-join this directory's publisher.
+        system.db.new_history()
         system.db.checkpoint()
         seq = system.db.replication_start_point()[0]
         print(f"promoted: {args.data} is writable at commit seq {seq}")

@@ -89,11 +89,17 @@ class ReplicationPublisher:
         self._entries: deque[_Entry] = deque()
         self._last_seq = 0
         self._offset = 0
+        self._wal_generation = 0
         self._handles: dict[str, _Handle] = {}
         self._stop = threading.Event()
         self._wake = threading.Event()
         self._listener: socket.socket | None = None
+        # Long-lived threads (tail + accept).  Per-connection serve/ack
+        # threads register in _conn_threads and remove themselves when
+        # they exit, so a primary with reconnecting replicas never
+        # accumulates dead Thread objects.
         self._threads: list[threading.Thread] = []
+        self._conn_threads: set[threading.Thread] = set()
         self._started = False
         metrics = self.obs.metrics
         self._g_lag_seqs = metrics.gauge(
@@ -127,6 +133,8 @@ class ReplicationPublisher:
             raise ReplicationError("publisher already started")
         self._started = True
         self._last_seq, self._offset = self.db.replication_start_point()
+        assert self.db.wal is not None
+        self._wal_generation = self.db.wal.generation()
         self.db.on_commit_seq(self._poke)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -161,10 +169,11 @@ class ReplicationPublisher:
                 pass
         with self._mu:
             handles = list(self._handles.values())
+            conn_threads = list(self._conn_threads)
             self._cv.notify_all()
         for handle in handles:
             handle.conn.close()
-        for thread in self._threads:
+        for thread in self._threads + conn_threads:
             thread.join(timeout=2.0)
 
     # The torture driver's "kill": identical to stop today, named so the
@@ -188,9 +197,17 @@ class ReplicationPublisher:
     def _scan_new_records(self) -> None:
         wal = self.db.wal
         assert wal is not None
-        if wal.tail_offset() < self._offset:
-            # The WAL was reset (checkpoint): rescan from the start,
-            # skipping records at or below what we already shipped.
+        # A reset (checkpoint) or in-place rewrite (torn-tail truncate)
+        # invalidates our byte offset: rescan from the start, skipping
+        # records at or below what we already shipped.  The generation
+        # counter is the authoritative signal — post-checkpoint appends
+        # can grow the new file past a stale offset between two polls,
+        # in which case a size comparison alone would start the scan
+        # mid-record and silently stop shipping.  The shrink check stays
+        # as a belt-and-braces fallback.
+        generation = wal.generation()
+        if generation != self._wal_generation or wal.tail_offset() < self._offset:
+            self._wal_generation = generation
             self._offset = 0
         fresh: list[tuple[dict[str, Any], int, int]] = []
         start = self._offset
@@ -232,19 +249,22 @@ class ReplicationPublisher:
                 daemon=True,
             )
             thread.start()
-            self._threads.append(thread)
 
     def _serve(self, sock: socket.socket, addr: tuple[str, int]) -> None:
         sock.settimeout(10.0)
         conn = protocol.Connection(sock)
         handle: _Handle | None = None
+        ack_thread: threading.Thread | None = None
+        with self._mu:
+            self._conn_threads.add(threading.current_thread())
         try:
             hello = conn.recv()
             if hello is None or hello.get("type") != "hello":
                 return
             name = str(hello.get("replica") or f"{addr[0]}:{addr[1]}")
             last_seq = int(hello.get("last_seq", 0))
-            cursor = self._handshake(conn, name, last_seq)
+            history = str(hello.get("history") or "")
+            cursor = self._handshake(conn, name, last_seq, history)
             handle = _Handle(name, conn, cursor)
             with self._mu:
                 self._handles[name] = handle
@@ -255,8 +275,9 @@ class ReplicationPublisher:
                 name=f"replication-ack-{name}",
                 daemon=True,
             )
+            with self._mu:
+                self._conn_threads.add(ack_thread)
             ack_thread.start()
-            self._threads.append(ack_thread)
             self._stream(handle)
         except Exception as exc:
             self.obs.log.log("replication.serve_error", error=str(exc))
@@ -268,9 +289,11 @@ class ReplicationPublisher:
                         del self._handles[handle.name]
                     self._g_connected.set(len(self._handles))
             conn.close()
+            with self._mu:
+                self._conn_threads.discard(threading.current_thread())
 
     def _handshake(
-        self, conn: protocol.Connection, name: str, last_seq: int
+        self, conn: protocol.Connection, name: str, last_seq: int, history: str
     ) -> int:
         """Resume from the chain when possible, else serve a bootstrap.
 
@@ -278,19 +301,25 @@ class ReplicationPublisher:
         valid resume point only when it is a *chain point* — the ``prev``
         of a retained entry or the newest shipped sequence — because the
         sequence space has gaps and an arbitrary number in range could
-        be a diverged replica's private history.
+        be a diverged replica's private history.  The replica's
+        ``history`` must also match ours: sequence numbers only mean
+        anything within one history, so a replica that last synced from
+        a different lineage (a pre-promotion primary, or any unrelated
+        database whose counter happens to cross its position) is always
+        bootstrapped, never resumed.
         """
+        our_history = self.db.history_id
         with self._mu:
             chain_points = {entry.prev for entry in self._entries}
             chain_points.add(self._last_seq)
-            resumable = last_seq in chain_points
+            resumable = last_seq in chain_points and history == our_history
         if resumable:
-            conn.send(protocol.resume(last_seq))
+            conn.send(protocol.resume(last_seq, history=our_history))
             self._m_frames.labels(type="resume").inc()
             self.obs.log.log("replication.resume", replica=name, seq=last_seq)
             return last_seq
         seq, tables = self.db.export_snapshot()
-        conn.send(protocol.snapshot_message(seq, tables))
+        conn.send(protocol.snapshot_message(seq, tables, history=our_history))
         self._m_frames.labels(type="snapshot").inc()
         self._m_bootstraps.inc()
         self.obs.log.log("replication.bootstrap", replica=name, seq=seq)
@@ -340,8 +369,19 @@ class ReplicationPublisher:
                     if seq > handle.acked_seq:
                         handle.acked_seq = seq
                     self._refresh_lag_locked(handle)
-        except Exception:
-            pass  # the serve thread owns connection teardown
+        except Exception as exc:
+            self.obs.log.log(
+                "replication.ack_error", replica=handle.name, error=str(exc)
+            )
+        finally:
+            # However this loop ends, the connection is unusable for lag
+            # accounting: tear it down so the serve thread unblocks, the
+            # replica reconnects, and the gauges never freeze on a stale
+            # acked_seq while commits keep streaming.
+            handle.alive = False
+            handle.conn.close()
+            with self._mu:
+                self._conn_threads.discard(threading.current_thread())
 
     def _refresh_lag_locked(self, only: "_Handle | None" = None) -> None:
         handles = [only] if only is not None else list(self._handles.values())

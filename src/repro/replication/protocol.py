@@ -15,13 +15,21 @@ Message types
 -------------
 
 ``hello``      replica → primary; carries ``last_seq`` (the replica's
-               applied commit sequence) and a display ``replica`` name.
+               applied commit sequence), a display ``replica`` name,
+               and ``history`` — the history id of the database the
+               replica last synced from (empty for a fresh replica).
 ``resume``     primary → replica; incremental tailing will start from
                ``seq`` (the replica's own ``last_seq`` echoed back).
+               Only sent when the replica's ``history`` matches the
+               primary's: sequence numbers are meaningless across
+               histories, so a replica from another lineage (or from
+               before a promotion) must bootstrap instead.
 ``snapshot``   primary → replica; full bootstrap: ``tables`` maps table
                name to encoded rows, ``seq`` is the snapshot's commit
-               sequence.  Sent when the replica's ``last_seq`` is not a
-               valid chain point in the primary's retained buffer.
+               sequence, ``history`` the primary's history id (adopted
+               by the replica).  Sent when the replica's ``last_seq``
+               is not a valid chain point in the primary's retained
+               buffer, or its history does not match.
 ``commit``     primary → replica; one shipped WAL record at ``seq``,
                with ``prev`` = the sequence the publisher shipped just
                before it (the *chain* rule, see below).
@@ -76,27 +84,6 @@ def encode_frame(message: dict[str, Any]) -> bytes:
     return _HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
 
 
-def read_exact(sock: socket.socket, count: int) -> bytes | None:
-    """Read exactly *count* bytes; ``None`` on clean EOF at a boundary.
-
-    EOF in the *middle* of the requested span raises — the peer died
-    mid-frame, which is a torn stream, not a clean close.
-    """
-    chunks: list[bytes] = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if remaining == count:
-                return None
-            raise ReplicationProtocolError(
-                f"stream closed mid-frame ({count - remaining}/{count} bytes)"
-            )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
 class Connection:
     """One framed, CRC-checked, fault-injectable message stream.
 
@@ -106,11 +93,21 @@ class Connection:
     twice), and — on send — ``torn_write`` (a prefix of the frame's
     bytes goes out, then the connection is declared dead), which is how
     the torture driver exercises the chain rule and CRC checks.
+
+    Reads are resumable across ``socket.timeout``: both endpoints run
+    their sockets with short timeouts so they can interleave stop
+    checks, and a timeout can land mid-frame (most likely inside a
+    multi-megabyte bootstrap snapshot on a slow link).  Partially read
+    bytes are retained in an internal buffer, so the next :meth:`recv`
+    continues the *same* frame instead of reparsing from its middle —
+    a timeout never desyncs the stream.
     """
 
     def __init__(self, sock: socket.socket):
         self._sock = sock
         self._pushback: deque[dict[str, Any]] = deque()
+        # Partial frame accumulated so far; survives socket.timeout.
+        self._rbuf = bytearray()
 
     def send(self, message: dict[str, Any]) -> None:
         action = fault_point("replication.send")
@@ -150,18 +147,38 @@ class Connection:
                 self._pushback.append(message)
         return message
 
+    def _fill(self, target: int) -> bool:
+        """Grow the partial-frame buffer to *target* bytes.
+
+        Returns ``False`` on clean EOF at a frame boundary (nothing
+        buffered).  EOF mid-frame raises — the peer died mid-frame,
+        which is a torn stream, not a clean close.  ``socket.timeout``
+        propagates with the partial bytes kept, so the caller can poll
+        its stop flag and come back for the rest of the frame.
+        """
+        while len(self._rbuf) < target:
+            chunk = self._sock.recv(target - len(self._rbuf))
+            if not chunk:
+                if not self._rbuf:
+                    return False
+                raise ReplicationProtocolError(
+                    f"stream closed mid-frame "
+                    f"({len(self._rbuf)}/{target} bytes)"
+                )
+            self._rbuf.extend(chunk)
+        return True
+
     def _recv_raw(self) -> dict[str, Any] | None:
-        header = read_exact(self._sock, _HEADER.size)
-        if header is None:
+        if not self._fill(_HEADER.size):
             return None
-        length, expected_crc = _HEADER.unpack(header)
+        length, expected_crc = _HEADER.unpack(bytes(self._rbuf[: _HEADER.size]))
         if length > MAX_FRAME_BYTES:
             raise ReplicationProtocolError(
                 f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap"
             )
-        body = read_exact(self._sock, length)
-        if body is None:
-            raise ReplicationProtocolError("stream closed between header and body")
+        self._fill(_HEADER.size + length)  # EOF here raises (buffer non-empty)
+        body = bytes(self._rbuf[_HEADER.size : _HEADER.size + length])
+        del self._rbuf[: _HEADER.size + length]
         if zlib.crc32(body) & 0xFFFFFFFF != expected_crc:
             raise ReplicationProtocolError("frame CRC mismatch")
         try:
@@ -186,16 +203,23 @@ class Connection:
 # -- message constructors (both endpoints speak through these) --------------
 
 
-def hello(last_seq: int, replica: str) -> dict[str, Any]:
-    return {"type": "hello", "last_seq": last_seq, "replica": replica}
+def hello(last_seq: int, replica: str, history: str = "") -> dict[str, Any]:
+    return {
+        "type": "hello",
+        "last_seq": last_seq,
+        "replica": replica,
+        "history": history,
+    }
 
 
-def resume(seq: int) -> dict[str, Any]:
-    return {"type": "resume", "seq": seq}
+def resume(seq: int, history: str = "") -> dict[str, Any]:
+    return {"type": "resume", "seq": seq, "history": history}
 
 
-def snapshot_message(seq: int, tables: dict[str, list]) -> dict[str, Any]:
-    return {"type": "snapshot", "seq": seq, "tables": tables}
+def snapshot_message(
+    seq: int, tables: dict[str, list], history: str = ""
+) -> dict[str, Any]:
+    return {"type": "snapshot", "seq": seq, "tables": tables, "history": history}
 
 
 def commit_message(seq: int, prev: int, record: dict[str, Any]) -> dict[str, Any]:

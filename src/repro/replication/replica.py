@@ -16,10 +16,11 @@ breaker keyed on the primary's address, so a dead primary degrades into
 periodic cheap probes instead of a tight reconnect spin.
 
 ``promote()`` turns the replica into a writable primary: the stream is
-drained (in-flight frames get their chance to apply), the WAL's torn
-tail is truncated, and the underlying database simply continues — its
-committed sequence is already the primary's, so post-promotion commits
-extend the same history.
+drained (in-flight frames get their chance to apply, hard-capped at the
+drain timeout), the WAL's torn tail is truncated, and the underlying
+database continues from its applied sequence — under a *fresh* history
+id, because post-promotion commits are a new lineage that replicas of
+the old primary must bootstrap into rather than resume.
 """
 
 from __future__ import annotations
@@ -89,6 +90,10 @@ class Replica:
         self._stop = threading.Event()
         self._draining = threading.Event()
         self._drain_deadline = 0.0
+        # Hard ceiling on the drain: frame arrivals extend the deadline
+        # only up to this, so a still-streaming primary cannot stall
+        # promotion forever.
+        self._drain_cap = float("inf")
         self._thread: threading.Thread | None = None
         self._promoted = False
         self._applied_frames = 0
@@ -169,7 +174,9 @@ class Replica:
         try:
             with self._mu:
                 applied = self._applied_seq
-            conn.send(protocol.hello(applied, self.name))
+            conn.send(
+                protocol.hello(applied, self.name, history=self.db.history_id)
+            )
             with self._mu:
                 self._connected = True
             while not self._stop.is_set():
@@ -198,7 +205,11 @@ class Replica:
             return
         if kind == "snapshot":
             seq = int(message["seq"])
-            self.db.load_replicated_snapshot(message["tables"], seq=seq)
+            self.db.load_replicated_snapshot(
+                message["tables"],
+                seq=seq,
+                history=str(message.get("history") or "") or None,
+            )
             self._note_applied(seq, primary_seq=seq)
             self._bootstraps += 1
             if self._sync_search and hasattr(self.system, "reindex_all"):
@@ -256,8 +267,12 @@ class Replica:
             self._g_applied_seq.set(self._applied_seq)
             self._g_lag.set(max(0, self._primary_seq - self._applied_seq))
             if self._draining.is_set():
-                # Receiving frames extends the drain window.
-                self._drain_deadline = time.monotonic() + self._drain_grace
+                # Receiving frames extends the drain window — but never
+                # past the cap, or a primary that keeps streaming would
+                # stall promotion indefinitely.
+                self._drain_deadline = min(
+                    time.monotonic() + self._drain_grace, self._drain_cap
+                )
             self._applied_cv.notify_all()
 
     # -- reads -------------------------------------------------------------
@@ -338,20 +353,46 @@ class Replica:
         """Become the writable primary.
 
         Drains the stream first — frames already in flight keep applying
-        until the connection goes quiet for ``drain_timeout`` seconds or
-        dies — then truncates any torn WAL tail and marks the replica
-        promoted.  The returned database accepts writes; its committed
-        sequence continues the primary's history.
+        until the connection goes quiet for :attr:`_drain_grace` seconds
+        or ``drain_timeout`` elapses in total, whichever comes first —
+        then stops the stream for good, truncates any torn WAL tail, and
+        marks the replica promoted.  The total drain is hard-capped at
+        ``drain_timeout`` even while frames keep arriving, and promotion
+        fails loudly (:class:`ReplicationError`) if the stream thread is
+        somehow still applying after the cap: local writes must never
+        interleave with a live replication stream.  The returned
+        database accepts writes; its committed sequence continues the
+        old primary's, but under a *fresh* history id, so replicas of
+        the old primary bootstrap rather than resume when they re-join.
         """
         if self._promoted:
             return self.db
-        self._drain_deadline = time.monotonic() + drain_timeout
+        start = time.monotonic()
+        with self._mu:
+            self._drain_cap = start + drain_timeout
+            self._drain_deadline = min(
+                start + self._drain_grace, self._drain_cap
+            )
         self._draining.set()
-        if self._thread is not None:
-            self._thread.join(timeout=drain_timeout + 5.0)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=drain_timeout + 2.0)
         self._stop.set()
+        if thread is not None and thread.is_alive():
+            # _stop is now set; give the loop one recv timeout to notice.
+            thread.join(timeout=max(1.0, self.recv_timeout * 5))
+            if thread.is_alive():
+                raise ReplicationError(
+                    f"replica {self.name!r}: stream thread still applying "
+                    "frames after the drain cap; refusing to promote over "
+                    "a live stream"
+                )
         if self.db.wal is not None:
             self.db.wal.truncate_torn_tail()
+        # Post-promotion commits are a new lineage: the old primary (if
+        # it comes back) and this database will assign the same sequence
+        # numbers to different commits from here on.
+        self.db.new_history()
         self._promoted = True
         self.obs.log.log(
             "replication.promote", replica=self.name, seq=self.applied_seq
@@ -379,6 +420,8 @@ class Replica:
         )(self._connect_and_stream)
         self._stop = threading.Event()
         self._draining = threading.Event()
+        self._drain_deadline = 0.0
+        self._drain_cap = float("inf")
         self._thread = None
         self.start()
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import uuid
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
@@ -29,6 +30,11 @@ from repro.storage.wal import WriteAheadLog
 
 SNAPSHOT_NAME = "snapshot.json"
 WAL_NAME = "wal.log"
+HISTORY_NAME = "history.id"
+
+#: Key reserved in the snapshot file for non-table bookkeeping (the
+#: committed sequence the snapshot captured).  No table may use it.
+SNAPSHOT_META_KEY = "__meta__"
 
 
 class Database:
@@ -129,6 +135,7 @@ class Database:
         self._snapshot_counter = 0
         self._commit_listeners: list[Callable[[list[UndoEntry]], None]] = []
         self._commit_seq_listeners: list[Callable[[int], None]] = []
+        self._history_id: str | None = None
         self._path = Path(path) if path is not None else None
         self._durable = durable and self._path is not None
         self.durability = Durability.parse(durability)
@@ -472,13 +479,21 @@ class Database:
             raise SchemaError("checkpoint requires a database directory")
         timer = self.obs.timer()
         with self._lock:
-            snapshot = {
-                name: [
+            # The commit sequence rides along in the snapshot *and* the
+            # post-reset WAL marker: resetting the log discards every
+            # seq-carrying commit record, and a counter that regressed
+            # across a restart would re-issue numbers replication has
+            # already shipped (a reconnecting replica could then pass
+            # the chain-point check and silently diverge).  Two copies
+            # cover a crash between the snapshot rename and the marker
+            # append.
+            seq = self._committed_seq
+            snapshot: dict[str, Any] = {SNAPSHOT_META_KEY: {"seq": seq}}
+            for name, table in self._tables.items():
+                snapshot[name] = [
                     self._encode_row_for_wal(name, row)
                     for row in table.rows()
                 ]
-                for name, table in self._tables.items()
-            }
             target = self._path / SNAPSHOT_NAME
             tmp = target.with_suffix(".json.tmp")
             with open(tmp, "w", encoding="utf-8") as fh:
@@ -488,7 +503,7 @@ class Database:
             os.replace(tmp, target)
             if self._wal is not None:
                 self._wal.reset()
-                self._wal.append_checkpoint_marker(SNAPSHOT_NAME)
+                self._wal.append_checkpoint_marker(SNAPSHOT_NAME, seq=seq)
             elapsed = timer.elapsed()
             self._m_checkpoint.observe(elapsed)
             self.obs.log.log(
@@ -506,11 +521,15 @@ class Database:
             raise SchemaError("recover requires a database directory")
         stats = {"snapshot_rows": 0, "wal_txns": 0}
         timer = self.obs.timer()
+        checkpoint_seq = 0
         with self._lock:
             snapshot_path = self._path / SNAPSHOT_NAME
             if snapshot_path.exists():
                 with open(snapshot_path, "r", encoding="utf-8") as fh:
                     snapshot = json.load(fh)
+                meta = snapshot.pop(SNAPSHOT_META_KEY, None)
+                if isinstance(meta, dict) and isinstance(meta.get("seq"), int):
+                    checkpoint_seq = meta["seq"]
                 for name, rows in snapshot.items():
                     if name not in self._tables:
                         raise SchemaError(
@@ -527,10 +546,20 @@ class Database:
             if self._wal is not None:
                 try:
                     for record in self._wal.records():
-                        if record.get("kind") != "commit":
+                        kind = record.get("kind")
+                        record_seq = record.get("seq")
+                        if kind == "checkpoint":
+                            # The marker re-states the snapshot's seq so
+                            # the counter survives even if the snapshot
+                            # file predates the meta block.
+                            if isinstance(record_seq, int):
+                                checkpoint_seq = max(
+                                    checkpoint_seq, record_seq
+                                )
+                            continue
+                        if kind != "commit":
                             continue
                         self._replay_commit(record)
-                        record_seq = record.get("seq")
                         if isinstance(record_seq, int):
                             replayed_seq = max(replayed_seq, record_seq)
                         stats["wal_txns"] += 1
@@ -550,13 +579,16 @@ class Database:
                     settled = True
             if settled:
                 self._committed_seq = seq
-            # Commit records carry their sequence number since PR 5.
-            # Restoring the highest replayed one keeps the counter
-            # continuous across restarts, so a restarted replica can
-            # report a resumable position instead of re-bootstrapping
-            # (checkpoints still reset the log — and the counter — so a
-            # checkpointed replica falls back to the full snapshot).
-            self._committed_seq = max(self._committed_seq, replayed_seq)
+            # Commit records carry their sequence number since PR 5, and
+            # checkpoints persist it in the snapshot meta + WAL marker.
+            # Restoring the highest of the three keeps the counter
+            # monotonic across every restart — including a restart right
+            # after a checkpoint, where no commit record remains in the
+            # log — so the primary never re-issues a sequence number and
+            # a restarted replica reports a truthful resume position.
+            self._committed_seq = max(
+                self._committed_seq, replayed_seq, checkpoint_seq
+            )
             # No snapshot can be open during recovery, so the replayed
             # history (one version per replayed op, tombstones for
             # replayed deletes) is pure garbage: cut every chain down to
@@ -593,6 +625,55 @@ class Database:
     def wal(self) -> WriteAheadLog | None:
         """The write-ahead log (``None`` for in-memory databases)."""
         return self._wal
+
+    @property
+    def history_id(self) -> str:
+        """Stable identifier of the commit history this database extends.
+
+        Two databases share a history id only when one's commits are a
+        prefix of the other's — a replica adopts its primary's id on
+        bootstrap, and promotion mints a fresh one.  The replication
+        handshake refuses incremental resume across different ids, so a
+        replica can never silently graft onto a sequence space whose
+        numbers mean something else (e.g. after the counter of an
+        unrelated primary happens to cross its applied position).
+        Durable databases persist the id next to the WAL.
+        """
+        with self._lock:
+            if self._history_id is None:
+                self._history_id = self._load_or_create_history()
+            return self._history_id
+
+    def _load_or_create_history(self) -> str:
+        if self._path is not None:
+            stored = self._path / HISTORY_NAME
+            if stored.exists():
+                text = stored.read_text(encoding="utf-8").strip()
+                if text:
+                    return text
+        fresh = uuid.uuid4().hex
+        self._persist_history(fresh)
+        return fresh
+
+    def _persist_history(self, history: str) -> None:
+        if self._path is None:
+            return
+        self._path.mkdir(parents=True, exist_ok=True)
+        tmp = self._path / (HISTORY_NAME + ".tmp")
+        tmp.write_text(history, encoding="utf-8")
+        os.replace(tmp, self._path / HISTORY_NAME)
+
+    def adopt_history(self, history: str) -> None:
+        """Take on *history* as this database's lineage (and persist it)."""
+        with self._lock:
+            self._history_id = history
+            self._persist_history(history)
+
+    def new_history(self) -> str:
+        """Mint and adopt a fresh history id (called on promotion)."""
+        fresh = uuid.uuid4().hex
+        self.adopt_history(fresh)
+        return fresh
 
     def replication_start_point(self) -> tuple[int, int]:
         """Atomically capture ``(committed_seq, wal_tail_offset)``.
@@ -674,7 +755,11 @@ class Database:
         return True
 
     def load_replicated_snapshot(
-        self, tables: dict[str, list[dict[str, Any]]], *, seq: int
+        self,
+        tables: dict[str, list[dict[str, Any]]],
+        *,
+        seq: int,
+        history: "str | None" = None,
     ) -> None:
         """Replace the whole database with a bootstrap snapshot at *seq*.
 
@@ -686,7 +771,10 @@ class Database:
         chains below the horizon).  The published sequence is set to
         *exactly* ``seq`` — not ``max(...)`` — because the replica must
         mirror the primary's sequence space or later frames would be
-        misjudged as duplicates.
+        misjudged as duplicates.  *history*, when given, is the
+        primary's history id: the bootstrap makes this database a copy
+        of that history, so it is adopted (and persisted) here, which is
+        what later entitles the replica to an incremental resume.
         """
         with self._intent_lock:
             self._write_intents += 1
@@ -714,6 +802,9 @@ class Database:
                 if table.dirty:
                     table.commit_version(seq)
             self._committed_seq = seq
+            if history:
+                self._history_id = history
+                self._persist_history(history)
             horizon = self.version_horizon()
             for table in self._tables.values():
                 table.prune_versions(horizon)

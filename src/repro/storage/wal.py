@@ -101,6 +101,12 @@ class WriteAheadLog:
         # flushing ahead of them would split the stream into half-sized
         # batches with one stray single-record fsync in between.
         self._last_batch_size = 0
+        # Bumped whenever the file is rewritten in place (reset after a
+        # checkpoint, torn-tail truncation), invalidating every byte
+        # offset a tailer may be holding.  A shrinking tail_offset() is
+        # not a reliable signal on its own: post-reset appends can grow
+        # the new file past a stale offset between two polls.
+        self._generation = 0
 
     # -- writing ----------------------------------------------------------------
 
@@ -163,9 +169,20 @@ class WriteAheadLog:
         payload = {k: v for k, v in record.items() if k != "kind"}
         return self._append_record(kind, payload)
 
-    def append_checkpoint_marker(self, snapshot_name: str) -> None:
-        """Note that a snapshot file now covers everything before here."""
-        self._append_record("checkpoint", {"snapshot": snapshot_name})
+    def append_checkpoint_marker(
+        self, snapshot_name: str, *, seq: int | None = None
+    ) -> None:
+        """Note that a snapshot file now covers everything before here.
+
+        *seq* is the commit sequence the snapshot captured; recovery
+        restores the counter from it so a checkpoint (which resets the
+        log and thereby discards every seq-carrying commit record) can
+        never regress the sequence space across a restart.
+        """
+        payload: dict[str, Any] = {"snapshot": snapshot_name}
+        if seq is not None:
+            payload["seq"] = seq
+        self._append_record("checkpoint", payload)
 
     def _append_record(self, kind: str, payload: dict[str, Any]):
         # Crash site: the record exists only in memory — a fault here
@@ -394,6 +411,15 @@ class WriteAheadLog:
                     continue
                 yield record, offset, ""
 
+    def generation(self) -> int:
+        """Monotonic counter of in-place rewrites (reset / truncate).
+
+        A tailer holding byte offsets must rescan from 0 whenever this
+        changes: the offsets belong to the previous incarnation of the
+        file, even if the new one has already grown past them.
+        """
+        return self._generation
+
     def tail_offset(self) -> int:
         """Byte position past the last record handed to the OS.
 
@@ -443,6 +469,7 @@ class WriteAheadLog:
             fh.flush()
             os.fsync(fh.fileno())
         self._file = open(self.path, "a", encoding="utf-8")
+        self._generation += 1
         return len(kept)
 
     def reset(self) -> None:
@@ -453,6 +480,7 @@ class WriteAheadLog:
             fh.flush()
             os.fsync(fh.fileno())
         self._file = open(self.path, "a", encoding="utf-8")
+        self._generation += 1
 
     def size_bytes(self) -> int:
         self._file.flush()

@@ -60,11 +60,33 @@ class TestProtocol:
 
     def test_frame_round_trip(self):
         a, b = self._pair()
-        a.send(protocol.hello(7, "r1"))
+        a.send(protocol.hello(7, "r1", history="h1"))
         a.send(protocol.commit_message(9, 7, {"txn": 1, "ops": []}))
-        assert b.recv() == {"type": "hello", "last_seq": 7, "replica": "r1"}
+        assert b.recv() == {
+            "type": "hello",
+            "last_seq": 7,
+            "replica": "r1",
+            "history": "h1",
+        }
         commit = b.recv()
         assert commit["seq"] == 9 and commit["prev"] == 7
+        a.close()
+        b.close()
+
+    def test_timeout_mid_frame_resumes_without_desync(self):
+        """A recv timeout with half a frame on the wire must not lose
+        the buffered prefix — the next recv continues the same frame."""
+        left, right = socket.socketpair()
+        right.settimeout(0.05)
+        a, b = protocol.Connection(left), protocol.Connection(right)
+        frame = protocol.encode_frame(protocol.ack(42))
+        a._sock.sendall(frame[:5])
+        with pytest.raises(socket.timeout):
+            b.recv()
+        a._sock.sendall(frame[5:])
+        a.send(protocol.heartbeat(43))  # and the stream stays aligned
+        assert b.recv() == {"type": "ack", "seq": 42}
+        assert b.recv() == {"type": "heartbeat", "seq": 43}
         a.close()
         b.close()
 
@@ -143,6 +165,27 @@ class TestConvergence:
         primary, publisher, replicas = cluster
         with pytest.raises(ReplicaLagExceeded):
             replicas[0].wait_for(current_seq(primary) + 1000, timeout=0.1)
+
+    def test_streaming_survives_checkpoint_wal_reset(self, cluster):
+        """A checkpoint resets the WAL under the tailer; if the new file
+        outgrows the tailer's stale offset before its next poll, a size
+        comparison alone would start scanning mid-record and silently
+        stop shipping.  The generation check must rescan from 0."""
+        primary, publisher, replicas = cluster
+        for i in range(5):
+            primary.insert("doc", {"id": i + 1, "body": f"pre {i}"})
+        seq = current_seq(primary)
+        for replica in replicas:
+            replica.wait_for(seq, timeout=10.0)
+        primary.checkpoint()
+        # One big record makes the fresh WAL immediately larger than the
+        # old one, exercising the outgrown-offset interleaving.
+        primary.insert("doc", {"id": 50, "body": "x" * 20000})
+        seq = current_seq(primary)
+        for replica in replicas:
+            replica.wait_for(seq, timeout=10.0)
+            with replica.snapshot() as snap:
+                assert snap.count("doc") == 6
 
     def test_late_joiner_bootstraps(self, cluster, tmp_path):
         primary, publisher, replicas = cluster
@@ -287,6 +330,37 @@ class TestFailover:
         with promoted.snapshot() as snap:  # promoted replicas always serve
             assert snap.count("doc") == 11
 
+    def test_promote_bounded_while_primary_still_streams(self, cluster):
+        """Frame arrivals extend the drain only up to the hard cap — a
+        primary that never goes quiet cannot stall promotion, and the
+        stream thread is fully stopped before local writes begin."""
+        import time
+
+        primary, publisher, replicas = cluster
+        halt = threading.Event()
+
+        def writer() -> None:
+            i = 1000
+            while not halt.is_set():
+                primary.insert("doc", {"id": i, "body": "hot"})
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            time.sleep(0.3)  # let the stream run hot
+            started = time.monotonic()
+            db = replicas[0].promote(drain_timeout=1.0)
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0
+            assert replicas[0].promoted
+            assert not replicas[0]._thread.is_alive()
+            db.insert("doc", {"id": 999999, "body": "local"})
+            assert db.get("doc", 999999)["body"] == "local"
+        finally:
+            halt.set()
+            thread.join()
+
     def test_failover_rewires_the_survivor(self, cluster):
         primary, publisher, replicas = cluster
         for i in range(6):
@@ -363,6 +437,62 @@ class TestBootstrapAndRestart:
         db2.recover()
         assert current_seq(db2) == seq
         db2.close()
+
+    def test_commit_sequence_survives_checkpoint_restart(self, tmp_path):
+        """A checkpoint resets the WAL; the counter must not reset with
+        it, or a restarted primary would re-issue sequence numbers its
+        replicas already applied."""
+        db = open_db(tmp_path)
+        for i in range(5):
+            db.insert("doc", {"id": i + 1, "body": f"row {i}"})
+        seq = current_seq(db)
+        db.checkpoint()
+        db.close()
+        db2 = open_db(tmp_path)
+        db2.recover()
+        assert current_seq(db2) == seq
+        # And commits after the restart continue the sequence space.
+        db2.insert("doc", {"id": 100, "body": "post-restart"})
+        assert current_seq(db2) > seq
+        db2.close()
+
+    def test_history_id_stable_across_restart_and_fresh_on_promote(
+        self, tmp_path
+    ):
+        db = open_db(tmp_path / "p")
+        first = db.history_id
+        db.close()
+        db2 = open_db(tmp_path / "p")
+        assert db2.history_id == first
+        assert db2.new_history() != first
+        db2.close()
+
+    def test_mismatched_history_forces_bootstrap_not_resume(self, cluster):
+        """A replica whose applied seq looks resumable but whose history
+        differs (e.g. the primary restarted after a checkpoint regressed
+        and re-grew its counter) must get a snapshot, never a resume."""
+        import time
+
+        primary, publisher, replicas = cluster
+        primary.insert("doc", {"id": 1, "body": "x"})
+        seq = current_seq(primary)
+        for replica in replicas:
+            replica.wait_for(seq, timeout=10.0)
+        before = replicas[0].status()["bootstraps"]
+        # Reconnect r0 with the right position but the wrong lineage.
+        replicas[0].stop()
+        replicas[0].db.adopt_history("someone-elses-history")
+        replicas[0].rejoin(("127.0.0.1", publisher.port))
+        deadline = time.monotonic() + 10.0
+        while (
+            replicas[0].status()["bootstraps"] == before
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        assert replicas[0].status()["bootstraps"] > before
+        # The bootstrap re-aligned the replica with the primary's lineage.
+        assert replicas[0].db.history_id == primary.history_id
+        replicas[0].wait_for(seq, timeout=10.0)
 
 
 class TestMvccObservability:

@@ -406,6 +406,22 @@ class TestTornTailEdgeCases:
         wal2.close()
 
 
+class TestGeneration:
+    """generation() — every in-place rewrite invalidates tail offsets."""
+
+    def test_reset_and_truncate_bump_the_generation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log")
+        start = wal.generation()
+        wal._append_record("commit", {"txn": 1, "ops": []})
+        assert wal.generation() == start  # appends keep offsets valid
+        wal.reset()
+        assert wal.generation() == start + 1
+        wal._append_record("commit", {"txn": 2, "ops": []})
+        wal.truncate_torn_tail()
+        assert wal.generation() == start + 2
+        wal.close()
+
+
 class TestResumableRecords:
     """records(start_offset=...) / records_with_offsets / tail_offset —
     the tailing primitives the replication publisher is built on."""
