@@ -659,7 +659,7 @@ def run_benchmarks(
     )
     return {
         "schema": REPORT_SCHEMA,
-        "generated_by": "PR5",
+        "generated_by": "PR6",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "config": {
             "scale": scale,

@@ -5,7 +5,14 @@ subcommand takes via ``--data``).  Subcommands:
 
 * ``init`` — create a deployment and its first admin user;
 * ``stats`` — print the deployment-statistics table (paper Final Remark);
+  ``--window N`` adds windowed per-second rates from the metrics
+  history ring;
 * ``metrics`` — dump the observability registry (text exposition or JSON);
+* ``slowlog`` — show operations that blew their latency budget, with
+  the query planner's ``explain()`` output where one was captured;
+* ``debug-bundle`` — write the flight-recorder bundle (traces, slow
+  ops, metrics history, log tail, storage/replication state) as one
+  schema-validated JSON file;
 * ``integrity`` — run the storage self-checks;
 * ``checkpoint`` — snapshot the database and truncate the WAL;
 * ``reindex`` — rebuild the full-text index;
@@ -89,6 +96,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
             print(f"  {name:<32s} n={summary['count']:<7d} "
                   f"p50={summary['p50']:.6f} p95={summary['p95']:.6f} "
                   f"p99={summary['p99']:.6f}")
+    if args.window is not None:
+        history = system.obs.history
+        history.capture()  # the freshest sample anchors the window
+        summary = history.window_summary(window=args.window)
+        print(f"\nwindowed rates, last {args.window:g}s "
+              f"({summary['samples']} samples, "
+              f"span {summary['span_seconds']:.1f}s):")
+        for key, info in sorted(summary["keys"].items()):
+            if "rate" in info:
+                if info["rate"]:
+                    print(f"  {key:<52s} {info['rate']:>10.3f}/s "
+                          f"(total {info['last']:g})")
+            else:
+                print(f"  {key:<52s} last={info['last']:g} "
+                      f"min={info['min']:g} max={info['max']:g}")
     system.close()
     return 0
 
@@ -102,6 +124,61 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     else:
         print(system.obs.metrics.render_text(), end="")
     system.close()
+    return 0
+
+
+def cmd_slowlog(args: argparse.Namespace) -> int:
+    import json
+
+    system = _open(args)
+    entries = system.obs.slowlog.entries(name=args.name, limit=args.limit)
+    if not entries:
+        print("slow-op log is empty")
+        system.close()
+        return 0
+    for entry in entries:
+        attrs = ", ".join(
+            f"{k}={v}" for k, v in sorted(entry["attributes"].items())
+        )
+        trace = entry.get("trace_id") or "-"
+        print(f"{entry['ts']}  {entry['name']:<20s} "
+              f"{entry['duration']:.6f}s (budget {entry['threshold']:g}s, "
+              f"{entry.get('status', 'ok')})  trace={trace}  {attrs}")
+        explain = entry.get("explain")
+        if explain is not None:
+            print(f"    explain: "
+                  f"{json.dumps(explain, sort_keys=True, default=str)}")
+    print(f"\n{len(entries)} shown, "
+          f"{system.obs.slowlog.promoted} promoted in total")
+    system.close()
+    return 0
+
+
+def cmd_debug_bundle(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import (
+        collect_debug_bundle,
+        validate_debug_bundle,
+        write_debug_bundle,
+    )
+
+    system = _open(args)
+    bundle = collect_debug_bundle(system, note=args.note)
+    system.close()
+    problems = validate_debug_bundle(bundle)
+    out = Path(args.out) if args.out else Path(args.data) / "debug"
+    path = write_debug_bundle(bundle, out)
+    print(f"debug bundle written: {path}")
+    print(f"traces={len(bundle['traces'])} "
+          f"slow_ops={len(bundle['slow_ops'])} "
+          f"history_samples={len(bundle['metrics_history'])} "
+          f"log_records={len(bundle['log_tail'])}")
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}")
+        return 1
+    print(f"bundle validated against {bundle['schema']}")
     return 0
 
 
@@ -315,6 +392,7 @@ def cmd_replicate(args: argparse.Namespace) -> int:
     if args.replicate_command == "serve":
         system = _open(args)
         system.reindex_all()
+        system.obs.history.start()  # windowed lag/frame rates for stats
         publisher = ReplicationPublisher(
             system.db, host=args.host, port=args.port, obs=system.obs
         ).start()
@@ -330,6 +408,7 @@ def cmd_replicate(args: argparse.Namespace) -> int:
             pass
         status = publisher.status()
         publisher.stop()
+        system.obs.history.stop()
         system.close()
         print(f"served seq {status['last_seq']} to "
               f"{len(status['replicas'])} replica(s)")
@@ -398,6 +477,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     system = _open(args)
     system.reindex_all()
+    # Periodic registry sampling makes `repro stats --window` and
+    # /admin/metrics/history meaningful for this portal session.
+    system.obs.history.start()
     portal = PortalApplication(system)
     print(f"serving the B-Fabric portal on http://{args.host}:{args.port}")
     with make_server(args.host, args.port, portal) as httpd:
@@ -405,6 +487,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             httpd.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive
             pass
+    system.obs.history.stop()
     system.close()
     return 0
 
@@ -431,6 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_init.set_defaults(func=cmd_init)
 
     p_stats = sub.add_parser("stats", help="deployment statistics table")
+    p_stats.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="also print windowed per-second rates from the metrics "
+        "history ring (counters) and last/min/max (gauges)",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_metrics = sub.add_parser(
@@ -441,6 +529,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="text = Prometheus exposition, json = structured snapshot",
     )
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_slowlog = sub.add_parser(
+        "slowlog", help="operations that blew their latency budget"
+    )
+    p_slowlog.add_argument(
+        "--limit", type=int, default=50, help="newest N entries to show"
+    )
+    p_slowlog.add_argument(
+        "--name", default=None,
+        help="filter to one operation (e.g. storage.query)",
+    )
+    p_slowlog.set_defaults(func=cmd_slowlog)
+
+    p_bundle = sub.add_parser(
+        "debug-bundle",
+        help="write the flight-recorder bundle as one JSON file",
+    )
+    p_bundle.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="target directory (default: <data>/debug)",
+    )
+    p_bundle.add_argument(
+        "--note", default="", help="free-form note stored in the bundle"
+    )
+    p_bundle.set_defaults(func=cmd_debug_bundle)
 
     p_integrity = sub.add_parser("integrity", help="storage self-checks")
     p_integrity.set_defaults(func=cmd_integrity)
@@ -489,7 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, default=48,
         help="concurrent committers for the group-commit comparison",
     )
-    p_bench.add_argument("--out", default="BENCH_PR5.json")
+    p_bench.add_argument("--out", default="BENCH_PR6.json")
     p_bench.set_defaults(func=cmd_bench)
 
     p_dlq = sub.add_parser(

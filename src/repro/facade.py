@@ -72,6 +72,7 @@ class BFabric:
         durable: bool = True,
         durability: "str | None" = None,
         index_on_events: bool = True,
+        span_sample_rate: float = 1.0,
     ):
         self.clock = clock or SystemClock()
         self.path = Path(path) if path is not None else None
@@ -79,7 +80,11 @@ class BFabric:
         # One observability hub shared by every subsystem, so a portal
         # request traces through search, storage, and the WAL, and all
         # layers report into the same metrics registry.
-        self.obs = Observability(clock=self.clock)
+        # *span_sample_rate* tames span-log volume on busy deployments:
+        # error and over-budget spans always land, OK spans are sampled.
+        self.obs = Observability(
+            clock=self.clock, span_sample_rate=span_sample_rate
+        )
         db_dir = self.path / "db" if self.path else None
         self.db = Database(
             db_dir, durable=durable, durability=durability, obs=self.obs

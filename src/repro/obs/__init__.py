@@ -1,12 +1,21 @@
-"""Observability: metrics, tracing, structured logs.
+"""Observability: metrics, tracing, structured logs, diagnostics.
 
 The operational introspection layer the paper's admin screens imply
 (Figures 13–16) and every future performance PR measures against.  See
 :mod:`repro.obs.metrics`, :mod:`repro.obs.tracing`, :mod:`repro.obs.logs`
-for the three parts and :class:`repro.obs.hub.Observability` for the
-bundle the facade wires through every subsystem.
+for the three raw streams, :mod:`repro.obs.slowlog` /
+:mod:`repro.obs.history` / :mod:`repro.obs.bundle` for the diagnostics
+layered on top, and :class:`repro.obs.hub.Observability` for the bundle
+the facade wires through every subsystem.
 """
 
+from repro.obs.bundle import (
+    BUNDLE_SCHEMA,
+    collect_debug_bundle,
+    validate_debug_bundle,
+    write_debug_bundle,
+)
+from repro.obs.history import MetricsHistory
 from repro.obs.hub import Observability
 from repro.obs.logs import StructuredLog, file_sink
 from repro.obs.metrics import (
@@ -17,7 +26,8 @@ from repro.obs.metrics import (
     MetricsError,
     MetricsRegistry,
 )
-from repro.obs.tracing import Span, Tracer
+from repro.obs.slowlog import SlowOpLog
+from repro.obs.tracing import Span, TraceContext, Tracer
 
 __all__ = [
     "Observability",
@@ -30,5 +40,12 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "Span",
+    "TraceContext",
     "Tracer",
+    "SlowOpLog",
+    "MetricsHistory",
+    "BUNDLE_SCHEMA",
+    "collect_debug_bundle",
+    "validate_debug_bundle",
+    "write_debug_bundle",
 ]

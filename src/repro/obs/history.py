@@ -1,0 +1,215 @@
+"""Metrics history: a ring of periodic registry snapshots.
+
+A live registry only knows *totals* — ``storage_commits_total`` says how
+many commits ever happened, not whether the system is committing right
+now.  :class:`MetricsHistory` captures a compact scalar sample of every
+family on demand (or from a background sampler thread) into a bounded
+ring, which turns totals into *windowed* readings: commits/s over the
+last minute, the replication-lag trend, the cache hit-rate as it moved.
+
+Samples are keyed by ``name`` or ``name{label=value,…}``; counters and
+gauges record their value, histograms their ``count`` and ``sum`` (as
+``name.count`` / ``name.sum``), which is enough to derive rates and
+windowed means without retaining reservoirs.
+
+Each sample carries the clock's monotonic reading, so rate math is
+deterministic under :class:`~repro.util.clock.ManualClock` and immune
+to wall-clock steps.  The ring round-trips through
+:meth:`state`/:meth:`restore` so the CLI can compute windowed rates
+over a portal session that has since exited.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.util.clock import Clock, SystemClock
+
+
+def sample_key(name: str, labels: dict[str, str] | None = None) -> str:
+    """The flat key one metric child gets inside a sample."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsHistory:
+    """Bounded ring of timestamped scalar snapshots of one registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        clock: Clock | None = None,
+        capacity: int = 512,
+    ):
+        self._registry = registry
+        self._clock = clock or SystemClock()
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._sampler: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- capturing -----------------------------------------------------------
+
+    def capture(self) -> dict[str, Any]:
+        """Take one sample now; returns it (also appended to the ring)."""
+        values: dict[str, float] = {}
+        for family in self._registry.families():
+            for labels, child in family.samples():
+                key = sample_key(family.name, labels)
+                if family.kind == "histogram":
+                    summary = child.summary()
+                    values[f"{key}.count"] = float(summary["count"])
+                    values[f"{key}.sum"] = float(summary["sum"])
+                else:
+                    values[key] = float(child.value)
+        sample = {
+            "ts": self._clock.isoformat(),
+            "at": float(self._clock.monotonic()),
+            "values": values,
+        }
+        with self._lock:
+            self._samples.append(sample)
+        return sample
+
+    def start(self, interval: float = 5.0) -> None:
+        """Capture every *interval* seconds on a daemon thread."""
+        if interval <= 0:
+            raise ValueError("sampler interval must be > 0")
+        if self._sampler is not None and self._sampler.is_alive():
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                self.capture()
+
+        self._sampler = threading.Thread(
+            target=loop, name="metrics-history", daemon=True
+        )
+        self._sampler.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._sampler is not None:
+            self._sampler.join(timeout=2.0)
+            self._sampler = None
+
+    # -- reading -------------------------------------------------------------
+
+    def samples(self, window: float | None = None) -> list[dict[str, Any]]:
+        """Samples oldest first; *window* keeps only the trailing seconds."""
+        with self._lock:
+            found = list(self._samples)
+        if window is not None and found:
+            cutoff = found[-1]["at"] - window
+            found = [s for s in found if s["at"] >= cutoff]
+        return found
+
+    def series(
+        self, key: str, *, window: float | None = None
+    ) -> list[tuple[str, float]]:
+        """``(ts, value)`` readings of one sample key, oldest first."""
+        return [
+            (s["ts"], s["values"][key])
+            for s in self.samples(window)
+            if key in s["values"]
+        ]
+
+    def rate(self, key: str, *, window: float | None = None) -> float | None:
+        """Per-second increase of a cumulative *key* over the window.
+
+        ``None`` when fewer than two samples carry the key or no time
+        passed between them.  Negative deltas (a counter restored from
+        an older state file) clamp to 0 — rates never run backwards.
+        """
+        points = [
+            (s["at"], s["values"][key])
+            for s in self.samples(window)
+            if key in s["values"]
+        ]
+        if len(points) < 2:
+            return None
+        (t0, v0), (t1, v1) = points[0], points[-1]
+        if t1 <= t0:
+            return None
+        return max(0.0, v1 - v0) / (t1 - t0)
+
+    def window_summary(self, window: float | None = None) -> dict[str, Any]:
+        """Every key's windowed reading: rate for cumulative keys
+        (counters, histogram ``.count``/``.sum``), first/last/min/max
+        for gauges — the raw material for dashboards and the CLI."""
+        samples = self.samples(window)
+        if len(samples) < 2:
+            return {"samples": len(samples), "span_seconds": 0.0, "keys": {}}
+        span = samples[-1]["at"] - samples[0]["at"]
+        kinds = {
+            family.name: family.kind for family in self._registry.families()
+        }
+        keys: dict[str, Any] = {}
+        names = set()
+        for sample in samples:
+            names.update(sample["values"])
+        for key in sorted(names):
+            base = key.split("{", 1)[0]
+            cumulative = key.endswith((".count", ".sum"))
+            if not cumulative:
+                cumulative = kinds.get(base) == "counter"
+            points = [
+                (s["at"], s["values"][key])
+                for s in samples
+                if key in s["values"]
+            ]
+            if cumulative:
+                rate = None
+                if len(points) >= 2 and points[-1][0] > points[0][0]:
+                    delta = max(0.0, points[-1][1] - points[0][1])
+                    rate = delta / (points[-1][0] - points[0][0])
+                keys[key] = {"rate": rate, "last": points[-1][1]}
+            else:
+                values = [v for _, v in points]
+                keys[key] = {
+                    "first": values[0],
+                    "last": values[-1],
+                    "min": min(values),
+                    "max": max(values),
+                }
+        return {
+            "samples": len(samples),
+            "span_seconds": span,
+            "keys": keys,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    # -- persistence ---------------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        with self._lock:
+            return {"samples": list(self._samples)}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        samples = state.get("samples")
+        if not isinstance(samples, list):
+            return
+        with self._lock:
+            self._samples.clear()
+            for sample in samples[-self._capacity:]:
+                if (
+                    isinstance(sample, dict)
+                    and isinstance(sample.get("values"), dict)
+                    and "at" in sample
+                ):
+                    self._samples.append(sample)

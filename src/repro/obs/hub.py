@@ -6,36 +6,98 @@ subsystem creates a private hub so instrumentation code never branches.
 The facade shares a single hub across all layers, which is what makes a
 portal request show up as one trace spanning search, storage and the WAL.
 
-Durable deployments persist the metric state next to the database
-(:meth:`Observability.save` / :meth:`Observability.load`), so counters
-and latency histograms accumulate across process restarts and the CLI
-can report on sessions served by the portal.
+The hub also owns the diagnostic rings layered on top of the raw
+streams: the slow-op log (spans over their per-name budget, promoted by
+the span sink) and the metrics history (periodic registry snapshots for
+windowed rates).  The span sink applies the *sampling knob*: error and
+slow spans always become log records, OK spans are sampled at
+``span_sample_rate`` so a bench-QPS commit stream cannot flood the
+structured log — the tracer's ring and the slow log always see every
+span regardless.
+
+Durable deployments persist the metric state, slow log, and metrics
+history next to the database (:meth:`Observability.save` /
+:meth:`Observability.load`), so counters accumulate across process
+restarts and the CLI can report on sessions served by the portal.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
+from repro.obs.history import MetricsHistory
 from repro.obs.logs import StructuredLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowOpLog
 from repro.obs.tracing import Span, Tracer
 from repro.util.clock import Clock, SystemClock
 
 #: File (inside the deployment's ``obs`` directory) carrying metric state.
 METRICS_STATE_NAME = "metrics.json"
+#: Slow-op log entries, same directory.
+SLOWLOG_STATE_NAME = "slowlog.json"
+#: Metrics-history samples, same directory.
+HISTORY_STATE_NAME = "history.json"
 
 
 class Observability:
-    """Shared metrics registry, tracer, and structured log."""
+    """Shared metrics registry, tracer, structured log, and diagnostics."""
 
-    def __init__(self, *, clock: Clock | None = None, namespace: str = "bfabric"):
+    def __init__(
+        self,
+        *,
+        clock: Clock | None = None,
+        namespace: str = "bfabric",
+        span_sample_rate: float = 1.0,
+        slow_thresholds: "dict[str, float] | None" = None,
+    ):
+        if not 0.0 <= span_sample_rate <= 1.0:
+            raise ValueError("span_sample_rate must be within [0, 1]")
         self.clock = clock or SystemClock()
         self.metrics = MetricsRegistry(namespace=namespace)
         self.log = StructuredLog(clock=self.clock)
+        self.slowlog = SlowOpLog(clock=self.clock, thresholds=slow_thresholds)
+        self.history = MetricsHistory(self.metrics, clock=self.clock)
         self.tracer = Tracer(clock=self.clock, sink=self._record_span)
+        self._sample_rate = span_sample_rate
+        # Deterministic rate control: an accumulator crossing 1.0 keeps
+        # a span, so a rate of 0.25 logs exactly every 4th OK span — no
+        # RNG, so tests and replays see the same decisions.
+        self._sample_lock = threading.Lock()
+        self._sample_acc = 0.0
+        self._spans_sampled_out = 0
+
+    @property
+    def span_sample_rate(self) -> float:
+        return self._sample_rate
+
+    def set_span_sampling(self, rate: float) -> None:
+        """Adjust the OK-span log sampling rate (1.0 = log every span)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("span_sample_rate must be within [0, 1]")
+        with self._sample_lock:
+            self._sample_rate = rate
+            self._sample_acc = 0.0
+
+    def _sample_ok_span(self) -> bool:
+        with self._sample_lock:
+            if self._sample_rate >= 1.0:
+                return True
+            self._sample_acc += self._sample_rate
+            if self._sample_acc >= 1.0:
+                self._sample_acc -= 1.0
+                return True
+            self._spans_sampled_out += 1
+            return False
 
     def _record_span(self, span: Span) -> None:
+        # The slow check sees every span (promotion must not depend on
+        # sampling); only the structured-log line is rate-limited.
+        slow = self.slowlog.consider(span)
+        if span.status == "ok" and not slow and not self._sample_ok_span():
+            return
         self.log.log("span", **{
             k: v for k, v in span.to_record().items() if k != "span"
         }, name=span.name)
@@ -51,30 +113,52 @@ class Observability:
 
     def statistics(self) -> dict:
         """Admin-dashboard summary of the layer itself."""
+        with self._sample_lock:
+            sampled_out = self._spans_sampled_out
         return {
             "metric_families": len(self.metrics.families()),
             "finished_spans": len(self.tracer.finished()),
             "log_records": self.log.emitted,
+            "slow_ops": self.slowlog.promoted,
+            "history_samples": len(self.history),
+            "span_sample_rate": self._sample_rate,
+            "spans_sampled_out": sampled_out,
         }
 
     # -- persistence ---------------------------------------------------------
 
     def save(self, directory: "str | Path") -> Path:
-        """Write the metric state under *directory*; returns the file path."""
+        """Write metric/slowlog/history state under *directory*.
+
+        Returns the metric-state path (the load sentinel).  Each file is
+        written atomically so a crash mid-save leaves the previous
+        generation intact.
+        """
         target_dir = Path(directory)
         target_dir.mkdir(parents=True, exist_ok=True)
-        target = target_dir / METRICS_STATE_NAME
-        tmp = target.with_suffix(".json.tmp")
-        tmp.write_text(
-            json.dumps(self.metrics.state(), separators=(",", ":")),
-            encoding="utf-8",
+        states = (
+            (METRICS_STATE_NAME, self.metrics.state()),
+            (SLOWLOG_STATE_NAME, self.slowlog.state()),
+            (HISTORY_STATE_NAME, self.history.state()),
         )
-        tmp.replace(target)
-        return target
+        for name, state in states:
+            target = target_dir / name
+            tmp = target.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(state, separators=(",", ":"), default=str),
+                encoding="utf-8",
+            )
+            tmp.replace(target)
+        return target_dir / METRICS_STATE_NAME
 
     def load(self, directory: "str | Path") -> bool:
-        """Restore metric state saved by :meth:`save`; False if absent."""
-        source = Path(directory) / METRICS_STATE_NAME
+        """Restore state saved by :meth:`save`; False if metrics absent.
+
+        The slow log and history are best-effort extras: a missing or
+        torn file for either never blocks startup (nor the metrics).
+        """
+        source_dir = Path(directory)
+        source = source_dir / METRICS_STATE_NAME
         if not source.exists():
             return False
         try:
@@ -82,4 +166,15 @@ class Observability:
         except ValueError:
             return False  # a torn write must not block startup
         self.metrics.restore(state)
+        for name, target in (
+            (SLOWLOG_STATE_NAME, self.slowlog),
+            (HISTORY_STATE_NAME, self.history),
+        ):
+            path = source_dir / name
+            if not path.exists():
+                continue
+            try:
+                target.restore(json.loads(path.read_text(encoding="utf-8")))
+            except ValueError:
+                continue
         return True

@@ -1,0 +1,184 @@
+"""The slow-operation log.
+
+Histograms answer "how slow are commits on average?"; the slow log
+answers "*which* request was slow last Tuesday, and why?".  Every
+finished span is checked against a per-name threshold (the hub's span
+sink calls :meth:`SlowOpLog.consider`); spans over budget are promoted
+into a bounded ring carrying their full attribute payload — and, for
+storage/search spans that attached one, the query's ``explain()`` plan,
+evaluated lazily so the planner only runs for operations that were
+actually slow.
+
+Hot paths that deliberately skip span creation when no trace is active
+(query execution outside a request) still report through
+:meth:`SlowOpLog.record`, so the slow log sees slow work even when the
+tracer does not.
+
+The ring persists across restarts: :class:`~repro.obs.hub.Observability`
+saves it next to the metric state, so ``repro slowlog`` reads entries
+captured by a portal process that has since exited.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.util.clock import Clock, SystemClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import Span
+
+#: Default per-name promotion thresholds, in seconds.  Anything not
+#: listed falls back to :data:`DEFAULT_THRESHOLD`.
+DEFAULT_THRESHOLDS: dict[str, float] = {
+    "http.request": 0.5,
+    "storage.commit": 0.25,
+    "storage.query": 0.1,
+    "search.query": 0.25,
+    "wal.group_fsync": 0.25,
+    "replication.apply": 0.25,
+}
+
+#: Fallback threshold for span names without an explicit entry.
+DEFAULT_THRESHOLD = 1.0
+
+
+class SlowOpLog:
+    """Bounded, persistent ring of operations that blew their budget."""
+
+    def __init__(
+        self,
+        *,
+        clock: Clock | None = None,
+        capacity: int = 256,
+        thresholds: dict[str, float] | None = None,
+        default_threshold: float = DEFAULT_THRESHOLD,
+    ):
+        self._clock = clock or SystemClock()
+        self._capacity = capacity
+        self._thresholds = dict(DEFAULT_THRESHOLDS)
+        if thresholds:
+            self._thresholds.update(thresholds)
+        self._default_threshold = default_threshold
+        self._lock = threading.Lock()
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._promoted = 0
+
+    # -- thresholds ----------------------------------------------------------
+
+    def threshold_for(self, name: str) -> float:
+        return self._thresholds.get(name, self._default_threshold)
+
+    def set_threshold(self, name: str, seconds: float) -> None:
+        """Adjust one operation's budget (0 promotes everything)."""
+        if seconds < 0:
+            raise ValueError("slow-op threshold must be >= 0")
+        self._thresholds[name] = seconds
+
+    def thresholds(self) -> dict[str, float]:
+        return dict(self._thresholds)
+
+    # -- recording -----------------------------------------------------------
+
+    def consider(self, span: "Span") -> bool:
+        """Promote *span* if over budget; returns whether it was."""
+        duration = span.duration
+        if duration is None or duration < self.threshold_for(span.name):
+            return False
+        self.record(
+            span.name,
+            duration,
+            dict(span.attributes),
+            status=span.status,
+            explain=span.explain,
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            started_at=span.started_at,
+        )
+        return True
+
+    def record(
+        self,
+        name: str,
+        duration: float,
+        attributes: dict[str, Any] | None = None,
+        *,
+        status: str = "ok",
+        explain: Any = None,
+        trace_id: str = "",
+        span_id: str = "",
+        started_at: str = "",
+    ) -> dict[str, Any]:
+        """Append one slow operation directly (span-less hot paths)."""
+        entry: dict[str, Any] = {
+            "ts": started_at or self._clock.isoformat(),
+            "name": name,
+            "duration": duration,
+            "threshold": self.threshold_for(name),
+            "status": status,
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "attributes": dict(attributes or {}),
+        }
+        if explain is not None:
+            if callable(explain):
+                try:
+                    entry["explain"] = explain()
+                except Exception as exc:
+                    entry["explain"] = {"error": repr(exc)}
+            else:
+                entry["explain"] = explain
+        with self._lock:
+            self._entries.append(entry)
+            self._promoted += 1
+        return entry
+
+    # -- reading -------------------------------------------------------------
+
+    def entries(
+        self, name: str | None = None, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Slow operations, oldest first; optionally filtered/limited."""
+        with self._lock:
+            found = list(self._entries)
+        if name is not None:
+            found = [entry for entry in found if entry["name"] == name]
+        if limit is not None:
+            found = found[-limit:]
+        return found
+
+    @property
+    def promoted(self) -> int:
+        """Total promotions ever (the ring may have dropped some)."""
+        with self._lock:
+            return self._promoted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- persistence ---------------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "promoted": self._promoted,
+                "entries": list(self._entries),
+            }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        entries = state.get("entries")
+        if not isinstance(entries, list):
+            return
+        with self._lock:
+            self._entries.clear()
+            for entry in entries[-self._capacity:]:
+                if isinstance(entry, dict) and "name" in entry:
+                    self._entries.append(entry)
+            promoted = state.get("promoted")
+            if isinstance(promoted, int) and promoted >= len(self._entries):
+                self._promoted = promoted
+            else:
+                self._promoted = len(self._entries)

@@ -8,9 +8,23 @@ measure duration on the clock's monotonic source (deterministic under
 bounded ring buffer plus an optional sink (the structured log, by
 default, so every span becomes one JSON line).
 
-Identifiers are sequential (``s1``, ``s2`` …) rather than random: the
-tracer is in-process only, and deterministic ids keep traces assertable
-in tests.
+Identifiers are sequential (``s1``, ``s2`` …) rather than random: ids
+only need to be unique within one tracer, and deterministic ids keep
+traces assertable in tests.
+
+Crossing boundaries
+-------------------
+
+The parent link normally comes from the thread-local span stack, which
+cannot follow an operation onto another thread (a group-commit leader)
+or another process (a replica applying a shipped commit).  For those
+hops a :class:`TraceContext` — just ``(trace_id, span_id)``, and
+serializable to a dict or a header string — is captured where the trace
+is live (:meth:`Tracer.context`) and handed to
+:meth:`Tracer.span(..., parent=ctx) <Tracer.span>` on the far side, so
+the remote span joins the originating trace.  Span ids stay local to
+each tracer; a remote ``parent_id`` simply refers to a span another
+process holds, which is enough to stitch bundles together offline.
 """
 
 from __future__ import annotations
@@ -21,6 +35,68 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.util.clock import Clock, SystemClock
+
+#: Sanity bound on ids accepted from the wire (headers, frames).
+_MAX_ID_LEN = 64
+
+
+def _valid_id(value: str) -> bool:
+    return (
+        0 < len(value) <= _MAX_ID_LEN
+        and all(ch.isalnum() or ch in "-_." for ch in value)
+    )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A serializable parent link: enough to join a trace anywhere.
+
+    ``span_id`` may be empty, meaning "adopt this trace id but start a
+    root span" — the form a bare correlation id from an external client
+    takes.
+    """
+
+    trace_id: str
+    span_id: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TraceContext | None":
+        """Parse a wire dict; ``None`` for anything malformed."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id", "")
+        if not isinstance(trace_id, str) or not _valid_id(trace_id):
+            return None
+        if not isinstance(span_id, str):
+            return None
+        if span_id and not _valid_id(span_id):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+    def to_header(self) -> str:
+        """The ``X-Request-Id`` form: ``trace_id`` or ``trace_id:span_id``."""
+        if self.span_id:
+            return f"{self.trace_id}:{self.span_id}"
+        return self.trace_id
+
+    @classmethod
+    def from_header(cls, header: str) -> "TraceContext | None":
+        """Parse a header value; ``None`` for anything malformed."""
+        if not isinstance(header, str):
+            return None
+        value = header.strip()
+        if not value:
+            return None
+        trace_id, _, span_id = value.partition(":")
+        if not _valid_id(trace_id):
+            return None
+        if span_id and not _valid_id(span_id):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
 
 
 @dataclass
@@ -35,6 +111,10 @@ class Span:
     attributes: dict[str, Any] = field(default_factory=dict)
     status: str = "ok"
     duration: float | None = None
+    #: Optional plan payload (or zero-argument callable producing one)
+    #: attached by query execution; evaluated lazily only when the span
+    #: is promoted to the slow-op log.  Never serialized with the span.
+    explain: Any = None
 
     def set(self, **attributes: Any) -> None:
         """Attach attributes mid-flight (result counts, row ids …)."""
@@ -43,6 +123,10 @@ class Span:
     @property
     def finished(self) -> bool:
         return self.duration is not None
+
+    def context(self) -> TraceContext:
+        """This span as a parent link for a thread/process hop."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
     def to_record(self) -> dict[str, Any]:
         """The JSON-line payload for the structured log."""
@@ -77,8 +161,13 @@ class _SpanContext:
         assert self._timer is not None
         self.span.duration = self._timer.elapsed()
         if exc_type is not None:
-            self.span.status = "error"
-            self.span.attributes.setdefault("error", repr(exc))
+            # An explicitly set status (anything but the default) wins:
+            # instrumented code that classified its own failure knows
+            # more than the bare exception does.
+            if self.span.status == "ok":
+                self.span.status = "error"
+            self.span.attributes.setdefault("error.type", exc_type.__name__)
+            self.span.attributes.setdefault("error.message", str(exc))
         self._tracer._pop(self.span)
         return False
 
@@ -95,31 +184,50 @@ class Tracer:
     ):
         self._clock = clock or SystemClock()
         self._sink = sink
-        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._capacity = capacity
+        self._finished: deque[Span] = deque()
+        # trace_id -> finished spans of that trace, oldest first.  Kept
+        # in lock-step with the ring so trace() and children() are a
+        # dict lookup, not a full-deque scan.
+        self._by_trace: dict[str, list[Span]] = {}
         self._local = threading.local()
         self._lock = threading.Lock()
         self._counter = 0
 
     # -- span lifecycle ------------------------------------------------------
 
-    def span(self, name: str, **attributes: Any) -> _SpanContext:
+    def span(
+        self,
+        name: str,
+        *,
+        parent: "TraceContext | Span | None" = None,
+        **attributes: Any,
+    ) -> _SpanContext:
         """Open a span; nests under the thread's current span, if any.
 
-        ::
+        An explicit *parent* (a :class:`TraceContext` carried across a
+        thread or process hop, or a :class:`Span`) overrides the
+        thread-local stack, so the new span joins that trace instead::
 
             with tracer.span("search.query", terms=3) as span:
                 ...
                 span.set(results=len(hits))
         """
-        parent = self.current()
+        if parent is None:
+            current = self.current()
+            parent_ctx = current.context() if current is not None else None
+        elif isinstance(parent, Span):
+            parent_ctx = parent.context()
+        else:
+            parent_ctx = parent
         with self._lock:
             self._counter += 1
             span_id = f"s{self._counter}"
         span = Span(
             name=name,
             span_id=span_id,
-            trace_id=parent.trace_id if parent else span_id,
-            parent_id=parent.span_id if parent else None,
+            trace_id=parent_ctx.trace_id if parent_ctx else span_id,
+            parent_id=(parent_ctx.span_id or None) if parent_ctx else None,
             started_at=self._clock.isoformat(),
             attributes=dict(attributes),
         )
@@ -129,6 +237,11 @@ class Tracer:
         """The innermost open span on this thread, if any."""
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
+
+    def context(self) -> TraceContext | None:
+        """The current span as a serializable parent link, if any."""
+        current = self.current()
+        return current.context() if current is not None else None
 
     def _push(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)
@@ -142,7 +255,18 @@ class Tracer:
         if stack and stack[-1] is span:
             stack.pop()
         with self._lock:
+            if len(self._finished) >= self._capacity:
+                evicted = self._finished.popleft()
+                trace = self._by_trace.get(evicted.trace_id)
+                if trace is not None:
+                    try:
+                        trace.remove(evicted)
+                    except ValueError:
+                        pass
+                    if not trace:
+                        del self._by_trace[evicted.trace_id]
             self._finished.append(span)
+            self._by_trace.setdefault(span.trace_id, []).append(span)
         if self._sink is not None:
             self._sink(span)
 
@@ -158,13 +282,22 @@ class Tracer:
 
     def trace(self, trace_id: str) -> list[Span]:
         """Every finished span of one trace, oldest first."""
-        return [s for s in self.finished() if s.trace_id == trace_id]
+        with self._lock:
+            return list(self._by_trace.get(trace_id, ()))
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids currently retained, oldest-started first."""
+        with self._lock:
+            return list(self._by_trace)
 
     def children(self, span: Span) -> Iterator[Span]:
-        for candidate in self.finished():
+        # A child shares its parent's trace, so the per-trace index
+        # bounds the scan to one trace instead of the whole ring.
+        for candidate in self.trace(span.trace_id):
             if candidate.parent_id == span.span_id:
                 yield candidate
 
     def clear(self) -> None:
         with self._lock:
             self._finished.clear()
+            self._by_trace.clear()

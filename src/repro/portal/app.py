@@ -12,6 +12,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.facade import BFabric
+from repro.obs import TraceContext
 from repro.portal.http import Request, Response
 from repro.portal.render import esc, page
 from repro.portal.routing import Router
@@ -53,16 +54,25 @@ class PortalApplication:
         (``/project/<int:project_id>``), never the raw path, so metric
         cardinality stays bounded.  Unroutable paths share one
         ``<unmatched>`` label.
+
+        The request span accepts an upstream trace through the
+        ``X-Request-Id`` header (``trace_id`` or ``trace_id:span_id``)
+        and mints a fresh trace otherwise; either way the response
+        echoes the request's own span context back in ``X-Request-Id``,
+        so clients hold a correlation id that finds the full trace in
+        ``repro debug-bundle`` output.
         """
         obs = self.system.obs
         route = self.router.pattern_for(request.method, request.path) or "<unmatched>"
+        upstream = TraceContext.from_header(request.request_id)
         with obs.tracer.span(
-            "http.request", method=request.method, route=route
+            "http.request", parent=upstream, method=request.method, route=route
         ) as span:
             timer = obs.timer()
             response = self._dispatch(request)
             elapsed = timer.elapsed()
             span.set(status=response.status)
+        response.headers.append(("X-Request-Id", span.context().to_header()))
         obs.metrics.counter(
             "http_requests_total",
             "Portal requests served",
@@ -82,6 +92,7 @@ class PortalApplication:
             route=route,
             status=response.status,
             duration=elapsed,
+            trace_id=span.trace_id,
         )
         return response
 

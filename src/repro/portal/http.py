@@ -21,6 +21,9 @@ class Request:
     cookies: dict[str, str] = field(default_factory=dict)
     #: Filled by the router from path placeholders.
     params: dict[str, Any] = field(default_factory=dict)
+    #: Raw ``X-Request-Id`` header (empty when absent): an upstream
+    #: correlation id / trace context the request span should join.
+    request_id: str = ""
     #: Filled by the session middleware.
     session: Any = None
     #: MVCC read view for GET requests, opened by the dispatcher and
@@ -59,6 +62,7 @@ class Request:
             form=form,
             form_lists=form_lists,
             cookies=cookies,
+            request_id=environ.get("HTTP_X_REQUEST_ID", "").strip(),
         )
 
     def get(self, name: str, default: str = "") -> str:

@@ -21,7 +21,13 @@ class PortalClient:
         self._portal = portal
         self._cookies: dict[str, str] = {}
 
-    def _environ(self, method: str, url: str, data: dict | None) -> dict:
+    def _environ(
+        self,
+        method: str,
+        url: str,
+        data: dict | None,
+        headers: dict | None = None,
+    ) -> dict:
         parsed = urllib.parse.urlsplit(url)
         body = b""
         if data is not None:
@@ -32,7 +38,7 @@ class PortalClient:
                 else:
                     pairs.append((key, str(value)))
             body = urllib.parse.urlencode(pairs).encode("utf-8")
-        return {
+        environ = {
             "REQUEST_METHOD": method,
             "PATH_INFO": parsed.path or "/",
             "QUERY_STRING": parsed.query,
@@ -42,6 +48,9 @@ class PortalClient:
                 f"{k}={v}" for k, v in self._cookies.items()
             ),
         }
+        for name, value in (headers or {}).items():
+            environ["HTTP_" + name.upper().replace("-", "_")] = str(value)
+        return environ
 
     def _absorb_cookies(self, response: Response) -> None:
         for name, value in response.headers:
@@ -61,8 +70,9 @@ class PortalClient:
         data: dict | None = None,
         *,
         follow_redirects: bool = True,
+        headers: dict | None = None,
     ) -> Response:
-        environ = self._environ(method, url, data)
+        environ = self._environ(method, url, data, headers)
         captured: dict = {}
 
         def start_response(status, headers):

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.portal.http import Request, Response
 from repro.portal.render import definition_list, esc, page, table
 
@@ -145,9 +147,87 @@ def register(router, portal) -> None:
             )
         body += (
             '<p><a href="/admin/metrics.txt">raw exposition '
-            "(Prometheus text format)</a></p>"
+            "(Prometheus text format)</a> | "
+            '<a href="/admin/metrics/history">windowed history</a> | '
+            '<a href="/admin/slowlog">slow operations</a></p>'
         )
         return Response(page("Metrics", body, user=principal.login))
+
+    @router.get("/admin/slowlog")
+    def slowlog_page(request: Request) -> Response:
+        principal = portal.principal(request)
+        slowlog = system.obs.slowlog
+        name = request.get("name") or None
+        entries = slowlog.entries(name=name, limit=100)
+        rows = []
+        for entry in reversed(entries):  # newest first
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry["attributes"].items())
+            )
+            explain = entry.get("explain")
+            rows.append(
+                (
+                    esc(entry["ts"]),
+                    esc(entry["name"]),
+                    _fmt(entry["duration"]),
+                    _fmt(entry["threshold"]),
+                    esc(entry.get("status", "")),
+                    esc(entry.get("trace_id", "")),
+                    esc(detail),
+                    esc(json.dumps(explain, sort_keys=True, default=str))
+                    if explain is not None
+                    else "—",
+                )
+            )
+        body = "<h2>Slow operations (newest first)</h2>" + table(
+            ["at", "operation", "seconds", "budget", "status", "trace",
+             "attributes", "explain"],
+            rows,
+        )
+        body += "<h2>Budgets</h2>" + table(
+            ["operation", "seconds"],
+            [(esc(op), _fmt(sec))
+             for op, sec in sorted(slowlog.thresholds().items())],
+        )
+        body += definition_list([("total promotions", slowlog.promoted)])
+        return Response(page("Slow Operations", body, user=principal.login))
+
+    @router.get("/admin/metrics/history")
+    def metrics_history_page(request: Request) -> Response:
+        principal = portal.principal(request)
+        history = system.obs.history
+        window = request.get_int("window", 300) or 300
+        history.capture()  # the page itself is a fresh sample point
+        summary = history.window_summary(window=window)
+        rows = []
+        for key, info in sorted(summary["keys"].items()):
+            if "rate" in info:
+                rate = info["rate"]
+                rows.append(
+                    (esc(key), "counter",
+                     f"{rate:.3f}/s" if rate is not None else "—",
+                     _fmt(info["last"])))
+            else:
+                rows.append(
+                    (esc(key), "gauge",
+                     f"{_fmt(info['min'])} … {_fmt(info['max'])}",
+                     _fmt(info["last"])))
+        body = definition_list(
+            [
+                ("window (seconds)", window),
+                ("samples in window", summary["samples"]),
+                ("span (seconds)", _fmt(summary["span_seconds"])),
+                ("samples retained", len(history)),
+            ]
+        )
+        body += "<h2>Windowed series</h2>" + table(
+            ["series", "kind", "rate / range", "last"], rows
+        )
+        body += (
+            '<p>Change the window with <code>?window=SECONDS</code>; the '
+            "same data feeds <code>repro stats --window</code>.</p>"
+        )
+        return Response(page("Metrics History", body, user=principal.login))
 
     @router.get("/admin/metrics.txt")
     def metrics_text(request: Request) -> Response:

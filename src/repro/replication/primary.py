@@ -38,13 +38,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class _Entry:
     """One shipped commit in the publisher's retained buffer."""
 
-    __slots__ = ("seq", "prev", "record", "nbytes")
+    __slots__ = ("seq", "prev", "record", "nbytes", "trace")
 
-    def __init__(self, seq: int, prev: int, record: dict[str, Any], nbytes: int):
+    def __init__(
+        self,
+        seq: int,
+        prev: int,
+        record: dict[str, Any],
+        nbytes: int,
+        trace: dict[str, str] | None = None,
+    ):
         self.seq = seq
         self.prev = prev
         self.record = record
         self.nbytes = nbytes
+        # Serialized TraceContext of the originating commit (None for
+        # untraced commits); stamped into the commit frame on send.
+        self.trace = trace
 
 
 class _Handle:
@@ -224,8 +234,12 @@ class ReplicationPublisher:
                 seq = record.get("seq")
                 if not isinstance(seq, int) or seq <= self._last_seq:
                     continue  # pre-replication record or already shipped
+                ctx = self.db.trace_for_seq(seq)
                 self._entries.append(
-                    _Entry(seq, self._last_seq, record, nbytes)
+                    _Entry(
+                        seq, self._last_seq, record, nbytes,
+                        trace=ctx.to_dict() if ctx is not None else None,
+                    )
                 )
                 self._last_seq = seq
             while len(self._entries) > self.retain:
@@ -348,7 +362,10 @@ class ReplicationPublisher:
                 continue
             for entry in batch:
                 handle.conn.send(
-                    protocol.commit_message(entry.seq, entry.prev, entry.record)
+                    protocol.commit_message(
+                        entry.seq, entry.prev, entry.record,
+                        trace=entry.trace,
+                    )
                 )
                 handle.cursor = entry.seq
                 self._m_frames.labels(type="commit").inc()

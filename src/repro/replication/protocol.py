@@ -32,7 +32,10 @@ Message types
                buffer, or its history does not match.
 ``commit``     primary → replica; one shipped WAL record at ``seq``,
                with ``prev`` = the sequence the publisher shipped just
-               before it (the *chain* rule, see below).
+               before it (the *chain* rule, see below).  May carry
+               ``trace`` — the originating commit's trace context
+               (``trace_id``/``span_id``) for cross-process tracing;
+               replicas ignore a missing or malformed field.
 ``heartbeat``  primary → replica; ``seq`` is the newest shipped
                sequence, letting an idle replica measure lag and detect
                a silently lost final frame.
@@ -222,8 +225,24 @@ def snapshot_message(
     return {"type": "snapshot", "seq": seq, "tables": tables, "history": history}
 
 
-def commit_message(seq: int, prev: int, record: dict[str, Any]) -> dict[str, Any]:
-    return {"type": "commit", "seq": seq, "prev": prev, "record": record}
+def commit_message(
+    seq: int,
+    prev: int,
+    record: dict[str, Any],
+    trace: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    """*trace*, when given, is the originating commit's serialized
+    :class:`~repro.obs.tracing.TraceContext` — the replica parents its
+    apply span on it, so the apply joins the primary-side trace.  The
+    field is frame-level metadata, deliberately outside ``record``: the
+    record is re-logged verbatim into the replica's WAL, and trace ids
+    are ephemeral diagnostics that do not belong in durable history."""
+    message: dict[str, Any] = {
+        "type": "commit", "seq": seq, "prev": prev, "record": record,
+    }
+    if trace is not None:
+        message["trace"] = trace
+    return message
 
 
 def heartbeat(seq: int) -> dict[str, Any]:

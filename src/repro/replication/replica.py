@@ -35,6 +35,7 @@ from repro.errors import (
     ReplicationError,
     ReplicationProtocolError,
 )
+from repro.obs.tracing import TraceContext
 from repro.replication import protocol
 from repro.resilience.faults import fault_point
 from repro.resilience.policies import (
@@ -248,7 +249,22 @@ class Replica:
                     f"commit chain broken: frame prev={prev} but applied "
                     f"is {applied} (lost frame)"
                 )
-            self.db.apply_replicated_commit(message["record"], seq=seq)
+            trace = TraceContext.from_dict(message.get("trace"))
+            if trace is not None:
+                # The frame carries the originating commit's trace: the
+                # apply span joins that trace across the process hop
+                # (its parent_id names a span the primary holds).
+                with self.obs.tracer.span(
+                    "replication.apply",
+                    parent=trace,
+                    seq=seq,
+                    replica=self.name,
+                ):
+                    self.db.apply_replicated_commit(
+                        message["record"], seq=seq, trace=trace
+                    )
+            else:
+                self.db.apply_replicated_commit(message["record"], seq=seq)
             self._m_applied.inc()
             self._applied_frames += 1
             self._note_applied(seq)

@@ -379,6 +379,25 @@ def run_replication_torture(
     except Exception as exc:
         problems.append(f"post-promote commit failed: {exc}")
 
+    if problems:
+        # Flight recorder: an invariant failure is exactly the state an
+        # operator needs frozen — capture it before anything closes.
+        from repro.obs import collect_debug_bundle, write_debug_bundle
+
+        try:
+            bundle = collect_debug_bundle(
+                obs=promoted.obs,
+                db=promoted,
+                replicas=survivors,
+                note=(
+                    f"replication torture failure seed={seed}: "
+                    + "; ".join(problems)
+                ),
+            )
+            write_debug_bundle(bundle, base, prefix="torture-failure")
+        except Exception:  # pragma: no cover - the recorder must not mask
+            pass
+
     for follower in survivors:
         follower.db.close()
     promoted.close()

@@ -14,11 +14,12 @@ import json
 import os
 import threading
 import uuid
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.errors import SchemaError, WalCorruption, WalWriteError
-from repro.obs import Observability
+from repro.obs import Observability, TraceContext
 from repro.storage.durability import Durability
 from repro.storage.query import DEFAULT_QUERY_CACHE_SIZE, Query, QueryCache
 from repro.storage.schema import TableSchema
@@ -135,6 +136,13 @@ class Database:
         self._snapshot_counter = 0
         self._commit_listeners: list[Callable[[list[UndoEntry]], None]] = []
         self._commit_seq_listeners: list[Callable[[int], None]] = []
+        # Trace context of recent traced commits, by sequence number.
+        # The replication publisher reads it when building commit frames
+        # so a replica's apply span can join the originating trace; the
+        # map is bounded (traces are ephemeral) and deliberately not
+        # persisted.
+        self._trace_lock = threading.Lock()
+        self._trace_by_seq: "OrderedDict[int, TraceContext]" = OrderedDict()
         self._history_id: str | None = None
         self._path = Path(path) if path is not None else None
         self._durable = durable and self._path is not None
@@ -238,7 +246,27 @@ class Database:
         On a WAL append failure the lock is kept and
         :class:`~repro.errors.WalWriteError` is raised so the caller can
         undo the in-memory changes before releasing.
+
+        Commits running inside a live trace (a portal request, a traced
+        client) get a ``storage.commit`` span — linked, under group
+        durability, to the leader's ``wal.group_fsync`` span — and their
+        trace context is retained by sequence number so the replication
+        publisher can stamp it into the commit frame.  Standalone
+        commits skip span bookkeeping entirely (the histograms already
+        measure them, and span setup inside the writer lock would tax
+        every untraced bench commit); the slow log still sees them
+        through a direct duration check.
         """
+        tracer = self.obs.tracer
+        if tracer.current() is not None:
+            with tracer.span(
+                "storage.commit", txn=txn.txn_id, ops=len(txn.operations)
+            ) as span:
+                self._commit_locked(txn, span)
+        else:
+            self._commit_locked(txn, None)
+
+    def _commit_locked(self, txn: Transaction, span) -> None:
         operations = txn.operations
         ticket = None
         # The commit sequence number is reserved before the WAL append so
@@ -270,6 +298,8 @@ class Database:
             for name in {op.table for op in operations}:
                 self._tables[name].commit_version(seq)
             self._committed_seq = seq
+            if span is not None:
+                self._register_trace(seq, span.context())
         with self._intent_lock:
             self._write_intents -= 1
         self._lock.release()
@@ -277,7 +307,14 @@ class Database:
             # Block until the group leader's fsync covers our record.
             # The in-memory state is already committed; a failure here is
             # a durability failure, not a consistency one.
-            ticket()
+            leader_ctx = ticket()
+            if span is not None and leader_ctx is not None:
+                # The fsync ran on the group leader's thread; link it so
+                # the trace shows which flush made this commit durable.
+                span.set(
+                    fsync_trace_id=leader_ctx.trace_id,
+                    fsync_span_id=leader_ctx.span_id,
+                )
         for listener in self._commit_listeners:
             listener(operations)
         if seq is not None:
@@ -296,6 +333,18 @@ class Database:
             child.inc()
         elapsed = txn.timer.elapsed() if txn.timer is not None else 0.0
         self._m_commit_seconds.observe(elapsed)
+        if (
+            span is None
+            and operations
+            and elapsed >= self.obs.slowlog.threshold_for("storage.commit")
+        ):
+            # Untraced commits have no span for the sink to promote, so
+            # the slow log is fed directly.
+            self.obs.slowlog.record(
+                "storage.commit",
+                elapsed,
+                {"txn": txn.txn_id, "ops": len(operations)},
+            )
         if operations:
             self.obs.log.log(
                 "storage.commit",
@@ -326,6 +375,23 @@ class Database:
         for replicated applies, so cascading topologies work.
         """
         self._commit_seq_listeners.append(listener)
+
+    # -- trace propagation --------------------------------------------------------
+
+    #: Bound on the seq → trace-context map; old entries age out FIFO.
+    _TRACE_MAP_CAPACITY = 2048
+
+    def _register_trace(self, seq: int, ctx: TraceContext) -> None:
+        with self._trace_lock:
+            self._trace_by_seq[seq] = ctx
+            while len(self._trace_by_seq) > self._TRACE_MAP_CAPACITY:
+                self._trace_by_seq.popitem(last=False)
+
+    def trace_for_seq(self, seq: int) -> "TraceContext | None":
+        """The trace context commit *seq* ran under, if it was traced
+        recently enough to still be in the bounded map."""
+        with self._trace_lock:
+            return self._trace_by_seq.get(seq)
 
     # -- autocommit conveniences ------------------------------------------------------
 
@@ -708,7 +774,13 @@ class Database:
             }
             return snap.seq, tables
 
-    def apply_replicated_commit(self, record: dict[str, Any], *, seq: int) -> bool:
+    def apply_replicated_commit(
+        self,
+        record: dict[str, Any],
+        *,
+        seq: int,
+        trace: "TraceContext | None" = None,
+    ) -> bool:
         """Apply one shipped commit record at primary sequence *seq*.
 
         This is the replica-side twin of :meth:`_finish_commit`: it takes
@@ -718,6 +790,10 @@ class Database:
         stamps and publishes *seq* — keeping the replica in the
         *primary's* sequence space so snapshot tokens transfer across
         the wire.
+
+        *trace* is the originating trace context carried by the commit
+        frame; registering it here keeps cascading topologies traced —
+        this database's own publisher will stamp it onward.
 
         Returns ``False`` without touching anything when ``seq`` is not
         ahead of the published sequence (a redelivered frame); the
@@ -742,6 +818,8 @@ class Database:
                 if table.dirty:
                     table.commit_version(seq)
             self._committed_seq = seq
+            if trace is not None:
+                self._register_trace(seq, trace)
         finally:
             with self._intent_lock:
                 self._write_intents -= 1

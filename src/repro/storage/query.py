@@ -477,6 +477,44 @@ class Query:
 
     # -- execution -----------------------------------------------------------------
 
+    def _execute(self, kind: str, fn: Callable[[], Any]) -> Any:
+        """Run one uncached execution under observability.
+
+        Inside an active trace the scan becomes a ``storage.query`` span
+        carrying a lazy :meth:`explain` hook — the planner re-runs only
+        if the span is promoted to the slow log.  Outside a trace (bulk
+        loads, background jobs) the scan is merely timed, and feeds the
+        slow log directly when it blows the ``storage.query`` budget, so
+        slow untraced queries are still diagnosable.  Cache hits never
+        reach this path: serving a stored result is not an execution.
+        """
+        obs = getattr(self._table._db, "obs", None)
+        if obs is None:
+            return fn()
+        if obs.tracer.current() is not None:
+            with obs.tracer.span(
+                "storage.query", table=self._table.name, kind=kind
+            ) as span:
+                span.explain = self.explain
+                result = fn()
+                span.set(rows=result if kind == "count" else len(result))
+            return result
+        timer = obs.timer()
+        result = fn()
+        elapsed = timer.elapsed()
+        if elapsed >= obs.slowlog.threshold_for("storage.query"):
+            obs.slowlog.record(
+                "storage.query",
+                elapsed,
+                {
+                    "table": self._table.name,
+                    "kind": kind,
+                    "rows": result if kind == "count" else len(result),
+                },
+                explain=self.explain,
+            )
+        return result
+
     def _matching_rows(self) -> Iterator[dict[str, Any]]:
         strategy, pks, residual = self._plan()
         snap = self._snapshot
@@ -547,7 +585,9 @@ class Query:
             # while we scan, the result may be torn and must not be
             # published under the version captured in the key.
             epoch = self._table.mutation_epoch
-            result = [dict(r) for r in self._limited_rows()]
+            result = self._execute(
+                "rows", lambda: [dict(r) for r in self._limited_rows()]
+            )
             if (
                 self._table.mutation_epoch == epoch
                 and not self._table.dirty
@@ -557,7 +597,9 @@ class Query:
             return result
         if cache is not None:
             cache.record("bypass")
-        return [dict(r) for r in self._limited_rows()]
+        return self._execute(
+            "rows", lambda: [dict(r) for r in self._limited_rows()]
+        )
 
     def first(self) -> dict[str, Any] | None:
         """Return the first matching row or ``None``."""
@@ -589,7 +631,9 @@ class Query:
                 return cached
             cache.record("miss")
             epoch = self._table.mutation_epoch
-            result = sum(1 for _ in self._matching_rows())
+            result = self._execute(
+                "count", lambda: sum(1 for _ in self._matching_rows())
+            )
             if (
                 self._table.mutation_epoch == epoch
                 and not self._table.dirty
@@ -599,7 +643,9 @@ class Query:
             return result
         if cache is not None:
             cache.record("bypass")
-        return sum(1 for _ in self._matching_rows())
+        return self._execute(
+            "count", lambda: sum(1 for _ in self._matching_rows())
+        )
 
     def exists(self) -> bool:
         return next(iter(self._matching_rows()), None) is not None

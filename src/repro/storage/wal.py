@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import CrashPoint, WalCorruption
+from repro.obs.tracing import TraceContext
 from repro.resilience.faults import fault_point
 from repro.storage.durability import Durability
 from repro.storage.table import UndoEntry
@@ -43,12 +44,20 @@ def _encode_payload(payload: dict[str, Any]) -> str:
 class _Batch:
     """One group-commit batch: lines queued for a single write+fsync."""
 
-    __slots__ = ("lines", "flushed", "error")
+    __slots__ = ("lines", "traces", "flushed", "error", "leader_ctx")
 
     def __init__(self) -> None:
         self.lines: list[str] = []
+        # Per-line trace context of the enqueuing committer (None when
+        # the commit ran outside any trace).  The leader parents its
+        # fsync span on the first of these and links the rest, and every
+        # follower gets the leader's span context back through its
+        # durability ticket — one linked trace across the thread hop.
+        self.traces: list["TraceContext | None"] = []
         self.flushed = False
         self.error: BaseException | None = None
+        # The leader's fsync span, for followers to link to.
+        self.leader_ctx: "TraceContext | None" = None
 
 
 class WriteAheadLog:
@@ -192,7 +201,13 @@ class WriteAheadLog:
         crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
         line = f"{crc:08x} {body}\n"
         if self.durability.grouped and kind == "commit":
-            batch = self._enqueue(line)
+            # Capture the committer's trace context *here*, on its own
+            # thread — the flush happens on whichever committer becomes
+            # leader, where the thread-local stack is someone else's.
+            ctx = (
+                self._obs.tracer.context() if self._obs is not None else None
+            )
+            batch = self._enqueue(line, ctx)
             return lambda: self._await_batch(batch)
         self._write_lines([line], fsync=self.durability.mode != "buffered")
         return None
@@ -232,18 +247,25 @@ class WriteAheadLog:
 
     # -- group commit ------------------------------------------------------------
 
-    def _enqueue(self, line: str) -> _Batch:
+    def _enqueue(
+        self, line: str, ctx: "TraceContext | None" = None
+    ) -> _Batch:
         """Add *line* to the open batch (creating one) and return it."""
         with self._mutex:
             if self._current is None:
                 self._current = _Batch()
             batch = self._current
             batch.lines.append(line)
+            batch.traces.append(ctx)
             self._join_cv.notify()  # let a window-waiting leader re-evaluate
             return batch
 
-    def _await_batch(self, batch: _Batch) -> None:
-        """Block until *batch* is on disk; re-raise its flush error."""
+    def _await_batch(self, batch: _Batch) -> "TraceContext | None":
+        """Block until *batch* is on disk; re-raise its flush error.
+
+        Returns the leader's fsync-span context (``None`` when the flush
+        ran untraced) so the committer can link its own commit span to
+        the fsync that made it durable."""
         with self._mutex:
             while not batch.flushed:
                 if not self._leader_active:
@@ -264,6 +286,7 @@ class WriteAheadLog:
                     self._flushed_cv.wait()
         if batch.error is not None:
             raise batch.error
+        return batch.leader_ctx
 
     def _lead_locked(self, batch: _Batch, *, wait_window: bool) -> None:
         """Flush *batch* as leader.  Called (and returns) with _mutex held.
@@ -304,7 +327,7 @@ class WriteAheadLog:
         self._mutex.release()
         error: BaseException | None = None
         try:
-            self._write_lines(batch.lines, fsync=True)
+            self._flush_batch(batch)
         except BaseException as exc:  # propagate to every waiter
             error = exc
         self._mutex.acquire()
@@ -313,6 +336,32 @@ class WriteAheadLog:
         self._last_batch_size = len(batch.lines)
         self._leader_active = False
         self._flushed_cv.notify_all()
+
+    def _flush_batch(self, batch: _Batch) -> None:
+        """Write+fsync a closed batch, under a span when any committer
+        in it was tracing.
+
+        The span runs on the *leader's* thread: it nests under the
+        leader's own commit span when the leader is itself a traced
+        committer, else it adopts the first traced enqueuer's context —
+        either way the fsync lands inside an existing trace rather than
+        starting its own.  ``linked_traces`` lists every distinct trace
+        that shared this fsync, and :attr:`_Batch.leader_ctx` carries
+        the span back to the waiting followers."""
+        linked = [ctx for ctx in batch.traces if ctx is not None]
+        tracer = self._obs.tracer if self._obs is not None else None
+        if tracer is None or not linked:
+            self._write_lines(batch.lines, fsync=True)
+            return
+        parent = tracer.context() or linked[0]
+        with tracer.span(
+            "wal.group_fsync", parent=parent, batch=len(batch.lines)
+        ) as span:
+            trace_ids = sorted({ctx.trace_id for ctx in linked})
+            if len(trace_ids) > 1 or trace_ids[0] != span.trace_id:
+                span.set(linked_traces=trace_ids)
+            self._write_lines(batch.lines, fsync=True)
+            batch.leader_ctx = span.context()
 
     def sync(self) -> None:
         """Drain pending group batches and force the file to disk.

@@ -232,7 +232,20 @@ class TestTracer:
                 raise ValueError("boom")
         span = tracer.finished("risky")[0]
         assert span.status == "error"
-        assert "boom" in span.attributes["error"]
+        assert span.attributes["error.type"] == "ValueError"
+        assert span.attributes["error.message"] == "boom"
+
+    def test_explicit_status_survives_exception(self):
+        tracer = Tracer(clock=ManualClock())
+        with pytest.raises(KeyError):
+            with tracer.span("lookup") as span:
+                span.status = "not-found"
+                raise KeyError("user 7")
+        span = tracer.finished("lookup")[0]
+        # The instrumented code classified its own failure; the context
+        # manager must not clobber it (but still records the exception).
+        assert span.status == "not-found"
+        assert span.attributes["error.type"] == "KeyError"
 
     def test_attributes_and_set(self):
         tracer = Tracer(clock=ManualClock())

@@ -166,6 +166,43 @@ class TestConvergence:
         with pytest.raises(ReplicaLagExceeded):
             replicas[0].wait_for(current_seq(primary) + 1000, timeout=0.1)
 
+    def test_traced_commit_carries_trace_to_replica_apply(self, cluster):
+        primary, publisher, replicas = cluster
+        # Prime the stream: the first row may reach a late-connecting
+        # replica inside its bootstrap snapshot (which carries no trace);
+        # once every replica has applied it, the next commit must arrive
+        # as a live frame.
+        primary.insert("doc", {"id": 99, "body": "primer"})
+        for replica in replicas:
+            replica.wait_for(current_seq(primary), timeout=10.0)
+        with primary.obs.tracer.span("client.request") as span:
+            primary.insert("doc", {"id": 1, "body": "traced"})
+        trace_id = span.trace_id
+        commit = primary.obs.tracer.finished("storage.commit")[-1]
+        assert commit.trace_id == trace_id
+        seq = current_seq(primary)
+        for replica in replicas:
+            replica.wait_for(seq, timeout=10.0)
+            applies = [
+                s for s in replica.obs.tracer.finished("replication.apply")
+                if s.trace_id == trace_id
+            ]
+            # The frame-level trace field joins the replica's apply span
+            # to the primary-side trace, parented on the commit span.
+            assert len(applies) == 1
+            assert applies[0].parent_id == commit.span_id
+            assert applies[0].attributes["seq"] == seq
+
+    def test_untraced_commit_ships_no_trace(self, cluster):
+        primary, publisher, replicas = cluster
+        primary.insert("doc", {"id": 2, "body": "untraced"})
+        seq = current_seq(primary)
+        replicas[0].wait_for(seq, timeout=10.0)
+        # No client span was open, so no context was registered for the
+        # seq and the replica applied without opening a span.
+        assert primary.trace_for_seq(seq) is None
+        assert replicas[0].obs.tracer.finished("replication.apply") == []
+
     def test_streaming_survives_checkpoint_wal_reset(self, cluster):
         """A checkpoint resets the WAL under the tailer; if the new file
         outgrows the tailer's stale offset before its next poll, a size
