@@ -54,11 +54,29 @@ from repro.security.acl import AccessControl
 from repro.security.auth import Authenticator, hash_password
 from repro.security.principals import Principal, Role, SYSTEM
 from repro.storage.database import Database
+from repro.storage.sharding import ShardedDatabase, ShardRouter
 from repro.tasks.rules import install_standard_rules
 from repro.tasks.service import Task, TaskService
 from repro.util.clock import Clock, SystemClock
 from repro.util.events import EventBus
 from repro.workflow.engine import WorkflowEngine, workflow_models
+
+#: Reference tables replicated to every shard of a sharded deployment.
+#: These are the FK targets of project-scoped data (users, institutes,
+#: applications, annotation vocabulary) — keeping a copy on each shard
+#: makes per-shard foreign-key checks complete, at the cost of one
+#: cross-shard 2PC per (rare) reference-data write.
+GLOBAL_TABLES = frozenset(
+    {
+        "organization",
+        "institute",
+        "user",
+        "application",
+        "attribute_def",
+        "annotation",
+        "data_provider",
+    }
+)
 
 
 class BFabric:
@@ -71,9 +89,16 @@ class BFabric:
         clock: Clock | None = None,
         durable: bool = True,
         durability: "str | None" = None,
+        shards: "int | None" = None,
         index_on_events: bool = True,
         span_sample_rate: float = 1.0,
     ):
+        """*shards* partitions the write path across N independent
+        single-writer databases behind a :class:`ShardedDatabase`
+        coordinator (see ``repro init --shards``).  ``None`` keeps the
+        classic single database — unless the data directory was
+        initialised sharded, in which case the persisted shard map wins
+        and the deployment reopens with its original shard count."""
         self.clock = clock or SystemClock()
         self.path = Path(path) if path is not None else None
 
@@ -86,9 +111,21 @@ class BFabric:
             clock=self.clock, span_sample_rate=span_sample_rate
         )
         db_dir = self.path / "db" if self.path else None
-        self.db = Database(
-            db_dir, durable=durable, durability=durability, obs=self.obs
-        )
+        if shards is None and db_dir is not None:
+            shards = ShardedDatabase.stored_shard_count(db_dir)
+        if shards is None:
+            self.db = Database(
+                db_dir, durable=durable, durability=durability, obs=self.obs
+            )
+        else:
+            self.db = ShardedDatabase(
+                db_dir,
+                shards=shards,
+                durable=durable,
+                durability=durability,
+                obs=self.obs,
+                router=ShardRouter(global_tables=GLOBAL_TABLES),
+            )
         self.registry = Registry(self.db)
         self.events = EventBus(obs=self.obs)
         self.monitor = SystemMonitor(self.db)

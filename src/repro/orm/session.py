@@ -35,7 +35,6 @@ from typing import Any, Type, TypeVar
 from repro.errors import EntityNotFound, TransactionError
 from repro.orm.model import Model
 from repro.orm.registry import Registry
-from repro.storage.query import Query
 from repro.storage.snapshot import Snapshot
 from repro.storage.transaction import Transaction
 
@@ -139,7 +138,7 @@ class Session:
         database = self.registry.database
         snap = self._snapshot
         if snap is not None and (
-            self._txn is None or not database.table(table).dirty
+            self._txn is None or not database.table_dirty(table)
         ):
             return snap.get_or_none(table, pk)
         return database.get_or_none(table, pk)
@@ -168,11 +167,13 @@ class Session:
         from repro.orm.repository import ModelQuery
 
         database = self.registry.database
-        table = database.table(model.__table__)
+        name = model.__table__
         snap = self._snapshot
-        if snap is not None and (self._txn is None or not table.dirty):
-            return ModelQuery(model, Query(table, snapshot=snap))
-        return ModelQuery(model, Query(table))
+        if snap is not None and (
+            self._txn is None or not database.table_dirty(name)
+        ):
+            return ModelQuery(model, database.query(name, snapshot=snap))
+        return ModelQuery(model, database.query(name))
 
     # -- writes ---------------------------------------------------------------------
 

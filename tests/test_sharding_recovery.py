@@ -1,0 +1,154 @@
+"""2PC crash recovery: presumed abort, roll-forward, torn decision logs."""
+
+import pytest
+
+from repro.errors import CrashPoint, FaultInjected
+from repro.resilience.faults import Fault, FaultPlan, inject
+from repro.resilience.torture import run_shard_torture
+from repro.storage import Column, ColumnType, TableSchema
+from repro.storage.sharding import ShardedDatabase
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        name="row",
+        columns=[
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("value", ColumnType.TEXT),
+        ],
+    )
+
+
+def _open(path, shards=2) -> ShardedDatabase:
+    sdb = ShardedDatabase(path, shards=shards, durability="always")
+    sdb.create_table(_schema())
+    return sdb
+
+
+def _pks(sdb):
+    """One pk per shard so a two-row transaction is truly cross-shard."""
+    a = next(i for i in range(1, 2000) if sdb.shard_index(i) == 0)
+    b = next(i for i in range(1, 2000) if sdb.shard_index(i) == 1)
+    return a, b
+
+
+def _crash_cross_shard(tmp_path, site, at_call):
+    """Run a cross-shard commit into a crash at *site*; abandon; reopen."""
+    directory = tmp_path / "deploy"
+    sdb = _open(directory)
+    a, b = _pks(sdb)
+    sdb.insert("row", {"id": a + 500, "value": "baseline"})
+    plan = FaultPlan(
+        [Fault(site, kind="error", at_call=at_call, error=CrashPoint)]
+    )
+    with inject(plan):
+        txn = sdb.transaction()
+        txn.insert("row", {"id": a, "value": "xa"})
+        txn.insert("row", {"id": b, "value": "xb"})
+        with pytest.raises(FaultInjected):
+            txn.commit()
+    del txn
+    del sdb  # crash: no close(), no rollback
+    recovered = _open(directory)
+    stats = recovered.recover()
+    return recovered, (a, b), stats
+
+
+class TestCrashPoints:
+    def test_crash_between_prepare_and_decision_aborts(self, tmp_path):
+        recovered, (a, b), _ = _crash_cross_shard(tmp_path, "2pc.prepare", 2)
+        present = {row["id"] for row in recovered.rows("row")}
+        assert a not in present and b not in present
+        assert a + 500 in present  # surrounding durable commit survives
+        assert recovered.verify_integrity() == []
+        recovered.close()
+
+    def test_crash_before_decision_record_aborts(self, tmp_path):
+        recovered, (a, b), _ = _crash_cross_shard(tmp_path, "2pc.decide", 1)
+        present = {row["id"] for row in recovered.rows("row")}
+        assert a not in present and b not in present
+        recovered.close()
+
+    def test_crash_after_decision_rolls_forward(self, tmp_path):
+        recovered, (a, b), _ = _crash_cross_shard(tmp_path, "2pc.commit", 1)
+        present = {row["id"] for row in recovered.rows("row")}
+        assert a in present and b in present
+        assert recovered.get("row", a)["value"] == "xa"
+        assert recovered.verify_integrity() == []
+        recovered.close()
+
+    def test_partial_phase_two_is_completed_not_halved(self, tmp_path):
+        # Second fault call: shard 0's commit record was dispatched,
+        # shard 1's never was — recovery must finish the job.
+        recovered, (a, b), _ = _crash_cross_shard(tmp_path, "2pc.commit", 2)
+        present = {row["id"] for row in recovered.rows("row")}
+        assert a in present and b in present
+        recovered.close()
+
+    def test_resolution_is_durable_without_decision_log(self, tmp_path):
+        recovered, (a, b), _ = _crash_cross_shard(tmp_path, "2pc.commit", 1)
+        recovered.close()
+        # The first recovery reset the decision log; the answer must be
+        # baked into the shard WALs now.
+        assert (tmp_path / "deploy" / "coordinator.log").stat().st_size == 0
+        again = _open(tmp_path / "deploy")
+        again.recover()
+        present = {row["id"] for row in again.rows("row")}
+        assert a in present and b in present
+        again.close()
+
+
+class TestDecisionLog:
+    def test_torn_decision_tail_heals_as_presumed_abort(self, tmp_path):
+        recovered, (a, b), _ = _crash_cross_shard(tmp_path, "2pc.decide", 1)
+        recovered.close()
+        log = tmp_path / "deploy" / "coordinator.log"
+        with open(log, "a", encoding="utf-8") as fh:
+            fh.write('deadbeef {"kind": "decision", "gt')
+        again = _open(tmp_path / "deploy")
+        again.recover()  # must not choke on the torn record
+        present = {row["id"] for row in again.rows("row")}
+        assert a not in present and b not in present
+        again.close()
+
+    def test_recover_resets_decision_log(self, tmp_path):
+        directory = tmp_path / "deploy"
+        sdb = _open(directory)
+        a, b = _pks(sdb)
+        with sdb.transaction() as txn:
+            txn.insert("row", {"id": a, "value": "xa"})
+            txn.insert("row", {"id": b, "value": "xb"})
+        assert (directory / "coordinator.log").stat().st_size > 0
+        sdb.close()
+        again = _open(directory)
+        again.recover()
+        assert (directory / "coordinator.log").stat().st_size == 0
+        assert again.count("row") == 2
+        again.close()
+
+
+class TestAllocatorContinuity:
+    def test_pk_allocation_resumes_past_recovered_rows(self, tmp_path):
+        recovered, (a, b), _ = _crash_cross_shard(tmp_path, "2pc.commit", 1)
+        fresh = recovered.insert("row", {"value": "new"})["id"]
+        assert fresh > max(a, b, a + 500)
+        recovered.close()
+
+
+class TestTortureDriver:
+    def test_shard_torture_passes_every_crash_point(self, tmp_path):
+        report = run_shard_torture(tmp_path, shards=2, seed=7)
+        problems = [p for case in report.cases for p in case.problems]
+        assert problems == []
+        assert all(case.fired for case in report.cases)
+        assert {case.site for case in report.cases} == {
+            "prepare-partial",
+            "decide-lost",
+            "decide-torn-tail",
+            "commit-none-published",
+            "commit-half-published",
+        }
+
+    def test_shard_torture_requires_two_shards(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_shard_torture(tmp_path, shards=1)
