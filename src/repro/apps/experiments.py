@@ -30,10 +30,23 @@ from repro.core.entities import Experiment, Workunit
 from repro.core.services.samples import SampleService
 from repro.core.services.workunits import WorkunitService
 from repro.dataimport.store import ManagedStore
-from repro.errors import BFabricError, EntityNotFound, StateError, ValidationError
+from repro.errors import (
+    BFabricError,
+    CrashPoint,
+    EntityNotFound,
+    StateError,
+    TimeoutExceeded,
+    ValidationError,
+)
 from repro.orm import Registry
 from repro.security.acl import AccessControl, Permission
 from repro.security.principals import Principal
+from repro.tasks.queue import (
+    Job,
+    JobQueue,
+    decode_principal,
+    encode_principal,
+)
 from repro.util.clock import Clock, SystemClock
 from repro.util.events import EventBus
 from repro.util.text import normalize_whitespace
@@ -42,6 +55,9 @@ from repro.workflow.engine import WorkflowEngine
 
 #: Name of the registered experiment-run workflow definition.
 EXPERIMENT_WORKFLOW = "run_experiment"
+
+#: Queue job type for background application runs.
+EXECUTE_JOB = "experiment.execute"
 
 
 def experiment_workflow_definition() -> WorkflowDefinition:
@@ -80,9 +96,17 @@ class ExperimentService:
         events: EventBus,
         clock: Clock | None = None,
         access=None,
+        queue: JobQueue | None = None,
     ):
         self._registry = registry
         self._access = access
+        self._queue = queue
+        if queue is not None:
+            queue.register_handler(
+                EXECUTE_JOB,
+                self._execute_job,
+                on_lease_lost=self._on_execute_lease_lost,
+            )
         self._applications = applications
         self._workunits = workunits
         self._samples = samples
@@ -236,7 +260,110 @@ class ExperimentService:
         )
         if defer:
             return workunit
+        if self._queue is not None and self._queue.workers_active():
+            return self._execute_via_queue(principal, workunit.id)
         return self.execute_pending(principal, workunit.id)
+
+    # -- the queue path -----------------------------------------------------------------
+
+    def enqueue_execution(self, principal: Principal, workunit_id: int) -> Job:
+        """Queue a pending run as a background job; returns the job row.
+
+        Idempotent per workunit: one workunit executes once no matter
+        how many times its execution is enqueued or redelivered.
+        """
+        if self._queue is None:
+            raise ValidationError("no job queue attached to the experiments")
+        return self._queue.enqueue(
+            EXECUTE_JOB,
+            {
+                "principal": encode_principal(principal),
+                "workunit_id": workunit_id,
+            },
+            idempotency_key=f"exp:{workunit_id}",
+        )
+
+    def _execute_via_queue(
+        self, principal: Principal, workunit_id: int, *, timeout: float = 300.0
+    ) -> Workunit:
+        job = self.enqueue_execution(principal, workunit_id)
+        finished = self._queue.wait(job.id, timeout=timeout)
+        if finished.state in ("done", "dead"):
+            # Domain failures surface as the workunit's ``failed`` status
+            # (same contract as the inline path), so both terminal job
+            # states just hand the workunit back.
+            return self._workunits.get(principal, workunit_id)
+        raise TimeoutExceeded(
+            f"execution job {finished.id} still {finished.state} after "
+            f"{timeout:g}s",
+            seconds=timeout,
+        )
+
+    def _execute_job(self, job: Job) -> dict:
+        """Queue handler: run (or recover) one pending execution."""
+        principal = decode_principal(job.payload["principal"])
+        workunit_id = job.payload["workunit_id"]
+        workunit = self._workunits.get(principal, workunit_id)
+        if workunit.status in ("available", "failed"):
+            # Redelivery after a torn ack: the run already finished.
+            return {
+                "workunit_id": workunit_id,
+                "status": workunit.status,
+                "resumed": True,
+            }
+        if workunit.status == "processing":
+            # A killed worker died mid-run; discard its partial outputs
+            # and put the workunit back where a fresh run can start.
+            self._reset_interrupted_run(principal, workunit_id)
+        workunit = self.execute_pending(principal, workunit_id)
+        return {"workunit_id": workunit_id, "status": workunit.status}
+
+    def _reset_interrupted_run(
+        self, principal: Principal, workunit_id: int
+    ) -> None:
+        """Compensate a run that died between ``processing`` and done.
+
+        Partial outputs (collected resources, store bytes) go; the
+        status returns to ``pending`` directly — the lifecycle map has
+        no processing→pending edge because no *user* action does this,
+        but crash recovery legitimately rewinds the machine.
+        """
+        from repro.core.entities import DataResource
+
+        resource_repo = self._registry.repository(DataResource)
+        for resource in resource_repo.find(workunit_id=workunit_id):
+            resource_repo.delete(resource.id)
+        directory = self._store.directory_for(workunit_id)
+        if directory.exists():
+            import shutil
+
+            shutil.rmtree(directory, ignore_errors=True)
+        self._registry.repository(Workunit).update(
+            workunit_id, status="pending"
+        )
+
+    def _on_execute_lease_lost(self, job: Job, result: object) -> None:
+        """Compensate the losing side of a double execution.
+
+        Both deliveries ran over the *same* workunit, so the duplicate
+        effects are doubled-up resource rows; keep the first of each
+        (name, is_input) pair and drop the rest.  Store bytes are keyed
+        by content inside one workunit directory, so deduplicating rows
+        is sufficient.
+        """
+        from repro.core.entities import DataResource
+
+        workunit_id = job.payload["workunit_id"]
+        resource_repo = self._registry.repository(DataResource)
+        seen: set[tuple[str, bool]] = set()
+        for resource in sorted(
+            resource_repo.find(workunit_id=workunit_id), key=lambda r: r.id
+        ):
+            key = (resource.name, bool(resource.is_input))
+            if key in seen:
+                resource_repo.delete(resource.id)
+            else:
+                seen.add(key)
 
     def pending_runs(self, principal: Principal) -> list[Workunit]:
         """Workunits whose experiment workflow awaits execution."""
@@ -275,6 +402,12 @@ class ExperimentService:
                     )
                 )
                 self._collect(principal, workunit, experiment, outcome)
+        except CrashPoint:
+            # A simulated process kill (CrashPoint *is* a BFabricError):
+            # a real SIGKILL cannot fail the workflow or transition the
+            # workunit, so neither may we — redelivery heals the
+            # ``processing`` state via _reset_interrupted_run.
+            raise
         except BFabricError as error:
             self._workflow.fail(principal, instance.id, str(error))
             workunit = self._workunits.transition(principal, workunit_id, "failed")

@@ -23,13 +23,17 @@ Measures the paths the performance work targets:
   :class:`~repro.storage.sharding.ShardedDatabase` coordinator at
   1/2/4 shards with a 20% cross-shard (two-phase) transaction mix.
   Single-shard transactions fsync only their owning shard's WAL, so
-  throughput scales with the shard count.
+  throughput scales with the shard count;
+* **queue ingest** (PR8) — file-import jobs drained through the durable
+  job queue by a :class:`~repro.tasks.workers.WorkerPool` at 1/4/8
+  workers: end-to-end jobs/s and the p95 enqueue-to-claim delay from
+  the queue's claim-latency ring.
 
 The report is JSON in the stable ``repro-bench/v1`` schema; CI runs a
 scaled-down smoke (``--scale 0.05``) and checks the shape with
-:func:`validate_report`.  The full run writes ``BENCH_PR7.json``::
+:func:`validate_report`.  The full run writes ``BENCH_PR8.json``::
 
-    python -m repro.bench --out BENCH_PR7.json
+    python -m repro.bench --out BENCH_PR8.json
     python -m repro.cli --data /tmp/d bench --scale 0.1 --out report.json
 """
 
@@ -67,6 +71,13 @@ CONCURRENCY_THREADS = (1, 4, 16)
 #: Measured window per concurrency cell at scale 1.0, seconds.
 CONCURRENCY_WINDOW = 0.6
 CONCURRENCY_SEED_ROWS = 1000
+
+#: Queue-ingest matrix: import jobs drained at each worker count.
+QUEUE_WORKER_COUNTS = (1, 4, 8)
+#: Import jobs per queue-ingest cell at scale 1.0.
+QUEUE_INGEST_JOBS = 24
+#: Files per import job (each fetched, checksummed, and ingested).
+QUEUE_INGEST_FILES = 2
 
 
 def _commit_schema() -> TableSchema:
@@ -816,6 +827,85 @@ def bench_search(docs: int, queries: int) -> dict[str, Any]:
     }
 
 
+def bench_queue_ingest(
+    jobs: int = QUEUE_INGEST_JOBS,
+    worker_counts: "tuple[int, ...]" = QUEUE_WORKER_COUNTS,
+    files_per_job: int = QUEUE_INGEST_FILES,
+) -> dict[str, Any]:
+    """File imports drained through the durable job queue.
+
+    Each cell boots a fresh in-memory deployment, starts a pool of N
+    workers, enqueues *jobs* imports (each fetching and checksumming
+    *files_per_job* files into the managed store), and times the drain.
+    The claim-to-start p95 comes from the queue's claim-latency ring —
+    the delay between a job becoming runnable and a worker leasing it.
+    """
+    from repro.dataimport.filesystem import LocalFileSystemProvider
+    from repro.facade import BFabric
+
+    workers_section: dict[str, dict[str, Any]] = {}
+    for workers in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="bench-queue-") as tmp:
+            source = Path(tmp) / "source"
+            source.mkdir()
+            names = [f"bench-{i:02d}.raw" for i in range(files_per_job)]
+            for index, name in enumerate(names):
+                (source / name).write_bytes(b"bench payload\n" * (64 + index))
+            system = BFabric()
+            admin = system.bootstrap()
+            project = system.projects.create(
+                admin, f"queue bench {workers}w"
+            )
+            system.imports.register_provider(
+                LocalFileSystemProvider("bench-src", source)
+            )
+            system.start_workers(workers=workers, name=f"bench-{workers}w")
+            started = time.perf_counter()
+            job_ids = [
+                system.imports.enqueue_import(
+                    admin,
+                    project.id,
+                    "bench-src",
+                    names,
+                    workunit_name=f"bench import {i}",
+                    job_key=f"bench-{workers}-{i}",
+                ).id
+                for i in range(jobs)
+            ]
+            for job_id in job_ids:
+                system.queue.wait(job_id, timeout=120.0)
+            elapsed = time.perf_counter() - started
+            system.stop_workers(drain=True, timeout=30.0)
+            done = sum(
+                1
+                for job_id in job_ids
+                if system.queue.get(job_id).state == "done"
+            )
+            samples = sorted(system.queue.claim_latency_samples())
+            system.close()
+            p95 = (
+                samples[min(len(samples) - 1, int(0.95 * len(samples)))]
+                if samples
+                else 0.0
+            )
+            workers_section[str(workers)] = {
+                "jobs": jobs,
+                "done": done,
+                "files_per_job": files_per_job,
+                "seconds": round(elapsed, 6),
+                "jobs_per_sec": round(done / elapsed, 3) if elapsed else 0.0,
+                "claim_to_start_p95_seconds": round(p95, 6),
+                "claim_samples": len(samples),
+            }
+    one = workers_section.get("1", {}).get("jobs_per_sec") or 0.0
+    four = workers_section.get("4", {}).get("jobs_per_sec") or 0.0
+    return {
+        "worker_counts": list(worker_counts),
+        "workers": workers_section,
+        "scaling_4x_vs_1": round(four / one, 3) if one else None,
+    }
+
+
 def run_benchmarks(
     *,
     scale: float = 1.0,
@@ -855,9 +945,11 @@ def run_benchmarks(
         window=replication_window,
         base_dir=base_dir,
     )
+    queue_jobs = max(6, int(QUEUE_INGEST_JOBS * scale))
+    queue_ingest = bench_queue_ingest(jobs=queue_jobs)
     return {
         "schema": REPORT_SCHEMA,
-        "generated_by": "PR7",
+        "generated_by": "PR8",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "config": {
             "scale": scale,
@@ -870,6 +962,8 @@ def run_benchmarks(
             "replication_commits": replication_commits,
             "replication_window_seconds": replication_window,
             "shard_counts": list(shard_counts),
+            "queue_jobs": queue_jobs,
+            "queue_worker_counts": list(QUEUE_WORKER_COUNTS),
         },
         "benchmarks": {
             "commit_throughput": commit,
@@ -879,6 +973,7 @@ def run_benchmarks(
             "search": search,
             "concurrency": concurrency,
             "replication": replication,
+            "queue_ingest": queue_ingest,
         },
     }
 
@@ -999,6 +1094,32 @@ def validate_report(report: dict[str, Any]) -> list[str]:
         problems.append("missing replication fanout_scaling")
     if not isinstance(replication.get("lag_p95_seqs"), (int, float)):
         problems.append("missing replication lag_p95_seqs")
+    queue = benchmarks.get("queue_ingest")
+    if not isinstance(queue, dict):
+        # Reports generated before the durable job queue (PR8)
+        # legitimately lack the section; anything newer must have it.
+        if report.get("generated_by") not in ("PR5", "PR6", "PR7"):
+            problems.append("missing queue_ingest section")
+        return problems
+    worker_counts = [str(c) for c in queue.get("worker_counts", [])]
+    if not worker_counts:
+        problems.append("queue_ingest reports no worker counts")
+    cells = queue.get("workers", {})
+    for count in worker_counts:
+        cell = cells.get(count)
+        if not isinstance(cell, dict):
+            problems.append(f"queue_ingest missing {count}-worker cell")
+            continue
+        if not cell.get("jobs_per_sec", 0) > 0:
+            problems.append(f"queue_ingest@{count} recorded no throughput")
+        if cell.get("done") != cell.get("jobs"):
+            problems.append(f"queue_ingest@{count} lost jobs")
+        if not isinstance(
+            cell.get("claim_to_start_p95_seconds"), (int, float)
+        ):
+            problems.append(
+                f"queue_ingest@{count} missing claim_to_start_p95_seconds"
+            )
     return problems
 
 
@@ -1021,7 +1142,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="scratch parent directory for the WAL workloads "
         "(defaults to the system temp dir)",
     )
-    parser.add_argument("--out", default="BENCH_PR7.json")
+    parser.add_argument("--out", default="BENCH_PR8.json")
     parser.add_argument(
         "--validate", metavar="PATH",
         help="validate an existing report instead of running benchmarks",
@@ -1078,6 +1199,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{fan}  scaling={replication['fanout_scaling']}x  "
         f"lag_p95={replication['lag_p95_seqs']} seqs"
     )
+    queue = report["benchmarks"]["queue_ingest"]
+    cells = "  ".join(
+        f"{k}w={cell['jobs_per_sec']:.1f}j/s"
+        f"(p95={cell['claim_to_start_p95_seconds']:.3f}s)"
+        for k, cell in queue["workers"].items()
+    )
+    print(f"queue_ingest  {cells}  scaling={queue['scaling_4x_vs_1']}x")
     print(f"report written: {args.out}")
     return 0
 

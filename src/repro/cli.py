@@ -25,6 +25,9 @@ subcommand takes via ``--data``).  Subcommands:
   deployment's log, ``join`` follows a primary, ``status`` prints the
   local replication position, ``promote`` heals a replica directory
   into a writable primary;
+* ``queue`` — the durable job queue: ``status`` shows backlog depth and
+  per-state/per-type counts, ``retry`` re-queues dead jobs, ``drain``
+  runs workers until the backlog is empty;
 * ``maintenance`` — housekeeping (``prune`` sweeps MVCC version
   chains);
 * ``shard`` — sharded-deployment administration: ``status`` prints the
@@ -124,6 +127,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
           f"retained versions {mvcc['retained_versions']}")
     snapshot = system.monitor.snapshot()
     print(f"commits observed: {snapshot['commits']}")
+    queue = system.queue.status()
+    states = queue["states"]
+    print(f"queue: depth {queue['depth']} "
+          f"(pending {states['pending']}, leased {states['leased']}, "
+          f"retry_wait {states['retry_wait']}), "
+          f"done {states['done']}, dead {states['dead']}, "
+          f"lease expirations {queue['lease_expirations']}")
+    for job_type, counts in sorted(queue["per_type"].items()):
+        parts = ", ".join(
+            f"{state} {count}" for state, count in counts.items() if count
+        )
+        print(f"  {job_type:<24s} {parts}")
     latency = snapshot["latency"]
     if latency:
         print("latency (seconds):")
@@ -360,6 +375,59 @@ def cmd_dlq(args: argparse.Namespace) -> int:
         system.close()
 
 
+def cmd_queue(args: argparse.Namespace) -> int:
+    system = _open(args)
+    try:
+        if args.queue_command == "status":
+            status = system.queue.status()
+            states = status["states"]
+            print(f"depth: {status['depth']} runnable "
+                  f"(pending {states['pending']}, leased {states['leased']}, "
+                  f"retry_wait {states['retry_wait']})")
+            print(f"terminal: done {states['done']}, dead {states['dead']}")
+            print(f"lease expirations: {status['lease_expirations']}")
+            print(f"duplicates suppressed: {status['duplicates_suppressed']}")
+            print(f"shed (backpressure): {status['shed']}")
+            print(f"active workers: {status['active_workers']}")
+            if status["per_type"]:
+                print("per job type:")
+                for job_type, counts in sorted(status["per_type"].items()):
+                    parts = ", ".join(
+                        f"{state} {count}"
+                        for state, count in counts.items()
+                        if count
+                    )
+                    print(f"  {job_type:<24s} {parts}")
+            return 0
+        if args.queue_command == "retry":
+            if args.id is not None:
+                try:
+                    job = system.queue.retry_dead(args.id)
+                except Exception as exc:
+                    print(f"retry of job #{args.id} failed: {exc}")
+                    return 1
+                print(f"job #{job.id} ({job.job_type}) re-queued")
+                return 0
+            revived = system.queue.retry_all_dead()
+            print(f"re-queued {revived} dead job(s)")
+            return 0
+        if args.queue_command == "drain":
+            depth = system.queue.depth()
+            if depth == 0:
+                print("queue is empty — nothing to drain")
+                return 0
+            print(f"draining {depth} job(s) with {args.workers} worker(s)...")
+            system.start_workers(workers=args.workers, name="drain")
+            system.stop_workers(drain=True, timeout=args.timeout)
+            remaining = system.queue.depth()
+            dead = len(system.queue.list(state="dead"))
+            print(f"done: {remaining} job(s) left runnable, {dead} dead")
+            return 0 if remaining == 0 else 1
+        raise SystemExit(f"unknown queue command {args.queue_command!r}")
+    finally:
+        system.close()
+
+
 def cmd_torture(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -368,6 +436,14 @@ def cmd_torture(args: argparse.Namespace) -> int:
     # The driver creates its own throwaway databases under the
     # deployment directory; the deployment itself is never touched.
     base = Path(args.data) / "torture"
+    if args.ingest:
+        from repro.resilience.torture import run_ingest_torture
+
+        report = run_ingest_torture(
+            base / "ingest", jobs=args.jobs, seed=args.seed
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
     if args.shards:
         from repro.resilience.torture import run_shard_torture
 
@@ -680,7 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=4, metavar="N",
         help="largest shard count in the sharded-commit scaling section",
     )
-    p_bench.add_argument("--out", default="BENCH_PR7.json")
+    p_bench.add_argument("--out", default="BENCH_PR8.json")
     p_bench.set_defaults(func=cmd_bench)
 
     p_dlq = sub.add_parser(
@@ -705,6 +781,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_dlq_discard.add_argument("id", type=int)
     p_dlq_discard.set_defaults(func=cmd_dlq)
 
+    p_queue = sub.add_parser(
+        "queue", help="inspect and operate the durable job queue"
+    )
+    queue_sub = p_queue.add_subparsers(dest="queue_command", required=True)
+    p_queue_status = queue_sub.add_parser(
+        "status", help="backlog depth, per-state and per-type counts"
+    )
+    p_queue_status.set_defaults(func=cmd_queue)
+    p_queue_retry = queue_sub.add_parser(
+        "retry", help="re-queue one dead job (or every dead one)"
+    )
+    p_queue_retry.add_argument(
+        "id", type=int, nargs="?", default=None,
+        help="job id; omit to retry all dead jobs",
+    )
+    p_queue_retry.set_defaults(func=cmd_queue)
+    p_queue_drain = queue_sub.add_parser(
+        "drain", help="run workers until the backlog is empty, then stop"
+    )
+    p_queue_drain.add_argument("--workers", type=int, default=2)
+    p_queue_drain.add_argument("--timeout", type=float, default=300.0)
+    p_queue_drain.set_defaults(func=cmd_queue)
+
     p_torture = sub.add_parser(
         "torture",
         help="crash-point torture: kill the WAL at every fault site, "
@@ -712,6 +811,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_torture.add_argument("--commits", type=int, default=6)
     p_torture.add_argument("--seed", type=int, default=2010)
+    p_torture.add_argument(
+        "--ingest",
+        action="store_true",
+        help="run the ingest scenario instead: kill queue workers at "
+        "every lease-protocol fault site mid-import (plus a full "
+        "database restart), verify no job is lost and no import's "
+        "effects are applied twice",
+    )
+    p_torture.add_argument(
+        "--jobs", type=int, default=4,
+        help="import jobs per ingest-torture case",
+    )
     p_torture.add_argument(
         "--mode",
         default=None,

@@ -23,7 +23,13 @@ from repro.core.services.workunits import WorkunitService
 from repro.dataimport.matching import AssignmentProposal, propose_assignments
 from repro.dataimport.providers import DataProvider, ProviderFile, RelevanceFilter
 from repro.dataimport.store import ManagedStore
-from repro.errors import ProviderError, TimeoutExceeded, ValidationError
+from repro.errors import (
+    CrashPoint,
+    ImportError_,
+    ProviderError,
+    TimeoutExceeded,
+    ValidationError,
+)
 from repro.resilience.faults import fault_point
 from repro.resilience.policies import (
     BreakerRegistry,
@@ -42,8 +48,15 @@ from repro.orm import (
     TextField,
 )
 from repro.security.principals import Principal
+from repro.tasks.queue import (
+    Job,
+    JobQueue,
+    decode_principal,
+    encode_principal,
+)
 from repro.util.clock import Clock, SystemClock
 from repro.util.events import EventBus
+from repro.util.ids import token_hex
 from repro.workflow.definitions import Action, Step, WorkflowDefinition
 from repro.workflow.engine import WorkflowEngine, WorkflowInstance
 
@@ -66,6 +79,14 @@ DEFAULT_PROVIDER_POLICY = ResiliencePolicy(
 
 #: Name of the registered data-import workflow definition.
 IMPORT_WORKFLOW = "data_import"
+
+#: Queue job type for background imports.
+IMPORT_JOB = "import.files"
+
+#: Workunit parameter carrying the import's queue-level identity.  A
+#: redelivered job finds its first attempt's workunit through this key,
+#: which is what turns at-least-once delivery into effects-once imports.
+IMPORT_JOB_KEY_PARAM = "import_job_key"
 
 IMPORT_MODES = ("copy", "link")
 
@@ -131,6 +152,7 @@ class DataImportService:
         obs: "Observability | None" = None,
         breakers: BreakerRegistry | None = None,
         provider_policy: ResiliencePolicy | None = None,
+        queue: JobQueue | None = None,
     ):
         self._registry = registry
         self._workunits = workunits
@@ -145,6 +167,13 @@ class DataImportService:
         self._provider_policy = provider_policy or DEFAULT_PROVIDER_POLICY
         self._providers: dict[str, DataProvider] = {}
         self._configs = registry.repository(ProviderConfig)
+        self._queue = queue
+        if queue is not None:
+            queue.register_handler(
+                IMPORT_JOB,
+                self._import_job,
+                on_lease_lost=self._on_import_lease_lost,
+            )
         if IMPORT_WORKFLOW not in workflow.definition_names():
             workflow.register_definition(import_workflow_definition())
 
@@ -207,14 +236,246 @@ class DataImportService:
         checksums; ``mode="link"`` records the provider URI only.
         Returns the workunit (``pending`` until extract assignment), its
         resources, and the running import workflow instance.
+
+        When a worker pool is draining the job queue, the import runs as
+        a background job (crash-safe, per-provider limited) and this
+        call becomes enqueue-then-wait — same signature, same results,
+        same errors.  Without workers it runs inline, unchanged.
         """
+        self._validate_request(provider_name, file_names, mode)
+        if self._queue is not None and self._queue.workers_active():
+            return self._import_via_queue(
+                principal,
+                project_id,
+                provider_name,
+                file_names,
+                workunit_name=workunit_name,
+                mode=mode,
+                description=description,
+            )
+        return self._run_import(
+            principal,
+            project_id,
+            provider_name,
+            file_names,
+            workunit_name=workunit_name,
+            mode=mode,
+            description=description,
+        )
+
+    def _validate_request(
+        self, provider_name: str, file_names: Sequence[str], mode: str
+    ) -> None:
+        """Reject bad requests before they are enqueued or executed."""
         if mode not in IMPORT_MODES:
             raise ValidationError(f"import mode must be copy|link, got {mode!r}")
         if not file_names:
             raise ValidationError("nothing selected for import")
         provider = self.provider(provider_name)
+        for name in file_names:
+            provider.find(name)
+
+    # -- the queue path -------------------------------------------------------------
+
+    def enqueue_import(
+        self,
+        principal: Principal,
+        project_id: int,
+        provider_name: str,
+        file_names: Sequence[str],
+        *,
+        workunit_name: str,
+        mode: str = "copy",
+        description: str = "",
+        job_key: str = "",
+    ) -> Job:
+        """Queue an import as a background job; returns the job row.
+
+        *job_key* is the import's idempotency identity: enqueueing the
+        same key twice yields one job, and a redelivered job resumes or
+        compensates its first attempt instead of importing twice.  A
+        fresh key is minted when omitted (each call = one new import).
+        """
+        self._validate_request(provider_name, file_names, mode)
+        if self._queue is None:
+            raise ValidationError("no job queue attached to the importer")
+        job_key = job_key or token_hex(8)
+        return self._queue.enqueue(
+            IMPORT_JOB,
+            {
+                "principal": encode_principal(principal),
+                "project_id": project_id,
+                "provider": provider_name,
+                "files": list(file_names),
+                "workunit_name": workunit_name,
+                "mode": mode,
+                "description": description,
+                "job_key": job_key,
+            },
+            channel=f"provider:{provider_name}",
+            idempotency_key=f"import:{job_key}",
+        )
+
+    def _import_via_queue(
+        self,
+        principal: Principal,
+        project_id: int,
+        provider_name: str,
+        file_names: Sequence[str],
+        *,
+        workunit_name: str,
+        mode: str,
+        description: str,
+        timeout: float = 300.0,
+    ) -> tuple[Workunit, list[DataResource], WorkflowInstance]:
+        """Enqueue-then-wait: the synchronous facade over the queue."""
+        job = self.enqueue_import(
+            principal,
+            project_id,
+            provider_name,
+            file_names,
+            workunit_name=workunit_name,
+            mode=mode,
+            description=description,
+        )
+        finished = self._queue.wait(job.id, timeout=timeout)
+        if finished.state == "done":
+            return self._load_import_result(principal, finished.result)
+        if finished.state == "dead":
+            raise ImportError_(
+                f"import job {finished.id} failed after "
+                f"{finished.attempts} attempt(s): {finished.error}"
+            )
+        raise TimeoutExceeded(
+            f"import job {finished.id} still {finished.state} after "
+            f"{timeout:g}s",
+            seconds=timeout,
+        )
+
+    def _load_import_result(
+        self, principal: Principal, result: dict
+    ) -> tuple[Workunit, list[DataResource], WorkflowInstance]:
+        workunit = self._workunits.get(principal, result["workunit_id"])
+        resources = self._workunits.resources_of(principal, workunit.id)
+        instance = self._workflow.get(result["instance_id"])
+        return workunit, resources, instance
+
+    def _import_job(self, job: Job) -> dict:
+        """Queue handler: run (or resume) one import job."""
+        payload = job.payload
+        principal = decode_principal(payload["principal"])
+        job_key = payload["job_key"]
+        existing = self._find_import_by_key(
+            principal, payload["project_id"], job_key
+        )
+        if existing is not None:
+            workunit, resources, instance = existing
+            if instance is not None and len(resources) == len(payload["files"]):
+                # First delivery finished everything but the ack (the
+                # torn-ack redelivery): the import already happened.
+                return {
+                    "workunit_id": workunit.id,
+                    "resource_ids": [r.id for r in resources],
+                    "instance_id": instance.id,
+                    "resumed": True,
+                }
+            # A killed worker left a half-imported workunit behind; the
+            # compensation contract says remove it, then run afresh.
+            self._abort_import(
+                principal,
+                workunit,
+                resources,
+                ImportError_(
+                    f"import job {job.id} redelivered over a partial "
+                    f"first attempt (attempt {job.attempts})"
+                ),
+            )
+        workunit, resources, instance = self._run_import(
+            principal,
+            payload["project_id"],
+            payload["provider"],
+            payload["files"],
+            workunit_name=payload["workunit_name"],
+            mode=payload["mode"],
+            description=payload["description"],
+            job_key=job_key,
+        )
+        return {
+            "workunit_id": workunit.id,
+            "resource_ids": [r.id for r in resources],
+            "instance_id": instance.id,
+        }
+
+    def _find_import_by_key(
+        self, principal: Principal, project_id: int, job_key: str
+    ) -> "tuple[Workunit, list[DataResource], WorkflowInstance | None] | None":
+        """The workunit a previous delivery of this job created, if any."""
+        repo = self._registry.repository(Workunit)
+        for workunit in repo.find(project_id=project_id):
+            if (workunit.parameters or {}).get(IMPORT_JOB_KEY_PARAM) != job_key:
+                continue
+            resources = self._workunits.resources_of(principal, workunit.id)
+            instance = None
+            for candidate in self._workflow.for_entity("workunit", workunit.id):
+                if candidate.definition == IMPORT_WORKFLOW:
+                    instance = candidate
+                    break
+            return workunit, resources, instance
+        return None
+
+    def _on_import_lease_lost(self, job: Job, result: object) -> None:
+        """Compensate the losing side of a double execution.
+
+        This worker finished an import but its lease had expired and the
+        job was redelivered; whatever the *winner* recorded on the job
+        row is the import of record.  If this worker's workunit is a
+        different row, it is a duplicate — remove it.
+        """
+        if not isinstance(result, dict) or "workunit_id" not in result:
+            return
+        principal = decode_principal(job.payload["principal"])
+        current = self._queue.get(job.id) if self._queue is not None else None
+        winner_id = (current.result or {}).get("workunit_id") if current else None
+        loser_id = result["workunit_id"]
+        if winner_id == loser_id:
+            return  # same workunit (the winner resumed this attempt's work)
+        repo = self._registry.repository(Workunit)
+        workunit = repo.get_or_none(loser_id)
+        if workunit is None:
+            return  # the winner already compensated it
+        for instance in self._workflow.for_entity("workunit", loser_id):
+            if instance.definition == IMPORT_WORKFLOW and instance.status == "active":
+                self._workflow.fail(
+                    principal, instance.id, "duplicate import discarded"
+                )
+        resources = self._workunits.resources_of(principal, loser_id)
+        self._abort_import(
+            principal,
+            workunit,
+            resources,
+            ImportError_(f"duplicate of workunit {winner_id} (lease lost)"),
+        )
+
+    # -- the inline import ------------------------------------------------------------
+
+    def _run_import(
+        self,
+        principal: Principal,
+        project_id: int,
+        provider_name: str,
+        file_names: Sequence[str],
+        *,
+        workunit_name: str,
+        mode: str,
+        description: str,
+        job_key: str = "",
+    ) -> tuple[Workunit, list[DataResource], WorkflowInstance]:
+        provider = self.provider(provider_name)
         files = [provider.find(name) for name in file_names]
         fetch = self._fetcher_for(provider)
+        parameters = {"provider": provider_name, "mode": mode}
+        if job_key:
+            parameters[IMPORT_JOB_KEY_PARAM] = job_key
 
         # Copy mode fetches everything *before* any row is created, so a
         # provider failure mid-import leaves no half-imported workunit.
@@ -243,7 +504,7 @@ class DataImportService:
                 workunit_name,
                 description=description
                 or f"import of {len(files)} file(s) from {provider_name}",
-                parameters={"provider": provider_name, "mode": mode},
+                parameters=parameters,
             )
             resources: list[DataResource] = []
             try:
@@ -278,6 +539,11 @@ class DataImportService:
                     context={"provider": provider_name, "mode": mode,
                              "files": [f.name for f in files]},
                 )
+            except CrashPoint:
+                # A simulated process kill: a real SIGKILL cannot run
+                # compensation, so neither may we — the partial state is
+                # left for the queue's redelivery path to heal.
+                raise
             except Exception as exc:
                 self._abort_import(principal, workunit, resources, exc)
                 raise
@@ -336,13 +602,23 @@ class DataImportService:
         Resources go first (their FK to the workunit is ``restrict``),
         then the workunit row, then any bytes already ingested into the
         managed store.  Best-effort: a failing compensation step is
-        logged but never masks the original import error.
+        logged but never masks the original import error.  Idempotent:
+        rows already removed (a redelivered worker compensating the
+        same partial import) are skipped, and the store directory is
+        cleaned regardless — no step can strand bytes behind a missing
+        row.
         """
         try:
             resource_repo = self._registry.repository(DataResource)
             for resource in reversed(resources):
-                resource_repo.delete(resource.id)
-            self._registry.repository(Workunit).delete(workunit.id)
+                if resource_repo.get_or_none(resource.id) is not None:
+                    resource_repo.delete(resource.id)
+            workunit_repo = self._registry.repository(Workunit)
+            if workunit_repo.get_or_none(workunit.id) is not None:
+                # Another delivery may have added resources we never saw.
+                for leftover in resource_repo.find(workunit_id=workunit.id):
+                    resource_repo.delete(leftover.id)
+                workunit_repo.delete(workunit.id)
             directory = self._store.directory_for(workunit.id)
             if directory.exists():
                 shutil.rmtree(directory, ignore_errors=True)

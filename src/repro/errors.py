@@ -171,6 +171,35 @@ class RetryExhausted(ResilienceError):
         self.attempts = list(attempts or [])
 
 
+class QueueError(ResilienceError):
+    """Base class for durable job-queue failures."""
+
+
+class QueueSaturated(QueueError):
+    """Enqueue rejected: the runnable backlog reached ``max_depth``.
+
+    Backpressure, not an outage — producers should retry later or shed
+    their own load.  ``depth`` carries the backlog size at rejection.
+    """
+
+    def __init__(self, message: str, *, depth: int = 0):
+        super().__init__(message)
+        self.depth = depth
+
+
+class LeaseLost(QueueError):
+    """A worker acted on a job whose lease it no longer holds.
+
+    Raised by ack/nack/heartbeat when the visibility timeout expired and
+    the job was redelivered (or completed) elsewhere.  The losing worker
+    must discard its side effects, not report success.
+    """
+
+    def __init__(self, message: str, *, job_id: int = 0):
+        super().__init__(message)
+        self.job_id = job_id
+
+
 class FaultInjected(BFabricError):
     """An error deliberately raised by the fault-injection harness."""
 

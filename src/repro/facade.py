@@ -55,8 +55,10 @@ from repro.security.auth import Authenticator, hash_password
 from repro.security.principals import Principal, Role, SYSTEM
 from repro.storage.database import Database
 from repro.storage.sharding import ShardedDatabase, ShardRouter
+from repro.tasks.queue import JobQueue, queue_models
 from repro.tasks.rules import install_standard_rules
 from repro.tasks.service import Task, TaskService
+from repro.tasks.workers import WorkerPool
 from repro.util.clock import Clock, SystemClock
 from repro.util.events import EventBus
 from repro.workflow.engine import WorkflowEngine, workflow_models
@@ -92,6 +94,7 @@ class BFabric:
         shards: "int | None" = None,
         index_on_events: bool = True,
         span_sample_rate: float = 1.0,
+        queue_max_depth: "int | None" = None,
     ):
         """*shards* partitions the write path across N independent
         single-writer databases behind a :class:`ShardedDatabase`
@@ -140,6 +143,7 @@ class BFabric:
         self.registry.register(SavedQuery)
         self.registry.register(ErrorRecord)
         self.registry.register(DeadLetter)
+        self.registry.register_all(queue_models())
 
         # Resilience: failed event deliveries persist as dead letters,
         # and one breaker registry is shared by the importer and the
@@ -148,6 +152,23 @@ class BFabric:
         self.dlq = DeadLetterQueue(self.registry, clock=self.clock, obs=self.obs)
         self.events.attach_dlq(self.dlq)
         self.breakers = BreakerRegistry(clock=self.clock, obs=self.obs)
+
+        # The durable job queue lives in the same database as the domain
+        # rows, so background work inherits WAL durability, MVCC
+        # introspection, sharding and replication.  Exhausted jobs
+        # dead-letter with their durable job id, which is what makes
+        # `repro dlq retry` work from a fresh process.  *queue_max_depth*
+        # bounds the runnable backlog: enqueues past it shed with
+        # QueueSaturated instead of queueing silently.
+        self.queue = JobQueue(
+            self.registry,
+            clock=self.clock,
+            obs=self.obs,
+            dlq=self.dlq,
+            max_depth=queue_max_depth,
+        )
+        self.dlq.attach_queue(self.queue)
+        self._pools: list[WorkerPool] = []
 
         self.acl = AccessControl(self.db)
         self.auth = Authenticator(self.db, clock=self.clock)
@@ -198,6 +219,7 @@ class BFabric:
             clock=self.clock,
             obs=self.obs,
             breakers=self.breakers,
+            queue=self.queue,
         )
         from repro.dataimport.access import ResourceAccessor
 
@@ -218,6 +240,7 @@ class BFabric:
             events=self.events,
             clock=self.clock,
             access=self.access,
+            queue=self.queue,
         )
         self.results = ResultPackager(self.workunits, self.store)
         self.search = SearchEngine(acl=self.acl, obs=self.obs)
@@ -310,7 +333,42 @@ class BFabric:
         """
         return self.db.snapshot()
 
+    def start_workers(
+        self,
+        *,
+        workers: int = 2,
+        lease_seconds: float = 30.0,
+        name: str = "pool",
+        **pool_options: Any,
+    ) -> WorkerPool:
+        """Start a worker pool draining the job queue.
+
+        Once workers run, ``import_files`` and non-deferred experiment
+        runs execute as background jobs (enqueue-then-wait), with
+        crash-safe redelivery and per-provider concurrency limits.
+        Stopped automatically (with a drain) by :meth:`close`.
+        """
+        pool = WorkerPool(
+            self.queue,
+            workers=workers,
+            lease_seconds=lease_seconds,
+            name=name,
+            clock=self.clock,
+            obs=self.obs,
+            **pool_options,
+        ).start()
+        self._pools.append(pool)
+        return pool
+
+    def stop_workers(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop every pool this facade started."""
+        for pool in self._pools:
+            if pool.is_running():
+                pool.stop(drain=drain, timeout=timeout)
+        self._pools = []
+
     def close(self) -> None:
+        self.stop_workers()
         if self.path is not None:
             self.obs.save(self.path / "obs")
         self.db.close()

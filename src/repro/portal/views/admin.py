@@ -131,6 +131,32 @@ def register(router, portal) -> None:
         body += definition_list(
             [("dead letters pending", system.dlq.pending_count())]
         )
+        queue = system.queue.status()
+        states = queue["states"]
+        body += "<h2>Job queue</h2>" + definition_list(
+            [
+                ("backlog depth", queue["depth"]),
+                ("pending", states["pending"]),
+                ("leased", states["leased"]),
+                ("retry_wait", states["retry_wait"]),
+                ("done", states["done"]),
+                ("dead", states["dead"]),
+                ("lease expirations", queue["lease_expirations"]),
+                ("duplicates suppressed", queue["duplicates_suppressed"]),
+                ("shed (backpressure)", queue["shed"]),
+                ("active workers", queue["active_workers"]),
+            ]
+        )
+        if queue["per_type"]:
+            body += table(
+                ["job type", "pending", "leased", "done", "retry_wait",
+                 "dead"],
+                [
+                    (esc(job_type), counts["pending"], counts["leased"],
+                     counts["done"], counts["retry_wait"], counts["dead"])
+                    for job_type, counts in sorted(queue["per_type"].items())
+                ],
+            )
         mvcc = system.db.statistics()["mvcc"]
         body += "<h2>MVCC</h2>" + definition_list(
             [

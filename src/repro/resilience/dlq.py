@@ -39,6 +39,7 @@ from repro.util.clock import Clock, SystemClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
+    from repro.tasks.queue import JobQueue
     from repro.util.events import EventBus
 
 DEAD_LETTER_STATES = ("dead", "retried", "discarded")
@@ -87,6 +88,8 @@ class DeadLetterQueue:
         self._obs = obs
         #: Live payloads for same-process retries (letter id → kwargs).
         self._live: dict[int, dict[str, Any]] = {}
+        #: Job queue for ``source="queue"`` letters (see attach_queue).
+        self._queue: "JobQueue | None" = None
         self._m_dead = None
         if obs is not None:
             self._m_dead = obs.metrics.counter(
@@ -98,6 +101,16 @@ class DeadLetterQueue:
                 "events_dead_letters_pending",
                 "Dead letters awaiting retry or discard",
             )
+
+    def attach_queue(self, queue: "JobQueue") -> None:
+        """Route ``source="queue"`` letters through the durable job table.
+
+        A dead *job's* payload lives in its ``job`` row, not in any
+        process-local cache, so retrying it is a state transition
+        (``dead → pending``) that works from a fresh process — unlike
+        event letters, whose live payloads only survive same-process.
+        """
+        self._queue = queue
 
     # -- enqueue -----------------------------------------------------------------
 
@@ -169,6 +182,8 @@ class DeadLetterQueue:
             raise StateError(
                 f"dead letter {letter_id} is {letter.status}, not dead"
             )
+        if letter.source == "queue":
+            return self._retry_queue_job(letter)
         handler = self._find_handler(bus, letter.event, letter.handler)
         if handler is None:
             raise StateError(
@@ -190,6 +205,40 @@ class DeadLetterQueue:
             letter_id, status="retried", updated_at=self._clock.now()
         )
         self._live.pop(letter_id, None)
+        self._update_pending_gauge()
+        return updated
+
+    def _retry_queue_job(self, letter: DeadLetter) -> DeadLetter:
+        """Replay a dead *job*: flip its durable row back to pending.
+
+        No live payload needed — the job table has everything — so this
+        path works identically from the process that dead-lettered it
+        and from a fresh CLI after a restart.
+        """
+        if self._queue is None:
+            raise StateError(
+                f"dead letter {letter.id} came from the job queue but no "
+                "queue is attached"
+            )
+        job_id = (letter.payload or {}).get("job_id")
+        if not isinstance(job_id, int):
+            raise StateError(
+                f"dead letter {letter.id} has no job_id in its payload"
+            )
+        try:
+            self._queue.retry_dead(job_id)
+        except Exception as exc:
+            self._letters.update(
+                letter.id,
+                attempts=letter.attempts + 1,
+                error=f"{type(exc).__name__}: {exc}",
+                updated_at=self._clock.now(),
+            )
+            raise
+        updated = self._letters.update(
+            letter.id, status="retried", updated_at=self._clock.now()
+        )
+        self._live.pop(letter.id, None)
         self._update_pending_gauge()
         return updated
 

@@ -74,6 +74,23 @@ REGISTERED_SITES: dict[str, str] = {
         "after the decision is durable, before one participant's phase-2"
         " commit (error)"
     ),
+    "queue.claim": (
+        "job-queue claim after candidate selection, before any lease is"
+        " written — fires only when the claim would return work, so"
+        " at_call counts real deliveries, not idle polls (error)"
+    ),
+    "queue.ack": (
+        "job-queue ack before the durable done-transition — a kill here"
+        " is the torn-ack scenario: work done, job still leased (error)"
+    ),
+    "queue.heartbeat": (
+        "job-queue lease extension, before the expiry is pushed out"
+        " (error)"
+    ),
+    "worker.run": (
+        "worker-pool job execution, after claim and before the handler"
+        " runs (error, latency)"
+    ),
 }
 
 #: The WAL crash sites the torture driver kills the database at.
@@ -81,6 +98,17 @@ WAL_SITES = ("wal.append", "wal.write", "wal.after_write", "wal.after_fsync")
 
 #: The cross-shard crash sites `repro torture --shards` kills at.
 TWO_PC_SITES = ("2pc.prepare", "2pc.decide", "2pc.commit")
+
+#: The worker-kill sites `repro torture --ingest` kills at: every point
+#: of the lease protocol plus the import work running under it.
+INGEST_SITES = (
+    "queue.claim",
+    "worker.run",
+    "dataimport.fetch",
+    "dataimport.ingest",
+    "queue.heartbeat",
+    "queue.ack",
+)
 
 
 @dataclass

@@ -41,7 +41,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import CrashPoint, FaultInjected
-from repro.resilience.faults import Fault, FaultPlan, WAL_SITES, inject
+from repro.resilience.faults import (
+    Fault,
+    FaultPlan,
+    INGEST_SITES,
+    WAL_SITES,
+    inject,
+    install,
+)
 from repro.storage.database import Database
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import ColumnType
@@ -591,3 +598,340 @@ def run_replication_torture(
         problems=problems,
     )
     return TortureReport(seed=seed, commits=commits, cases=[case])
+
+
+#: The synthetic site label of the ingest case that also kills and
+#: restarts the *database* (not just the workers) while leases are held.
+INGEST_RESTART_SITE = "db.restart"
+
+
+def run_ingest_torture(
+    base_dir: "str | Path",
+    *,
+    sites: "tuple[str, ...]" = INGEST_SITES,
+    jobs: int = 4,
+    files_per_job: int = 3,
+    seed: int = 2010,
+    lease_seconds: float = 0.75,
+    drain_timeout: float = 60.0,
+) -> TortureReport:
+    """Kill queue workers at every lease-protocol site mid-import.
+
+    Each case enqueues *jobs* file imports as background jobs, starts a
+    two-worker pool with a short visibility timeout, and injects a
+    :class:`CrashPoint` at one fault site — the worker thread dies with
+    no nack and no cleanup, exactly what ``kill -9`` leaves behind.  A
+    fresh pool (or, in the final :data:`INGEST_RESTART_SITE` case, a
+    fresh *process* over the reopened durable database) then drains the
+    backlog and the driver asserts the at-least-once / effects-once
+    contract:
+
+    * **no lost jobs** — every enqueued job ends ``done``; expired
+      leases were redelivered, nothing stayed ``leased``/``pending``;
+    * **no double-applied effects** — exactly one workunit per import
+      job key, exactly ``files_per_job`` resources on it, one active
+      import workflow instance, and the global resource count equals
+      ``jobs x files_per_job``;
+    * **compensation invariants** — every stored file's bytes re-hash to
+      the recorded checksum (no partial ingest survived), and no orphan
+      store directory or resource row outlives its workunit.
+
+    Site semantics exercised: ``queue.claim`` dies before any lease is
+    written; ``worker.run`` dies after the claim, before the handler;
+    ``dataimport.fetch``/``dataimport.ingest`` die mid-import leaving a
+    partial workunit for redelivery to compensate; ``queue.ack`` is the
+    torn-ack (work complete, job still leased — redelivery must resume,
+    not re-import); ``queue.heartbeat`` kills the lease extender under a
+    slowed fetch.  The restart case kills both workers at ``worker.run``
+    and then abandons the whole facade without ``close()`` — the job
+    table (leases included) must come back from WAL recovery and expire
+    by wall clock.
+    """
+    if jobs < 1 or files_per_job < 1:
+        raise ValueError("ingest torture needs at least one job and one file")
+    base = Path(base_dir)
+    cases: list[CaseResult] = []
+    for offset, site in enumerate(sites):
+        cases.append(
+            _run_ingest_case(
+                base / site.replace(".", "_"),
+                site=site,
+                restart=False,
+                jobs=jobs,
+                files_per_job=files_per_job,
+                seed=seed,
+                lease_seconds=lease_seconds,
+                drain_timeout=drain_timeout,
+                offset=offset,
+            )
+        )
+    cases.append(
+        _run_ingest_case(
+            base / "db_restart",
+            site=INGEST_RESTART_SITE,
+            restart=True,
+            jobs=jobs,
+            files_per_job=files_per_job,
+            seed=seed,
+            lease_seconds=lease_seconds,
+            drain_timeout=drain_timeout,
+            offset=len(sites),
+        )
+    )
+    return TortureReport(seed=seed, commits=jobs, cases=cases)
+
+
+def _run_ingest_case(
+    directory: Path,
+    *,
+    site: str,
+    restart: bool,
+    jobs: int,
+    files_per_job: int,
+    seed: int,
+    lease_seconds: float,
+    drain_timeout: float,
+    offset: int,
+) -> CaseResult:
+    """One worker-kill case: enqueue → kill → (restart) → drain → check."""
+    import time
+
+    from repro.dataimport.filesystem import LocalFileSystemProvider
+    from repro.dataimport.importer import IMPORT_JOB_KEY_PARAM, IMPORT_WORKFLOW
+    from repro.dataimport.store import sha256_of
+    from repro.facade import BFabric
+
+    directory = Path(directory)
+    problems: list[str] = []
+
+    # Source corpus: deterministic bytes so checksums are reproducible.
+    source = directory / "source"
+    source.mkdir(parents=True, exist_ok=True)
+    file_names = [f"run-{offset:02d}-{i:02d}.raw" for i in range(files_per_job)]
+    checksums: dict[str, str] = {}
+    for index, name in enumerate(file_names):
+        (source / name).write_bytes(
+            f"ingest torture seed={seed} site={site} file={name}\n".encode()
+            * (24 + index)
+        )
+        checksums[name] = sha256_of(source / name)
+
+    # The restart case needs a durable deployment to reopen; the others
+    # run in memory (the queue semantics under test are identical).
+    data_dir = directory / "system"
+    provider_name = "torture-src"
+
+    def open_system() -> "BFabric":
+        return BFabric(
+            data_dir if restart else None,
+            durability="always" if restart else None,
+        )
+
+    def add_provider(system: "BFabric") -> None:
+        system.imports.register_provider(
+            LocalFileSystemProvider(provider_name, source)
+        )
+
+    system = open_system()
+    add_provider(system)
+    admin = system.bootstrap()
+    project = system.projects.create(admin, f"ingest torture {site}")
+
+    job_keys = [f"case{offset}-job{i}" for i in range(jobs)]
+    job_ids = [
+        system.imports.enqueue_import(
+            admin,
+            project.id,
+            provider_name,
+            file_names,
+            workunit_name=f"torture import {key}",
+            job_key=key,
+        ).id
+        for key in job_keys
+    ]
+
+    # The scripted kills.  Every site is hit once per job delivery, so
+    # at_call 1 and 2 land in the two workers' first passes.  The
+    # heartbeat only beats jobs that outlive its interval, so that case
+    # slows every fetch down; the single heartbeat thread dying is the
+    # whole kill (kills_expected=1).
+    fault_site = "worker.run" if site == INGEST_RESTART_SITE else site
+    kills_expected = 1 if site == "queue.heartbeat" else 2
+    faults = [
+        Fault(fault_site, kind="error", at_call=call, error=CrashPoint)
+        for call in range(1, kills_expected + 1)
+    ]
+    if site == "queue.heartbeat":
+        faults.append(
+            Fault(
+                "dataimport.fetch",
+                kind="latency",
+                probability=1.0,
+                times=-1,
+                latency_s=0.2,
+            )
+        )
+
+    plan = FaultPlan(faults, seed=seed)
+    install(plan)
+    try:
+        pool = system.start_workers(
+            workers=2,
+            lease_seconds=lease_seconds,
+            name=f"torture-{offset}",
+        )
+        kill_deadline = time.monotonic() + 15.0
+        while (
+            pool.killed_workers < kills_expected
+            and time.monotonic() < kill_deadline
+        ):
+            time.sleep(0.02)
+    finally:
+        install(None)
+    killed = pool.killed_workers
+    fired = killed >= kills_expected
+    if not fired:
+        problems.append(
+            f"kill never landed at {fault_site}: {killed} of "
+            f"{kills_expected} expected deaths"
+        )
+
+    if restart:
+        # Let the dying workers actually exit before the directory is
+        # reopened — a real SIGKILL stops all threads at once; here the
+        # CrashPoint has to unwind each one.
+        exit_deadline = time.monotonic() + 10.0
+        while pool.alive_count() > 0 and time.monotonic() < exit_deadline:
+            time.sleep(0.02)
+        if pool.alive_count() > 0:
+            problems.append("killed workers failed to exit before restart")
+        # Crash simulation: abandon the facade WITHOUT close() — close
+        # would drain pools and flush the WAL, defeating the exercise.
+        # The job rows (leases included) must come back from recovery.
+        system.queue.detach_pool(pool)
+        del pool
+        del system
+        system = open_system()
+        system.recover()
+        add_provider(system)
+        admin = system.bootstrap()
+        system.start_workers(
+            workers=2,
+            lease_seconds=lease_seconds,
+            name=f"torture-{offset}-reborn",
+        )
+    elif pool.alive_count() < 2:
+        # Dead workers stay dead; a fresh pool takes over the backlog
+        # (expired leases redeliver to it).
+        pool.kill()
+        system.start_workers(
+            workers=2,
+            lease_seconds=lease_seconds,
+            name=f"torture-{offset}-reborn",
+        )
+
+    # Drain: every job must reach a terminal state inside the deadline.
+    drain_deadline = time.monotonic() + drain_timeout
+    for job_id in job_ids:
+        remaining = max(0.1, drain_deadline - time.monotonic())
+        system.queue.wait(job_id, timeout=remaining)
+    system.stop_workers(drain=True, timeout=10.0)
+
+    # -- invariants ------------------------------------------------------------
+
+    present: list[int] = []
+    stuck: list[str] = []
+    for job_id in job_ids:
+        job = system.queue.get(job_id)
+        if job.state == "done":
+            present.append(job_id)
+        else:
+            stuck.append(f"job {job_id} {job.state} ({job.error or 'no error'})")
+    if stuck:
+        problems.append("jobs lost or dead: " + "; ".join(stuck))
+    status = system.queue.status()
+    if status["depth"] != 0:
+        problems.append(f"queue not drained: depth {status['depth']}")
+
+    workunit_repo = system.registry.repository_for("workunit")
+    all_workunits = workunit_repo.find(project_id=project.id)
+    keyed: dict[str, list] = {}
+    for workunit in all_workunits:
+        key = (workunit.parameters or {}).get(IMPORT_JOB_KEY_PARAM)
+        if key is not None:
+            keyed.setdefault(key, []).append(workunit)
+    stray = sorted(set(keyed) - set(job_keys))
+    if stray:
+        problems.append(f"workunits with unknown job keys {stray}")
+    for key in job_keys:
+        hits = keyed.get(key, [])
+        if len(hits) != 1:
+            problems.append(
+                f"job {key!r} left {len(hits)} workunits (effects applied "
+                f"{len(hits)} times, want exactly once)"
+            )
+            continue
+        workunit = hits[0]
+        resources = system.workunits.resources_of(admin, workunit.id)
+        names = sorted(resource.name for resource in resources)
+        if names != sorted(file_names):
+            problems.append(
+                f"workunit {workunit.id} ({key}) has resources {names}, "
+                f"want {sorted(file_names)}"
+            )
+            continue
+        for resource in resources:
+            if resource.checksum != checksums[resource.name]:
+                problems.append(
+                    f"resource {resource.id} ({resource.name}) checksum "
+                    "differs from the source file (partial ingest survived)"
+                )
+            elif not system.store.verify(resource.uri, resource.checksum):
+                problems.append(
+                    f"stored bytes for {resource.uri} missing or corrupt"
+                )
+        instances = [
+            instance
+            for instance in system.workflow.for_entity("workunit", workunit.id)
+            if instance.definition == IMPORT_WORKFLOW
+            and instance.status == "active"
+        ]
+        if len(instances) != 1:
+            problems.append(
+                f"workunit {workunit.id} ({key}) has {len(instances)} active "
+                "import workflows, want exactly 1"
+            )
+
+    total_resources = system.db.count("data_resource")
+    expected_resources = jobs * files_per_job
+    if total_resources != expected_resources:
+        problems.append(
+            f"{total_resources} resource rows for {expected_resources} "
+            "imported files (lost or double-applied effects)"
+        )
+    live_ids = {row["id"] for row in system.db.rows("workunit")}
+    orphan_rows = [
+        row["id"]
+        for row in system.db.rows("data_resource")
+        if row["workunit_id"] not in live_ids
+    ]
+    if orphan_rows:
+        problems.append(f"resource rows orphaned by compensation {orphan_rows}")
+    for child in sorted(system.store.root.iterdir()):
+        if not (child.is_dir() and child.name.startswith("workunit_")):
+            continue
+        workunit_id = int(child.name.split("_", 1)[1])
+        if workunit_id not in live_ids:
+            problems.append(f"orphan store directory {child.name}")
+
+    system.close()
+    return CaseResult(
+        mode="ingest+restart" if restart else "ingest",
+        site=site,
+        fired=fired,
+        committed=list(job_ids),
+        uncertain=[],
+        aborted=[],
+        present=present,
+        problems=problems,
+    )

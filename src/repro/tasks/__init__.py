@@ -1,13 +1,29 @@
-"""Task orientation (paper Figure 8).
+"""Task orientation (paper Figure 8) and the durable background-job queue.
 
 "B-Fabric is a task-oriented system that reminds its users about open
 tasks, awaiting to be performed next."  Tasks are derived from events:
 as soon as a new annotation is added, a release-annotation task appears
 in the corresponding expert's task list; releasing (or rejecting) the
 annotation completes the task automatically.
+
+The job queue (:mod:`repro.tasks.queue`) is the machine-facing sibling:
+durable, at-least-once background work — imports, application runs —
+drained by :class:`~repro.tasks.workers.WorkerPool` with crash-safe
+visibility-timeout leases.
 """
 
 from repro.tasks.service import Task, TaskService
 from repro.tasks.rules import install_standard_rules
+from repro.tasks.queue import Job, JobAttempt, JobQueue, queue_models
+from repro.tasks.workers import WorkerPool
 
-__all__ = ["Task", "TaskService", "install_standard_rules"]
+__all__ = [
+    "Task",
+    "TaskService",
+    "install_standard_rules",
+    "Job",
+    "JobAttempt",
+    "JobQueue",
+    "queue_models",
+    "WorkerPool",
+]

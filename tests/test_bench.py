@@ -83,6 +83,35 @@ class TestReport:
         assert any("mixed_read_scaling" in p for p in problems)
 
 
+class TestQueueBench:
+    def test_validation_requires_queue_section_on_new_reports(self):
+        # Enough of a skeleton to get past the earlier short-circuit
+        # checks and reach the queue section.
+        report = {
+            "schema": REPORT_SCHEMA,
+            "generated_by": "PR8",
+            "benchmarks": {
+                "concurrency": {"workloads": {}, "thread_counts": []},
+                "replication": {},
+            },
+        }
+        assert "missing queue_ingest section" in validate_report(report)
+        # Reports from before the queue existed stay valid without it.
+        report["generated_by"] = "PR7"
+        problems = validate_report(report)
+        assert "missing queue_ingest section" not in problems
+
+    def test_queue_section_runs_at_smoke_scale(self):
+        from repro.bench import bench_queue_ingest
+
+        section = bench_queue_ingest(jobs=4, worker_counts=(1, 2))
+        for count in ("1", "2"):
+            cell = section["workers"][count]
+            assert cell["done"] == cell["jobs"] == 4
+            assert cell["jobs_per_sec"] > 0
+            assert cell["claim_to_start_p95_seconds"] >= 0
+
+
 class TestReplicationBench:
     def test_validation_requires_replication_section(self):
         report = {

@@ -80,6 +80,35 @@ class TestDriver:
             run_torture(tmp_path, commits=2)
 
 
+class TestIngestTorture:
+    def test_torn_ack_and_restart_keep_imports_effects_once(self, tmp_path):
+        # The full sweep runs from ``repro torture --ingest``; the test
+        # suite covers the nastiest site (the torn ack: work complete,
+        # job still leased) plus the database-restart case that every
+        # run appends.
+        from repro.resilience.torture import (
+            INGEST_RESTART_SITE,
+            run_ingest_torture,
+        )
+
+        report = run_ingest_torture(
+            tmp_path / "ingest",
+            sites=("queue.ack",),
+            jobs=2,
+            files_per_job=1,
+            seed=11,
+        )
+        assert report.ok, report.summary()
+        assert [c.site for c in report.cases] == [
+            "queue.ack", INGEST_RESTART_SITE,
+        ]
+        for case in report.cases:
+            assert case.fired, "the scripted kill never landed"
+            # Every enqueued job ended done — none lost, none dead.
+            assert set(case.committed) == set(case.present)
+            assert not case.uncertain and not case.aborted
+
+
 class TestReplicationTorture:
     def test_kill_primary_promote_invariants(self, tmp_path):
         from repro.resilience.torture import run_replication_torture
