@@ -27,13 +27,18 @@ Measures the paths the performance work targets:
 * **queue ingest** (PR8) — file-import jobs drained through the durable
   job queue by a :class:`~repro.tasks.workers.WorkerPool` at 1/4/8
   workers: end-to-end jobs/s and the p95 enqueue-to-claim delay from
-  the queue's claim-latency ring.
+  the queue's claim-latency ring;
+* **planner shapes** (PR9) — p50 latency of the query shapes the
+  cost-based planner targets (selective range, multi-predicate
+  composite prefix, covering projection, LIMIT early exit riding an
+  ordered index), each against the forced-scan baseline, with the
+  planner's chosen strategy from ``explain()`` recorded alongside.
 
 The report is JSON in the stable ``repro-bench/v1`` schema; CI runs a
 scaled-down smoke (``--scale 0.05``) and checks the shape with
-:func:`validate_report`.  The full run writes ``BENCH_PR8.json``::
+:func:`validate_report`.  The full run writes ``BENCH_PR9.json``::
 
-    python -m repro.bench --out BENCH_PR8.json
+    python -m repro.bench --out BENCH_PR9.json
     python -m repro.cli --data /tmp/d bench --scale 0.1 --out report.json
 """
 
@@ -41,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import tempfile
 import threading
 import time
@@ -359,18 +365,100 @@ def _query_db(rows: int) -> Database:
             columns=[
                 Column("id", ColumnType.INT, primary_key=True),
                 Column("project", ColumnType.INT, nullable=False),
+                Column("score", ColumnType.INT, nullable=False),
                 Column("payload", ColumnType.TEXT, nullable=False),
             ],
             indexes=["project"],
+            ordered=["score", ("project", "score")],
         )
     )
     with db.transaction() as txn:
         for i in range(rows):
             txn.insert(
                 "bench_q",
-                {"id": i, "project": i % 50, "payload": f"payload row {i}"},
+                {
+                    "id": i,
+                    "project": i % 50,
+                    "score": i,
+                    "payload": f"payload row {i}",
+                },
             )
     return db
+
+
+def _planner_shape(
+    db: Database, build, *, values: Sequence[Any]
+) -> dict[str, Any]:
+    """p50 latency of one query shape vs its forced-scan twin.
+
+    *build* maps a parameter value to a :class:`Query`; distinct values
+    keep every execution a result-cache miss, so the medians measure
+    the access path itself.  The explain() of the first value records
+    which plan the cost model actually chose.
+    """
+    plan = build(values[0]).explain(analyze=True)
+
+    def p50(scan: bool) -> float:
+        samples = []
+        for value in values:
+            query = build(value)
+            if scan:
+                query = query.without_indexes()
+            started = time.perf_counter()
+            query.all()
+            samples.append(time.perf_counter() - started)
+        return statistics.median(samples)
+
+    planned = p50(scan=False)
+    scanned = p50(scan=True)
+    return {
+        "p50_seconds": round(planned, 9),
+        "scan_p50_seconds": round(scanned, 9),
+        "speedup_vs_scan": round(scanned / planned, 2) if planned else None,
+        "strategy": plan["strategy"],
+        "estimated_rows": plan["estimated_rows"],
+        "actual_rows": plan["actual_rows"],
+    }
+
+
+def bench_planner_shapes(db: Database, rows: int) -> dict[str, Any]:
+    """The four planner-targeted shapes, each vs the scan baseline."""
+    width = max(1, rows // 100)  # ~1% selective range
+    los = [(i * 37) % max(1, rows - width) for i in range(50)]
+    projects = list(range(50))
+    floor = rows - max(1, rows // 20)  # top ~5% of scores
+    return {
+        "range": _planner_shape(
+            db,
+            lambda lo: db.query("bench_q")
+            .where("score", ">=", lo)
+            .where("score", "<", lo + width),
+            values=los,
+        ),
+        "multi_predicate": _planner_shape(
+            db,
+            lambda p: db.query("bench_q")
+            .where("project", "=", p)
+            .where("score", ">=", floor),
+            values=projects,
+        ),
+        "covering": _planner_shape(
+            db,
+            lambda p: db.query("bench_q")
+            .select("project", "score")
+            .where("project", "=", p)
+            .where("score", ">=", floor),
+            values=projects,
+        ),
+        "limit_early_exit": _planner_shape(
+            db,
+            lambda lo: db.query("bench_q")
+            .where("score", ">=", lo)
+            .order_by("score")
+            .limit(10),
+            values=los,
+        ),
+    }
 
 
 def bench_query_latency(rows: int) -> tuple[dict[str, Any], dict[str, Any]]:
@@ -414,6 +502,7 @@ def bench_query_latency(rows: int) -> tuple[dict[str, Any], dict[str, Any]]:
         "scan_vs_indexed": round(scan_seconds / indexed_seconds, 2)
         if indexed_seconds
         else None,
+        "planner": bench_planner_shapes(db, rows),
     }
     cache = {
         "hits": hits,
@@ -949,7 +1038,7 @@ def run_benchmarks(
     queue_ingest = bench_queue_ingest(jobs=queue_jobs)
     return {
         "schema": REPORT_SCHEMA,
-        "generated_by": "PR8",
+        "generated_by": "PR9",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "config": {
             "scale": scale,
@@ -1039,6 +1128,33 @@ def validate_report(report: dict[str, Any]) -> list[str]:
     for key in ("pk_seconds", "indexed_seconds", "cached_seconds", "scan_seconds"):
         if not latency.get(key, 0) > 0:
             problems.append(f"query_latency missing {key}")
+    planner = latency.get("planner")
+    if not isinstance(planner, dict):
+        # Reports generated before the cost-based planner (PR9)
+        # legitimately lack the section; anything newer must have it.
+        if report.get("generated_by") in ("PR5", "PR6", "PR7", "PR8"):
+            planner = None
+        else:
+            problems.append("missing query_latency planner section")
+    if isinstance(planner, dict):
+        for shape in ("range", "multi_predicate", "covering", "limit_early_exit"):
+            cell = planner.get(shape)
+            if not isinstance(cell, dict):
+                problems.append(f"planner missing shape {shape!r}")
+                continue
+            if not cell.get("p50_seconds", 0) > 0:
+                problems.append(f"planner {shape} recorded no latency")
+            if not cell.get("scan_p50_seconds", 0) > 0:
+                problems.append(f"planner {shape} recorded no scan baseline")
+            if not isinstance(cell.get("speedup_vs_scan"), (int, float)):
+                problems.append(f"planner {shape} missing speedup_vs_scan")
+            strategy = cell.get("strategy")
+            if not isinstance(strategy, str) or not strategy:
+                problems.append(f"planner {shape} missing strategy")
+            elif strategy == "scan":
+                problems.append(
+                    f"planner {shape} fell back to a scan plan"
+                )
     cache = benchmarks.get("query_cache", {})
     if not cache.get("hits", 0) > 0:
         problems.append("query cache recorded no hits")
@@ -1142,7 +1258,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="scratch parent directory for the WAL workloads "
         "(defaults to the system temp dir)",
     )
-    parser.add_argument("--out", default="BENCH_PR8.json")
+    parser.add_argument("--out", default="BENCH_PR9.json")
     parser.add_argument(
         "--validate", metavar="PATH",
         help="validate an existing report instead of running benchmarks",
@@ -1199,6 +1315,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{fan}  scaling={replication['fanout_scaling']}x  "
         f"lag_p95={replication['lag_p95_seqs']} seqs"
     )
+    planner = report["benchmarks"]["query_latency"]["planner"]
+    cells = "  ".join(
+        f"{name}={cell['speedup_vs_scan']:.1f}x"
+        for name, cell in planner.items()
+    )
+    print(f"planner       {cells} vs scan (p50)")
     queue = report["benchmarks"]["queue_ingest"]
     cells = "  ".join(
         f"{k}w={cell['jobs_per_sec']:.1f}j/s"

@@ -31,7 +31,9 @@ Quick tour::
 from repro.storage.types import ColumnType
 from repro.storage.schema import Column, TableSchema, ForeignKey
 from repro.storage.durability import Durability
-from repro.storage.query import Query, QueryCache, F
+from repro.storage.index import OrderedIndex
+from repro.storage.query import Plan, Query, QueryCache, F
+from repro.storage.stats import TableStatistics
 from repro.storage.snapshot import Snapshot
 from repro.storage.database import Database
 from repro.storage.transaction import Transaction
@@ -54,6 +56,9 @@ __all__ = [
     "Transaction",
     "Query",
     "QueryCache",
+    "Plan",
+    "OrderedIndex",
+    "TableStatistics",
     "Snapshot",
     "F",
     "WriteAheadLog",

@@ -258,12 +258,23 @@ class Database:
                     (table, column.name, fk.on_delete)
                 )
 
-    def add_index(self, table: str, columns: "tuple[str, ...] | str") -> None:
-        """Schema evolution: index existing data."""
+    def add_index(
+        self,
+        table: str,
+        columns: "tuple[str, ...] | str",
+        *,
+        ordered: bool = False,
+    ) -> None:
+        """Schema evolution: index existing data.
+
+        ``ordered=True`` builds a composite **ordered** index instead of
+        a hash index — range-capable, prefix-seekable, and usable for
+        covering reads by the cost-based planner.
+        """
         if isinstance(columns, str):
             columns = (columns,)
         with self._lock:
-            self.table(table).add_index(tuple(columns))
+            self.table(table).add_index(tuple(columns), ordered=ordered)
 
     # -- transactions --------------------------------------------------------------
 
@@ -761,7 +772,20 @@ class Database:
             # cover a crash between the snapshot rename and the marker
             # append.
             seq = self._committed_seq
-            snapshot: dict[str, Any] = {SNAPSHOT_META_KEY: {"seq": seq}}
+            # Planner statistics ride in the meta block: recovery could
+            # rebuild them by re-sampling the replayed rows, but the
+            # reservoirs would then depend on replay order — persisting
+            # the sampler state keeps NDV estimates (and therefore plan
+            # choices) identical across a restart.
+            snapshot: dict[str, Any] = {
+                SNAPSHOT_META_KEY: {
+                    "seq": seq,
+                    "stats": {
+                        name: table.stats_state()
+                        for name, table in self._tables.items()
+                    },
+                }
+            }
             for name, table in self._tables.items():
                 snapshot[name] = [
                     self._encode_row_for_wal(name, row)
@@ -836,6 +860,16 @@ class Database:
                         assert decoded is not None
                         table.apply_insert(decoded)
                         stats["snapshot_rows"] += 1
+                # Restore the checkpoint-time sampler state, replacing
+                # the reservoirs the snapshot load just re-sampled; WAL
+                # replay below then feeds its increments on top — the
+                # same stream the pre-crash process saw.
+                if isinstance(meta, dict) and isinstance(
+                    meta.get("stats"), dict
+                ):
+                    for name, state in meta["stats"].items():
+                        if name in self._tables and isinstance(state, dict):
+                            self._tables[name].restore_stats(state)
             replayed_seq = 0
             # gtid -> prepare record, in log order.  A later commit
             # record with the same gtid (phase 2 ran) or an abort record

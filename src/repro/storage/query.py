@@ -11,12 +11,18 @@ Example::
         .all()
     )
 
-The planner uses, in order of preference: a composite hash index covering
-several equality predicates, a single-column hash index for one equality
-predicate, a sorted index for a range predicate, and finally a full scan.
-:meth:`Query.explain` reports which path was chosen — the A1 index
-ablation benchmark relies on it — plus the query's plan fingerprint and
-its result-cache status.
+Planning is **cost based**: the planner enumerates every candidate
+access path — primary-key hit, composite/single hash probe, hash-index
+intersection, ordered-index range seek, composite prefix seek (equality
+on a key prefix + range on the next column), covering skip-fetch reads,
+and LIMIT-aware ordered rides — prices each with the table's statistics
+(live row count, O(1) exact distinct counts off the indexes, reservoir
+NDV estimates, O(log n) range probes), and picks the cheapest.
+:meth:`Query.explain` reports the chosen strategy — the A1 index
+ablation benchmark relies on it — plus estimated rows/cost, the
+alternatives considered, the plan fingerprint, and the result-cache
+status; ``explain(analyze=True)`` adds the actual row count so
+estimation error is visible.
 
 Result caching: every :meth:`Query.all`/:meth:`Query.count` consults the
 database's :class:`QueryCache`, a bounded LRU keyed on ``(table,
@@ -45,7 +51,8 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from itertools import islice
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.errors import SchemaError
@@ -226,6 +233,68 @@ class QueryCache:
         }
 
 
+# -- cost model -------------------------------------------------------------
+#
+# Arbitrary units; only the ratios matter.  A plan costs roughly
+# "probe overhead + rows examined x per-row work", where per-row work is
+# the row-store fetch plus one term per residual predicate.  Covering
+# plans skip the row fetch and pay only the (cheaper) synthesis cost;
+# scans pay a flat setup so tiny tables still prefer a ready index.
+SEEK_COST = 1.0          # one index probe (hash hit / binary search)
+SCAN_SETUP_COST = 2.0    # materializing the pk list for a full scan
+ROW_FETCH_COST = 1.0     # resolving one pk against the row store
+COVERING_ROW_COST = 0.25  # synthesizing one row from an index entry
+RESIDUAL_COST = 0.25     # evaluating one residual predicate on one row
+INTERSECT_COST = 0.2     # per-element set-intersection bookkeeping
+
+
+@dataclass
+class Plan:
+    """One candidate access path, priced by the cost model.
+
+    ``kind`` drives execution:
+
+    * ``scan`` — full row-store pass;
+    * ``pks`` — a pre-materialized candidate pk set (primary-key hits,
+      and every index plan once pinned for snapshot execution);
+    * ``hash`` — one hash-index probe at execution time;
+    * ``intersect`` — several single-column hash probes ANDed together;
+    * ``seek`` — lazy ordered-index iteration (range / prefix / ordered
+      ride), fetching rows pk by pk;
+    * ``covering`` — the same seek, but rows are synthesized from the
+      index entries and the row store is never touched.
+
+    ``strategy`` is the stable human-readable label reported by
+    :meth:`Query.explain` and mixed into the cache fingerprint (the
+    "plan shape" part of the cache key).  ``ordered`` names the natural
+    output order a seek produces — ``(column, descending)`` pairs for
+    the index columns after the pinned prefix — which lets execution
+    skip sorting and honor LIMIT with early exit (``early_exit``).
+    """
+
+    strategy: str
+    kind: str
+    cost: float
+    estimated_rows: int
+    residual: list[Condition]
+    pks: "set[Any] | None" = None
+    index: Any = None
+    key: "tuple | None" = None
+    indexes: "list[Any] | None" = None   # intersect: probed indexes
+    keys: "list[tuple] | None" = None    # intersect: one key per index
+    prefix: tuple = ()
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+    exclude_null: bool = False
+    descending: bool = False
+    ordered: "tuple[tuple[str, bool], ...]" = ()
+    early_exit: bool = False
+    candidates: int = 0
+    alternatives: "tuple[tuple[str, float, int], ...]" = field(default=())
+
+
 class Query:
     """Immutable-ish fluent query builder over one table."""
 
@@ -237,6 +306,11 @@ class Query:
         self._limit: int | None = None
         self._offset: int = 0
         self._use_indexes = True
+        self._select: "tuple[str, ...] | None" = None
+        #: Memoized ``(mutation_epoch, Plan)`` — planning runs for the
+        #: fingerprint, explain, and execution of one call chain; the
+        #: epoch check invalidates it the moment the table moves.
+        self._plan_memo: "tuple[int, Plan] | None" = None
 
     # -- building ----------------------------------------------------------------
 
@@ -250,6 +324,7 @@ class Query:
                 f"table {self._table.name!r} has no column {column!r}"
             )
         self._conditions.append(Condition(column, op, value))
+        self._plan_memo = None
         return self
 
     def filter(self, *conditions: Condition) -> "Query":
@@ -260,6 +335,7 @@ class Query:
                     f"table {self._table.name!r} has no column {cond.column!r}"
                 )
             self._conditions.append(cond)
+        self._plan_memo = None
         return self
 
     def order_by(self, column: str, *, descending: bool = False) -> "Query":
@@ -268,116 +344,465 @@ class Query:
                 f"table {self._table.name!r} has no column {column!r}"
             )
         self._order.append((column, descending))
+        self._plan_memo = None
         return self
 
     def limit(self, n: int) -> "Query":
         if n < 0:
             raise SchemaError("limit must be >= 0")
         self._limit = n
+        self._plan_memo = None
         return self
 
     def offset(self, n: int) -> "Query":
         if n < 0:
             raise SchemaError("offset must be >= 0")
         self._offset = n
+        self._plan_memo = None
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        """Project results to *columns* (plus the primary key).
+
+        Beyond trimming payloads, a projection is what makes **covering
+        plans** possible: when an ordered index stores every selected,
+        filtered, and ordered column, the planner can answer the query
+        from index entries alone and never touch the row store.
+        """
+        for column in columns:
+            if not self._table.schema.has_column(column):
+                raise SchemaError(
+                    f"table {self._table.name!r} has no column {column!r}"
+                )
+        self._select = tuple(columns)
+        self._plan_memo = None
         return self
 
     def without_indexes(self) -> "Query":
         """Force a full scan (used by the index-ablation benchmark)."""
         self._use_indexes = False
+        self._plan_memo = None
         return self
 
     # -- planning ------------------------------------------------------------------
 
-    def _plan(self) -> tuple[str, set[Any] | None, list[Condition]]:
-        """Return ``(strategy, candidate_pks, residual_conditions)``.
+    def _selectivity(self, cond: Condition) -> float:
+        """Fraction of rows expected to satisfy *cond* (0..1).
 
-        ``candidate_pks=None`` means full scan.  Snapshot queries may
-        only use the live indexes while those provably match the
-        snapshot state: no committed change past the snapshot's
-        sequence number, no uncommitted changes, and a stable (even)
-        seqlock epoch across planning.  A failed guard degrades to a
-        chain-walking scan, which is always correct.
+        Statistics-driven: equality uses the best-available distinct
+        count (exact off an index, else the reservoir-sample estimate),
+        range predicates probe the ordered index in O(log n), NULL
+        predicates use the sampled null fraction.  Everything else gets
+        the classic textbook constants.
         """
-        if self._snapshot is None:
-            return self._plan_live()
+        tbl = self._table
+        if cond.op == "=":
+            if cond.value is None:
+                return 0.0  # `= NULL` never matches
+            return 1.0 / max(1, tbl.distinct_count(cond.column))
+        if cond.op in _RANGE_OPS:
+            if cond.value is None:
+                return 0.0
+            sx = tbl.sorted_index_for(cond.column)
+            if sx is not None and len(sx) > 0:
+                if cond.op in (">", ">="):
+                    _keys, est = sx.estimate_range(
+                        (), low=cond.value, include_low=cond.op == ">="
+                    )
+                else:
+                    _keys, est = sx.estimate_range(
+                        (),
+                        high=cond.value,
+                        include_high=cond.op == "<=",
+                        exclude_null=True,
+                    )
+                return min(1.0, est / max(1, len(sx)))
+            return 1 / 3
+        if cond.op == "in":
+            try:
+                n = len(cond.value)
+            except TypeError:
+                n = 1
+            return min(1.0, n / max(1, tbl.distinct_count(cond.column)))
+        if cond.op == "is_null":
+            nf = tbl.statistics().null_fraction(cond.column)
+            return nf if cond.value else max(0.0, 1.0 - nf)
+        if cond.op == "!=":
+            return max(0.0, 1.0 - 1.0 / max(1, tbl.distinct_count(cond.column)))
+        return 0.5
+
+    def _selectivity_product(self, conds: "list[Condition]") -> float:
+        sel = 1.0
+        for cond in conds:
+            sel *= self._selectivity(cond)
+        return max(0.0, min(1.0, sel))
+
+    def _est(self, examined: float, residual: "list[Condition]") -> int:
+        """Estimated result rows: examined rows × residual selectivity."""
+        return int(round(examined * self._selectivity_product(residual)))
+
+    def _scan_plan(self) -> Plan:
+        conds = list(self._conditions)
+        live = len(self._table)
+        cost = SCAN_SETUP_COST + live * (
+            ROW_FETCH_COST + len(conds) * RESIDUAL_COST
+        )
+        return Plan(
+            "scan", "scan", cost, self._est(live, conds), conds, candidates=live
+        )
+
+    def _plan(self) -> Plan:
+        """Choose the cheapest access path for the current query shape.
+
+        Snapshot queries may only use the live indexes while those
+        provably match the snapshot state: no committed change past the
+        snapshot's sequence number, no uncommitted changes, and a
+        stable (even) seqlock epoch across planning.  Their chosen plan
+        is additionally **pinned** — candidate pks are materialized
+        under the guard — because execution resolves rows through the
+        version chains later, possibly after more commits have moved
+        the indexes.  A failed guard degrades to a chain-walking scan,
+        which is always correct.
+        """
         tbl = self._table
         epoch = tbl.mutation_epoch
+        memo = self._plan_memo
+        if memo is not None and memo[0] == epoch and not (epoch & 1):
+            return memo[1]
+        if self._snapshot is None:
+            plan = self._plan_live()
+            if not (epoch & 1) and tbl.mutation_epoch == epoch:
+                self._plan_memo = (epoch, plan)
+            return plan
         if epoch & 1 or tbl.dirty or tbl.version > self._snapshot.seq:
-            return ("scan", None, list(self._conditions))
-        plan = self._plan_live()
+            return self._scan_plan()
+        plan = self._materialize(self._plan_live(for_snapshot=True))
         if tbl.mutation_epoch != epoch:
-            return ("scan", None, list(self._conditions))
+            return self._scan_plan()
+        self._plan_memo = (epoch, plan)
         return plan
 
-    def _plan_live(self) -> tuple[str, set[Any] | None, list[Condition]]:
-        if not self._use_indexes or not self._conditions:
-            return ("scan", None, list(self._conditions))
+    def _materialize(self, plan: Plan) -> Plan:
+        """Pin a deferred plan's candidate pks (snapshot path)."""
+        if plan.kind == "hash":
+            pks = plan.index.lookup(plan.key)
+        elif plan.kind == "intersect":
+            assert plan.indexes is not None and plan.keys is not None
+            sets = sorted(
+                (
+                    index.lookup(key)
+                    for index, key in zip(plan.indexes, plan.keys)
+                ),
+                key=len,
+            )
+            pks = set(sets[0]).intersection(*sets[1:]) if sets else set()
+        elif plan.kind == "seek":
+            pks = set(
+                plan.index.range_pks(
+                    plan.prefix,
+                    plan.low,
+                    plan.high,
+                    include_low=plan.include_low,
+                    include_high=plan.include_high,
+                    exclude_null=plan.exclude_null,
+                )
+            )
+        else:
+            return plan
+        return replace(
+            plan,
+            kind="pks",
+            pks=pks,
+            ordered=(),
+            early_exit=False,
+            candidates=len(pks),
+        )
+
+    def _plan_live(self, *, for_snapshot: bool = False) -> Plan:
+        scan = self._scan_plan()
+        if not self._use_indexes:
+            return scan
+        tbl = self._table
+        live = len(tbl)
+        conds = self._conditions
+        plans: list[Plan] = []
 
         # `= NULL` never matches (SQL semantics), so such predicates must
         # not drive an index lookup — they stay residual and reject rows.
-        eq_conditions = {
-            c.column: c
-            for c in self._conditions
-            if c.op == "=" and c.value is not None
-        }
-        pk_col = self._table.pk_column
+        eq = {c.column: c for c in conds if c.op == "=" and c.value is not None}
+        pk_col = tbl.pk_column
 
-        # 0. Primary-key equality: direct dict hit.
-        if pk_col in eq_conditions:
-            cond = eq_conditions[pk_col]
-            pk = cond.value
-            pks = {pk} if pk in self._table else set()
-            residual = [c for c in self._conditions if c is not cond]
-            return ("pk", pks, residual)
+        # Primary-key equality: direct dict hit.  Enumerated first so it
+        # wins cost ties against an index over the pk column.
+        if pk_col in eq:
+            cond = eq[pk_col]
+            pks = {cond.value} if cond.value in tbl else set()
+            residual = [c for c in conds if c is not cond]
+            cost = SEEK_COST + len(pks) * (
+                ROW_FETCH_COST + len(residual) * RESIDUAL_COST
+            )
+            plans.append(
+                Plan(
+                    "pk",
+                    "pks",
+                    cost,
+                    self._est(len(pks), residual),
+                    residual,
+                    pks=pks,
+                    candidates=len(pks),
+                )
+            )
 
-        # 1. Composite hash index covering the largest equality subset.
-        best_cols: tuple[str, ...] | None = None
-        for spec in self._table._hash_indexes:
-            if all(col in eq_conditions for col in spec):
-                if best_cols is None or len(spec) > len(best_cols):
-                    best_cols = spec
-        # Unique single-column indexes count too.
-        for index in self._table._unique_indexes:
-            spec = index.columns
-            if all(col in eq_conditions for col in spec):
-                if best_cols is None or len(spec) > len(best_cols):
-                    best_cols = spec
-        if best_cols is not None:
-            # Note: indexes define __len__, so an empty index is falsy —
-            # the None checks must be explicit.
-            index = self._table.hash_index_for(best_cols)
-            if index is None:
-                index = self._table.unique_index_for(best_cols)
-            assert index is not None
-            key = tuple(eq_conditions[col].value for col in best_cols)
+        # Hash probes: every (composite or single) hash/unique index whose
+        # columns are all equality-constrained.  Longest specs first so
+        # cost ties resolve to the most specific index.
+        hash_candidates: list[tuple[tuple[str, ...], Any]] = []
+        for spec, index in tbl._hash_indexes.items():
+            if all(col in eq for col in spec):
+                hash_candidates.append((spec, index))
+        for index in tbl._unique_indexes:
+            if all(col in eq for col in index.columns):
+                hash_candidates.append((index.columns, index))
+        hash_candidates.sort(key=lambda entry: -len(entry[0]))
+        for spec, index in hash_candidates:
+            key = tuple(eq[col].value for col in spec)
+            bucket = index.bucket_size(key)
             # Identity-based filtering: conditions may hold unhashable
             # values (e.g. lists for "in"), so no set membership here.
-            used_ids = {id(eq_conditions[col]) for col in best_cols}
-            residual = [c for c in self._conditions if id(c) not in used_ids]
-            return (f"index:{index.name}", index.lookup(key), residual)
+            used = {id(eq[col]) for col in spec}
+            residual = [c for c in conds if id(c) not in used]
+            cost = SEEK_COST + bucket * (
+                ROW_FETCH_COST + len(residual) * RESIDUAL_COST
+            )
+            plans.append(
+                Plan(
+                    f"index:{index.name}",
+                    "hash",
+                    cost,
+                    self._est(bucket, residual),
+                    residual,
+                    index=index,
+                    key=key,
+                    candidates=bucket,
+                )
+            )
 
-        # 2. Sorted index for a range predicate.
-        for cond in self._conditions:
-            if cond.op in _RANGE_OPS:
-                sx = self._table.sorted_index_for(cond.column)
-                if sx is None:
-                    continue
-                if cond.op in (">", ">="):
-                    pks = sx.range(low=cond.value, include_low=cond.op == ">=")
+        # Index intersection: AND several single-column hash probes.
+        singles: list[tuple[Condition, Any]] = []
+        for col, cond in eq.items():
+            index = tbl.hash_index_for((col,)) or tbl.unique_index_for((col,))
+            if index is not None:
+                singles.append((cond, index))
+        if len(singles) >= 2:
+            buckets = [
+                index.bucket_size((cond.value,)) for cond, index in singles
+            ]
+            expected = 0.0
+            if live:
+                expected = float(live)
+                for bucket in buckets:
+                    expected *= bucket / live
+            used = {id(cond) for cond, _ in singles}
+            residual = [c for c in conds if id(c) not in used]
+            cost = (
+                len(singles) * SEEK_COST
+                + sum(buckets) * INTERSECT_COST
+                + expected * (ROW_FETCH_COST + len(residual) * RESIDUAL_COST)
+            )
+            plans.append(
+                Plan(
+                    "intersect:" + "+".join(idx.name for _, idx in singles),
+                    "intersect",
+                    cost,
+                    self._est(expected, residual),
+                    residual,
+                    indexes=[index for _, index in singles],
+                    keys=[(cond.value,) for cond, _ in singles],
+                    candidates=int(round(expected)),
+                )
+            )
+
+        # Ordered-index seeks: equality on a key prefix, a folded range
+        # on the next column, covering variants, LIMIT-aware order rides.
+        range_conds: dict[str, list[Condition]] = {}
+        for c in conds:
+            if c.op in _RANGE_OPS and c.value is not None:
+                range_conds.setdefault(c.column, []).append(c)
+        for index in tbl.ordered_indexes():
+            seek_plan = self._seek_plan(
+                index, eq, range_conds, for_snapshot=for_snapshot
+            )
+            if seek_plan is not None:
+                plans.extend(seek_plan)
+
+        everything = plans + [scan]
+        best = min(everything, key=lambda p: p.cost)  # stable: first wins ties
+        best.alternatives = tuple(
+            sorted(
+                (
+                    (p.strategy, round(p.cost, 2), p.estimated_rows)
+                    for p in everything
+                    if p is not best
+                ),
+                key=lambda entry: entry[1],
+            )
+        )
+        return best
+
+    def _seek_plan(
+        self,
+        index: Any,
+        eq: "dict[str, Condition]",
+        range_conds: "dict[str, list[Condition]]",
+        *,
+        for_snapshot: bool,
+    ) -> "list[Plan] | None":
+        """Candidate seek (and covering) plans over one ordered index."""
+        tbl = self._table
+        cols = index.columns
+        prefix_conds: list[Condition] = []
+        for col in cols:
+            cond = eq.get(col)
+            if cond is None:
+                break
+            prefix_conds.append(cond)
+        k = len(prefix_conds)
+
+        # Fold every range predicate on the first free column into the
+        # tightest [low, high] bounds; lower bounds subsume looser lower
+        # bounds (and ditto for upper), so all of them leave the residual.
+        low: Any = None
+        high: Any = None
+        include_low = include_high = True
+        bound_conds: list[Condition] = []
+        if k < len(cols):
+            for c in range_conds.get(cols[k], ()):
+                if c.op in (">", ">="):
+                    inclusive = c.op == ">="
+                    if low is None or sort_key(c.value) > sort_key(low):
+                        low, include_low = c.value, inclusive
+                    elif sort_key(c.value) == sort_key(low) and not inclusive:
+                        include_low = False
                 else:
-                    pks = sx.range(high=cond.value, include_high=cond.op == "<=")
-                residual = [c for c in self._conditions if c is not cond]
-                return (f"range:{sx.name}", pks, residual)
+                    inclusive = c.op == "<="
+                    if high is None or sort_key(c.value) < sort_key(high):
+                        high, include_high = c.value, inclusive
+                    elif sort_key(c.value) == sort_key(high) and not inclusive:
+                        include_high = False
+                bound_conds.append(c)
+        bounded = low is not None or high is not None
 
-        return ("scan", None, list(self._conditions))
+        if k == 0 and not bounded:
+            # Only worth planning as an ordered ride with a LIMIT; the
+            # snapshot path skips it (pinning would walk the full index).
+            if for_snapshot or not self._order or self._limit is None:
+                return None
+
+        used = {id(c) for c in prefix_conds} | {id(c) for c in bound_conds}
+        residual = [c for c in self._conditions if id(c) not in used]
+        prefix_key = tuple(c.value for c in prefix_conds)
+        # A seek bounded only from above must structurally skip NULL
+        # keys: range predicates never match NULL.
+        exclude_null = bounded and low is None
+        _keys, examined = index.estimate_range(
+            prefix_key,
+            low,
+            high,
+            include_low=include_low,
+            include_high=include_high,
+            exclude_null=exclude_null,
+        )
+
+        free = cols[k:]
+        descending = False
+        satisfies_order = False
+        if self._order and free:
+            want_cols = [c for c, _ in self._order]
+            directions = {d for _, d in self._order}
+            if len(directions) == 1 and want_cols == list(
+                free[: len(want_cols)]
+            ):
+                satisfies_order = True
+                descending = directions.pop()
+        if k == 0 and not bounded and not satisfies_order:
+            # A bare ride earns its keep only by producing the
+            # requested order; an unhelpful one is just a scan in
+            # index order.
+            return None
+        ordered = tuple((c, descending) for c in free)
+        early_exit = self._limit is not None and (
+            not self._order or satisfies_order
+        )
+        priced_examined = examined
+        if early_exit:
+            page = self._offset + self._limit
+            res_sel = max(self._selectivity_product(residual), 1e-9)
+            priced_examined = min(priced_examined, page / res_sel)
+        cost = SEEK_COST + priced_examined * (
+            ROW_FETCH_COST + len(residual) * RESIDUAL_COST
+        )
+        if k > 0:
+            strategy = f"prefix:{index.name}"
+        elif bounded:
+            strategy = f"range:{index.name}"
+        else:
+            strategy = f"order:{index.name}"
+        plan = Plan(
+            strategy,
+            "seek",
+            cost,
+            self._est(examined, residual),
+            residual,
+            index=index,
+            prefix=prefix_key,
+            low=low,
+            high=high,
+            include_low=include_low,
+            include_high=include_high,
+            exclude_null=exclude_null,
+            descending=descending,
+            ordered=ordered,
+            early_exit=early_exit,
+            candidates=int(round(examined)),
+        )
+        plans = [plan]
+
+        # Covering variant: every needed column lives in the index (the
+        # pk rides along in the entries), so skip the row fetch.  Only
+        # offered under an explicit projection — callers without
+        # select() expect full rows — and not to snapshots, whose
+        # synthesis would read the live index at execution time,
+        # outside the seqlock guard.
+        if not for_snapshot and self._select is not None:
+            needed = set(self._select)
+            needed |= {c.column for c in residual}
+            needed |= {c for c, _ in self._order}
+            needed.discard(tbl.pk_column)
+            if needed <= set(cols):
+                cov_cost = SEEK_COST + priced_examined * (
+                    COVERING_ROW_COST + len(residual) * RESIDUAL_COST
+                )
+                plans.append(
+                    replace(
+                        plan,
+                        strategy=f"covering:{index.name}",
+                        kind="covering",
+                        cost=cov_cost,
+                    )
+                )
+        return plans
 
     def fingerprint(self) -> str:
-        """Stable digest of the query shape (conditions, order, paging).
+        """Stable digest of the query shape — including the plan shape.
 
-        Together with the table's committed version this keys the result
-        cache; :meth:`explain` reports it so operators can correlate
-        cache entries with query sites.
+        Covers conditions, order, paging, projection, and the chosen
+        plan's strategy label, so two query sites that read the same
+        rows through different access paths cache independently.
+        Planning is deterministic for a given table version, so the
+        fingerprint is stable exactly as long as the cache key's
+        version component is.  Together with the table's committed
+        version this keys the result cache; :meth:`explain` reports it
+        so operators can correlate cache entries with query sites.
         """
         shape = (
             tuple(
@@ -387,6 +812,8 @@ class Query:
             self._limit,
             self._offset,
             self._use_indexes,
+            self._select,
+            self._plan().strategy,
         )
         digest = hashlib.sha1(repr(shape).encode("utf-8")).hexdigest()
         return digest[:12]
@@ -427,16 +854,20 @@ class Query:
             version = self._table.version
         return (self._table.name, version, kind, self.fingerprint())
 
-    def explain(self) -> dict[str, Any]:
-        """Describe the access path without executing the query.
+    def explain(self, *, analyze: bool = False) -> dict[str, Any]:
+        """Describe the costed access path without executing the query.
 
-        Besides the strategy, reports the snapshot pin
-        (``snapshot_version``, ``None`` for live queries) and the exact
-        result-cache key (``cache_key``, ``None`` when the cache is
-        bypassed) so hits and misses are debuggable across the
-        version-keyed cache.
+        Reports the chosen strategy with its estimated cost and row
+        count, the ``alternatives`` the planner priced and rejected,
+        whether the plan is ``covering`` (skips the row store) or can
+        ``early_exit`` on LIMIT, the snapshot pin (``snapshot_version``,
+        ``None`` for live queries), and the exact result-cache key
+        (``cache_key``, ``None`` when the cache is bypassed) so hits
+        and misses are debuggable across the version-keyed cache.  With
+        ``analyze=True`` the query is executed and ``actual_rows``
+        added, making estimation error visible.
         """
-        strategy, pks, residual = self._plan()
+        plan = self._plan()
         cache = self._cache()
         version = self._cache_version()
         key = self._cache_key("rows", version)
@@ -446,18 +877,30 @@ class Query:
             cache_status = "hit"
         else:
             cache_status = "miss"
-        if pks is not None:
-            candidates = len(pks)
-        elif self._snapshot is not None:
+        if plan.kind == "pks":
+            candidates = len(plan.pks or ())
+        elif plan.kind == "scan" and self._snapshot is not None:
             candidates = self._table.count_at(self._snapshot.seq)
         else:
-            candidates = len(self._table)
-        return {
+            candidates = plan.candidates
+        result = {
             "table": self._table.name,
-            "strategy": strategy,
+            "strategy": plan.strategy,
             "candidates": candidates,
-            "residual_predicates": len(residual),
+            "estimated_rows": plan.estimated_rows,
+            "estimated_cost": round(plan.cost, 2),
+            "covering": plan.kind == "covering",
+            "early_exit": plan.early_exit,
+            "residual_predicates": len(plan.residual),
             "order_by": list(self._order),
+            "alternatives": [
+                {
+                    "strategy": strategy,
+                    "cost": cost,
+                    "estimated_rows": estimated,
+                }
+                for strategy, cost, estimated in plan.alternatives
+            ],
             "cache": cache_status,
             "fingerprint": self.fingerprint(),
             "snapshot_version": (
@@ -474,6 +917,9 @@ class Query:
                 }
             ),
         }
+        if analyze:
+            result["actual_rows"] = len(self.all())
+        return result
 
     # -- execution -----------------------------------------------------------------
 
@@ -515,8 +961,10 @@ class Query:
             )
         return result
 
-    def _matching_rows(self) -> Iterator[dict[str, Any]]:
-        strategy, pks, residual = self._plan()
+    def _iter_plan_rows(self, plan: Plan) -> Iterator[dict[str, Any]]:
+        """Yield internal row references for *plan* (zero-copy where
+        possible; covering plans yield freshly synthesized dicts)."""
+        residual = plan.residual
         snap = self._snapshot
         if snap is not None:
             if snap.closed:
@@ -524,7 +972,7 @@ class Query:
                     f"query on {self._table.name!r}: snapshot is closed"
                 )
             seq = snap.seq
-            if pks is None:
+            if plan.kind == "scan":
                 # Chain-walking scan at the pinned sequence number; the
                 # pk set is materialized atomically so concurrent
                 # commits can neither tear it nor change its size.
@@ -532,21 +980,75 @@ class Query:
                     if all(cond.matches(row) for cond in residual):
                         yield row
             else:
-                # Index candidates were validated against the snapshot
-                # by the planner; rows are still resolved through the
-                # chains so a commit racing this loop cannot leak newer
-                # versions into the result.
-                for pk in pks:
+                # Index candidates were pinned against the snapshot by
+                # the planner (kind "pks"); rows are still resolved
+                # through the chains so a commit racing this loop
+                # cannot leak newer versions into the result.
+                for pk in plan.pks or ():
                     row = self._table.row_at(pk, seq)
                     if row is None:
                         continue
                     if all(cond.matches(row) for cond in residual):
                         yield row
             return
-        if pks is None:
-            candidates: Iterator[Any] = iter(self._table.pks())
-        else:
-            candidates = iter(pks)
+        if plan.kind == "covering":
+            # Skip-fetch: rows come straight from the index entries (the
+            # pk rides along), the row store is never consulted.  The
+            # residual check runs once per distinct key — every residual
+            # column is part of the key.
+            pk_col = self._table.pk_column
+            cols = plan.index.columns
+            for raw, bucket in plan.index.seek(
+                plan.prefix,
+                plan.low,
+                plan.high,
+                include_low=plan.include_low,
+                include_high=plan.include_high,
+                descending=plan.descending,
+                exclude_null=plan.exclude_null,
+            ):
+                base = dict(zip(cols, raw))
+                if not all(cond.matches(base) for cond in residual):
+                    continue
+                # pk order within a key keeps ordered output and LIMIT
+                # row selection deterministic across plan strategies.
+                for pk in sorted(bucket, key=sort_key):
+                    yield {**base, pk_col: pk}
+            return
+        if plan.kind == "seek":
+            for _raw, bucket in plan.index.seek(
+                plan.prefix,
+                plan.low,
+                plan.high,
+                include_low=plan.include_low,
+                include_high=plan.include_high,
+                descending=plan.descending,
+                exclude_null=plan.exclude_null,
+            ):
+                for pk in sorted(bucket, key=sort_key):
+                    row = self._table.raw_row(pk)
+                    if row is None:
+                        continue
+                    if all(cond.matches(row) for cond in residual):
+                        yield row
+            return
+        if plan.kind == "scan":
+            candidates: "Iterator[Any]" = iter(self._table.pks())
+        elif plan.kind == "hash":
+            candidates = iter(plan.index.lookup(plan.key))
+        elif plan.kind == "intersect":
+            assert plan.indexes is not None and plan.keys is not None
+            sets = sorted(
+                (
+                    index.lookup(key)
+                    for index, key in zip(plan.indexes, plan.keys)
+                ),
+                key=len,
+            )
+            merged = set(sets[0]).intersection(*sets[1:]) if sets else set()
+            candidates = iter(merged)
+        else:  # "pks"
+            candidates = iter(plan.pks or ())
         for pk in candidates:
             row = self._table.raw_row(pk)
             if row is None:
@@ -554,21 +1056,51 @@ class Query:
             if all(cond.matches(row) for cond in residual):
                 yield row
 
-    def _sorted_rows(self) -> list[dict[str, Any]]:
-        rows = list(self._matching_rows())
-        # Stable multi-key sort: apply keys in reverse priority order.
-        for column, descending in reversed(self._order):
-            rows.sort(key=lambda r: sort_key(r.get(column)), reverse=descending)
-        return rows
+    def _matching_rows(self) -> Iterator[dict[str, Any]]:
+        return self._iter_plan_rows(self._plan())
+
+    def _order_satisfied(self, plan: Plan) -> bool:
+        """Whether *plan*'s natural output order covers ``order_by``."""
+        if not self._order:
+            return True
+        if len(plan.ordered) < len(self._order):
+            return False
+        return tuple(self._order) == plan.ordered[: len(self._order)]
 
     def _limited_rows(self) -> list[dict[str, Any]]:
-        """Matching rows after sort/offset/limit — internal references."""
-        rows = self._sorted_rows()
-        if self._offset:
-            rows = rows[self._offset:]
-        if self._limit is not None:
-            rows = rows[: self._limit]
-        return rows
+        """Matching rows after sort/offset/limit — internal references.
+
+        When the plan already yields rows in the requested order (an
+        ordered-index seek whose free columns match ``order_by``, or no
+        ordering at all), the sort is skipped and LIMIT exits early:
+        only ``offset + limit`` rows are ever pulled from the iterator.
+        """
+        plan = self._plan()
+        rows_iter = self._iter_plan_rows(plan)
+        if self._order and not self._order_satisfied(plan):
+            rows = list(rows_iter)
+            # Stable multi-key sort: apply keys in reverse priority order.
+            for column, descending in reversed(self._order):
+                rows.sort(
+                    key=lambda r: sort_key(r.get(column)), reverse=descending
+                )
+            if self._offset:
+                rows = rows[self._offset:]
+            if self._limit is not None:
+                rows = rows[: self._limit]
+            return rows
+        stop = None if self._limit is None else self._offset + self._limit
+        return list(islice(rows_iter, self._offset, stop))
+
+    def _project(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Copy *row*, trimmed to the projection (pk always included)."""
+        if self._select is None:
+            return dict(row)
+        pk_col = self._table.pk_column
+        out = {column: row.get(column) for column in self._select}
+        if pk_col not in out:
+            out[pk_col] = row.get(pk_col)
+        return out
 
     def all(self) -> list[dict[str, Any]]:
         """Execute and return row copies."""
@@ -586,7 +1118,7 @@ class Query:
             # published under the version captured in the key.
             epoch = self._table.mutation_epoch
             result = self._execute(
-                "rows", lambda: [dict(r) for r in self._limited_rows()]
+                "rows", lambda: [self._project(r) for r in self._limited_rows()]
             )
             if (
                 self._table.mutation_epoch == epoch
@@ -598,7 +1130,7 @@ class Query:
         if cache is not None:
             cache.record("bypass")
         return self._execute(
-            "rows", lambda: [dict(r) for r in self._limited_rows()]
+            "rows", lambda: [self._project(r) for r in self._limited_rows()]
         )
 
     def first(self) -> dict[str, Any] | None:

@@ -112,12 +112,18 @@ class TableSchema:
 
     ``indexes`` lists non-unique secondary indexes; each entry is either a
     column name or a tuple of column names for a composite index.
+    ``ordered`` lists ordered (range-capable) indexes the same way —
+    single-column entries duplicate what ``indexes`` already provides
+    automatically, so ``ordered`` is mostly for **composite** ordered
+    indexes, which give the planner prefix seeks (equality on a key
+    prefix + range on the next column) and covering reads.
     ``unique_together`` declares multi-column unique constraints.
     """
 
     name: str
     columns: Sequence[Column]
     indexes: Sequence[str | tuple[str, ...]] = field(default_factory=list)
+    ordered: Sequence[str | tuple[str, ...]] = field(default_factory=list)
     unique_together: Sequence[tuple[str, ...]] = field(default_factory=list)
     checks: Sequence[CheckConstraint] = field(default_factory=list)
     doc: str = ""
@@ -143,7 +149,7 @@ class TableSchema:
             raise SchemaError(
                 f"table {self.name!r}: primary key must be INT or TEXT"
             )
-        for spec in self.index_specs():
+        for spec in self.index_specs() + self.ordered_index_specs():
             for col_name in spec:
                 if col_name not in seen:
                     raise SchemaError(
@@ -188,15 +194,25 @@ class TableSchema:
     def has_column(self, name: str) -> bool:
         return name in self._column_map
 
-    def index_specs(self) -> list[tuple[str, ...]]:
-        """Normalize ``indexes`` entries to tuples of column names."""
+    @staticmethod
+    def _normalize_specs(
+        entries: "Sequence[str | tuple[str, ...]]",
+    ) -> list[tuple[str, ...]]:
         specs: list[tuple[str, ...]] = []
-        for entry in self.indexes:
+        for entry in entries:
             if isinstance(entry, str):
                 specs.append((entry,))
             else:
                 specs.append(tuple(entry))
         return specs
+
+    def index_specs(self) -> list[tuple[str, ...]]:
+        """Normalize ``indexes`` entries to tuples of column names."""
+        return self._normalize_specs(self.indexes)
+
+    def ordered_index_specs(self) -> list[tuple[str, ...]]:
+        """Normalize ``ordered`` entries to tuples of column names."""
+        return self._normalize_specs(self.ordered)
 
     def foreign_keys(self) -> Iterable[tuple[Column, ForeignKey]]:
         """Yield ``(column, fk)`` for every FK-bearing column."""

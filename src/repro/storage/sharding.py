@@ -743,13 +743,24 @@ class ShardedQuery:
         base["shards_consulted"] = list(targets)
         base["routing"] = routing
         if len(targets) > 1:
-            base["shards"] = {
-                sid: self._build(sid, push_paging=False).explain()["strategy"]
+            shard_plans = {
+                sid: self._build(sid, push_paging=False).explain()
                 for sid in targets
             }
+            base["shards"] = {
+                sid: plan["strategy"] for sid, plan in shard_plans.items()
+            }
             base["candidates"] = sum(
-                self._build(sid, push_paging=False).explain()["candidates"]
-                for sid in targets
+                plan["candidates"] for plan in shard_plans.values()
+            )
+            # Scatter-gather totals of the per-shard costed plans, so
+            # the merged view reports planner estimates too.
+            base["estimated_rows"] = sum(
+                plan["estimated_rows"] for plan in shard_plans.values()
+            )
+            base["estimated_cost"] = round(
+                sum(plan["estimated_cost"] for plan in shard_plans.values()),
+                2,
             )
         return base
 

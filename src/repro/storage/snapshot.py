@@ -30,6 +30,14 @@ whenever the table has not changed since the snapshot — guarded by the
 table's seqlock epoch; when the table has moved on (or a mutation is in
 flight), they fall back to a chain-walking scan, trading speed for the
 same correctness.
+
+Fluent queries built from a snapshot go through the same cost-based
+planner as live queries; the statistics it prices plans with are the
+live table's, which under the seqlock guard *are* the snapshot-version
+statistics (the guard proves no mutation has happened since).  The
+chosen plan is pinned — candidate pks are materialized while the guard
+holds — so execution stays correct even if commits land before the rows
+are resolved through the version chains.
 """
 
 from __future__ import annotations

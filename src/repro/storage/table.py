@@ -46,8 +46,9 @@ from repro.errors import (
     RowNotFound,
     SchemaError,
 )
-from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.index import HashIndex, OrderedIndex, SortedIndex
 from repro.storage.schema import TableSchema
+from repro.storage.stats import TableStatistics
 from repro.storage.types import ColumnType, coerce
 from repro.util.ids import IdAllocator
 
@@ -144,12 +145,15 @@ class Table:
         # Unique constraints become unique hash indexes (PK handled by the
         # row dict itself).  Plain/composite indexes become hash indexes;
         # every single-column plain index also gets a sorted twin so range
-        # predicates and ORDER BY can use it.  Indexes always reflect the
+        # predicates and ORDER BY can use it, and ``schema.ordered``
+        # declares further ordered indexes (composites give the planner
+        # prefix seeks and covering reads).  Indexes always reflect the
         # *latest* (possibly uncommitted) state; snapshot reads may only
         # use them when the table has not moved past the snapshot.
         self._unique_indexes: list[HashIndex] = []
         self._hash_indexes: dict[tuple[str, ...], HashIndex] = {}
         self._sorted_indexes: dict[str, SortedIndex] = {}
+        self._ordered_indexes: dict[tuple[str, ...], OrderedIndex] = {}
 
         for col in schema.columns:
             if col.unique and not col.primary_key:
@@ -165,6 +169,19 @@ class Table:
                 self._hash_indexes[spec] = HashIndex(schema.name, spec)
             if len(spec) == 1 and spec[0] not in self._sorted_indexes:
                 self._sorted_indexes[spec[0]] = SortedIndex(schema.name, spec[0])
+        for spec in schema.ordered_index_specs():
+            if len(spec) == 1:
+                if spec[0] not in self._sorted_indexes:
+                    self._sorted_indexes[spec[0]] = SortedIndex(
+                        schema.name, spec[0]
+                    )
+            elif spec not in self._ordered_indexes:
+                self._ordered_indexes[spec] = OrderedIndex(schema.name, spec)
+
+        # Planner statistics: reservoir samples per column; fed by the
+        # row mutation paths (insert/update/delete and their undos), so
+        # estimates track the latest state and rollback stays symmetric.
+        self._stats = TableStatistics(list(schema.column_names))
 
         # Index-maintenance instruments, cached per table so the per-row
         # hot path is a single counter increment.
@@ -510,6 +527,7 @@ class Table:
             len(self._unique_indexes)
             + len(self._hash_indexes)
             + len(self._sorted_indexes)
+            + len(self._ordered_indexes)
         )
 
     def _index_add(self, row: dict[str, Any], pk: Any) -> None:
@@ -519,6 +537,8 @@ class Table:
             index.add(row, pk)
         for index in self._sorted_indexes.values():
             index.add(row, pk)
+        for index in self._ordered_indexes.values():
+            index.add(row, pk)
         self._m_index_add.inc(self._index_count())
 
     def _index_remove(self, row: dict[str, Any], pk: Any) -> None:
@@ -527,6 +547,8 @@ class Table:
         for index in self._hash_indexes.values():
             index.remove(row, pk)
         for index in self._sorted_indexes.values():
+            index.remove(row, pk)
+        for index in self._ordered_indexes.values():
             index.remove(row, pk)
         self._m_index_remove.inc(self._index_count())
 
@@ -563,6 +585,7 @@ class Table:
         self._live += 1
         self._lazy_truncate(node)
         self._index_add(row, pk)
+        self._stats.on_insert(row)
         self._end_change()
         return dict(row), UndoEntry("insert", self.name, pk, None, dict(row))
 
@@ -591,6 +614,8 @@ class Table:
         self._reclaimable += 1
         self._lazy_truncate(node)
         self._index_add(candidate, pk)
+        self._stats.on_remove(before)
+        self._stats.on_insert(candidate)
         self._end_change()
         return dict(candidate), UndoEntry(
             "update", self.name, pk, dict(before), dict(candidate)
@@ -616,6 +641,7 @@ class Table:
         self._live -= 1
         self._reclaimable += 2  # the tombstone plus the superseded version
         self._lazy_truncate(node)
+        self._stats.on_remove(before)
         self._end_change()
         return dict(before), UndoEntry("delete", self.name, pk, dict(before), None)
 
@@ -647,6 +673,7 @@ class Table:
         if entry.op == "insert":
             assert head.row is not None
             self._index_remove(head.row, entry.pk)
+            self._stats.on_remove(head.row)
             if head.older is None:
                 del self._rows[entry.pk]
             else:
@@ -657,6 +684,7 @@ class Table:
             assert older is not None and older.row is not None
             self._rows[entry.pk] = older
             self._index_add(older.row, entry.pk)
+            self._stats.on_insert(older.row)
             self._live += 1
             self._reclaimable = max(0, self._reclaimable - 2)
         elif entry.op == "update":
@@ -666,6 +694,8 @@ class Table:
             self._index_remove(head.row, entry.pk)
             self._rows[entry.pk] = older
             self._index_add(older.row, entry.pk)
+            self._stats.on_remove(head.row)
+            self._stats.on_insert(older.row)
             self._reclaimable = max(0, self._reclaimable - 1)
         else:  # pragma: no cover - defensive
             raise SchemaError(f"unknown undo op {entry.op!r}")
@@ -678,6 +708,22 @@ class Table:
 
     def sorted_index_for(self, column: str) -> SortedIndex | None:
         return self._sorted_indexes.get(column)
+
+    def ordered_index_for(self, columns: tuple[str, ...]) -> OrderedIndex | None:
+        """The ordered index over exactly *columns*, if one exists."""
+        if len(columns) == 1:
+            return self._sorted_indexes.get(columns[0])
+        return self._ordered_indexes.get(columns)
+
+    def ordered_indexes(self) -> "list[OrderedIndex]":
+        """Every ordered index (single-column twins + declared composites)."""
+        return list(self._sorted_indexes.values()) + list(
+            self._ordered_indexes.values()
+        )
+
+    def hash_indexes(self) -> "list[HashIndex]":
+        """Every non-unique hash index (planner candidate enumeration)."""
+        return list(self._hash_indexes.values())
 
     def unique_index_for(self, columns: tuple[str, ...]) -> HashIndex | None:
         for index in self._unique_indexes:
@@ -692,6 +738,50 @@ class Table:
             idx.columns[0] for idx in self._unique_indexes if len(idx.columns) == 1
         }
         return cols
+
+    def statistics(self) -> TableStatistics:
+        """Per-column reservoir statistics (planner cardinality input)."""
+        return self._stats
+
+    def distinct_count(self, column: str) -> int:
+        """Best-available distinct-value count for *column*.
+
+        Prefers exact O(1) counts off an index over that column (hash or
+        ordered), falling back to the reservoir-sample estimate.  The PK
+        column is exact by construction (one value per live row).
+        """
+        if column == self._pk:
+            return self._live
+        index = self._hash_indexes.get((column,))
+        if index is not None:
+            return index.distinct_keys()
+        sorted_index = self._sorted_indexes.get(column)
+        if sorted_index is not None:
+            return sorted_index.distinct_keys()
+        for unique in self._unique_indexes:
+            if unique.columns == (column,):
+                return unique.distinct_keys()
+        return self._stats.distinct_estimate(column, self._live)
+
+    def column_min_max(self, column: str) -> "tuple[Any, Any] | None":
+        """O(1) (min, max) for *column* via its ordered index, if any."""
+        index = self._sorted_indexes.get(column)
+        if index is None or len(index) == 0:
+            return None
+        low = index.min_key()
+        high = index.max_key()
+        if low is None or high is None:
+            return None
+        return low[0], high[0]
+
+    def stats_state(self) -> dict[str, Any]:
+        """JSON-safe sampler state for checkpoint persistence."""
+        return self._stats.state()
+
+    def restore_stats(self, state: dict[str, Any]) -> None:
+        """Restore sampler state captured by :meth:`stats_state`."""
+        self._stats = TableStatistics(list(self.schema.column_names))
+        self._stats.restore(state)
 
     # -- schema evolution -----------------------------------------------------
 
@@ -737,11 +827,14 @@ class Table:
             name=self.schema.name,
             columns=list(self.schema.columns) + [column],
             indexes=list(self.schema.indexes),
+            ordered=list(self.schema.ordered),
             unique_together=list(self.schema.unique_together),
             checks=list(self.schema.checks),
             doc=self.schema.doc,
         )
         self.schema = new_schema
+        self._stats.add_column(column.name)
+        self._stats.on_backfill(column.name, list(backfill.values()))
         self._begin_change()
         seq = self._publish_out_of_band()
         for pk, value in backfill.items():
@@ -759,15 +852,38 @@ class Table:
                     index.add(head.row, pk)
             self._unique_indexes.append(index)
 
-    def add_index(self, columns: tuple[str, ...]) -> None:
-        """Create a secondary index over existing data."""
+    def add_index(self, columns: tuple[str, ...], *, ordered: bool = False) -> None:
+        """Create a secondary index over existing data.
+
+        With ``ordered=True`` a composite ordered index is built instead
+        of a hash index, giving the planner prefix seeks and covering
+        reads over *columns* (single-column ordered indexes come for
+        free with plain indexes, so ``ordered`` matters for composites).
+        """
         for name in columns:
             self.schema.column(name)  # validates existence
+        timer = self._db.obs.timer()
+        if ordered and len(columns) > 1:
+            if columns in self._ordered_indexes:
+                raise SchemaError(
+                    f"table {self.name!r} already has an ordered index on "
+                    f"{columns!r}"
+                )
+            self._begin_change()
+            ordered_index = OrderedIndex(self.name, columns)
+            for pk, head in self._rows.items():
+                if head.row is not None:
+                    ordered_index.add(head.row, pk)
+            self._ordered_indexes[columns] = ordered_index
+            self.schema.ordered = list(self.schema.ordered) + [columns]
+            self._db._publish_commit_seq(self._publish_out_of_band())
+            self._mutation_epoch += 1
+            self._m_index_build.observe(timer.elapsed())
+            return
         if columns in self._hash_indexes:
             raise SchemaError(
                 f"table {self.name!r} already has an index on {columns!r}"
             )
-        timer = self._db.obs.timer()
         self._begin_change()
         index = HashIndex(self.name, columns)
         for pk, head in self._rows.items():
@@ -796,6 +912,8 @@ class Table:
         for index in self._hash_indexes.values():
             index.clear()
         for index in self._sorted_indexes.values():
+            index.clear()
+        for index in self._ordered_indexes.values():
             index.clear()
         for pk, head in self._rows.items():
             if head.row is not None:

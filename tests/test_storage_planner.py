@@ -1,0 +1,404 @@
+"""Cost-based planner: plan choice, ordered/composite/covering indexes.
+
+Every plan-shape test cross-checks the costed path against the forced
+scan (``without_indexes``) on the same query — the planner may only
+change *how* rows are found, never *which* rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Column, ColumnType, Database, TableSchema
+from repro.storage.index import HashIndex, OrderedIndex, SortedIndex
+from repro.storage.sharding import ShardedDatabase
+
+
+def _events_schema() -> TableSchema:
+    return TableSchema(
+        name="event",
+        columns=[
+            Column("id", ColumnType.INT, primary_key=True),
+            Column("project", ColumnType.INT, nullable=False),
+            Column("kind", ColumnType.TEXT, nullable=False),
+            Column("batch", ColumnType.INT, nullable=False),
+            Column("score", ColumnType.INT),
+            Column("payload", ColumnType.TEXT),
+        ],
+        indexes=["project", "kind", "batch"],
+        ordered=["score", ("project", "score")],
+    )
+
+
+@pytest.fixture
+def events_db() -> Database:
+    db = Database()
+    db.create_table(_events_schema())
+    with db.transaction() as txn:
+        for i in range(400):
+            txn.insert(
+                "event",
+                {
+                    "id": i,
+                    "project": i % 20,
+                    "kind": ("import", "export", "qc", "run")[i % 4],
+                    "batch": i % 25,
+                    "score": None if i % 50 == 49 else i,
+                    "payload": f"row {i}",
+                },
+            )
+    return db
+
+
+def _rows(query):
+    return sorted(r["id"] for r in query.all())
+
+
+# -- index-level satellites ------------------------------------------------
+
+
+class TestIndexCounters:
+    def test_hash_len_counts_entries(self):
+        index = HashIndex("t", ("c",))
+        for pk in range(5):
+            index.add({"c": pk % 2}, pk)
+        assert len(index) == 5
+        index.remove({"c": 0}, 0)
+        assert len(index) == 4
+        assert index.distinct_keys() == 2
+
+    def test_sorted_len_counts_entries(self):
+        index = SortedIndex("t", "c")
+        for pk in range(6):
+            index.add({"c": pk % 3}, pk)
+        assert len(index) == 6
+        index.remove({"c": 1}, 1)
+        assert len(index) == 5
+        index.clear()
+        assert len(index) == 0
+
+    def test_remove_then_range_sees_consistent_state(self):
+        # Regression: remove() must drop the sorted key and the pk
+        # bucket under the same bisect position — a torn remove left a
+        # stale key behind that a following range() resurrected.
+        index = SortedIndex("t", "c")
+        for pk in range(4):
+            index.add({"c": 10}, pk)
+        index.add({"c": 20}, 99)
+        index.remove({"c": 10}, 2)
+        assert index.range(low=10, high=10) == {0, 1, 3}
+        for pk in (0, 1, 3):
+            index.remove({"c": 10}, pk)
+        # Key 10 fully gone: neither ranges nor ordered iteration may
+        # see it.
+        assert index.range(low=5, high=15) == set()
+        assert list(index.ordered_pks()) == [99]
+        assert index.min_key() == (20,)
+
+    def test_composite_covers(self):
+        index = OrderedIndex("t", ("a", "b"))
+        assert index.covers(["a"])
+        assert index.covers(["a", "b"])
+        assert not index.covers(["a", "c"])
+
+
+# -- plan selection --------------------------------------------------------
+
+
+class TestPlanChoice:
+    def test_range_uses_ordered_index(self, events_db):
+        query = (
+            events_db.query("event")
+            .where("score", ">=", 100)
+            .where("score", "<", 120)
+        )
+        plan = query.explain()
+        assert plan["strategy"] == "range:sx_event_score"
+        assert _rows(query) == _rows(query.without_indexes())
+
+    def test_composite_prefix_seek(self, events_db):
+        query = (
+            events_db.query("event")
+            .where("project", "=", 3)
+            .where("score", ">=", 200)
+        )
+        plan = query.explain(analyze=True)
+        assert plan["strategy"] == "prefix:ox_event_project_score"
+        assert plan["residual_predicates"] == 0
+        assert plan["actual_rows"] == len(query.all())
+        assert _rows(query) == _rows(query.without_indexes())
+
+    def test_covering_requires_projection(self, events_db):
+        base = (
+            events_db.query("event")
+            .where("project", "=", 3)
+            .where("score", ">=", 200)
+        )
+        covered = (
+            events_db.query("event")
+            .select("project", "score")
+            .where("project", "=", 3)
+            .where("score", ">=", 200)
+        )
+        assert base.explain()["covering"] is False
+        plan = covered.explain()
+        assert plan["strategy"] == "covering:ox_event_project_score"
+        assert plan["covering"] is True
+        rows = covered.all()
+        assert rows
+        # Synthesized from index entries: projection plus the pk.
+        assert all(set(r) == {"project", "score", "id"} for r in rows)
+        assert sorted(r["id"] for r in rows) == _rows(base)
+
+    def test_intersection_of_hash_indexes(self, events_db):
+        # Each single bucket holds 20 / 16 rows, the conjunction only
+        # one: merging the two pk sets is cheaper than fetching either
+        # bucket and filtering.
+        query = (
+            events_db.query("event")
+            .where("project", "=", 3)
+            .where("batch", "=", 3)
+        )
+        plan = query.explain()
+        assert plan["strategy"].startswith("intersect:")
+        assert _rows(query) == _rows(query.without_indexes())
+
+    def test_alternatives_are_priced(self, events_db):
+        plan = (
+            events_db.query("event").where("project", "=", 3).explain()
+        )
+        strategies = {alt["strategy"] for alt in plan["alternatives"]}
+        assert "scan" in strategies
+        assert plan["strategy"] not in strategies
+        assert all(
+            isinstance(alt["cost"], (int, float))
+            for alt in plan["alternatives"]
+        )
+
+    def test_estimates_track_actuals(self, events_db):
+        plan = (
+            events_db.query("event")
+            .where("score", ">=", 100)
+            .where("score", "<", 120)
+            .explain(analyze=True)
+        )
+        assert plan["actual_rows"] == 20
+        assert abs(plan["estimated_rows"] - plan["actual_rows"]) <= 5
+
+    def test_scan_when_no_index_applies(self, events_db):
+        plan = (
+            events_db.query("event").where("payload", "contains", "7").explain()
+        )
+        assert plan["strategy"] == "scan"
+
+    def test_null_scores_excluded_from_upper_bound(self, events_db):
+        # score < X must not leak NULL-score rows even though NULL keys
+        # sort first in the ordered index (SQL three-valued logic).
+        query = events_db.query("event").where("score", "<", 30)
+        assert query.explain()["strategy"] == "range:sx_event_score"
+        ids = _rows(query)
+        assert ids == _rows(query.without_indexes())
+        assert 49 not in ids  # the first NULL-score row
+
+    def test_database_add_index_ordered(self, events_db):
+        events_db.add_index("event", ("kind", "score"), ordered=True)
+        query = (
+            events_db.query("event")
+            .where("kind", "=", "qc")
+            .where("score", ">", 300)
+        )
+        assert query.explain()["strategy"] == "prefix:ox_event_kind_score"
+        assert _rows(query) == _rows(query.without_indexes())
+
+    def test_schema_rejects_unknown_ordered_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                name="bad",
+                columns=[Column("id", ColumnType.INT, primary_key=True)],
+                ordered=["missing"],
+            ).validate()
+
+
+# -- ordering and LIMIT ----------------------------------------------------
+
+
+class TestOrderAndLimit:
+    def test_order_rides_sorted_index(self, events_db):
+        query = events_db.query("event").order_by("score").limit(5)
+        plan = query.explain()
+        assert plan["strategy"] == "order:sx_event_score"
+        assert plan["early_exit"] is True
+        scan = (
+            events_db.query("event").order_by("score").limit(5).without_indexes()
+        )
+        assert [r["id"] for r in query.all()] == [r["id"] for r in scan.all()]
+
+    def test_descending_order_ride(self, events_db):
+        query = (
+            events_db.query("event")
+            .where("score", ">=", 0)
+            .order_by("score", descending=True)
+            .limit(3)
+        )
+        plan = query.explain()
+        assert plan["early_exit"] is True
+        assert [r["score"] for r in query.all()] == [398, 397, 396]
+
+    def test_limit_early_exit_matches_sorted_scan(self, events_db):
+        query = (
+            events_db.query("event")
+            .where("score", ">=", 50)
+            .order_by("score")
+            .limit(7)
+            .offset(2)
+        )
+        assert query.explain()["early_exit"] is True
+        scan = (
+            events_db.query("event")
+            .where("score", ">=", 50)
+            .order_by("score")
+            .limit(7)
+            .offset(2)
+            .without_indexes()
+        )
+        assert [r["id"] for r in query.all()] == [r["id"] for r in scan.all()]
+
+    def test_bare_ride_only_offered_when_order_satisfied(self, events_db):
+        # ORDER BY an unindexed column: no index produces that order,
+        # so no "order:" ride may be planned just to shave scan setup.
+        plan = (
+            events_db.query("event").order_by("payload").limit(5).explain()
+        )
+        assert plan["strategy"] == "scan"
+        assert not any(
+            alt["strategy"].startswith("order:")
+            for alt in plan["alternatives"]
+        )
+
+    def test_unsatisfied_order_disables_early_exit(self, events_db):
+        plan = (
+            events_db.query("event")
+            .where("project", "=", 3)
+            .order_by("payload")
+            .limit(5)
+            .explain()
+        )
+        assert plan["early_exit"] is False
+
+
+# -- statistics ------------------------------------------------------------
+
+
+class TestStatistics:
+    def test_distinct_counts(self, events_db):
+        table = events_db.table("event")
+        assert table.distinct_count("project") == 20
+        assert table.distinct_count("kind") == 4
+        low, high = table.column_min_max("score")
+        assert low is None  # NULL keys sort first in the ordered index
+        assert high == 398  # 399 is a NULL-score row
+
+    def test_stats_follow_mutations(self, events_db):
+        table = events_db.table("event")
+        assert table.distinct_count("kind") == 4
+        events_db.update("event", 0, {"kind": "audit"})
+        assert table.distinct_count("kind") == 5
+        events_db.delete("event", 0)
+        assert table.distinct_count("kind") == 4
+
+    def test_stats_survive_wal_recovery(self, tmp_path):
+        path = tmp_path / "data"
+        db = Database(path, durability="always")
+        db.create_table(_events_schema())
+        with db.transaction() as txn:
+            for i in range(120):
+                txn.insert(
+                    "event",
+                    {"id": i, "project": i % 7, "kind": "import",
+                     "batch": i % 5, "score": i, "payload": "p"},
+                )
+        db.checkpoint()
+        # Post-checkpoint traffic must be replayed into the restored
+        # sampler state, not a freshly reseeded one.
+        with db.transaction() as txn:
+            for i in range(120, 150):
+                txn.insert(
+                    "event",
+                    {"id": i, "project": i % 7, "kind": "export",
+                     "batch": i % 5, "score": i, "payload": "p"},
+                )
+        before = db.table("event").stats_state()
+        strategy = (
+            db.query("event")
+            .where("score", ">=", 10)
+            .where("score", "<", 20)
+            .explain()["strategy"]
+        )
+        db.close()
+
+        reopened = Database(path, durability="always")
+        reopened.create_table(_events_schema())
+        reopened.recover()
+        table = reopened.table("event")
+        assert table.stats_state() == before
+        assert table.distinct_count("project") == 7
+        assert (
+            reopened.query("event")
+            .where("score", ">=", 10)
+            .where("score", "<", 20)
+            .explain()["strategy"]
+            == strategy
+        )
+        reopened.close()
+
+
+# -- explain provenance ----------------------------------------------------
+
+
+class TestExplainProvenance:
+    def test_live_snapshot_and_sharded_explain(self, tmp_path):
+        sdb = ShardedDatabase(tmp_path / "shards", shards=2)
+        sdb.create_table(_events_schema())
+        for i in range(60):
+            sdb.insert(
+                "event",
+                {"id": i, "project": i % 5, "kind": "import",
+                 "batch": i % 5, "score": i, "payload": "p"},
+            )
+        plan = (
+            sdb.query("event")
+            .where("score", ">=", 10)
+            .where("score", "<", 30)
+            .explain()
+        )
+        assert plan["shards_consulted"] == [0, 1]
+        assert plan["strategy"] == "range:sx_event_score"
+        assert set(plan["shards"]) == {0, 1}
+        # Scatter explain aggregates the per-shard costed plans.
+        assert plan["estimated_rows"] > 0
+        assert plan["estimated_cost"] > 0
+        sdb.close()
+
+    def test_snapshot_pins_costed_plan(self, events_db):
+        with events_db.snapshot() as snap:
+            live = (
+                events_db.query("event").where("project", "=", 3).explain()
+            )
+            pinned = snap.query("event").where("project", "=", 3).explain()
+            # Fresh snapshot: same costed plan, same cache key.
+            assert pinned["strategy"] == live["strategy"]
+            assert pinned["cache_key"] == live["cache_key"]
+            assert pinned["snapshot_version"] == snap.seq
+            rows = _rows(snap.query("event").where("project", "=", 3))
+            # The pinned plan stays correct after later commits.
+            events_db.insert(
+                "event",
+                {"id": 1000, "project": 3, "kind": "qc",
+                 "batch": 0, "score": 1, "payload": "new"},
+            )
+            assert _rows(snap.query("event").where("project", "=", 3)) == rows
+            # A query planned *after* the commit sees a moved table and
+            # falls back to the snapshot-safe scan.
+            stale = snap.query("event").where("project", "=", 3).explain()
+            assert stale["strategy"] == "scan"
