@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import socket
 import statistics
 import tempfile
 import threading
@@ -84,6 +85,11 @@ QUEUE_WORKER_COUNTS = (1, 4, 8)
 QUEUE_INGEST_JOBS = 24
 #: Files per import job (each fetched, checksummed, and ingested).
 QUEUE_INGEST_FILES = 2
+
+#: Portal serving matrix: concurrent HTTP client threads per cell.
+PORTAL_CLIENT_COUNTS = (1, 4, 16)
+#: Measured window per portal cell at scale 1.0, seconds.
+PORTAL_WINDOW = 0.8
 
 
 def _commit_schema() -> TableSchema:
@@ -995,6 +1001,305 @@ def bench_queue_ingest(
     }
 
 
+def _read_http_response(sock, buffer: bytes) -> "tuple[int, bytes, bool]":
+    """Read one framed response; returns (status, leftover, closed).
+
+    Minimal by design: the hammer client must cost as little Python as
+    possible so the cell measures the *server* (client and server share
+    one interpreter — a heavyweight client steals GIL time from the
+    code under test).  Handles Content-Length framing, bodyless 304s,
+    and servers that frame by closing (wsgiref's HTTP/1.0 baseline).
+    """
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionResetError("eof in headers")
+        buffer += chunk
+    head, _, buffer = buffer.partition(b"\r\n\r\n")
+    status = int(head[9:12])
+    lowered = head.lower()
+    closing = b"connection: close" in lowered
+    length = None
+    marker = lowered.find(b"content-length:")
+    if marker != -1:
+        line_end = lowered.find(b"\r\n", marker)
+        end = line_end if line_end != -1 else len(lowered)
+        length = int(lowered[marker + 15 : end])
+    if status == 304 or length == 0:
+        return status, buffer, closing
+    if length is not None:
+        while len(buffer) < length:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionResetError("eof in body")
+            buffer += chunk
+        return status, buffer[length:], closing
+    # No length: the peer frames by closing (HTTP/1.0 style).
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return status, b"", True
+        buffer += chunk
+
+
+def _portal_hammer(
+    port: int, path: str, headers: dict[str, str], clients: int, window: float
+) -> dict[str, Any]:
+    """*clients* keep-alive connections hammering one GET for *window*.
+
+    A connection the server closes (wsgiref baseline, shed-and-close) is
+    transparently reopened, so the cell measures end-to-end throughput
+    including reconnect costs — exactly what a real client fleet pays.
+    The client is a raw socket loop sending precomputed request bytes
+    (see :func:`_read_http_response` for why not ``http.client``).
+    """
+    request_lines = [f"GET {path} HTTP/1.1", "Host: bench"]
+    request_lines += [f"{name}: {value}" for name, value in headers.items()]
+    request = ("\r\n".join(request_lines) + "\r\n\r\n").encode("latin-1")
+
+    counts: dict[int, int] = {}
+    mu = threading.Lock()
+    # The window only starts once every client thread is up: spawning
+    # 16 threads on a loaded box can take longer than a smoke-scale
+    # window, and a cell with zero requests reads as a broken server.
+    go = threading.Event()
+    deadline: list[float] = [0.0]
+
+    def run() -> None:
+        sock = None
+        buffer = b""
+        local: dict[int, int] = {}
+        go.wait()
+        clock = time.perf_counter
+        while True:
+            try:
+                if sock is None:
+                    sock = socket.create_connection(
+                        ("127.0.0.1", port), timeout=10
+                    )
+                    sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                    buffer = b""
+                sock.sendall(request)
+                status, buffer, closed = _read_http_response(sock, buffer)
+                local[status] = local.get(status, 0) + 1
+                if closed:
+                    sock.close()
+                    sock = None
+            except OSError:
+                if sock is not None:
+                    sock.close()
+                sock = None
+            if clock() >= deadline[0]:
+                break  # after ≥ 1 attempt, so no cell is ever empty
+        if sock is not None:
+            sock.close()
+        with mu:
+            for status, count in local.items():
+                counts[status] = counts.get(status, 0) + count
+
+    threads = [threading.Thread(target=run) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    started = time.perf_counter()
+    deadline[0] = started + window
+    go.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    total_ok = counts.get(200, 0) + counts.get(304, 0)
+    return {
+        "requests": sum(counts.values()),
+        "ok": total_ok,
+        "statuses": {str(k): v for k, v in sorted(counts.items())},
+        "seconds": round(elapsed, 6),
+        "qps": round(total_ok / elapsed, 3) if elapsed else 0.0,
+    }
+
+
+def _portal_login(port: int) -> str:
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    conn.request(
+        "POST", "/login", body="login=admin&password=adminpw",
+        headers={"Content-Type": "application/x-www-form-urlencoded"},
+    )
+    response = conn.getresponse()
+    response.read()
+    cookie = (response.getheader("Set-Cookie") or "").split(";")[0]
+    conn.close()
+    return cookie
+
+
+def bench_portal_qps(
+    client_counts: "tuple[int, ...]" = PORTAL_CLIENT_COUNTS,
+    window: float = PORTAL_WINDOW,
+) -> dict[str, Any]:
+    """Serving-tier throughput: cold renders vs 304 hits vs JSON.
+
+    One deployment, three read modes against the same project page:
+
+    * ``cold`` — full HTML render (no validator presented);
+    * ``not_modified`` — the same GET with ``If-None-Match``, answered
+      by the 304 fast path (no render, no snapshot, no table reads);
+    * ``json_api`` — the machine-readable projection.
+
+    A single-threaded ``wsgiref`` baseline serves the JSON mode at the
+    top client count (the ROADMAP's "what we replaced" number), and a
+    deliberately tiny admission gate (``max_inflight=2``) is saturated
+    to show overload shedding 503s instead of queueing.
+    """
+    from wsgiref.simple_server import WSGIRequestHandler, make_server
+
+    from repro.facade import BFabric
+    from repro.portal import PortalApplication
+    from repro.portal.server import PortalServer
+
+    system = BFabric()
+    admin = system.bootstrap(password="adminpw")
+    system.directory.set_password(admin, admin.user_id, "adminpw")
+    project = system.projects.create(
+        admin, "portal bench", description="serving-tier workload"
+    )
+    for index in range(300):
+        system.samples.register_sample(
+            admin, project.id, f"sample-{index:03d}", species="H. sapiens"
+        )
+    app = PortalApplication(system)
+    page_path = f"/projects/{project.id}"
+    api_path = "/api/projects"
+
+    server = PortalServer(
+        app, "127.0.0.1", 0, workers=8, max_inflight=64, keep_alive=5.0
+    ).start()
+    try:
+        cookie = _portal_login(server.port)
+        import http.client
+
+        probe = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        probe.request("GET", page_path, headers={"Cookie": cookie})
+        response = probe.getresponse()
+        response.read()
+        etag = response.getheader("ETag") or ""
+        probe.close()
+        top = max(client_counts)
+        modes: dict[str, dict[str, Any]] = {"cold": {}, "not_modified": {}, "json_api": {}}
+        for clients in client_counts:
+            # The speedup-bearing cells (top client count) run best-of-3,
+            # same methodology as the commit-throughput sweep: scheduler
+            # noise only ever loses requests, so max is the honest read.
+            rounds = 3 if clients == top else 1
+            modes["cold"][str(clients)] = max(
+                (_portal_hammer(
+                    server.port, page_path, {"Cookie": cookie}, clients, window
+                ) for _ in range(rounds)),
+                key=lambda cell: cell["qps"],
+            )
+            modes["not_modified"][str(clients)] = max(
+                (_portal_hammer(
+                    server.port, page_path,
+                    {"Cookie": cookie, "If-None-Match": etag}, clients, window,
+                ) for _ in range(rounds)),
+                key=lambda cell: cell["qps"],
+            )
+            modes["json_api"][str(clients)] = max(
+                (_portal_hammer(
+                    server.port, api_path, {"Cookie": cookie}, clients, window
+                ) for _ in range(rounds)),
+                key=lambda cell: cell["qps"],
+            )
+    finally:
+        server.shutdown()
+
+    # -- single-threaded wsgiref baseline (what `repro serve` used to be) --
+    class _Quiet(WSGIRequestHandler):
+        def log_message(self, *args):  # noqa: N802 - wsgiref API
+            pass
+
+    with make_server("127.0.0.1", 0, app, handler_class=_Quiet) as httpd:
+        baseline_port = httpd.server_address[1]
+        runner = threading.Thread(target=httpd.serve_forever, daemon=True)
+        runner.start()
+        cookie = _portal_login(baseline_port)
+        wsgiref_cell = max(
+            (_portal_hammer(
+                baseline_port, api_path, {"Cookie": cookie}, top, window
+            ) for _ in range(3)),
+            key=lambda cell: cell["qps"],
+        )
+        httpd.shutdown()
+        runner.join(timeout=10)
+
+    # -- overload: a tiny in-flight gate saturated by the top client count --
+    shed_server = PortalServer(
+        app, "127.0.0.1", 0, workers=4, max_inflight=1, queue_depth=2,
+        keep_alive=5.0,
+    ).start()
+    retry_after: dict[str, str] = {}
+    try:
+        cookie = _portal_login(shed_server.port)
+
+        def probe_retry_after() -> None:
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", shed_server.port, timeout=10
+            )
+            for _ in range(500):
+                if retry_after:
+                    break
+                try:
+                    conn.request("GET", page_path, headers={"Cookie": cookie})
+                    response = conn.getresponse()
+                    response.read()
+                    if response.status == 503:
+                        retry_after["value"] = (
+                            response.getheader("Retry-After") or ""
+                        )
+                        break
+                except (OSError, http.client.HTTPException):
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        "127.0.0.1", shed_server.port, timeout=10
+                    )
+            conn.close()
+
+        prober = threading.Thread(target=probe_retry_after)
+        prober.start()
+        shed_cell = _portal_hammer(
+            shed_server.port, page_path, {"Cookie": cookie}, top, window
+        )
+        prober.join(timeout=10)
+    finally:
+        shed_server.shutdown()
+    system.close()
+
+    top_key = str(top)
+    cold = modes["cold"][top_key]["qps"] or 0.0
+    hit = modes["not_modified"][top_key]["qps"] or 0.0
+    json_qps = modes["json_api"][top_key]["qps"] or 0.0
+    wsgiref_qps = wsgiref_cell["qps"] or 0.0
+    return {
+        "client_counts": list(client_counts),
+        "page": page_path,
+        "modes": modes,
+        "wsgiref_json_baseline": wsgiref_cell,
+        "shed": {
+            "max_inflight": 1,
+            "clients": top,
+            "served_200": shed_cell["statuses"].get("200", 0),
+            "shed_503": shed_cell["statuses"].get("503", 0),
+            "retry_after": retry_after.get("value", ""),
+        },
+        "not_modified_speedup_vs_cold": round(hit / cold, 3) if cold else None,
+        "json_speedup_vs_wsgiref": (
+            round(json_qps / wsgiref_qps, 3) if wsgiref_qps else None
+        ),
+    }
+
+
 def run_benchmarks(
     *,
     scale: float = 1.0,
@@ -1036,9 +1341,11 @@ def run_benchmarks(
     )
     queue_jobs = max(6, int(QUEUE_INGEST_JOBS * scale))
     queue_ingest = bench_queue_ingest(jobs=queue_jobs)
+    portal_window = max(0.25, PORTAL_WINDOW * scale)
+    portal = bench_portal_qps(window=portal_window)
     return {
         "schema": REPORT_SCHEMA,
-        "generated_by": "PR9",
+        "generated_by": "PR10",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "config": {
             "scale": scale,
@@ -1053,6 +1360,8 @@ def run_benchmarks(
             "shard_counts": list(shard_counts),
             "queue_jobs": queue_jobs,
             "queue_worker_counts": list(QUEUE_WORKER_COUNTS),
+            "portal_client_counts": list(PORTAL_CLIENT_COUNTS),
+            "portal_window_seconds": portal_window,
         },
         "benchmarks": {
             "commit_throughput": commit,
@@ -1063,6 +1372,7 @@ def run_benchmarks(
             "concurrency": concurrency,
             "replication": replication,
             "queue_ingest": queue_ingest,
+            "portal_qps": portal,
         },
     }
 
@@ -1216,26 +1526,66 @@ def validate_report(report: dict[str, Any]) -> list[str]:
         # legitimately lack the section; anything newer must have it.
         if report.get("generated_by") not in ("PR5", "PR6", "PR7"):
             problems.append("missing queue_ingest section")
-        return problems
-    worker_counts = [str(c) for c in queue.get("worker_counts", [])]
-    if not worker_counts:
-        problems.append("queue_ingest reports no worker counts")
-    cells = queue.get("workers", {})
-    for count in worker_counts:
-        cell = cells.get(count)
-        if not isinstance(cell, dict):
-            problems.append(f"queue_ingest missing {count}-worker cell")
-            continue
-        if not cell.get("jobs_per_sec", 0) > 0:
-            problems.append(f"queue_ingest@{count} recorded no throughput")
-        if cell.get("done") != cell.get("jobs"):
-            problems.append(f"queue_ingest@{count} lost jobs")
-        if not isinstance(
-            cell.get("claim_to_start_p95_seconds"), (int, float)
+    else:
+        worker_counts = [str(c) for c in queue.get("worker_counts", [])]
+        if not worker_counts:
+            problems.append("queue_ingest reports no worker counts")
+        cells = queue.get("workers", {})
+        for count in worker_counts:
+            cell = cells.get(count)
+            if not isinstance(cell, dict):
+                problems.append(f"queue_ingest missing {count}-worker cell")
+                continue
+            if not cell.get("jobs_per_sec", 0) > 0:
+                problems.append(f"queue_ingest@{count} recorded no throughput")
+            if cell.get("done") != cell.get("jobs"):
+                problems.append(f"queue_ingest@{count} lost jobs")
+            if not isinstance(
+                cell.get("claim_to_start_p95_seconds"), (int, float)
+            ):
+                problems.append(
+                    f"queue_ingest@{count} missing claim_to_start_p95_seconds"
+                )
+    portal = benchmarks.get("portal_qps")
+    if not isinstance(portal, dict):
+        # Reports generated before the serving tier (PR10) legitimately
+        # lack the section; anything newer must have it.
+        if report.get("generated_by") not in (
+            "PR5", "PR6", "PR7", "PR8", "PR9"
         ):
-            problems.append(
-                f"queue_ingest@{count} missing claim_to_start_p95_seconds"
-            )
+            problems.append("missing portal_qps section")
+        return problems
+    client_counts = [str(c) for c in portal.get("client_counts", [])]
+    if not client_counts:
+        problems.append("portal_qps reports no client counts")
+    for mode in ("cold", "not_modified", "json_api"):
+        cells = (portal.get("modes") or {}).get(mode)
+        if not isinstance(cells, dict):
+            problems.append(f"portal_qps missing mode {mode!r}")
+            continue
+        for count in client_counts:
+            cell = cells.get(count)
+            if not isinstance(cell, dict):
+                problems.append(f"portal_qps {mode} missing {count}-client cell")
+                continue
+            if not cell.get("qps", 0) > 0:
+                problems.append(f"portal_qps {mode}@{count} recorded no throughput")
+    for count, cell in ((portal.get("modes") or {}).get("not_modified") or {}).items():
+        if isinstance(cell, dict):
+            if not cell.get("statuses", {}).get("304", 0) > 0:
+                problems.append(
+                    f"portal_qps not_modified@{count} saw no real 304s"
+                )
+    if not (portal.get("wsgiref_json_baseline") or {}).get("qps", 0) > 0:
+        problems.append("portal_qps missing wsgiref baseline throughput")
+    shed = portal.get("shed") or {}
+    if not shed.get("shed_503", 0) > 0:
+        problems.append("portal_qps overload cell shed no 503s")
+    if not shed.get("retry_after"):
+        problems.append("portal_qps 503s carried no Retry-After")
+    for key in ("not_modified_speedup_vs_cold", "json_speedup_vs_wsgiref"):
+        if not isinstance(portal.get(key), (int, float)):
+            problems.append(f"portal_qps missing {key}")
     return problems
 
 
@@ -1258,7 +1608,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="scratch parent directory for the WAL workloads "
         "(defaults to the system temp dir)",
     )
-    parser.add_argument("--out", default="BENCH_PR9.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     parser.add_argument(
         "--validate", metavar="PATH",
         help="validate an existing report instead of running benchmarks",

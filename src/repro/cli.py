@@ -606,8 +606,6 @@ def cmd_maintenance(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from wsgiref.simple_server import make_server
-
     from repro.portal import PortalApplication
 
     system = _open(args)
@@ -616,12 +614,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # /admin/metrics/history meaningful for this portal session.
     system.obs.history.start()
     portal = PortalApplication(system)
-    print(f"serving the B-Fabric portal on http://{args.host}:{args.port}")
-    with make_server(args.host, args.port, portal) as httpd:
+    if args.legacy_wsgiref:
+        from wsgiref.simple_server import make_server
+
+        print(
+            f"serving the B-Fabric portal on http://{args.host}:{args.port} "
+            "(legacy wsgiref, single-threaded)"
+        )
+        with make_server(args.host, args.port, portal) as httpd:
+            try:
+                httpd.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                pass
+    else:
+        from repro.portal.server import PortalServer
+
+        server = PortalServer(
+            portal, args.host, args.port,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            keep_alive=args.keep_alive,
+        )
+        server.start()
+        print(
+            f"serving the B-Fabric portal on http://{args.host}:{server.port} "
+            f"({args.workers} workers, max {args.max_inflight} in flight)"
+        )
         try:
-            httpd.serve_forever()
+            server.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive
             pass
+        finally:
+            server.shutdown()
     system.obs.history.stop()
     system.close()
     return 0
@@ -894,6 +918,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser("serve", help="run the web portal")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--workers", type=int, default=8,
+        help="request worker threads (default 8)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="concurrent requests before shedding 503s (default 64)",
+    )
+    p_serve.add_argument(
+        "--keep-alive", type=float, default=5.0, metavar="SECONDS",
+        help="idle keep-alive timeout (default 5s)",
+    )
+    p_serve.add_argument(
+        "--legacy-wsgiref", action="store_true",
+        help="serve single-threaded via wsgiref (escape hatch)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     return parser

@@ -13,15 +13,23 @@ from repro.errors import (
 )
 from repro.facade import BFabric
 from repro.obs import TraceContext
+from repro.portal.caching import CachePolicy
 from repro.portal.http import Request, Response
 from repro.portal.render import esc, page
 from repro.portal.routing import Router
 from repro.search.history import SearchHistory
+from repro.storage.table import track_reads
 
 _SESSION_COOKIE = "bfabric_session"
 
+#: Read-your-writes marker: the commit sequence this browser last wrote.
+#: Replica-routed GETs wait until a replica has applied at least this
+#: sequence before serving from it, so a user always sees their own
+#: POST on the very next page load even when every replica lags.
+_SEEN_SEQ_COOKIE = "bfabric_seen_seq"
+
 #: Paths reachable without a login session.
-_PUBLIC_PATHS = {"/login", "/ping"}
+_PUBLIC_PATHS = {"/login", "/ping", "/api/health"}
 
 
 class PortalApplication:
@@ -36,6 +44,7 @@ class PortalApplication:
         self.system = system
         self.replicas = replicas
         self.router = Router()
+        self.cache = CachePolicy(system.db)
         self._histories: dict[str, SearchHistory] = {}
         self._register_views()
 
@@ -63,13 +72,14 @@ class PortalApplication:
         ``repro debug-bundle`` output.
         """
         obs = self.system.obs
-        route = self.router.pattern_for(request.method, request.path) or "<unmatched>"
+        match = self.router.resolve(request.method, request.path)
+        route = match.pattern or "<unmatched>"
         upstream = TraceContext.from_header(request.request_id)
         with obs.tracer.span(
             "http.request", parent=upstream, method=request.method, route=route
         ) as span:
             timer = obs.timer()
-            response = self._dispatch(request)
+            response = self._dispatch(request, match)
             elapsed = timer.elapsed()
             span.set(status=response.status)
         response.headers.append(("X-Request-Id", span.context().to_header()))
@@ -96,7 +106,7 @@ class PortalApplication:
         )
         return response
 
-    def _dispatch(self, request: Request) -> Response:
+    def _dispatch(self, request: Request, match=None) -> Response:
         """Session check + routing + error mapping (no instrumentation).
 
         Every GET runs against one MVCC snapshot (``request.snapshot``),
@@ -105,25 +115,77 @@ class PortalApplication:
         writer, and repeated reads within the view agree with each
         other.  Writes (POST/PUT) keep working against the live
         database through the single-writer transaction protocol.
+
+        The snapshot is opened *inside* the ``try`` and closed in the
+        ``finally`` however dispatch exits — including the catch-all
+        below — so a view blowing up in a worker thread can never
+        strand a snapshot and pin the MVCC pruning horizon for the
+        life of the process.
+
+        Cacheable GETs go through :class:`~repro.portal.caching
+        .CachePolicy`: a matching ``If-None-Match`` is answered ``304``
+        before any snapshot is opened or view run, and fresh renders
+        leave with a strong ETag derived from exactly the tables they
+        read.  ``/api`` paths get JSON error bodies (and ``401`` rather
+        than a login redirect) for machine clients.
         """
+        is_api = request.path == "/api" or request.path.startswith("/api/")
         token = request.cookies.get(_SESSION_COOKIE, "")
         if request.path not in _PUBLIC_PATHS:
             try:
                 request.session = self.system.auth.resolve(token)
             except AuthenticationError:
+                if is_api:
+                    return Response.json(
+                        {"error": "authentication required"}, status=401
+                    )
                 return Response.redirect("/login")
-        if request.method == "GET":
-            if self.replicas is not None:
-                request.snapshot = self.replicas.read_snapshot()
-            else:
-                request.snapshot = self.system.db.snapshot()
+        if match is None:
+            match = self.router.resolve(request.method, request.path)
+        cache_ctx = None
         try:
-            return self.router.dispatch(request)
+            if request.method == "GET":
+                cache_ctx = self.cache.begin(match.pattern, request)
+                if cache_ctx is not None:
+                    not_modified = cache_ctx.not_modified()
+                    if not_modified is not None:
+                        return not_modified
+                    cache_ctx.capture()
+                if self.replicas is not None:
+                    request.snapshot = self.replicas.read_snapshot(
+                        min_seq=self._seen_seq(request)
+                    )
+                else:
+                    request.snapshot = self.system.db.snapshot()
+            if cache_ctx is not None:
+                with track_reads(cache_ctx.sink):
+                    response = self.router.dispatch(request, match)
+                cache_ctx.finish(response)
+            else:
+                response = self.router.dispatch(request, match)
+            if (
+                request.method in ("POST", "PUT")
+                and response.status < 400
+                and self.replicas is not None
+            ):
+                response.set_cookie(
+                    _SEEN_SEQ_COOKIE, str(self.system.db.committed_seq)
+                )
+            return response
         except AccessDenied as exc:
+            if is_api:
+                return Response.json({"error": str(exc)}, status=403)
             return Response.forbidden(esc(str(exc)))
         except EntityNotFound as exc:
+            if is_api:
+                return Response.json({"error": str(exc)}, status=404)
             return Response.not_found(esc(str(exc)))
         except ValidationError as exc:
+            if is_api:
+                return Response.json(
+                    {"error": str(exc), "fields": dict(exc.field_errors)},
+                    status=400,
+                )
             details = "".join(
                 f"<li><b>{esc(field)}</b>: {esc(problem)}</li>"
                 for field, problem in exc.field_errors.items()
@@ -134,13 +196,33 @@ class PortalApplication:
             )
         except BFabricError as exc:
             self.system.errors.report("portal", str(exc), {"path": request.path})
+            if is_api:
+                return Response.json({"error": str(exc)}, status=500)
             return Response(
                 page("Error", f"<p>{esc(exc)}</p>"), status=500
+            )
+        except Exception as exc:  # worker threads must survive any view
+            self.system.errors.report(
+                "portal", f"{type(exc).__name__}: {exc}", {"path": request.path}
+            )
+            if is_api:
+                return Response.json({"error": "internal error"}, status=500)
+            return Response(
+                page("Error", "<p>internal error</p>"), status=500
             )
         finally:
             if request.snapshot is not None:
                 request.snapshot.close()
                 request.snapshot = None
+
+    @staticmethod
+    def _seen_seq(request: Request) -> "int | None":
+        """The read-your-writes floor from the session cookie, if sane."""
+        raw = request.cookies.get(_SEEN_SEQ_COOKIE, "")
+        try:
+            return int(raw) if raw else None
+        except ValueError:
+            return None
 
     # -- session helpers ---------------------------------------------------------------
 
@@ -159,6 +241,7 @@ class PortalApplication:
         from repro.portal.views import (
             admin as admin_views,
             annotations as annotation_views,
+            api as api_views,
             auth as auth_views,
             experiments as experiment_views,
             home as home_views,
@@ -175,6 +258,7 @@ class PortalApplication:
         experiment_views.register(self.router, self)
         search_views.register(self.router, self)
         admin_views.register(self.router, self)
+        api_views.register(self.router, self)
 
     # -- for auth views ----------------------------------------------------------------------
 

@@ -2,10 +2,32 @@
 
 from __future__ import annotations
 
+import json as _json
 import urllib.parse
 from dataclasses import dataclass, field
-from http import cookies as _cookies
 from typing import Any, Iterable
+
+
+def _parse_cookies(header: str) -> dict[str, str]:
+    """Lenient ``Cookie`` header parsing on the request hot path.
+
+    The portal only reads cookies it minted itself (token/int values,
+    never quoted or escaped), so a split-based parse is sufficient and
+    an order of magnitude cheaper than ``SimpleCookie``; foreign cookies
+    with exotic values at worst parse to strings nothing looks up.
+    """
+    if not header:
+        return {}
+    cookies: dict[str, str] = {}
+    for part in header.split(";"):
+        name, sep, value = part.partition("=")
+        if not sep:
+            continue
+        value = value.strip()
+        if len(value) > 1 and value[0] == '"' and value[-1] == '"':
+            value = value[1:-1]
+        cookies[name.strip()] = value
+    return cookies
 
 
 @dataclass
@@ -19,6 +41,11 @@ class Request:
     #: Multi-valued form fields (checkbox groups, multi-selects).
     form_lists: dict[str, list[str]] = field(default_factory=dict)
     cookies: dict[str, str] = field(default_factory=dict)
+    #: All request headers, lower-cased names (``if-none-match``, …).
+    headers: dict[str, str] = field(default_factory=dict)
+    #: Parsed JSON body for ``application/json`` requests; ``None``
+    #: otherwise (form posts land in :attr:`form` as before).
+    json: Any = None
     #: Filled by the router from path placeholders.
     params: dict[str, Any] = field(default_factory=dict)
     #: Raw ``X-Request-Id`` header (empty when absent): an upstream
@@ -38,23 +65,34 @@ class Request:
             environ.get("QUERY_STRING", ""), keep_blank_values=True
         )
         query = dict(query_pairs)
+        headers: dict[str, str] = {}
+        for key, value in environ.items():
+            if key.startswith("HTTP_"):
+                headers[key[5:].replace("_", "-").lower()] = value
+        for key in ("CONTENT_TYPE", "CONTENT_LENGTH"):
+            if environ.get(key):
+                headers[key.replace("_", "-").lower()] = environ[key]
         form: dict[str, str] = {}
         form_lists: dict[str, list[str]] = {}
+        json_body: Any = None
         if method in ("POST", "PUT"):
             try:
                 length = int(environ.get("CONTENT_LENGTH") or 0)
             except ValueError:
                 length = 0
             body = environ["wsgi.input"].read(length) if length else b""
-            for key, value in urllib.parse.parse_qsl(
-                body.decode("utf-8"), keep_blank_values=True
-            ):
-                form_lists.setdefault(key, []).append(value)
-                form[key] = value
-        cookie_header = environ.get("HTTP_COOKIE", "")
-        jar = _cookies.SimpleCookie()
-        jar.load(cookie_header)
-        cookies = {key: morsel.value for key, morsel in jar.items()}
+            if "json" in headers.get("content-type", ""):
+                try:
+                    json_body = _json.loads(body.decode("utf-8")) if body else None
+                except ValueError:
+                    json_body = None
+            else:
+                for key, value in urllib.parse.parse_qsl(
+                    body.decode("utf-8"), keep_blank_values=True
+                ):
+                    form_lists.setdefault(key, []).append(value)
+                    form[key] = value
+        cookies = _parse_cookies(environ.get("HTTP_COOKIE", ""))
         return cls(
             method=method,
             path=path,
@@ -62,6 +100,8 @@ class Request:
             form=form,
             form_lists=form_lists,
             cookies=cookies,
+            headers=headers,
+            json=json_body,
             request_id=environ.get("HTTP_X_REQUEST_ID", "").strip(),
         )
 
@@ -99,6 +139,14 @@ class Response:
         self.body = body.encode("utf-8") if isinstance(body, str) else body
 
     @classmethod
+    def json(cls, payload: Any, *, status: int = 200) -> "Response":
+        return cls(
+            _json.dumps(payload, sort_keys=True, default=str),
+            status=status,
+            content_type="application/json; charset=utf-8",
+        )
+
+    @classmethod
     def redirect(cls, location: str) -> "Response":
         response = cls("", status=303)
         response.headers.append(("Location", location))
@@ -131,8 +179,13 @@ class Response:
     @property
     def status_line(self) -> str:
         reasons = {
-            200: "OK", 303: "See Other", 400: "Bad Request",
-            403: "Forbidden", 404: "Not Found", 500: "Internal Server Error",
+            200: "OK", 303: "See Other", 304: "Not Modified",
+            400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+            404: "Not Found", 405: "Method Not Allowed",
+            411: "Length Required", 413: "Payload Too Large",
+            431: "Request Header Fields Too Large",
+            500: "Internal Server Error", 501: "Not Implemented",
+            503: "Service Unavailable",
         }
         return f"{self.status} {reasons.get(self.status, 'Unknown')}"
 

@@ -31,14 +31,41 @@ def _compile(pattern: str) -> re.Pattern:
     return re.compile(f"^{regex}$")
 
 
+class RouteMatch:
+    """The outcome of matching one (method, path) against the table.
+
+    ``handler`` is ``None`` when nothing dispatches: ``allowed`` then
+    lists methods that *would* have (405-style), and ``pattern`` still
+    identifies the route when only the method mismatched.  Instances
+    are cached and shared — treat them as immutable.
+    """
+
+    __slots__ = ("pattern", "handler", "params", "allowed")
+
+    def __init__(self, pattern, handler, params, allowed):
+        self.pattern: "str | None" = pattern
+        self.handler: "Handler | None" = handler
+        self.params: dict = params
+        self.allowed: tuple = allowed
+
+
 class Router:
     """Registers and dispatches handlers."""
 
+    #: Resolutions memoized across requests.  Keyed by raw path, so the
+    #: bound matters (ids embed unbounded cardinality); eviction is
+    #: FIFO, which is enough for the hot loop this exists for (the same
+    #: few paths hammered repeatedly pay one regex scan total, not one
+    #: per metrics label + cache probe + dispatch).
+    _CACHE_MAX = 4096
+
     def __init__(self) -> None:
         self._routes: list[tuple[str, re.Pattern, str, Handler]] = []
+        self._cache: dict[tuple[str, str], RouteMatch] = {}
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         self._routes.append((method.upper(), _compile(pattern), pattern, handler))
+        self._cache.clear()
 
     def get(self, pattern: str) -> Callable[[Handler], Handler]:
         def decorator(handler: Handler) -> Handler:
@@ -54,21 +81,46 @@ class Router:
 
         return decorator
 
-    def dispatch(self, request: Request) -> Response:
+    def resolve(self, method: str, path: str) -> RouteMatch:
+        """Match once, memoized — every later question about this
+        request (metrics label, cache policy, gate, dispatch) reads the
+        same :class:`RouteMatch` instead of rescanning the table."""
+        key = (method, path)
+        match = self._cache.get(key)
+        if match is None:
+            match = self._resolve(method.upper(), path)
+            if len(self._cache) >= self._CACHE_MAX:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = match
+        return match
+
+    def _resolve(self, method: str, path: str) -> RouteMatch:
         allowed: list[str] = []
-        for method, regex, _pattern, handler in self._routes:
-            match = regex.match(request.path)
-            if match is None:
+        fallback: "str | None" = None
+        for route_method, regex, pattern, handler in self._routes:
+            found = regex.match(path)
+            if found is None:
                 continue
-            if method != request.method:
-                allowed.append(method)
+            if route_method != method:
+                allowed.append(route_method)
+                fallback = pattern  # method mismatch still names the route
                 continue
-            params: dict = {}
-            for name, value in match.groupdict().items():
-                params[name] = int(value) if value.isdigit() else value
-            request.params = params
-            return handler(request)
-        if allowed:
+            params = {
+                name: int(value) if value.isdigit() else value
+                for name, value in found.groupdict().items()
+            }
+            return RouteMatch(pattern, handler, params, ())
+        return RouteMatch(fallback, None, {}, tuple(allowed))
+
+    def dispatch(
+        self, request: Request, match: "RouteMatch | None" = None
+    ) -> Response:
+        if match is None:
+            match = self.resolve(request.method, request.path)
+        if match.handler is not None:
+            request.params = dict(match.params)
+            return match.handler(request)
+        if match.allowed:
             return Response(
                 f"method {request.method} not allowed", status=400
             )
@@ -83,12 +135,4 @@ class Router:
         Used as the bounded-cardinality route label on request metrics
         (raw paths embed ids; patterns do not).
         """
-        method = method.upper()
-        fallback: str | None = None
-        for route_method, regex, pattern, _ in self._routes:
-            if regex.match(path) is None:
-                continue
-            if route_method == method:
-                return pattern
-            fallback = pattern  # method mismatch still identifies the route
-        return fallback
+        return self.resolve(method, path).pattern

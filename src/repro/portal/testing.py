@@ -21,15 +21,26 @@ class PortalClient:
         self._portal = portal
         self._cookies: dict[str, str] = {}
 
+    @property
+    def app(self) -> PortalApplication:
+        return self._portal
+
+    @property
+    def cookies(self) -> dict[str, str]:
+        """The live cookie jar (mutable, like a browser's dev tools)."""
+        return self._cookies
+
     def _environ(
         self,
         method: str,
         url: str,
         data: dict | None,
         headers: dict | None = None,
+        body: "bytes | None" = None,
     ) -> dict:
         parsed = urllib.parse.urlsplit(url)
-        body = b""
+        if body is None:
+            body = b""
         if data is not None:
             pairs = []
             for key, value in data.items():
@@ -71,8 +82,11 @@ class PortalClient:
         *,
         follow_redirects: bool = True,
         headers: dict | None = None,
+        body: "bytes | None" = None,
     ) -> Response:
-        environ = self._environ(method, url, data, headers)
+        """*data* is form-encoded; *body* ships raw bytes instead (pair
+        it with a ``Content-Type`` header for JSON API calls)."""
+        environ = self._environ(method, url, data, headers, body)
         captured: dict = {}
 
         def start_response(status, headers):

@@ -1,0 +1,118 @@
+"""The JSON API surface (``/api/...``).
+
+Thin machine-readable projections of the same services the HTML views
+use — same principal checks, same MVCC read discipline, and the same
+conditional-GET machinery: the cacheable ``/api`` GETs carry the exact
+table-version ETags of :mod:`repro.portal.caching`, so API clients can
+revalidate with ``If-None-Match`` and poll for free.
+
+``/api/health`` is deliberately public (load balancers probe it before
+any login exists) and deliberately uncacheable: it reports live serving
+state, not table state.
+"""
+
+from __future__ import annotations
+
+from repro.portal.http import Request, Response
+
+
+def _project_json(project) -> dict:
+    return {
+        "id": project.id,
+        "name": project.name,
+        "description": project.description,
+    }
+
+
+def _sample_json(sample) -> dict:
+    return {
+        "id": sample.id,
+        "name": sample.name,
+        "species": sample.species,
+        "project_id": sample.project_id,
+    }
+
+
+def _workunit_json(workunit) -> dict:
+    return {
+        "id": workunit.id,
+        "name": workunit.name,
+        "status": workunit.status,
+        "project_id": workunit.project_id,
+    }
+
+
+def register(router, portal) -> None:
+    system = portal.system
+
+    @router.get("/api/health")
+    def health(request: Request) -> Response:
+        return Response.json({
+            "status": "ok",
+            "committed_seq": system.db.committed_seq,
+        })
+
+    @router.get("/api/projects")
+    def project_list(request: Request) -> Response:
+        principal = portal.principal(request)
+        return Response.json({
+            "projects": [
+                _project_json(p) for p in system.projects.visible_to(principal)
+            ],
+        })
+
+    @router.post("/api/projects")
+    def create_project(request: Request) -> Response:
+        principal = portal.principal(request)
+        payload = request.json if isinstance(request.json, dict) else {}
+        name = str(payload.get("name") or request.get("name"))
+        description = str(
+            payload.get("description") or request.get("description")
+        )
+        project = system.projects.create(
+            principal, name, description=description
+        )
+        return Response.json({"project": _project_json(project)})
+
+    @router.get("/api/projects/<int:project_id>")
+    def project_detail(request: Request) -> Response:
+        principal = portal.principal(request)
+        project = system.projects.get(principal, request.params["project_id"])
+        samples = system.samples.samples_of_project(principal, project.id)
+        workunits = system.workunits.of_project(principal, project.id)
+        return Response.json({
+            "project": _project_json(project),
+            "samples": [_sample_json(s) for s in samples],
+            "workunits": [_workunit_json(w) for w in workunits],
+        })
+
+    @router.get("/api/samples/<int:sample_id>")
+    def sample_detail(request: Request) -> Response:
+        principal = portal.principal(request)
+        sample = system.samples.get_sample(principal, request.params["sample_id"])
+        extracts = system.samples.extracts_of_sample(principal, sample.id)
+        annotations = system.annotations.annotations_for("sample", sample.id)
+        return Response.json({
+            "sample": _sample_json(sample),
+            "extracts": [
+                {"id": e.id, "name": e.name, "procedure": e.procedure}
+                for e in extracts
+            ],
+            "annotations": [a.value for a in annotations],
+        })
+
+    @router.get("/api/workunits/<int:workunit_id>")
+    def workunit_detail(request: Request) -> Response:
+        principal = portal.principal(request)
+        workunit = system.workunits.get(principal, request.params["workunit_id"])
+        resources = system.workunits.resources_of(principal, workunit.id)
+        return Response.json({
+            "workunit": _workunit_json(workunit),
+            "resources": [
+                {
+                    "id": r.id, "name": r.name, "uri": r.uri,
+                    "is_input": bool(r.is_input),
+                }
+                for r in resources
+            ],
+        })

@@ -333,7 +333,10 @@ class ReplicationPublisher:
             self.obs.log.log("replication.resume", replica=name, seq=last_seq)
             return last_seq
         seq, tables = self.db.export_snapshot()
-        conn.send(protocol.snapshot_message(seq, tables, history=our_history))
+        conn.send(protocol.snapshot_message(
+            seq, tables, history=our_history,
+            versions=self.db.version_vector_at(seq),
+        ))
         self._m_frames.labels(type="snapshot").inc()
         self._m_bootstraps.inc()
         self.obs.log.log("replication.bootstrap", replica=name, seq=seq)

@@ -220,9 +220,19 @@ def resume(seq: int, history: str = "") -> dict[str, Any]:
 
 
 def snapshot_message(
-    seq: int, tables: dict[str, list], history: str = ""
+    seq: int,
+    tables: dict[str, list],
+    history: str = "",
+    versions: "dict[str, int] | None" = None,
 ) -> dict[str, Any]:
-    return {"type": "snapshot", "seq": seq, "tables": tables, "history": history}
+    """*versions* is the primary's per-table version vector at *seq*;
+    bootstrapping replicas stamp their tables from it so version-derived
+    ``ETag``s agree across the fleet (absent in frames from older
+    primaries — receivers must tolerate that)."""
+    frame = {"type": "snapshot", "seq": seq, "tables": tables, "history": history}
+    if versions is not None:
+        frame["versions"] = versions
+    return frame
 
 
 def commit_message(

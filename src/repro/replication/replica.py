@@ -206,10 +206,12 @@ class Replica:
             return
         if kind == "snapshot":
             seq = int(message["seq"])
+            versions = message.get("versions")
             self.db.load_replicated_snapshot(
                 message["tables"],
                 seq=seq,
                 history=str(message.get("history") or "") or None,
+                versions=versions if isinstance(versions, dict) else None,
             )
             self._note_applied(seq, primary_seq=seq)
             self._bootstraps += 1

@@ -16,7 +16,7 @@ import threading
 import uuid
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import (
     SchemaError,
@@ -641,6 +641,41 @@ class Database:
     def count(self, table: str) -> int:
         return len(self.table(table))
 
+    # -- version vectors (HTTP caching) ------------------------------------------------
+
+    @property
+    def committed_seq(self) -> int:
+        """The last published commit sequence number.
+
+        The token a client's session carries for read-your-writes across
+        replicas: a replica that has applied at least this sequence can
+        serve the client's own writes back.
+        """
+        return self._committed_seq
+
+    def version_vector(
+        self, names: "Iterable[str] | None" = None
+    ) -> dict[str, int]:
+        """Per-table committed versions — ``{table: last commit seq}``.
+
+        The cheap state the MVCC machinery already maintains for query
+        caching, exposed so the serving tier can derive strong ``ETag``s
+        from it: two reads of the same tables with equal vectors are
+        guaranteed byte-identical renders (versions only move when a
+        transaction commits).  With *names* the vector is restricted to
+        those tables (unknown names are skipped); ``None`` returns every
+        table.  Lock-free: one attribute read per table.
+        """
+        tables = self._tables
+        if names is None:
+            return {name: table.version for name, table in tables.items()}
+        vector: dict[str, int] = {}
+        for name in names:
+            table = tables.get(name)
+            if table is not None:
+                vector[name] = table.version
+        return vector
+
     # -- snapshots (MVCC read views) ---------------------------------------------------
 
     def snapshot(self) -> Snapshot:
@@ -1079,6 +1114,22 @@ class Database:
             }
             return snap.seq, tables
 
+    def version_vector_at(self, seq: int) -> dict[str, int]:
+        """The per-table version vector as of commit sequence *seq*.
+
+        For a table whose live version is at or below *seq* the answer
+        is exact (no later commit touched it).  A table that moved past
+        *seq* since the snapshot was taken is conservatively reported at
+        *seq* itself — a replica bootstrapping from this vector then
+        differs from the primary only until that table's next shipped
+        commit restamps it, and only in the safe direction (spurious
+        ``ETag`` misses, never a false match).
+        """
+        return {
+            name: version if version <= seq else seq
+            for name, version in self.version_vector().items()
+        }
+
     def apply_replicated_commit(
         self,
         record: dict[str, Any],
@@ -1143,6 +1194,7 @@ class Database:
         *,
         seq: int,
         history: "str | None" = None,
+        versions: "dict[str, int] | None" = None,
     ) -> None:
         """Replace the whole database with a bootstrap snapshot at *seq*.
 
@@ -1158,6 +1210,12 @@ class Database:
         primary's history id: the bootstrap makes this database a copy
         of that history, so it is adopted (and persisted) here, which is
         what later entitles the replica to an incremental resume.
+
+        *versions*, when given, is the primary's per-table version
+        vector at *seq*: each table is stamped with the primary's own
+        last-commit sequence for it instead of uniformly with *seq*, so
+        ``ETag``s derived from :meth:`version_vector` agree across the
+        whole replica fleet from the first request after bootstrap.
         """
         with self._intent_lock:
             self._write_intents += 1
@@ -1181,9 +1239,14 @@ class Database:
                     decoded = self._decode_row_from_wal(name, encoded)
                     assert decoded is not None
                     table.apply_insert(decoded)
-            for table in self._tables.values():
+            for name, table in self._tables.items():
+                stamp = seq
+                if versions is not None:
+                    stamp = min(int(versions.get(name, seq)), seq)
                 if table.dirty:
-                    table.commit_version(seq)
+                    table.commit_version(stamp)
+                elif versions is not None and name in versions:
+                    table.adopt_version(stamp)
             self._committed_seq = seq
             if history:
                 self._history_id = history

@@ -47,7 +47,7 @@ import uuid
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.errors import (
     CrashPoint,
@@ -1174,6 +1174,29 @@ class ShardedDatabase:
 
     def table_dirty(self, name: str) -> bool:
         return any(db.table(name).dirty for db in self.shards)
+
+    def version_vector(
+        self, names: "Iterable[str] | None" = None
+    ) -> dict[str, int]:
+        """Per-shard, per-table committed versions for HTTP caching.
+
+        Keys are ``"<shard>:<table>"`` — commit sequences are per-shard,
+        so the vectors cannot be merged across shards (a max would let a
+        commit on the lower-sequence shard go unnoticed).  Same exactness
+        contract as :meth:`Database.version_vector`: the vector moves iff
+        one of the named tables committed on some shard.
+        """
+        vector: dict[str, int] = {}
+        for sid, db in enumerate(self.shards):
+            for name, version in db.version_vector(names).items():
+                vector[f"{sid}:{name}"] = version
+        return vector
+
+    @property
+    def committed_seq(self) -> int:
+        """The highest commit sequence across shards (coarse progress
+        token; per-shard read-your-writes needs the full vector)."""
+        return max(db.committed_seq for db in self.shards)
 
     def add_column(self, table: str, column) -> None:
         for db in self.shards:

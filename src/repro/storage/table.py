@@ -35,6 +35,8 @@ rely on three invariants:
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -54,6 +56,53 @@ from repro.util.ids import IdAllocator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.database import Database
+
+
+# -- read tracking ------------------------------------------------------------
+#
+# The portal's conditional-GET machinery needs to know which tables a
+# request actually read, so it can derive an exact ``ETag`` from those
+# tables' committed versions.  ``track_reads`` installs a per-thread
+# sink; every table read path reports its table name into it.  The hot
+# paths pay one module-global truthiness check while no probe is active
+# anywhere in the process, so storage benchmarks are unaffected by the
+# feature existing.
+
+class _ReadProbe(threading.local):
+    sink: "set[str] | None" = None
+
+
+_read_probe = _ReadProbe()
+_probe_users = 0
+_probe_lock = threading.Lock()
+
+
+@contextmanager
+def track_reads(sink: "set[str]"):
+    """Collect the names of every table read by this thread.
+
+    Nests: the innermost sink wins for the duration, the outer one is
+    restored on exit.  Only reads on the *calling* thread are observed.
+    """
+    global _probe_users
+    previous = _read_probe.sink
+    with _probe_lock:
+        _probe_users += 1
+    _read_probe.sink = sink
+    try:
+        yield sink
+    finally:
+        _read_probe.sink = previous
+        with _probe_lock:
+            _probe_users -= 1
+
+
+def note_table_read(name: str) -> None:
+    """Report a read of *name* to this thread's probe, if one is active."""
+    if _probe_users:
+        sink = _read_probe.sink
+        if sink is not None:
+            sink.add(name)
 
 
 class RowVersion:
@@ -217,30 +266,42 @@ class Table:
         return self._pk
 
     def __len__(self) -> int:
+        if _probe_users:
+            note_table_read(self.schema.name)
         return self._live
 
     def __contains__(self, pk: Any) -> bool:
+        if _probe_users:
+            note_table_read(self.schema.name)
         head = self._rows.get(pk)
         return head is not None and head.row is not None
 
     def get(self, pk: Any) -> dict[str, Any]:
         """Return a copy of the latest version of row *pk*."""
+        if _probe_users:
+            note_table_read(self.schema.name)
         head = self._rows.get(pk)
         if head is None or head.row is None:
             raise RowNotFound(self.name, pk)
         return dict(head.row)
 
     def get_or_none(self, pk: Any) -> dict[str, Any] | None:
+        if _probe_users:
+            note_table_read(self.schema.name)
         head = self._rows.get(pk)
         return dict(head.row) if head is not None and head.row is not None else None
 
     def rows(self) -> Iterator[dict[str, Any]]:
         """Yield copies of all live rows in insertion order."""
+        if _probe_users:
+            note_table_read(self.schema.name)
         for head in list(self._rows.values()):
             if head.row is not None:
                 yield dict(head.row)
 
     def pks(self) -> list[Any]:
+        if _probe_users:
+            note_table_read(self.schema.name)
         return [pk for pk, head in list(self._rows.items()) if head.row is not None]
 
     def raw_row(self, pk: Any) -> dict[str, Any] | None:
@@ -255,6 +316,8 @@ class Table:
         pinned :class:`~repro.storage.snapshot.Snapshot` / :meth:`row_at`
         instead.
         """
+        if _probe_users:
+            note_table_read(self.schema.name)
         head = self._rows.get(pk)
         return head.row if head is not None else None
 
@@ -267,6 +330,8 @@ class Table:
         state, which may include uncommitted changes of an open
         transaction.  Snapshot-isolated scans use :meth:`items_at`.
         """
+        if _probe_users:
+            note_table_read(self.schema.name)
         return [
             (pk, head.row)
             for pk, head in list(self._rows.items())
@@ -293,6 +358,8 @@ class Table:
         returns ``None`` for rows that did not exist — or were deleted —
         at that point.  Never takes any lock.
         """
+        if _probe_users:
+            note_table_read(self.schema.name)
         node = self._visible_at(self._rows.get(pk), seq)
         return None if node is None else node.row
 
@@ -304,6 +371,8 @@ class Table:
         ``dict changed size``; rows the writer commits afterwards carry
         a higher sequence number and stay invisible.
         """
+        if _probe_users:
+            note_table_read(self.schema.name)
         for pk, head in list(self._rows.items()):
             node = self._visible_at(head, seq)
             if node is not None and node.row is not None:
@@ -378,6 +447,23 @@ class Table:
             self._uncommitted.clear()
             self._version = seq
             self._pending_ops = 0
+            self._mutation_epoch += 1
+
+    def adopt_version(self, seq: int) -> None:
+        """Move this table's committed version forward to *seq* without
+        publishing any row change.
+
+        Used by replica bootstrap to mirror the *primary's* per-table
+        version vector exactly: a table whose last committed change on
+        the primary was at ``seq`` must report the same version here, or
+        ``ETag``s derived from the vector would spuriously differ across
+        replica routing.  Caller holds the writer lock; never moves the
+        version backwards and never touches a dirty table (those are
+        stamped by :meth:`commit_version`).
+        """
+        if seq > self._version and not self._pending_ops:
+            self._mutation_epoch += 1
+            self._version = seq
             self._mutation_epoch += 1
 
     def _publish_out_of_band(self) -> int:

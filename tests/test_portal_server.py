@@ -1,0 +1,313 @@
+"""The threaded HTTP/1.1 serving tier: keep-alive, bounded parsing,
+admission control, and graceful drain — driven over real sockets."""
+
+import datetime as dt
+import http.client
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.facade import BFabric
+from repro.portal import PortalApplication
+from repro.portal.server import PortalServer
+from repro.util.clock import ManualClock
+
+
+def _tiny_app(block=None, started=None):
+    """A minimal WSGI app: `/slow` parks on *block*, everything else
+    answers immediately."""
+
+    def app(environ, start_response):
+        if environ["PATH_INFO"] == "/slow":
+            if started is not None:
+                started.release()
+            if block is not None:
+                block.wait(timeout=10)
+        start_response(
+            "200 OK", [("Content-Type", "text/plain; charset=utf-8")]
+        )
+        return [b"ok:" + environ["PATH_INFO"].encode()]
+
+    return app
+
+
+def _get(port, path, headers=None, timeout=10):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    conn.request("GET", path, headers=headers or {})
+    response = conn.getresponse()
+    payload = response.read()
+    result = (response.status, dict(response.getheaders()), payload)
+    conn.close()
+    return result
+
+
+def _raw(port, payload: bytes) -> bytes:
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+    sock.sendall(payload)
+    sock.settimeout(5)
+    chunks = []
+    try:
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    except socket.timeout:
+        pass
+    sock.close()
+    return b"".join(chunks)
+
+
+class TestServerBasics:
+    def test_get_and_keepalive_reuse(self):
+        with PortalServer(_tiny_app(), "127.0.0.1", 0, workers=2) as server:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=5
+            )
+            for index in range(3):
+                conn.request("GET", f"/page-{index}")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.read() == b"ok:/page-%d" % index
+                assert response.getheader("Connection") == "keep-alive"
+            conn.close()
+
+    def test_connection_close_honoured(self):
+        with PortalServer(_tiny_app(), "127.0.0.1", 0, workers=2) as server:
+            status, headers, _payload = _get(
+                server.port, "/", headers={"Connection": "close"}
+            )
+            assert status == 200
+            assert headers["Connection"] == "close"
+
+    def test_pipelined_requests_all_answered(self):
+        with PortalServer(_tiny_app(), "127.0.0.1", 0, workers=2) as server:
+            blob = _raw(
+                server.port,
+                b"GET /a HTTP/1.1\r\nHost: x\r\n\r\n"
+                b"GET /b HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+            )
+            assert blob.count(b"HTTP/1.1 200 OK") == 2
+            assert b"ok:/a" in blob and b"ok:/b" in blob
+
+    def test_idle_keepalive_timeout_closes(self):
+        with PortalServer(
+            _tiny_app(), "127.0.0.1", 0, workers=2, keep_alive=0.2
+        ) as server:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            )
+            sock.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            sock.settimeout(5)
+            assert b"200 OK" in sock.recv(65536)
+            # idle past the keep-alive window: the parker reaps it
+            deadline = time.monotonic() + 5
+            closed = False
+            while time.monotonic() < deadline:
+                try:
+                    if sock.recv(1024) == b"":
+                        closed = True
+                        break
+                except socket.timeout:
+                    break
+            sock.close()
+            assert closed
+
+
+class TestBoundedParsing:
+    def test_overlong_request_line_431(self):
+        with PortalServer(_tiny_app(), "127.0.0.1", 0, workers=1) as server:
+            blob = _raw(
+                server.port, b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n"
+            )
+            assert b"431" in blob.split(b"\r\n", 1)[0]
+
+    def test_chunked_body_501(self):
+        with PortalServer(_tiny_app(), "127.0.0.1", 0, workers=1) as server:
+            blob = _raw(
+                server.port,
+                b"POST / HTTP/1.1\r\nHost: x\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n",
+            )
+            assert b"501" in blob.split(b"\r\n", 1)[0]
+
+    def test_oversized_body_413(self):
+        with PortalServer(_tiny_app(), "127.0.0.1", 0, workers=1) as server:
+            blob = _raw(
+                server.port,
+                b"POST / HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 99999999\r\n\r\n",
+            )
+            assert b"413" in blob.split(b"\r\n", 1)[0]
+
+    def test_malformed_request_line_400(self):
+        with PortalServer(_tiny_app(), "127.0.0.1", 0, workers=1) as server:
+            blob = _raw(server.port, b"NONSENSE\r\n\r\n")
+            assert b"400" in blob.split(b"\r\n", 1)[0]
+
+
+class TestAdmissionControl:
+    def test_inflight_gate_sheds_503_with_retry_after(self):
+        block = threading.Event()
+        started = threading.Semaphore(0)
+        server = PortalServer(
+            _tiny_app(block, started), "127.0.0.1", 0,
+            workers=4, max_inflight=2,
+        ).start()
+        try:
+            results = []
+
+            def slow():
+                results.append(_get(server.port, "/slow"))
+
+            holders = [threading.Thread(target=slow) for _ in range(2)]
+            for thread in holders:
+                thread.start()
+            for _ in range(2):  # both /slow requests hold the gate
+                assert started.acquire(timeout=5)
+            status, headers, _body = _get(server.port, "/fast")
+            assert status == 503
+            assert headers.get("Retry-After") == "1"
+            block.set()
+            for thread in holders:
+                thread.join(timeout=10)
+            assert [r[0] for r in results] == [200, 200]
+            # gate released: the same request now passes
+            assert _get(server.port, "/fast")[0] == 200
+        finally:
+            server.shutdown()
+
+    def test_per_route_limit_sheds_only_that_route(self):
+        block = threading.Event()
+        started = threading.Semaphore(0)
+        server = PortalServer(
+            _tiny_app(block, started), "127.0.0.1", 0,
+            workers=4, max_inflight=8, route_limits={"/slow": 1},
+        ).start()
+        try:
+            result = []
+            holder = threading.Thread(
+                target=lambda: result.append(_get(server.port, "/slow"))
+            )
+            holder.start()
+            assert started.acquire(timeout=5)
+            assert _get(server.port, "/slow")[0] == 503  # route saturated
+            assert _get(server.port, "/fast")[0] == 200  # others unaffected
+            block.set()
+            holder.join(timeout=10)
+            assert result[0][0] == 200
+        finally:
+            server.shutdown()
+
+    def test_full_queue_sheds_raw_503(self):
+        block = threading.Event()
+        started = threading.Semaphore(0)
+        server = PortalServer(
+            _tiny_app(block, started), "127.0.0.1", 0,
+            workers=1, queue_depth=1,
+        ).start()
+        try:
+            holder_result = []
+            holder = threading.Thread(
+                target=lambda: holder_result.append(
+                    _get(server.port, "/slow")
+                )
+            )
+            holder.start()
+            assert started.acquire(timeout=5)  # the only worker is busy
+            # Saturate: several more requests than queue + workers.
+            statuses = []
+            for _ in range(6):
+                try:
+                    statuses.append(_get(server.port, "/fast", timeout=3)[0])
+                except (OSError, http.client.HTTPException):
+                    statuses.append(None)
+            assert 503 in statuses
+            block.set()
+            holder.join(timeout=10)
+            assert holder_result[0][0] == 200
+        finally:
+            server.shutdown()
+
+
+class TestGracefulDrain:
+    def test_inflight_request_finishes_before_shutdown(self):
+        block = threading.Event()
+        started = threading.Semaphore(0)
+        server = PortalServer(
+            _tiny_app(block, started), "127.0.0.1", 0, workers=2
+        ).start()
+        result = []
+        worker = threading.Thread(
+            target=lambda: result.append(_get(server.port, "/slow"))
+        )
+        worker.start()
+        assert started.acquire(timeout=5)
+        releaser = threading.Timer(0.3, block.set)
+        releaser.start()
+        server.shutdown()  # must wait for the in-flight response
+        worker.join(timeout=10)
+        assert result and result[0][0] == 200
+        with pytest.raises(OSError):
+            socket.create_connection(
+                ("127.0.0.1", server.port), timeout=1
+            ).close()
+
+
+class TestPortalIntegration:
+    @pytest.fixture
+    def system(self, tmp_path):
+        system = BFabric(
+            tmp_path, clock=ManualClock(dt.datetime(2010, 1, 15, 9, 0))
+        )
+        admin = system.bootstrap(password="adminpw")
+        system.directory.set_password(admin, admin.user_id, "adminpw")
+        yield system
+        system.close()
+
+    def test_login_browse_and_wire_304(self, system):
+        server = PortalServer(
+            PortalApplication(system), "127.0.0.1", 0, workers=4
+        ).start()
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=5
+            )
+            conn.request(
+                "POST", "/login", body="login=admin&password=adminpw",
+                headers={
+                    "Content-Type": "application/x-www-form-urlencoded"
+                },
+            )
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 303
+            cookie = response.getheader("Set-Cookie").split(";")[0]
+            conn.request("GET", "/projects", headers={"Cookie": cookie})
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 200 and b"Projects" in body
+            etag = response.getheader("ETag")
+            assert etag
+            conn.request(
+                "GET", "/projects",
+                headers={"Cookie": cookie, "If-None-Match": etag},
+            )
+            response = conn.getresponse()
+            assert response.status == 304
+            assert response.read() == b""
+            # keep-alive reuse was recorded by the server metrics
+            reuse = system.obs.metrics.get(
+                "http_server_keepalive_reuse_total"
+            )
+            assert reuse is not None
+            conn.request("GET", "/api/health")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert b'"status": "ok"' in response.read()
+            conn.close()
+        finally:
+            server.shutdown()
+        assert system.db.open_snapshots() == 0
